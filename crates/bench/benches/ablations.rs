@@ -1,0 +1,52 @@
+//! Criterion targets for the four ablation studies (A1–A4), each at a
+//! reduced scale; the full tables come from the `all_figures` binary.
+
+use cloudsuite::experiments::ablations;
+use cloudsuite::harness::RunConfig;
+use cloudsuite::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn tiny() -> RunConfig {
+    RunConfig {
+        warmup_instr: 40_000,
+        measure_instr: 80_000,
+        max_cycles: 4_000_000,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_a1(c: &mut Criterion) {
+    c.bench_function("ablation_a1_mediocre_cores", |b| {
+        let benches = [Benchmark::web_search()];
+        b.iter(|| black_box(ablations::a1_mediocre_cores(&benches, &tiny())))
+    });
+}
+
+fn bench_a2(c: &mut Criterion) {
+    c.bench_function("ablation_a2_small_llc", |b| {
+        let benches = [Benchmark::web_frontend()];
+        b.iter(|| black_box(ablations::a2_small_llc(&benches, &tiny())))
+    });
+}
+
+fn bench_a3(c: &mut Criterion) {
+    c.bench_function("ablation_a3_no_dcu", |b| {
+        let benches = [Benchmark::media_streaming()];
+        b.iter(|| black_box(ablations::a3_no_dcu(&benches, &tiny())))
+    });
+}
+
+fn bench_a4(c: &mut Criterion) {
+    c.bench_function("ablation_a4_one_channel", |b| {
+        let benches = [Benchmark::data_serving()];
+        b.iter(|| black_box(ablations::a4_one_channel(&benches, &tiny())))
+    });
+}
+
+criterion_group! {
+    name = ablation_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_a1, bench_a2, bench_a3, bench_a4
+}
+criterion_main!(ablation_benches);

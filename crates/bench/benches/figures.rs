@@ -1,0 +1,89 @@
+//! One Criterion target per table/figure of the paper's evaluation.
+//!
+//! Each target runs a scaled-down single-workload slice of the experiment
+//! (the full multi-workload regeneration lives in the `fig*` binaries), so
+//! `cargo bench` exercises every experiment path while staying tractable.
+
+use cloudsuite::experiments::table1;
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::{Benchmark, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_memsys::PrefetchConfig;
+use std::hint::black_box;
+
+fn tiny() -> RunConfig {
+    RunConfig {
+        warmup_instr: 40_000,
+        measure_instr: 80_000,
+        max_cycles: 4_000_000,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| {
+        let machine = MachineConfig::default();
+        b.iter(|| black_box(table1::report(&machine).to_string()))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_breakdown/data_serving", |b| {
+        let bench = Benchmark::data_serving();
+        b.iter(|| black_box(run(&bench, &tiny()).breakdown()))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_imisses/web_search", |b| {
+        let bench = Benchmark::web_search();
+        b.iter(|| black_box(run(&bench, &tiny()).l1i_mpki()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_ipc_mlp_smt/mapreduce", |b| {
+        let bench = Benchmark::mapreduce();
+        let cfg = RunConfig { smt: true, ..tiny() };
+        b.iter(|| black_box((run(&bench, &cfg).app_ipc(), run(&bench, &cfg).mlp())))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_llc_sweep_point/mcf", |b| {
+        let bench = Benchmark::mcf();
+        let cfg = RunConfig { polluter_bytes: Some(6 << 20), ..tiny() };
+        b.iter(|| black_box(run(&bench, &cfg).app_ipc()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_prefetch_ablation/media_streaming", |b| {
+        let bench = Benchmark::media_streaming();
+        let cfg = RunConfig { prefetch: Some(PrefetchConfig::none()), ..tiny() };
+        b.iter(|| black_box(run(&bench, &cfg).l2_hit_ratio()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_sharing/media_streaming", |b| {
+        let bench = Benchmark::media_streaming();
+        let cfg = RunConfig { split_sockets: true, ..tiny() };
+        b.iter(|| black_box(run(&bench, &cfg).rw_shared_pct()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_bandwidth/sat_solver", |b| {
+        let bench = Benchmark::sat_solver();
+        b.iter(|| black_box(run(&bench, &tiny()).bandwidth_pct()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig1, bench_fig2, bench_fig3, bench_fig4,
+              bench_fig5, bench_fig6, bench_fig7
+}
+criterion_main!(figures);

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the simulator substrates: cache operations, Zipf
+//! sampling, trace generation, and whole-chip simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cs_memsys::cache::{Cache, LineMeta};
+use cs_memsys::{MemSysConfig, MemorySystem};
+use cs_trace::rng::stream_rng;
+use cs_trace::zipf::Zipf;
+use cs_trace::{Privilege, TraceSource, WorkloadProfile};
+use cs_uarch::{Chip, CoreConfig};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_hit", |b| {
+        let mut cache = Cache::new(512, 8);
+        for line in 0..4096u64 {
+            cache.fill(line, LineMeta::clean());
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 4096;
+            black_box(cache.lookup(line).is_some())
+        })
+    });
+    g.bench_function("fill_evict", |b| {
+        let mut cache = Cache::new(512, 8);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            black_box(cache.fill(line, LineMeta::clean()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sample_30M_objects", |b| {
+        let zipf = Zipf::new(30_000_000, 0.99);
+        let mut rng = stream_rng(1, 0);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracegen");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("synthetic_op/data_serving", |b| {
+        let mut src = WorkloadProfile::data_serving().build_source(0, 1);
+        b.iter(|| black_box(src.next_op()))
+    });
+    g.finish();
+}
+
+fn bench_memsys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsys");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("data_access_l1_hit", |b| {
+        let mut m = MemorySystem::new(MemSysConfig::default(), 1);
+        m.data_access(0, Privilege::User, 0x1000, false, 0x40_0000, 0);
+        let mut now = 1u64;
+        b.iter(|| {
+            now += 1;
+            black_box(m.data_access(0, Privilege::User, 0x1000, false, 0x40_0000, now))
+        })
+    });
+    g.finish();
+}
+
+fn bench_chip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chip");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("cycles_4core/web_search", |b| {
+        let mut chip = Chip::new(CoreConfig::x5670(), MemSysConfig::default(), 4);
+        for t in 0..4 {
+            chip.attach(t, Box::new(WorkloadProfile::web_search().build_source(t, 7)));
+        }
+        b.iter(|| {
+            chip.run_cycles(10_000);
+            black_box(chip.cycle())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(substrate, bench_cache, bench_zipf, bench_tracegen, bench_memsys, bench_chip);
+criterion_main!(substrate);

@@ -1,0 +1,16 @@
+//! Regenerates the compute-density study (the paper's §6 conclusion,
+//! quantified with the first-order area/power model).
+
+use cloudsuite::experiments::density;
+use cloudsuite::Benchmark;
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    for bench in [Benchmark::web_search(), Benchmark::data_serving()] {
+        let rows = density::collect(&bench, &cfg);
+        cs_bench::emit(
+            &density::report(bench.name(), &rows),
+            &format!("density_{}", bench.name().to_lowercase().replace(' ', "_")),
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2: L1-I and L2 instruction miss rates.
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    let rows = cloudsuite::experiments::fig2::collect(&cfg);
+    cs_bench::emit(&cloudsuite::experiments::fig2::report(&rows), "fig2");
+}

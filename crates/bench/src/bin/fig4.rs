@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: performance sensitivity to LLC capacity
+//! (cache-polluter methodology).
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    let rows = cloudsuite::experiments::fig4::collect(&cfg);
+    cs_bench::emit(&cloudsuite::experiments::fig4::report(&rows), "fig4");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: off-chip memory bandwidth utilization.
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    let rows = cloudsuite::experiments::fig7::collect(&cfg);
+    cs_bench::emit(&cloudsuite::experiments::fig7::report(&rows), "fig7");
+}

@@ -1,0 +1,16 @@
+//! Regenerates the footnote-3 verification: user-IPC is proportional to
+//! application throughput across machine configurations.
+
+use cloudsuite::experiments::footnote3;
+use cloudsuite::Benchmark;
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    for bench in Benchmark::scale_out_suite() {
+        let rows = footnote3::collect(&bench, &cfg);
+        cs_bench::emit(
+            &footnote3::report(&rows),
+            &format!("footnote3_{}", bench.name().to_lowercase().replace(' ', "_")),
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Workload inspector: one-line micro-architectural summary per workload.
+//!
+//! Usage: `inspect [workload-name-substring]` — runs the matching
+//! workloads (all by default) under the standard 4-core setup and prints
+//! IPC, MLP, stall/memory fractions, instruction miss rates, L2 hit
+//! ratio, sharing and bandwidth. The environment variables `CS_WARMUP` /
+//! `CS_MEASURE` / `CS_SEED` select the window sizes.
+
+use cloudsuite::harness::run;
+use cloudsuite::Benchmark;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
+    let cfg = cs_bench::config_from_env();
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}",
+        "workload", "ipc", "app", "mlp", "stall", "mem", "l1i/k", "l2i/k", "l2hit", "share%", "bw%"
+    );
+    for bench in Benchmark::all() {
+        if !bench.name().to_lowercase().contains(&filter) {
+            continue;
+        }
+        let r = run(&bench, &cfg);
+        let b = r.breakdown();
+        let (l1a, l1o) = r.l1i_mpki();
+        let (l2a, l2o) = r.l2i_mpki();
+        let (sa, so) = r.rw_shared_pct();
+        let (ba, bo) = r.bandwidth_pct();
+        println!(
+            "{:<16} {:>5.2} {:>5.2} {:>5.2} {:>6.2} {:>6.2} {:>6.1} {:>6.1} {:>6.2} {:>7.2} {:>6.2}",
+            r.name,
+            r.ipc(),
+            r.app_ipc(),
+            r.mlp(),
+            b.stalled_app + b.stalled_os,
+            b.memory,
+            l1a + l1o,
+            l2a + l2o,
+            r.l2_hit_ratio(),
+            sa + so,
+            ba + bo
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (architectural parameters).
+
+fn main() {
+    let machine = cloudsuite::MachineConfig::default();
+    cs_bench::emit(&cloudsuite::experiments::table1::report(&machine), "table1");
+}

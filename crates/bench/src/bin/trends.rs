@@ -1,0 +1,15 @@
+//! Regenerates the "continuing the trends" study (§1/§6).
+
+use cloudsuite::experiments::trends;
+use cloudsuite::Benchmark;
+
+fn main() {
+    let cfg = cs_bench::config_from_env();
+    for bench in [Benchmark::data_serving(), Benchmark::web_search()] {
+        let rows = trends::collect(&bench, &cfg);
+        cs_bench::emit(
+            &trends::report(bench.name(), &rows),
+            &format!("trends_{}", bench.name().to_lowercase().replace(' ', "_")),
+        );
+    }
+}

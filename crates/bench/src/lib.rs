@@ -1,0 +1,55 @@
+//! Shared plumbing for the figure-regeneration binaries and benches.
+//!
+//! Every table and figure of the paper has a binary (`table1`, `fig1` …
+//! `fig7`, `all_figures`) that runs the corresponding experiment from
+//! `cloudsuite::experiments`, prints the rows, and writes a JSON copy under
+//! `results/`. Window sizes are tunable through environment variables so CI
+//! smoke runs and full reproductions share one binary:
+//!
+//! - `CS_WARMUP` — warmup instructions (default 1,600,000)
+//! - `CS_MEASURE` — measured instructions (default 3,200,000)
+//! - `CS_SEED` — base random seed (default 42)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cloudsuite::harness::RunConfig;
+use cs_perf::Report;
+use std::path::PathBuf;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Builds the run configuration from the environment.
+pub fn config_from_env() -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.warmup_instr = env_u64("CS_WARMUP", cfg.warmup_instr);
+    cfg.measure_instr = env_u64("CS_MEASURE", cfg.measure_instr);
+    cfg.seed = env_u64("CS_SEED", cfg.seed);
+    cfg
+}
+
+/// Prints the report and writes its JSON twin under `results/<name>.json`.
+pub fn emit(report: &Report, name: &str) {
+    println!("{report}");
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if std::fs::write(&path, report.to_json()).is_ok() {
+            eprintln!("(wrote {})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        let cfg = config_from_env();
+        assert!(cfg.warmup_instr > 0);
+        assert!(cfg.measure_instr > 0);
+    }
+}

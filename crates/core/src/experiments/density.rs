@@ -1,0 +1,156 @@
+//! Compute-density study: the paper's bottom line, quantified.
+//!
+//! The conclusion of the paper calls for processors that trade core
+//! aggressiveness and LLC capacity for more (threaded) cores, "leading to
+//! improved computational density and power efficiency". This experiment
+//! evaluates whole-chip design points under a fixed area budget using the
+//! first-order area model of [`cs_uarch::area`], and reports aggregate
+//! scale-out throughput per mm² and per watt.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::Benchmark;
+use cs_perf::{Report, Table};
+use cs_uarch::{area, CoreConfig};
+use serde::{Deserialize, Serialize};
+
+/// One chip design point evaluated on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityRow {
+    /// Design-point label.
+    pub design: String,
+    /// Worker cores simulated.
+    pub cores: usize,
+    /// Aggregate user instructions per cycle over all worker cores.
+    pub throughput: f64,
+    /// Whole-chip area estimate (workers + LLC), mm².
+    pub area_mm2: f64,
+    /// Whole-chip peak power estimate, W.
+    pub power_w: f64,
+}
+
+impl DensityRow {
+    /// Aggregate throughput per mm² (the paper's compute density), ×1000.
+    pub fn density(&self) -> f64 {
+        1000.0 * self.throughput / self.area_mm2
+    }
+
+    /// Aggregate throughput per watt, ×1000.
+    pub fn efficiency(&self) -> f64 {
+        1000.0 * self.throughput / self.power_w
+    }
+}
+
+/// The §4.2/§6 design points: the baseline aggressive chip, the same chip
+/// with SMT, a many-narrow-core chip, and a narrow-core chip with the
+/// modest LLC §4.3 calls for.
+pub fn design_points() -> Vec<(String, RunConfig, CoreConfig, u64)> {
+    let base = RunConfig::default();
+    vec![
+        (
+            "4x 4-wide OoO, 12MB LLC".into(),
+            RunConfig { workers: 4, ..base.clone() },
+            CoreConfig::x5670(),
+            12 << 20,
+        ),
+        (
+            "4x 4-wide SMT, 12MB LLC".into(),
+            RunConfig { workers: 4, smt: true, ..base.clone() },
+            CoreConfig::x5670_smt(),
+            12 << 20,
+        ),
+        (
+            "8x 2-wide OoO, 12MB LLC".into(),
+            RunConfig { workers: 8, core: Some(CoreConfig::narrow2()), ..base.clone() },
+            CoreConfig::narrow2(),
+            12 << 20,
+        ),
+        (
+            "8x 2-wide OoO, 4MB LLC".into(),
+            RunConfig {
+                workers: 8,
+                core: Some(CoreConfig::narrow2()),
+                llc_bytes: Some(4 << 20),
+                ..base.clone()
+            },
+            CoreConfig::narrow2(),
+            4 << 20,
+        ),
+    ]
+}
+
+/// Evaluates every design point on `bench`.
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<DensityRow> {
+    design_points()
+        .into_iter()
+        .map(|(design, mut run_cfg, core_cfg, llc)| {
+            run_cfg.warmup_instr = cfg.warmup_instr;
+            run_cfg.measure_instr = cfg.measure_instr;
+            run_cfg.seed = cfg.seed;
+            let r = run(bench, &run_cfg);
+            let chip = area::chip_estimate(&core_cfg, r.cores.len(), llc);
+            DensityRow {
+                design,
+                cores: r.cores.len(),
+                throughput: r.app_ipc() * r.cores.len() as f64,
+                area_mm2: chip.area_mm2,
+                power_w: chip.power_w,
+            }
+        })
+        .collect()
+}
+
+/// Renders the design-point comparison.
+pub fn report(workload: &str, rows: &[DensityRow]) -> Report {
+    let mut t = Table::new(
+        format!("Chip design points on {workload}"),
+        &["design", "cores", "throughput (user IPC)", "area mm²", "power W", "density (kIPC/mm²)", "efficiency (kIPC/W)"],
+    );
+    for r in rows {
+        t.row([
+            r.design.clone().into(),
+            (r.cores as u64).into(),
+            r.throughput.into(),
+            r.area_mm2.into(),
+            r.power_w.into(),
+            r.density().into(),
+            r.efficiency().into(),
+        ]);
+    }
+    let mut rep = Report::new("Density study: the paper's conclusion, quantified");
+    rep.note("§6: \"reducing core aggressiveness and LLC capacity to free area and power in favor of more cores\".");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_design_points_exist() {
+        assert_eq!(design_points().len(), 4);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn narrow_chips_win_density_on_scale_out() {
+        let cfg = RunConfig {
+            warmup_instr: 300_000,
+            measure_instr: 600_000,
+            ..RunConfig::default()
+        };
+        let rows = collect(&Benchmark::web_search(), &cfg);
+        let wide = &rows[0];
+        let narrow_small_llc = &rows[3];
+        assert!(
+            narrow_small_llc.density() > 1.3 * wide.density(),
+            "narrow cores + modest LLC must deliver much better density: {:.2} vs {:.2}",
+            narrow_small_llc.density(),
+            wide.density()
+        );
+        assert!(
+            narrow_small_llc.efficiency() > wide.efficiency(),
+            "and better performance per watt"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 1: execution-time breakdown and memory cycles.
+//!
+//! For every workload: the fraction of cycles committing vs. stalled,
+//! attributed to application or OS, plus the overlapped memory-cycles bar
+//! (§3.1 methodology).
+
+use crate::harness::{run, Breakdown, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// The breakdown fractions.
+    pub breakdown: Breakdown,
+}
+
+/// Runs every workload of the suite and collects its breakdown.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig1Row> {
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let r = run(b, cfg);
+            Fig1Row {
+                workload: r.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                breakdown: r.breakdown(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Figure 1 table.
+pub fn report(rows: &[Fig1Row]) -> Report {
+    let mut t = Table::new(
+        "Execution-time breakdown (fraction of cycles)",
+        &["workload", "class", "commit(app)", "commit(OS)", "stall(app)", "stall(OS)", "memory"],
+    );
+    for r in rows {
+        let b = r.breakdown;
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            b.committing_app.into(),
+            b.committing_os.into(),
+            b.stalled_app.into(),
+            b.stalled_os.into(),
+            b.memory.into(),
+        ]);
+    }
+    let mut rep = Report::new("Figure 1: Execution-time breakdown and memory cycles");
+    rep.note("Committing/Stalled partition total cycles; Memory overlaps them (plotted side-by-side in the paper).");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn scale_out_workloads_stall_most_of_the_time() {
+        let cfg = RunConfig {
+            warmup_instr: 150_000,
+            measure_instr: 300_000,
+            ..RunConfig::default()
+        };
+        let r = run(&Benchmark::data_serving(), &cfg);
+        let b = r.breakdown();
+        assert!(
+            b.stalled_app + b.stalled_os > 0.5,
+            "scale-out must be stall-dominated, got {:?}",
+            b
+        );
+        assert!(b.memory > 0.4, "stalls must be memory-driven, got {:?}", b);
+    }
+
+    #[test]
+    fn report_renders_one_row_per_workload() {
+        let rows = vec![Fig1Row {
+            workload: "X".into(),
+            scale_out: true,
+            breakdown: Breakdown {
+                committing_app: 0.2,
+                committing_os: 0.1,
+                stalled_app: 0.5,
+                stalled_os: 0.2,
+                memory: 0.6,
+            },
+        }];
+        let text = report(&rows).to_string();
+        assert!(text.contains("X"));
+        assert!(text.contains("0.60"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 2: L1-I and L2 instruction misses per kilo-instruction.
+//!
+//! The paper's frontend finding (§4.1): scale-out instruction working sets
+//! far exceed the L1-I — and even the L2 — while desktop/parallel
+//! benchmarks are L1-resident. The OS components are reported separately.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// One bar group of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// L1-I misses per kilo-instruction, application code.
+    pub l1i_app: f64,
+    /// L1-I misses per kilo-instruction, OS code.
+    pub l1i_os: f64,
+    /// L2 instruction misses per kilo-instruction, application code.
+    pub l2i_app: f64,
+    /// L2 instruction misses per kilo-instruction, OS code.
+    pub l2i_os: f64,
+}
+
+/// Runs every workload and collects instruction miss rates.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig2Row> {
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let r = run(b, cfg);
+            let (l1i_app, l1i_os) = r.l1i_mpki();
+            let (l2i_app, l2i_os) = r.l2i_mpki();
+            Fig2Row {
+                workload: r.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                l1i_app,
+                l1i_os,
+                l2i_app,
+                l2i_os,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Figure 2 table.
+pub fn report(rows: &[Fig2Row]) -> Report {
+    let mut t = Table::new(
+        "Instruction misses per k-instruction",
+        &["workload", "class", "L1-I (app)", "L1-I (OS)", "L2 (app)", "L2 (OS)"],
+    )
+    .with_precision(1);
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            r.l1i_app.into(),
+            r.l1i_os.into(),
+            r.l2i_app.into(),
+            r.l2i_os.into(),
+        ]);
+    }
+    let mut rep = Report::new("Figure 2: L1-I and L2 instruction miss rates");
+    rep.note("OS components shown for workloads with significant kernel time.");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn scale_out_instruction_misses_dwarf_desktop() {
+        let cfg = RunConfig {
+            warmup_instr: 150_000,
+            measure_instr: 300_000,
+            ..RunConfig::default()
+        };
+        let web = run(&Benchmark::web_search(), &cfg);
+        let spec = run(
+            &Benchmark::from_profile(
+                Category::Traditional,
+                cs_trace::WorkloadProfile::specint_cpu(),
+            ),
+            &cfg,
+        );
+        let (web_l1i, _) = web.l1i_mpki();
+        let (spec_l1i, _) = spec.l1i_mpki();
+        assert!(
+            web_l1i > 10.0 * (spec_l1i + 0.1),
+            "scale-out L1-I MPKI ({web_l1i:.1}) must dwarf SPEC-cpu ({spec_l1i:.1})"
+        );
+    }
+}

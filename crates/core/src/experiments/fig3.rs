@@ -1,0 +1,145 @@
+//! Figure 3: application IPC and MLP, with and without SMT.
+//!
+//! §4.2: scale-out workloads reach only a fraction of the 4-wide core's
+//! peak and expose little memory-level parallelism; SMT recovers much of
+//! both because requests are independent.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, RunningStat, Table};
+use serde::{Deserialize, Serialize};
+
+/// One workload's Figure 3 data points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// Application IPC, baseline core.
+    pub ipc_base: f64,
+    /// Application IPC with SMT (two threads per core).
+    pub ipc_smt: f64,
+    /// MLP, baseline core.
+    pub mlp_base: f64,
+    /// MLP with SMT.
+    pub mlp_smt: f64,
+}
+
+impl Fig3Row {
+    /// SMT speedup over the baseline (the paper reports 39–69% for
+    /// scale-out workloads).
+    pub fn smt_uplift(&self) -> f64 {
+        if self.ipc_base == 0.0 {
+            0.0
+        } else {
+            self.ipc_smt / self.ipc_base - 1.0
+        }
+    }
+}
+
+/// Runs every workload in baseline and SMT modes.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig3Row> {
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let base = run(b, cfg);
+            let smt = run(b, &RunConfig { smt: true, ..cfg.clone() });
+            Fig3Row {
+                workload: base.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                ipc_base: base.app_ipc(),
+                ipc_smt: smt.app_ipc(),
+                mlp_base: base.mlp(),
+                mlp_smt: smt.mlp(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows plus the per-class min/max range bars of the figure.
+pub fn report(rows: &[Fig3Row]) -> Report {
+    let mut t = Table::new(
+        "Application IPC (of max 4) and MLP",
+        &["workload", "class", "IPC base", "IPC SMT", "SMT uplift %", "MLP base", "MLP SMT"],
+    );
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            r.ipc_base.into(),
+            r.ipc_smt.into(),
+            (100.0 * r.smt_uplift()).into(),
+            r.mlp_base.into(),
+            r.mlp_smt.into(),
+        ]);
+    }
+    let mut ranges = Table::new(
+        "Range bars (min/mean/max per class)",
+        &["class", "metric", "min", "mean", "max"],
+    );
+    for (label, pick) in [("scale-out", true), ("traditional", false)] {
+        for (metric, get) in [
+            ("IPC base", Box::new(|r: &Fig3Row| r.ipc_base) as Box<dyn Fn(&Fig3Row) -> f64>),
+            ("MLP base", Box::new(|r: &Fig3Row| r.mlp_base)),
+        ] {
+            let s: RunningStat =
+                rows.iter().filter(|r| r.scale_out == pick).map(get).collect();
+            ranges.row([
+                label.into(),
+                metric.into(),
+                s.min().into(),
+                s.mean().into(),
+                s.max().into(),
+            ]);
+        }
+    }
+    let mut rep = Report::new("Figure 3: IPC and MLP, baseline vs SMT");
+    rep.note("MLP = average outstanding off-core reads over cycles with at least one (§3.1).");
+    rep.push(t);
+    rep.push(ranges);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn smt_lifts_scale_out_ipc_and_mlp() {
+        let cfg = RunConfig {
+            warmup_instr: 200_000,
+            measure_instr: 400_000,
+            ..RunConfig::default()
+        };
+        let b = Benchmark::data_serving();
+        let base = run(&b, &cfg);
+        let smt = run(&b, &RunConfig { smt: true, ..cfg });
+        assert!(
+            smt.app_ipc() > base.app_ipc() * 1.2,
+            "SMT must raise IPC: {} -> {}",
+            base.app_ipc(),
+            smt.app_ipc()
+        );
+        assert!(
+            smt.mlp() > base.mlp() * 1.2,
+            "SMT must raise MLP: {} -> {}",
+            base.mlp(),
+            smt.mlp()
+        );
+    }
+
+    #[test]
+    fn uplift_math() {
+        let row = Fig3Row {
+            workload: "x".into(),
+            scale_out: true,
+            ipc_base: 0.5,
+            ipc_smt: 0.75,
+            mlp_base: 1.5,
+            mlp_smt: 3.0,
+        };
+        assert!((row.smt_uplift() - 0.5).abs() < 1e-12);
+    }
+}

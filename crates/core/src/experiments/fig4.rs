@@ -1,0 +1,123 @@
+//! Figure 4: performance sensitivity to LLC capacity.
+//!
+//! Reproduced with the paper's own methodology (§3.1): two dedicated cores
+//! run cache-polluter threads whose arrays steal a chosen amount of LLC
+//! capacity, and the workload's user-IPC at each effective capacity is
+//! normalized to the unpolluted 12 MB baseline. Scale-out and traditional
+//! server workloads flatten above 4–6 MB; an `mcf`-like working set keeps
+//! paying for every megabyte.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::Benchmark;
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// Normalized user-IPC of the three series at one effective capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Effective LLC capacity available to the workload, in MB.
+    pub cache_mb: u64,
+    /// Scale-out workload average, normalized to the 12 MB baseline.
+    pub scale_out: f64,
+    /// Traditional server (TPC-C/TPC-E/Web Backend) average, normalized.
+    pub server: f64,
+    /// SPECint mcf, normalized.
+    pub mcf: f64,
+}
+
+/// The workload groups plotted in the figure.
+pub fn groups() -> (Vec<Benchmark>, Vec<Benchmark>, Benchmark) {
+    let scale_out = Benchmark::scale_out_suite();
+    let server: Vec<Benchmark> = Benchmark::traditional_suite()
+        .into_iter()
+        .filter(|b| ["TPC-C", "TPC-E", "Web Backend"].contains(&b.name()))
+        .collect();
+    (scale_out, server, Benchmark::mcf())
+}
+
+fn group_ipc(benches: &[Benchmark], cfg: &RunConfig) -> f64 {
+    let sum: f64 = benches.iter().map(|b| run(b, cfg).app_ipc()).sum();
+    sum / benches.len() as f64
+}
+
+/// Sweeps effective LLC capacities `4..=11` MB (plus the 12 MB baseline)
+/// and returns normalized user-IPC per group.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig4Row> {
+    let (scale_out, server, mcf) = groups();
+    // The polluters walk their arrays at LLC speed; every run — including
+    // the unpolluted baseline, for comparability — gets the same extended
+    // warmup so the polluters claim their capacity before measurement.
+    let warmup = cfg.warmup_instr.max(3_000_000);
+    let base_cfg = RunConfig { warmup_instr: warmup, ..cfg.clone() };
+    let base_so = group_ipc(&scale_out, &base_cfg);
+    let base_srv = group_ipc(&server, &base_cfg);
+    let base_mcf = run(&mcf, &base_cfg).app_ipc();
+
+    (4..=11u64)
+        .map(|mb| {
+            let polluted = RunConfig {
+                polluter_bytes: Some((12 - mb) << 20),
+                warmup_instr: warmup,
+                ..cfg.clone()
+            };
+            Fig4Row {
+                cache_mb: mb,
+                scale_out: group_ipc(&scale_out, &polluted) / base_so,
+                server: group_ipc(&server, &polluted) / base_srv,
+                mcf: run(&mcf, &polluted).app_ipc() / base_mcf,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the Figure 4 table.
+pub fn report(rows: &[Fig4Row]) -> Report {
+    let mut t = Table::new(
+        "User-IPC normalized to the 12 MB baseline",
+        &["cache (MB)", "Scale-out", "Server", "SPECint (mcf)"],
+    );
+    for r in rows {
+        t.row([r.cache_mb.into(), r.scale_out.into(), r.server.into(), r.mcf.into()]);
+    }
+    let mut rep = Report::new("Figure 4: Performance sensitivity to LLC capacity");
+    rep.note("Capacity reduced with cache-polluter threads on two dedicated cores (§3.1).");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_expected_members() {
+        let (so, srv, mcf) = groups();
+        assert_eq!(so.len(), 6);
+        assert_eq!(srv.len(), 3);
+        assert_eq!(mcf.name(), "SPECint (mcf)");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn polluters_cost_mcf_more_than_scale_out() {
+        let cfg = RunConfig {
+            warmup_instr: 800_000,
+            measure_instr: 1_200_000,
+            ..RunConfig::default()
+        };
+        let polluted = RunConfig {
+            polluter_bytes: Some(8 << 20),
+            warmup_instr: 3_000_000,
+            ..cfg.clone()
+        };
+        let so = Benchmark::web_search();
+        let so_drop = run(&so, &polluted).app_ipc() / run(&so, &cfg).app_ipc();
+        let mcf = Benchmark::mcf();
+        let mcf_drop = run(&mcf, &polluted).app_ipc() / run(&mcf, &cfg).app_ipc();
+        assert!(
+            mcf_drop < so_drop,
+            "mcf must lose more at 4MB: mcf {mcf_drop:.2} vs scale-out {so_drop:.2}"
+        );
+        assert!(so_drop > 0.7, "scale-out should be mostly insensitive, got {so_drop:.2}");
+    }
+}

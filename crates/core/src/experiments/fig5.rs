@@ -1,0 +1,104 @@
+//! Figure 5: L2 hit ratios with prefetchers enabled and disabled.
+//!
+//! §4.3: disabling the adjacent-line and HW (stride) prefetchers barely
+//! moves scale-out L2 hit ratios (MapReduce being the exception, and some
+//! workloads even improving), while desktop/parallel benchmarks lose
+//! noticeably.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_memsys::PrefetchConfig;
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// One workload's Figure 5 bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// L2 hit ratio with all prefetchers enabled.
+    pub baseline: f64,
+    /// L2 hit ratio with the adjacent-line prefetcher disabled.
+    pub no_adjacent: f64,
+    /// L2 hit ratio with the HW (stride) prefetcher disabled.
+    pub no_stride: f64,
+}
+
+/// Runs every workload in the three prefetcher configurations.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig5Row> {
+    let no_adj = PrefetchConfig { adjacent_line: false, ..PrefetchConfig::default() };
+    let no_str = PrefetchConfig { hw_stride: false, ..PrefetchConfig::default() };
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let base = run(b, cfg);
+            let a = run(b, &RunConfig { prefetch: Some(no_adj), ..cfg.clone() });
+            let s = run(b, &RunConfig { prefetch: Some(no_str), ..cfg.clone() });
+            Fig5Row {
+                workload: base.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                baseline: base.l2_hit_ratio(),
+                no_adjacent: a.l2_hit_ratio(),
+                no_stride: s.l2_hit_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Figure 5 table.
+pub fn report(rows: &[Fig5Row]) -> Report {
+    let mut t = Table::new(
+        "L2 hit ratio",
+        &["workload", "class", "baseline (all enabled)", "adjacent-line disabled", "HW prefetcher disabled"],
+    );
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            r.baseline.into(),
+            r.no_adjacent.into(),
+            r.no_stride.into(),
+        ]);
+    }
+    let mut rep = Report::new("Figure 5: L2 hit ratios vs prefetcher configuration");
+    rep.note("The DCU streamer's (lack of) effect is covered by ablation A3.");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn prefetchers_matter_more_for_parallel_benchmarks() {
+        let cfg = RunConfig {
+            warmup_instr: 700_000,
+            measure_instr: 1_200_000,
+            ..RunConfig::default()
+        };
+        let none = RunConfig { prefetch: Some(PrefetchConfig::none()), ..cfg.clone() };
+        // PARSEC (mem) streams benefit from stride prefetching.
+        let parsec = Benchmark::from_profile(
+            Category::Traditional,
+            cs_trace::WorkloadProfile::parsec_mem(),
+        );
+        let with_pf = run(&parsec, &cfg).l2_hit_ratio();
+        let without = run(&parsec, &none).l2_hit_ratio();
+        assert!(
+            with_pf - without > 0.05,
+            "parsec-mem must lose L2 hits without prefetchers: {with_pf:.2} -> {without:.2}"
+        );
+        // Web Frontend barely notices.
+        let fe = Benchmark::web_frontend();
+        let fe_with = run(&fe, &cfg).l2_hit_ratio();
+        let fe_without = run(&fe, &none).l2_hit_ratio();
+        assert!(
+            (fe_with - fe_without).abs() < 0.1,
+            "web frontend should be insensitive: {fe_with:.2} vs {fe_without:.2}"
+        );
+    }
+}

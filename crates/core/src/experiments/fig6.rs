@@ -1,0 +1,99 @@
+//! Figure 6: read-write sharing.
+//!
+//! §4.4: the percentage of LLC data references that access cache blocks
+//! most recently written by another core, measured — as in the paper —
+//! with the workload's threads split across the two sockets so that
+//! actively-shared blocks travel between processors.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// One workload's Figure 6 bar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// Application-level shared references, % of LLC data references.
+    pub app_pct: f64,
+    /// OS-level shared references, % of LLC data references.
+    pub os_pct: f64,
+}
+
+impl Fig6Row {
+    /// Total read-write sharing percentage.
+    pub fn total(&self) -> f64 {
+        self.app_pct + self.os_pct
+    }
+}
+
+/// Runs every workload with threads split across sockets.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig6Row> {
+    let cfg = RunConfig { split_sockets: true, ..cfg.clone() };
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let r = run(b, &cfg);
+            let (app_pct, os_pct) = r.rw_shared_pct();
+            Fig6Row {
+                workload: r.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                app_pct,
+                os_pct,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Figure 6 table.
+pub fn report(rows: &[Fig6Row]) -> Report {
+    let mut t = Table::new(
+        "Read-write shared LLC hits (% of LLC data references)",
+        &["workload", "class", "application", "OS", "total"],
+    );
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            r.app_pct.into(),
+            r.os_pct.into(),
+            r.total().into(),
+        ]);
+    }
+    let mut rep = Report::new("Figure 6: Read-write sharing");
+    rep.note("Threads split across the two sockets, as in the paper's methodology (§3.1).");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn oltp_shares_far_more_than_scale_out() {
+        let cfg = RunConfig {
+            split_sockets: true,
+            warmup_instr: 500_000,
+            measure_instr: 1_000_000,
+            ..RunConfig::default()
+        };
+        let tpcc = Benchmark::from_profile(
+            Category::Traditional,
+            cs_trace::WorkloadProfile::tpcc(),
+        );
+        let sat = Benchmark::sat_solver();
+        let (t_app, t_os) = run(&tpcc, &cfg).rw_shared_pct();
+        let (s_app, s_os) = run(&sat, &cfg).rw_shared_pct();
+        assert!(
+            t_app + t_os > 3.0 * (s_app + s_os + 0.05),
+            "TPC-C sharing ({:.2}%) must dwarf SAT ({:.2}%)",
+            t_app + t_os,
+            s_app + s_os
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 7: off-chip memory bandwidth utilization.
+//!
+//! §4.4: scale-out workloads use a small fraction of the provisioned
+//! off-chip bandwidth even when configured to stress the processor; Media
+//! Streaming is the heaviest consumer.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, Table};
+use serde::{Deserialize, Serialize};
+
+/// One workload's Figure 7 bar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// Application traffic, % of available per-core bandwidth.
+    pub app_pct: f64,
+    /// OS traffic, % of available per-core bandwidth.
+    pub os_pct: f64,
+}
+
+impl Fig7Row {
+    /// Total utilization percentage.
+    pub fn total(&self) -> f64 {
+        self.app_pct + self.os_pct
+    }
+}
+
+/// Runs every workload and collects bandwidth utilization.
+pub fn collect(cfg: &RunConfig) -> Vec<Fig7Row> {
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            let r = run(b, cfg);
+            let (app_pct, os_pct) = r.bandwidth_pct();
+            Fig7Row {
+                workload: r.name.clone(),
+                scale_out: b.category() == Category::ScaleOut,
+                app_pct,
+                os_pct,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the Figure 7 table.
+pub fn report(rows: &[Fig7Row]) -> Report {
+    let mut t = Table::new(
+        "Off-chip bandwidth utilization (% of available per-core)",
+        &["workload", "class", "application", "OS", "total"],
+    );
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            r.app_pct.into(),
+            r.os_pct.into(),
+            r.total().into(),
+        ]);
+    }
+    let mut rep = Report::new("Figure 7: Off-chip memory bandwidth utilization");
+    rep.note("Demand fills, prefetches and writebacks all count against the requesting core.");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn utilization_stays_well_under_provisioned_bandwidth() {
+        let cfg = RunConfig {
+            warmup_instr: 500_000,
+            measure_instr: 1_000_000,
+            ..RunConfig::default()
+        };
+        let r = run(&Benchmark::web_frontend(), &cfg);
+        let (app, os) = r.bandwidth_pct();
+        assert!(
+            app + os < 30.0,
+            "scale-out bandwidth must be a small fraction, got {:.1}%",
+            app + os
+        );
+        assert!(app + os > 0.5, "some off-chip traffic expected");
+    }
+}

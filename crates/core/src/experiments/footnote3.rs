@@ -1,0 +1,126 @@
+//! Footnote 3 of the paper (§4.3): "User-IPC has been shown to be
+//! proportional to application throughput. We verified this relationship
+//! for the scale-out workloads."
+//!
+//! The harness meters completed requests per measurement window for every
+//! mini application, so the verification is reproducible here: across
+//! machine configurations of very different performance (LLC sizes,
+//! polluted caches, SMT), requests-per-kilocycle divided by user-IPC must
+//! stay constant for a given workload.
+
+use crate::harness::{run, RunConfig};
+use crate::registry::Benchmark;
+use cs_perf::{Report, RunningStat, Table};
+use serde::{Deserialize, Serialize};
+
+/// One (configuration, workload) observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Footnote3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// User (application) IPC per core.
+    pub user_ipc: f64,
+    /// Requests per kilo-cycle across the worker cores.
+    pub requests_per_kcycle: f64,
+}
+
+impl Footnote3Row {
+    /// The proportionality ratio: throughput per unit of user-IPC.
+    pub fn ratio(&self) -> f64 {
+        if self.user_ipc == 0.0 {
+            0.0
+        } else {
+            self.requests_per_kcycle / self.user_ipc
+        }
+    }
+}
+
+/// The performance-diverse configurations the relationship is checked
+/// over.
+fn configurations(cfg: &RunConfig) -> Vec<(String, RunConfig)> {
+    vec![
+        ("baseline".into(), cfg.clone()),
+        ("LLC 4MB".into(), RunConfig { llc_bytes: Some(4 << 20), ..cfg.clone() }),
+        ("polluted 6MB".into(), RunConfig { polluter_bytes: Some(6 << 20), ..cfg.clone() }),
+        ("SMT".into(), RunConfig { smt: true, ..cfg.clone() }),
+    ]
+}
+
+/// Measures the relationship for `bench` across the configurations.
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<Footnote3Row> {
+    configurations(cfg)
+        .into_iter()
+        .map(|(label, run_cfg)| {
+            let r = run(bench, &run_cfg);
+            Footnote3Row {
+                workload: r.name.clone(),
+                config: label,
+                user_ipc: r.app_ipc(),
+                requests_per_kcycle: r
+                    .requests_per_kcycle()
+                    .expect("scale-out workloads meter requests"),
+            }
+        })
+        .collect()
+}
+
+/// Coefficient of variation of the proportionality ratio over the rows
+/// (0 = perfectly proportional).
+pub fn ratio_cv(rows: &[Footnote3Row]) -> f64 {
+    let s: RunningStat = rows.iter().map(|r| r.ratio()).collect();
+    if s.mean() == 0.0 {
+        0.0
+    } else {
+        s.stddev() / s.mean()
+    }
+}
+
+/// Renders the verification table.
+pub fn report(rows: &[Footnote3Row]) -> Report {
+    let mut t = Table::new(
+        "User-IPC vs service throughput",
+        &["workload", "config", "user IPC", "req/kcycle", "ratio"],
+    )
+    .with_precision(3);
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            r.config.clone().into(),
+            r.user_ipc.into(),
+            r.requests_per_kcycle.into(),
+            r.ratio().into(),
+        ]);
+    }
+    let mut rep = Report::new("Footnote 3: user-IPC is proportional to application throughput");
+    rep.note(format!("Coefficient of variation of the ratio: {:.3}", ratio_cv(rows)));
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn user_ipc_is_proportional_to_throughput() {
+        let cfg = RunConfig {
+            warmup_instr: 500_000,
+            measure_instr: 1_000_000,
+            ..RunConfig::default()
+        };
+        for bench in [Benchmark::web_search(), Benchmark::data_serving()] {
+            let rows = collect(&bench, &cfg);
+            assert_eq!(rows.len(), 4);
+            let cv = ratio_cv(&rows);
+            assert!(
+                cv < 0.12,
+                "{}: requests/user-instruction must be stable across configs, CV {cv:.3} ({:?})",
+                bench.name(),
+                rows.iter().map(|r| r.ratio()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

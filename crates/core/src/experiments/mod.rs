@@ -1,0 +1,20 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! ablations its "Implications" paragraphs suggest.
+//!
+//! Each module exposes a `collect` function returning typed rows (for
+//! tests and programmatic use) and a `report` function rendering the rows
+//! as a [`cs_perf::Report`] whose tables mirror the figure's series. The
+//! regeneration binaries in `cs-bench` are thin wrappers around these.
+
+pub mod ablations;
+pub mod density;
+pub mod fig1;
+pub mod footnote3;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod trends;

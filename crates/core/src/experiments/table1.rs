@@ -1,0 +1,32 @@
+//! Table 1: architectural parameters of the modeled machine.
+
+use crate::machine::MachineConfig;
+use cs_perf::{Report, Table};
+
+/// Renders Table 1 for the given machine (defaults to the paper's).
+pub fn report(machine: &MachineConfig) -> Report {
+    let mut table = Table::new("Table 1. Architectural parameters", &["Parameter", "Value"]);
+    for (k, v) in machine.table1_rows() {
+        table.row([k.into(), v.into()]);
+    }
+    let mut report = Report::new("Table 1: Architectural parameters");
+    report.note("Modeled after the paper's PowerEdge M1000e blade (2x Xeon X5670).");
+    report.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_table1_rows() {
+        let r = report(&MachineConfig::default());
+        let text = r.to_string();
+        for needle in
+            ["CMP width", "Core width", "Reorder buffer", "L1 cache", "L2 cache", "LLC", "Memory"]
+        {
+            assert!(text.contains(needle), "missing row {needle}");
+        }
+    }
+}

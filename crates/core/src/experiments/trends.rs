@@ -1,0 +1,147 @@
+//! The "continuing the trends" study.
+//!
+//! §1: "while today's predominant micro-architecture is inefficient when
+//! executing scale-out workloads, we find that continuing the current
+//! trends will further exacerbate the inefficiency in the future." This
+//! experiment extrapolates the industry trajectory the paper describes
+//! (§2.1: cores grew from 2-wide to 4-wide, windows from 20 to 128
+//! entries, LLCs to tens of megabytes) one more generation forward — a
+//! 6-wide, 256-entry-window core with a 24 MB LLC — and compares
+//! performance, area and efficiency against the Table 1 baseline and
+//! against the scale-out-friendly direction (more, narrower cores).
+
+use crate::harness::{run, RunConfig};
+use crate::registry::Benchmark;
+use cs_perf::{Report, Table};
+use cs_uarch::{area, CoreConfig};
+use serde::{Deserialize, Serialize};
+
+/// A projected design generation evaluated on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendRow {
+    /// Generation label.
+    pub generation: String,
+    /// Per-core application IPC.
+    pub ipc: f64,
+    /// Aggregate application throughput (all worker cores).
+    pub throughput: f64,
+    /// Whole-chip area estimate, mm².
+    pub area_mm2: f64,
+    /// Throughput per mm², ×1000.
+    pub density: f64,
+}
+
+/// The trajectory: yesterday's, the paper's, tomorrow's conventional chip,
+/// and the scale-out direction.
+pub fn generations() -> Vec<(String, CoreConfig, usize, u64)> {
+    let narrow = CoreConfig::narrow2();
+    let base = CoreConfig::x5670();
+    let future = CoreConfig {
+        width: 6,
+        fetch_width: 6,
+        rob_entries: 256,
+        load_queue: 72,
+        store_queue: 48,
+        reservation_stations: 60,
+        mshrs: 20,
+        ..base
+    };
+    vec![
+        ("2-wide, 48-entry window, 4MB LLC (past)".into(), narrow, 4, 4 << 20),
+        ("4-wide, 128-entry window, 12MB LLC (Table 1)".into(), base, 4, 12 << 20),
+        ("6-wide, 256-entry window, 24MB LLC (trend)".into(), future, 4, 24 << 20),
+        ("8x 2-wide, 4MB LLC (scale-out direction)".into(), narrow, 8, 4 << 20),
+    ]
+}
+
+/// Evaluates the trajectory on `bench`.
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<TrendRow> {
+    generations()
+        .into_iter()
+        .map(|(generation, core, workers, llc)| {
+            let run_cfg = RunConfig {
+                workers,
+                core: Some(core),
+                llc_bytes: Some(llc),
+                ..cfg.clone()
+            };
+            let r = run(bench, &run_cfg);
+            let chip = area::chip_estimate(&core, workers, llc);
+            let throughput = r.app_ipc() * r.cores.len() as f64;
+            TrendRow {
+                generation,
+                ipc: r.app_ipc(),
+                throughput,
+                area_mm2: chip.area_mm2,
+                density: 1000.0 * throughput / chip.area_mm2,
+            }
+        })
+        .collect()
+}
+
+/// Renders the trajectory comparison.
+pub fn report(workload: &str, rows: &[TrendRow]) -> Report {
+    let mut t = Table::new(
+        format!("Processor generations on {workload}"),
+        &["generation", "per-core IPC", "aggregate throughput", "area mm²", "density (kIPC/mm²)"],
+    );
+    for r in rows {
+        t.row([
+            r.generation.clone().into(),
+            r.ipc.into(),
+            r.throughput.into(),
+            r.area_mm2.into(),
+            r.density.into(),
+        ]);
+    }
+    let mut rep = Report::new("Trend study: continuing the trajectory vs reversing it");
+    rep.note("§1: \"continuing the current trends will further exacerbate the inefficiency\".");
+    rep.push(t);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_generations() {
+        let g = generations();
+        assert_eq!(g.len(), 4);
+        assert!(g[2].1.width > g[1].1.width);
+        assert!(g[2].3 > g[1].3);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn the_trend_generation_wastes_area_on_scale_out() {
+        let cfg = RunConfig {
+            warmup_instr: 400_000,
+            measure_instr: 800_000,
+            ..RunConfig::default()
+        };
+        let rows = collect(&Benchmark::data_serving(), &cfg);
+        let (baseline, trend, scale_out_dir) = (&rows[1], &rows[2], &rows[3]);
+        // Going 6-wide/256/24MB buys little per-core performance...
+        assert!(
+            trend.ipc < baseline.ipc * 1.25,
+            "the trend generation must not transform scale-out IPC: {:.2} vs {:.2}",
+            trend.ipc,
+            baseline.ipc
+        );
+        // ...and therefore loses compute density relative to the baseline.
+        assert!(
+            trend.density < baseline.density,
+            "density must fall along the trend: {:.2} vs {:.2}",
+            trend.density,
+            baseline.density
+        );
+        // Whereas the scale-out direction improves it.
+        assert!(
+            scale_out_dir.density > baseline.density,
+            "the scale-out direction must raise density: {:.2} vs {:.2}",
+            scale_out_dir.density,
+            baseline.density
+        );
+    }
+}

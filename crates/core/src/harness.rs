@@ -1,0 +1,439 @@
+//! The measurement harness: the paper's §3.1 methodology.
+//!
+//! A [`RunConfig`] describes one experiment: which machine variant to
+//! build, how many worker threads to pin where, whether cache-polluter
+//! threads steal LLC capacity (Figure 4), whether workers are split across
+//! sockets (Figure 6), and how long the warmup and measurement windows
+//! are. [`run`] executes the experiment — warmup, statistics reset at
+//! steady state (the simulator's analogue of starting the 180-second
+//! VTune window after ramp-up), measurement — and returns a [`RunResult`]
+//! with every derived metric the figures need.
+
+use crate::machine::MachineConfig;
+use crate::registry::Benchmark;
+use cs_memsys::stats::CoreMemStats;
+use cs_memsys::{AccessClass, PrefetchConfig};
+use cs_trace::WorkloadProfile;
+use cs_uarch::{CoreConfig, CoreStats};
+use serde::{Deserialize, Serialize};
+
+/// Fraction-of-cycles execution breakdown (Figure 1 bar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Committing cycles attributed to the application.
+    pub committing_app: f64,
+    /// Committing cycles attributed to the OS.
+    pub committing_os: f64,
+    /// Stalled cycles attributed to the application.
+    pub stalled_app: f64,
+    /// Stalled cycles attributed to the OS.
+    pub stalled_os: f64,
+    /// The overlapped memory-cycles bar.
+    pub memory: f64,
+}
+
+/// Experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Worker threads running the workload (the paper limits workloads to
+    /// four cores).
+    pub workers: usize,
+    /// Enable SMT: two workload threads per core (Figure 3).
+    pub smt: bool,
+    /// Place workers alternately on the two sockets (the Figure 6
+    /// read-write sharing methodology).
+    pub split_sockets: bool,
+    /// Dedicate two cores to cache-polluter threads walking arrays of this
+    /// total size (the Figure 4 methodology; §3.1).
+    pub polluter_bytes: Option<u64>,
+    /// Override the LLC capacity directly.
+    pub llc_bytes: Option<u64>,
+    /// Override the prefetcher configuration (Figure 5).
+    pub prefetch: Option<PrefetchConfig>,
+    /// Override the core configuration (§4.2 ablations).
+    pub core: Option<CoreConfig>,
+    /// Override the L1 instruction cache capacity (the §4.1 frontend
+    /// opportunity study).
+    pub l1i_bytes: Option<u64>,
+    /// Override the private L2 capacity (the §4.3 two-level-hierarchy
+    /// ablation).
+    pub l2_bytes: Option<u64>,
+    /// Override the number of DRAM channels (the §4.4 bandwidth
+    /// scale-back ablation).
+    pub dram_channels: Option<usize>,
+    /// Override the LLC hit latency and the remote-snoop extra latency,
+    /// `(llc, snoop_extra)` — a proxy for a narrower, slower on-chip
+    /// interconnect (the §4.4 interconnect scale-back ablation).
+    pub interconnect_latency: Option<(u32, u32)>,
+    /// Warmup instructions (total across workers) before statistics reset.
+    pub warmup_instr: u64,
+    /// Measured instructions (total across workers).
+    pub measure_instr: u64,
+    /// Safety cap on simulated cycles per window.
+    pub max_cycles: u64,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            smt: false,
+            split_sockets: false,
+            polluter_bytes: None,
+            llc_bytes: None,
+            prefetch: None,
+            core: None,
+            l1i_bytes: None,
+            l2_bytes: None,
+            dram_channels: None,
+            interconnect_latency: None,
+            warmup_instr: 1_600_000,
+            measure_instr: 3_200_000,
+            max_cycles: 60_000_000,
+            seed: 42,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { warmup_instr: 400_000, measure_instr: 800_000, ..Self::default() }
+    }
+
+    /// Chooses the global core ids the workers run on.
+    pub fn worker_cores(&self, cores_per_socket: usize) -> Vec<usize> {
+        if self.split_sockets {
+            // Alternate sockets: 0, 6, 1, 7, ... for cps = 6.
+            (0..self.workers).map(|i| (i % 2) * cores_per_socket + i / 2).collect()
+        } else {
+            (0..self.workers).collect()
+        }
+    }
+
+    /// Global core ids of the polluter cores, if enabled.
+    pub fn polluter_cores(&self, cores_per_socket: usize) -> Vec<usize> {
+        if self.polluter_bytes.is_none() {
+            return Vec::new();
+        }
+        // Two dedicated cores on socket 0, after the workers (§3.1).
+        let base = if self.split_sockets { self.workers.div_ceil(2) } else { self.workers };
+        vec![base.min(cores_per_socket - 2), (base + 1).min(cores_per_socket - 1)]
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub name: String,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Core statistics of the measured (worker) cores.
+    pub cores: Vec<CoreStats>,
+    /// Memory statistics of the measured (worker) cores.
+    pub mem: Vec<CoreMemStats>,
+    /// Memory statistics of the polluter cores (for capacity verification).
+    pub polluter_mem: Vec<CoreMemStats>,
+    /// DRAM subsystem totals over the window.
+    pub dram: cs_memsys::dram::DramStats,
+    /// Peak off-chip bytes per cycle (whole machine).
+    pub peak_bytes_per_cycle: f64,
+    /// Number of worker cores measured.
+    pub n_workers: usize,
+    /// Application requests completed in the measurement window, when the
+    /// workload meters them (the mini applications do; statistical
+    /// profiles do not).
+    pub requests: Option<u64>,
+}
+
+impl RunResult {
+    fn core_sum<F: Fn(&CoreStats) -> u64>(&self, f: F) -> u64 {
+        self.cores.iter().map(f).sum()
+    }
+
+    fn mem_sum<F: Fn(&CoreMemStats) -> u64>(&self, f: F) -> u64 {
+        self.mem.iter().map(f).sum()
+    }
+
+    /// Total instructions committed by the workers.
+    pub fn instructions(&self) -> u64 {
+        self.core_sum(|c| c.instructions())
+    }
+
+    /// Per-core IPC (all privileges).
+    pub fn ipc(&self) -> f64 {
+        cs_perf::ratio(self.instructions(), self.cycles * self.cores.len() as u64)
+    }
+
+    /// Per-core application IPC (the Figure 3 / Figure 4 metric).
+    pub fn app_ipc(&self) -> f64 {
+        cs_perf::ratio(self.core_sum(|c| c.committed[0]), self.cycles * self.cores.len() as u64)
+    }
+
+    /// MLP averaged over the measured cores (§3.1 methodology).
+    pub fn mlp(&self) -> f64 {
+        let sum: f64 = self.cores.iter().map(|c| c.mlp()).sum();
+        sum / self.cores.len().max(1) as f64
+    }
+
+    /// The Figure 1 execution-time breakdown, averaged over worker cores.
+    pub fn breakdown(&self) -> Breakdown {
+        let total = self.cycles as f64 * self.cores.len() as f64;
+        Breakdown {
+            committing_app: self.core_sum(|c| c.committing_cycles[0]) as f64 / total,
+            committing_os: self.core_sum(|c| c.committing_cycles[1]) as f64 / total,
+            stalled_app: self.core_sum(|c| c.stalled_cycles[0]) as f64 / total,
+            stalled_os: self.core_sum(|c| c.stalled_cycles[1]) as f64 / total,
+            memory: self.core_sum(|c| c.memory_cycles) as f64 / total,
+        }
+    }
+
+    /// L1-I misses per kilo-instruction, `(application, os)` (Figure 2).
+    pub fn l1i_mpki(&self) -> (f64, f64) {
+        let k = self.instructions();
+        (
+            cs_perf::mpki(self.mem_sum(|m| m.l1i.misses(AccessClass::InstrUser)), k),
+            cs_perf::mpki(self.mem_sum(|m| m.l1i.misses(AccessClass::InstrKernel)), k),
+        )
+    }
+
+    /// L2 instruction misses per kilo-instruction, `(application, os)`
+    /// (Figure 2).
+    pub fn l2i_mpki(&self) -> (f64, f64) {
+        let k = self.instructions();
+        (
+            cs_perf::mpki(self.mem_sum(|m| m.l2.misses(AccessClass::InstrUser)), k),
+            cs_perf::mpki(self.mem_sum(|m| m.l2.misses(AccessClass::InstrKernel)), k),
+        )
+    }
+
+    /// Overall L2 demand hit ratio (Figure 5 metric).
+    pub fn l2_hit_ratio(&self) -> f64 {
+        cs_perf::ratio(
+            self.mem_sum(|m| m.l2.total_hits()),
+            self.mem_sum(|m| m.l2.total_accesses()),
+        )
+    }
+
+    /// Read-write shared LLC data references as a percentage of LLC data
+    /// references, `(application, os)` (Figure 6).
+    pub fn rw_shared_pct(&self) -> (f64, f64) {
+        let refs = self.mem_sum(|m| m.llc_data_refs());
+        (
+            cs_perf::percent(self.mem_sum(|m| m.rw_shared[0]), refs),
+            cs_perf::percent(self.mem_sum(|m| m.rw_shared[1]), refs),
+        )
+    }
+
+    /// Off-chip bandwidth utilization as a percentage of the available
+    /// per-core bandwidth, `(application, os)` (Figure 7).
+    pub fn bandwidth_pct(&self) -> (f64, f64) {
+        // Available per-core bandwidth: the machine peak divided evenly
+        // over the active worker cores, as in the paper's per-core figure.
+        let per_core = self.peak_bytes_per_cycle / self.n_workers as f64;
+        let denom = per_core * self.cycles as f64 * self.cores.len() as f64;
+        (
+            100.0 * self.mem_sum(|m| m.dram_bytes[0]) as f64 / denom,
+            100.0 * self.mem_sum(|m| m.dram_bytes[1]) as f64 / denom,
+        )
+    }
+
+    /// Service throughput in requests per kilo-cycle, when metered.
+    pub fn requests_per_kcycle(&self) -> Option<f64> {
+        self.requests.map(|r| 1000.0 * r as f64 / self.cycles as f64)
+    }
+
+    /// LLC hit ratio achieved by the polluter threads (the §3.1 check that
+    /// the polluters "achieve nearly 100% hit ratio in the LLC").
+    pub fn polluter_llc_hit_ratio(&self) -> f64 {
+        cs_perf::ratio(
+            self.polluter_mem.iter().map(|m| m.llc.total_hits()).sum(),
+            self.polluter_mem.iter().map(|m| m.llc.total_accesses()).sum(),
+        )
+    }
+}
+
+/// Runs `bench` under `cfg` and returns the measured result.
+///
+/// # Panics
+///
+/// Panics if the configuration requests more workers than available cores
+/// (12), or other structurally impossible setups.
+pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    let mut machine = MachineConfig::x5670(12);
+    if cfg.smt {
+        machine = machine.with_smt();
+    }
+    if let Some(llc) = cfg.llc_bytes {
+        machine = machine.with_llc_bytes(llc);
+    }
+    if let Some(pf) = cfg.prefetch {
+        machine = machine.with_prefetch(pf);
+    }
+    if let Some(core) = cfg.core {
+        machine.core = core;
+        if cfg.smt {
+            machine.core.smt_threads = 2;
+        }
+    }
+    if let Some(l1i) = cfg.l1i_bytes {
+        machine.mem.l1i = machine.mem.l1i.with_size(l1i);
+    }
+    if let Some(l2) = cfg.l2_bytes {
+        machine.mem.l2 = machine.mem.l2.with_size(l2);
+    }
+    if let Some(ch) = cfg.dram_channels {
+        machine.mem.dram.channels = ch;
+    }
+    if let Some((llc_lat, snoop_extra)) = cfg.interconnect_latency {
+        machine.mem.llc.latency = llc_lat;
+        machine.mem.remote_snoop_extra = snoop_extra;
+    }
+    let cps = machine.mem.cores_per_socket;
+    let worker_cores = cfg.worker_cores(cps);
+    let polluter_cores = cfg.polluter_cores(cps);
+    assert!(
+        worker_cores.iter().chain(&polluter_cores).all(|c| *c < machine.n_cores),
+        "placement exceeds available cores"
+    );
+    assert!(
+        worker_cores.iter().all(|c| !polluter_cores.contains(c)),
+        "workers and polluters must use distinct cores"
+    );
+
+    let mut chip = machine.build();
+
+    // Attach polluters first (§3.1): each walks half the stolen capacity.
+    // They run alone for a while so their arrays are LLC-resident before
+    // the workload arrives — as on the paper's testbed, where the polluter
+    // processes are started with the system.
+    if let Some(bytes) = cfg.polluter_bytes {
+        let per = (bytes / polluter_cores.len() as u64).max(64 * 1024);
+        for (i, &core) in polluter_cores.iter().enumerate() {
+            let profile = WorkloadProfile::polluter(per);
+            chip.attach(core, Box::new(profile.build_source(100 + i, cfg.seed)));
+            if cfg.smt {
+                let profile = WorkloadProfile::polluter(per);
+                chip.attach(core, Box::new(profile.build_source(110 + i, cfg.seed)));
+            }
+        }
+        chip.run_cycles(800_000);
+    }
+
+    // Attach workload threads: one per hardware context, with request
+    // meters where the workload provides them.
+    let threads_per_core = if cfg.smt { 2 } else { 1 };
+    let mut meters = Vec::new();
+    for (i, &core) in worker_cores.iter().enumerate() {
+        for t in 0..threads_per_core {
+            let thread_id = i * threads_per_core + t;
+            let (source, meter) = bench.build_source_metered(thread_id, cfg.seed);
+            chip.attach(core, source);
+            meters.extend(meter);
+        }
+    }
+
+    // Warmup to steady state, then measure (§3.1).
+    chip.run_until_committed(&worker_cores, cfg.warmup_instr, cfg.max_cycles);
+    chip.reset_stats();
+    let requests_at_warmup: u64 =
+        meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum();
+    let start = chip.cycle();
+    chip.run_until_committed(&worker_cores, cfg.measure_instr, cfg.max_cycles);
+    let cycles = chip.cycle() - start;
+    let requests = if meters.is_empty() {
+        None
+    } else {
+        let total: u64 =
+            meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum();
+        Some(total - requests_at_warmup)
+    };
+
+    let mem_stats = chip.mem().stats();
+    RunResult {
+        name: bench.name().to_owned(),
+        cycles,
+        cores: worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect(),
+        mem: worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
+        polluter_mem: polluter_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
+        dram: chip.mem().dram_stats(),
+        peak_bytes_per_cycle: machine.mem.dram.peak_bytes_per_cycle(),
+        n_workers: worker_cores.len(),
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            warmup_instr: 60_000,
+            measure_instr: 120_000,
+            max_cycles: 8_000_000,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn worker_placement_default_and_split() {
+        let mut cfg = RunConfig::default();
+        assert_eq!(cfg.worker_cores(6), vec![0, 1, 2, 3]);
+        cfg.split_sockets = true;
+        assert_eq!(cfg.worker_cores(6), vec![0, 6, 1, 7]);
+    }
+
+    #[test]
+    fn polluters_avoid_workers() {
+        let cfg = RunConfig { polluter_bytes: Some(4 << 20), ..RunConfig::default() };
+        assert_eq!(cfg.polluter_cores(6), vec![4, 5]);
+        assert!(RunConfig::default().polluter_cores(6).is_empty());
+    }
+
+    #[test]
+    fn run_produces_consistent_metrics() {
+        let bench = Benchmark::mcf();
+        let r = run(&bench, &tiny());
+        assert_eq!(r.cores.len(), 4);
+        assert!(r.instructions() >= 120_000);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        let b = r.breakdown();
+        let total = b.committing_app + b.committing_os + b.stalled_app + b.stalled_os;
+        assert!((total - 1.0).abs() < 1e-6, "breakdown must partition time, got {total}");
+        assert!(b.memory <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn smt_attaches_two_threads_per_core() {
+        let bench = Benchmark::mcf();
+        let r = run(&bench, &RunConfig { smt: true, ..tiny() });
+        for c in &r.cores {
+            assert_eq!(c.per_thread_committed.len(), 2);
+            assert!(c.per_thread_committed.iter().all(|&n| n > 0));
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn polluters_hit_the_llc() {
+        // A scale-out workload exerts moderate eviction pressure; the
+        // pre-warmed polluters must keep their arrays LLC-resident.
+        let bench = Benchmark::web_search();
+        let cfg = RunConfig {
+            polluter_bytes: Some(4 << 20),
+            warmup_instr: 1_500_000,
+            measure_instr: 1_500_000,
+            ..RunConfig::default()
+        };
+        let r = run(&bench, &cfg);
+        assert!(
+            r.polluter_llc_hit_ratio() > 0.8,
+            "polluter LLC hit ratio {} too low",
+            r.polluter_llc_hit_ratio()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! CloudSuite-RS — a reproduction of *Clearing the Clouds: A Study of
+//! Emerging Scale-out Workloads on Modern Hardware* (Ferdman et al.,
+//! ASPLOS 2012).
+//!
+//! This crate is the top of the stack: it assembles the substrates
+//! (`cs-trace`, `cs-memsys`, `cs-uarch`, `cs-workloads`) into the paper's
+//! experimental apparatus and exposes one module per figure/table of the
+//! evaluation:
+//!
+//! - [`machine`] — the Table 1 machine description (Xeon X5670-like) and
+//!   its assembly into a simulated chip;
+//! - [`registry`] — the benchmark registry: the six CloudSuite scale-out
+//!   workloads plus the traditional comparison points of §3.3;
+//! - [`harness`] — the measurement methodology of §3.1: warmup and
+//!   steady-state windows, worker placement (including the cross-socket
+//!   placement used for the sharing study and the cache-polluter threads
+//!   used for the LLC study), and the derived metrics;
+//! - [`experiments`] — one entry point per table and figure (Table 1,
+//!   Figures 1–7) plus the ablations suggested by the paper's
+//!   "Implications" paragraphs.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cloudsuite::harness::{run, RunConfig};
+//! use cloudsuite::registry::Benchmark;
+//!
+//! let bench = Benchmark::data_serving();
+//! let result = run(&bench, &RunConfig::default());
+//! println!("{}: IPC {:.2}, MLP {:.2}", result.name, result.app_ipc(), result.mlp());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod machine;
+pub mod registry;
+
+pub use harness::{run, RunConfig, RunResult};
+pub use machine::MachineConfig;
+pub use registry::{Benchmark, Category};

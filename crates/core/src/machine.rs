@@ -1,0 +1,183 @@
+//! The Table 1 machine description and its assembly.
+//!
+//! The paper's testbed is a PowerEdge M1000e blade with two six-core Intel
+//! Xeon X5670 processors (§3). [`MachineConfig`] captures the published
+//! architectural parameters and builds the simulated [`Chip`].
+
+use cs_memsys::{MemSysConfig, PrefetchConfig};
+use cs_uarch::{Chip, CoreConfig};
+use serde::{Deserialize, Serialize};
+
+/// A whole-machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Core clock in GHz (Table 1: 2.93). Only used to convert cycle
+    /// counts to wall-clock figures in reports.
+    pub freq_ghz: f64,
+    /// Number of cores to instantiate.
+    pub n_cores: usize,
+    /// Core micro-architecture.
+    pub core: CoreConfig,
+    /// Memory system.
+    pub mem: MemSysConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::x5670(6)
+    }
+}
+
+impl MachineConfig {
+    /// The paper's machine: two six-core Xeon X5670 sockets. `n_cores`
+    /// cores are instantiated (up to 12); cores 0–5 belong to socket 0 and
+    /// 6–11 to socket 1.
+    pub fn x5670(n_cores: usize) -> Self {
+        Self {
+            name: "2x Intel Xeon X5670 (Westmere-EP)".to_owned(),
+            freq_ghz: 2.93,
+            n_cores,
+            core: CoreConfig::x5670(),
+            mem: MemSysConfig::default(),
+        }
+    }
+
+    /// Enables SMT (two hardware threads per core).
+    pub fn with_smt(mut self) -> Self {
+        self.core.smt_threads = 2;
+        self
+    }
+
+    /// Replaces the LLC capacity (Figure 4 style resizing; the polluter
+    /// methodology in [`crate::harness`] is the paper-faithful alternative).
+    pub fn with_llc_bytes(mut self, bytes: u64) -> Self {
+        self.mem.llc = self.mem.llc.with_size(bytes);
+        self
+    }
+
+    /// Replaces the prefetcher configuration (Figure 5 ablations).
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.mem.prefetch = prefetch;
+        self
+    }
+
+    /// Replaces the core configuration (§4.2 ablations).
+    pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Builds the simulated chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero cores, invalid core
+    /// parameters).
+    pub fn build(&self) -> Chip {
+        assert!(self.n_cores >= 1, "machine needs at least one core");
+        Chip::new(self.core, self.mem.clone(), self.n_cores)
+    }
+
+    /// The Table 1 parameter listing, as `(parameter, value)` rows.
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        let mem = &self.mem;
+        let core = &self.core;
+        vec![
+            ("Processor".into(), self.name.clone()),
+            ("Clock".into(), format!("{:.2} GHz", self.freq_ghz)),
+            (
+                "CMP width".into(),
+                format!("{} OoO cores per socket", mem.cores_per_socket),
+            ),
+            ("Core width".into(), format!("{}-wide issue and retire", core.width)),
+            ("Reorder buffer".into(), format!("{} entries", core.rob_entries)),
+            (
+                "Load/Store buffer".into(),
+                format!("{}/{} entries", core.load_queue, core.store_queue),
+            ),
+            ("Reservation stations".into(), format!("{} entries", core.reservation_stations)),
+            (
+                "L1 cache".into(),
+                format!(
+                    "{} KB split I/D, {}-cycle access latency",
+                    mem.l1i.size_bytes / 1024,
+                    mem.l1i.latency
+                ),
+            ),
+            (
+                "L2 cache".into(),
+                format!(
+                    "{} KB per core, {}-cycle access latency",
+                    mem.l2.size_bytes / 1024,
+                    mem.l2.latency - mem.l1d.latency
+                ),
+            ),
+            (
+                "LLC (L3 cache)".into(),
+                format!(
+                    "{} MB, {}-cycle access latency",
+                    mem.llc.size_bytes >> 20,
+                    mem.llc.latency - mem.l2.latency
+                ),
+            ),
+            (
+                "Memory".into(),
+                format!(
+                    "{} DDR3 channels, up to {:.0} GB/s",
+                    mem.dram.channels,
+                    mem.dram.peak_bytes_per_cycle() * self.freq_ghz
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let m = MachineConfig::default();
+        assert_eq!(m.core.width, 4);
+        assert_eq!(m.core.rob_entries, 128);
+        assert_eq!(m.mem.llc.size_bytes, 12 << 20);
+        assert_eq!(m.mem.dram.channels, 3);
+        assert!((m.freq_ghz - 2.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MachineConfig::x5670(4)
+            .with_smt()
+            .with_llc_bytes(6 << 20)
+            .with_prefetch(PrefetchConfig::none());
+        assert_eq!(m.core.smt_threads, 2);
+        assert_eq!(m.mem.llc.size_bytes, 6 << 20);
+        assert!(!m.mem.prefetch.adjacent_line);
+        let chip = m.build();
+        assert_eq!(chip.cores().len(), 4);
+    }
+
+    #[test]
+    fn table1_rows_render_key_parameters() {
+        let rows = MachineConfig::default().table1_rows();
+        let text: String =
+            rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        assert!(text.contains("4-wide"));
+        assert!(text.contains("128 entries"));
+        assert!(text.contains("48/32 entries"));
+        assert!(text.contains("12 MB"));
+        assert!(text.contains("29-cycle"));
+        assert!(text.contains("3 DDR3 channels"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_machine_rejected() {
+        let m = MachineConfig { n_cores: 0, ..MachineConfig::default() };
+        let _ = m.build();
+    }
+}

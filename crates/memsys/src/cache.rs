@@ -1,0 +1,282 @@
+//! Set-associative cache with LRU replacement and per-line coherence
+//! metadata.
+//!
+//! One [`Cache`] type serves every level of the hierarchy; the level
+//! semantics (private vs. shared, inclusive back-invalidation, sharing
+//! detection) live in [`crate::system`], which composes caches and
+//! interprets the per-line [`LineMeta`] fields.
+
+/// Per-line metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Line holds modified data not yet written back.
+    pub dirty: bool,
+    /// Line may be written locally without an upgrade request (E/M in MESI
+    /// terms; false means S).
+    pub writable: bool,
+    /// Line was installed by a prefetcher and not yet demanded (cleared on
+    /// the first demand hit; used for useful-prefetch accounting).
+    pub prefetched: bool,
+    /// Bitmask of cores (socket-local numbering) whose private caches may
+    /// hold the line. Only meaningful on shared (LLC) caches.
+    pub sharers: u16,
+    /// Core that most recently wrote the line, if the write has not yet
+    /// been observed by a different core. Only meaningful on LLC lines:
+    /// this is the Figure 6 read-write sharing detector.
+    pub fresh_writer: Option<u8>,
+}
+
+impl LineMeta {
+    /// Metadata for a clean line filled on behalf of a read.
+    pub fn clean() -> Self {
+        Self { dirty: false, writable: false, prefetched: false, sharers: 0, fresh_writer: None }
+    }
+}
+
+impl Default for LineMeta {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    meta: LineMeta,
+}
+
+const INVALID: Way =
+    Way { tag: 0, valid: false, stamp: 0, meta: LineMeta { dirty: false, writable: false, prefetched: false, sharers: 0, fresh_writer: None } };
+
+/// A set-associative, write-back, write-allocate cache over 64-byte lines
+/// with true-LRU replacement.
+///
+/// Addresses passed to this type are *line addresses* (byte address divided
+/// by 64); the caller performs the shift once.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    ways: Vec<Way>,
+    assoc: usize,
+    n_sets: u64,
+    tick: u64,
+}
+
+/// Result of a [`Cache::fill`]: the line that had to be evicted, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Victim metadata at eviction time.
+    pub meta: LineMeta,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `assoc` is zero.
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets > 0, "set count must be positive");
+        assert!(assoc > 0, "associativity must be positive");
+        Self { ways: vec![INVALID; sets * assoc], assoc, n_sets: sets as u64, tick: 0 }
+    }
+
+    /// Creates a cache from a [`crate::config::CacheConfig`]. Set counts
+    /// need not be powers of two (the Table 1 LLC has 12288 sets); lines
+    /// are indexed by modulo.
+    pub fn from_config(cfg: &crate::config::CacheConfig) -> Self {
+        Self::new(cfg.sets(), cfg.assoc)
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.ways.len()
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.n_sets) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Looks up `line`; on a hit, touches LRU state and returns the
+    /// metadata (mutable so the caller can update coherence bits).
+    pub fn lookup(&mut self, line: u64) -> Option<&mut LineMeta> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == line {
+                way.stamp = tick;
+                return Some(&mut way.meta);
+            }
+        }
+        None
+    }
+
+    /// Looks up `line` without touching LRU state.
+    pub fn peek(&self, line: u64) -> Option<&LineMeta> {
+        let range = self.set_range(line);
+        self.ways[range].iter().find(|w| w.valid && w.tag == line).map(|w| &w.meta)
+    }
+
+    /// Looks up `line` mutably without touching LRU state.
+    pub fn peek_mut(&mut self, line: u64) -> Option<&mut LineMeta> {
+        let range = self.set_range(line);
+        self.ways[range].iter_mut().find(|w| w.valid && w.tag == line).map(|w| &mut w.meta)
+    }
+
+    /// Installs `line` with `meta`, evicting the LRU way if the set is
+    /// full. If the line is already present its metadata is replaced (no
+    /// eviction). Returns the victim, if one was evicted.
+    pub fn fill(&mut self, line: u64, meta: LineMeta) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let ways = &mut self.ways[range];
+
+        // Already present: refresh.
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.meta = meta;
+            w.stamp = tick;
+            return None;
+        }
+        // Free way.
+        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+            *w = Way { tag: line, valid: true, stamp: tick, meta };
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.stamp)
+            .expect("associativity is positive");
+        let evicted = Evicted { line: victim.tag, meta: victim.meta };
+        *victim = Way { tag: line, valid: true, stamp: tick, meta };
+        Some(evicted)
+    }
+
+    /// Removes `line`, returning its metadata if it was present.
+    pub fn invalidate(&mut self, line: u64) -> Option<LineMeta> {
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == line {
+                way.valid = false;
+                return Some(way.meta);
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (O(capacity); for tests and
+    /// diagnostics).
+    pub fn valid_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(4, 2);
+        assert!(c.lookup(0x100).is_none());
+        assert!(c.fill(0x100, LineMeta::clean()).is_none());
+        assert!(c.lookup(0x100).is_some());
+        assert!(c.peek(0x100).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(1, 2);
+        c.fill(1, LineMeta::clean());
+        c.fill(2, LineMeta::clean());
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(1).is_some());
+        let ev = c.fill(3, LineMeta::clean()).expect("set is full");
+        assert_eq!(ev.line, 2);
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(3).is_some());
+    }
+
+    #[test]
+    fn refill_replaces_metadata_without_eviction() {
+        let mut c = Cache::new(1, 1);
+        c.fill(7, LineMeta::clean());
+        let mut dirty = LineMeta::clean();
+        dirty.dirty = true;
+        assert!(c.fill(7, dirty).is_none());
+        assert!(c.peek(7).expect("present").dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new(2, 2);
+        c.fill(5, LineMeta::clean());
+        assert!(c.invalidate(5).is_some());
+        assert!(c.peek(5).is_none());
+        assert!(c.invalidate(5).is_none());
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = Cache::new(4, 2);
+        for line in 0..100u64 {
+            c.fill(line, LineMeta::clean());
+        }
+        assert!(c.valid_lines() <= c.capacity_lines());
+        assert_eq!(c.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = Cache::new(2, 1);
+        c.fill(0, LineMeta::clean()); // set 0
+        c.fill(1, LineMeta::clean()); // set 1
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(1).is_some());
+        // Filling set 0 again does not disturb set 1.
+        c.fill(2, LineMeta::clean());
+        assert!(c.peek(0).is_none());
+        assert!(c.peek(1).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = Cache::new(1, 2);
+        c.fill(1, LineMeta::clean());
+        c.fill(2, LineMeta::clean());
+        // Peek at 1 (no LRU update): 1 is still LRU and must be evicted.
+        assert!(c.peek(1).is_some());
+        let ev = c.fill(3, LineMeta::clean()).expect("full");
+        assert_eq!(ev.line, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_sets() {
+        let _ = Cache::new(0, 2);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_index_by_modulo() {
+        let mut c = Cache::new(3, 1);
+        c.fill(0, LineMeta::clean());
+        c.fill(3, LineMeta::clean()); // same set as 0 under mod 3
+        assert!(c.peek(0).is_none());
+        assert!(c.peek(3).is_some());
+        assert!(c.fill(1, LineMeta::clean()).is_none()); // different set
+    }
+
+    #[test]
+    fn from_config_rounds_sets_up() {
+        let c = Cache::from_config(&crate::config::CacheConfig::l1());
+        assert_eq!(c.capacity_lines(), 64 * 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! Memory-system configuration, with Table 1 (Xeon X5670) defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache level.
+///
+/// `latency` is the *cumulative* load-to-use latency of a hit at this level,
+/// in core cycles, so outcomes can be charged directly without re-walking
+/// the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Cumulative hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// 32 KB, 8-way, 4-cycle L1 (Table 1: "32KB, split I/D, 4-cycle").
+    pub fn l1() -> Self {
+        Self { size_bytes: 32 * 1024, assoc: 8, latency: 4 }
+    }
+
+    /// 256 KB, 8-way private unified L2 (Table 1: "6-cycle access latency"
+    /// beyond the L1, i.e. 10 cycles load-to-use).
+    pub fn l2() -> Self {
+        Self { size_bytes: 256 * 1024, assoc: 8, latency: 10 }
+    }
+
+    /// 12 MB, 16-way shared LLC (Table 1: "29-cycle access latency", i.e.
+    /// 39 cycles load-to-use).
+    pub fn llc() -> Self {
+        Self { size_bytes: 12 << 20, assoc: 16, latency: 39 }
+    }
+
+    /// Same geometry with a different capacity (Figure 4 style resizing).
+    pub fn with_size(mut self, size_bytes: u64) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Number of sets for 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not a
+    /// positive multiple of `assoc * 64`).
+    pub fn sets(&self) -> usize {
+        assert!(self.assoc > 0, "cache needs at least one way");
+        let lines = (self.size_bytes / 64) as usize;
+        assert!(lines > 0 && lines.is_multiple_of(self.assoc), "capacity must be a multiple of assoc*64");
+        lines / self.assoc
+    }
+}
+
+/// Geometry and miss penalties of the TLB hierarchy (Westmere-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// First-level instruction TLB entries.
+    pub itlb_entries: usize,
+    /// First-level data TLB entries.
+    pub dtlb_entries: usize,
+    /// Unified second-level TLB entries.
+    pub stlb_entries: usize,
+    /// Extra cycles for a first-level miss that hits the STLB.
+    pub stlb_hit_penalty: u32,
+    /// Extra cycles for a full page walk.
+    pub walk_penalty: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self {
+            itlb_entries: 64,
+            dtlb_entries: 64,
+            stlb_entries: 512,
+            stlb_hit_penalty: 7,
+            walk_penalty: 35,
+        }
+    }
+}
+
+/// DDR3 memory subsystem (Table 1: "3 DDR3 channels, delivering up to
+/// 32 GB/s" at 2.93 GHz, i.e. ≈ 3.64 bytes/cycle/channel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Peak bytes per core cycle per channel.
+    pub bytes_per_cycle_per_channel: f64,
+    /// Idle access latency beyond the LLC, in cycles.
+    pub latency: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self { channels: 3, bytes_per_cycle_per_channel: 3.64, latency: 190 }
+    }
+}
+
+impl DramConfig {
+    /// Peak bandwidth of the whole subsystem in bytes per cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * self.bytes_per_cycle_per_channel
+    }
+}
+
+/// Which hardware prefetchers are enabled (the BIOS toggles of §4.3 /
+/// Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// L2 adjacent-line prefetcher (fetches the 128-byte companion line).
+    pub adjacent_line: bool,
+    /// L2 HW (stride/stream) prefetcher.
+    pub hw_stride: bool,
+    /// L1-D DCU streamer (next-line into the L1-D).
+    pub dcu_streamer: bool,
+    /// L1-I next-line instruction prefetcher.
+    pub instr_next_line: bool,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self { adjacent_line: true, hw_stride: true, dcu_streamer: true, instr_next_line: true }
+    }
+}
+
+impl PrefetchConfig {
+    /// All prefetchers off.
+    pub fn none() -> Self {
+        Self { adjacent_line: false, hw_stride: false, dcu_streamer: false, instr_next_line: false }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSysConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache (per socket).
+    pub llc: CacheConfig,
+    /// TLB hierarchy.
+    pub tlb: TlbConfig,
+    /// DRAM subsystem.
+    pub dram: DramConfig,
+    /// Prefetcher enables.
+    pub prefetch: PrefetchConfig,
+    /// Cores per socket (Table 1: 6).
+    pub cores_per_socket: usize,
+    /// Extra latency of a snoop hit in the remote socket's LLC, beyond the
+    /// local LLC latency.
+    pub remote_snoop_extra: u32,
+}
+
+impl Default for MemSysConfig {
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::l1(),
+            l1d: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc(),
+            tlb: TlbConfig::default(),
+            dram: DramConfig::default(),
+            prefetch: PrefetchConfig::default(),
+            cores_per_socket: 6,
+            remote_snoop_extra: 70,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        assert_eq!(CacheConfig::l1().sets(), 64);
+        assert_eq!(CacheConfig::l2().sets(), 512);
+        assert_eq!(CacheConfig::llc().sets(), 12288);
+    }
+
+    #[test]
+    fn latencies_are_monotone() {
+        let c = MemSysConfig::default();
+        assert!(c.l1d.latency < c.l2.latency);
+        assert!(c.l2.latency < c.llc.latency);
+        assert!(c.llc.latency < c.llc.latency + c.dram.latency);
+    }
+
+    #[test]
+    fn dram_peak_matches_table1() {
+        let d = DramConfig::default();
+        // 32 GB/s at 2.93 GHz ≈ 10.9 B/cycle.
+        assert!((d.peak_bytes_per_cycle() - 10.92).abs() < 0.2);
+    }
+
+    #[test]
+    fn with_size_preserves_geometry() {
+        let llc = CacheConfig::llc().with_size(6 << 20);
+        assert_eq!(llc.assoc, 16);
+        assert_eq!(llc.sets(), 6144);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of assoc")]
+    fn rejects_non_multiple_capacity() {
+        let _ = CacheConfig { size_bytes: 100, assoc: 3, latency: 1 }.sets();
+    }
+
+    #[test]
+    fn prefetch_none_disables_everything() {
+        let p = PrefetchConfig::none();
+        assert!(!p.adjacent_line && !p.hw_stride && !p.dcu_streamer && !p.instr_next_line);
+    }
+}

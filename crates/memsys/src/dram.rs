@@ -1,0 +1,174 @@
+//! DDR3 memory-channel model.
+//!
+//! Models the Table 1 memory subsystem: three independent channels, lines
+//! interleaved across channels, each channel serializing 64-byte bursts at
+//! its peak bandwidth. Demand reads observe queueing delay behind earlier
+//! transfers on the same channel; writebacks consume bandwidth without
+//! delaying the requesting instruction. Per-channel busy cycles and total
+//! bytes moved feed the Figure 7 bandwidth-utilization metric.
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// 64-byte read bursts served.
+    pub reads: u64,
+    /// 64-byte write (writeback) bursts served.
+    pub writes: u64,
+    /// Total bytes moved in either direction.
+    pub bytes: u64,
+    /// Sum over channels of cycles spent transferring data.
+    pub busy_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Channel {
+    next_free: u64,
+}
+
+/// The DRAM subsystem.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    service_cycles: u64,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates the subsystem described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has no channels or non-positive bandwidth.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.channels > 0, "dram needs at least one channel");
+        assert!(cfg.bytes_per_cycle_per_channel > 0.0, "bandwidth must be positive");
+        let service_cycles = (64.0 / cfg.bytes_per_cycle_per_channel).ceil() as u64;
+        Self { cfg, channels: vec![Channel::default(); cfg.channels], service_cycles, stats: DramStats::default() }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Requests a 64-byte line read at cycle `now`; returns the total
+    /// latency (queueing + access + transfer) in cycles.
+    pub fn read(&mut self, line: u64, now: u64) -> u32 {
+        let ch = (line % self.channels.len() as u64) as usize;
+        let start = self.channels[ch].next_free.max(now);
+        self.channels[ch].next_free = start + self.service_cycles;
+        self.stats.reads += 1;
+        self.stats.bytes += 64;
+        self.stats.busy_cycles += self.service_cycles;
+        ((start - now) + self.cfg.latency as u64 + self.service_cycles) as u32
+    }
+
+    /// Posts a 64-byte writeback at cycle `now`. Writebacks consume channel
+    /// time (delaying later reads) but complete asynchronously, so no
+    /// latency is returned.
+    pub fn write(&mut self, line: u64, now: u64) {
+        let ch = (line % self.channels.len() as u64) as usize;
+        let start = self.channels[ch].next_free.max(now);
+        self.channels[ch].next_free = start + self.service_cycles;
+        self.stats.writes += 1;
+        self.stats.bytes += 64;
+        self.stats.busy_cycles += self.service_cycles;
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (channel timing state is preserved). Used to
+    /// discard the warmup window.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Bandwidth utilization over `elapsed_cycles`: bytes moved divided by
+    /// peak deliverable bytes (the Figure 7 metric).
+    pub fn utilization(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let peak = self.cfg.peak_bytes_per_cycle() * elapsed_cycles as f64;
+        self.stats.bytes as f64 / peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    #[test]
+    fn idle_read_latency_is_base_plus_transfer() {
+        let mut d = dram();
+        let lat = d.read(0, 1000);
+        let expect = DramConfig::default().latency as u64 + d.service_cycles;
+        assert_eq!(lat as u64, expect);
+    }
+
+    #[test]
+    fn back_to_back_reads_on_one_channel_queue() {
+        let mut d = dram();
+        let first = d.read(0, 0);
+        let second = d.read(3, 0); // lines 0 and 3 share channel 0 of 3
+        assert!(second > first);
+    }
+
+    #[test]
+    fn reads_on_distinct_channels_do_not_queue() {
+        let mut d = dram();
+        let a = d.read(0, 0);
+        let b = d.read(1, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn writes_consume_bandwidth_and_delay_reads() {
+        let mut d = dram();
+        d.write(0, 0);
+        let lat = d.read(3, 0); // same channel as the write
+        assert!(lat as u64 > DramConfig::default().latency as u64 + d.service_cycles);
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn utilization_tracks_bytes() {
+        let mut d = dram();
+        for i in 0..100u64 {
+            d.read(i, i * 10);
+        }
+        let util = d.utilization(10_000);
+        let expect = (100.0 * 64.0) / (DramConfig::default().peak_bytes_per_cycle() * 10_000.0);
+        assert!((util - expect).abs() < 1e-12);
+        assert_eq!(d.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dram();
+        d.read(0, 0);
+        d.write(1, 0);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes, 128);
+        assert!(s.busy_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel")]
+    fn rejects_zero_channels() {
+        let _ = Dram::new(DramConfig { channels: 0, ..DramConfig::default() });
+    }
+}

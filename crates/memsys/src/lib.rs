@@ -1,0 +1,32 @@
+//! Memory-system substrate for CloudSuite-RS.
+//!
+//! Models the entire memory hierarchy of the paper's testbed (Table 1): two
+//! sockets of private L1-I/L1-D and unified L2 caches per core, one shared
+//! inclusive LLC per socket, snoop-based cross-socket coherence with
+//! read-write sharing detection (Figure 6), the three hardware prefetchers
+//! named in the paper (adjacent-line, L2 HW/stride prefetcher, DCU streamer
+//! — Figure 5), instruction/data/second-level TLBs (whose miss cycles enter
+//! the §3.1 memory-cycle formula), and a DDR3 channel model with bandwidth
+//! accounting (Figure 7).
+//!
+//! The model is *latency-on-access*: a demand access walks the hierarchy
+//! once, updates all state, and returns its full load-to-use latency plus
+//! the classification flags the methodology needs (off-core?, hit level,
+//! read-write shared?, TLB miss cycles). Timing interleaving across cores
+//! is provided by the cycle-level core model in `cs-uarch`, which calls
+//! into this crate in lock-step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod prefetch;
+pub mod stats;
+pub mod system;
+pub mod tlb;
+
+pub use config::{CacheConfig, DramConfig, MemSysConfig, PrefetchConfig, TlbConfig};
+pub use stats::{AccessClass, MemStats};
+pub use system::{DataOutcome, FetchOutcome, MemorySystem, ServiceLevel};

@@ -1,0 +1,1021 @@
+//! The composed memory system: private caches, shared LLCs, coherence,
+//! prefetchers, TLBs and DRAM.
+//!
+//! One [`MemorySystem`] models both sockets of the paper's blade. Demand
+//! accesses walk the hierarchy synchronously and return an outcome carrying
+//! everything the §3.1 methodology needs:
+//!
+//! - the load-to-use **latency** in cycles (including TLB penalties and
+//!   DRAM queueing),
+//! - whether the request went **off-core** (missed the private L2 — the
+//!   super-queue events whose occupancy defines memory cycles and MLP),
+//! - which **level** serviced it (L2 instruction hits enter the memory
+//!   cycle formula; Figure 1),
+//! - whether the line was **read-write shared**, i.e. most recently written
+//!   by a different core (Figure 6),
+//! - the **TLB stall** components (Figure 1's memory-cycle formula).
+//!
+//! Coherence is modeled MESI-like: private lines track writability
+//! (E/M vs. S), stores to non-writable lines issue upgrades (RFOs) that
+//! travel off-core, LLC lines remember their `fresh_writer` until the write
+//! is observed by another core, and cross-socket requests snoop the remote
+//! LLC. Inclusion is enforced: LLC evictions back-invalidate private
+//! copies.
+
+use crate::cache::{Cache, LineMeta};
+use crate::config::MemSysConfig;
+use crate::dram::Dram;
+use crate::prefetch::{adjacent_line, next_line, StridePrefetcher};
+use crate::stats::{AccessClass, CoreMemStats, MemStats};
+use crate::tlb::{TlbHierarchy, TlbOutcome};
+use cs_trace::Privilege;
+
+/// Which level of the hierarchy serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceLevel {
+    /// First-level cache hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Local-socket LLC hit.
+    LocalLlc,
+    /// Snoop hit in the remote socket's LLC.
+    RemoteLlc,
+    /// Off-chip memory access.
+    Dram,
+}
+
+impl ServiceLevel {
+    /// Whether the request left the core (missed the private L2).
+    pub fn is_offcore(self) -> bool {
+        self >= ServiceLevel::LocalLlc
+    }
+}
+
+/// Outcome of an instruction fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Load-to-use latency in cycles, including TLB penalties.
+    pub latency: u32,
+    /// Servicing level.
+    pub level: ServiceLevel,
+    /// Whether the fetch went off-core.
+    pub offcore: bool,
+    /// Cycles stalled on an ITLB miss that hit the STLB.
+    pub itlb_stall: u32,
+    /// Cycles stalled on a second-level TLB miss (page walk).
+    pub stlb_stall: u32,
+}
+
+/// Outcome of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataOutcome {
+    /// Load-to-use latency in cycles, including TLB penalties.
+    pub latency: u32,
+    /// Servicing level.
+    pub level: ServiceLevel,
+    /// Whether the request went off-core (L2 miss or upgrade).
+    pub offcore: bool,
+    /// Whether the line was most recently written by another core.
+    pub rw_shared: bool,
+    /// Cycles stalled on a second-level TLB miss (page walk).
+    pub stlb_stall: u32,
+}
+
+/// The full two-socket memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemSysConfig,
+    n_cores: usize,
+    n_sockets: usize,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    llcs: Vec<Cache>,
+    tlbs: Vec<TlbHierarchy>,
+    stride: Vec<StridePrefetcher>,
+    dcu_last_miss: Vec<u64>,
+    dram: Dram,
+    stats: MemStats,
+    pf_buf: Vec<u64>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `n_cores` cores under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or exceeds what the sharer bitmask can
+    /// track per socket (16).
+    pub fn new(cfg: MemSysConfig, n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        assert!(cfg.cores_per_socket > 0 && cfg.cores_per_socket <= 16, "1..=16 cores per socket");
+        let n_sockets = n_cores.div_ceil(cfg.cores_per_socket);
+        Self {
+            l1i: (0..n_cores).map(|_| Cache::from_config(&cfg.l1i)).collect(),
+            l1d: (0..n_cores).map(|_| Cache::from_config(&cfg.l1d)).collect(),
+            l2: (0..n_cores).map(|_| Cache::from_config(&cfg.l2)).collect(),
+            llcs: (0..n_sockets).map(|_| Cache::from_config(&cfg.llc)).collect(),
+            tlbs: (0..n_cores).map(|_| TlbHierarchy::new(cfg.tlb)).collect(),
+            stride: (0..n_cores).map(|_| StridePrefetcher::default()).collect(),
+            dcu_last_miss: vec![u64::MAX - 1; n_cores],
+            dram: Dram::new(cfg.dram),
+            stats: MemStats { per_core: vec![CoreMemStats::default(); n_cores], ..Default::default() },
+            pf_buf: Vec::with_capacity(8),
+            n_cores,
+            n_sockets,
+            cfg,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MemSysConfig {
+        &self.cfg
+    }
+
+    /// Number of cores served.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (for window snapshotting by the harness).
+    pub fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    /// Zeroes all statistics while preserving cache, TLB, prefetcher and
+    /// DRAM *state*. Called by the harness at the end of the warmup window
+    /// (the simulator's equivalent of starting the paper's 180-second
+    /// VTune measurement after ramp-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats {
+            per_core: vec![CoreMemStats::default(); self.n_cores],
+            ..Default::default()
+        };
+        self.dram.reset_stats();
+    }
+
+    /// DRAM statistics (includes totals for Figure 7).
+    pub fn dram_stats(&self) -> crate::dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// A self-contained snapshot of all statistics, with the DRAM totals
+    /// filled in (the in-place [`Self::stats`] view keeps them separate
+    /// for hot-path reasons).
+    pub fn export_stats(&self) -> MemStats {
+        let mut s = self.stats.clone();
+        s.dram = self.dram.stats();
+        s
+    }
+
+    /// DRAM bandwidth utilization over `elapsed_cycles` (Figure 7 metric).
+    pub fn dram_utilization(&self, elapsed_cycles: u64) -> f64 {
+        self.dram.utilization(elapsed_cycles)
+    }
+
+    #[inline]
+    fn socket_of(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_socket
+    }
+
+    #[inline]
+    fn local_bit(&self, core: usize) -> u16 {
+        1 << (core % self.cfg.cores_per_socket)
+    }
+
+    /// Iterates global core ids of socket `socket` selected by `mask`.
+    fn cores_in_mask(&self, socket: usize, mask: u16) -> impl Iterator<Item = usize> {
+        let base = socket * self.cfg.cores_per_socket;
+        let n = self.n_cores;
+        let cps = self.cfg.cores_per_socket;
+        (0..cps).filter(move |i| mask & (1 << i) != 0).map(move |i| base + i).filter(move |c| *c < n)
+    }
+
+    // ------------------------------------------------------------------
+    // Demand paths
+    // ------------------------------------------------------------------
+
+    /// Performs an instruction fetch of the line containing `addr`.
+    pub fn ifetch(&mut self, core: usize, privilege: Privilege, addr: u64, now: u64) -> FetchOutcome {
+        let line = addr >> 6;
+        let class = AccessClass::new(true, privilege);
+
+        // ITLB.
+        let tlb_outcome = self.tlbs[core].translate_instr(addr >> 12);
+        let tlb_pen = self.tlbs[core].penalty(tlb_outcome);
+        let (mut itlb_stall, mut stlb_stall) = (0, 0);
+        match tlb_outcome {
+            TlbOutcome::L1 => {}
+            TlbOutcome::Stlb => {
+                self.stats.per_core[core].tlb.itlb_misses += 1;
+                self.stats.per_core[core].tlb.itlb_miss_cycles += tlb_pen as u64;
+                itlb_stall = tlb_pen;
+            }
+            TlbOutcome::Walk => {
+                self.stats.per_core[core].tlb.itlb_misses += 1;
+                self.stats.per_core[core].tlb.stlb_misses += 1;
+                self.stats.per_core[core].tlb.stlb_miss_cycles += tlb_pen as u64;
+                stlb_stall = tlb_pen;
+            }
+        }
+
+        // L1-I.
+        let mut hit = false;
+        if let Some(meta) = self.l1i[core].lookup(line) {
+            hit = true;
+            if meta.prefetched {
+                meta.prefetched = false;
+                self.stats.per_core[core].prefetch.useful_l1i += 1;
+            }
+        }
+        self.stats.per_core[core].l1i.record(class, hit);
+        if hit {
+            return FetchOutcome {
+                latency: self.cfg.l1i.latency + tlb_pen,
+                level: ServiceLevel::L1,
+                offcore: false,
+                itlb_stall,
+                stlb_stall,
+            };
+        }
+
+        let (lat, level, _) = self.access_l2(core, privilege, true, false, line, addr, now, false);
+        self.fill_l1(core, true, line, false, false, now);
+
+        // Next-line instruction prefetch on the L1-I miss (degree 2: the
+        // frontend runs ahead of sequential fetch within a function, but
+        // complex control transfers between functions still miss — the
+        // inadequacy §4.1 describes).
+        if self.cfg.prefetch.instr_next_line {
+            self.stats.per_core[core].prefetch.issued_instr += 2;
+            self.prefetch_line(core, privilege, true, next_line(line), now, true);
+            self.prefetch_line(core, privilege, true, next_line(next_line(line)), now, true);
+        }
+
+        FetchOutcome {
+            latency: lat + tlb_pen,
+            level,
+            offcore: level.is_offcore(),
+            itlb_stall,
+            stlb_stall,
+        }
+    }
+
+    /// Performs a data access at `addr`. `pc` trains the stride prefetcher.
+    pub fn data_access(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        addr: u64,
+        is_store: bool,
+        pc: u64,
+        now: u64,
+    ) -> DataOutcome {
+        let line = addr >> 6;
+        let class = AccessClass::new(false, privilege);
+
+        // DTLB.
+        let tlb_outcome = self.tlbs[core].translate_data(addr >> 12);
+        let tlb_pen = self.tlbs[core].penalty(tlb_outcome);
+        let mut stlb_stall = 0;
+        match tlb_outcome {
+            TlbOutcome::L1 => {}
+            TlbOutcome::Stlb => self.stats.per_core[core].tlb.dtlb_misses += 1,
+            TlbOutcome::Walk => {
+                self.stats.per_core[core].tlb.dtlb_misses += 1;
+                self.stats.per_core[core].tlb.stlb_misses += 1;
+                self.stats.per_core[core].tlb.stlb_miss_cycles += tlb_pen as u64;
+                stlb_stall = tlb_pen;
+            }
+        }
+
+        // L1-D.
+        let mut present = false;
+        let mut writable = false;
+        if let Some(meta) = self.l1d[core].lookup(line) {
+            present = true;
+            writable = meta.writable;
+            if meta.prefetched {
+                meta.prefetched = false;
+                self.stats.per_core[core].prefetch.useful_l1d += 1;
+            }
+            if is_store && meta.writable {
+                meta.dirty = true;
+            }
+        }
+        self.stats.per_core[core].l1d.record(class, present);
+        if present && (!is_store || writable) {
+            return DataOutcome {
+                latency: self.cfg.l1d.latency + tlb_pen,
+                level: ServiceLevel::L1,
+                offcore: false,
+                rw_shared: false,
+                stlb_stall,
+            };
+        }
+        let upgrade = present; // store hit on a shared (non-writable) line
+        if upgrade {
+            self.stats.per_core[core].upgrades += 1;
+        }
+
+        // DCU streamer: next-line into the L1-D when the L1-D miss stream
+        // is ascending (two consecutive misses on adjacent lines arm it;
+        // random misses leave it quiet).
+        if !upgrade && self.cfg.prefetch.dcu_streamer {
+            let ascending = line == self.dcu_last_miss[core].wrapping_add(1);
+            self.dcu_last_miss[core] = line;
+            if ascending {
+                self.stats.per_core[core].prefetch.issued_dcu += 1;
+                self.prefetch_line(core, privilege, false, next_line(line), now, true);
+            }
+        }
+
+        let (lat, level, rw_shared) =
+            self.access_l2(core, privilege, false, is_store, line, pc, now, upgrade);
+
+        if upgrade {
+            if let Some(meta) = self.l1d[core].peek_mut(line) {
+                meta.writable = true;
+                meta.dirty = true;
+            }
+        } else {
+            self.fill_l1(core, false, line, is_store, false, now);
+        }
+
+        DataOutcome {
+            latency: lat + tlb_pen,
+            level,
+            offcore: level.is_offcore(),
+            rw_shared,
+            stlb_stall,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inner levels
+    // ------------------------------------------------------------------
+
+    /// L2 lookup and, on a miss (or ownership upgrade), LLC/remote/DRAM.
+    #[allow(clippy::too_many_arguments)]
+    fn access_l2(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        is_instr: bool,
+        want_write: bool,
+        line: u64,
+        pc: u64,
+        now: u64,
+        upgrade: bool,
+    ) -> (u32, ServiceLevel, bool) {
+        let class = AccessClass::new(is_instr, privilege);
+
+        let mut present = false;
+        let mut writable = false;
+        if let Some(meta) = self.l2[core].lookup(line) {
+            present = true;
+            writable = meta.writable;
+            if meta.prefetched {
+                meta.prefetched = false;
+                self.stats.per_core[core].prefetch.useful_l2 += 1;
+            }
+        }
+        self.stats.per_core[core].l2.record(class, present);
+        if present && (!want_write || writable) {
+            return (self.cfg.l2.latency, ServiceLevel::L2, false);
+        }
+
+        // Train the stride prefetcher on demand data accesses that reach
+        // the L2 (i.e. the L1-D miss stream).
+        let mut pf = std::mem::take(&mut self.pf_buf);
+        pf.clear();
+        let mut adjacent_idx: Option<usize> = None;
+        if !is_instr && !upgrade && self.cfg.prefetch.hw_stride {
+            self.stride[core].on_access(pc, line, &mut pf);
+            self.stats.per_core[core].prefetch.issued_stride += pf.len() as u64;
+        }
+
+        let (lat, level, rw_shared) =
+            self.access_llc(core, privilege, is_instr, want_write, line, now, false);
+
+        if present {
+            // Upgrade: grant ownership in place.
+            if let Some(meta) = self.l2[core].peek_mut(line) {
+                meta.writable = true;
+            }
+        } else {
+            self.fill_l2(core, line, want_write, false, now);
+            // Adjacent-line prefetch triggers on L2 misses.
+            if self.cfg.prefetch.adjacent_line {
+                self.stats.per_core[core].prefetch.issued_adjacent += 1;
+                adjacent_idx = Some(pf.len());
+                pf.push(adjacent_line(line));
+            }
+        }
+
+        // Execute collected prefetches into the L2. The stride prefetcher
+        // may run ahead to DRAM; the adjacent-line prefetcher is
+        // LLC-bounded (its companion line is dropped on an LLC miss rather
+        // than generating off-chip traffic).
+        for (i, &target) in pf.iter().enumerate() {
+            let llc_bound = Some(i) == adjacent_idx;
+            self.prefetch_line_bounded(core, privilege, is_instr, target, now, false, llc_bound);
+        }
+        self.pf_buf = pf;
+
+        (lat, level, rw_shared)
+    }
+
+    /// Local LLC, remote snoop, or DRAM. Fills the local LLC.
+    #[allow(clippy::too_many_arguments)]
+    fn access_llc(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        is_instr: bool,
+        want_write: bool,
+        line: u64,
+        now: u64,
+        is_prefetch: bool,
+    ) -> (u32, ServiceLevel, bool) {
+        let socket = self.socket_of(core);
+        let class = AccessClass::new(is_instr, privilege);
+        let my_bit = self.local_bit(core);
+        let mut rw_shared = false;
+
+        // --- Local LLC probe ---
+        let mut local_hit = false;
+        let mut invalidate_mask: u16 = 0;
+        let mut downgrade_mask: u16 = 0;
+        if let Some(meta) = self.llcs[socket].lookup(line) {
+            local_hit = true;
+            if !is_prefetch && !is_instr {
+                if let Some(w) = meta.fresh_writer {
+                    if w as usize != core {
+                        rw_shared = true;
+                        if !want_write {
+                            // The write has now been observed; the next
+                            // reference is not "recently written by remote".
+                            meta.fresh_writer = None;
+                            downgrade_mask = meta.sharers & !my_bit;
+                        }
+                    }
+                }
+            }
+            if want_write {
+                invalidate_mask = meta.sharers & !my_bit;
+                meta.sharers = my_bit;
+                meta.fresh_writer = Some(core as u8);
+                meta.dirty = true;
+                meta.writable = true;
+            } else {
+                meta.sharers |= my_bit;
+            }
+            if !is_prefetch && meta.prefetched {
+                meta.prefetched = false;
+            }
+        }
+        if !is_prefetch {
+            self.stats.per_core[core].llc.record(class, local_hit);
+            if rw_shared {
+                self.stats.per_core[core].rw_shared[usize::from(privilege.is_kernel())] += 1;
+            }
+        }
+        if local_hit {
+            for c in self.cores_in_mask(socket, invalidate_mask).collect::<Vec<_>>() {
+                self.l1d[c].invalidate(line);
+                self.l1i[c].invalidate(line);
+                self.l2[c].invalidate(line);
+            }
+            for c in self.cores_in_mask(socket, downgrade_mask).collect::<Vec<_>>() {
+                if let Some(m) = self.l1d[c].peek_mut(line) {
+                    m.writable = false;
+                }
+                if let Some(m) = self.l2[c].peek_mut(line) {
+                    m.writable = false;
+                }
+            }
+            return (self.cfg.llc.latency, ServiceLevel::LocalLlc, rw_shared);
+        }
+
+        // --- Remote socket snoop ---
+        let mut remote_state = None;
+        for rs in (0..self.n_sockets).filter(|rs| *rs != socket) {
+            let mut found = false;
+            let mut remote_invalidate: u16 = 0;
+            if let Some(meta) = self.llcs[rs].peek_mut(line) {
+                found = true;
+                if !is_prefetch && !is_instr {
+                    if let Some(w) = meta.fresh_writer {
+                        if w as usize != core {
+                            rw_shared = true;
+                        }
+                    }
+                }
+                if want_write {
+                    remote_invalidate = meta.sharers;
+                } else {
+                    meta.fresh_writer = None;
+                    meta.writable = false;
+                }
+            }
+            if found {
+                if want_write {
+                    self.llcs[rs].invalidate(line);
+                    for c in self.cores_in_mask(rs, remote_invalidate).collect::<Vec<_>>() {
+                        self.l1d[c].invalidate(line);
+                        self.l1i[c].invalidate(line);
+                        self.l2[c].invalidate(line);
+                    }
+                }
+                remote_state = Some(rs);
+                break;
+            }
+        }
+
+        let (lat, level) = if remote_state.is_some() {
+            (self.cfg.llc.latency + self.cfg.remote_snoop_extra, ServiceLevel::RemoteLlc)
+        } else {
+            let dram_lat = self.dram.read(line, now);
+            self.stats.per_core[core].dram_bytes[usize::from(privilege.is_kernel())] += 64;
+            (self.cfg.llc.latency + dram_lat, ServiceLevel::Dram)
+        };
+
+        // The access itself was already recorded in the local-probe stage;
+        // only sharing discovered at the remote socket is recorded here.
+        if !is_prefetch && rw_shared {
+            self.stats.per_core[core].rw_shared[usize::from(privilege.is_kernel())] += 1;
+        }
+
+        // Fill the local LLC.
+        let meta = LineMeta {
+            dirty: want_write,
+            writable: want_write,
+            prefetched: is_prefetch,
+            sharers: my_bit,
+            fresh_writer: if want_write { Some(core as u8) } else { None },
+        };
+        if let Some(evicted) = self.llcs[socket].fill(line, meta) {
+            self.evict_llc_victim(core, socket, evicted, privilege, now);
+        }
+
+        (lat, level, rw_shared)
+    }
+
+    /// Handles an LLC eviction: inclusive back-invalidation of private
+    /// copies plus the writeback, if any copy was dirty.
+    fn evict_llc_victim(
+        &mut self,
+        core: usize,
+        socket: usize,
+        evicted: crate::cache::Evicted,
+        privilege: Privilege,
+        now: u64,
+    ) {
+        let mut dirty = evicted.meta.dirty;
+        for c in self.cores_in_mask(socket, evicted.meta.sharers).collect::<Vec<_>>() {
+            if let Some(m) = self.l1d[c].invalidate(evicted.line) {
+                dirty |= m.dirty;
+            }
+            self.l1i[c].invalidate(evicted.line);
+            if let Some(m) = self.l2[c].invalidate(evicted.line) {
+                dirty |= m.dirty;
+            }
+        }
+        if dirty {
+            self.dram.write(evicted.line, now);
+            self.stats.per_core[core].dram_bytes[usize::from(privilege.is_kernel())] += 64;
+        }
+    }
+
+    /// Fills `line` into the private L2, handling dirty victims.
+    fn fill_l2(&mut self, core: usize, line: u64, writable: bool, prefetched: bool, now: u64) {
+        let meta = LineMeta { dirty: false, writable, prefetched, sharers: 0, fresh_writer: None };
+        if let Some(evicted) = self.l2[core].fill(line, meta) {
+            if evicted.meta.dirty {
+                self.writeback_to_llc(core, evicted.line, now);
+            }
+        }
+    }
+
+    /// Fills `line` into an L1, handling dirty victims (written through to
+    /// the L2, or to the LLC if the L2 no longer holds the line).
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        is_instr: bool,
+        line: u64,
+        writable: bool,
+        prefetched: bool,
+        now: u64,
+    ) {
+        let meta = LineMeta { dirty: false, writable, prefetched, sharers: 0, fresh_writer: None };
+        let cache = if is_instr { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        if let Some(evicted) = cache.fill(line, meta) {
+            if evicted.meta.dirty {
+                if let Some(m) = self.l2[core].peek_mut(evicted.line) {
+                    m.dirty = true;
+                } else {
+                    self.writeback_to_llc(core, evicted.line, now);
+                }
+            }
+        }
+    }
+
+    /// Marks `line` dirty in the local LLC, or writes it to DRAM if the
+    /// LLC no longer holds it.
+    fn writeback_to_llc(&mut self, core: usize, line: u64, now: u64) {
+        let socket = self.socket_of(core);
+        if let Some(m) = self.llcs[socket].peek_mut(line) {
+            m.dirty = true;
+        } else {
+            self.dram.write(line, now);
+            // Attribution of stale writebacks: charged as user traffic to
+            // the evicting core (privilege of the original writer is gone).
+            self.stats.per_core[core].dram_bytes[0] += 64;
+        }
+    }
+
+    /// Executes one prefetch of `line` into the L2 (and the L1 of the
+    /// requesting side when `into_l1` is set). Prefetches consume DRAM
+    /// bandwidth and can pollute, but never charge demand latency.
+    fn prefetch_line(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        is_instr: bool,
+        line: u64,
+        now: u64,
+        into_l1: bool,
+    ) {
+        self.prefetch_line_bounded(core, privilege, is_instr, line, now, into_l1, false);
+    }
+
+    /// [`Self::prefetch_line`] with an optional LLC bound: when set, the
+    /// prefetch is dropped if the line is not already LLC-resident,
+    /// avoiding off-chip pollution.
+    #[allow(clippy::too_many_arguments)]
+    fn prefetch_line_bounded(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        is_instr: bool,
+        line: u64,
+        now: u64,
+        into_l1: bool,
+        llc_bound: bool,
+    ) {
+        if llc_bound {
+            let socket = self.socket_of(core);
+            if self.llcs[socket].peek(line).is_none() {
+                return;
+            }
+        }
+        let in_l1 = if is_instr {
+            self.l1i[core].peek(line).is_some()
+        } else {
+            self.l1d[core].peek(line).is_some()
+        };
+        if in_l1 {
+            return;
+        }
+        if self.l2[core].peek(line).is_none() {
+            let _ = self.access_llc(core, privilege, is_instr, false, line, now, true);
+            self.fill_l2(core, line, false, true, now);
+        }
+        if into_l1 {
+            // DCU streamer and instruction next-line prefetches land in the
+            // L1 of the requesting side.
+            self.fill_l1(core, is_instr, line, false, true, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MemSysConfig, PrefetchConfig};
+
+    fn small_system(n_cores: usize) -> MemorySystem {
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        MemorySystem::new(cfg, n_cores)
+    }
+
+    #[test]
+    fn first_access_goes_to_dram_then_hits_l1() {
+        let mut m = small_system(1);
+        let a = m.data_access(0, Privilege::User, 0x1000_0000, false, 0x400000, 0);
+        assert_eq!(a.level, ServiceLevel::Dram);
+        assert!(a.offcore);
+        let b = m.data_access(0, Privilege::User, 0x1000_0000, false, 0x400000, 10);
+        assert_eq!(b.level, ServiceLevel::L1);
+        assert!(!b.offcore);
+        assert!(b.latency < a.latency);
+    }
+
+    #[test]
+    fn latencies_are_ordered_by_level() {
+        let mut m = small_system(1);
+        let dram = m.data_access(0, Privilege::User, 0x2000_0000, false, 0, 0).latency;
+        // Evict from L1 by filling the set; simpler: access a second line
+        // then re-access — still L1. Instead check L1 < LLC < DRAM via
+        // fresh lines and config.
+        let l1 = m.data_access(0, Privilege::User, 0x2000_0000, false, 0, 0).latency;
+        assert!(l1 < dram);
+    }
+
+    #[test]
+    fn ifetch_miss_returns_l2_instr_level() {
+        let mut m = small_system(1);
+        let a = m.ifetch(0, Privilege::User, 0x40_0000, 0);
+        assert_eq!(a.level, ServiceLevel::Dram);
+        let b = m.ifetch(0, Privilege::User, 0x40_0000, 5);
+        assert_eq!(b.level, ServiceLevel::L1);
+        // Evict only the L1-I line: fill conflicting lines in the same set.
+        // 64 sets in L1-I: lines differing by 64 map to the same set.
+        for k in 1..=8u64 {
+            m.ifetch(0, Privilege::User, 0x40_0000 + k * 64 * 64, 10 + k);
+        }
+        let c = m.ifetch(0, Privilege::User, 0x40_0000, 100);
+        assert_eq!(c.level, ServiceLevel::L2, "line should still be in L2");
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades_offcore() {
+        let mut m = small_system(2);
+        let addr = 0x3000_0000;
+        // Core 0 reads (line becomes shared/clean in core 0's caches).
+        m.data_access(0, Privilege::User, addr, false, 0, 0);
+        // Core 1 reads the same line (both sharers now).
+        let r1 = m.data_access(1, Privilege::User, addr, false, 0, 1);
+        assert_eq!(r1.level, ServiceLevel::LocalLlc);
+        // Core 0 stores: upgrade must go off-core even though data is in L1.
+        let w = m.data_access(0, Privilege::User, addr, true, 0, 2);
+        assert!(w.offcore, "RFO must be visible off-core");
+        assert_eq!(m.stats().per_core[0].upgrades, 1);
+        // Core 1's copy was invalidated.
+        let r2 = m.data_access(1, Privilege::User, addr, false, 0, 3);
+        assert!(r2.level > ServiceLevel::L2, "core 1 copy must be invalidated, got {:?}", r2.level);
+        assert!(r2.rw_shared, "core 1 reads a line freshly written by core 0");
+    }
+
+    #[test]
+    fn rw_sharing_detected_once_per_write() {
+        let mut m = small_system(2);
+        let addr = 0x4000_0000;
+        m.data_access(0, Privilege::User, addr, true, 0, 0); // core 0 writes
+        let r1 = m.data_access(1, Privilege::User, addr, false, 0, 1);
+        assert!(r1.rw_shared);
+        // Second read by core 1 hits its own L1 — not shared.
+        let r2 = m.data_access(1, Privilege::User, addr, false, 0, 2);
+        assert!(!r2.rw_shared);
+        assert_eq!(m.stats().per_core[1].rw_shared[0], 1);
+    }
+
+    #[test]
+    fn cross_socket_read_snoops_remote_llc() {
+        let mut m = small_system(12); // 2 sockets of 6
+        let addr = 0x5000_0000;
+        m.data_access(0, Privilege::User, addr, true, 0, 0); // socket 0 writes
+        let r = m.data_access(6, Privilege::User, addr, false, 0, 1); // socket 1 reads
+        assert_eq!(r.level, ServiceLevel::RemoteLlc);
+        assert!(r.rw_shared);
+        assert!(r.offcore);
+    }
+
+    #[test]
+    fn inclusion_back_invalidates_private_copies() {
+        // Tiny LLC to force evictions quickly.
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig::none(),
+            llc: crate::config::CacheConfig { size_bytes: 64 * 64, assoc: 1, latency: 39 },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 1);
+        let addr = 0x1_0000;
+        m.data_access(0, Privilege::User, addr, false, 0, 0);
+        assert_eq!(m.data_access(0, Privilege::User, addr, false, 0, 1).level, ServiceLevel::L1);
+        // Evict the LLC set containing `addr` (64 sets, so +64*64 bytes
+        // collides).
+        m.data_access(0, Privilege::User, addr + 64 * 64, false, 0, 2);
+        // The L1 copy must be gone (inclusive hierarchy).
+        let r = m.data_access(0, Privilege::User, addr, false, 0, 3);
+        assert_eq!(r.level, ServiceLevel::Dram, "back-invalidation must purge private copies");
+    }
+
+    #[test]
+    fn dirty_evictions_write_back_to_dram() {
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig::none(),
+            llc: crate::config::CacheConfig { size_bytes: 64 * 64, assoc: 1, latency: 39 },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 1);
+        m.data_access(0, Privilege::User, 0x1_0000, true, 0, 0); // dirty line
+        let w0 = m.dram_stats().writes;
+        m.data_access(0, Privilege::User, 0x1_0000 + 64 * 64, false, 0, 1); // evict it
+        assert_eq!(m.dram_stats().writes, w0 + 1);
+    }
+
+    #[test]
+    fn adjacent_line_prefetcher_fills_companion() {
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig {
+                adjacent_line: true,
+                hw_stride: false,
+                dcu_streamer: false,
+                instr_next_line: false,
+            },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 2);
+        // Core 1 warms the companion line into the shared LLC.
+        m.data_access(1, Privilege::User, 0x9000_0040, false, 0x400100, 0);
+        // Core 0 misses on the pair line; the adjacent-line prefetcher
+        // pulls the LLC-resident companion into core 0's L2.
+        m.data_access(0, Privilege::User, 0x9000_0000, false, 0x400100, 1);
+        assert!(m.stats().per_core[0].prefetch.issued_adjacent >= 1);
+        let r = m.data_access(0, Privilege::User, 0x9000_0040, false, 0x400100, 2);
+        assert_eq!(r.level, ServiceLevel::L2);
+        assert_eq!(m.stats().per_core[0].prefetch.useful_l2, 1);
+        // The prefetcher is LLC-bounded: a companion absent from the LLC
+        // generates no off-chip traffic.
+        let reads0 = m.dram_stats().reads;
+        m.data_access(0, Privilege::User, 0xF000_0000, false, 0x400100, 3);
+        assert_eq!(m.dram_stats().reads, reads0 + 1, "only the demand line may read DRAM");
+    }
+
+    #[test]
+    fn stride_prefetcher_covers_sequential_streams() {
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig {
+                adjacent_line: false,
+                hw_stride: true,
+                dcu_streamer: false,
+                instr_next_line: false,
+            },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 1);
+        let pc = 0x400200;
+        let mut dram_hits = 0;
+        for i in 0..64u64 {
+            let r = m.data_access(0, Privilege::User, 0xA000_0000 + i * 64, false, pc, i * 400);
+            if r.level == ServiceLevel::Dram {
+                dram_hits += 1;
+            }
+        }
+        assert!(m.stats().per_core[0].prefetch.issued_stride > 0);
+        assert!(
+            dram_hits < 40,
+            "stride prefetcher should cover much of a sequential stream, {dram_hits}/64 went to DRAM"
+        );
+        assert!(m.stats().per_core[0].prefetch.useful_l2 > 10);
+    }
+
+    #[test]
+    fn dcu_streamer_prefetches_next_line_into_l1() {
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig {
+                adjacent_line: false,
+                hw_stride: false,
+                dcu_streamer: true,
+                instr_next_line: false,
+            },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 1);
+        // Two ascending misses arm the streamer; the second one prefetches
+        // the third line.
+        m.data_access(0, Privilege::User, 0xB000_0000, false, 0, 0);
+        assert_eq!(m.stats().per_core[0].prefetch.issued_dcu, 0, "first miss must not fire");
+        m.data_access(0, Privilege::User, 0xB000_0040, false, 0, 1);
+        assert_eq!(m.stats().per_core[0].prefetch.issued_dcu, 1);
+        let r = m.data_access(0, Privilege::User, 0xB000_0080, false, 0, 2);
+        assert_eq!(r.level, ServiceLevel::L1, "next line must be L1-resident");
+        assert_eq!(m.stats().per_core[0].prefetch.useful_l1d, 1);
+    }
+
+    #[test]
+    fn tlb_misses_accumulate_stall_cycles() {
+        let mut m = small_system(1);
+        // Touch many distinct pages.
+        for p in 0..2000u64 {
+            m.data_access(0, Privilege::User, p * 4096, false, 0, p);
+        }
+        let t = &m.stats().per_core[0].tlb;
+        assert!(t.dtlb_misses > 0);
+        assert!(t.stlb_misses > 0);
+        assert!(t.stlb_miss_cycles > 0);
+    }
+
+    #[test]
+    fn instruction_fetches_do_not_count_as_data_sharing() {
+        let mut m = small_system(2);
+        let addr = 0xC000_0000u64;
+        m.data_access(0, Privilege::User, addr, true, 0, 0);
+        // Instruction fetch of the same line by core 1: not a *data* ref.
+        let f = m.ifetch(1, Privilege::User, addr, 1);
+        assert!(f.offcore);
+        assert_eq!(m.stats().per_core[1].rw_shared, [0, 0]);
+    }
+
+    #[test]
+    fn disabled_prefetchers_issue_nothing() {
+        let mut m = small_system(1);
+        for i in 0..200u64 {
+            m.data_access(0, Privilege::User, 0xE000_0000 + i * 64, false, 0x40_0000, i);
+            m.ifetch(0, Privilege::User, 0x40_0000 + i * 64, i);
+        }
+        let p = &m.stats().per_core[0].prefetch;
+        assert_eq!(
+            (p.issued_adjacent, p.issued_stride, p.issued_dcu, p.issued_instr),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn cross_socket_write_invalidates_the_remote_copy() {
+        let mut m = small_system(12);
+        let addr = 0x6100_0000u64;
+        // Socket 1 (core 6) reads; socket 0 (core 0) then writes.
+        m.data_access(6, Privilege::User, addr, false, 0, 0);
+        m.data_access(0, Privilege::User, addr, true, 0, 1);
+        // Core 6's copy is gone; its re-read must leave the core and see
+        // the fresh write.
+        let r = m.data_access(6, Privilege::User, addr, false, 0, 2);
+        assert!(r.offcore, "remote invalidation must purge core 6's copies");
+        assert!(r.rw_shared, "and the re-read observes core 0's write");
+    }
+
+    #[test]
+    fn kernel_accesses_are_classified_separately() {
+        let mut m = small_system(1);
+        m.data_access(0, Privilege::Kernel, 0xFFFF_9000_0000_0100, false, 0, 0);
+        m.data_access(0, Privilege::User, 0x1000, false, 0, 1);
+        m.ifetch(0, Privilege::Kernel, 0xFFFF_8000_0000_0000, 2);
+        let s = &m.stats().per_core[0];
+        assert_eq!(s.l1d.accesses[AccessClass::DataKernel.idx()], 1);
+        assert_eq!(s.l1d.accesses[AccessClass::DataUser.idx()], 1);
+        assert_eq!(s.l1i.accesses[AccessClass::InstrKernel.idx()], 1);
+    }
+
+    #[test]
+    fn tlb_stall_components_are_reported() {
+        let mut m = small_system(1);
+        // First touch of a page: full walk, reported as STLB stall.
+        let a = m.data_access(0, Privilege::User, 0x5555_0000, false, 0, 0);
+        assert!(a.stlb_stall > 0, "first touch must walk");
+        // Second touch of the same page: no TLB stall.
+        let b = m.data_access(0, Privilege::User, 0x5555_0008, false, 0, 1);
+        assert_eq!(b.stlb_stall, 0);
+        assert!(b.latency < a.latency);
+    }
+
+    #[test]
+    fn upgrades_do_not_inflate_l1_misses() {
+        let mut m = small_system(2);
+        let addr = 0x7100_0000u64;
+        m.data_access(0, Privilege::User, addr, false, 0, 0); // core 0 read
+        m.data_access(1, Privilege::User, addr, false, 0, 1); // core 1 read (shared)
+        m.data_access(0, Privilege::User, addr, true, 0, 2); // core 0 upgrade
+        let s = &m.stats().per_core[0];
+        assert_eq!(s.upgrades, 1);
+        // Core 0: one cold miss (the read) and one hit (the upgrade found
+        // its data in the L1; only ownership travelled off-core).
+        assert_eq!(s.l1d.total_accesses(), 2);
+        assert_eq!(s.l1d.total_hits(), 1, "the upgrade still found its data in the L1");
+    }
+
+    #[test]
+    fn export_stats_includes_dram_totals() {
+        let mut m = small_system(1);
+        m.data_access(0, Privilege::User, 0x9999_0000, false, 0, 0);
+        let snap = m.export_stats();
+        assert_eq!(snap.dram, m.dram_stats());
+        assert!(snap.dram.reads >= 1);
+        assert_eq!(snap.per_core[0].l1d.total_accesses(), 1);
+    }
+
+    #[test]
+    fn counters_track_levels_consistently() {
+        let mut m = small_system(1);
+        for i in 0..100u64 {
+            m.data_access(0, Privilege::User, 0xD000_0000 + i * 8, false, 0, i);
+        }
+        let s = &m.stats().per_core[0];
+        let l1_acc = s.l1d.total_accesses();
+        let l1_hit = s.l1d.total_hits();
+        let l2_acc = s.l2.total_accesses();
+        assert_eq!(l1_acc, 100);
+        assert_eq!(l1_acc - l1_hit, l2_acc, "every L1 miss must access the L2");
+        let llc_acc = s.llc.total_accesses();
+        assert_eq!(l2_acc - s.l2.total_hits(), llc_acc);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the cache and memory-system invariants.
+
+use cs_memsys::cache::{Cache, LineMeta};
+use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
+use cs_trace::Privilege;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A cache never holds more lines than its capacity, whatever the
+    /// fill sequence, and a just-filled line is always resident.
+    #[test]
+    fn capacity_and_residency(
+        sets in 1usize..64,
+        assoc in 1usize..8,
+        lines in proptest::collection::vec(0u64..10_000, 1..400),
+    ) {
+        let mut c = Cache::new(sets, assoc);
+        for &line in &lines {
+            c.fill(line, LineMeta::clean());
+            prop_assert!(c.peek(line).is_some(), "just-filled line must be resident");
+            prop_assert!(c.valid_lines() <= c.capacity_lines());
+        }
+    }
+
+    /// Invalidate really removes, and double-invalidate is a no-op.
+    #[test]
+    fn invalidate_semantics(lines in proptest::collection::vec(0u64..500, 1..100)) {
+        let mut c = Cache::new(16, 4);
+        for &line in &lines {
+            c.fill(line, LineMeta::clean());
+            prop_assert!(c.invalidate(line).is_some());
+            prop_assert!(c.peek(line).is_none());
+            prop_assert!(c.invalidate(line).is_none());
+        }
+    }
+
+    /// The memory system's per-level counters stay consistent for any
+    /// access sequence: accesses at level N+1 equal misses at level N.
+    #[test]
+    fn hierarchy_counters_are_consistent(
+        addrs in proptest::collection::vec(0u64..(1 << 24), 20..300),
+        stores in proptest::collection::vec(any::<bool>(), 20..300),
+    ) {
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        let mut m = MemorySystem::new(cfg, 2);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let store = stores[i % stores.len()];
+            let core = i % 2;
+            m.data_access(core, Privilege::User, addr * 8, store, 0x40_0000, i as u64);
+        }
+        for core in 0..2 {
+            let s = &m.stats().per_core[core];
+            let l1_misses = s.l1d.total_accesses() - s.l1d.total_hits();
+            // Upgrades re-enter the L2 path without being L1 misses.
+            prop_assert_eq!(l1_misses + s.upgrades, s.l2.total_accesses());
+            let l2_misses = s.l2.total_accesses() - s.l2.total_hits();
+            prop_assert_eq!(l2_misses, s.llc.total_accesses());
+        }
+    }
+
+    /// Read-write sharing is only ever detected when there are at least
+    /// two distinct writers/readers involved — a single-core run must
+    /// never report sharing.
+    #[test]
+    fn no_sharing_on_a_single_core(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 20..200),
+    ) {
+        let mut m = MemorySystem::new(MemSysConfig::default(), 1);
+        for (i, &a) in addrs.iter().enumerate() {
+            m.data_access(0, Privilege::User, a * 64, i % 3 == 0, 0x40_0000, i as u64);
+        }
+        prop_assert_eq!(m.stats().per_core[0].rw_shared, [0, 0]);
+    }
+
+    /// DRAM byte accounting is conserved: total bytes equal 64 times the
+    /// number of bursts.
+    #[test]
+    fn dram_bytes_are_conserved(addrs in proptest::collection::vec(0u64..(1 << 30), 10..200)) {
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        let mut m = MemorySystem::new(cfg, 1);
+        for (i, &a) in addrs.iter().enumerate() {
+            m.data_access(0, Privilege::User, a * 64, false, 0, i as u64);
+        }
+        let d = m.dram_stats();
+        prop_assert_eq!(d.bytes, 64 * (d.reads + d.writes));
+    }
+}

@@ -1,0 +1,178 @@
+//! Named counter sets.
+//!
+//! Hot-path components in the simulator keep their statistics in plain
+//! struct fields for speed; at reporting boundaries they export them into a
+//! [`CounterSet`], which supports merging (across cores, across sockets),
+//! diffing (warmup-window subtraction) and serialization (experiment
+//! output, determinism tests).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An ordered map from counter name to value.
+///
+/// # Example
+///
+/// ```
+/// use cs_perf::CounterSet;
+///
+/// let mut a = CounterSet::new();
+/// a.add("cycles", 100);
+/// a.add("instructions", 250);
+/// let mut b = CounterSet::new();
+/// b.add("cycles", 50);
+/// a.merge(&b);
+/// assert_eq!(a.get("cycles"), 150);
+/// assert_eq!(a.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSet {
+    values: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.values.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Sets counter `name` to `value`.
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Reads counter `name`, returning 0 when absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Accumulates every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Returns `self - baseline` per counter, saturating at zero.
+    ///
+    /// Used to isolate a measurement window from its warmup: snapshot the
+    /// counters at the end of warmup, then diff at the end of measurement.
+    pub fn delta_from(&self, baseline: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (k, v) in &self.values {
+            out.set(k.clone(), v.saturating_sub(baseline.get(k)));
+        }
+        out
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set has no counters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl FromIterator<(String, u64)> for CounterSet {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        Self { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, u64)> for CounterSet {
+    fn extend<I: IntoIterator<Item = (String, u64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut c = CounterSet::new();
+        assert!(c.is_empty());
+        c.add("a", 3);
+        c.add("a", 4);
+        assert_eq!(c.get("a"), 7);
+        assert_eq!(c.get("b"), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 5);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 5);
+    }
+
+    #[test]
+    fn delta_isolates_measurement_window() {
+        let mut warm = CounterSet::new();
+        warm.add("cycles", 100);
+        let mut end = warm.clone();
+        end.add("cycles", 40);
+        end.add("instr", 90);
+        let d = end.delta_from(&warm);
+        assert_eq!(d.get("cycles"), 40);
+        assert_eq!(d.get("instr"), 90);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let mut a = CounterSet::new();
+        a.add("x", 5);
+        let mut b = CounterSet::new();
+        b.add("x", 9);
+        assert_eq!(a.delta_from(&b).get("x"), 0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = CounterSet::new();
+        c.add("zz", 1);
+        c.add("aa", 2);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["aa", "zz"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = CounterSet::new();
+        c.add("cycles", 42);
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: CounterSet = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let c: CounterSet = [("a".to_owned(), 1u64)].into_iter().collect();
+        let mut d = CounterSet::new();
+        d.extend([("a".to_owned(), 2u64), ("b".to_owned(), 3u64)]);
+        assert_eq!(c.get("a"), 1);
+        assert_eq!(d.get("a"), 2);
+        assert_eq!(d.get("b"), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! Performance-counter surface and derived metrics for CloudSuite-RS.
+//!
+//! The paper's entire methodology (§3.1) is built on hardware performance
+//! counters read through VTune. This crate is the simulator's equivalent
+//! surface:
+//!
+//! - [`counters`] — a named counter set, mergeable across cores and runs,
+//!   used for determinism checks and machine-readable experiment output;
+//! - [`metrics`] — the derived-metric formulas used throughout the figures
+//!   (IPC, misses-per-kilo-instruction, hit ratios, utilization) plus
+//!   running statistics and histograms;
+//! - [`report`] — fixed-width table rendering and JSON export for the
+//!   experiment binaries, so every figure can be regenerated as text rows
+//!   or consumed by plotting tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod metrics;
+pub mod report;
+
+pub use counters::CounterSet;
+pub use metrics::{mpki, percent, ratio, Histogram, RunningStat};
+pub use report::{Report, Table};

@@ -1,0 +1,295 @@
+//! Table rendering and JSON export for experiment output.
+//!
+//! Every figure-regeneration binary prints its data through a [`Table`]:
+//! one row per workload (or sweep point), one column per series, matching
+//! the rows/series of the corresponding figure in the paper. Tables render
+//! as aligned text for humans and serialize to JSON for tooling, and a
+//! [`Report`] groups several tables under headed sections.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value cell in a table: text or a number with fixed precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A text cell.
+    Text(String),
+    /// A numeric cell rendered with [`Table::precision`] decimals.
+    Num(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Num(x)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(x: u64) -> Self {
+        Cell::Num(x as f64)
+    }
+}
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use cs_perf::Table;
+///
+/// let mut t = Table::new("ipc", &["workload", "ipc"]);
+/// t.row(["Web Search".into(), 1.02.into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Web Search"));
+/// assert!(text.contains("1.02"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table identifier (used as JSON key and section label).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must have exactly `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+    /// Decimal places for numeric cells (default 2).
+    pub precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given name and column headers.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            precision: 2,
+        }
+    }
+
+    /// Sets the numeric precision, returning `self` for chaining.
+    pub fn with_precision(mut self, precision: usize) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the column count.
+    pub fn row<I: IntoIterator<Item = Cell>>(&mut self, cells: I) {
+        let row: Vec<Cell> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in table {}", self.name);
+        self.rows.push(row);
+    }
+
+    fn render_cell(&self, c: &Cell) -> String {
+        match c {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(x) => format!("{:.*}", self.precision, x),
+        }
+    }
+
+    /// Serializes the table to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+
+    /// Serializes the table as CSV (header row plus data rows; text cells
+    /// containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(&self.render_cell(c))).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| self.render_cell(c)).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{:width$}", c, width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for (r, row) in rendered.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Left-align text, right-align numbers.
+                match self.rows[r].get(i) {
+                    Some(Cell::Num(_)) => write!(f, "{:>width$}", cell, width = widths[i])?,
+                    _ => write!(f, "{:width$}", cell, width = widths[i])?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A titled collection of tables (one experiment's full output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Report title (e.g. `"Figure 3: IPC and MLP"`).
+    pub title: String,
+    /// Free-text notes (methodology reminders, caveats).
+    pub notes: Vec<String>,
+    /// The tables.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), notes: Vec::new(), tables: Vec::new() }
+    }
+
+    /// Appends a methodology note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Appends a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Serializes the report to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "   {n}")?;
+        }
+        for t in &self.tables {
+            writeln!(f)?;
+            writeln!(f, "-- {} --", t.name)?;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["workload", "ipc"]);
+        t.row(["Data Serving".into(), 0.66.into()]);
+        t.row(["MapReduce".into(), 0.74.into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("workload"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("0.66"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn precision_is_configurable() {
+        let mut t = Table::new("p", &["x"]).with_precision(4);
+        t.row([0.123456.into()]);
+        assert!(t.to_string().contains("0.1235"));
+    }
+
+    #[test]
+    fn report_renders_title_notes_tables() {
+        let mut r = Report::new("Figure 1");
+        r.note("methodology note");
+        let mut t = Table::new("breakdown", &["w"]);
+        t.row(["X".into()]);
+        r.push(t);
+        let s = r.to_string();
+        assert!(s.contains("== Figure 1 =="));
+        assert!(s.contains("methodology note"));
+        assert!(s.contains("breakdown"));
+    }
+
+    #[test]
+    fn csv_renders_and_escapes() {
+        let mut t = Table::new("c", &["name", "v"]);
+        t.row(["plain".into(), 1.5.into()]);
+        t.row(["has,comma".into(), 2.0.into()]);
+        t.row(["has\"quote".into(), 3.0.into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,v");
+        assert_eq!(lines[1], "plain,1.50");
+        assert_eq!(lines[2], "\"has,comma\",2.00");
+        assert_eq!(lines[3], "\"has\"\"quote\",3.00");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("j", &["a"]);
+        t.row([1.5.into()]);
+        let back: Table = serde_json::from_str(&t.to_json()).expect("parse");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from("x"), Cell::Text("x".into()));
+        assert_eq!(Cell::from(2u64), Cell::Num(2.0));
+        assert_eq!(Cell::from(String::from("y")), Cell::Text("y".into()));
+    }
+}

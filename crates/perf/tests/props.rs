@@ -1,0 +1,37 @@
+//! Property-based tests of the counter and metric types.
+
+use cs_perf::{CounterSet, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    /// merge is associative over values and delta_from undoes merge.
+    #[test]
+    fn merge_and_delta(
+        base in proptest::collection::btree_map("[a-d]", 0u64..1000, 0..6),
+        extra in proptest::collection::btree_map("[a-d]", 0u64..1000, 0..6),
+    ) {
+        let a: CounterSet = base.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let b: CounterSet = extra.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let recovered = merged.delta_from(&a);
+        for (k, v) in b.iter() {
+            prop_assert_eq!(recovered.get(k), v);
+        }
+    }
+
+    /// Histogram totals equal the number of recorded observations, and the
+    /// nonzero mean is at least 1 when any nonzero value was recorded.
+    #[test]
+    fn histogram_totals(values in proptest::collection::vec(0u64..40, 1..200)) {
+        let mut h = Histogram::new(16);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        if values.iter().any(|&v| v > 0) {
+            prop_assert!(h.mean_nonzero() >= 1.0);
+        }
+        prop_assert!(h.mean() <= h.mean_nonzero() + 1e-9);
+    }
+}

@@ -1,0 +1,464 @@
+//! Data-access pattern generators.
+//!
+//! The data side of a workload is modeled as a weighted mixture of access
+//! patterns, each capturing one behaviour the paper attributes to scale-out
+//! workloads (§2.2, §4.3):
+//!
+//! - [`PatternSpec::Zipf`] — popularity-skewed object accesses over a dataset
+//!   that is orders of magnitude larger than the on-chip caches (YCSB-style
+//!   request streams, index lookups);
+//! - [`PatternSpec::Stream`] — sequential scans (media packetization,
+//!   map-reduce input scans);
+//! - [`PatternSpec::Chase`] — dependent pointer chasing over a region
+//!   (index traversal, linked structures). The number of concurrent chains is
+//!   the workload's memory-level-parallelism knob: each chain's next load
+//!   depends on its previous one;
+//! - [`PatternSpec::Hot`] — a small per-thread hot region (stack, TLS,
+//!   per-request scratch) that lives in the L1;
+//! - [`PatternSpec::SharedRw`] — a small pool of slots shared by all cores
+//!   with occasional writes; this is what produces the read-write sharing of
+//!   Figure 6 (application-level: global counters, GC structures;
+//!   OS-level: network buffer pools).
+
+use crate::rng::splitmix64;
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single generated data access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataAccess {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// When `true`, this access's address depends on the value returned by
+    /// this pattern's previous load *on the same chain* (pointer chase): the
+    /// trace layer must emit a register dependency on that load.
+    pub chained: bool,
+    /// Chain index for chained accesses; 0 for unchained patterns. Distinct
+    /// chains are independent, which is what exposes memory-level
+    /// parallelism.
+    pub chain_id: u32,
+    /// When `Some(p)`, the pattern requests that this access be a store with
+    /// probability `p`, overriding the workload's global store fraction
+    /// (used by [`PatternSpec::SharedRw`] to control sharing intensity).
+    pub write_bias: Option<f64>,
+}
+
+/// Declarative description of one access pattern in a workload mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternSpec {
+    /// Zipf-popular object accesses over a large dataset.
+    Zipf {
+        /// Total dataset bytes (may far exceed cache capacity).
+        dataset_bytes: u64,
+        /// Zipf exponent of object popularity.
+        s: f64,
+        /// Bytes per object.
+        object_bytes: u64,
+        /// Consecutive accesses issued within an object before picking the
+        /// next one (spatial locality within a row/record).
+        burst: u32,
+        /// Probability that an access to this dataset is a store (in-place
+        /// updates are rare in most server datasets; the bulk of stores go
+        /// to private scratch memory).
+        write_frac: f64,
+    },
+    /// Sequential streaming through a region with a fixed stride.
+    Stream {
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// Byte stride between accesses.
+        stride: u64,
+        /// Probability that a stream access is a store (output streams).
+        write_frac: f64,
+    },
+    /// Dependent pointer chasing over `region_bytes` of nodes.
+    Chase {
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// Bytes per node.
+        node_bytes: u64,
+        /// Number of independent chains walked round-robin. One chain
+        /// serializes all its loads; more chains expose more MLP.
+        chains: u32,
+        /// Probability that a chase access is a store (node updates).
+        write_frac: f64,
+    },
+    /// Small per-thread hot region (uniform random within it).
+    Hot {
+        /// Region size in bytes.
+        bytes: u64,
+    },
+    /// Shared read-write slot pool across all cores.
+    SharedRw {
+        /// Number of slots in the pool.
+        slots: u64,
+        /// Bytes per slot.
+        slot_bytes: u64,
+        /// Probability that a pool access is a write.
+        write_frac: f64,
+    },
+}
+
+impl PatternSpec {
+    /// Bytes of address space this pattern needs.
+    pub fn region_bytes(&self) -> u64 {
+        match *self {
+            PatternSpec::Zipf { dataset_bytes, .. } => dataset_bytes,
+            PatternSpec::Stream { region_bytes, .. } => region_bytes,
+            PatternSpec::Chase { region_bytes, .. } => region_bytes,
+            PatternSpec::Hot { bytes } => bytes,
+            PatternSpec::SharedRw { slots, slot_bytes, .. } => slots * slot_bytes,
+        }
+    }
+
+    /// Instantiates the pattern at `base` for hardware thread `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero-sized regions, objects, nodes
+    /// or slots, or a `Chase` with zero chains).
+    pub fn build(&self, base: u64, thread: usize) -> Pattern {
+        match *self {
+            PatternSpec::Zipf { dataset_bytes, s, object_bytes, burst, write_frac } => {
+                assert!(object_bytes > 0 && dataset_bytes >= object_bytes, "degenerate zipf spec");
+                let n_objects = dataset_bytes / object_bytes;
+                Pattern::Zipf(ZipfPattern {
+                    base,
+                    object_bytes,
+                    n_objects,
+                    zipf: Zipf::new(n_objects, s),
+                    burst: burst.max(1),
+                    cur_object: 0,
+                    burst_left: 0,
+                    write_frac,
+                })
+            }
+            PatternSpec::Stream { region_bytes, stride, write_frac } => {
+                assert!(stride > 0 && region_bytes >= stride, "degenerate stream spec");
+                let start = splitmix64(thread as u64 ^ 0x5EED_5A17) % region_bytes;
+                Pattern::Stream(StreamPattern {
+                    base,
+                    region_bytes,
+                    stride,
+                    offset: start / stride * stride,
+                    write_frac,
+                })
+            }
+            PatternSpec::Chase { region_bytes, node_bytes, chains, write_frac } => {
+                assert!(node_bytes > 0 && region_bytes >= node_bytes, "degenerate chase spec");
+                assert!(chains > 0, "chase needs at least one chain");
+                let n_nodes = region_bytes / node_bytes;
+                let salts =
+                    (0..chains as u64).map(|c| splitmix64(c ^ ((thread as u64) << 32))).collect();
+                Pattern::Chase(ChasePattern {
+                    base,
+                    node_bytes,
+                    n_nodes,
+                    counters: vec![0; chains as usize],
+                    salts,
+                    next_chain: 0,
+                    write_frac,
+                })
+            }
+            PatternSpec::Hot { bytes } => {
+                assert!(bytes >= 8, "hot region too small");
+                Pattern::Hot(HotPattern { base, bytes })
+            }
+            PatternSpec::SharedRw { slots, slot_bytes, write_frac } => {
+                assert!(slots > 0 && slot_bytes > 0, "degenerate shared pool");
+                Pattern::SharedRw(SharedRwPattern { base, slots, slot_bytes, write_frac })
+            }
+        }
+    }
+}
+
+/// Instantiated, stateful access-pattern generator.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// See [`PatternSpec::Zipf`].
+    Zipf(ZipfPattern),
+    /// See [`PatternSpec::Stream`].
+    Stream(StreamPattern),
+    /// See [`PatternSpec::Chase`].
+    Chase(ChasePattern),
+    /// See [`PatternSpec::Hot`].
+    Hot(HotPattern),
+    /// See [`PatternSpec::SharedRw`].
+    SharedRw(SharedRwPattern),
+}
+
+impl Pattern {
+    /// Generates the next access of this pattern.
+    pub fn next(&mut self, rng: &mut SmallRng) -> DataAccess {
+        match self {
+            Pattern::Zipf(p) => p.next(rng),
+            Pattern::Stream(p) => p.next(),
+            Pattern::Chase(p) => p.next(),
+            Pattern::Hot(p) => p.next(rng),
+            Pattern::SharedRw(p) => p.next(rng),
+        }
+    }
+}
+
+/// Zipf-popular object accesses. See [`PatternSpec::Zipf`].
+#[derive(Debug, Clone)]
+pub struct ZipfPattern {
+    base: u64,
+    object_bytes: u64,
+    n_objects: u64,
+    zipf: Zipf,
+    burst: u32,
+    cur_object: u64,
+    burst_left: u32,
+    write_frac: f64,
+}
+
+impl ZipfPattern {
+    fn next(&mut self, rng: &mut SmallRng) -> DataAccess {
+        if self.burst_left == 0 {
+            // Scatter the rank so hot objects are not physically adjacent.
+            let rank = self.zipf.sample(rng) - 1;
+            self.cur_object = splitmix64(rank) % self.n_objects;
+            self.burst_left = self.burst;
+        }
+        let pos_in_burst = (self.burst - self.burst_left) as u64;
+        self.burst_left -= 1;
+        // Walk the object 8 bytes at a time, wrapping inside the object.
+        let offset = (pos_in_burst * 8) % self.object_bytes;
+        DataAccess {
+            addr: self.base + self.cur_object * self.object_bytes + offset,
+            size: 8,
+            chained: false,
+            chain_id: 0,
+            write_bias: Some(self.write_frac),
+        }
+    }
+}
+
+/// Sequential streaming. See [`PatternSpec::Stream`].
+#[derive(Debug, Clone)]
+pub struct StreamPattern {
+    base: u64,
+    region_bytes: u64,
+    stride: u64,
+    offset: u64,
+    write_frac: f64,
+}
+
+impl StreamPattern {
+    fn next(&mut self) -> DataAccess {
+        let addr = self.base + self.offset;
+        self.offset = (self.offset + self.stride) % self.region_bytes;
+        DataAccess { addr, size: 8, chained: false, chain_id: 0, write_bias: Some(self.write_frac) }
+    }
+}
+
+/// Dependent pointer chasing. See [`PatternSpec::Chase`].
+#[derive(Debug, Clone)]
+pub struct ChasePattern {
+    base: u64,
+    node_bytes: u64,
+    n_nodes: u64,
+    /// Per-chain walk positions. The node visited at step `i` of a chain
+    /// is `hash(i ^ salt) % n_nodes`: a non-repeating pseudo-random walk.
+    /// (Iterating a fixed hash of the *node* instead would collapse into a
+    /// ~sqrt(n)-length attractor cycle that fits in the L1.)
+    counters: Vec<u64>,
+    salts: Vec<u64>,
+    next_chain: usize,
+    write_frac: f64,
+}
+
+impl ChasePattern {
+    fn next(&mut self) -> DataAccess {
+        let chain = self.next_chain;
+        self.next_chain = (self.next_chain + 1) % self.counters.len();
+        let i = self.counters[chain];
+        self.counters[chain] += 1;
+        let node = splitmix64(i ^ self.salts[chain]) % self.n_nodes;
+        DataAccess {
+            addr: self.base + node * self.node_bytes,
+            size: 8,
+            chained: true,
+            chain_id: chain as u32,
+            write_bias: Some(self.write_frac),
+        }
+    }
+
+    /// Number of independent chains (the MLP knob).
+    pub fn chains(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+/// Small per-thread hot region. See [`PatternSpec::Hot`].
+#[derive(Debug, Clone)]
+pub struct HotPattern {
+    base: u64,
+    bytes: u64,
+}
+
+impl HotPattern {
+    fn next(&mut self, rng: &mut SmallRng) -> DataAccess {
+        let slot = rng.gen_range(0..self.bytes / 8);
+        DataAccess { addr: self.base + slot * 8, size: 8, chained: false, chain_id: 0, write_bias: None }
+    }
+}
+
+/// Shared read-write slot pool. See [`PatternSpec::SharedRw`].
+#[derive(Debug, Clone)]
+pub struct SharedRwPattern {
+    base: u64,
+    slots: u64,
+    slot_bytes: u64,
+    write_frac: f64,
+}
+
+impl SharedRwPattern {
+    fn next(&mut self, rng: &mut SmallRng) -> DataAccess {
+        let slot = rng.gen_range(0..self.slots);
+        let offset = rng.gen_range(0..self.slot_bytes / 8) * 8;
+        DataAccess {
+            addr: self.base + slot * self.slot_bytes + offset,
+            size: 8,
+            chained: false,
+            chain_id: 0,
+            write_bias: Some(self.write_frac),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zipf_pattern_stays_in_region_and_bursts() {
+        let spec =
+            PatternSpec::Zipf { dataset_bytes: 1 << 24, s: 0.99, object_bytes: 256, burst: 4, write_frac: 0.0 };
+        let mut p = spec.build(0x1000_0000, 0);
+        let mut rng = stream_rng(1, 0);
+        let mut last_obj = None;
+        let mut same_obj_runs = 0;
+        for i in 0..4000 {
+            let a = p.next(&mut rng);
+            assert!(a.addr >= 0x1000_0000 && a.addr < 0x1000_0000 + (1 << 24));
+            let obj = (a.addr - 0x1000_0000) / 256;
+            if i % 4 != 0
+                && last_obj == Some(obj) {
+                    same_obj_runs += 1;
+                }
+            last_obj = Some(obj);
+        }
+        // Within a burst of 4, accesses stay in the object.
+        assert!(same_obj_runs > 2500, "bursts not coherent: {same_obj_runs}");
+    }
+
+    #[test]
+    fn stream_pattern_is_sequential_and_wraps() {
+        let spec = PatternSpec::Stream { region_bytes: 4096, stride: 64, write_frac: 0.0 };
+        let mut p = spec.build(0, 0);
+        let mut rng = stream_rng(2, 0);
+        let first = p.next(&mut rng).addr;
+        let second = p.next(&mut rng).addr;
+        assert_eq!(second, (first + 64) % 4096);
+        let mut seen = HashSet::new();
+        for _ in 0..64 {
+            seen.insert(p.next(&mut rng).addr);
+        }
+        assert_eq!(seen.len(), 64, "one full lap visits every slot");
+    }
+
+    #[test]
+    fn chase_pattern_marks_chained_and_round_robins() {
+        let spec = PatternSpec::Chase { region_bytes: 1 << 20, node_bytes: 64, chains: 3, write_frac: 0.0 };
+        let mut p = spec.build(0, 0);
+        let mut rng = stream_rng(3, 0);
+        match &p {
+            Pattern::Chase(c) => assert_eq!(c.chains(), 3),
+            _ => unreachable!(),
+        }
+        for _ in 0..100 {
+            assert!(p.next(&mut rng).chained);
+        }
+    }
+
+    #[test]
+    fn chase_walk_covers_the_region_without_short_cycles() {
+        let spec =
+            PatternSpec::Chase { region_bytes: 1 << 20, node_bytes: 64, chains: 1, write_frac: 0.0 };
+        let mut p = spec.build(0, 0);
+        let mut rng = stream_rng(8, 0);
+        let mut seen = HashSet::new();
+        let draws = 8000;
+        for _ in 0..draws {
+            seen.insert(p.next(&mut rng).addr);
+        }
+        // 16384 nodes; 8000 draws must visit thousands of distinct nodes
+        // (a functional-graph walk would cycle within ~sqrt(n) ≈ 128).
+        assert!(seen.len() > 5000, "chase revisits too much: {} distinct", seen.len());
+    }
+
+    #[test]
+    fn chase_walk_is_deterministic() {
+        let spec = PatternSpec::Chase { region_bytes: 1 << 16, node_bytes: 64, chains: 1, write_frac: 0.0 };
+        let mut p1 = spec.build(0, 0);
+        let mut p2 = spec.build(0, 0);
+        let mut rng = stream_rng(4, 0);
+        for _ in 0..100 {
+            assert_eq!(p1.next(&mut rng).addr, p2.next(&mut rng).addr);
+        }
+    }
+
+    #[test]
+    fn hot_pattern_stays_small() {
+        let spec = PatternSpec::Hot { bytes: 4096 };
+        let mut p = spec.build(0x7000_0000, 5);
+        let mut rng = stream_rng(5, 0);
+        let mut lines = HashSet::new();
+        for _ in 0..10_000 {
+            lines.insert(p.next(&mut rng).addr / 64);
+        }
+        assert!(lines.len() <= 64);
+    }
+
+    #[test]
+    fn shared_rw_pattern_carries_write_bias() {
+        let spec = PatternSpec::SharedRw { slots: 16, slot_bytes: 64, write_frac: 0.3 };
+        let mut p = spec.build(0x9000_0000, 0);
+        let mut rng = stream_rng(6, 0);
+        let a = p.next(&mut rng);
+        assert_eq!(a.write_bias, Some(0.3));
+        assert!(a.addr >= 0x9000_0000 && a.addr < 0x9000_0000 + 16 * 64);
+    }
+
+    #[test]
+    fn region_bytes_reports_span() {
+        assert_eq!(
+            PatternSpec::SharedRw { slots: 8, slot_bytes: 64, write_frac: 0.5 }.region_bytes(),
+            512
+        );
+        assert_eq!(PatternSpec::Hot { bytes: 4096 }.region_bytes(), 4096);
+    }
+
+    #[test]
+    fn different_threads_start_streams_at_different_offsets() {
+        let spec = PatternSpec::Stream { region_bytes: 1 << 20, stride: 64, write_frac: 0.0 };
+        let mut a = spec.build(0, 0);
+        let mut b = spec.build(0, 1);
+        let mut rng = stream_rng(7, 0);
+        assert_ne!(a.next(&mut rng).addr, b.next(&mut rng).addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn chase_rejects_zero_chains() {
+        let _ = PatternSpec::Chase { region_bytes: 1024, node_bytes: 64, chains: 0, write_frac: 0.0 }.build(0, 0);
+    }
+}

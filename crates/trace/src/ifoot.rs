@@ -1,0 +1,257 @@
+//! Instruction-footprint model.
+//!
+//! The paper's central frontend finding (§4.1) is that scale-out workloads
+//! have *multi-megabyte instruction working sets* — an order of magnitude
+//! beyond the 32 KB L1-I — with complex, non-sequential control flow that
+//! defeats next-line prefetchers. This module synthesizes instruction-fetch
+//! streams with exactly those controllable properties.
+//!
+//! The model: a code region of `footprint_bytes` is divided into fixed-size
+//! functions (default 256 bytes ≈ 64 x86 instructions ≈ 4 cache lines).
+//! Execution walks one function sequentially (giving next-line prefetchers
+//! their fair chance), emitting a conditional branch every `branch_every`
+//! instructions, then transfers to a new function drawn from a Zipf
+//! popularity distribution over the whole footprint. The Zipf exponent
+//! controls how concentrated the instruction working set is; the footprint
+//! controls how large it is.
+
+use crate::layout::LINE_BYTES;
+use crate::zipf::Zipf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Average encoded instruction size assumed by the model (x86-64 average).
+pub const INSTR_BYTES: u64 = 4;
+
+/// Static parameters of a code region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodeProfile {
+    /// Total bytes of code that the workload can touch.
+    pub footprint_bytes: u64,
+    /// Zipf exponent of the function popularity distribution. Smaller values
+    /// flatten reuse and grow the effective working set.
+    pub zipf_s: f64,
+    /// Bytes per function (contiguous, sequentially executed).
+    pub func_bytes: u64,
+    /// One conditional branch is emitted every this many instructions.
+    pub branch_every: u32,
+    /// Probability that a conditional branch mispredicts.
+    pub mispredict_rate: f64,
+    /// Probability that the function-to-function transfer mispredicts
+    /// (indirect calls / returns are harder to predict).
+    pub call_mispredict_rate: f64,
+}
+
+impl CodeProfile {
+    /// A profile with conventional structural constants and the given
+    /// footprint, reuse skew and conditional-branch mispredict rate.
+    pub fn new(footprint_bytes: u64, zipf_s: f64, mispredict_rate: f64) -> Self {
+        Self {
+            footprint_bytes,
+            zipf_s,
+            func_bytes: 256,
+            branch_every: 6,
+            mispredict_rate,
+            call_mispredict_rate: (mispredict_rate * 2.0).min(0.5),
+        }
+    }
+
+    /// Number of functions in the footprint (at least 1).
+    pub fn n_funcs(&self) -> u64 {
+        (self.footprint_bytes / self.func_bytes).max(1)
+    }
+
+    /// Instructions per function.
+    pub fn instrs_per_func(&self) -> u32 {
+        (self.func_bytes / INSTR_BYTES).max(1) as u32
+    }
+}
+
+/// One step of the instruction-fetch walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcStep {
+    /// Program counter for the instruction.
+    pub pc: u64,
+    /// Whether this slot is a control-transfer instruction.
+    pub is_branch: bool,
+    /// Whether the branch mispredicts (only meaningful when `is_branch`).
+    pub mispredict: bool,
+}
+
+/// Stateful walker producing a PC stream over a code region.
+#[derive(Debug, Clone)]
+pub struct CodeWalker {
+    base: u64,
+    profile: CodeProfile,
+    zipf: Zipf,
+    cur_func: u64,
+    instr_in_func: u32,
+    instrs_per_func: u32,
+}
+
+impl CodeWalker {
+    /// Creates a walker over a code region starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has a zero footprint or zero-size functions.
+    pub fn new(base: u64, profile: CodeProfile) -> Self {
+        assert!(profile.footprint_bytes > 0, "code footprint must be positive");
+        assert!(profile.func_bytes >= INSTR_BYTES, "functions must hold at least one instruction");
+        let zipf = Zipf::new(profile.n_funcs(), profile.zipf_s);
+        let instrs_per_func = profile.instrs_per_func();
+        Self { base, profile, zipf, cur_func: 0, instr_in_func: 0, instrs_per_func }
+    }
+
+    /// The profile this walker was built from.
+    pub fn profile(&self) -> &CodeProfile {
+        &self.profile
+    }
+
+    /// Advances by one instruction and returns its PC and branch behaviour.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PcStep {
+        let pc = self.base
+            + self.cur_func * self.profile.func_bytes
+            + self.instr_in_func as u64 * INSTR_BYTES;
+        self.instr_in_func += 1;
+
+        let at_func_end = self.instr_in_func >= self.instrs_per_func;
+        let at_branch_slot = self.instr_in_func.is_multiple_of(self.profile.branch_every);
+
+        if at_func_end {
+            // Transfer to the next function: Zipf-popular target. The rank is
+            // scattered over the footprint by a fixed multiplicative hash so
+            // popular functions are not physically adjacent (no accidental
+            // spatial locality between hot functions).
+            let rank = self.zipf.sample(rng) - 1;
+            let n = self.profile.n_funcs();
+            self.cur_func = scatter(rank, n);
+            self.instr_in_func = 0;
+            let mispredict = rng.gen::<f64>() < self.profile.call_mispredict_rate;
+            PcStep { pc, is_branch: true, mispredict }
+        } else if at_branch_slot {
+            let mispredict = rng.gen::<f64>() < self.profile.mispredict_rate;
+            PcStep { pc, is_branch: true, mispredict }
+        } else {
+            PcStep { pc, is_branch: false, mispredict: false }
+        }
+    }
+
+    /// Distinct cache lines spanned by the footprint.
+    pub fn footprint_lines(&self) -> u64 {
+        self.profile.footprint_bytes / LINE_BYTES
+    }
+}
+
+/// Maps a popularity rank to a function index, scattering hot ranks across
+/// the footprint (Fibonacci hashing, then reduced modulo `n`).
+fn scatter(rank: u64, n: u64) -> u64 {
+    rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use std::collections::HashSet;
+
+    fn profile(footprint: u64) -> CodeProfile {
+        CodeProfile::new(footprint, 0.8, 0.01)
+    }
+
+    #[test]
+    fn pcs_stay_in_footprint() {
+        let p = profile(64 * 1024);
+        let mut w = CodeWalker::new(0x40_0000, p.clone());
+        let mut rng = stream_rng(1, 0);
+        for _ in 0..100_000 {
+            let s = w.step(&mut rng);
+            assert!(s.pc >= 0x40_0000);
+            assert!(s.pc < 0x40_0000 + p.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn sequential_within_function() {
+        let p = profile(1 << 20);
+        let mut w = CodeWalker::new(0, p.clone());
+        let mut rng = stream_rng(2, 0);
+        let mut last_pc = None;
+        let mut sequential = 0u64;
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let s = w.step(&mut rng);
+            if let Some(prev) = last_pc {
+                total += 1;
+                if s.pc == prev + INSTR_BYTES {
+                    sequential += 1;
+                }
+            }
+            last_pc = Some(s.pc);
+        }
+        // With 64-instruction functions, ~63/64 of steps are sequential.
+        assert!(sequential as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn branch_density_matches_profile() {
+        let p = profile(1 << 20);
+        let mut w = CodeWalker::new(0, p.clone());
+        let mut rng = stream_rng(3, 0);
+        let n = 120_000;
+        let branches = (0..n).filter(|_| w.step(&mut rng).is_branch).count();
+        let expect = n as f64 / p.branch_every as f64;
+        assert!(
+            (branches as f64 - expect).abs() < 0.1 * expect,
+            "branches {branches} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn larger_footprints_touch_more_lines() {
+        let mut rng = stream_rng(4, 0);
+        let mut touched = |bytes: u64| {
+            let mut w = CodeWalker::new(0, profile(bytes));
+            let mut lines = HashSet::new();
+            for _ in 0..200_000 {
+                lines.insert(w.step(&mut rng).pc / LINE_BYTES);
+            }
+            lines.len()
+        };
+        let small = touched(16 * 1024);
+        let large = touched(2 << 20);
+        assert!(small <= 16 * 1024 / 64);
+        assert!(large > 4 * small, "large {large} small {small}");
+    }
+
+    #[test]
+    fn tiny_footprint_is_l1_resident() {
+        // A SPEC-cpu-like 8 KB footprint touches at most 128 lines.
+        let mut w = CodeWalker::new(0, profile(8 * 1024));
+        let mut rng = stream_rng(5, 0);
+        let mut lines = HashSet::new();
+        for _ in 0..50_000 {
+            lines.insert(w.step(&mut rng).pc / LINE_BYTES);
+        }
+        assert!(lines.len() <= 128);
+    }
+
+    #[test]
+    fn scatter_is_a_permutation_mod_small_n() {
+        let n = 257;
+        let mut seen = HashSet::new();
+        for r in 0..n {
+            seen.insert(scatter(r, n));
+        }
+        // Multiplicative scatter by an odd constant modulo n is not a
+        // permutation in general, but collisions must be rare enough to keep
+        // the popularity mass spread out.
+        assert!(seen.len() as f64 > 0.6 * n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn rejects_zero_footprint() {
+        let _ = CodeWalker::new(0, CodeProfile::new(0, 0.8, 0.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Simulated virtual address-space layout.
+//!
+//! Every workload instance lives in one shared address space (matching the
+//! paper's setup where one server application owns the machine under test).
+//! Regions are placed far apart so that code, per-thread stacks, application
+//! heap, application shared structures, kernel code, kernel data and kernel
+//! network buffers never alias in the caches.
+
+/// Cache-line size in bytes, fixed across the suite (Table 1 hardware).
+pub const LINE_BYTES: u64 = 64;
+
+/// Page size used by the TLB models.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Base of the application code region.
+pub const APP_CODE_BASE: u64 = 0x0000_0000_0040_0000;
+
+/// Base of the application heap (the workload dataset).
+pub const APP_HEAP_BASE: u64 = 0x0000_1000_0000_0000;
+
+/// Base of application-level shared structures (global counters, GC
+/// metadata): the source of the small application-level read-write sharing
+/// the paper observes in Figure 6.
+pub const APP_SHARED_BASE: u64 = 0x0000_2000_0000_0000;
+
+/// Base of the per-thread stack/TLS region.
+pub const STACK_REGION_BASE: u64 = 0x0000_7F00_0000_0000;
+
+/// Bytes reserved per thread inside the stack region.
+pub const STACK_STRIDE: u64 = 16 << 20;
+
+/// Base of kernel code.
+pub const KERNEL_CODE_BASE: u64 = 0xFFFF_8000_0000_0000;
+
+/// Base of kernel private data.
+pub const KERNEL_DATA_BASE: u64 = 0xFFFF_9000_0000_0000;
+
+/// Base of the kernel network buffer pool, shared between cores. The paper
+/// finds OS-level read-write sharing "dominated by the network subsystem"
+/// (§4.4); this region models those buffers.
+pub const NET_BUF_BASE: u64 = 0xFFFF_A000_0000_0000;
+
+/// Returns the stack base address for a hardware thread.
+pub fn stack_base(thread: usize) -> u64 {
+    STACK_REGION_BASE + thread as u64 * STACK_STRIDE
+}
+
+/// Returns the cache-line index of a byte address.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+/// Returns the page number of a byte address.
+#[inline]
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_BYTES
+}
+
+/// Returns `true` if the address lies in a kernel region.
+#[inline]
+pub fn is_kernel_addr(addr: u64) -> bool {
+    addr >= KERNEL_CODE_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut bases =
+            [APP_CODE_BASE, APP_HEAP_BASE, APP_SHARED_BASE, STACK_REGION_BASE, KERNEL_CODE_BASE, KERNEL_DATA_BASE, NET_BUF_BASE];
+        bases.sort_unstable();
+        for w in bases.windows(2) {
+            // At least 64 GiB apart: far larger than any modeled footprint.
+            assert!(w[1] - w[0] >= (64 << 30), "regions too close: {:x} {:x}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn stacks_are_disjoint() {
+        assert_eq!(stack_base(0), STACK_REGION_BASE);
+        assert!(stack_base(1) - stack_base(0) >= STACK_STRIDE);
+        assert!(stack_base(11) > stack_base(10));
+    }
+
+    #[test]
+    fn kernel_addresses_classify() {
+        assert!(is_kernel_addr(KERNEL_CODE_BASE));
+        assert!(is_kernel_addr(NET_BUF_BASE + 128));
+        assert!(!is_kernel_addr(APP_HEAP_BASE));
+        assert!(!is_kernel_addr(stack_base(3)));
+    }
+
+    #[test]
+    fn line_and_page_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(LINE_BYTES), 1);
+        assert_eq!(page_of(PAGE_BYTES * 3 + 17), 3);
+    }
+}

@@ -1,0 +1,307 @@
+//! The micro-operation model consumed by the core timing model.
+//!
+//! Workloads (both the mini scale-out applications in `cs-workloads` and the
+//! synthetic profiles in [`crate::profile`]) are compiled down to a stream of
+//! [`MicroOp`]s. A micro-op carries everything the timing model needs: the
+//! program counter used for instruction-cache behaviour, the operation class
+//! used for functional-unit scheduling, an optional memory reference, the
+//! privilege level used for the paper's application/OS attribution, and up to
+//! two register dependencies expressed as distances back in program order.
+
+use serde::{Deserialize, Serialize};
+
+/// Privilege level of a micro-op.
+///
+/// The paper attributes every counter to either application or operating
+/// system execution (Figures 1, 2, 6 and 7 all carry App/OS splits), so the
+/// privilege level is a first-class part of the trace model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Privilege {
+    /// Application (user-mode) execution.
+    #[default]
+    User,
+    /// Operating-system (kernel-mode) execution.
+    Kernel,
+}
+
+impl Privilege {
+    /// Returns `true` for [`Privilege::Kernel`].
+    #[inline]
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Privilege::Kernel)
+    }
+}
+
+impl std::fmt::Display for Privilege {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Privilege::User => f.write_str("user"),
+            Privilege::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+/// Functional class of a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Simple integer ALU operation (1-cycle latency).
+    IntAlu,
+    /// Integer multiply (3-cycle latency).
+    IntMul,
+    /// Integer divide (long latency, unpipelined).
+    IntDiv,
+    /// Floating-point operation (pipelined, multi-cycle latency).
+    Fp,
+    /// Memory load. Must carry a [`MemRef`].
+    Load,
+    /// Memory store. Must carry a [`MemRef`].
+    Store,
+    /// Control transfer. `mispredict` marks branches the (implicit) branch
+    /// predictor gets wrong; the core charges a pipeline flush for them.
+    Branch {
+        /// Whether this branch is mispredicted in this execution.
+        mispredict: bool,
+    },
+}
+
+impl OpKind {
+    /// Returns `true` for [`OpKind::Load`].
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, OpKind::Load)
+    }
+
+    /// Returns `true` for [`OpKind::Store`].
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, OpKind::Store)
+    }
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for branches.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpKind::Branch { .. })
+    }
+}
+
+/// A data-memory reference attached to a load or store micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Virtual byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1–64).
+    pub size: u8,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or larger than a cache line (64 bytes).
+    #[inline]
+    pub fn new(addr: u64, size: u8) -> Self {
+        assert!((1..=64).contains(&size), "access size must be 1..=64 bytes");
+        Self { addr, size }
+    }
+
+    /// The 64-byte cache-line address containing the first byte.
+    #[inline]
+    pub fn line(&self) -> u64 {
+        self.addr >> 6
+    }
+}
+
+/// A single micro-operation in a workload's dynamic instruction stream.
+///
+/// Dependencies are encoded as distances back in program order (`dep1`,
+/// `dep2`): a value of `k > 0` means this op reads the result of the op that
+/// appeared `k` positions earlier in the same hardware thread's stream. Zero
+/// means no dependency. Distances longer than the reorder window are
+/// effectively always satisfied and are therefore capped at `u8::MAX` by
+/// generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Program counter (virtual address of the instruction).
+    pub pc: u64,
+    /// Functional class.
+    pub kind: OpKind,
+    /// Memory reference for loads and stores, `None` otherwise.
+    pub mem: Option<MemRef>,
+    /// Privilege level this op executes at.
+    pub privilege: Privilege,
+    /// First register dependency, as a distance back in program order
+    /// (0 = none).
+    pub dep1: u8,
+    /// Second register dependency (0 = none).
+    pub dep2: u8,
+}
+
+impl MicroOp {
+    /// Creates an integer ALU op at `pc` with no dependencies.
+    #[inline]
+    pub fn alu(pc: u64) -> Self {
+        Self::of_kind(pc, OpKind::IntAlu)
+    }
+
+    /// Creates an op of an arbitrary non-memory kind at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a load or store; use [`MicroOp::load`] or
+    /// [`MicroOp::store`] for those so the memory reference is supplied.
+    #[inline]
+    pub fn of_kind(pc: u64, kind: OpKind) -> Self {
+        assert!(!kind.is_mem(), "memory ops must use MicroOp::load/store");
+        Self { pc, kind, mem: None, privilege: Privilege::User, dep1: 0, dep2: 0 }
+    }
+
+    /// Creates a load of `size` bytes at address `addr`.
+    #[inline]
+    pub fn load(pc: u64, addr: u64, size: u8) -> Self {
+        Self {
+            pc,
+            kind: OpKind::Load,
+            mem: Some(MemRef::new(addr, size)),
+            privilege: Privilege::User,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Creates a store of `size` bytes at address `addr`.
+    #[inline]
+    pub fn store(pc: u64, addr: u64, size: u8) -> Self {
+        Self {
+            pc,
+            kind: OpKind::Store,
+            mem: Some(MemRef::new(addr, size)),
+            privilege: Privilege::User,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Creates a branch at `pc`; `mispredict` charges a pipeline flush.
+    #[inline]
+    pub fn branch(pc: u64, mispredict: bool) -> Self {
+        Self {
+            pc,
+            kind: OpKind::Branch { mispredict },
+            mem: None,
+            privilege: Privilege::User,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Returns this op with the privilege level replaced.
+    #[inline]
+    pub fn with_privilege(mut self, privilege: Privilege) -> Self {
+        self.privilege = privilege;
+        self
+    }
+
+    /// Returns this op with the first (and optionally second) dependency set.
+    ///
+    /// Distances are saturated into `u8`.
+    #[inline]
+    pub fn with_deps(mut self, dep1: u64, dep2: u64) -> Self {
+        self.dep1 = dep1.min(u8::MAX as u64) as u8;
+        self.dep2 = dep2.min(u8::MAX as u64) as u8;
+        self
+    }
+
+    /// Returns `true` if this is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.kind.is_load()
+    }
+
+    /// Returns `true` if this is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.kind.is_store()
+    }
+
+    /// Returns `true` if this op references data memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.kind.is_mem()
+    }
+
+    /// Returns `true` if this op runs in kernel mode.
+    #[inline]
+    pub fn is_kernel(&self) -> bool {
+        self.privilege.is_kernel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_line_extraction() {
+        let m = MemRef::new(0x1040, 8);
+        assert_eq!(m.line(), 0x1040 >> 6);
+        assert_eq!(MemRef::new(63, 1).line(), 0);
+        assert_eq!(MemRef::new(64, 1).line(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "access size")]
+    fn memref_rejects_zero_size() {
+        let _ = MemRef::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "access size")]
+    fn memref_rejects_oversized() {
+        let _ = MemRef::new(0, 65);
+    }
+
+    #[test]
+    fn constructors_set_kind_and_mem() {
+        assert!(MicroOp::load(0x400000, 0x1000, 8).is_load());
+        assert!(MicroOp::store(0x400000, 0x1000, 8).is_store());
+        assert!(MicroOp::alu(0x400000).kind == OpKind::IntAlu);
+        assert!(MicroOp::branch(0x400000, true).kind.is_branch());
+        assert!(MicroOp::alu(0x400000).mem.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory ops")]
+    fn of_kind_rejects_memory_kinds() {
+        let _ = MicroOp::of_kind(0, OpKind::Load);
+    }
+
+    #[test]
+    fn deps_saturate() {
+        let op = MicroOp::alu(0).with_deps(1000, 3);
+        assert_eq!(op.dep1, u8::MAX);
+        assert_eq!(op.dep2, 3);
+    }
+
+    #[test]
+    fn privilege_display_and_default() {
+        assert_eq!(Privilege::default(), Privilege::User);
+        assert_eq!(Privilege::Kernel.to_string(), "kernel");
+        assert!(Privilege::Kernel.is_kernel());
+        assert!(!Privilege::User.is_kernel());
+    }
+
+    #[test]
+    fn kernel_attribution_via_with_privilege() {
+        let op = MicroOp::alu(0).with_privilege(Privilege::Kernel);
+        assert!(op.is_kernel());
+    }
+}

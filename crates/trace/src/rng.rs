@@ -1,0 +1,165 @@
+//! Deterministic random sampling helpers.
+//!
+//! All randomness in the suite flows through seeded [`SmallRng`] instances so
+//! that a (workload, seed) pair always produces bit-identical traces and
+//! therefore bit-identical counters — the property the determinism
+//! integration test locks down.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a deterministic RNG from a `(seed, stream)` pair.
+///
+/// Distinct streams (e.g. one per hardware thread) built from the same base
+/// seed are decorrelated by mixing the stream index with a SplitMix64 step.
+pub fn stream_rng(seed: u64, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream)))
+}
+
+/// One round of SplitMix64; used to derive independent seeds.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Samples a geometric distribution over `1, 2, 3, ...` with mean `mean`.
+///
+/// Used for dependency distances (instruction-level parallelism model) and
+/// for burst lengths in the OS overlay.
+///
+/// # Panics
+///
+/// Panics if `mean < 1`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 1.0, "geometric mean must be >= 1");
+    if mean == 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let k = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
+    k.max(1)
+}
+
+/// A presampled geometric distribution for hot paths.
+///
+/// Trace generation draws a dependency distance per micro-op; sampling a
+/// fresh geometric variate costs a logarithm each time. This table
+/// presamples 256 variates at construction and then serves draws with one
+/// cheap RNG byte, preserving the marginal distribution to table
+/// resolution.
+#[derive(Debug, Clone)]
+pub struct GeometricTable {
+    table: [u16; 256],
+}
+
+impl GeometricTable {
+    /// Builds a table for the given mean, seeded deterministically from
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> Self {
+        let mut table = [0u16; 256];
+        for slot in table.iter_mut() {
+            *slot = geometric(rng, mean).min(u16::MAX as u64) as u16;
+        }
+        Self { table }
+    }
+
+    /// Draws one variate.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.table[rng.gen::<u8>() as usize] as u64
+    }
+}
+
+/// Returns `true` with probability `p`.
+#[inline]
+pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    p > 0.0 && rng.gen::<f64>() < p
+}
+
+/// Picks an index from a slice of weights, proportionally.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(!weights.is_empty() && total > 0.0, "weights must be non-empty with positive sum");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_rngs_are_reproducible_and_decorrelated() {
+        let mut a1 = stream_rng(42, 0);
+        let mut a2 = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let xs1: Vec<u64> = (0..8).map(|_| a1.gen()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs1, xs2);
+        assert_ne!(xs1, ys);
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = stream_rng(7, 0);
+        for &mean in &[1.5, 3.0, 10.0, 100.0] {
+            let n = 200_000;
+            let sum: u64 = (0..n).map(|_| geometric(&mut rng, mean)).sum();
+            let got = sum as f64 / n as f64;
+            assert!((got - mean).abs() < 0.05 * mean, "mean {mean}: got {got}");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_one_is_constant() {
+        let mut rng = stream_rng(7, 0);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut rng, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = stream_rng(9, 0);
+        assert!(!chance(&mut rng, 0.0));
+        assert!(chance(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = stream_rng(11, 0);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[weighted_index(&mut rng, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_index_rejects_zero_sum() {
+        let mut rng = stream_rng(1, 0);
+        let _ = weighted_index(&mut rng, &[0.0, 0.0]);
+    }
+}

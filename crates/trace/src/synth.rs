@@ -1,0 +1,498 @@
+//! The synthetic trace source: compiles a [`WorkloadProfile`] into an
+//! endless micro-op stream for one hardware thread.
+//!
+//! The source runs two interleaved execution modes — application and
+//! operating system — matching the paper's methodology, where every counter
+//! is attributed to one of the two. Kernel time arrives in bursts (syscalls,
+//! softirq work) whose frequency and length are set by the profile's
+//! [`crate::profile::OsProfile`].
+
+use crate::datagen::Pattern;
+use crate::ifoot::CodeWalker;
+use crate::layout;
+use crate::op::{MicroOp, OpKind, Privilege};
+use crate::profile::{IlpModel, InstrMix, OsProfile, WorkloadProfile};
+use crate::rng::{chance, geometric, stream_rng, weighted_index, GeometricTable};
+use crate::source::TraceSource;
+use crate::datagen::PatternSpec;
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Generator state for one execution mode (application or kernel).
+#[derive(Debug)]
+struct ModeState {
+    walker: CodeWalker,
+    patterns: Vec<Pattern>,
+    weights: Vec<f64>,
+    mix: InstrMix,
+    privilege: Privilege,
+}
+
+impl ModeState {
+    fn build(
+        code_base: u64,
+        code: &crate::ifoot::CodeProfile,
+        data: &[(f64, PatternSpec)],
+        mix: InstrMix,
+        privilege: Privilege,
+        thread: usize,
+        shared_data: bool,
+    ) -> Self {
+        let mut patterns = Vec::with_capacity(data.len());
+        let mut weights = Vec::with_capacity(data.len());
+        for (i, (w, spec)) in data.iter().enumerate() {
+            let base = region_base(spec, privilege, i, thread, shared_data);
+            patterns.push(spec.build(base, thread));
+            weights.push(*w);
+        }
+        Self {
+            walker: CodeWalker::new(code_base, code.clone()),
+            patterns,
+            weights,
+            mix,
+            privilege,
+        }
+    }
+}
+
+/// Assigns a pattern its address-space region.
+///
+/// Private patterns ([`PatternSpec::Hot`]) go to the per-thread stack area;
+/// shared pools go to the dedicated shared regions (application shared
+/// structures or kernel network buffers); everything else receives a
+/// disjoint 1 TiB slot in the heap (application) or kernel data area — the
+/// same slot for every thread when the profile shares its dataset
+/// (server-style), or a per-thread sub-slot when it does not (independent
+/// SPEC/PARSEC-style processes).
+fn region_base(
+    spec: &PatternSpec,
+    privilege: Privilege,
+    index: usize,
+    thread: usize,
+    shared_data: bool,
+) -> u64 {
+    const SLOT: u64 = 1 << 40;
+    // 64 GiB per-thread sub-slots inside a pattern's slot.
+    let private_off = if shared_data { 0 } else { thread as u64 * (64 << 30) };
+    match (spec, privilege) {
+        // Multiple Hot patterns per thread get disjoint 1 MiB sub-regions
+        // of the thread's stack slot.
+        (PatternSpec::Hot { .. }, Privilege::User) => {
+            layout::stack_base(thread) + index as u64 * (1 << 20)
+        }
+        (PatternSpec::Hot { .. }, Privilege::Kernel) => {
+            layout::KERNEL_DATA_BASE
+                + (layout::stack_base(thread) - layout::STACK_REGION_BASE)
+                + index as u64 * (1 << 20)
+        }
+        (PatternSpec::SharedRw { .. }, Privilege::User) => {
+            layout::APP_SHARED_BASE + index as u64 * (1 << 30)
+        }
+        (PatternSpec::SharedRw { .. }, Privilege::Kernel) => {
+            layout::NET_BUF_BASE + index as u64 * (1 << 30)
+        }
+        (_, Privilege::User) => layout::APP_HEAP_BASE + index as u64 * SLOT + private_off,
+        (_, Privilege::Kernel) => layout::KERNEL_DATA_BASE + (1 + index as u64) * SLOT,
+    }
+}
+
+/// A self-contained micro-op generator for one execution mode: code
+/// walker, data patterns, instruction mix, dependency model and chain
+/// bookkeeping. [`SyntheticSource`] runs two of these (application and
+/// kernel); [`OsInterleaver`] pairs one kernel engine with an arbitrary
+/// application source.
+#[derive(Debug)]
+pub struct ModeEngine {
+    state: ModeState,
+    ilp: IlpModel,
+    dep_table: GeometricTable,
+    last_chain_load: HashMap<u64, u64>,
+    last_load_seq: Option<u64>,
+}
+
+impl ModeEngine {
+    /// Builds an engine for one mode.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        code_base: u64,
+        code: &crate::ifoot::CodeProfile,
+        data: &[(f64, PatternSpec)],
+        mix: InstrMix,
+        privilege: Privilege,
+        ilp: IlpModel,
+        thread: usize,
+        shared_data: bool,
+        rng: &mut SmallRng,
+    ) -> Self {
+        Self {
+            state: ModeState::build(code_base, code, data, mix, privilege, thread, shared_data),
+            ilp,
+            dep_table: GeometricTable::new(rng, ilp.mean_dep_distance),
+            last_chain_load: HashMap::new(),
+            last_load_seq: None,
+        }
+    }
+
+    /// Builds a kernel-mode engine from an [`OsProfile`].
+    pub fn kernel(os: &OsProfile, ilp: IlpModel, thread: usize, rng: &mut SmallRng) -> Self {
+        Self::new(
+            layout::KERNEL_CODE_BASE,
+            &os.code,
+            &os.data,
+            os.mix,
+            Privilege::Kernel,
+            ilp,
+            thread,
+            true,
+            rng,
+        )
+    }
+
+    fn generic_deps(&self, rng: &mut SmallRng) -> (u64, u64) {
+        let dep1 = if chance(rng, self.ilp.dep_prob) { self.dep_table.sample(rng) } else { 0 };
+        let dep2 = if dep1 != 0 && chance(rng, self.ilp.second_dep_prob) {
+            self.dep_table.sample(rng)
+        } else {
+            0
+        };
+        (dep1, dep2)
+    }
+
+    /// Generates the next op of this mode; `seq` is the global program
+    /// order position of the op in the thread's stream.
+    pub fn next_op(&mut self, rng: &mut SmallRng, seq: u64) -> MicroOp {
+        let step = self.state.walker.step(rng);
+        let privilege = self.state.privilege;
+
+        let op = if step.is_branch {
+            let mut op = MicroOp::branch(step.pc, step.mispredict).with_privilege(privilege);
+            let dep1 = if chance(rng, self.ilp.dep_prob) { self.dep_table.sample(rng) } else { 0 };
+            op = op.with_deps(dep1, 0);
+            op
+        } else {
+            let mix = self.state.mix;
+            let r: f64 = rand::Rng::gen(rng);
+            let mut kind = if r < mix.load {
+                OpKind::Load
+            } else if r < mix.load + mix.store {
+                OpKind::Store
+            } else if r < mix.load + mix.store + mix.fp {
+                OpKind::Fp
+            } else if r < mix.load + mix.store + mix.fp + mix.mul {
+                OpKind::IntMul
+            } else if r < mix.total() {
+                OpKind::IntDiv
+            } else {
+                OpKind::IntAlu
+            };
+
+            if kind.is_mem() {
+                let idx = weighted_index(rng, &self.state.weights);
+                let access = self.state.patterns[idx].next(rng);
+                if let Some(p) = access.write_bias {
+                    kind = if chance(rng, p) { OpKind::Store } else { OpKind::Load };
+                }
+                let mut op = match kind {
+                    OpKind::Store => MicroOp::store(step.pc, access.addr, access.size),
+                    _ => MicroOp::load(step.pc, access.addr, access.size),
+                };
+                op = op.with_privilege(privilege);
+                if access.chained {
+                    let key = (idx as u64) << 32 | access.chain_id as u64;
+                    let dep = match self.last_chain_load.get(&key) {
+                        Some(&last) => seq - last,
+                        None => 0,
+                    };
+                    if op.is_load() {
+                        self.last_chain_load.insert(key, seq);
+                    }
+                    op = op.with_deps(dep, 0);
+                } else if op.is_load()
+                    && chance(rng, self.ilp.load_chain_prob)
+                    && self.last_load_seq.is_some()
+                {
+                    // Request-processing serialization: this load's address
+                    // came out of the previous load (hash bucket -> entry ->
+                    // field), the paper's "complex data structure
+                    // dependencies" limiting MLP.
+                    let dep = seq - self.last_load_seq.expect("checked");
+                    op = op.with_deps(dep, 0);
+                } else {
+                    let (d1, d2) = self.generic_deps(rng);
+                    op = op.with_deps(d1, d2);
+                }
+                if op.is_load() {
+                    self.last_load_seq = Some(seq);
+                }
+                op
+            } else {
+                let mut op = MicroOp::of_kind(step.pc, kind).with_privilege(privilege);
+                let (d1, d2) = self.generic_deps(rng);
+                op = op.with_deps(d1, d2);
+                op
+            }
+        };
+        op
+    }
+}
+
+/// An endless synthetic micro-op stream for one hardware thread.
+///
+/// Built by [`WorkloadProfile::build_source`].
+#[derive(Debug)]
+pub struct SyntheticSource {
+    label: String,
+    rng: SmallRng,
+    app: ModeEngine,
+    os: Option<(ModeEngine, f64 /* burst mean */, f64 /* user period mean */)>,
+    /// Remaining kernel-mode ops in the current burst (0 = user mode).
+    kernel_left: u64,
+    /// Remaining user-mode ops until the next syscall.
+    until_syscall: u64,
+    /// Ops emitted so far (program-order sequence number).
+    seq: u64,
+}
+
+impl SyntheticSource {
+    /// Compiles `profile` into a stream for hardware thread `thread`,
+    /// seeding all randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn new(profile: &WorkloadProfile, thread: usize, seed: u64) -> Self {
+        profile.validate();
+        let mut rng = stream_rng(seed, thread as u64);
+        let app = ModeEngine::new(
+            layout::APP_CODE_BASE,
+            &profile.code,
+            &profile.data,
+            profile.mix,
+            Privilege::User,
+            profile.ilp,
+            thread,
+            profile.shared_data,
+            &mut rng,
+        );
+        let os = profile.os.as_ref().map(|os: &OsProfile| {
+            let engine = ModeEngine::kernel(os, profile.ilp, thread, &mut rng);
+            let user_period = if os.fraction > 0.0 {
+                os.burst_mean * (1.0 - os.fraction) / os.fraction
+            } else {
+                f64::INFINITY
+            };
+            (engine, os.burst_mean, user_period)
+        });
+        let until_syscall = match &os {
+            Some((_, _, period)) if period.is_finite() => geometric(&mut rng, period.max(1.0)),
+            _ => u64::MAX,
+        };
+        Self { label: profile.name.clone(), rng, app, os, kernel_left: 0, until_syscall, seq: 0 }
+    }
+
+    /// Advances mode bookkeeping and returns whether the next op is
+    /// kernel-mode.
+    fn advance_mode(&mut self) -> bool {
+        if self.os.is_none() {
+            return false;
+        }
+        if self.kernel_left > 0 {
+            self.kernel_left -= 1;
+            return true;
+        }
+        if self.until_syscall == 0 {
+            let (_, burst_mean, period) = self.os.as_ref().expect("checked above");
+            let (burst_mean, period) = (*burst_mean, *period);
+            let burst = geometric(&mut self.rng, burst_mean.max(1.0));
+            self.kernel_left = burst.saturating_sub(1);
+            self.until_syscall = geometric(&mut self.rng, period.max(1.0));
+            return true;
+        }
+        self.until_syscall -= 1;
+        false
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        let kernel = self.advance_mode();
+        let engine =
+            if kernel { &mut self.os.as_mut().expect("kernel mode requires os").0 } else { &mut self.app };
+        let op = engine.next_op(&mut self.rng, self.seq);
+        self.seq += 1;
+        Some(op)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Interleaves kernel-mode bursts into an arbitrary application-level
+/// source — the OS overlay used by the mini applications in
+/// `cs-workloads`, mirroring how the paper's workloads spend part of their
+/// time in the operating system.
+#[derive(Debug)]
+pub struct OsInterleaver<S> {
+    inner: S,
+    rng: SmallRng,
+    kernel: ModeEngine,
+    burst_mean: f64,
+    user_period: f64,
+    kernel_left: u64,
+    until_syscall: u64,
+    seq: u64,
+}
+
+impl<S: TraceSource> OsInterleaver<S> {
+    /// Wraps `inner` with kernel bursts described by `os`; `ilp` shapes the
+    /// kernel ops' dependencies.
+    pub fn new(inner: S, os: &OsProfile, ilp: IlpModel, thread: usize, seed: u64) -> Self {
+        let mut rng = stream_rng(seed ^ 0xC0FE, thread as u64);
+        let kernel = ModeEngine::kernel(os, ilp, thread, &mut rng);
+        let user_period = if os.fraction > 0.0 {
+            os.burst_mean * (1.0 - os.fraction) / os.fraction
+        } else {
+            f64::INFINITY
+        };
+        let until_syscall =
+            if user_period.is_finite() { geometric(&mut rng, user_period.max(1.0)) } else { u64::MAX };
+        Self {
+            inner,
+            rng,
+            kernel,
+            burst_mean: os.burst_mean,
+            user_period,
+            kernel_left: 0,
+            until_syscall,
+            seq: 0,
+        }
+    }
+
+    /// The wrapped application source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSource> TraceSource for OsInterleaver<S> {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        let kernel = if self.kernel_left > 0 {
+            self.kernel_left -= 1;
+            true
+        } else if self.until_syscall == 0 && self.user_period.is_finite() {
+            let burst = geometric(&mut self.rng, self.burst_mean.max(1.0));
+            self.kernel_left = burst.saturating_sub(1);
+            self.until_syscall = geometric(&mut self.rng, self.user_period.max(1.0));
+            true
+        } else {
+            self.until_syscall = self.until_syscall.saturating_sub(1);
+            false
+        };
+        let op = if kernel {
+            Some(self.kernel.next_op(&mut self.rng, self.seq))
+        } else {
+            self.inner.next_op()
+        };
+        if op.is_some() {
+            self.seq += 1;
+        }
+        op
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn pull(profile: &WorkloadProfile, n: usize) -> Vec<MicroOp> {
+        let mut src = profile.build_source(0, 1234);
+        (0..n).map(|_| src.next_op().expect("endless")).collect()
+    }
+
+    #[test]
+    fn stream_is_endless_and_deterministic() {
+        let p = WorkloadProfile::data_serving();
+        let a = pull(&p, 5000);
+        let b = pull(&p, 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_threads_differ() {
+        let p = WorkloadProfile::web_search();
+        let mut s0 = p.build_source(0, 7);
+        let mut s1 = p.build_source(1, 7);
+        let a: Vec<_> = (0..200).map(|_| s0.next_op().unwrap()).collect();
+        let b: Vec<_> = (0..200).map(|_| s1.next_op().unwrap()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn os_fraction_is_respected() {
+        let p = WorkloadProfile::media_streaming();
+        let target = p.os.as_ref().unwrap().fraction;
+        let ops = pull(&p, 400_000);
+        let kernel = ops.iter().filter(|o| o.is_kernel()).count() as f64 / ops.len() as f64;
+        assert!(
+            (kernel - target).abs() < 0.05,
+            "kernel fraction {kernel:.3} vs target {target:.3}"
+        );
+    }
+
+    #[test]
+    fn no_os_profile_means_no_kernel_ops() {
+        let ops = pull(&WorkloadProfile::specint_cpu(), 100_000);
+        assert!(ops.iter().all(|o| !o.is_kernel()));
+    }
+
+    #[test]
+    fn load_store_fractions_track_mix() {
+        let p = WorkloadProfile::specint_cpu();
+        let ops = pull(&p, 300_000);
+        let loads = ops.iter().filter(|o| o.is_load()).count() as f64 / ops.len() as f64;
+        // Branch slots dilute the mix slightly; allow a generous band.
+        assert!((0.15..0.32).contains(&loads), "load fraction {loads}");
+    }
+
+    #[test]
+    fn kernel_ops_fetch_kernel_code_and_touch_kernel_data() {
+        let ops = pull(&WorkloadProfile::tpcc(), 300_000);
+        for op in ops.iter().filter(|o| o.is_kernel()) {
+            assert!(layout::is_kernel_addr(op.pc), "kernel op with user pc {:x}", op.pc);
+            if let Some(m) = op.mem {
+                assert!(layout::is_kernel_addr(m.addr), "kernel op with user data {:x}", m.addr);
+            }
+        }
+        for op in ops.iter().filter(|o| !o.is_kernel()) {
+            assert!(!layout::is_kernel_addr(op.pc), "user op with kernel pc {:x}", op.pc);
+        }
+    }
+
+    #[test]
+    fn chained_loads_carry_dependencies() {
+        // The polluter is a pure chase workload: after warmup, most loads
+        // must carry a chained dependency.
+        let ops = pull(&WorkloadProfile::polluter(1 << 20), 50_000);
+        let loads: Vec<_> = ops.iter().filter(|o| o.is_load()).collect();
+        let with_dep = loads.iter().filter(|o| o.dep1 != 0).count();
+        assert!(
+            with_dep as f64 / loads.len() as f64 > 0.9,
+            "only {with_dep}/{} chase loads have deps",
+            loads.len()
+        );
+    }
+
+    #[test]
+    fn mem_ops_always_carry_refs() {
+        let ops = pull(&WorkloadProfile::web_frontend(), 100_000);
+        for op in &ops {
+            assert_eq!(op.is_mem(), op.mem.is_some());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Rejection-inversion Zipf sampler.
+//!
+//! Both the instruction-footprint model (function popularity) and the data
+//! models (YCSB-style object popularity, §3.2 of the paper: "requests
+//! following a Zipfian distribution") need Zipf-distributed indices over very
+//! large domains. This module implements the rejection-inversion method of
+//! Hörmann and Derflinger (*Rejection-inversion to generate variates from
+//! monotone discrete distributions*, ACM TOMACS 1996), which samples in O(1)
+//! independent of the domain size.
+
+use rand::Rng;
+
+/// A Zipf distribution over `1..=n` with exponent `s > 0`:
+/// `P(k) ∝ k^-s`.
+///
+/// # Example
+///
+/// ```
+/// use cs_trace::zipf::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1_000_000, 0.99);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let k = zipf.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&k));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `H(x) = (x^(1-s) - 1) / (1 - s)` evaluated at `n + 1/2`.
+    h_n: f64,
+    /// `H(1/2)`.
+    h_x0: f64,
+    /// Acceptance shortcut threshold for `k = 1`.
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `s` is not strictly positive and finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "zipf domain must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "zipf exponent must be positive and finite");
+        let h = |x: f64| h_integral(x, s);
+        let h_x0 = h(0.5);
+        let h_n = h(n as f64 + 0.5);
+        // `s` in Hörmann-Derflinger notation: the shortcut acceptance band
+        // around k = 1.
+        let threshold = 1.0 - h_integral_inv(h(1.5) - (-s * 1.0f64.ln()).exp(), s);
+        Self { n, s, h_n, h_x0, threshold }
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `1..=n`, rank 1 being the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u = self.h_x0 + rng.gen::<f64>() * (self.h_n - self.h_x0);
+            let x = h_integral_inv(u, self.s);
+            // Clamp guards against floating-point excursions at the ends.
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.threshold {
+                return k as u64;
+            }
+            if u >= h_integral(k + 0.5, self.s) - (-self.s * k.ln()).exp() {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability mass of rank `k` (for validation and tests).
+    ///
+    /// Computed by direct normalization; O(n), so only call this for small
+    /// domains.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n, "rank out of domain");
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+/// `H(x) = (x^(1-s) - 1) / (1 - s)` with the `s == 1` limit `ln(x)`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (s - 1.0).abs() < 1e-9 {
+        log_x
+    } else {
+        (((1.0 - s) * log_x).exp() - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inv(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        y.exp()
+    } else {
+        let t = (y * (1.0 - s) + 1.0).max(f64::MIN_POSITIVE);
+        (t.ln() / (1.0 - s)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn degenerate_domain_always_returns_one() {
+        let zipf = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_exact_pmf_small_domain() {
+        let n = 20;
+        let zipf = Zipf::new(n, 0.8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let draws = 400_000;
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for k in 1..=n {
+            let expected = zipf.pmf(k);
+            let got = counts[k as usize] as f64 / draws as f64;
+            // Loose 10% relative + small absolute tolerance.
+            assert!(
+                (got - expected).abs() < 0.1 * expected + 0.002,
+                "rank {k}: expected {expected:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn popularity_is_monotone_for_unit_exponent() {
+        // Covers the s == 1 special case in h_integral / h_integral_inv.
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u64; 101];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[80]);
+    }
+
+    #[test]
+    fn huge_domain_sampling_is_cheap_and_skewed() {
+        let zipf = Zipf::new(1 << 40, 0.99);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut head = 0u64;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) <= 1000 {
+                head += 1;
+            }
+        }
+        // Under Zipf(0.99) over 2^40 items, the top-1000 carry a visible
+        // fraction of the mass (roughly a quarter).
+        assert!(head > draws / 10, "head mass too small: {head}/{draws}");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_nonpositive_exponent() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

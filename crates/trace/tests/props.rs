@@ -1,0 +1,75 @@
+//! Property-based tests of the trace substrate invariants.
+
+use cs_trace::profile::WorkloadProfile;
+use cs_trace::rng::{geometric, stream_rng, GeometricTable};
+use cs_trace::source::TraceSource;
+use cs_trace::zipf::Zipf;
+use cs_trace::{layout, MicroOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf samples always land in `1..=n`, for any domain and exponent.
+    #[test]
+    fn zipf_stays_in_domain(n in 1u64..1_000_000, s in 0.05f64..3.0, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, s);
+        let mut rng = stream_rng(seed, 0);
+        for _ in 0..200 {
+            let k = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Geometric samples are always at least 1.
+    #[test]
+    fn geometric_is_positive(mean in 1.0f64..500.0, seed in any::<u64>()) {
+        let mut rng = stream_rng(seed, 0);
+        for _ in 0..100 {
+            prop_assert!(geometric(&mut rng, mean) >= 1);
+        }
+    }
+
+    /// The presampled table draws from the same support.
+    #[test]
+    fn geometric_table_is_positive(mean in 1.0f64..500.0, seed in any::<u64>()) {
+        let mut rng = stream_rng(seed, 0);
+        let table = GeometricTable::new(&mut rng, mean);
+        for _ in 0..100 {
+            prop_assert!(table.sample(&mut rng) >= 1);
+        }
+    }
+
+    /// Every synthetic stream, for any seed and thread, satisfies the
+    /// structural invariants the core model relies on: memory ops carry
+    /// references, privilege and address spaces agree, and dependencies
+    /// never reference the future.
+    #[test]
+    fn synthetic_streams_are_well_formed(seed in any::<u64>(), thread in 0usize..8) {
+        let profile = WorkloadProfile::data_serving();
+        let mut src = profile.build_source(thread, seed);
+        for i in 0..2_000u64 {
+            let op: MicroOp = src.next_op().expect("endless");
+            prop_assert_eq!(op.is_mem(), op.mem.is_some());
+            prop_assert_eq!(layout::is_kernel_addr(op.pc), op.is_kernel());
+            if let Some(m) = op.mem {
+                prop_assert_eq!(layout::is_kernel_addr(m.addr), op.is_kernel());
+            }
+            // Dependencies point backwards at most `i` ops.
+            prop_assert!(op.dep1 as u64 <= i.max(255));
+        }
+    }
+
+    /// Identical (seed, thread) pairs give identical streams for every
+    /// stock profile.
+    #[test]
+    fn streams_are_reproducible(seed in any::<u64>()) {
+        for profile in [WorkloadProfile::web_search(), WorkloadProfile::tpcc()] {
+            let mut a = profile.build_source(0, seed);
+            let mut b = profile.build_source(0, seed);
+            for _ in 0..500 {
+                prop_assert_eq!(a.next_op(), b.next_op());
+            }
+        }
+    }
+}

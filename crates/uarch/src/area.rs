@@ -1,0 +1,141 @@
+//! First-order area and power proxies for core and cache structures.
+//!
+//! The paper's argument is ultimately about *compute density*: "the die
+//! area and the energy are wasted" on wide windows and oversized LLCs
+//! (§4.2–4.3), and its conclusion calls for designs with "improved
+//! computational density and power efficiency". To make that argument
+//! quantitative inside the reproduction, this module provides first-order
+//! area/power models at the paper's 32 nm node, calibrated against public
+//! die-shot estimates of Westmere-EP (≈240 mm² for six cores plus a 12 MB
+//! LLC: roughly 15 mm² per core with private caches and ≈5 mm²/MB of LLC
+//! SRAM with its tags and interconnect).
+//!
+//! These are proxies, not layout estimates: superlinear terms capture the
+//! well-known growth of scheduler/bypass/rename structures with issue
+//! width and window size (the paper: "the core's complexity increases
+//! dramatically depending on the width of the pipeline and the size of
+//! the reorder window").
+
+use crate::config::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Area/power estimate for one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Area in mm² (32 nm).
+    pub area_mm2: f64,
+    /// Peak dynamic power in watts.
+    pub power_w: f64,
+}
+
+/// First-order model of one out-of-order core (including its private L1s
+/// and L2) at 32 nm.
+///
+/// The width term grows superlinearly (bypass networks, register-file
+/// ports, select logic); ROB/LSQ/RS contribute linearly with small
+/// coefficients; in-order cores drop the scheduling structures entirely.
+pub fn core_estimate(cfg: &CoreConfig) -> Estimate {
+    let w = cfg.width as f64;
+    let window = cfg.rob_entries as f64;
+    let lsq = (cfg.load_queue + cfg.store_queue) as f64;
+    let rs = cfg.reservation_stations as f64;
+
+    // Frontend + execution resources: superlinear in width.
+    let width_area = 0.68 * w.powf(1.7);
+    // Scheduling structures: absent on an in-order core.
+    let sched_area = if cfg.in_order {
+        0.35 // scoreboard
+    } else {
+        0.012 * window + 0.02 * lsq + 0.03 * rs
+    };
+    // Private L1 I/D + L2 SRAM (32+32+256 KB) and fixed overheads.
+    let cache_area = 2.6;
+    let base = 2.0;
+    // SMT adds a second architectural state and partition logic.
+    let smt_area = if cfg.smt_threads > 1 { 0.55 } else { 0.0 };
+    let area = base + width_area + sched_area + cache_area + smt_area;
+
+    // Power tracks the same structures; aggressive scheduling burns a
+    // disproportionate share (the paper's "power-hungry scheduler").
+    let power = 0.9
+        + 0.5 * w.powf(1.6)
+        + if cfg.in_order { 0.1 } else { 0.008 * window + 0.02 * rs }
+        + if cfg.smt_threads > 1 { 0.3 } else { 0.0 };
+    Estimate { area_mm2: area, power_w: power }
+}
+
+/// First-order model of `bytes` of last-level cache (data + tags +
+/// slice interconnect) at 32 nm.
+pub fn llc_estimate(bytes: u64) -> Estimate {
+    let mb = bytes as f64 / (1 << 20) as f64;
+    Estimate { area_mm2: 5.0 * mb, power_w: 0.55 * mb }
+}
+
+/// Whole-chip estimate: `n_cores` copies of `core` plus the LLC.
+pub fn chip_estimate(core: &CoreConfig, n_cores: usize, llc_bytes: u64) -> Estimate {
+    let c = core_estimate(core);
+    let l = llc_estimate(llc_bytes);
+    Estimate {
+        area_mm2: c.area_mm2 * n_cores as f64 + l.area_mm2,
+        power_w: c.power_w * n_cores as f64 + l.power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn westmere_calibration_anchors() {
+        // One X5670 core with private caches: ~15 mm².
+        let wide = core_estimate(&CoreConfig::x5670());
+        assert!(
+            (12.0..18.0).contains(&wide.area_mm2),
+            "4-wide core area {:.1} off the Westmere anchor",
+            wide.area_mm2
+        );
+        // Whole six-core chip with 12 MB LLC: in the ballpark of the
+        // 240 mm² die.
+        let chip = chip_estimate(&CoreConfig::x5670(), 6, 12 << 20);
+        assert!(
+            (140.0..260.0).contains(&chip.area_mm2),
+            "chip estimate {:.0} mm² implausible",
+            chip.area_mm2
+        );
+    }
+
+    #[test]
+    fn narrow_cores_are_much_smaller() {
+        let wide = core_estimate(&CoreConfig::x5670());
+        let narrow = core_estimate(&CoreConfig::narrow2());
+        assert!(
+            narrow.area_mm2 < 0.62 * wide.area_mm2,
+            "2-wide ({:.1}) should be far smaller than 4-wide ({:.1})",
+            narrow.area_mm2,
+            wide.area_mm2
+        );
+        assert!(narrow.power_w < wide.power_w);
+    }
+
+    #[test]
+    fn in_order_drops_the_scheduler() {
+        let ooo2 = core_estimate(&CoreConfig::narrow2());
+        let ino2 = core_estimate(&CoreConfig::in_order2());
+        assert!(ino2.area_mm2 < ooo2.area_mm2);
+    }
+
+    #[test]
+    fn smt_costs_a_little_area() {
+        let base = core_estimate(&CoreConfig::x5670());
+        let smt = core_estimate(&CoreConfig::x5670_smt());
+        let delta = smt.area_mm2 - base.area_mm2;
+        assert!(delta > 0.0 && delta < 0.1 * base.area_mm2, "SMT delta {delta:.2}");
+    }
+
+    #[test]
+    fn llc_scales_linearly() {
+        let a = llc_estimate(4 << 20);
+        let b = llc_estimate(12 << 20);
+        assert!((b.area_mm2 / a.area_mm2 - 3.0).abs() < 1e-9);
+    }
+}

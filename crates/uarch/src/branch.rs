@@ -1,0 +1,159 @@
+//! Branch prediction models.
+//!
+//! The trace layer annotates each branch with a mispredict flag drawn from
+//! the workload's calibrated rate ([`BranchModel::Trace`]); for studies of
+//! the predictor itself the core can instead run a real gshare predictor
+//! ([`BranchModel::Gshare`]) against the actual taken/not-taken outcomes
+//! reconstructed from the fetch stream (a branch was taken iff the next
+//! fetched instruction is not the fall-through).
+
+use serde::{Deserialize, Serialize};
+
+/// Which branch predictor the core uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum BranchModel {
+    /// Use the trace's per-branch mispredict annotations (default; the
+    /// rates are calibrated per workload).
+    #[default]
+    Trace,
+    /// Run a gshare predictor with `2^bits` two-bit counters against the
+    /// reconstructed outcomes.
+    Gshare {
+        /// log2 of the pattern-history-table size.
+        bits: u8,
+    },
+}
+
+
+/// A gshare predictor: global history XOR PC indexes a table of two-bit
+/// saturating counters.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u64,
+    mask: u64,
+    /// Predictions made.
+    pub predictions: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `2^bits` counters, initialized to weakly
+    /// taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 24.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=24).contains(&bits), "gshare size must be 1..=24 bits");
+        let n = 1usize << bits;
+        Self { table: vec![2; n], history: 0, mask: n as u64 - 1, predictions: 0, mispredicts: 0 }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// Predicts the branch at `pc`, then updates with the actual outcome.
+    /// Returns `true` if the prediction was wrong.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let predicted_taken = self.table[idx] >= 2;
+        let mispredict = predicted_taken != taken;
+        // Two-bit saturating counter update.
+        let c = &mut self.table[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | u64::from(taken)) & self.mask;
+        self.predictions += 1;
+        if mispredict {
+            self.mispredicts += 1;
+        }
+        mispredict
+    }
+
+    /// Observed misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut g = Gshare::new(10);
+        let mut late_misses = 0;
+        for i in 0..1000 {
+            let miss = g.predict_and_update(0x40_0000, true);
+            if i > 100 && miss {
+                late_misses += 1;
+            }
+        }
+        assert_eq!(late_misses, 0, "an always-taken branch must become perfectly predicted");
+    }
+
+    #[test]
+    fn learns_alternating_patterns_through_history() {
+        let mut g = Gshare::new(12);
+        let mut late_misses = 0;
+        for i in 0..4000u64 {
+            let taken = i % 2 == 0;
+            let miss = g.predict_and_update(0x40_0040, taken);
+            if i > 1000 && miss {
+                late_misses += 1;
+            }
+        }
+        assert!(
+            late_misses < 100,
+            "history must capture the alternation, {late_misses} late misses"
+        );
+    }
+
+    #[test]
+    fn random_branches_mispredict_about_half_the_time() {
+        let mut g = Gshare::new(12);
+        let mut x = 0x12345678u64;
+        for _ in 0..20_000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            g.predict_and_update(0x40_0000 + (x & 0xFF) * 4, x & 1 == 0);
+        }
+        let rate = g.mispredict_rate();
+        assert!((0.35..0.65).contains(&rate), "random stream rate {rate:.2}");
+    }
+
+    #[test]
+    fn distinct_branches_do_not_destructively_alias_much() {
+        let mut g = Gshare::new(14);
+        let mut late = 0;
+        for i in 0..8000u64 {
+            let pc = 0x40_0000 + (i % 16) * 4;
+            let miss = g.predict_and_update(pc, true);
+            if i > 2000 && miss {
+                late += 1;
+            }
+        }
+        assert!(late < 200, "{late} late misses across 16 always-taken branches");
+    }
+
+    #[test]
+    #[should_panic(expected = "gshare size")]
+    fn rejects_oversized_tables() {
+        let _ = Gshare::new(40);
+    }
+}

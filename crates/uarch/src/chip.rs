@@ -1,0 +1,170 @@
+//! Multi-core chip assembly.
+//!
+//! A [`Chip`] owns a set of [`OooCore`]s and the shared
+//! [`MemorySystem`], advancing everything in lock-step, one cycle at a
+//! time. This is the unit the experiment harness drives: workload threads
+//! (and, for the Figure 4 methodology, cache-polluter threads) are attached
+//! to specific cores, mirroring the paper's practice of pinning workloads
+//! to cores and disabling the rest.
+
+use crate::config::CoreConfig;
+use crate::core::OooCore;
+use cs_memsys::{MemSysConfig, MemorySystem};
+use cs_trace::TraceSource;
+
+/// A chip: cores plus the shared memory system.
+#[derive(Debug)]
+pub struct Chip {
+    cores: Vec<OooCore>,
+    mem: MemorySystem,
+    cycle: u64,
+}
+
+impl Chip {
+    /// Builds a chip with `n_cores` identical cores.
+    pub fn new(core_cfg: CoreConfig, mem_cfg: MemSysConfig, n_cores: usize) -> Self {
+        Self {
+            cores: (0..n_cores).map(|_| OooCore::new(core_cfg)).collect(),
+            mem: MemorySystem::new(mem_cfg, n_cores),
+            cycle: 0,
+        }
+    }
+
+    /// Attaches a trace source to a hardware context of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or its contexts are full.
+    pub fn attach(&mut self, core: usize, source: Box<dyn TraceSource>) {
+        self.cores[core].attach(source);
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The cores.
+    pub fn cores(&self) -> &[OooCore] {
+        &self.cores
+    }
+
+    /// The shared memory system.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Advances every core by `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        let end = self.cycle + n;
+        while self.cycle < end {
+            for (id, core) in self.cores.iter_mut().enumerate() {
+                core.step(id, &mut self.mem, self.cycle);
+            }
+            self.cycle += 1;
+        }
+    }
+
+    /// Runs until the cores listed in `measured` have together committed
+    /// `instructions` more instructions, or `max_cycles` elapse. Returns
+    /// the number of cycles simulated.
+    pub fn run_until_committed(
+        &mut self,
+        measured: &[usize],
+        instructions: u64,
+        max_cycles: u64,
+    ) -> u64 {
+        let start_cycle = self.cycle;
+        let start: u64 = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
+        let target = start + instructions;
+        // Check in strides to amortize the aggregation.
+        const STRIDE: u64 = 1024;
+        while self.cycle - start_cycle < max_cycles {
+            self.run_cycles(STRIDE.min(max_cycles - (self.cycle - start_cycle)));
+            let done: u64 = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
+            if done >= target {
+                break;
+            }
+            if self.cores.iter().all(|c| c.is_done()) {
+                break;
+            }
+        }
+        self.cycle - start_cycle
+    }
+
+    /// Zeroes all core and memory statistics while preserving
+    /// micro-architectural state (end of the warmup window).
+    pub fn reset_stats(&mut self) {
+        for core in &mut self.cores {
+            core.reset_stats();
+        }
+        self.mem.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_memsys::PrefetchConfig;
+    use cs_trace::source::{LoopSource, VecSource};
+    use cs_trace::MicroOp;
+
+    fn mem_cfg() -> MemSysConfig {
+        MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() }
+    }
+
+    fn alu_ops(n: usize) -> Vec<MicroOp> {
+        (0..n).map(|i| MicroOp::alu(0x40_0000 + 4 * (i % 256) as u64)).collect()
+    }
+
+    #[test]
+    fn two_cores_run_independently() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+        chip.attach(0, Box::new(VecSource::new(alu_ops(1000))));
+        chip.attach(1, Box::new(VecSource::new(alu_ops(500))));
+        chip.run_cycles(10_000);
+        assert_eq!(chip.cores()[0].stats().instructions(), 1000);
+        assert_eq!(chip.cores()[1].stats().instructions(), 500);
+    }
+
+    #[test]
+    fn run_until_committed_stops_near_target() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+        chip.attach(0, Box::new(LoopSource::new(alu_ops(64))));
+        let cycles = chip.run_until_committed(&[0], 50_000, 1_000_000);
+        let done = chip.cores()[0].stats().instructions();
+        assert!(done >= 50_000);
+        assert!(done < 80_000, "overshoot too large: {done}");
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn reset_stats_preserves_cache_state() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+        let ops: Vec<MicroOp> =
+            (0..64u64).map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + i * 64, 8)).collect();
+        let mut warm = ops.clone();
+        warm.extend(ops.clone());
+        chip.attach(0, Box::new(VecSource::new(warm)));
+        chip.run_cycles(20_000);
+        chip.reset_stats();
+        assert_eq!(chip.cores()[0].stats().instructions(), 0);
+        assert_eq!(chip.mem().stats().per_core[0].l1d.total_accesses(), 0);
+    }
+
+    #[test]
+    fn idle_cores_are_harmless() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 4);
+        chip.attach(0, Box::new(VecSource::new(alu_ops(100))));
+        chip.run_cycles(30_000);
+        assert_eq!(chip.cores()[0].stats().instructions(), 100);
+        assert_eq!(chip.cores()[3].stats().instructions(), 0);
+    }
+
+    #[test]
+    fn cycle_counter_advances() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+        chip.run_cycles(123);
+        assert_eq!(chip.cycle(), 123);
+    }
+}

@@ -1,0 +1,892 @@
+//! Cycle-level out-of-order core model.
+//!
+//! The pipeline advances one cycle at a time through five stages:
+//!
+//! 1. **complete** — instructions whose execution latency has elapsed are
+//!    marked done (a completion heap avoids scanning the window);
+//!    mispredicted branches redirect fetch with a refill penalty;
+//! 2. **fetch** — one hardware thread per cycle (round-robin under SMT)
+//!    pulls micro-ops from its trace source; crossing into a new cache
+//!    line performs an instruction fetch through the memory system, and
+//!    any latency beyond the L1-I stalls the thread's frontend — the
+//!    mechanism behind the paper's frontend-stall findings (§4.1);
+//! 3. **dispatch** — up to `width` ops enter the reorder buffer, gated by
+//!    the per-thread ROB partition, the shared reservation stations and
+//!    the load/store queues (Table 1 sizes);
+//! 4. **issue** — up to `width` ready ops begin execution, oldest first,
+//!    limited by memory/FP/divide ports; loads walk the cache hierarchy
+//!    and, when they leave the core, occupy one of the 16 MSHRs — the
+//!    structural limit on memory-level parallelism (§4.3);
+//! 5. **commit** — up to `width` done ops retire in per-thread program
+//!    order. Each cycle is classified *Committing* or *Stalled* and
+//!    attributed to application or OS execution, the paper's Figure 1
+//!    methodology.
+
+use crate::branch::{BranchModel, Gshare};
+use crate::config::{CoreConfig, SmtFetchPolicy};
+use crate::stats::CoreStats;
+use cs_memsys::MemorySystem;
+use cs_trace::{MicroOp, OpKind, Privilege, TraceSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    op: MicroOp,
+    seq: u64,
+    state: EntryState,
+    offcore_load: bool,
+}
+
+struct Thread {
+    source: Box<dyn TraceSource>,
+    rob: VecDeque<RobEntry>,
+    fetch_buf: VecDeque<MicroOp>,
+    pending: Option<MicroOp>,
+    next_seq: u64,
+    fetch_stall_until: u64,
+    /// Portion of the fetch stall caused by the memory system (L1-I miss
+    /// service, instruction TLB); feeds the paper's memory-cycles bar.
+    mem_fetch_stall_until: u64,
+    cur_fetch_line: u64,
+    flush_pending: bool,
+    last_fetch_priv: Privilege,
+    exhausted: bool,
+    /// Sequence numbers of dispatched-but-not-issued entries, in program
+    /// order (bounded by the reservation stations).
+    waiting: Vec<u64>,
+    /// A fetched branch awaiting its outcome (gshare mode): resolved by
+    /// the next fetched instruction's PC.
+    held_branch: Option<MicroOp>,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("label", &self.source.label())
+            .field("rob_len", &self.rob.len())
+            .field("next_seq", &self.next_seq)
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+impl Thread {
+    fn new(source: Box<dyn TraceSource>) -> Self {
+        Self {
+            source,
+            rob: VecDeque::new(),
+            fetch_buf: VecDeque::new(),
+            pending: None,
+            next_seq: 0,
+            fetch_stall_until: 0,
+            mem_fetch_stall_until: 0,
+            cur_fetch_line: u64::MAX,
+            flush_pending: false,
+            last_fetch_priv: Privilege::User,
+            exhausted: false,
+            waiting: Vec::new(),
+            held_branch: None,
+        }
+    }
+
+    /// Are all dependencies of the entry at `idx` satisfied?
+    fn deps_ready(&self, idx: usize) -> bool {
+        let e = &self.rob[idx];
+        let front_seq = self.rob.front().expect("idx in range").seq;
+        for dist in [e.op.dep1 as u64, e.op.dep2 as u64] {
+            if dist == 0 {
+                continue;
+            }
+            let Some(dep_seq) = e.seq.checked_sub(dist) else { continue };
+            if dep_seq < front_seq {
+                continue; // already retired
+            }
+            if self.rob[(dep_seq - front_seq) as usize].state != EntryState::Done {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One out-of-order core with up to two SMT hardware threads.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    threads: Vec<Thread>,
+    stats: CoreStats,
+    rs_used: usize,
+    loads_in_rob: usize,
+    stores_in_rob: usize,
+    outstanding_offcore_loads: u32,
+    store_drain: VecDeque<u64>,
+    completion_heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    ready_dirty: bool,
+    /// Shared gshare predictor (as on real SMT cores), when enabled.
+    gshare: Option<Gshare>,
+}
+
+impl OooCore {
+    /// Creates a core with no attached threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn new(cfg: CoreConfig) -> Self {
+        cfg.validate();
+        let gshare = match cfg.branch_model {
+            BranchModel::Trace => None,
+            BranchModel::Gshare { bits } => Some(Gshare::new(bits)),
+        };
+        Self {
+            threads: Vec::new(),
+            stats: CoreStats::new(cfg.smt_threads, cfg.mshrs),
+            rs_used: 0,
+            loads_in_rob: 0,
+            stores_in_rob: 0,
+            outstanding_offcore_loads: 0,
+            store_drain: VecDeque::new(),
+            completion_heap: BinaryHeap::new(),
+            ready_dirty: false,
+            gshare,
+            cfg,
+        }
+    }
+
+    /// The gshare predictor's observed misprediction rate, when the core
+    /// runs one.
+    pub fn gshare_mispredict_rate(&self) -> Option<f64> {
+        self.gshare.as_ref().map(|g| g.mispredict_rate())
+    }
+
+    /// Attaches a hardware thread's trace source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all `smt_threads` contexts are already occupied.
+    pub fn attach(&mut self, source: Box<dyn TraceSource>) {
+        assert!(self.threads.len() < self.cfg.smt_threads, "all hardware contexts occupied");
+        self.threads.push(Thread::new(source));
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Zeroes statistics while preserving pipeline state (end-of-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::new(self.cfg.smt_threads, self.cfg.mshrs);
+    }
+
+    /// True when every attached thread has exhausted its trace and drained
+    /// its pipeline.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(|t| {
+            t.exhausted && t.rob.is_empty() && t.fetch_buf.is_empty() && t.pending.is_none()
+        }) || self.threads.is_empty()
+    }
+
+    /// Advances the core by one cycle at time `now`, using `mem` for all
+    /// instruction and data accesses. `core_id` is this core's global id
+    /// within `mem`.
+    pub fn step(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
+        self.complete(now);
+        self.fetch(core_id, mem, now);
+        self.dispatch();
+        self.issue(core_id, mem, now);
+        self.commit(now);
+        self.per_cycle_stats(now);
+    }
+
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self, now: u64) {
+        while let Some(&Reverse((done_at, tid, seq))) = self.completion_heap.peek() {
+            if done_at > now {
+                break;
+            }
+            self.completion_heap.pop();
+            let thread = &mut self.threads[tid];
+            let front_seq = match thread.rob.front() {
+                Some(e) => e.seq,
+                None => continue,
+            };
+            if seq < front_seq {
+                continue; // already retired (cannot normally happen)
+            }
+            let idx = (seq - front_seq) as usize;
+            let entry = &mut thread.rob[idx];
+            entry.state = EntryState::Done;
+            if entry.offcore_load {
+                self.outstanding_offcore_loads -= 1;
+            }
+            if let OpKind::Branch { mispredict: true } = entry.op.kind {
+                // Redirect: frontend refill penalty from resolution time.
+                thread.fetch_stall_until =
+                    thread.fetch_stall_until.max(now + self.cfg.mispredict_penalty as u64);
+                thread.flush_pending = false;
+            }
+            self.ready_dirty = true;
+        }
+        // Drain completed store RFOs.
+        while let Some(&t) = self.store_drain.front() {
+            if t > now {
+                break;
+            }
+            self.store_drain.pop_front();
+        }
+    }
+
+    fn fetch(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
+        if self.threads.is_empty() {
+            return;
+        }
+        // One thread fetches per cycle: round-robin, or ICOUNT (the thread
+        // with the fewest instructions in flight).
+        let tid = match self.cfg.smt_fetch {
+            SmtFetchPolicy::RoundRobin => (now % self.threads.len() as u64) as usize,
+            SmtFetchPolicy::Icount => self
+                .threads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.rob.len() + t.fetch_buf.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        let l1i_lat = mem.config().l1i.latency;
+        let thread = &mut self.threads[tid];
+        if thread.exhausted && thread.pending.is_none() {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0
+            && thread.fetch_buf.len() < self.cfg.fetch_buffer
+            && !thread.flush_pending
+            && now >= thread.fetch_stall_until
+        {
+            let op = match thread.pending.take().or_else(|| {
+                if thread.exhausted {
+                    None
+                } else {
+                    let next = thread.source.next_op();
+                    if next.is_none() {
+                        thread.exhausted = true;
+                    }
+                    next
+                }
+            }) {
+                Some(op) => op,
+                None => break,
+            };
+            let line = op.pc >> 6;
+            if line != thread.cur_fetch_line {
+                let outcome = mem.ifetch(core_id, op.privilege, op.pc, now);
+                thread.cur_fetch_line = line;
+                if outcome.latency > l1i_lat {
+                    let mut stall = (outcome.latency - l1i_lat) as u64;
+                    if outcome.offcore {
+                        // The decoupled frontend queues hide part of an
+                        // off-core fetch.
+                        stall = stall.saturating_sub(self.cfg.fetch_ahead_credit as u64);
+                    }
+                    thread.fetch_stall_until = now + stall;
+                    thread.mem_fetch_stall_until = now + stall;
+                    if outcome.level == cs_memsys::ServiceLevel::L2 {
+                        let tlb = (outcome.itlb_stall + outcome.stlb_stall) as u64;
+                        self.stats.l2_ifetch_stall_cycles += stall.saturating_sub(tlb);
+                    }
+                    thread.pending = Some(op);
+                    break;
+                }
+            }
+            thread.last_fetch_priv = op.privilege;
+
+            // Gshare mode: a branch's outcome is reconstructed from the
+            // next instruction's PC (taken iff not the fall-through), so
+            // branches are held one slot and resolved here.
+            if let Some(g) = self.gshare.as_mut() {
+                if let Some(held) = thread.held_branch.take() {
+                    let taken = op.pc != held.pc + 4;
+                    let mispredict = g.predict_and_update(held.pc, taken);
+                    let resolved = MicroOp::branch(held.pc, mispredict)
+                        .with_privilege(held.privilege)
+                        .with_deps(held.dep1 as u64, held.dep2 as u64);
+                    thread.fetch_buf.push_back(resolved);
+                    budget = budget.saturating_sub(1);
+                    if mispredict {
+                        thread.flush_pending = true;
+                        thread.pending = Some(op);
+                        break;
+                    }
+                    if budget == 0 || thread.fetch_buf.len() >= self.cfg.fetch_buffer {
+                        thread.pending = Some(op);
+                        break;
+                    }
+                }
+                if op.kind.is_branch() {
+                    thread.held_branch = Some(op);
+                    continue;
+                }
+            }
+
+            let halts = matches!(op.kind, OpKind::Branch { mispredict: true });
+            thread.fetch_buf.push_back(op);
+            budget -= 1;
+            if halts {
+                // Stop fetching down the (unknown) wrong path until the
+                // branch resolves.
+                thread.flush_pending = true;
+                break;
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let mut budget = self.cfg.width;
+        let rob_cap = self.cfg.rob_per_thread();
+        let n = self.threads.len();
+        let mut blocked = [false; 2];
+        while budget > 0 {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // `tid` also indexes `self.threads`
+            for tid in 0..n {
+                if budget == 0 || blocked[tid] {
+                    continue;
+                }
+                let can_rs = self.rs_used < self.cfg.reservation_stations;
+                let thread = &mut self.threads[tid];
+                let Some(op) = thread.fetch_buf.front() else {
+                    blocked[tid] = true;
+                    continue;
+                };
+                let room = thread.rob.len() < rob_cap
+                    && can_rs
+                    && (!op.is_load() || self.loads_in_rob < self.cfg.load_queue)
+                    && (!op.is_store() || self.stores_in_rob < self.cfg.store_queue);
+                if !room {
+                    blocked[tid] = true;
+                    continue;
+                }
+                let op = thread.fetch_buf.pop_front().expect("checked above");
+                let seq = thread.next_seq;
+                thread.next_seq += 1;
+                if op.is_load() {
+                    self.loads_in_rob += 1;
+                }
+                if op.is_store() {
+                    self.stores_in_rob += 1;
+                }
+                thread
+                    .rob
+                    .push_back(RobEntry { op, seq, state: EntryState::Waiting, offcore_load: false });
+                thread.waiting.push(seq);
+                self.rs_used += 1;
+                budget -= 1;
+                progressed = true;
+                self.ready_dirty = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn issue(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
+        if !self.ready_dirty {
+            return;
+        }
+        let mut budget = self.cfg.width;
+        let mut mem_ports = self.cfg.mem_ports;
+        let mut fp_ports = self.cfg.fp_ports;
+        let mut div_ports = 1u32;
+        // Entries blocked on ports (or left unscanned when the budget runs
+        // out) must be retried next cycle; entries blocked on dependencies
+        // or MSHRs wake up via the completion path setting `ready_dirty`.
+        let mut structural_block = false;
+
+        let n = self.threads.len();
+        let start = (now % n.max(1) as u64) as usize;
+        for k in 0..n {
+            let tid = (start + k) % n;
+            // Walk this thread's waiting list (program order), compacting
+            // out the entries that issue.
+            let mut waiting = std::mem::take(&mut self.threads[tid].waiting);
+            let mut kept = 0;
+            let mut stop_issuing = false;
+            for w in 0..waiting.len() {
+                let seq = waiting[w];
+                if budget == 0 || stop_issuing {
+                    waiting[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+                if self.cfg.in_order && kept > 0 {
+                    // In-order issue: an older op is still waiting.
+                    waiting[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+                let front_seq = self.threads[tid].rob.front().expect("waiting implies entries").seq;
+                let idx = (seq - front_seq) as usize;
+                debug_assert_eq!(self.threads[tid].rob[idx].state, EntryState::Waiting);
+                let kind = self.threads[tid].rob[idx].op.kind;
+                // Port availability.
+                let port_ok = match kind {
+                    OpKind::Load | OpKind::Store => mem_ports > 0,
+                    OpKind::Fp => fp_ports > 0,
+                    OpKind::IntDiv => div_ports > 0,
+                    _ => true,
+                };
+                // Conservative MSHR gate: no loads issue while full
+                // (re-checked per issue, since loads issued earlier this
+                // cycle may have taken the last slots).
+                let mshr_ok =
+                    !(kind.is_load() && self.outstanding_offcore_loads >= self.cfg.mshrs);
+                if !port_ok {
+                    structural_block = true;
+                    waiting[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+                if !mshr_ok || !self.threads[tid].deps_ready(idx) {
+                    waiting[kept] = seq;
+                    kept += 1;
+                    continue;
+                }
+
+                // Issue the op.
+                let op = self.threads[tid].rob[idx].op;
+                let done_at = match op.kind {
+                    OpKind::IntAlu => now + 1,
+                    OpKind::IntMul => now + 3,
+                    OpKind::IntDiv => {
+                        div_ports -= 1;
+                        now + 24
+                    }
+                    OpKind::Fp => {
+                        fp_ports -= 1;
+                        now + 4
+                    }
+                    OpKind::Branch { mispredict } => {
+                        self.stats.branches += 1;
+                        if mispredict {
+                            self.stats.mispredicts += 1;
+                        }
+                        now + 1
+                    }
+                    OpKind::Load => {
+                        mem_ports -= 1;
+                        let mref = op.mem.expect("loads carry memory refs");
+                        let out =
+                            mem.data_access(core_id, op.privilege, mref.addr, false, op.pc, now);
+                        if out.offcore {
+                            self.threads[tid].rob[idx].offcore_load = true;
+                            self.outstanding_offcore_loads += 1;
+                        }
+                        now + out.latency as u64
+                    }
+                    OpKind::Store => {
+                        mem_ports -= 1;
+                        let mref = op.mem.expect("stores carry memory refs");
+                        let out =
+                            mem.data_access(core_id, op.privilege, mref.addr, true, op.pc, now);
+                        if out.offcore {
+                            // Store RFOs occupy the super queue until the
+                            // ownership response returns, but do not block
+                            // dependents or retirement.
+                            let release = now + out.latency as u64;
+                            let pos = self.store_drain.partition_point(|&t| t <= release);
+                            self.store_drain.insert(pos, release);
+                        }
+                        now + 1
+                    }
+                };
+                self.threads[tid].rob[idx].state = EntryState::Issued;
+                self.completion_heap.push(Reverse((done_at, tid, seq)));
+                self.rs_used -= 1;
+                budget -= 1;
+                if budget == 0 {
+                    stop_issuing = true;
+                }
+            }
+            waiting.truncate(kept);
+            self.threads[tid].waiting = waiting;
+        }
+        self.ready_dirty = structural_block || (budget == 0 && self.rs_used > 0);
+    }
+
+    fn commit(&mut self, now: u64) {
+        let mut budget = self.cfg.width;
+        let mut committed_any = false;
+        let mut first_priv: Option<Privilege> = None;
+        let n = self.threads.len();
+        if n == 0 {
+            return;
+        }
+        let start = (now % n as u64) as usize;
+        for k in 0..n {
+            let tid = (start + k) % n;
+            while budget > 0 {
+                let thread = &mut self.threads[tid];
+                match thread.rob.front() {
+                    Some(e) if e.state == EntryState::Done => {
+                        let e = thread.rob.pop_front().expect("front exists");
+                        let priv_idx = usize::from(e.op.is_kernel());
+                        self.stats.committed[priv_idx] += 1;
+                        self.stats.per_thread_committed[tid] += 1;
+                        if e.op.is_load() {
+                            self.loads_in_rob -= 1;
+                        }
+                        if e.op.is_store() {
+                            self.stores_in_rob -= 1;
+                        }
+                        committed_any = true;
+                        if first_priv.is_none() {
+                            first_priv = Some(e.op.privilege);
+                        }
+                        budget -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if committed_any {
+            let idx = usize::from(first_priv.expect("set when committing").is_kernel());
+            self.stats.committing_cycles[idx] += 1;
+        } else {
+            // Attribute the stall to the oldest in-flight instruction, or
+            // to the instruction being fetched when the window is empty.
+            let priv_ = self
+                .threads
+                .iter()
+                .filter_map(|t| t.rob.front().map(|e| e.op.privilege))
+                .next()
+                .or_else(|| {
+                    self.threads.iter().filter_map(|t| t.fetch_buf.front()).next().map(|o| o.privilege)
+                })
+                .unwrap_or_else(|| {
+                    self.threads.first().map(|t| t.last_fetch_priv).unwrap_or(Privilege::User)
+                });
+            self.stats.stalled_cycles[usize::from(priv_.is_kernel())] += 1;
+        }
+    }
+
+    fn per_cycle_stats(&mut self, now: u64) {
+        self.stats.cycles += 1;
+        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        self.stats.rob_occupancy_sum += rob_total as u64;
+        self.stats.offcore_load_occupancy.record(self.outstanding_offcore_loads as u64);
+        let data_outstanding =
+            self.outstanding_offcore_loads > 0 || !self.store_drain.is_empty();
+        if data_outstanding {
+            self.stats.offcore_outstanding_cycles += 1;
+        }
+        let ifetch_mem_stall = self.threads.iter().any(|t| now < t.mem_fetch_stall_until);
+        if data_outstanding || ifetch_mem_stall {
+            self.stats.memory_cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
+    use cs_trace::source::VecSource;
+    use cs_trace::MicroOp;
+
+    fn mem() -> MemorySystem {
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        MemorySystem::new(cfg, 1)
+    }
+
+    fn run(core: &mut OooCore, mem: &mut MemorySystem, max_cycles: u64) -> u64 {
+        let mut now = 0;
+        while !core.is_done() && now < max_cycles {
+            core.step(0, mem, now);
+            now += 1;
+        }
+        now
+    }
+
+    fn alu_ops(n: usize) -> Vec<MicroOp> {
+        (0..n).map(|i| MicroOp::alu(0x40_0000 + 4 * i as u64)).collect()
+    }
+
+    /// Runs `warm` cycles, resets statistics (steady-state measurement as
+    /// in the paper's methodology), then runs `measure` cycles more.
+    fn warm_run(core: &mut OooCore, m: &mut MemorySystem, warm: u64, measure: u64) {
+        for now in 0..warm {
+            core.step(0, m, now);
+        }
+        core.reset_stats();
+        for now in warm..warm + measure {
+            core.step(0, m, now);
+        }
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_full_width() {
+        // A small loop of independent ALU ops, measured after the I-cache
+        // is warm: a 4-wide core must sustain IPC close to 4.
+        use cs_trace::source::LoopSource;
+        let ops: Vec<MicroOp> =
+            (0..256).map(|i| MicroOp::alu(0x40_0000 + 4 * (i % 256) as u64)).collect();
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(LoopSource::new(ops)));
+        let mut m = mem();
+        warm_run(&mut core, &mut m, 20_000, 20_000);
+        let s = core.stats();
+        assert!(s.ipc() > 3.0, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        use cs_trace::source::LoopSource;
+        let ops: Vec<MicroOp> = (0..256)
+            .map(|i| MicroOp::alu(0x40_0000 + 4 * (i % 256) as u64).with_deps(1, 0))
+            .collect();
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(LoopSource::new(ops)));
+        let mut m = mem();
+        warm_run(&mut core, &mut m, 20_000, 20_000);
+        let s = core.stats();
+        assert!(s.ipc() <= 1.05, "chained ops cannot exceed IPC 1, got {}", s.ipc());
+        assert!(s.ipc() > 0.7, "ipc suspiciously low: {}", s.ipc());
+    }
+
+    #[test]
+    fn in_order_core_is_slower_on_dependent_loads() {
+        // Each iteration: a long-latency load whose value feeds the
+        // following ALU chain. An OoO window runs ahead into later
+        // iterations; an in-order core cannot issue past the stalled
+        // consumer.
+        let mk = || {
+            let mut ops = Vec::new();
+            for i in 0..200u64 {
+                ops.push(MicroOp::load(0x40_0000, 0x1000_0000 + i * 131 * 64, 8));
+                for j in 0..10u64 {
+                    ops.push(MicroOp::alu(0x40_0010 + 4 * j).with_deps(1, 0));
+                }
+            }
+            ops
+        };
+        let mut ooo = OooCore::new(CoreConfig::x5670());
+        ooo.attach(Box::new(VecSource::new(mk())));
+        let mut m1 = mem();
+        let ooo_cycles = run(&mut ooo, &mut m1, 1_000_000);
+
+        let mut ino = OooCore::new(CoreConfig { in_order: true, ..CoreConfig::x5670() });
+        ino.attach(Box::new(VecSource::new(mk())));
+        let mut m2 = mem();
+        let ino_cycles = run(&mut ino, &mut m2, 1_000_000);
+        assert!(
+            ooo_cycles * 2 < ino_cycles,
+            "OoO ({ooo_cycles}) must beat in-order ({ino_cycles}) decisively"
+        );
+    }
+
+    #[test]
+    fn dependent_loads_serialize_but_independent_loads_overlap() {
+        // 64 dependent loads (one chain) vs 64 independent loads.
+        let chain: Vec<MicroOp> = (0..64u64)
+            .map(|i| MicroOp::load(0x40_0000, 0x2000_0000 + i * 997 * 64, 8).with_deps(1, 0))
+            .collect();
+        let indep: Vec<MicroOp> =
+            (0..64u64).map(|i| MicroOp::load(0x40_0000, 0x3000_0000 + i * 997 * 64, 8)).collect();
+
+        let mut a = OooCore::new(CoreConfig::x5670());
+        a.attach(Box::new(VecSource::new(chain)));
+        let mut m1 = mem();
+        let chain_cycles = run(&mut a, &mut m1, 1_000_000);
+
+        let mut b = OooCore::new(CoreConfig::x5670());
+        b.attach(Box::new(VecSource::new(indep)));
+        let mut m2 = mem();
+        let indep_cycles = run(&mut b, &mut m2, 1_000_000);
+
+        assert!(
+            indep_cycles * 4 < chain_cycles,
+            "independent loads ({indep_cycles}) must overlap far better than a chain ({chain_cycles})"
+        );
+        assert!(b.stats().mlp() > 2.0, "independent-load MLP {}", b.stats().mlp());
+        assert!(a.stats().mlp() < 1.5, "chained-load MLP {}", a.stats().mlp());
+    }
+
+    #[test]
+    fn mshr_limit_caps_mlp() {
+        let indep: Vec<MicroOp> =
+            (0..512u64).map(|i| MicroOp::load(0x40_0000, 0x5000_0000 + i * 997 * 64, 8)).collect();
+        let mut core = OooCore::new(CoreConfig { mshrs: 4, ..CoreConfig::x5670() });
+        core.attach(Box::new(VecSource::new(indep)));
+        let mut m = mem();
+        run(&mut core, &mut m, 1_000_000);
+        assert!(core.stats().mlp() <= 4.0 + 1e-9, "mlp {} exceeds MSHR cap", core.stats().mlp());
+    }
+
+    #[test]
+    fn mispredicts_charge_fetch_penalty() {
+        let clean: Vec<MicroOp> =
+            (0..2000).map(|i| MicroOp::branch(0x40_0000 + 4 * (i % 64) as u64, false)).collect();
+        let dirty: Vec<MicroOp> = (0..2000)
+            .map(|i| MicroOp::branch(0x40_0000 + 4 * (i % 64) as u64, i % 4 == 0))
+            .collect();
+        let mut a = OooCore::new(CoreConfig::x5670());
+        a.attach(Box::new(VecSource::new(clean)));
+        let mut m1 = mem();
+        let fast = run(&mut a, &mut m1, 1_000_000);
+        let mut b = OooCore::new(CoreConfig::x5670());
+        b.attach(Box::new(VecSource::new(dirty)));
+        let mut m2 = mem();
+        let slow = run(&mut b, &mut m2, 1_000_000);
+        assert!(slow > fast * 2, "mispredicts must hurt: {fast} vs {slow}");
+        assert_eq!(b.stats().mispredicts, 500);
+        assert_eq!(b.stats().branches, 2000);
+    }
+
+    #[test]
+    fn kernel_ops_are_attributed_to_os() {
+        let ops: Vec<MicroOp> = (0..1000)
+            .map(|i| {
+                let op = MicroOp::alu(0x40_0000 + 4 * (i % 16) as u64);
+                if i % 2 == 0 {
+                    op.with_privilege(Privilege::Kernel)
+                } else {
+                    op
+                }
+            })
+            .collect();
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(ops)));
+        let mut m = mem();
+        run(&mut core, &mut m, 100_000);
+        let s = core.stats();
+        assert_eq!(s.committed[0], 500);
+        assert_eq!(s.committed[1], 500);
+    }
+
+    #[test]
+    fn smt_two_threads_share_the_core() {
+        let mut core = OooCore::new(CoreConfig::x5670_smt());
+        core.attach(Box::new(VecSource::new(alu_ops(1000))));
+        core.attach(Box::new(VecSource::new(alu_ops(1000))));
+        let mut m = mem();
+        run(&mut core, &mut m, 100_000);
+        let s = core.stats();
+        assert_eq!(s.instructions(), 2000);
+        assert_eq!(s.per_thread_committed, vec![1000, 1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contexts occupied")]
+    fn cannot_overcommit_hardware_threads() {
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(alu_ops(1))));
+        core.attach(Box::new(VecSource::new(alu_ops(1))));
+    }
+
+    #[test]
+    fn stall_and_commit_cycles_partition_time() {
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(alu_ops(100))));
+        let mut m = mem();
+        run(&mut core, &mut m, 100_000);
+        let s = core.stats();
+        let classified: u64 =
+            s.committing_cycles.iter().sum::<u64>() + s.stalled_cycles.iter().sum::<u64>();
+        assert_eq!(classified, s.cycles);
+    }
+
+    #[test]
+    fn gshare_mode_runs_and_measures_a_sane_rate() {
+        use crate::branch::BranchModel;
+        use cs_trace::source::LoopSource;
+        // A loop body whose backward branch is almost always taken: the
+        // predictor must learn it and the core must retire everything.
+        let mut ops = Vec::new();
+        for i in 0..63 {
+            ops.push(MicroOp::alu(0x40_0000 + 4 * i));
+        }
+        ops.push(MicroOp::branch(0x40_0000 + 4 * 63, false));
+        let mut core = OooCore::new(CoreConfig {
+            branch_model: BranchModel::Gshare { bits: 12 },
+            ..CoreConfig::x5670()
+        });
+        core.attach(Box::new(LoopSource::new(ops)));
+        let mut m = mem();
+        for now in 0..60_000 {
+            core.step(0, &mut m, now);
+        }
+        let s = core.stats();
+        assert!(s.instructions() > 30_000, "retired {}", s.instructions());
+        let rate = core.gshare_mispredict_rate().expect("gshare enabled");
+        assert!(rate < 0.05, "a steady loop must be predictable, rate {rate:.3}");
+        // Mispredict accounting flows through the same counters.
+        assert!(s.mispredict_rate() < 0.05);
+    }
+
+    #[test]
+    fn icount_favors_the_unstalled_thread() {
+        use crate::config::SmtFetchPolicy;
+        use cs_trace::source::LoopSource;
+        // Thread A: pure compute. Thread B: dependent far loads (stalls).
+        let compute: Vec<MicroOp> =
+            (0..64).map(|i| MicroOp::alu(0x40_0000 + 4 * i)).collect();
+        let stalls: Vec<MicroOp> = (0..64u64)
+            .map(|i| MicroOp::load(0x41_0000, 0x9000_0000 + i * 8191 * 64, 8).with_deps(1, 0))
+            .collect();
+        let run_policy = |policy: SmtFetchPolicy| {
+            let mut core = OooCore::new(CoreConfig {
+                smt_threads: 2,
+                smt_fetch: policy,
+                ..CoreConfig::x5670()
+            });
+            core.attach(Box::new(LoopSource::new(compute.clone())));
+            core.attach(Box::new(LoopSource::new(stalls.clone())));
+            let mut m = mem();
+            for now in 0..60_000 {
+                core.step(0, &mut m, now);
+            }
+            core.stats().instructions()
+        };
+        let rr = run_policy(SmtFetchPolicy::RoundRobin);
+        let ic = run_policy(SmtFetchPolicy::Icount);
+        assert!(
+            ic as f64 > rr as f64 * 1.05,
+            "ICOUNT should outperform round-robin on asymmetric threads: {ic} vs {rr}"
+        );
+    }
+
+    #[test]
+    fn trace_mode_has_no_gshare() {
+        let core = OooCore::new(CoreConfig::x5670());
+        assert!(core.gshare_mispredict_rate().is_none());
+    }
+
+    #[test]
+    fn offcore_cycles_track_misses() {
+        let ops: Vec<MicroOp> =
+            (0..100u64).map(|i| MicroOp::load(0x40_0000, 0x7000_0000 + i * 313 * 64, 8)).collect();
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(ops)));
+        let mut m = mem();
+        run(&mut core, &mut m, 1_000_000);
+        let s = core.stats();
+        assert!(s.offcore_outstanding_cycles > 0);
+        assert!(s.offcore_outstanding_cycles <= s.cycles);
+    }
+}

@@ -1,0 +1,34 @@
+//! Core micro-architecture substrate for CloudSuite-RS.
+//!
+//! A cycle-level model of the aggressive out-of-order core the paper
+//! studies (Table 1: 4-wide issue/retire, 128-entry reorder buffer, 48/32
+//! load/store buffers, 36 reservation stations), including:
+//!
+//! - simultaneous multi-threading with two hardware contexts per core and
+//!   statically partitioned reorder buffers (the Figure 3 SMT study);
+//! - an in-order issue mode for the paper's "excessively simple cores"
+//!   comparison point (§4.2) and the narrow-core ablation;
+//! - commit/stall cycle attribution split by privilege level, the
+//!   super-queue (off-core outstanding) occupancy that defines the paper's
+//!   memory cycles, and the MLP measurement methodology of §3.1/§4.2;
+//! - MSHR-limited memory-level parallelism (16 outstanding L2 misses per
+//!   core) and mispredicted-branch fetch redirection.
+//!
+//! The [`chip::Chip`] type assembles cores around a shared
+//! [`cs_memsys::MemorySystem`] and advances everything in lock-step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod branch;
+pub mod chip;
+pub mod config;
+pub mod core;
+pub mod stats;
+
+pub use branch::BranchModel;
+pub use chip::Chip;
+pub use config::{CoreConfig, SmtFetchPolicy};
+pub use core::OooCore;
+pub use stats::CoreStats;

@@ -1,0 +1,185 @@
+//! Core-level statistics and the §3.1 attribution methodology.
+//!
+//! The paper classifies every cycle as *Committing* (at least one
+//! instruction retired) or *Stalled*, attributes each to application or OS
+//! execution, and overlays a *Memory cycles* bar computed from super-queue
+//! occupancy plus frontend components. This module holds exactly those
+//! counters, per core.
+
+use cs_perf::{CounterSet, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one core (aggregated over its hardware threads).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed, indexed `[user, kernel]`.
+    pub committed: [u64; 2],
+    /// Cycles in which ≥1 instruction committed, attributed to the
+    /// privilege of the first retiring instruction, `[user, kernel]`.
+    pub committing_cycles: [u64; 2],
+    /// Cycles in which nothing committed, attributed to the privilege of
+    /// the oldest in-flight (or being-fetched) instruction, `[user,
+    /// kernel]`.
+    pub stalled_cycles: [u64; 2],
+    /// Cycles with at least one off-core demand *data* request (load or
+    /// store RFO) outstanding — the super-queue occupancy component of the
+    /// paper's memory cycles.
+    pub offcore_outstanding_cycles: u64,
+    /// Cycles the paper's Figure 1 classifies as memory cycles: an
+    /// off-core data request outstanding, or the frontend stalled on the
+    /// memory system (L1-I miss service beyond the L1, instruction TLB
+    /// misses). Computed per cycle, so it never exceeds `cycles` — the
+    /// non-overlap property §3.1 requires.
+    pub memory_cycles: u64,
+    /// Extra instruction-fetch stall cycles spent on L1-I misses that hit
+    /// in the L2 (an explicit component of the §3.1 memory-cycle formula).
+    pub l2_ifetch_stall_cycles: u64,
+    /// Histogram of outstanding off-core demand *loads* per cycle; its
+    /// nonzero mean is the paper's MLP metric.
+    pub offcore_load_occupancy: Histogram,
+    /// Branches executed.
+    pub branches: u64,
+    /// Mispredicted branches executed.
+    pub mispredicts: u64,
+    /// Sum of ROB occupancy over cycles (for average occupancy).
+    pub rob_occupancy_sum: u64,
+    /// Instructions committed per hardware thread.
+    pub per_thread_committed: Vec<u64>,
+}
+
+impl CoreStats {
+    /// Creates zeroed statistics for a core with `threads` hardware
+    /// threads and `mshrs` outstanding-miss capacity.
+    pub fn new(threads: usize, mshrs: u32) -> Self {
+        Self {
+            cycles: 0,
+            committed: [0; 2],
+            committing_cycles: [0; 2],
+            stalled_cycles: [0; 2],
+            offcore_outstanding_cycles: 0,
+            memory_cycles: 0,
+            l2_ifetch_stall_cycles: 0,
+            offcore_load_occupancy: Histogram::new(mshrs as usize + 1),
+            branches: 0,
+            mispredicts: 0,
+            rob_occupancy_sum: 0,
+            per_thread_committed: vec![0; threads],
+        }
+    }
+
+    /// Total instructions committed.
+    pub fn instructions(&self) -> u64 {
+        self.committed[0] + self.committed[1]
+    }
+
+    /// Total IPC over the window.
+    pub fn ipc(&self) -> f64 {
+        cs_perf::ratio(self.instructions(), self.cycles)
+    }
+
+    /// Application (user-mode) IPC — the paper's Figure 3 metric.
+    pub fn app_ipc(&self) -> f64 {
+        cs_perf::ratio(self.committed[0], self.cycles)
+    }
+
+    /// MLP: average outstanding off-core loads over cycles with at least
+    /// one outstanding (the paper's §3.1 MLP methodology).
+    pub fn mlp(&self) -> f64 {
+        self.offcore_load_occupancy.mean_nonzero()
+    }
+
+    /// Fraction of cycles stalled (user + kernel).
+    pub fn stall_fraction(&self) -> f64 {
+        cs_perf::ratio(self.stalled_cycles[0] + self.stalled_cycles[1], self.cycles)
+    }
+
+    /// Fraction of cycles classified as memory cycles (Figure 1's
+    /// overlapped bar).
+    pub fn memory_fraction(&self) -> f64 {
+        cs_perf::ratio(self.memory_cycles, self.cycles)
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        cs_perf::ratio(self.mispredicts, self.branches)
+    }
+
+    /// Average ROB occupancy.
+    pub fn avg_rob_occupancy(&self) -> f64 {
+        cs_perf::ratio(self.rob_occupancy_sum, self.cycles)
+    }
+
+    /// Exports the counters into a flat [`CounterSet`].
+    pub fn to_counters(&self, prefix: &str) -> CounterSet {
+        let mut c = CounterSet::new();
+        let p = |n: &str| format!("{prefix}.{n}");
+        c.set(p("cycles"), self.cycles);
+        c.set(p("committed.user"), self.committed[0]);
+        c.set(p("committed.kernel"), self.committed[1]);
+        c.set(p("committing_cycles.user"), self.committing_cycles[0]);
+        c.set(p("committing_cycles.kernel"), self.committing_cycles[1]);
+        c.set(p("stalled_cycles.user"), self.stalled_cycles[0]);
+        c.set(p("stalled_cycles.kernel"), self.stalled_cycles[1]);
+        c.set(p("offcore_cycles"), self.offcore_outstanding_cycles);
+        c.set(p("memory_cycles"), self.memory_cycles);
+        c.set(p("l2_ifetch_stall_cycles"), self.l2_ifetch_stall_cycles);
+        c.set(p("branches"), self.branches);
+        c.set(p("mispredicts"), self.mispredicts);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_classes_partition_time() {
+        let mut s = CoreStats::new(1, 16);
+        s.cycles = 10;
+        s.committing_cycles = [4, 2];
+        s.stalled_cycles = [3, 1];
+        let total: u64 = s.committing_cycles.iter().chain(s.stalled_cycles.iter()).sum();
+        assert_eq!(total, s.cycles);
+        assert!((s.stall_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_metrics() {
+        let mut s = CoreStats::new(1, 16);
+        s.cycles = 100;
+        s.committed = [80, 20];
+        assert!((s.ipc() - 1.0).abs() < 1e-12);
+        assert!((s.app_ipc() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlp_uses_nonzero_mean() {
+        let mut s = CoreStats::new(1, 16);
+        s.offcore_load_occupancy.record_n(0, 90);
+        s.offcore_load_occupancy.record_n(2, 5);
+        s.offcore_load_occupancy.record_n(4, 5);
+        assert_eq!(s.mlp(), 3.0);
+    }
+
+    #[test]
+    fn counters_roundtrip_names() {
+        let mut s = CoreStats::new(2, 16);
+        s.cycles = 7;
+        s.mispredicts = 3;
+        let c = s.to_counters("core0");
+        assert_eq!(c.get("core0.cycles"), 7);
+        assert_eq!(c.get("core0.mispredicts"), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = CoreStats::new(1, 8);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mlp(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.avg_rob_occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the core model invariants.
+
+use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
+use cs_trace::source::VecSource;
+use cs_trace::{MicroOp, OpKind};
+use cs_uarch::{CoreConfig, OooCore};
+use proptest::prelude::*;
+
+fn arb_op(i: usize) -> impl Strategy<Value = MicroOp> {
+    let pc = 0x40_0000 + 4 * (i as u64 % 512);
+    prop_oneof![
+        Just(MicroOp::alu(pc)),
+        (0u8..8).prop_map(move |d| MicroOp::alu(pc).with_deps(d as u64, 0)),
+        (0u64..(1 << 20)).prop_map(move |a| MicroOp::load(pc, a * 8, 8)),
+        (0u64..(1 << 20)).prop_map(move |a| MicroOp::store(pc, a * 8, 8)),
+        any::<bool>().prop_map(move |m| MicroOp::branch(pc, m)),
+        Just(MicroOp::of_kind(pc, OpKind::IntMul)),
+        Just(MicroOp::of_kind(pc, OpKind::Fp)),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<MicroOp>> {
+    proptest::collection::vec(any::<u16>(), 20..400).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_op(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every instruction of every trace eventually retires, exactly once,
+    /// and the cycle classification partitions time — for arbitrary
+    /// op mixes, dependencies and both core flavours.
+    #[test]
+    fn all_ops_retire_and_cycles_partition(ops in arb_trace(), in_order in any::<bool>()) {
+        let n = ops.len() as u64;
+        let mut core = OooCore::new(CoreConfig { in_order, ..CoreConfig::x5670() });
+        core.attach(Box::new(VecSource::new(ops)));
+        let mem_cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        let mut mem = MemorySystem::new(mem_cfg, 1);
+        let mut now = 0;
+        while !core.is_done() && now < 2_000_000 {
+            core.step(0, &mut mem, now);
+            now += 1;
+        }
+        prop_assert!(core.is_done(), "pipeline deadlocked");
+        let s = core.stats();
+        prop_assert_eq!(s.instructions(), n);
+        let classified: u64 =
+            s.committing_cycles.iter().sum::<u64>() + s.stalled_cycles.iter().sum::<u64>();
+        prop_assert_eq!(classified, s.cycles);
+        prop_assert!(s.memory_cycles <= s.cycles);
+        prop_assert!(s.ipc() <= 4.0 + 1e-9);
+    }
+
+    /// MLP never exceeds the MSHR capacity.
+    #[test]
+    fn mlp_respects_mshrs(ops in arb_trace(), mshrs in 1u32..16) {
+        let mut core = OooCore::new(CoreConfig { mshrs, ..CoreConfig::x5670() });
+        core.attach(Box::new(VecSource::new(ops)));
+        let mem_cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+        let mut mem = MemorySystem::new(mem_cfg, 1);
+        let mut now = 0;
+        while !core.is_done() && now < 2_000_000 {
+            core.step(0, &mut mem, now);
+            now += 1;
+        }
+        prop_assert!(core.stats().mlp() <= mshrs as f64 + 1e-9);
+    }
+}

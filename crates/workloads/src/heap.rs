@@ -1,0 +1,106 @@
+//! The simulated heap: address-space layout for application data
+//! structures.
+//!
+//! Applications in this crate never allocate host memory for their
+//! datasets; they allocate *simulated address ranges* from a [`SimHeap`]
+//! and emit loads and stores against them. Host-side Rust structures hold
+//! only the metadata needed to reproduce the application's control flow
+//! (index tables, watch lists, client cursors). This is what lets a
+//! workload touch a 15 GB dataset on a laptop: the dataset exists as
+//! addresses, and the cache hierarchy only ever sees addresses.
+
+use cs_trace::layout;
+
+/// A simulated virtual address.
+pub type SimAddr = u64;
+
+/// Bump allocator over the application heap region of the simulated
+/// address space.
+///
+/// Threads of one workload instance construct their heaps deterministically
+/// from the same workload seed, so every thread sees the same layout —
+/// the shared-dataset structure of server software — without sharing any
+/// host memory.
+#[derive(Debug, Clone)]
+pub struct SimHeap {
+    next: SimAddr,
+    end: SimAddr,
+}
+
+impl Default for SimHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimHeap {
+    /// A heap spanning the whole application heap region.
+    pub fn new() -> Self {
+        Self { next: layout::APP_HEAP_BASE, end: layout::APP_HEAP_BASE + (1 << 44) }
+    }
+
+    /// Allocates `bytes` with the given power-of-two `align`ment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment is not a power of two or the region is
+    /// exhausted (does not happen for the stock workloads).
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> SimAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        assert!(base + bytes <= self.end, "simulated heap exhausted");
+        self.next = base + bytes;
+        base
+    }
+
+    /// Allocates a cache-line aligned region.
+    pub fn alloc_lines(&mut self, bytes: u64) -> SimAddr {
+        self.alloc(bytes, 64)
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next - layout::APP_HEAP_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(100, 64);
+        let b = h.alloc(10, 64);
+        let c = h.alloc_lines(1 << 30);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(a + 100 <= b);
+        assert!(b + 10 <= c);
+        assert!(h.used() >= (1 << 30) + 110);
+    }
+
+    #[test]
+    fn identical_construction_gives_identical_layout() {
+        let mk = || {
+            let mut h = SimHeap::new();
+            (h.alloc(123, 8), h.alloc(1 << 20, 64))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn heap_lives_in_app_region() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(8, 8);
+        assert!(a >= layout::APP_HEAP_BASE);
+        assert!(!layout::is_kernel_addr(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_alignment() {
+        let _ = SimHeap::new().alloc(8, 3);
+    }
+}

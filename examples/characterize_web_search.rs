@@ -1,0 +1,57 @@
+//! Characterize the Web Search workload end to end, the way §4 of the
+//! paper walks through its findings: frontend, core, data access, and
+//! bandwidth — for one workload.
+//!
+//! ```sh
+//! cargo run --release --example characterize_web_search
+//! ```
+
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::Benchmark;
+use cs_perf::{Report, Table};
+
+fn main() {
+    let bench = Benchmark::web_search();
+    let cfg = RunConfig::quick();
+
+    let base = run(&bench, &cfg);
+    let smt = run(&bench, &RunConfig { smt: true, ..cfg.clone() });
+
+    let mut report = Report::new("Web Search characterization (Nutch/Lucene ISN model)");
+    report.note("An index-serving node intersecting posting lists over a memory-resident shard.");
+
+    let mut frontend = Table::new("Frontend (paper §4.1)", &["metric", "value"]).with_precision(1);
+    let (l1i_app, l1i_os) = base.l1i_mpki();
+    let (l2i_app, l2i_os) = base.l2i_mpki();
+    frontend.row(["L1-I MPKI (app)".into(), l1i_app.into()]);
+    frontend.row(["L1-I MPKI (OS)".into(), l1i_os.into()]);
+    frontend.row(["L2 instruction MPKI (app)".into(), l2i_app.into()]);
+    frontend.row(["L2 instruction MPKI (OS)".into(), l2i_os.into()]);
+    report.push(frontend);
+
+    let mut core = Table::new("Core (paper §4.2)", &["metric", "value"]);
+    core.row(["application IPC (baseline)".into(), base.app_ipc().into()]);
+    core.row(["application IPC (SMT)".into(), smt.app_ipc().into()]);
+    core.row(["MLP (baseline)".into(), base.mlp().into()]);
+    core.row(["MLP (SMT)".into(), smt.mlp().into()]);
+    core.row([
+        "SMT uplift %".into(),
+        (100.0 * (smt.app_ipc() / base.app_ipc() - 1.0)).into(),
+    ]);
+    report.push(core);
+
+    let mut memory = Table::new("Data access & bandwidth (paper §4.3–4.4)", &["metric", "value"]);
+    let b = base.breakdown();
+    memory.row(["stalled fraction".into(), (b.stalled_app + b.stalled_os).into()]);
+    memory.row(["memory-cycles fraction".into(), b.memory.into()]);
+    memory.row(["L2 hit ratio".into(), base.l2_hit_ratio().into()]);
+    let (sa, so) = base.rw_shared_pct();
+    memory.row(["rw-shared LLC refs % (app)".into(), sa.into()]);
+    memory.row(["rw-shared LLC refs % (OS)".into(), so.into()]);
+    let (ba, bo) = base.bandwidth_pct();
+    memory.row(["off-chip bandwidth % (app)".into(), ba.into()]);
+    memory.row(["off-chip bandwidth % (OS)".into(), bo.into()]);
+    report.push(memory);
+
+    println!("{report}");
+}

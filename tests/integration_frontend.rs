@@ -1,0 +1,63 @@
+//! Cross-crate integration test of the Figure 2 claims: multi-megabyte
+//! scale-out instruction working sets defeat the L1-I (and the L2 barely
+//! helps), while desktop/parallel code is L1-resident.
+
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::{Benchmark, Category};
+use cs_trace::WorkloadProfile;
+
+fn cfg() -> RunConfig {
+    RunConfig { warmup_instr: 1_000_000, measure_instr: 2_000_000, ..RunConfig::default() }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_instruction_misses_are_an_order_of_magnitude_beyond_desktop() {
+    let spec = Benchmark::from_profile(Category::Traditional, WorkloadProfile::specint_cpu());
+    let (spec_l1i, _) = run(&spec, &cfg()).l1i_mpki();
+    for bench in Benchmark::scale_out_suite() {
+        let r = run(&bench, &cfg());
+        let (l1i_app, l1i_os) = r.l1i_mpki();
+        assert!(
+            l1i_app + l1i_os > 10.0,
+            "{}: L1-I MPKI {:.1} too low for a scale-out workload",
+            r.name,
+            l1i_app + l1i_os
+        );
+        assert!(
+            l1i_app + l1i_os > 10.0 * (spec_l1i + 0.05),
+            "{}: must be an order of magnitude beyond SPEC-cpu ({spec_l1i:.2})",
+            r.name
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn l2_catches_only_part_of_the_instruction_working_set() {
+    for bench in Benchmark::scale_out_suite() {
+        let r = run(&bench, &cfg());
+        let (l1i_app, l1i_os) = r.l1i_mpki();
+        let (l2i_app, l2i_os) = r.l2i_mpki();
+        let l1 = l1i_app + l1i_os;
+        let l2 = l2i_app + l2i_os;
+        assert!(l2 <= l1 + 0.5, "{}: L2 instr misses cannot exceed L1-I misses", r.name);
+        assert!(
+            l2 > 0.5 * l1,
+            "{}: the paper finds the L2 cannot mitigate the L1-I shortfall (L1 {l1:.1}, L2 {l2:.1})",
+            r.name
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_os_instruction_footprint_is_smaller_than_oltp() {
+    let tpcc = Benchmark::from_profile(Category::Traditional, WorkloadProfile::tpcc());
+    let (_, tpcc_os) = run(&tpcc, &cfg()).l1i_mpki();
+    let (_, media_os) = run(&Benchmark::media_streaming(), &cfg()).l1i_mpki();
+    assert!(
+        media_os < tpcc_os,
+        "scale-out OS instruction misses ({media_os:.1}) must trail OLTP ({tpcc_os:.1})"
+    );
+}

@@ -1,0 +1,68 @@
+//! Cross-crate integration test of the Figure 4 methodology and claims:
+//! polluter threads verifiably steal LLC capacity, scale-out workloads are
+//! insensitive above 4–6 MB, and an mcf-like working set is not.
+
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::Benchmark;
+
+fn cfg() -> RunConfig {
+    RunConfig { warmup_instr: 1_000_000, measure_instr: 1_600_000, ..RunConfig::default() }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn polluters_achieve_high_llc_hit_ratios() {
+    // §3.1: "We use performance counters to confirm that the polluter
+    // threads achieve nearly 100% hit ratio in the LLC."
+    let r = run(
+        &Benchmark::web_frontend(),
+        &RunConfig { polluter_bytes: Some(6 << 20), ..cfg() },
+    );
+    assert!(
+        r.polluter_llc_hit_ratio() > 0.8,
+        "polluter LLC hit ratio {:.2} too low for the methodology to hold",
+        r.polluter_llc_hit_ratio()
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_tolerates_half_the_llc_better_than_mcf() {
+    // Group semantics, as in the figure: average a slice of the scale-out
+    // suite against mcf at 4 MB effective capacity.
+    let base = RunConfig { warmup_instr: 3_000_000, ..cfg() };
+    let polluted = RunConfig { polluter_bytes: Some(8 << 20), ..base.clone() };
+    let group = [Benchmark::web_frontend(), Benchmark::web_search()];
+    let rel = |b: &Benchmark| run(b, &polluted).app_ipc() / run(b, &base).app_ipc();
+    let so_rel = group.iter().map(&rel).sum::<f64>() / group.len() as f64;
+    let mcf_rel = rel(&Benchmark::mcf());
+    assert!(
+        so_rel > 0.7,
+        "scale-out should retain most performance at 4 MB, kept {so_rel:.2}"
+    );
+    assert!(
+        mcf_rel < so_rel - 0.04,
+        "mcf ({mcf_rel:.2}) must be hurt more than scale-out ({so_rel:.2})"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn direct_llc_resizing_agrees_with_the_polluter_method() {
+    // The harness supports both methods; they must agree on the direction
+    // and rough magnitude for the sensitive workload.
+    let bench = Benchmark::mcf();
+    let base = run(&bench, &cfg()).app_ipc();
+    let resized =
+        run(&bench, &RunConfig { llc_bytes: Some(4 << 20), ..cfg() }).app_ipc();
+    let polluted =
+        run(&bench, &RunConfig { polluter_bytes: Some(8 << 20), ..cfg() }).app_ipc();
+    assert!(resized < base, "mcf must slow down with a 4 MB LLC");
+    assert!(polluted < base, "mcf must slow down with 8 MB polluted");
+    let a = resized / base;
+    let b = polluted / base;
+    assert!(
+        (a - b).abs() < 0.35,
+        "the two methods should roughly agree: resize {a:.2} vs polluters {b:.2}"
+    );
+}

@@ -1,0 +1,84 @@
+//! Cross-crate integration test of the Figure 6 and Figure 7 claims:
+//! scale-out read-write sharing is rare and OS-dominated, OLTP sharing is
+//! not; off-chip bandwidth is over-provisioned for every scale-out
+//! workload, with Media Streaming the heaviest consumer.
+
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::{Benchmark, Category};
+use cs_trace::WorkloadProfile;
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        split_sockets: true,
+        warmup_instr: 800_000,
+        measure_instr: 1_600_000,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_sharing_is_rare() {
+    for bench in Benchmark::scale_out_suite() {
+        let (app, os) = run(&bench, &cfg()).rw_shared_pct();
+        assert!(
+            app + os < 6.0,
+            "{}: sharing {:.2}% exceeds the scale-out band",
+            bench.name(),
+            app + os
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn oltp_sharing_is_application_dominated_and_high() {
+    for profile in [WorkloadProfile::tpcc(), WorkloadProfile::tpce(), WorkloadProfile::web_backend()]
+    {
+        let bench = Benchmark::from_profile(Category::Traditional, profile);
+        let (app, os) = run(&bench, &cfg()).rw_shared_pct();
+        assert!(
+            app + os > 3.0,
+            "{}: OLTP sharing {:.2}% too low",
+            bench.name(),
+            app + os
+        );
+        assert!(app > os, "{}: OLTP sharing must be application-level", bench.name());
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn sat_solver_shares_essentially_nothing() {
+    let (app, os) = run(&Benchmark::sat_solver(), &cfg()).rw_shared_pct();
+    assert!(app + os < 0.5, "SAT sharing {:.2}% should be negligible", app + os);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn bandwidth_is_overprovisioned_for_scale_out() {
+    let plain = RunConfig { split_sockets: false, ..cfg() };
+    let mut media_total = 0.0;
+    let mut max_other: (String, f64) = (String::new(), 0.0);
+    for bench in Benchmark::scale_out_suite() {
+        let (app, os) = run(&bench, &plain).bandwidth_pct();
+        let total = app + os;
+        assert!(
+            total < 35.0,
+            "{}: bandwidth {:.1}% exceeds the over-provisioning claim",
+            bench.name(),
+            total
+        );
+        if bench.name() == "Media Streaming" {
+            media_total = total;
+        } else if total > max_other.1 {
+            max_other = (bench.name().to_owned(), total);
+        }
+    }
+    assert!(
+        media_total > max_other.1 * 0.9,
+        "Media Streaming ({media_total:.1}%) should be among the heaviest consumers (max other: {} {:.1}%)",
+        max_other.0,
+        max_other.1
+    );
+}

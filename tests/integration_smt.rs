@@ -1,0 +1,73 @@
+//! Cross-crate integration test of the Figure 3 claims: low baseline IPC
+//! and MLP for scale-out workloads, with substantial SMT recovery thanks
+//! to request independence.
+
+use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::{Benchmark, Category};
+use cs_trace::WorkloadProfile;
+
+fn cfg() -> RunConfig {
+    RunConfig { warmup_instr: 1_000_000, measure_instr: 2_000_000, ..RunConfig::default() }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_ipc_uses_a_fraction_of_the_four_wide_core() {
+    for bench in Benchmark::scale_out_suite() {
+        let ipc = run(&bench, &cfg()).app_ipc();
+        assert!(
+            (0.2..1.3).contains(&ipc),
+            "{}: app IPC {ipc:.2} outside the scale-out band",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn scale_out_mlp_is_low_but_above_oltp() {
+    let tpcc = Benchmark::from_profile(Category::Traditional, WorkloadProfile::tpcc());
+    let tpcc_mlp = run(&tpcc, &cfg()).mlp();
+    let mut sum = 0.0;
+    for bench in Benchmark::scale_out_suite() {
+        let mlp = run(&bench, &cfg()).mlp();
+        assert!((1.0..3.2).contains(&mlp), "{}: MLP {mlp:.2} out of band", bench.name());
+        sum += mlp;
+    }
+    let mean = sum / 6.0;
+    assert!(
+        mean > tpcc_mlp * 0.9,
+        "scale-out MLP ({mean:.2}) should not trail TPC-C ({tpcc_mlp:.2}) materially"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn smt_recovers_substantial_throughput_on_scale_out() {
+    for bench in [Benchmark::data_serving(), Benchmark::web_search()] {
+        let base = run(&bench, &cfg());
+        let smt = run(&bench, &RunConfig { smt: true, ..cfg() });
+        let uplift = smt.app_ipc() / base.app_ipc() - 1.0;
+        assert!(
+            uplift > 0.2,
+            "{}: SMT uplift {:.0}% below the paper's band",
+            bench.name(),
+            uplift * 100.0
+        );
+        assert!(
+            smt.mlp() > base.mlp() * 1.3,
+            "{}: SMT must nearly double MLP ({:.2} -> {:.2})",
+            bench.name(),
+            base.mlp(),
+            smt.mlp()
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn desktop_cpu_benchmarks_exceed_scale_out_ipc_range() {
+    let spec = Benchmark::from_profile(Category::Traditional, WorkloadProfile::specint_cpu());
+    let ipc = run(&spec, &cfg()).app_ipc();
+    assert!(ipc > 1.5, "SPECint (cpu) IPC {ipc:.2} should approach the wide core's capability");
+}
