@@ -5,11 +5,15 @@
 //! `cargo bench` exercises every experiment path while staying tractable.
 
 use cloudsuite::experiments::table1;
-use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::{Benchmark, MachineConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use cs_memsys::PrefetchConfig;
 use std::hint::black_box;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("benchmark config is valid")
+}
 
 fn tiny() -> RunConfig {
     RunConfig {

@@ -1,76 +1,68 @@
-//! Regenerates every table and figure of the evaluation, plus the four
-//! ablations, in one run.
+//! Regenerates every table and figure of the evaluation, plus the
+//! ablations, as one resumable campaign.
+//!
+//! Each experiment runs in isolation: a failure (typed harness error or
+//! panic) is recorded in `results/manifest.json` and the campaign moves
+//! on. Transient failures — a tripped watchdog or a truncated window —
+//! are retried once with a widened cycle budget. A second pass with
+//! `--resume` skips every experiment whose result is already up to date
+//! and re-runs only what failed.
+//!
+//! Usage: `all_figures [--resume] [--results-dir DIR]`
+//!
+//! Exits non-zero only if at least one experiment ultimately failed.
 
-use cloudsuite::experiments as exp;
-use cloudsuite::Benchmark;
+use cs_bench::campaign::{self, ExperimentStatus};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut resume = false;
+    let mut results_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "--results-dir" => match args.next() {
+                Some(dir) => results_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--results-dir requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: all_figures [--resume] [--results-dir DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let cfg = cs_bench::config_from_env();
-    let machine = cloudsuite::MachineConfig::default();
-    cs_bench::emit(&exp::table1::report(&machine), "table1");
-    cs_bench::emit(&exp::fig1::report(&exp::fig1::collect(&cfg)), "fig1");
-    cs_bench::emit(&exp::fig2::report(&exp::fig2::collect(&cfg)), "fig2");
-    cs_bench::emit(&exp::fig3::report(&exp::fig3::collect(&cfg)), "fig3");
-    cs_bench::emit(&exp::fig4::report(&exp::fig4::collect(&cfg)), "fig4");
-    cs_bench::emit(&exp::fig5::report(&exp::fig5::collect(&cfg)), "fig5");
-    cs_bench::emit(&exp::fig6::report(&exp::fig6::collect(&cfg)), "fig6");
-    cs_bench::emit(&exp::fig7::report(&exp::fig7::collect(&cfg)), "fig7");
+    let summary = campaign::run(&campaign::experiments(), &cfg, &results_dir, resume);
 
-    let scale_out = Benchmark::scale_out_suite();
-    let a1 = exp::ablations::a1_mediocre_cores(&scale_out[..2], &cfg);
-    cs_bench::emit(&exp::ablations::report_a1(&a1), "ablation_a1");
-    let a2 = exp::ablations::a2_small_llc(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A2: modest 4 MB LLC (§4.3 implication)",
-            "Scale-out performance is nearly unchanged when the LLC shrinks to 4 MB.",
-            &a2,
-        ),
-        "ablation_a2",
-    );
-    let a3 = exp::ablations::a3_no_dcu(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A3: DCU streamer disabled (§4.3)",
-            "The L1-D streamer provides no benefit to scale-out workloads.",
-            &a3,
-        ),
-        "ablation_a3",
-    );
-    let a4 = exp::ablations::a4_one_channel(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A4: one DDR3 channel (§4.4 implication)",
-            "Scaling off-chip bandwidth back leaves scale-out performance essentially unchanged.",
-            &a4,
-        ),
-        "ablation_a4",
-    );
-    let a5 = exp::ablations::a5_big_l1i(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A5: 128 KB L1-I opportunity study (§4.1 implication)",
-            "What bringing instructions closer to the cores would buy.",
-            &a5,
-        ),
-        "ablation_a5",
-    );
-    let a6 = exp::ablations::a6_no_instr_prefetch(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A6: L1-I next-line prefetcher disabled (§4.1)",
-            "The next-line prefetcher is inadequate for scale-out control flow.",
-            &a6,
-        ),
-        "ablation_a6",
-    );
-    let a8 = exp::ablations::a8_narrow_interconnect(&scale_out, &cfg);
-    cs_bench::emit(
-        &exp::ablations::report_variant(
-            "Ablation A8: narrower on-chip interconnect (§4.4 implication)",
-            "Slower LLC and cross-socket paths barely move scale-out performance.",
-            &a8,
-        ),
-        "ablation_a8",
-    );
+    eprintln!("\ncampaign summary:");
+    for outcome in &summary.outcomes {
+        match &outcome.status {
+            ExperimentStatus::Ok { attempts: 1 } => eprintln!("  ok      {}", outcome.name),
+            ExperimentStatus::Ok { attempts } => {
+                eprintln!("  ok      {} (after {attempts} attempts)", outcome.name)
+            }
+            ExperimentStatus::Skipped => eprintln!("  skipped {} (up to date)", outcome.name),
+            ExperimentStatus::Failed { attempts, error } => {
+                eprintln!("  FAILED  {} ({attempts} attempts): {error}", outcome.name)
+            }
+        }
+    }
+    let failed = summary.failed();
+    if failed.is_empty() {
+        eprintln!("all {} experiments accounted for", summary.outcomes.len());
+    } else {
+        eprintln!(
+            "{} of {} experiments failed; fix or re-run with --resume",
+            failed.len(),
+            summary.outcomes.len()
+        );
+    }
+    ExitCode::from(summary.exit_code())
 }

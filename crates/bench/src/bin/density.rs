@@ -3,14 +3,23 @@
 
 use cloudsuite::experiments::density;
 use cloudsuite::Benchmark;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cfg = cs_bench::config_from_env();
     for bench in [Benchmark::web_search(), Benchmark::data_serving()] {
-        let rows = density::collect(&bench, &cfg);
-        cs_bench::emit(
-            &density::report(bench.name(), &rows),
-            &format!("density_{}", bench.name().to_lowercase().replace(' ', "_")),
-        );
+        let name = format!("density_{}", bench.name().to_lowercase().replace(' ', "_"));
+        let rows = match density::collect(&bench, &cfg) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = cs_bench::emit(&density::report(bench.name(), &rows), &name) {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    ExitCode::SUCCESS
 }

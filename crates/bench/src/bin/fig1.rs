@@ -1,7 +1,7 @@
 //! Regenerates Figure 1: execution-time breakdown and memory cycles.
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig1::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig1::report(&rows), "fig1");
+use cloudsuite::experiments::fig1;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig1", |cfg| Ok(fig1::report(&fig1::collect(cfg)?)))
 }

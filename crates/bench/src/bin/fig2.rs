@@ -1,7 +1,7 @@
 //! Regenerates Figure 2: L1-I and L2 instruction miss rates.
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig2::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig2::report(&rows), "fig2");
+use cloudsuite::experiments::fig2;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig2", |cfg| Ok(fig2::report(&fig2::collect(cfg)?)))
 }

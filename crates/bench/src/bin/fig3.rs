@@ -1,7 +1,7 @@
 //! Regenerates Figure 3: IPC and MLP, baseline vs SMT.
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig3::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig3::report(&rows), "fig3");
+use cloudsuite::experiments::fig3;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig3", |cfg| Ok(fig3::report(&fig3::collect(cfg)?)))
 }

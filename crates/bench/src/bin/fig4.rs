@@ -1,8 +1,8 @@
 //! Regenerates Figure 4: performance sensitivity to LLC capacity
 //! (cache-polluter methodology).
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig4::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig4::report(&rows), "fig4");
+use cloudsuite::experiments::fig4;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig4", |cfg| Ok(fig4::report(&fig4::collect(cfg)?)))
 }

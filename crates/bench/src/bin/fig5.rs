@@ -1,7 +1,7 @@
 //! Regenerates Figure 5: L2 hit ratios vs prefetcher configuration.
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig5::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig5::report(&rows), "fig5");
+use cloudsuite::experiments::fig5;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig5", |cfg| Ok(fig5::report(&fig5::collect(cfg)?)))
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: read-write sharing (threads split across sockets).
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig6::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig6::report(&rows), "fig6");
+use cloudsuite::experiments::fig6;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig6", |cfg| Ok(fig6::report(&fig6::collect(cfg)?)))
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 7: off-chip memory bandwidth utilization.
 
-fn main() {
-    let cfg = cs_bench::config_from_env();
-    let rows = cloudsuite::experiments::fig7::collect(&cfg);
-    cs_bench::emit(&cloudsuite::experiments::fig7::report(&rows), "fig7");
+use cloudsuite::experiments::fig7;
+
+fn main() -> std::process::ExitCode {
+    cs_bench::figure_main("fig7", |cfg| Ok(fig7::report(&fig7::collect(cfg)?)))
 }

@@ -3,14 +3,23 @@
 
 use cloudsuite::experiments::footnote3;
 use cloudsuite::Benchmark;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cfg = cs_bench::config_from_env();
     for bench in Benchmark::scale_out_suite() {
-        let rows = footnote3::collect(&bench, &cfg);
-        cs_bench::emit(
-            &footnote3::report(&rows),
-            &format!("footnote3_{}", bench.name().to_lowercase().replace(' ', "_")),
-        );
+        let name = format!("footnote3_{}", bench.name().to_lowercase().replace(' ', "_"));
+        let rows = match footnote3::collect(&bench, &cfg) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = cs_bench::emit(&footnote3::report(&rows), &name) {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    ExitCode::SUCCESS
 }

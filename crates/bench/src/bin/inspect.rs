@@ -20,7 +20,13 @@ fn main() {
         if !bench.name().to_lowercase().contains(&filter) {
             continue;
         }
-        let r = run(&bench, &cfg);
+        let r = match run(&bench, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<16} {e}", bench.name());
+                continue;
+            }
+        };
         let b = r.breakdown();
         let (l1a, l1o) = r.l1i_mpki();
         let (l2a, l2o) = r.l2i_mpki();

@@ -1,6 +1,14 @@
 //! Regenerates Table 1 (architectural parameters).
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let machine = cloudsuite::MachineConfig::default();
-    cs_bench::emit(&cloudsuite::experiments::table1::report(&machine), "table1");
+    match cs_bench::emit(&cloudsuite::experiments::table1::report(&machine), "table1") {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

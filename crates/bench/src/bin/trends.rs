@@ -2,14 +2,23 @@
 
 use cloudsuite::experiments::trends;
 use cloudsuite::Benchmark;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let cfg = cs_bench::config_from_env();
     for bench in [Benchmark::data_serving(), Benchmark::web_search()] {
-        let rows = trends::collect(&bench, &cfg);
-        cs_bench::emit(
-            &trends::report(bench.name(), &rows),
-            &format!("trends_{}", bench.name().to_lowercase().replace(' ', "_")),
-        );
+        let name = format!("trends_{}", bench.name().to_lowercase().replace(' ', "_"));
+        let rows = match trends::collect(&bench, &cfg) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = cs_bench::emit(&trends::report(bench.name(), &rows), &name) {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    ExitCode::SUCCESS
 }

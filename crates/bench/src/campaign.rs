@@ -1,0 +1,461 @@
+//! Resumable, fault-tolerant figure campaigns — the `all_figures` engine.
+//!
+//! A campaign is an ordered list of [`Experiment`]s, each of which renders
+//! one `<results>/<name>.json`. The runner keeps experiments isolated from
+//! each other: a panic or a typed [`HarnessError`] in one experiment is
+//! caught, recorded, and the rest of the campaign continues. Transient
+//! failures — a tripped watchdog or a truncated window — are retried once
+//! with a widened cycle budget before being declared failed.
+//!
+//! Every outcome is recorded in `<results>/manifest.json`, rewritten after
+//! each experiment so an interrupted campaign loses at most the experiment
+//! it was running. With `resume = true` the runner skips experiments whose
+//! manifest entry says `ok`, whose fingerprint matches the current
+//! configuration, and whose result file still exists — so a second pass
+//! after a partial failure re-runs only what actually failed.
+//!
+//! The manifest is deterministic: object keys are sorted and no timestamps
+//! or durations are recorded, so two runs of the same campaign over the
+//! same configuration produce byte-identical manifests.
+
+use cloudsuite::experiments as exp;
+use cloudsuite::harness::RunConfig;
+use cloudsuite::{Benchmark, HarnessError, MachineConfig};
+use cs_perf::Report;
+use serde_json::{Map, Value};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+
+/// One independently-run, independently-resumable unit of a campaign.
+pub struct Experiment {
+    /// Manifest key and result-file stem (`<results>/<name>.json`).
+    pub name: &'static str,
+    /// Runs the experiment and renders its report.
+    pub build: fn(&RunConfig) -> Result<Report, HarnessError>,
+}
+
+/// The full campaign behind `all_figures`: Table 1, Figures 1–7, and the
+/// ablation studies.
+pub fn experiments() -> Vec<Experiment> {
+    fn table1(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::table1::report(&MachineConfig::default()))
+    }
+    fn fig1(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig1::report(&exp::fig1::collect(cfg)?))
+    }
+    fn fig2(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig2::report(&exp::fig2::collect(cfg)?))
+    }
+    fn fig3(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig3::report(&exp::fig3::collect(cfg)?))
+    }
+    fn fig4(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig4::report(&exp::fig4::collect(cfg)?))
+    }
+    fn fig5(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig5::report(&exp::fig5::collect(cfg)?))
+    }
+    fn fig6(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig6::report(&exp::fig6::collect(cfg)?))
+    }
+    fn fig7(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fig7::report(&exp::fig7::collect(cfg)?))
+    }
+    fn a1(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        let scale_out = Benchmark::scale_out_suite();
+        Ok(exp::ablations::report_a1(&exp::ablations::a1_mediocre_cores(
+            &scale_out[..2],
+            cfg,
+        )?))
+    }
+    fn a2(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A2: modest 4 MB LLC (§4.3 implication)",
+            "Scale-out performance is nearly unchanged when the LLC shrinks to 4 MB.",
+            &exp::ablations::a2_small_llc(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    fn a3(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A3: DCU streamer disabled (§4.3)",
+            "The L1-D streamer provides no benefit to scale-out workloads.",
+            &exp::ablations::a3_no_dcu(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    fn a4(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A4: one DDR3 channel (§4.4 implication)",
+            "Scaling off-chip bandwidth back leaves scale-out performance essentially unchanged.",
+            &exp::ablations::a4_one_channel(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    fn a5(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A5: 128 KB L1-I opportunity study (§4.1 implication)",
+            "What bringing instructions closer to the cores would buy.",
+            &exp::ablations::a5_big_l1i(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    fn a6(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A6: L1-I next-line prefetcher disabled (§4.1)",
+            "The next-line prefetcher is inadequate for scale-out control flow.",
+            &exp::ablations::a6_no_instr_prefetch(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    fn a8(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::ablations::report_variant(
+            "Ablation A8: narrower on-chip interconnect (§4.4 implication)",
+            "Slower LLC and cross-socket paths barely move scale-out performance.",
+            &exp::ablations::a8_narrow_interconnect(&Benchmark::scale_out_suite(), cfg)?,
+        ))
+    }
+    vec![
+        Experiment { name: "table1", build: table1 },
+        Experiment { name: "fig1", build: fig1 },
+        Experiment { name: "fig2", build: fig2 },
+        Experiment { name: "fig3", build: fig3 },
+        Experiment { name: "fig4", build: fig4 },
+        Experiment { name: "fig5", build: fig5 },
+        Experiment { name: "fig6", build: fig6 },
+        Experiment { name: "fig7", build: fig7 },
+        Experiment { name: "ablation_a1", build: a1 },
+        Experiment { name: "ablation_a2", build: a2 },
+        Experiment { name: "ablation_a3", build: a3 },
+        Experiment { name: "ablation_a4", build: a4 },
+        Experiment { name: "ablation_a5", build: a5 },
+        Experiment { name: "ablation_a6", build: a6 },
+        Experiment { name: "ablation_a8", build: a8 },
+    ]
+}
+
+/// How one experiment of a campaign ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentStatus {
+    /// The result file was written.
+    Ok {
+        /// Attempts used (2 means the transient-failure retry fired).
+        attempts: u32,
+    },
+    /// An up-to-date result already existed (`resume`).
+    Skipped,
+    /// The experiment failed after all attempts.
+    Failed {
+        /// Attempts used.
+        attempts: u32,
+        /// Rendered error (typed harness error, panic message, or I/O).
+        error: String,
+    },
+}
+
+/// One experiment's name and final status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The experiment's manifest key.
+    pub name: String,
+    /// Its final status.
+    pub status: ExperimentStatus,
+}
+
+/// Every outcome of a campaign run, in campaign order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Per-experiment outcomes.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl CampaignSummary {
+    /// Experiments that ultimately failed.
+    pub fn failed(&self) -> Vec<&Outcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ExperimentStatus::Failed { .. }))
+            .collect()
+    }
+
+    /// Process exit code: non-zero only if an experiment ultimately
+    /// failed.
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.failed().is_empty())
+    }
+}
+
+/// The configuration fingerprint stored per manifest entry; a resume pass
+/// only trusts results produced under the same fingerprint.
+pub fn fingerprint(cfg: &RunConfig) -> String {
+    format!("w{}-m{}-s{}", cfg.warmup_instr, cfg.measure_instr, cfg.seed)
+}
+
+/// Runs the campaign, emitting result files into `results_dir` and
+/// maintaining `results_dir/manifest.json`.
+pub fn run(
+    experiments: &[Experiment],
+    cfg: &RunConfig,
+    results_dir: &Path,
+    resume: bool,
+) -> CampaignSummary {
+    let manifest_path = results_dir.join("manifest.json");
+    let mut manifest = if resume { load_manifest(&manifest_path) } else { Map::new() };
+    let fp = fingerprint(cfg);
+    let mut outcomes = Vec::new();
+    for e in experiments {
+        if resume && up_to_date(&manifest, e.name, &fp, results_dir) {
+            eprintln!("[campaign] {}: up to date, skipping", e.name);
+            outcomes.push(Outcome { name: e.name.into(), status: ExperimentStatus::Skipped });
+            continue;
+        }
+        let status = run_one(e, cfg, results_dir);
+        manifest.insert(e.name.to_string(), manifest_entry(&fp, &status));
+        // Rewritten after every experiment: an interrupted campaign loses
+        // at most the experiment it was running.
+        if let Err(err) = write_manifest(&manifest_path, &manifest) {
+            eprintln!("[campaign] warning: could not write manifest: {err}");
+        }
+        outcomes.push(Outcome { name: e.name.into(), status });
+    }
+    CampaignSummary { outcomes }
+}
+
+struct Failure {
+    message: String,
+    transient: bool,
+}
+
+/// One guarded attempt: typed errors and panics both become [`Failure`]s.
+fn attempt(e: &Experiment, cfg: &RunConfig) -> Result<Report, Failure> {
+    match panic::catch_unwind(AssertUnwindSafe(|| (e.build)(cfg))) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(err)) => Err(Failure {
+            transient: matches!(
+                err,
+                HarnessError::Stalled { .. } | HarnessError::Truncated { .. }
+            ),
+            message: err.to_string(),
+        }),
+        // `&*payload`, not `&payload`: coercing the Box itself to
+        // `dyn Any` would make both downcasts miss.
+        Err(payload) => Err(Failure { message: panic_message(&*payload), transient: false }),
+    }
+}
+
+fn run_one(e: &Experiment, cfg: &RunConfig, results_dir: &Path) -> ExperimentStatus {
+    let mut attempts = 1;
+    let mut result = attempt(e, cfg);
+    if let Err(f) = &result {
+        if f.transient {
+            eprintln!(
+                "[campaign] {}: transient failure ({}); retrying with a widened cycle budget",
+                e.name, f.message
+            );
+            attempts = 2;
+            let widened = RunConfig {
+                max_cycles: cfg.max_cycles.saturating_mul(4),
+                watchdog_grace: cfg.watchdog_grace.saturating_mul(4),
+                ..cfg.clone()
+            };
+            result = attempt(e, &widened);
+        }
+    }
+    match result {
+        Ok(report) => match crate::emit_to(results_dir, &report, e.name) {
+            Ok(_) => ExperimentStatus::Ok { attempts },
+            Err(err) => ExperimentStatus::Failed { attempts, error: err.to_string() },
+        },
+        Err(f) => {
+            eprintln!("[campaign] {}: FAILED: {}", e.name, f.message);
+            ExperimentStatus::Failed { attempts, error: f.message }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".into()
+    }
+}
+
+fn manifest_entry(fp: &str, status: &ExperimentStatus) -> Value {
+    let mut m = Map::new();
+    m.insert("fingerprint".into(), Value::String(fp.into()));
+    match status {
+        ExperimentStatus::Ok { attempts } => {
+            m.insert("attempts".into(), Value::from(u64::from(*attempts)));
+            m.insert("status".into(), Value::String("ok".into()));
+        }
+        ExperimentStatus::Failed { attempts, error } => {
+            m.insert("attempts".into(), Value::from(u64::from(*attempts)));
+            m.insert("error".into(), Value::String(error.clone()));
+            m.insert("status".into(), Value::String("failed".into()));
+        }
+        // Skips never reach the manifest: the existing entry stands.
+        ExperimentStatus::Skipped => {}
+    }
+    Value::Object(m)
+}
+
+fn load_manifest(path: &Path) -> Map<String, Value> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Map::new() };
+    match serde_json::from_str::<Value>(&text) {
+        Ok(v) => match v.get("experiments").and_then(Value::as_object) {
+            Some(entries) => entries.clone(),
+            None => Map::new(),
+        },
+        Err(_) => Map::new(),
+    }
+}
+
+fn write_manifest(path: &Path, entries: &Map<String, Value>) -> std::io::Result<()> {
+    let mut root = Map::new();
+    root.insert("experiments".into(), Value::Object(entries.clone()));
+    root.insert("version".into(), Value::from(1u64));
+    let text = serde_json::to_string_pretty(&Value::Object(root))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, text + "\n")
+}
+
+fn up_to_date(manifest: &Map<String, Value>, name: &str, fp: &str, results_dir: &Path) -> bool {
+    let Some(entry) = manifest.get(name) else { return false };
+    entry.get("status").and_then(Value::as_str) == Some("ok")
+        && entry.get("fingerprint").and_then(Value::as_str) == Some(fp)
+        && results_dir.join(format!("{name}.json")).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("cs-campaign-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ok_report(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(Report::new("healthy"))
+    }
+
+    fn stalling(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Err(HarnessError::Stalled { core: 3, cycles_without_commit: 99, window: "measure" })
+    }
+
+    fn panicking(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        panic!("exploded mid-experiment")
+    }
+
+    fn read_manifest(dir: &Path) -> Value {
+        let text = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+        serde_json::from_str(&text).expect("manifest parses")
+    }
+
+    #[test]
+    fn one_failure_does_not_sink_the_campaign() {
+        let dir = scratch_dir("isolation");
+        let exps = [
+            Experiment { name: "good_a", build: ok_report },
+            Experiment { name: "sick", build: stalling },
+            Experiment { name: "explosive", build: panicking },
+            Experiment { name: "good_b", build: ok_report },
+        ];
+        let summary = run(&exps, &RunConfig::default(), &dir, false);
+        assert_eq!(summary.exit_code(), 1);
+        assert_eq!(summary.failed().len(), 2);
+        assert!(dir.join("good_a.json").exists());
+        assert!(dir.join("good_b.json").exists());
+        assert!(!dir.join("sick.json").exists());
+
+        let manifest = read_manifest(&dir);
+        let sick = manifest.get("experiments").and_then(|e| e.get("sick")).expect("entry");
+        assert_eq!(sick.get("status").and_then(Value::as_str), Some("failed"));
+        // A stall is transient: the widened-budget retry must have fired.
+        assert_eq!(sick.get("attempts").and_then(Value::as_u64), Some(2));
+        assert!(sick
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("core 3")));
+        let boom =
+            manifest.get("experiments").and_then(|e| e.get("explosive")).expect("entry");
+        // Panics are not transient: exactly one attempt.
+        assert_eq!(boom.get("attempts").and_then(Value::as_u64), Some(1));
+        assert!(boom
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("exploded")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    static RESUME_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+    fn counted_ok(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        RESUME_RUNS.fetch_add(1, Ordering::SeqCst);
+        Ok(Report::new("counted"))
+    }
+
+    #[test]
+    fn resume_reruns_only_the_failure() {
+        let dir = scratch_dir("resume");
+        let broken = [
+            Experiment { name: "steady", build: counted_ok },
+            Experiment { name: "flaky", build: stalling },
+        ];
+        let first = run(&broken, &RunConfig::default(), &dir, false);
+        assert_eq!(first.exit_code(), 1);
+        assert_eq!(RESUME_RUNS.load(Ordering::SeqCst), 1);
+
+        // The flaw is fixed; a resume pass must re-run only "flaky".
+        let fixed = [
+            Experiment { name: "steady", build: counted_ok },
+            Experiment { name: "flaky", build: ok_report },
+        ];
+        let second = run(&fixed, &RunConfig::default(), &dir, true);
+        assert_eq!(second.exit_code(), 0);
+        assert_eq!(RESUME_RUNS.load(Ordering::SeqCst), 1, "steady must be skipped");
+        assert_eq!(second.outcomes[0].status, ExperimentStatus::Skipped);
+        assert_eq!(second.outcomes[1].status, ExperimentStatus::Ok { attempts: 1 });
+        assert!(dir.join("flaky.json").exists());
+
+        // A config change invalidates the fingerprint: nothing is skipped.
+        let wider = RunConfig { measure_instr: 123_456, ..RunConfig::default() };
+        let third = run(&fixed, &wider, &dir, true);
+        assert_eq!(third.outcomes[0].status, ExperimentStatus::Ok { attempts: 1 });
+        assert_eq!(RESUME_RUNS.load(Ordering::SeqCst), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_bytes_are_deterministic() {
+        let dir_a = scratch_dir("det-a");
+        let dir_b = scratch_dir("det-b");
+        let exps = [
+            Experiment { name: "one", build: ok_report },
+            Experiment { name: "two", build: stalling },
+        ];
+        run(&exps, &RunConfig::default(), &dir_a, false);
+        run(&exps, &RunConfig::default(), &dir_b, false);
+        let a = std::fs::read(dir_a.join("manifest.json")).expect("manifest a");
+        let b = std::fs::read(dir_b.join("manifest.json")).expect("manifest b");
+        assert_eq!(a, b, "same campaign, same config, same bytes");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn fingerprint_encodes_the_windows_and_seed() {
+        let cfg = RunConfig {
+            warmup_instr: 10,
+            measure_instr: 20,
+            seed: 7,
+            ..RunConfig::default()
+        };
+        assert_eq!(fingerprint(&cfg), "w10-m20-s7");
+    }
+}

@@ -9,15 +9,41 @@
 //! - `CS_WARMUP` — warmup instructions (default 1,600,000)
 //! - `CS_MEASURE` — measured instructions (default 3,200,000)
 //! - `CS_SEED` — base random seed (default 42)
+//! - `CS_MAX_CYCLES` — per-window simulated-cycle safety cap
+//! - `CS_WATCHDOG` — forward-progress watchdog grace period in cycles
+//!   (`0` disables the watchdog)
+//!
+//! Deterministic fault injection can be switched on from the environment
+//! to rehearse the failure paths (watchdog, retries, the campaign
+//! manifest) without touching any code:
+//!
+//! - `CS_FAULT_DRAM_LAT` — extra cycles added to perturbed DRAM reads
+//! - `CS_FAULT_DRAM_RATE` — fraction of DRAM reads perturbed (default 1.0
+//!   when `CS_FAULT_DRAM_LAT` is set)
+//! - `CS_FAULT_PF_DROP` — fraction of prefetch issues dropped
+//! - `CS_FAULT_SEED` — seed of the perturbation stream (default 0xC10D)
+//!
+//! The multi-experiment campaign engine behind `all_figures` — experiment
+//! isolation, transparent retries, and the resumable `manifest.json` —
+//! lives in [`campaign`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 use cloudsuite::harness::RunConfig;
+use cloudsuite::{FaultPlan, HarnessError};
 use cs_perf::Report;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+pub mod campaign;
 
 fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
@@ -27,17 +53,81 @@ pub fn config_from_env() -> RunConfig {
     cfg.warmup_instr = env_u64("CS_WARMUP", cfg.warmup_instr);
     cfg.measure_instr = env_u64("CS_MEASURE", cfg.measure_instr);
     cfg.seed = env_u64("CS_SEED", cfg.seed);
+    cfg.max_cycles = env_u64("CS_MAX_CYCLES", cfg.max_cycles);
+    cfg.watchdog_grace = env_u64("CS_WATCHDOG", cfg.watchdog_grace);
+    let dram_lat = env_u64("CS_FAULT_DRAM_LAT", 0) as u32;
+    let pf_drop = env_f64("CS_FAULT_PF_DROP", 0.0);
+    if dram_lat > 0 || pf_drop > 0.0 {
+        cfg.fault = Some(FaultPlan {
+            dram_extra_latency: dram_lat,
+            dram_perturb_rate: env_f64("CS_FAULT_DRAM_RATE", 1.0),
+            prefetch_drop_rate: pf_drop,
+            seed: env_u64("CS_FAULT_SEED", 0xC10D),
+        });
+    }
     cfg
 }
 
+/// A failed attempt to write a result file: the path that could not be
+/// written and the underlying I/O error.
+#[derive(Debug)]
+pub struct EmitError {
+    /// The file or directory the write failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for EmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Prints the report and writes its JSON twin under `results/<name>.json`.
-pub fn emit(report: &Report, name: &str) {
+pub fn emit(report: &Report, name: &str) -> Result<PathBuf, EmitError> {
+    emit_to(Path::new("results"), report, name)
+}
+
+/// Prints the report and writes its JSON twin under `<dir>/<name>.json`,
+/// returning the written path.
+pub fn emit_to(dir: &Path, report: &Report, name: &str) -> Result<PathBuf, EmitError> {
     println!("{report}");
-    let dir = PathBuf::from("results");
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        if std::fs::write(&path, report.to_json()).is_ok() {
-            eprintln!("(wrote {})", path.display());
+    std::fs::create_dir_all(dir)
+        .map_err(|source| EmitError { path: dir.to_path_buf(), source })?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, report.to_json())
+        .map_err(|source| EmitError { path: path.clone(), source })?;
+    eprintln!("(wrote {})", path.display());
+    Ok(path)
+}
+
+/// Standard `main` body for a single-figure binary: builds the config
+/// from the environment, runs `body`, emits the report, and converts
+/// every failure into a message on stderr plus a failing exit code.
+pub fn figure_main(
+    name: &str,
+    body: fn(&RunConfig) -> Result<Report, HarnessError>,
+) -> ExitCode {
+    let cfg = config_from_env();
+    let report = match body(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match emit(&report, name) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -51,5 +141,15 @@ mod tests {
         let cfg = config_from_env();
         assert!(cfg.warmup_instr > 0);
         assert!(cfg.measure_instr > 0);
+        assert!(cfg.max_cycles > 0);
+    }
+
+    #[test]
+    fn emit_error_names_the_path() {
+        let report = Report::new("x");
+        let err = emit_to(Path::new("/dev/null/not-a-dir"), &report, "x")
+            .expect_err("writing under /dev/null must fail");
+        assert!(err.to_string().contains("/dev/null/not-a-dir"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

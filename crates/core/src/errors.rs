@@ -1,0 +1,168 @@
+//! Typed errors for the experiment harness.
+//!
+//! The §3.1 methodology is only trustworthy when violations are loud: a
+//! structurally impossible [`crate::harness::RunConfig`] must be rejected
+//! before any cycle is simulated ([`ConfigError`]), and a run that cannot
+//! make forward progress must be diagnosed and cut short
+//! ([`HarnessError::Stalled`]) rather than silently burning its cycle
+//! budget. Campaign drivers that need "the window completed" as a hard
+//! invariant use [`crate::harness::run_strict`], which converts a truncated
+//! window into [`HarnessError::Truncated`].
+
+use std::fmt;
+
+/// A structurally invalid [`crate::harness::RunConfig`], detected before
+/// any simulation work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: there is nothing to measure.
+    NoWorkers,
+    /// A worker or polluter was placed on a core the machine does not have.
+    PlacementExceedsCores {
+        /// The offending global core id.
+        core: usize,
+        /// Number of cores the machine actually has.
+        available: usize,
+    },
+    /// A core was assigned to both a worker and a polluter thread.
+    PlacementOverlap {
+        /// The doubly-assigned global core id.
+        core: usize,
+    },
+    /// `dram_channels == Some(0)`: the machine could never move a byte.
+    ZeroDramChannels,
+    /// A cache-capacity override does not fit the level's geometry
+    /// (capacity must be a positive multiple of `associativity * 64`).
+    InvalidCacheSize {
+        /// Which override field is invalid (`"llc_bytes"`, `"l1i_bytes"`,
+        /// `"l2_bytes"`).
+        which: &'static str,
+        /// The rejected capacity.
+        bytes: u64,
+    },
+    /// A window length that makes the run degenerate (`measure_instr == 0`
+    /// or `max_cycles == 0`).
+    ZeroWindow {
+        /// Which field is zero.
+        which: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoWorkers => write!(f, "config has zero workers; nothing to measure"),
+            ConfigError::PlacementExceedsCores { core, available } => {
+                write!(f, "placement uses core {core} but the machine has {available} cores")
+            }
+            ConfigError::PlacementOverlap { core } => {
+                write!(f, "core {core} is assigned to both a worker and a polluter")
+            }
+            ConfigError::ZeroDramChannels => {
+                write!(f, "dram_channels is 0; the machine could never move a byte")
+            }
+            ConfigError::InvalidCacheSize { which, bytes } => {
+                write!(
+                    f,
+                    "{which} = {bytes} is not a positive multiple of the level's \
+                     associativity x 64-byte lines"
+                )
+            }
+            ConfigError::ZeroWindow { which } => {
+                write!(f, "{which} is 0; the window could never complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A failed experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The configuration was rejected before simulation.
+    Config(ConfigError),
+    /// The forward-progress watchdog fired: a measured core stopped
+    /// committing for a full grace period during the named window.
+    Stalled {
+        /// The livelocked core.
+        core: usize,
+        /// How long it went without committing, in cycles.
+        cycles_without_commit: u64,
+        /// Which window stalled (`"warmup"` or `"measure"`).
+        window: &'static str,
+    },
+    /// A window hit the `max_cycles` safety cap before committing its
+    /// instruction target (only raised by [`crate::harness::run_strict`];
+    /// [`crate::harness::run`] reports this as
+    /// [`crate::harness::RunStatus::Truncated`] instead).
+    Truncated {
+        /// Instructions actually committed in the short window.
+        committed: u64,
+        /// The instruction target the window was supposed to reach.
+        target: u64,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Config(e) => write!(f, "invalid config: {e}"),
+            HarnessError::Stalled { core, cycles_without_commit, window } => {
+                write!(
+                    f,
+                    "watchdog: core {core} committed nothing for {cycles_without_commit} \
+                     cycles during the {window} window"
+                )
+            }
+            HarnessError::Truncated { committed, target } => {
+                write!(
+                    f,
+                    "window truncated by the cycle cap: committed {committed} of {target} \
+                     instructions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for HarnessError {
+    fn from(e: ConfigError) -> Self {
+        HarnessError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::InvalidCacheSize { which: "llc_bytes", bytes: 100 };
+        assert!(e.to_string().contains("llc_bytes"));
+        assert!(e.to_string().contains("100"));
+        let h = HarnessError::Stalled { core: 3, cycles_without_commit: 9000, window: "measure" };
+        assert!(h.to_string().contains("core 3"));
+        assert!(h.to_string().contains("measure"));
+        let t = HarnessError::Truncated { committed: 5, target: 10 };
+        assert!(t.to_string().contains("5"));
+        assert!(t.to_string().contains("10"));
+    }
+
+    #[test]
+    fn config_error_converts_to_harness_error() {
+        let h: HarnessError = ConfigError::NoWorkers.into();
+        assert_eq!(h, HarnessError::Config(ConfigError::NoWorkers));
+        use std::error::Error;
+        assert!(h.source().is_some());
+    }
+}

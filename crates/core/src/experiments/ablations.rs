@@ -17,7 +17,8 @@
 //!   magnitude beyond the desktop benchmarks even with it enabled — the
 //!   paper's "inadequate for scale-out workloads" finding.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::Benchmark;
 use cs_memsys::PrefetchConfig;
 use cs_perf::{Report, Table};
@@ -40,28 +41,30 @@ pub struct A1Row {
 }
 
 /// Runs A1 for the given workloads.
-pub fn a1_mediocre_cores(benches: &[Benchmark], cfg: &RunConfig) -> Vec<A1Row> {
-    benches
-        .iter()
-        .map(|b| {
-            let agg = |r: &crate::harness::RunResult| r.app_ipc() * r.cores.len() as f64;
-            let wide = run(b, cfg);
-            let wide_smt = run(b, &RunConfig { smt: true, ..cfg.clone() });
-            let narrow = run(
-                b,
-                &RunConfig { workers: 8, core: Some(CoreConfig::narrow2()), ..cfg.clone() },
-            );
-            let inorder =
-                run(b, &RunConfig { core: Some(CoreConfig::in_order2()), ..cfg.clone() });
-            A1Row {
-                workload: wide.name.clone(),
-                wide: agg(&wide),
-                wide_smt: agg(&wide_smt),
-                narrow_x2: agg(&narrow),
-                in_order: agg(&inorder),
-            }
-        })
-        .collect()
+pub fn a1_mediocre_cores(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<Vec<A1Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in benches {
+        let agg = |r: &crate::harness::RunResult| r.app_ipc() * r.cores.len() as f64;
+        let wide = run_strict(b, cfg)?;
+        let wide_smt = run_strict(b, &RunConfig { smt: true, ..cfg.clone() })?;
+        let narrow = run_strict(
+            b,
+            &RunConfig { workers: 8, core: Some(CoreConfig::narrow2()), ..cfg.clone() },
+        )?;
+        let inorder =
+            run_strict(b, &RunConfig { core: Some(CoreConfig::in_order2()), ..cfg.clone() })?;
+        rows.push(A1Row {
+            workload: wide.name.clone(),
+            wide: agg(&wide),
+            wide_smt: agg(&wide_smt),
+            narrow_x2: agg(&narrow),
+            in_order: agg(&inorder),
+        });
+    }
+    Ok(rows)
 }
 
 /// A2/A3/A4: one workload's IPC under a machine variant, relative to
@@ -88,18 +91,24 @@ impl VariantRow {
 }
 
 /// A2: a modest 4 MB LLC (with the baseline's 12 MB as reference).
-pub fn a2_small_llc(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a2_small_llc(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<Vec<VariantRow>, HarnessError> {
     variant(benches, cfg, &RunConfig { llc_bytes: Some(4 << 20), ..cfg.clone() })
 }
 
 /// A3: DCU streamer disabled.
-pub fn a3_no_dcu(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a3_no_dcu(benches: &[Benchmark], cfg: &RunConfig) -> Result<Vec<VariantRow>, HarnessError> {
     let pf = PrefetchConfig { dcu_streamer: false, ..PrefetchConfig::default() };
     variant(benches, cfg, &RunConfig { prefetch: Some(pf), ..cfg.clone() })
 }
 
 /// A4: one DDR3 channel instead of three.
-pub fn a4_one_channel(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a4_one_channel(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<Vec<VariantRow>, HarnessError> {
     variant(benches, cfg, &RunConfig { dram_channels: Some(1), ..cfg.clone() })
 }
 
@@ -107,12 +116,15 @@ pub fn a4_one_channel(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow>
 /// heavy-tailed instruction working set only modestly — the reason §4.1
 /// argues for partitioned LLC-level instruction caching instead of larger
 /// L1s.
-pub fn a5_big_l1i(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a5_big_l1i(benches: &[Benchmark], cfg: &RunConfig) -> Result<Vec<VariantRow>, HarnessError> {
     variant(benches, cfg, &RunConfig { l1i_bytes: Some(128 * 1024), ..cfg.clone() })
 }
 
 /// A6: L1-I next-line prefetcher disabled.
-pub fn a6_no_instr_prefetch(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a6_no_instr_prefetch(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<Vec<VariantRow>, HarnessError> {
     let pf = PrefetchConfig { instr_next_line: false, ..PrefetchConfig::default() };
     variant(benches, cfg, &RunConfig { prefetch: Some(pf), ..cfg.clone() })
 }
@@ -121,7 +133,10 @@ pub fn a6_no_instr_prefetch(benches: &[Benchmark], cfg: &RunConfig) -> Vec<Varia
 /// cycles and cross-socket snoops 40 more — standing in for the §4.4
 /// proposal to scale back the "wide and low-latency interconnects
 /// (that) are over-provisioned for scale-out workloads".
-pub fn a8_narrow_interconnect(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a8_narrow_interconnect(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<Vec<VariantRow>, HarnessError> {
     variant(
         benches,
         cfg,
@@ -132,7 +147,7 @@ pub fn a8_narrow_interconnect(benches: &[Benchmark], cfg: &RunConfig) -> Vec<Var
 /// A7: a real gshare predictor instead of the trace's calibrated
 /// mispredict annotations — a cross-check that the calibrated rates are
 /// not doing hidden work.
-pub fn a7_gshare(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
+pub fn a7_gshare(benches: &[Benchmark], cfg: &RunConfig) -> Result<Vec<VariantRow>, HarnessError> {
     let core = CoreConfig {
         branch_model: cs_uarch::BranchModel::Gshare { bits: 14 },
         ..CoreConfig::x5670()
@@ -140,19 +155,22 @@ pub fn a7_gshare(benches: &[Benchmark], cfg: &RunConfig) -> Vec<VariantRow> {
     variant(benches, cfg, &RunConfig { core: Some(core), ..cfg.clone() })
 }
 
-fn variant(benches: &[Benchmark], base: &RunConfig, alt: &RunConfig) -> Vec<VariantRow> {
-    benches
-        .iter()
-        .map(|b| {
-            let r0 = run(b, base);
-            let r1 = run(b, alt);
-            VariantRow {
-                workload: r0.name.clone(),
-                baseline_ipc: r0.app_ipc(),
-                variant_ipc: r1.app_ipc(),
-            }
-        })
-        .collect()
+fn variant(
+    benches: &[Benchmark],
+    base: &RunConfig,
+    alt: &RunConfig,
+) -> Result<Vec<VariantRow>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in benches {
+        let r0 = run_strict(b, base)?;
+        let r1 = run_strict(b, alt)?;
+        rows.push(VariantRow {
+            workload: r0.name.clone(),
+            baseline_ipc: r0.app_ipc(),
+            variant_ipc: r1.app_ipc(),
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders an A1 table.
@@ -209,7 +227,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
     fn narrow_cores_win_aggregate_throughput_on_scale_out() {
-        let rows = a1_mediocre_cores(&[Benchmark::web_search()], &tiny());
+        let rows = a1_mediocre_cores(&[Benchmark::web_search()], &tiny()).expect("run");
         let r = &rows[0];
         assert!(
             r.narrow_x2 > r.wide,
@@ -223,7 +241,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
     fn small_llc_barely_hurts_scale_out() {
-        let rows = a2_small_llc(&[Benchmark::web_frontend()], &tiny());
+        let rows = a2_small_llc(&[Benchmark::web_frontend()], &tiny()).expect("run");
         assert!(
             rows[0].relative() > 0.8,
             "4MB LLC should cost scale-out little, got {:.2}",
@@ -247,11 +265,12 @@ mod tests {
             ..RunConfig::default()
         };
         let bench = Benchmark::web_search();
-        let base = crate::harness::run(&bench, &cfg);
-        let big = crate::harness::run(
+        let base = run_strict(&bench, &cfg).expect("run");
+        let big = run_strict(
             &bench,
             &RunConfig { l1i_bytes: Some(128 * 1024), ..cfg.clone() },
-        );
+        )
+        .expect("run");
         let (b_app, b_os) = base.l1i_mpki();
         let (g_app, g_os) = big.l1i_mpki();
         let relief = 1.0 - (g_app + g_os) / (b_app + b_os);
@@ -277,7 +296,7 @@ mod tests {
             measure_instr: 1_000_000,
             ..RunConfig::default()
         };
-        let r = crate::harness::run(&Benchmark::data_serving(), &cfg);
+        let r = run_strict(&Benchmark::data_serving(), &cfg).expect("run");
         let (l1i_app, l1i_os) = r.l1i_mpki();
         assert!(
             l1i_app + l1i_os > 10.0,
@@ -285,14 +304,14 @@ mod tests {
             l1i_app + l1i_os
         );
         // And the prefetcher is load-bearing for what little it covers.
-        let rows = a6_no_instr_prefetch(&[Benchmark::data_serving()], &cfg);
+        let rows = a6_no_instr_prefetch(&[Benchmark::data_serving()], &cfg).expect("run");
         assert!(rows[0].relative() < 1.0, "disabling it must not help");
     }
 
     #[test]
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
     fn a_narrower_interconnect_costs_scale_out_little() {
-        let rows = a8_narrow_interconnect(&[Benchmark::data_serving()], &tiny());
+        let rows = a8_narrow_interconnect(&[Benchmark::data_serving()], &tiny()).expect("run");
         assert!(
             rows[0].relative() > 0.85,
             "slower LLC/snoop paths should cost little, got {:.2}",
@@ -303,7 +322,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
     fn gshare_and_calibrated_rates_roughly_agree() {
-        let rows = a7_gshare(&[Benchmark::mapreduce()], &tiny());
+        let rows = a7_gshare(&[Benchmark::mapreduce()], &tiny()).expect("run");
         let rel = rows[0].relative();
         assert!(
             (0.7..1.3).contains(&rel),
@@ -314,7 +333,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
     fn one_memory_channel_suffices_for_scale_out() {
-        let rows = a4_one_channel(&[Benchmark::web_frontend()], &tiny());
+        let rows = a4_one_channel(&[Benchmark::web_frontend()], &tiny()).expect("run");
         assert!(
             rows[0].relative() > 0.78,
             "one channel should mostly suffice, got {:.2}",

@@ -7,7 +7,8 @@
 //! first-order area model of [`cs_uarch::area`], and reports aggregate
 //! scale-out throughput per mm² and per watt.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::Benchmark;
 use cs_perf::{Report, Table};
 use cs_uarch::{area, CoreConfig};
@@ -79,24 +80,23 @@ pub fn design_points() -> Vec<(String, RunConfig, CoreConfig, u64)> {
 }
 
 /// Evaluates every design point on `bench`.
-pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<DensityRow> {
-    design_points()
-        .into_iter()
-        .map(|(design, mut run_cfg, core_cfg, llc)| {
-            run_cfg.warmup_instr = cfg.warmup_instr;
-            run_cfg.measure_instr = cfg.measure_instr;
-            run_cfg.seed = cfg.seed;
-            let r = run(bench, &run_cfg);
-            let chip = area::chip_estimate(&core_cfg, r.cores.len(), llc);
-            DensityRow {
-                design,
-                cores: r.cores.len(),
-                throughput: r.app_ipc() * r.cores.len() as f64,
-                area_mm2: chip.area_mm2,
-                power_w: chip.power_w,
-            }
-        })
-        .collect()
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Result<Vec<DensityRow>, HarnessError> {
+    let mut rows = Vec::new();
+    for (design, mut run_cfg, core_cfg, llc) in design_points() {
+        run_cfg.warmup_instr = cfg.warmup_instr;
+        run_cfg.measure_instr = cfg.measure_instr;
+        run_cfg.seed = cfg.seed;
+        let r = run_strict(bench, &run_cfg)?;
+        let chip = area::chip_estimate(&core_cfg, r.cores.len(), llc);
+        rows.push(DensityRow {
+            design,
+            cores: r.cores.len(),
+            throughput: r.app_ipc() * r.cores.len() as f64,
+            area_mm2: chip.area_mm2,
+            power_w: chip.power_w,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the design-point comparison.
@@ -139,7 +139,7 @@ mod tests {
             measure_instr: 600_000,
             ..RunConfig::default()
         };
-        let rows = collect(&Benchmark::web_search(), &cfg);
+        let rows = collect(&Benchmark::web_search(), &cfg).expect("run");
         let wide = &rows[0];
         let narrow_small_llc = &rows[3];
         assert!(

@@ -4,7 +4,8 @@
 //! attributed to application or OS, plus the overlapped memory-cycles bar
 //! (§3.1 methodology).
 
-use crate::harness::{run, Breakdown, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, Breakdown, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_perf::{Report, Table};
 use serde::{Deserialize, Serialize};
@@ -21,18 +22,21 @@ pub struct Fig1Row {
 }
 
 /// Runs every workload of the suite and collects its breakdown.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig1Row> {
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let r = run(b, cfg);
-            Fig1Row {
-                workload: r.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                breakdown: r.breakdown(),
-            }
-        })
-        .collect()
+///
+/// Fails fast on the first run that is invalid, stalls, or cannot finish
+/// its window ([`HarnessError`]); the campaign layer decides whether to
+/// retry with a widened cycle budget.
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig1Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let r = run_strict(&b, cfg)?;
+        rows.push(Fig1Row {
+            workload: r.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            breakdown: r.breakdown(),
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows as the Figure 1 table.
@@ -71,7 +75,7 @@ mod tests {
             measure_instr: 300_000,
             ..RunConfig::default()
         };
-        let r = run(&Benchmark::data_serving(), &cfg);
+        let r = run_strict(&Benchmark::data_serving(), &cfg).expect("run");
         let b = r.breakdown();
         assert!(
             b.stalled_app + b.stalled_os > 0.5,

@@ -4,7 +4,8 @@
 //! far exceed the L1-I — and even the L2 — while desktop/parallel
 //! benchmarks are L1-resident. The OS components are reported separately.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_perf::{Report, Table};
 use serde::{Deserialize, Serialize};
@@ -27,23 +28,22 @@ pub struct Fig2Row {
 }
 
 /// Runs every workload and collects instruction miss rates.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig2Row> {
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let r = run(b, cfg);
-            let (l1i_app, l1i_os) = r.l1i_mpki();
-            let (l2i_app, l2i_os) = r.l2i_mpki();
-            Fig2Row {
-                workload: r.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                l1i_app,
-                l1i_os,
-                l2i_app,
-                l2i_os,
-            }
-        })
-        .collect()
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig2Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let r = run_strict(&b, cfg)?;
+        let (l1i_app, l1i_os) = r.l1i_mpki();
+        let (l2i_app, l2i_os) = r.l2i_mpki();
+        rows.push(Fig2Row {
+            workload: r.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            l1i_app,
+            l1i_os,
+            l2i_app,
+            l2i_os,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows as the Figure 2 table.
@@ -81,14 +81,15 @@ mod tests {
             measure_instr: 300_000,
             ..RunConfig::default()
         };
-        let web = run(&Benchmark::web_search(), &cfg);
-        let spec = run(
+        let web = run_strict(&Benchmark::web_search(), &cfg).expect("run");
+        let spec = run_strict(
             &Benchmark::from_profile(
                 Category::Traditional,
                 cs_trace::WorkloadProfile::specint_cpu(),
             ),
             &cfg,
-        );
+        )
+        .expect("run");
         let (web_l1i, _) = web.l1i_mpki();
         let (spec_l1i, _) = spec.l1i_mpki();
         assert!(

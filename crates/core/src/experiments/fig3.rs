@@ -4,7 +4,8 @@
 //! peak and expose little memory-level parallelism; SMT recovers much of
 //! both because requests are independent.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_perf::{Report, RunningStat, Table};
 use serde::{Deserialize, Serialize};
@@ -39,22 +40,21 @@ impl Fig3Row {
 }
 
 /// Runs every workload in baseline and SMT modes.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig3Row> {
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let base = run(b, cfg);
-            let smt = run(b, &RunConfig { smt: true, ..cfg.clone() });
-            Fig3Row {
-                workload: base.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                ipc_base: base.app_ipc(),
-                ipc_smt: smt.app_ipc(),
-                mlp_base: base.mlp(),
-                mlp_smt: smt.mlp(),
-            }
-        })
-        .collect()
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig3Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let base = run_strict(&b, cfg)?;
+        let smt = run_strict(&b, &RunConfig { smt: true, ..cfg.clone() })?;
+        rows.push(Fig3Row {
+            workload: base.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            ipc_base: base.app_ipc(),
+            ipc_smt: smt.app_ipc(),
+            mlp_base: base.mlp(),
+            mlp_smt: smt.mlp(),
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows plus the per-class min/max range bars of the figure.
@@ -114,8 +114,8 @@ mod tests {
             ..RunConfig::default()
         };
         let b = Benchmark::data_serving();
-        let base = run(&b, &cfg);
-        let smt = run(&b, &RunConfig { smt: true, ..cfg });
+        let base = run_strict(&b, &cfg).expect("run");
+        let smt = run_strict(&b, &RunConfig { smt: true, ..cfg }).expect("run");
         assert!(
             smt.app_ipc() > base.app_ipc() * 1.2,
             "SMT must raise IPC: {} -> {}",

@@ -7,7 +7,8 @@
 //! server workloads flatten above 4–6 MB; an `mcf`-like working set keeps
 //! paying for every megabyte.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::Benchmark;
 use cs_perf::{Report, Table};
 use serde::{Deserialize, Serialize};
@@ -35,39 +36,42 @@ pub fn groups() -> (Vec<Benchmark>, Vec<Benchmark>, Benchmark) {
     (scale_out, server, Benchmark::mcf())
 }
 
-fn group_ipc(benches: &[Benchmark], cfg: &RunConfig) -> f64 {
-    let sum: f64 = benches.iter().map(|b| run(b, cfg).app_ipc()).sum();
-    sum / benches.len() as f64
+fn group_ipc(benches: &[Benchmark], cfg: &RunConfig) -> Result<f64, HarnessError> {
+    let mut sum = 0.0;
+    for b in benches {
+        sum += run_strict(b, cfg)?.app_ipc();
+    }
+    Ok(sum / benches.len() as f64)
 }
 
 /// Sweeps effective LLC capacities `4..=11` MB (plus the 12 MB baseline)
 /// and returns normalized user-IPC per group.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig4Row> {
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig4Row>, HarnessError> {
     let (scale_out, server, mcf) = groups();
     // The polluters walk their arrays at LLC speed; every run — including
     // the unpolluted baseline, for comparability — gets the same extended
     // warmup so the polluters claim their capacity before measurement.
     let warmup = cfg.warmup_instr.max(3_000_000);
     let base_cfg = RunConfig { warmup_instr: warmup, ..cfg.clone() };
-    let base_so = group_ipc(&scale_out, &base_cfg);
-    let base_srv = group_ipc(&server, &base_cfg);
-    let base_mcf = run(&mcf, &base_cfg).app_ipc();
+    let base_so = group_ipc(&scale_out, &base_cfg)?;
+    let base_srv = group_ipc(&server, &base_cfg)?;
+    let base_mcf = run_strict(&mcf, &base_cfg)?.app_ipc();
 
-    (4..=11u64)
-        .map(|mb| {
-            let polluted = RunConfig {
-                polluter_bytes: Some((12 - mb) << 20),
-                warmup_instr: warmup,
-                ..cfg.clone()
-            };
-            Fig4Row {
-                cache_mb: mb,
-                scale_out: group_ipc(&scale_out, &polluted) / base_so,
-                server: group_ipc(&server, &polluted) / base_srv,
-                mcf: run(&mcf, &polluted).app_ipc() / base_mcf,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for mb in 4..=11u64 {
+        let polluted = RunConfig {
+            polluter_bytes: Some((12 - mb) << 20),
+            warmup_instr: warmup,
+            ..cfg.clone()
+        };
+        rows.push(Fig4Row {
+            cache_mb: mb,
+            scale_out: group_ipc(&scale_out, &polluted)? / base_so,
+            server: group_ipc(&server, &polluted)? / base_srv,
+            mcf: run_strict(&mcf, &polluted)?.app_ipc() / base_mcf,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the sweep as the Figure 4 table.
@@ -111,9 +115,11 @@ mod tests {
             ..cfg.clone()
         };
         let so = Benchmark::web_search();
-        let so_drop = run(&so, &polluted).app_ipc() / run(&so, &cfg).app_ipc();
+        let so_drop = run_strict(&so, &polluted).expect("run").app_ipc()
+            / run_strict(&so, &cfg).expect("run").app_ipc();
         let mcf = Benchmark::mcf();
-        let mcf_drop = run(&mcf, &polluted).app_ipc() / run(&mcf, &cfg).app_ipc();
+        let mcf_drop = run_strict(&mcf, &polluted).expect("run").app_ipc()
+            / run_strict(&mcf, &cfg).expect("run").app_ipc();
         assert!(
             mcf_drop < so_drop,
             "mcf must lose more at 4MB: mcf {mcf_drop:.2} vs scale-out {so_drop:.2}"

@@ -5,7 +5,8 @@
 //! workloads even improving), while desktop/parallel benchmarks lose
 //! noticeably.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_memsys::PrefetchConfig;
 use cs_perf::{Report, Table};
@@ -27,24 +28,23 @@ pub struct Fig5Row {
 }
 
 /// Runs every workload in the three prefetcher configurations.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig5Row> {
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig5Row>, HarnessError> {
     let no_adj = PrefetchConfig { adjacent_line: false, ..PrefetchConfig::default() };
     let no_str = PrefetchConfig { hw_stride: false, ..PrefetchConfig::default() };
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let base = run(b, cfg);
-            let a = run(b, &RunConfig { prefetch: Some(no_adj), ..cfg.clone() });
-            let s = run(b, &RunConfig { prefetch: Some(no_str), ..cfg.clone() });
-            Fig5Row {
-                workload: base.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                baseline: base.l2_hit_ratio(),
-                no_adjacent: a.l2_hit_ratio(),
-                no_stride: s.l2_hit_ratio(),
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let base = run_strict(&b, cfg)?;
+        let a = run_strict(&b, &RunConfig { prefetch: Some(no_adj), ..cfg.clone() })?;
+        let s = run_strict(&b, &RunConfig { prefetch: Some(no_str), ..cfg.clone() })?;
+        rows.push(Fig5Row {
+            workload: base.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            baseline: base.l2_hit_ratio(),
+            no_adjacent: a.l2_hit_ratio(),
+            no_stride: s.l2_hit_ratio(),
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows as the Figure 5 table.
@@ -86,16 +86,16 @@ mod tests {
             Category::Traditional,
             cs_trace::WorkloadProfile::parsec_mem(),
         );
-        let with_pf = run(&parsec, &cfg).l2_hit_ratio();
-        let without = run(&parsec, &none).l2_hit_ratio();
+        let with_pf = run_strict(&parsec, &cfg).expect("run").l2_hit_ratio();
+        let without = run_strict(&parsec, &none).expect("run").l2_hit_ratio();
         assert!(
             with_pf - without > 0.05,
             "parsec-mem must lose L2 hits without prefetchers: {with_pf:.2} -> {without:.2}"
         );
         // Web Frontend barely notices.
         let fe = Benchmark::web_frontend();
-        let fe_with = run(&fe, &cfg).l2_hit_ratio();
-        let fe_without = run(&fe, &none).l2_hit_ratio();
+        let fe_with = run_strict(&fe, &cfg).expect("run").l2_hit_ratio();
+        let fe_without = run_strict(&fe, &none).expect("run").l2_hit_ratio();
         assert!(
             (fe_with - fe_without).abs() < 0.1,
             "web frontend should be insensitive: {fe_with:.2} vs {fe_without:.2}"

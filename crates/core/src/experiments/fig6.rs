@@ -5,7 +5,8 @@
 //! with the workload's threads split across the two sockets so that
 //! actively-shared blocks travel between processors.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_perf::{Report, Table};
 use serde::{Deserialize, Serialize};
@@ -31,21 +32,20 @@ impl Fig6Row {
 }
 
 /// Runs every workload with threads split across sockets.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig6Row> {
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig6Row>, HarnessError> {
     let cfg = RunConfig { split_sockets: true, ..cfg.clone() };
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let r = run(b, &cfg);
-            let (app_pct, os_pct) = r.rw_shared_pct();
-            Fig6Row {
-                workload: r.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                app_pct,
-                os_pct,
-            }
-        })
-        .collect()
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let r = run_strict(&b, &cfg)?;
+        let (app_pct, os_pct) = r.rw_shared_pct();
+        rows.push(Fig6Row {
+            workload: r.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            app_pct,
+            os_pct,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows as the Figure 6 table.
@@ -87,8 +87,8 @@ mod tests {
             cs_trace::WorkloadProfile::tpcc(),
         );
         let sat = Benchmark::sat_solver();
-        let (t_app, t_os) = run(&tpcc, &cfg).rw_shared_pct();
-        let (s_app, s_os) = run(&sat, &cfg).rw_shared_pct();
+        let (t_app, t_os) = run_strict(&tpcc, &cfg).expect("run").rw_shared_pct();
+        let (s_app, s_os) = run_strict(&sat, &cfg).expect("run").rw_shared_pct();
         assert!(
             t_app + t_os > 3.0 * (s_app + s_os + 0.05),
             "TPC-C sharing ({:.2}%) must dwarf SAT ({:.2}%)",

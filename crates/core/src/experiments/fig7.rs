@@ -4,7 +4,8 @@
 //! off-chip bandwidth even when configured to stress the processor; Media
 //! Streaming is the heaviest consumer.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::{Benchmark, Category};
 use cs_perf::{Report, Table};
 use serde::{Deserialize, Serialize};
@@ -30,20 +31,19 @@ impl Fig7Row {
 }
 
 /// Runs every workload and collects bandwidth utilization.
-pub fn collect(cfg: &RunConfig) -> Vec<Fig7Row> {
-    Benchmark::all()
-        .iter()
-        .map(|b| {
-            let r = run(b, cfg);
-            let (app_pct, os_pct) = r.bandwidth_pct();
-            Fig7Row {
-                workload: r.name.clone(),
-                scale_out: b.category() == Category::ScaleOut,
-                app_pct,
-                os_pct,
-            }
-        })
-        .collect()
+pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig7Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let r = run_strict(&b, cfg)?;
+        let (app_pct, os_pct) = r.bandwidth_pct();
+        rows.push(Fig7Row {
+            workload: r.name.clone(),
+            scale_out: b.category() == Category::ScaleOut,
+            app_pct,
+            os_pct,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows as the Figure 7 table.
@@ -79,7 +79,7 @@ mod tests {
             measure_instr: 1_000_000,
             ..RunConfig::default()
         };
-        let r = run(&Benchmark::web_frontend(), &cfg);
+        let r = run_strict(&Benchmark::web_frontend(), &cfg).expect("run");
         let (app, os) = r.bandwidth_pct();
         assert!(
             app + os < 30.0,

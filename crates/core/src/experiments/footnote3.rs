@@ -8,7 +8,8 @@
 //! polluted caches, SMT), requests-per-kilocycle divided by user-IPC must
 //! stay constant for a given workload.
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::Benchmark;
 use cs_perf::{Report, RunningStat, Table};
 use serde::{Deserialize, Serialize};
@@ -49,21 +50,20 @@ fn configurations(cfg: &RunConfig) -> Vec<(String, RunConfig)> {
 }
 
 /// Measures the relationship for `bench` across the configurations.
-pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<Footnote3Row> {
-    configurations(cfg)
-        .into_iter()
-        .map(|(label, run_cfg)| {
-            let r = run(bench, &run_cfg);
-            Footnote3Row {
-                workload: r.name.clone(),
-                config: label,
-                user_ipc: r.app_ipc(),
-                requests_per_kcycle: r
-                    .requests_per_kcycle()
-                    .expect("scale-out workloads meter requests"),
-            }
-        })
-        .collect()
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Result<Vec<Footnote3Row>, HarnessError> {
+    let mut rows = Vec::new();
+    for (label, run_cfg) in configurations(cfg) {
+        let r = run_strict(bench, &run_cfg)?;
+        rows.push(Footnote3Row {
+            workload: r.name.clone(),
+            config: label,
+            user_ipc: r.app_ipc(),
+            requests_per_kcycle: r
+                .requests_per_kcycle()
+                .expect("scale-out workloads meter requests"),
+        });
+    }
+    Ok(rows)
 }
 
 /// Coefficient of variation of the proportionality ratio over the rows
@@ -112,7 +112,7 @@ mod tests {
             ..RunConfig::default()
         };
         for bench in [Benchmark::web_search(), Benchmark::data_serving()] {
-            let rows = collect(&bench, &cfg);
+            let rows = collect(&bench, &cfg).expect("run");
             assert_eq!(rows.len(), 4);
             let cv = ratio_cv(&rows);
             assert!(

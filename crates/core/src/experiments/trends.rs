@@ -10,7 +10,8 @@
 //! performance, area and efficiency against the Table 1 baseline and
 //! against the scale-out-friendly direction (more, narrower cores).
 
-use crate::harness::{run, RunConfig};
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig};
 use crate::registry::Benchmark;
 use cs_perf::{Report, Table};
 use cs_uarch::{area, CoreConfig};
@@ -55,28 +56,27 @@ pub fn generations() -> Vec<(String, CoreConfig, usize, u64)> {
 }
 
 /// Evaluates the trajectory on `bench`.
-pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Vec<TrendRow> {
-    generations()
-        .into_iter()
-        .map(|(generation, core, workers, llc)| {
-            let run_cfg = RunConfig {
-                workers,
-                core: Some(core),
-                llc_bytes: Some(llc),
-                ..cfg.clone()
-            };
-            let r = run(bench, &run_cfg);
-            let chip = area::chip_estimate(&core, workers, llc);
-            let throughput = r.app_ipc() * r.cores.len() as f64;
-            TrendRow {
-                generation,
-                ipc: r.app_ipc(),
-                throughput,
-                area_mm2: chip.area_mm2,
-                density: 1000.0 * throughput / chip.area_mm2,
-            }
-        })
-        .collect()
+pub fn collect(bench: &Benchmark, cfg: &RunConfig) -> Result<Vec<TrendRow>, HarnessError> {
+    let mut rows = Vec::new();
+    for (generation, core, workers, llc) in generations() {
+        let run_cfg = RunConfig {
+            workers,
+            core: Some(core),
+            llc_bytes: Some(llc),
+            ..cfg.clone()
+        };
+        let r = run_strict(bench, &run_cfg)?;
+        let chip = area::chip_estimate(&core, workers, llc);
+        let throughput = r.app_ipc() * r.cores.len() as f64;
+        rows.push(TrendRow {
+            generation,
+            ipc: r.app_ipc(),
+            throughput,
+            area_mm2: chip.area_mm2,
+            density: 1000.0 * throughput / chip.area_mm2,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the trajectory comparison.
@@ -120,7 +120,7 @@ mod tests {
             measure_instr: 800_000,
             ..RunConfig::default()
         };
-        let rows = collect(&Benchmark::data_serving(), &cfg);
+        let rows = collect(&Benchmark::data_serving(), &cfg).expect("run");
         let (baseline, trend, scale_out_dir) = (&rows[1], &rows[2], &rows[3]);
         // Going 6-wide/256/24MB buys little per-core performance...
         assert!(

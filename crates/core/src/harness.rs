@@ -1,4 +1,5 @@
-//! The measurement harness: the paper's §3.1 methodology.
+//! The measurement harness: the paper's §3.1 methodology, made
+//! fault-tolerant.
 //!
 //! A [`RunConfig`] describes one experiment: which machine variant to
 //! build, how many worker threads to pin where, whether cache-polluter
@@ -8,14 +9,49 @@
 //! steady state (the simulator's analogue of starting the 180-second
 //! VTune window after ramp-up), measurement — and returns a [`RunResult`]
 //! with every derived metric the figures need.
+//!
+//! # Error surface
+//!
+//! Nothing in this module panics on bad input. Structural mistakes are
+//! caught by [`RunConfig::validate`] before a single cycle is simulated
+//! and reported as a typed [`ConfigError`]; [`run`] calls it for you and
+//! returns `Err(HarnessError::Config(..))`. At simulation time two
+//! further failure modes are surfaced:
+//!
+//! - **Stalls.** A forward-progress watchdog (grace period:
+//!   [`RunConfig::watchdog_grace`] cycles, `0` disables) observes each
+//!   measured core's committed-instruction count. A core with an attached,
+//!   unfinished workload that commits nothing for a full grace period
+//!   aborts the run with [`HarnessError::Stalled`] instead of burning the
+//!   rest of the `max_cycles` budget on a livelock.
+//! - **Truncation.** A window that hits the `max_cycles` safety cap before
+//!   reaching its instruction target is *not* an error — the metrics are
+//!   still internally consistent over the shorter window — but it is never
+//!   silent either: the returned [`RunResult::status`] is
+//!   [`RunStatus::Truncated`] with the committed/target counts (the
+//!   measurement window takes precedence over warmup if both fall short).
+//!   Callers that need a complete window as a hard invariant (figure
+//!   campaigns) use [`run_strict`], which converts a truncated status into
+//!   [`HarnessError::Truncated`] so the campaign layer can retry with a
+//!   widened cycle budget.
+//!
+//! Deterministic fault injection for exercising these paths lives in
+//! [`RunConfig::fault`]: a seeded [`FaultPlan`] perturbs DRAM latency or
+//! drops prefetch issues at configurable rates, reproducibly.
 
+use crate::errors::{ConfigError, HarnessError};
 use crate::machine::MachineConfig;
 use crate::registry::Benchmark;
 use cs_memsys::stats::CoreMemStats;
-use cs_memsys::{AccessClass, PrefetchConfig};
+use cs_memsys::{AccessClass, FaultPlan, PrefetchConfig};
 use cs_trace::WorkloadProfile;
 use cs_uarch::{CoreConfig, CoreStats};
 use serde::{Deserialize, Serialize};
+
+/// Number of cores of the modeled machine (Table 1: two sockets of six).
+const MACHINE_CORES: usize = 12;
+/// Cores per socket of the modeled machine.
+const MACHINE_CPS: usize = 6;
 
 /// Fraction-of-cycles execution breakdown (Figure 1 bar).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,6 +109,19 @@ pub struct RunConfig {
     pub max_cycles: u64,
     /// Base random seed.
     pub seed: u64,
+    /// Forward-progress watchdog grace period in cycles: a measured core
+    /// that commits nothing for this long aborts the run with
+    /// [`HarnessError::Stalled`]. `0` disables the watchdog.
+    #[serde(default = "default_watchdog_grace")]
+    pub watchdog_grace: u64,
+    /// Optional deterministic fault-injection plan (tests and robustness
+    /// studies; `None` for every real measurement).
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
+}
+
+fn default_watchdog_grace() -> u64 {
+    1_500_000
 }
 
 impl Default for RunConfig {
@@ -93,6 +142,8 @@ impl Default for RunConfig {
             measure_instr: 3_200_000,
             max_cycles: 60_000_000,
             seed: 42,
+            watchdog_grace: default_watchdog_grace(),
+            fault: None,
         }
     }
 }
@@ -122,6 +173,85 @@ impl RunConfig {
         let base = if self.split_sockets { self.workers.div_ceil(2) } else { self.workers };
         vec![base.min(cores_per_socket - 2), (base + 1).min(cores_per_socket - 1)]
     }
+
+    /// Checks the configuration against the modeled machine's geometry
+    /// (two sockets of six cores; Table 1 cache associativities) before
+    /// any simulation work.
+    ///
+    /// Rejected configurations: zero workers, thread placements that fall
+    /// off the chip or land workers and polluters on the same core, zero
+    /// DRAM channels, cache-capacity overrides that do not fit the level's
+    /// geometry, and degenerate windows (`measure_instr == 0` or
+    /// `max_cycles == 0`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        if self.measure_instr == 0 {
+            return Err(ConfigError::ZeroWindow { which: "measure_instr" });
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::ZeroWindow { which: "max_cycles" });
+        }
+        if self.dram_channels == Some(0) {
+            return Err(ConfigError::ZeroDramChannels);
+        }
+        // Capacity overrides must respect the level's fixed geometry: a
+        // whole number of sets, i.e. a positive multiple of assoc * 64
+        // (Table 1: 16-way LLC, 8-way L1-I and L2). Non-power-of-two
+        // capacities are fine — the modulo-indexed 12 MB LLC is one.
+        let checks = [
+            ("llc_bytes", self.llc_bytes, cs_memsys::CacheConfig::llc().assoc),
+            ("l1i_bytes", self.l1i_bytes, cs_memsys::CacheConfig::l1().assoc),
+            ("l2_bytes", self.l2_bytes, cs_memsys::CacheConfig::l2().assoc),
+        ];
+        for (which, bytes, assoc) in checks {
+            if let Some(bytes) = bytes {
+                let lines = bytes / 64;
+                if bytes == 0 || bytes % 64 != 0 || lines % assoc as u64 != 0 {
+                    return Err(ConfigError::InvalidCacheSize { which, bytes });
+                }
+            }
+        }
+        let workers = self.worker_cores(MACHINE_CPS);
+        let polluters = self.polluter_cores(MACHINE_CPS);
+        for &core in workers.iter().chain(&polluters) {
+            if core >= MACHINE_CORES {
+                return Err(ConfigError::PlacementExceedsCores {
+                    core,
+                    available: MACHINE_CORES,
+                });
+            }
+        }
+        if let Some(&core) = workers.iter().find(|c| polluters.contains(c)) {
+            return Err(ConfigError::PlacementOverlap { core });
+        }
+        Ok(())
+    }
+}
+
+/// How a run's measurement discipline held up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Both windows committed their full instruction targets.
+    Completed,
+    /// A window hit the `max_cycles` safety cap first. The metrics cover
+    /// the shorter window and are internally consistent, but the run does
+    /// not satisfy the §3.1 fixed-window discipline. If both windows fell
+    /// short, the counts describe the measurement window.
+    Truncated {
+        /// Instructions committed before the cap.
+        committed: u64,
+        /// The instruction target the window was supposed to reach.
+        target: u64,
+    },
+}
+
+impl RunStatus {
+    /// Whether the run completed its full windows.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
 }
 
 /// Everything measured in one run.
@@ -147,6 +277,9 @@ pub struct RunResult {
     /// workload meters them (the mini applications do; statistical
     /// profiles do not).
     pub requests: Option<u64>,
+    /// Whether the warmup and measurement windows committed their full
+    /// instruction targets, or were truncated by the cycle cap.
+    pub status: RunStatus,
 }
 
 impl RunResult {
@@ -258,12 +391,14 @@ impl RunResult {
 
 /// Runs `bench` under `cfg` and returns the measured result.
 ///
-/// # Panics
-///
-/// Panics if the configuration requests more workers than available cores
-/// (12), or other structurally impossible setups.
-pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
-    let mut machine = MachineConfig::x5670(12);
+/// The configuration is validated first ([`RunConfig::validate`]); a run
+/// that stops committing trips the forward-progress watchdog
+/// ([`HarnessError::Stalled`]). A window truncated by the cycle cap is
+/// reported in [`RunResult::status`], never silently — use [`run_strict`]
+/// if truncation should be an error.
+pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError> {
+    cfg.validate()?;
+    let mut machine = MachineConfig::x5670(MACHINE_CORES);
     if cfg.smt {
         machine = machine.with_smt();
     }
@@ -292,17 +427,10 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
         machine.mem.llc.latency = llc_lat;
         machine.mem.remote_snoop_extra = snoop_extra;
     }
+    machine.mem.fault = cfg.fault;
     let cps = machine.mem.cores_per_socket;
     let worker_cores = cfg.worker_cores(cps);
     let polluter_cores = cfg.polluter_cores(cps);
-    assert!(
-        worker_cores.iter().chain(&polluter_cores).all(|c| *c < machine.n_cores),
-        "placement exceeds available cores"
-    );
-    assert!(
-        worker_cores.iter().all(|c| !polluter_cores.contains(c)),
-        "workers and polluters must use distinct cores"
-    );
 
     let mut chip = machine.build();
 
@@ -336,14 +464,36 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
         }
     }
 
-    // Warmup to steady state, then measure (§3.1).
-    chip.run_until_committed(&worker_cores, cfg.warmup_instr, cfg.max_cycles);
+    // Warmup to steady state, then measure (§3.1). Both windows run under
+    // the forward-progress watchdog.
+    let warmup = chip
+        .run_until_committed_watched(
+            &worker_cores,
+            cfg.warmup_instr,
+            cfg.max_cycles,
+            cfg.watchdog_grace,
+        )
+        .map_err(|d| HarnessError::Stalled {
+            core: d.core,
+            cycles_without_commit: d.cycles_without_commit,
+            window: "warmup",
+        })?;
     chip.reset_stats();
     let requests_at_warmup: u64 =
         meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum();
-    let start = chip.cycle();
-    chip.run_until_committed(&worker_cores, cfg.measure_instr, cfg.max_cycles);
-    let cycles = chip.cycle() - start;
+    let measure = chip
+        .run_until_committed_watched(
+            &worker_cores,
+            cfg.measure_instr,
+            cfg.max_cycles,
+            cfg.watchdog_grace,
+        )
+        .map_err(|d| HarnessError::Stalled {
+            core: d.core,
+            cycles_without_commit: d.cycles_without_commit,
+            window: "measure",
+        })?;
+    let cycles = measure.cycles;
     let requests = if meters.is_empty() {
         None
     } else {
@@ -352,8 +502,18 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
         Some(total - requests_at_warmup)
     };
 
+    // Truncation is surfaced, never silent: the measurement window takes
+    // precedence over warmup when both fell short.
+    let status = if !measure.reached_target {
+        RunStatus::Truncated { committed: measure.committed, target: cfg.measure_instr }
+    } else if !warmup.reached_target {
+        RunStatus::Truncated { committed: warmup.committed, target: cfg.warmup_instr }
+    } else {
+        RunStatus::Completed
+    };
+
     let mem_stats = chip.mem().stats();
-    RunResult {
+    Ok(RunResult {
         name: bench.name().to_owned(),
         cycles,
         cores: worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect(),
@@ -363,7 +523,21 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
         peak_bytes_per_cycle: machine.mem.dram.peak_bytes_per_cycle(),
         n_workers: worker_cores.len(),
         requests,
+        status,
+    })
+}
+
+/// Like [`run`], but treats a truncated window as a hard failure: a result
+/// whose status is [`RunStatus::Truncated`] becomes
+/// [`HarnessError::Truncated`]. Figure campaigns use this so a silently
+/// short window can never contaminate published numbers — the campaign
+/// layer retries with a widened `max_cycles` instead.
+pub fn run_strict(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError> {
+    let result = run(bench, cfg)?;
+    if let RunStatus::Truncated { committed, target } = result.status {
+        return Err(HarnessError::Truncated { committed, target });
     }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -397,7 +571,8 @@ mod tests {
     #[test]
     fn run_produces_consistent_metrics() {
         let bench = Benchmark::mcf();
-        let r = run(&bench, &tiny());
+        let r = run(&bench, &tiny()).expect("valid config must run");
+        assert_eq!(r.status, RunStatus::Completed);
         assert_eq!(r.cores.len(), 4);
         assert!(r.instructions() >= 120_000);
         assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
@@ -410,7 +585,7 @@ mod tests {
     #[test]
     fn smt_attaches_two_threads_per_core() {
         let bench = Benchmark::mcf();
-        let r = run(&bench, &RunConfig { smt: true, ..tiny() });
+        let r = run(&bench, &RunConfig { smt: true, ..tiny() }).expect("valid config must run");
         for c in &r.cores {
             assert_eq!(c.per_thread_committed.len(), 2);
             assert!(c.per_thread_committed.iter().all(|&n| n > 0));
@@ -429,11 +604,103 @@ mod tests {
             measure_instr: 1_500_000,
             ..RunConfig::default()
         };
-        let r = run(&bench, &cfg);
+        let r = run(&bench, &cfg).expect("valid config must run");
         assert!(
             r.polluter_llc_hit_ratio() > 0.8,
             "polluter LLC hit ratio {} too low",
             r.polluter_llc_hit_ratio()
         );
+    }
+
+    #[test]
+    fn validate_rejects_zero_workers() {
+        let cfg = RunConfig { workers: 0, ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::NoWorkers));
+        let err = run(&Benchmark::mcf(), &cfg).expect_err("must be rejected");
+        assert_eq!(err, HarnessError::Config(ConfigError::NoWorkers));
+    }
+
+    #[test]
+    fn validate_rejects_offchip_placement() {
+        let cfg = RunConfig { workers: 20, ..RunConfig::default() };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::PlacementExceedsCores { core: 12, available: 12 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_split_socket_polluter_overlap() {
+        // Ten split-socket workers put five workers on socket 0 (cores
+        // 0..=4); the polluter pair clamps onto cores 4 and 5 — overlap.
+        let cfg = RunConfig {
+            workers: 10,
+            split_sockets: true,
+            polluter_bytes: Some(4 << 20),
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::PlacementOverlap { core: 4 }));
+    }
+
+    #[test]
+    fn validate_rejects_zero_dram_channels() {
+        let cfg = RunConfig { dram_channels: Some(0), ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDramChannels));
+    }
+
+    #[test]
+    fn validate_rejects_misfit_cache_sizes() {
+        let cfg = RunConfig { llc_bytes: Some(100), ..RunConfig::default() };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::InvalidCacheSize { which: "llc_bytes", bytes: 100 })
+        );
+        // Non-power-of-two capacities that fit the geometry are fine: the
+        // Table 1 LLC itself is 12 MB.
+        let ok = RunConfig { llc_bytes: Some(24 << 20), ..RunConfig::default() };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_windows() {
+        let cfg = RunConfig { measure_instr: 0, ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow { which: "measure_instr" }));
+        let cfg = RunConfig { max_cycles: 0, ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow { which: "max_cycles" }));
+    }
+
+    #[test]
+    fn tiny_cycle_cap_reports_truncation() {
+        let bench = Benchmark::mcf();
+        let cfg = RunConfig { max_cycles: 4_000, watchdog_grace: 0, ..tiny() };
+        let r = run(&bench, &cfg).expect("truncation is a status, not an error");
+        match r.status {
+            RunStatus::Truncated { committed, target } => {
+                assert_eq!(target, cfg.measure_instr);
+                assert!(committed < target, "{committed} should fall short of {target}");
+            }
+            RunStatus::Completed => panic!("a 4k-cycle window cannot commit 120k instructions"),
+        }
+        assert!(!r.status.is_complete());
+        let strict = run_strict(&bench, &cfg).expect_err("run_strict must reject truncation");
+        assert!(matches!(strict, HarnessError::Truncated { .. }));
+    }
+
+    #[test]
+    fn stalled_dram_trips_the_watchdog() {
+        let bench = Benchmark::mcf();
+        let cfg = RunConfig {
+            fault: Some(FaultPlan::stall(7)),
+            watchdog_grace: 20_000,
+            ..tiny()
+        };
+        let err = run(&bench, &cfg).expect_err("an all-stall fault plan must not complete");
+        match err {
+            HarnessError::Stalled { cycles_without_commit, window, .. } => {
+                assert!(cycles_without_commit >= 20_000);
+                assert_eq!(window, "warmup");
+            }
+            other => panic!("expected a stall diagnosis, got {other:?}"),
+        }
     }
 }

@@ -17,7 +17,10 @@
 //!   used for the LLC study), and the derived metrics;
 //! - [`experiments`] — one entry point per table and figure (Table 1,
 //!   Figures 1–7) plus the ablations suggested by the paper's
-//!   "Implications" paragraphs.
+//!   "Implications" paragraphs;
+//! - [`errors`] — the typed error surface: configuration validation
+//!   ([`errors::ConfigError`]), stall/truncation diagnoses
+//!   ([`errors::HarnessError`]), and registry capability errors.
 //!
 //! # Quickstart
 //!
@@ -26,18 +29,25 @@
 //! use cloudsuite::registry::Benchmark;
 //!
 //! let bench = Benchmark::data_serving();
-//! let result = run(&bench, &RunConfig::default());
+//! let result = run(&bench, &RunConfig::default()).expect("default config is valid");
 //! println!("{}: IPC {:.2}, MLP {:.2}", result.name, result.app_ipc(), result.mlp());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+pub mod errors;
 pub mod experiments;
 pub mod harness;
 pub mod machine;
 pub mod registry;
 
-pub use harness::{run, RunConfig, RunResult};
+pub use errors::{ConfigError, HarnessError};
+pub use harness::{run, run_strict, RunConfig, RunResult, RunStatus};
 pub use machine::MachineConfig;
-pub use registry::{Benchmark, Category};
+pub use registry::{Benchmark, Category, RegistryError};
+
+// Re-exported so harness users can describe fault plans without naming
+// cs-memsys directly.
+pub use cs_memsys::FaultPlan;

@@ -10,6 +10,30 @@ use cs_trace::{TraceSource, WorkloadProfile};
 use cs_workloads::emit::RequestMeter;
 use std::sync::Arc;
 
+/// A registry-level failure: a capability was requested that the workload
+/// does not provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Request metering was required but the workload has no metered
+    /// factory (statistical profiles have no request notion).
+    MeterUnsupported {
+        /// Name of the workload that cannot meter requests.
+        workload: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::MeterUnsupported { workload } => {
+                write!(f, "workload {workload:?} does not support request metering")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 /// Workload class, as the paper groups its figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
@@ -94,6 +118,21 @@ impl Benchmark {
                 (f(thread, seed, meter.clone()), Some(meter))
             }
             None => ((self.factory)(thread, seed), None),
+        }
+    }
+
+    /// Like [`Benchmark::build_source_metered`], but for callers that
+    /// *require* a meter: returns a typed [`RegistryError`] instead of an
+    /// `Option` when the workload cannot count requests.
+    pub fn build_source_metered_strict(
+        &self,
+        thread: usize,
+        seed: u64,
+    ) -> Result<(Box<dyn TraceSource>, RequestMeter), RegistryError> {
+        let (source, meter) = self.build_source_metered(thread, seed);
+        match meter {
+            Some(meter) => Ok((source, meter)),
+            None => Err(RegistryError::MeterUnsupported { workload: self.name.clone() }),
         }
     }
 
@@ -251,8 +290,10 @@ mod tests {
     #[test]
     fn scale_out_benchmarks_support_request_metering() {
         for b in Benchmark::scale_out_suite() {
-            let (mut src, meter) = b.build_source_metered(0, 3);
-            let meter = meter.unwrap_or_else(|| panic!("{} must meter requests", b.name()));
+            let (mut src, meter) = match b.build_source_metered_strict(0, 3) {
+                Ok(pair) => pair,
+                Err(e) => panic!("{e}"),
+            };
             for _ in 0..20_000 {
                 src.next_op();
             }
@@ -268,6 +309,11 @@ mod tests {
     fn profile_benchmarks_have_no_meter() {
         let (_, meter) = Benchmark::mcf().build_source_metered(0, 3);
         assert!(meter.is_none());
+        let err = Benchmark::mcf()
+            .build_source_metered_strict(0, 3)
+            .map(|_| ())
+            .expect_err("profiles cannot meter requests");
+        assert_eq!(err, RegistryError::MeterUnsupported { workload: "SPECint (mcf)".into() });
     }
 
     #[test]

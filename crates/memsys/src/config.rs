@@ -156,6 +156,10 @@ pub struct MemSysConfig {
     /// Extra latency of a snoop hit in the remote socket's LLC, beyond the
     /// local LLC latency.
     pub remote_snoop_extra: u32,
+    /// Optional deterministic fault-injection plan (tests and robustness
+    /// studies; `None` in every normal run).
+    #[serde(default)]
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for MemSysConfig {
@@ -170,6 +174,7 @@ impl Default for MemSysConfig {
             prefetch: PrefetchConfig::default(),
             cores_per_socket: 6,
             remote_snoop_extra: 70,
+            fault: None,
         }
     }
 }

@@ -18,15 +18,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod fault;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
 pub mod tlb;
 
 pub use config::{CacheConfig, DramConfig, MemSysConfig, PrefetchConfig, TlbConfig};
+pub use fault::{FaultCounters, FaultPlan};
 pub use stats::{AccessClass, MemStats};
 pub use system::{DataOutcome, FetchOutcome, MemorySystem, ServiceLevel};

@@ -25,6 +25,7 @@
 use crate::cache::{Cache, LineMeta};
 use crate::config::MemSysConfig;
 use crate::dram::Dram;
+use crate::fault::{FaultCounters, FaultState};
 use crate::prefetch::{adjacent_line, next_line, StridePrefetcher};
 use crate::stats::{AccessClass, CoreMemStats, MemStats};
 use crate::tlb::{TlbHierarchy, TlbOutcome};
@@ -98,6 +99,7 @@ pub struct MemorySystem {
     dram: Dram,
     stats: MemStats,
     pf_buf: Vec<u64>,
+    fault: Option<FaultState>,
 }
 
 impl MemorySystem {
@@ -122,10 +124,17 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram),
             stats: MemStats { per_core: vec![CoreMemStats::default(); n_cores], ..Default::default() },
             pf_buf: Vec::with_capacity(8),
+            fault: cfg.fault.map(FaultState::new),
             n_cores,
             n_sockets,
             cfg,
         }
+    }
+
+    /// Counts of injected faults so far, when a [`crate::fault::FaultPlan`]
+    /// is active.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fault.as_ref().map(|f| f.counters())
     }
 
     /// The configuration in effect.
@@ -542,9 +551,12 @@ impl MemorySystem {
         let (lat, level) = if remote_state.is_some() {
             (self.cfg.llc.latency + self.cfg.remote_snoop_extra, ServiceLevel::RemoteLlc)
         } else {
-            let dram_lat = self.dram.read(line, now);
+            let mut dram_lat = self.dram.read(line, now);
+            if let Some(f) = &mut self.fault {
+                dram_lat = dram_lat.saturating_add(f.perturb_dram());
+            }
             self.stats.per_core[core].dram_bytes[usize::from(privilege.is_kernel())] += 64;
-            (self.cfg.llc.latency + dram_lat, ServiceLevel::Dram)
+            (self.cfg.llc.latency.saturating_add(dram_lat), ServiceLevel::Dram)
         };
 
         // The access itself was already recorded in the local-probe stage;
@@ -671,6 +683,11 @@ impl MemorySystem {
         into_l1: bool,
         llc_bound: bool,
     ) {
+        if let Some(f) = &mut self.fault {
+            if f.drop_prefetch() {
+                return;
+            }
+        }
         if llc_bound {
             let socket = self.socket_of(core);
             if self.llcs[socket].peek(line).is_none() {
@@ -1017,5 +1034,50 @@ mod tests {
         assert_eq!(l1_acc - l1_hit, l2_acc, "every L1 miss must access the L2");
         let llc_acc = s.llc.total_accesses();
         assert_eq!(l2_acc - s.l2.total_hits(), llc_acc);
+    }
+
+    #[test]
+    fn fault_plan_perturbs_dram_latency() {
+        use crate::fault::FaultPlan;
+        let mut clean = small_system(1);
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig::none(),
+            fault: Some(FaultPlan::dram_jitter(10_000, 1.0, 1)),
+            ..MemSysConfig::default()
+        };
+        let mut faulty = MemorySystem::new(cfg, 1);
+        let a = clean.data_access(0, Privilege::User, 0x1000_0000, false, 0x400000, 0);
+        let b = faulty.data_access(0, Privilege::User, 0x1000_0000, false, 0x400000, 0);
+        assert_eq!(a.level, ServiceLevel::Dram);
+        assert_eq!(b.level, ServiceLevel::Dram);
+        assert_eq!(b.latency, a.latency + 10_000, "rate-1.0 plan must hit every DRAM read");
+        assert_eq!(clean.fault_counters(), None);
+        assert_eq!(faulty.fault_counters().expect("plan active").perturbed_dram_reads, 1);
+    }
+
+    #[test]
+    fn prefetch_drop_plan_suppresses_prefetches() {
+        use crate::fault::FaultPlan;
+        let mk = |fault| {
+            let cfg = MemSysConfig { fault, ..MemSysConfig::default() };
+            MemorySystem::new(cfg, 1)
+        };
+        let mut clean = mk(None);
+        let mut faulty = mk(Some(FaultPlan::prefetch_drops(1.0, 9)));
+        // A sequential stream trains the stride/DCU/adjacent-line
+        // prefetchers; with a rate-1.0 drop plan none of their issues may
+        // touch the hierarchy.
+        for m in [&mut clean, &mut faulty] {
+            for i in 0..64u64 {
+                m.data_access(0, Privilege::User, 0x4000_0000 + i * 64, false, 0x400000, i * 20);
+            }
+        }
+        let dropped = faulty.fault_counters().expect("plan active").dropped_prefetches;
+        assert!(dropped > 0, "stream must have provoked prefetch issues");
+        let lines_touched = |m: &MemorySystem| m.stats().per_core[0].dram_bytes[0] / 64;
+        assert!(
+            lines_touched(&faulty) <= lines_touched(&clean),
+            "dropping prefetches cannot increase DRAM traffic"
+        );
     }
 }

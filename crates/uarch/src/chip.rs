@@ -12,6 +12,29 @@ use crate::core::OooCore;
 use cs_memsys::{MemSysConfig, MemorySystem};
 use cs_trace::TraceSource;
 
+/// How a watched measurement window ended (other than by stalling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOutcome {
+    /// Cycles simulated in this window.
+    pub cycles: u64,
+    /// Instructions the measured cores committed in this window.
+    pub committed: u64,
+    /// Whether the instruction target was reached (`false` means the
+    /// window was truncated by `max_cycles` or by source exhaustion).
+    pub reached_target: bool,
+}
+
+/// Diagnosis produced when the forward-progress watchdog fires: a measured
+/// core has an attached, unfinished workload but has not committed a single
+/// instruction for a full grace period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallDiagnosis {
+    /// The first measured core found to be livelocked.
+    pub core: usize,
+    /// How long it has gone without committing, in cycles.
+    pub cycles_without_commit: u64,
+}
+
 /// A chip: cores plus the shared memory system.
 #[derive(Debug)]
 pub struct Chip {
@@ -68,28 +91,79 @@ impl Chip {
     /// Runs until the cores listed in `measured` have together committed
     /// `instructions` more instructions, or `max_cycles` elapse. Returns
     /// the number of cycles simulated.
+    ///
+    /// This is the unwatched variant: it cannot distinguish a livelocked
+    /// core from a slow one and will burn the whole `max_cycles` budget on
+    /// either. Prefer [`Chip::run_until_committed_watched`].
     pub fn run_until_committed(
         &mut self,
         measured: &[usize],
         instructions: u64,
         max_cycles: u64,
     ) -> u64 {
+        match self.run_until_committed_watched(measured, instructions, max_cycles, 0) {
+            Ok(w) => w.cycles,
+            Err(_) => unreachable!("watchdog is disabled when stall_grace is 0"),
+        }
+    }
+
+    /// Runs until the cores listed in `measured` have together committed
+    /// `instructions` more instructions, `max_cycles` elapse, or the
+    /// forward-progress watchdog fires.
+    ///
+    /// The watchdog tracks each measured core's committed-instruction count
+    /// at every check interval. If a core whose workload is still attached
+    /// and unfinished commits nothing for `stall_grace` consecutive cycles,
+    /// the run is cut short with a [`StallDiagnosis`] instead of burning
+    /// the rest of the `max_cycles` budget on a livelocked source. A
+    /// `stall_grace` of `0` disables the watchdog.
+    pub fn run_until_committed_watched(
+        &mut self,
+        measured: &[usize],
+        instructions: u64,
+        max_cycles: u64,
+        stall_grace: u64,
+    ) -> Result<WindowOutcome, StallDiagnosis> {
         let start_cycle = self.cycle;
         let start: u64 = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
         let target = start + instructions;
+        let mut last_count: Vec<u64> =
+            measured.iter().map(|&c| self.cores[c].stats().instructions()).collect();
+        let mut last_progress: Vec<u64> = vec![self.cycle; measured.len()];
         // Check in strides to amortize the aggregation.
         const STRIDE: u64 = 1024;
-        while self.cycle - start_cycle < max_cycles {
+        let mut done = start;
+        while self.cycle - start_cycle < max_cycles && done < target {
             self.run_cycles(STRIDE.min(max_cycles - (self.cycle - start_cycle)));
-            let done: u64 = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
+            done = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
             if done >= target {
                 break;
             }
             if self.cores.iter().all(|c| c.is_done()) {
                 break;
             }
+            if stall_grace > 0 {
+                for (i, &c) in measured.iter().enumerate() {
+                    let count = self.cores[c].stats().instructions();
+                    if count != last_count[i] {
+                        last_count[i] = count;
+                        last_progress[i] = self.cycle;
+                    } else if !self.cores[c].is_done()
+                        && self.cycle - last_progress[i] >= stall_grace
+                    {
+                        return Err(StallDiagnosis {
+                            core: c,
+                            cycles_without_commit: self.cycle - last_progress[i],
+                        });
+                    }
+                }
+            }
         }
-        self.cycle - start_cycle
+        Ok(WindowOutcome {
+            cycles: self.cycle - start_cycle,
+            committed: done - start,
+            reached_target: done >= target,
+        })
     }
 
     /// Zeroes all core and memory statistics while preserving
@@ -166,5 +240,64 @@ mod tests {
         let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
         chip.run_cycles(123);
         assert_eq!(chip.cycle(), 123);
+    }
+
+    #[test]
+    fn watchdog_cuts_livelocked_run_short() {
+        use cs_memsys::FaultPlan;
+        let cfg = MemSysConfig { fault: Some(FaultPlan::stall(1)), ..mem_cfg() };
+        let mut chip = Chip::new(CoreConfig::x5670(), cfg, 1);
+        let loads: Vec<MicroOp> =
+            (0..64u64).map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + i * 64, 8)).collect();
+        chip.attach(0, Box::new(VecSource::new(loads)));
+        let grace = 10_000;
+        let max_cycles = 5_000_000;
+        let diag = chip
+            .run_until_committed_watched(&[0], 1_000, max_cycles, grace)
+            .expect_err("a stalled DRAM must trip the watchdog");
+        assert_eq!(diag.core, 0);
+        assert!(diag.cycles_without_commit >= grace);
+        assert!(
+            chip.cycle() < max_cycles / 100,
+            "watchdog must fire well before max_cycles; ran {} cycles",
+            chip.cycle()
+        );
+    }
+
+    #[test]
+    fn watchdog_leaves_healthy_runs_alone() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+        chip.attach(0, Box::new(LoopSource::new(alu_ops(64))));
+        let w = chip
+            .run_until_committed_watched(&[0], 50_000, 1_000_000, 5_000)
+            .expect("healthy run must not trip the watchdog");
+        assert!(w.reached_target);
+        assert!(w.committed >= 50_000);
+        assert_eq!(chip.cycle(), w.cycles);
+    }
+
+    #[test]
+    fn truncated_window_is_reported_not_silent() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+        chip.attach(0, Box::new(LoopSource::new(alu_ops(64))));
+        let w = chip
+            .run_until_committed_watched(&[0], u64::MAX / 2, 10_000, 0)
+            .expect("watchdog disabled");
+        assert!(!w.reached_target, "cycle-capped window must be flagged");
+        assert_eq!(w.cycles, 10_000);
+        assert!(w.committed > 0);
+    }
+
+    #[test]
+    fn watchdog_skips_exhausted_cores() {
+        let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+        chip.attach(0, Box::new(LoopSource::new(alu_ops(64))));
+        chip.attach(1, Box::new(VecSource::new(alu_ops(32))));
+        // Core 1 drains almost immediately; only core 0 keeps committing.
+        // The watchdog must not misdiagnose the finished core as stalled.
+        let w = chip
+            .run_until_committed_watched(&[0, 1], 40_000, 1_000_000, 2_000)
+            .expect("an exhausted source is completion, not a stall");
+        assert!(w.reached_target);
     }
 }

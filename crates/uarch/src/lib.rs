@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod area;
 pub mod branch;
@@ -28,7 +29,7 @@ pub mod core;
 pub mod stats;
 
 pub use branch::BranchModel;
-pub use chip::Chip;
+pub use chip::{Chip, StallDiagnosis, WindowOutcome};
 pub use config::{CoreConfig, SmtFetchPolicy};
 pub use core::OooCore;
 pub use stats::CoreStats;

@@ -14,8 +14,9 @@ fn main() {
     let bench = Benchmark::web_search();
     let cfg = RunConfig::quick();
 
-    let base = run(&bench, &cfg);
-    let smt = run(&bench, &RunConfig { smt: true, ..cfg.clone() });
+    let base = run(&bench, &cfg).expect("the quick config is valid");
+    let smt =
+        run(&bench, &RunConfig { smt: true, ..cfg.clone() }).expect("the SMT config is valid");
 
     let mut report = Report::new("Web Search characterization (Nutch/Lucene ISN model)");
     report.note("An index-serving node intersecting posting lists over a memory-resident shard.");

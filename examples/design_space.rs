@@ -16,7 +16,7 @@ use cloudsuite::Benchmark;
 fn main() {
     let cfg = RunConfig::quick();
     let benches = [Benchmark::web_search(), Benchmark::data_serving()];
-    let rows = ablations::a1_mediocre_cores(&benches, &cfg);
+    let rows = ablations::a1_mediocre_cores(&benches, &cfg).expect("the quick config is valid");
     println!("{}", ablations::report_a1(&rows));
     for r in &rows {
         let gain = 100.0 * (r.narrow_x2 / r.wide - 1.0);

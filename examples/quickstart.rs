@@ -25,7 +25,7 @@ fn main() {
     let cfg = RunConfig::quick();
     println!("\nRunning {} ({} warmup + {} measured instructions)...",
         bench.name(), cfg.warmup_instr, cfg.measure_instr);
-    let r = run(&bench, &cfg);
+    let r = run(&bench, &cfg).expect("the quick config is valid");
 
     let b = r.breakdown();
     let (l1i_app, l1i_os) = r.l1i_mpki();

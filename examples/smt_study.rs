@@ -21,8 +21,9 @@ fn main() {
         Benchmark::web_search(),
         Benchmark::media_streaming(),
     ] {
-        let base = run(&bench, &cfg);
-        let smt = run(&bench, &RunConfig { smt: true, ..cfg.clone() });
+        let base = run(&bench, &cfg).expect("the quick config is valid");
+        let smt =
+            run(&bench, &RunConfig { smt: true, ..cfg.clone() }).expect("the SMT config is valid");
         table.row([
             base.name.clone().into(),
             base.app_ipc().into(),

@@ -2,9 +2,13 @@
 //! workloads are stall-dominated and memory-bound; cpu-intensive desktop
 //! benchmarks are not; TPC-C is the worst case.
 
-use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::{Benchmark, Category};
 use cs_trace::WorkloadProfile;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("test config is valid")
+}
 
 fn cfg() -> RunConfig {
     RunConfig { warmup_instr: 1_000_000, measure_instr: 2_000_000, ..RunConfig::default() }

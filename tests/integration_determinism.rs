@@ -2,9 +2,13 @@
 //! configuration). Same seed ⇒ bit-identical counters; different seed ⇒
 //! different execution.
 
-use cloudsuite::harness::{run, RunConfig, RunResult};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::Benchmark;
 use cs_perf::CounterSet;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("test config is valid")
+}
 
 fn cfg(seed: u64) -> RunConfig {
     RunConfig {

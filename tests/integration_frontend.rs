@@ -2,9 +2,13 @@
 //! scale-out instruction working sets defeat the L1-I (and the L2 barely
 //! helps), while desktop/parallel code is L1-resident.
 
-use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::{Benchmark, Category};
 use cs_trace::WorkloadProfile;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("test config is valid")
+}
 
 fn cfg() -> RunConfig {
     RunConfig { warmup_instr: 1_000_000, measure_instr: 2_000_000, ..RunConfig::default() }

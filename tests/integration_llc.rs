@@ -2,8 +2,12 @@
 //! polluter threads verifiably steal LLC capacity, scale-out workloads are
 //! insensitive above 4–6 MB, and an mcf-like working set is not.
 
-use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::Benchmark;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("test config is valid")
+}
 
 fn cfg() -> RunConfig {
     RunConfig { warmup_instr: 1_000_000, measure_instr: 1_600_000, ..RunConfig::default() }

@@ -3,9 +3,13 @@
 //! not; off-chip bandwidth is over-provisioned for every scale-out
 //! workload, with Media Streaming the heaviest consumer.
 
-use cloudsuite::harness::{run, RunConfig};
+use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::{Benchmark, Category};
 use cs_trace::WorkloadProfile;
+
+fn run(bench: &Benchmark, cfg: &RunConfig) -> RunResult {
+    cloudsuite::harness::run(bench, cfg).expect("test config is valid")
+}
 
 fn cfg() -> RunConfig {
     RunConfig {
