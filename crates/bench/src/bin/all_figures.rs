@@ -8,7 +8,12 @@
 //! `--resume` skips every experiment whose result is already up to date
 //! and re-runs only what failed.
 //!
-//! Usage: `all_figures [--resume] [--results-dir DIR]`
+//! Experiments — and the config points inside the sweep experiments —
+//! are independent seeded runs, so the campaign fans them over `--jobs N`
+//! worker threads (default: `CS_JOBS`, then 1). Results are byte-identical
+//! at any jobs value; only the wall-clock changes.
+//!
+//! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]`
 //!
 //! Exits non-zero only if at least one experiment ultimately failed.
 
@@ -16,9 +21,12 @@ use cs_bench::campaign::{self, ExperimentStatus};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N]";
+
 fn main() -> ExitCode {
     let mut resume = false;
     let mut results_dir = PathBuf::from("results");
+    let mut jobs = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,15 +38,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: all_figures [--resume] [--results-dir DIR]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
 
-    let cfg = cs_bench::config_from_env();
+    let mut cfg = cs_bench::config_from_env();
+    if let Some(jobs) = jobs {
+        cfg.jobs = jobs; // The flag outranks CS_JOBS.
+    }
     let summary = campaign::run(&campaign::experiments(), &cfg, &results_dir, resume);
 
     eprintln!("\ncampaign summary:");

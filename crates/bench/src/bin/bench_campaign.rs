@@ -1,0 +1,221 @@
+//! Tracked wall-clock baseline for the parallel campaign engine and the
+//! simulator's hot substrates.
+//!
+//! Runs a fixed small campaign (fig3 + fig5 at reduced windows) twice —
+//! serially (`jobs = 1`) and at the machine's available parallelism —
+//! verifies the two passes produced byte-identical manifests and result
+//! files, measures raw ops/sec of the two substrate hot paths (synthetic
+//! micro-op generation, LLC-shaped cache lookup/fill), and writes all
+//! numbers to `BENCH_campaign.json`.
+//!
+//! Usage: `bench_campaign [--out PATH]`
+//!
+//! The committed baseline is refreshed with
+//! `cargo run --release --bin bench_campaign` from the repo root; see
+//! EXPERIMENTS.md for how to read the numbers. Wall-clock figures are
+//! machine-dependent — the file records the host's core count next to
+//! them.
+
+use cloudsuite::harness::RunConfig;
+use cs_bench::campaign;
+use cs_memsys::cache::{Cache, LineMeta};
+use cs_trace::synth::SyntheticSource;
+use cs_trace::{TraceSource, WorkloadProfile};
+use serde_json::{Map, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Experiments of the fixed campaign: two sweep-style figures whose
+/// per-workload units exercise the inner parallel layer.
+const CAMPAIGN: &[&str] = &["fig3", "fig5"];
+
+/// Reduced, fixed windows so the baseline runs in about a minute per
+/// pass regardless of `CS_WARMUP`/`CS_MEASURE` in the environment.
+fn bench_config(jobs: usize) -> RunConfig {
+    RunConfig {
+        warmup_instr: 100_000,
+        measure_instr: 200_000,
+        jobs,
+        ..RunConfig::default()
+    }
+}
+
+/// Runs the fixed campaign into `dir` and returns the wall-clock seconds.
+fn time_campaign(jobs: usize, dir: &Path) -> f64 {
+    let experiments: Vec<_> = campaign::experiments()
+        .into_iter()
+        .filter(|e| CAMPAIGN.contains(&e.name))
+        .collect();
+    let cfg = bench_config(jobs);
+    let start = Instant::now();
+    let summary = campaign::run(&experiments, &cfg, dir, false);
+    let secs = start.elapsed().as_secs_f64();
+    for failed in summary.failed() {
+        eprintln!("bench_campaign: warning: {} failed during timing", failed.name);
+    }
+    secs
+}
+
+/// Byte-compares the manifest and every result file between the two
+/// campaign output directories.
+fn outputs_identical(a: &Path, b: &Path) -> bool {
+    let mut names: Vec<String> = CAMPAIGN.iter().map(|n| format!("{n}.json")).collect();
+    names.push("manifest.json".to_owned());
+    names.iter().all(|name| {
+        let left = std::fs::read(a.join(name)).ok();
+        left.is_some() && left == std::fs::read(b.join(name)).ok()
+    })
+}
+
+/// Ops/sec of the synthetic trace generator, the per-op substrate under
+/// every simulated thread.
+fn synth_ops_per_sec() -> f64 {
+    const OPS: usize = 2_000_000;
+    let profile = WorkloadProfile::data_serving();
+    let mut source = SyntheticSource::new(&profile, 0, 42);
+    let mut block = Vec::new();
+    // Warm the generator's tables before timing.
+    source.next_block(&mut block, 10_000);
+    block.clear();
+    let start = Instant::now();
+    let mut produced = 0usize;
+    let mut checksum = 0u64;
+    while produced < OPS {
+        block.clear();
+        produced += source.next_block(&mut block, 4096);
+        // Fold the ops into a checksum so the work cannot be optimized out.
+        checksum = block.iter().fold(checksum, |acc, op| acc ^ op.pc);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    produced as f64 / secs
+}
+
+/// Ops/sec of a lookup-then-fill-on-miss stream against an LLC-shaped
+/// cache (12288 sets — the non-power-of-two fastmod case — x 16 ways).
+fn cache_ops_per_sec() -> f64 {
+    const OPS: usize = 4_000_000;
+    let mut cache = Cache::new(12288, 16);
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    let mut next_line = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // ~4x the cache capacity, so the stream mixes hits and misses.
+        (z ^ (z >> 31)) % (12288 * 16 * 4)
+    };
+    for _ in 0..100_000 {
+        let line = next_line();
+        if cache.lookup(line).is_none() {
+            cache.fill(line, LineMeta::clean());
+        }
+    }
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..OPS {
+        let line = next_line();
+        match cache.lookup(line) {
+            Some(_) => hits += 1,
+            None => {
+                cache.fill(line, LineMeta::clean());
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    OPS as f64 / secs
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_campaign.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_campaign [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let jobs_n = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let scratch = std::env::temp_dir().join("cs_bench_campaign");
+    let dir1 = scratch.join("jobs1");
+    let dirn = scratch.join("jobsN");
+    for dir in [&dir1, &dirn] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    eprintln!("bench_campaign: timing {CAMPAIGN:?} at jobs=1 ...");
+    let secs_1 = time_campaign(1, &dir1);
+    eprintln!("bench_campaign: timing {CAMPAIGN:?} at jobs={jobs_n} ...");
+    let secs_n = time_campaign(jobs_n, &dirn);
+    let identical = outputs_identical(&dir1, &dirn);
+
+    eprintln!("bench_campaign: timing substrate microbenches ...");
+    let synth_ops = synth_ops_per_sec();
+    let cache_ops = cache_ops_per_sec();
+
+    let mut campaign_obj = Map::new();
+    campaign_obj.insert(
+        "experiments".into(),
+        Value::Array(CAMPAIGN.iter().map(|&n| Value::from(n)).collect()),
+    );
+    campaign_obj.insert("warmup_instr".into(), Value::from(bench_config(1).warmup_instr));
+    campaign_obj.insert("measure_instr".into(), Value::from(bench_config(1).measure_instr));
+    campaign_obj.insert("jobs1_wall_secs".into(), Value::from(round2(secs_1)));
+    campaign_obj.insert("jobsN".into(), Value::from(jobs_n as u64));
+    campaign_obj.insert("jobsN_wall_secs".into(), Value::from(round2(secs_n)));
+    campaign_obj.insert(
+        "speedup".into(),
+        Value::from(round2(if secs_n > 0.0 { secs_1 / secs_n } else { 0.0 })),
+    );
+    campaign_obj.insert("outputs_identical".into(), Value::from(identical));
+
+    let mut substrate = Map::new();
+    substrate.insert("synth_gen_ops_per_sec".into(), Value::from(synth_ops.round()));
+    substrate.insert("cache_lookup_fill_ops_per_sec".into(), Value::from(cache_ops.round()));
+
+    let mut root = Map::new();
+    root.insert("campaign".into(), Value::Object(campaign_obj));
+    root.insert("substrate".into(), Value::Object(substrate));
+    root.insert("host_cores".into(), Value::from(jobs_n as u64));
+    root.insert("version".into(), Value::from(1u64));
+
+    let text = match serde_json::to_string_pretty(&Value::Object(root)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_campaign: render failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("bench_campaign: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench_campaign: jobs=1 {secs_1:.2}s, jobs={jobs_n} {secs_n:.2}s (identical: {identical}); \
+         synth {synth_ops:.0} ops/s, cache {cache_ops:.0} ops/s"
+    );
+    eprintln!("(wrote {})", out.display());
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_campaign: PARALLEL OUTPUT MISMATCH — results must be jobs-invariant");
+        ExitCode::FAILURE
+    }
+}

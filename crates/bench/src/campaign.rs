@@ -17,6 +17,15 @@
 //! The manifest is deterministic: object keys are sorted and no timestamps
 //! or durations are recorded, so two runs of the same campaign over the
 //! same configuration produce byte-identical manifests.
+//!
+//! Experiments are mutually independent, so the runner fans them over
+//! [`RunConfig::jobs`] worker threads ([`cloudsuite::par::par_map`]);
+//! sweep experiments additionally parallelize their own config points
+//! with the same knob. Every unit stays isolated — a worker-thread panic
+//! is caught and recorded as that experiment's `failed` entry, never
+//! aborting its siblings — and because outcomes are collected in campaign
+//! order and the manifest map is key-sorted, the final `manifest.json`
+//! and every result file are byte-identical at any `jobs` value.
 
 use cloudsuite::experiments as exp;
 use cloudsuite::harness::RunConfig;
@@ -25,6 +34,7 @@ use cs_perf::Report;
 use serde_json::{Map, Value};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::{Mutex, PoisonError};
 
 /// One independently-run, independently-resumable unit of a campaign.
 pub struct Experiment {
@@ -188,6 +198,13 @@ pub fn fingerprint(cfg: &RunConfig) -> String {
 
 /// Runs the campaign, emitting result files into `results_dir` and
 /// maintaining `results_dir/manifest.json`.
+///
+/// Experiments run concurrently on up to [`RunConfig::jobs`] threads; the
+/// skip set of a resume pass is decided up front from the loaded manifest,
+/// and outcomes are reported in campaign order regardless of which thread
+/// finished first. A panic escaping an experiment's worker thread is
+/// recorded as that experiment's [`ExperimentStatus::Failed`] — one
+/// poisoned unit never aborts the campaign.
 pub fn run(
     experiments: &[Experiment],
     cfg: &RunConfig,
@@ -195,24 +212,45 @@ pub fn run(
     resume: bool,
 ) -> CampaignSummary {
     let manifest_path = results_dir.join("manifest.json");
-    let mut manifest = if resume { load_manifest(&manifest_path) } else { Map::new() };
+    let loaded = if resume { load_manifest(&manifest_path) } else { Map::new() };
     let fp = fingerprint(cfg);
-    let mut outcomes = Vec::new();
-    for e in experiments {
-        if resume && up_to_date(&manifest, e.name, &fp, results_dir) {
+    // The skip set is decided before any worker starts: entries written
+    // mid-campaign must not change which experiments this pass runs.
+    let skip: Vec<bool> = experiments
+        .iter()
+        .map(|e| resume && up_to_date(&loaded, e.name, &fp, results_dir))
+        .collect();
+    let manifest = Mutex::new(loaded);
+
+    let statuses = cloudsuite::par::par_map(cfg.jobs, experiments, |i, e| {
+        if skip[i] {
             eprintln!("[campaign] {}: up to date, skipping", e.name);
-            outcomes.push(Outcome { name: e.name.into(), status: ExperimentStatus::Skipped });
-            continue;
+            return ExperimentStatus::Skipped;
         }
-        let status = run_one(e, cfg, results_dir);
-        manifest.insert(e.name.to_string(), manifest_entry(&fp, &status));
+        // `run_one` already catches panics inside the experiment body; this
+        // outer guard is the campaign-level backstop that converts a panic
+        // escaping anywhere on the worker (result emission included) into
+        // this experiment's failure outcome instead of sinking siblings.
+        let status = panic::catch_unwind(AssertUnwindSafe(|| run_one(e, cfg, results_dir)))
+            .unwrap_or_else(|payload| ExperimentStatus::Failed {
+                attempts: 1,
+                error: panic_message(&*payload),
+            });
+        let mut entries = manifest.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.insert(e.name.to_string(), manifest_entry(&fp, &status));
         // Rewritten after every experiment: an interrupted campaign loses
-        // at most the experiment it was running.
-        if let Err(err) = write_manifest(&manifest_path, &manifest) {
+        // at most the experiments that were in flight.
+        if let Err(err) = write_manifest(&manifest_path, &entries) {
             eprintln!("[campaign] warning: could not write manifest: {err}");
         }
-        outcomes.push(Outcome { name: e.name.into(), status });
-    }
+        status
+    });
+
+    let outcomes = experiments
+        .iter()
+        .zip(statuses)
+        .map(|(e, status)| Outcome { name: e.name.into(), status })
+        .collect();
     CampaignSummary { outcomes }
 }
 

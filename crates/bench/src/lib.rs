@@ -12,6 +12,9 @@
 //! - `CS_MAX_CYCLES` — per-window simulated-cycle safety cap
 //! - `CS_WATCHDOG` — forward-progress watchdog grace period in cycles
 //!   (`0` disables the watchdog)
+//! - `CS_JOBS` — worker threads for the campaign and sweep layers
+//!   (default 1; the `all_figures --jobs` flag outranks it). Results are
+//!   byte-identical at any value — only the wall-clock changes.
 //!
 //! Deterministic fault injection can be switched on from the environment
 //! to rehearse the failure paths (watchdog, retries, the campaign
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::perf)]
 
 use cloudsuite::harness::RunConfig;
 use cloudsuite::{FaultPlan, HarnessError};
@@ -55,6 +59,7 @@ pub fn config_from_env() -> RunConfig {
     cfg.seed = env_u64("CS_SEED", cfg.seed);
     cfg.max_cycles = env_u64("CS_MAX_CYCLES", cfg.max_cycles);
     cfg.watchdog_grace = env_u64("CS_WATCHDOG", cfg.watchdog_grace);
+    cfg.jobs = (env_u64("CS_JOBS", cfg.jobs as u64) as usize).max(1);
     let dram_lat = env_u64("CS_FAULT_DRAM_LAT", 0) as u32;
     let pf_drop = env_f64("CS_FAULT_PF_DROP", 0.0);
     if dram_lat > 0 || pf_drop > 0.0 {

@@ -1,0 +1,136 @@
+//! Determinism under parallelism: a campaign must emit byte-identical
+//! result files and manifest at any `--jobs` value.
+//!
+//! The fast test drives the campaign engine with synthetic experiments
+//! whose staggered durations force out-of-order completion at `jobs = 4`;
+//! the release-gated test repeats the check end-to-end with a real
+//! figure experiment at tiny windows.
+
+use cloudsuite::harness::RunConfig;
+use cloudsuite::HarnessError;
+use cs_bench::campaign::{self, Experiment};
+use cs_perf::Report;
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cs-par-det-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Byte-compares `name` between the two directories.
+fn assert_same_bytes(a: &Path, b: &Path, name: &str) {
+    let left = std::fs::read(a.join(name)).unwrap_or_else(|e| panic!("{name} in {}: {e}", a.display()));
+    let right = std::fs::read(b.join(name)).unwrap_or_else(|e| panic!("{name} in {}: {e}", b.display()));
+    assert!(left == right, "{name} differs between jobs=1 and jobs=4");
+}
+
+fn slow_a(cfg: &RunConfig) -> Result<Report, HarnessError> {
+    // The first-listed experiment finishes last under jobs=4, so manifest
+    // writes happen in a different order than at jobs=1.
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let mut rep = Report::new("slow_a");
+    rep.note(format!("w{}-m{}", cfg.warmup_instr, cfg.measure_instr));
+    Ok(rep)
+}
+
+fn quick_b(cfg: &RunConfig) -> Result<Report, HarnessError> {
+    let mut rep = Report::new("quick_b");
+    rep.note(format!("seed {}", cfg.seed));
+    Ok(rep)
+}
+
+fn quick_c(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+    Ok(Report::new("quick_c"))
+}
+
+fn failing_d(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+    Err(HarnessError::Stalled { core: 1, cycles_without_commit: 42, window: "measure" })
+}
+
+fn synthetic_experiments() -> [Experiment; 4] {
+    [
+        Experiment { name: "slow_a", build: slow_a },
+        Experiment { name: "quick_b", build: quick_b },
+        Experiment { name: "quick_c", build: quick_c },
+        Experiment { name: "failing_d", build: failing_d },
+    ]
+}
+
+#[test]
+fn synthetic_campaign_is_byte_identical_across_jobs() {
+    let dir1 = scratch_dir("synth-j1");
+    let dir4 = scratch_dir("synth-j4");
+    let cfg = |jobs| RunConfig { jobs, ..RunConfig::default() };
+
+    let s1 = campaign::run(&synthetic_experiments(), &cfg(1), &dir1, false);
+    let s4 = campaign::run(&synthetic_experiments(), &cfg(4), &dir4, false);
+
+    // Outcomes come back in campaign order with identical statuses.
+    assert_eq!(s1.outcomes, s4.outcomes);
+    assert_eq!(s1.failed().len(), 1);
+
+    assert_same_bytes(&dir1, &dir4, "manifest.json");
+    for name in ["slow_a.json", "quick_b.json", "quick_c.json"] {
+        assert_same_bytes(&dir1, &dir4, name);
+    }
+    assert!(!dir1.join("failing_d.json").exists());
+    assert!(!dir4.join("failing_d.json").exists());
+
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn resume_skips_identically_at_any_jobs_value() {
+    let dir = scratch_dir("synth-resume");
+    let cfg = |jobs| RunConfig { jobs, ..RunConfig::default() };
+
+    campaign::run(&synthetic_experiments(), &cfg(4), &dir, false);
+    let before = std::fs::read(dir.join("manifest.json")).expect("manifest");
+
+    // A parallel resume pass skips the three successes and re-runs only
+    // the failure, whatever thread picks it up.
+    let resumed = campaign::run(&synthetic_experiments(), &cfg(4), &dir, true);
+    let statuses: Vec<_> = resumed.outcomes.iter().map(|o| &o.status).collect();
+    use cs_bench::campaign::ExperimentStatus as S;
+    assert!(matches!(statuses[0], S::Skipped));
+    assert!(matches!(statuses[1], S::Skipped));
+    assert!(matches!(statuses[2], S::Skipped));
+    assert!(matches!(statuses[3], S::Failed { .. }));
+
+    let after = std::fs::read(dir.join("manifest.json")).expect("manifest");
+    assert_eq!(before, after, "a no-progress resume must not change the manifest");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn real_figure_campaign_is_byte_identical_across_jobs() {
+    let dir1 = scratch_dir("fig3-j1");
+    let dir4 = scratch_dir("fig3-j4");
+    let fig3 = |jobs| {
+        (
+            campaign::experiments().into_iter().filter(|e| e.name == "fig3").collect::<Vec<_>>(),
+            RunConfig {
+                warmup_instr: 60_000,
+                measure_instr: 120_000,
+                max_cycles: 8_000_000,
+                jobs,
+                ..RunConfig::default()
+            },
+        )
+    };
+
+    let (exps, cfg) = fig3(1);
+    let s1 = campaign::run(&exps, &cfg, &dir1, false);
+    assert_eq!(s1.exit_code(), 0, "fig3 must succeed at jobs=1");
+    let (exps, cfg) = fig3(4);
+    let s4 = campaign::run(&exps, &cfg, &dir4, false);
+    assert_eq!(s4.exit_code(), 0, "fig3 must succeed at jobs=4");
+
+    assert_same_bytes(&dir1, &dir4, "manifest.json");
+    assert_same_bytes(&dir1, &dir4, "fig3.json");
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}

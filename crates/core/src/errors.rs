@@ -46,6 +46,8 @@ pub enum ConfigError {
         /// Which field is zero.
         which: &'static str,
     },
+    /// `jobs == 0`: no thread would ever pick up a unit of work.
+    ZeroJobs,
 }
 
 impl fmt::Display for ConfigError {
@@ -70,6 +72,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroWindow { which } => {
                 write!(f, "{which} is 0; the window could never complete")
+            }
+            ConfigError::ZeroJobs => {
+                write!(f, "jobs is 0; no worker thread would ever run")
             }
         }
     }

@@ -40,21 +40,27 @@ impl Fig3Row {
 }
 
 /// Runs every workload in baseline and SMT modes.
+///
+/// Each workload's baseline/SMT pair is one independent unit, fanned over
+/// [`RunConfig::jobs`] threads ([`crate::par::par_map`]); rows come back
+/// in suite order regardless of scheduling, and on an error the
+/// lowest-indexed failing unit wins — exactly as the serial loop behaved.
 pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig3Row>, HarnessError> {
-    let mut rows = Vec::new();
-    for b in Benchmark::all() {
-        let base = run_strict(&b, cfg)?;
-        let smt = run_strict(&b, &RunConfig { smt: true, ..cfg.clone() })?;
-        rows.push(Fig3Row {
+    let benches = Benchmark::all();
+    crate::par::par_map(cfg.jobs, &benches, |_, b| {
+        let base = run_strict(b, cfg)?;
+        let smt = run_strict(b, &RunConfig { smt: true, ..cfg.clone() })?;
+        Ok(Fig3Row {
             workload: base.name.clone(),
             scale_out: b.category() == Category::ScaleOut,
             ipc_base: base.app_ipc(),
             ipc_smt: smt.app_ipc(),
             mlp_base: base.mlp(),
             mlp_smt: smt.mlp(),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders the rows plus the per-class min/max range bars of the figure.

@@ -44,34 +44,56 @@ fn group_ipc(benches: &[Benchmark], cfg: &RunConfig) -> Result<f64, HarnessError
     Ok(sum / benches.len() as f64)
 }
 
+/// Raw (unnormalized) group IPCs measured at one LLC configuration.
+struct CapacityPoint {
+    scale_out: f64,
+    server: f64,
+    mcf: f64,
+}
+
 /// Sweeps effective LLC capacities `4..=11` MB (plus the 12 MB baseline)
 /// and returns normalized user-IPC per group.
+///
+/// Each capacity point — the unpolluted baseline included — is one
+/// independent unit, fanned over [`RunConfig::jobs`] threads
+/// ([`crate::par::par_map`]). Raw group IPCs are measured per point and
+/// normalized to the baseline afterwards, so the division order (and
+/// every result byte) matches the serial sweep.
 pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig4Row>, HarnessError> {
     let (scale_out, server, mcf) = groups();
     // The polluters walk their arrays at LLC speed; every run — including
     // the unpolluted baseline, for comparability — gets the same extended
     // warmup so the polluters claim their capacity before measurement.
     let warmup = cfg.warmup_instr.max(3_000_000);
-    let base_cfg = RunConfig { warmup_instr: warmup, ..cfg.clone() };
-    let base_so = group_ipc(&scale_out, &base_cfg)?;
-    let base_srv = group_ipc(&server, &base_cfg)?;
-    let base_mcf = run_strict(&mcf, &base_cfg)?.app_ipc();
+    // Unit 0 is the 12 MB baseline; units 1.. are the polluted capacities.
+    let configs: Vec<(u64, RunConfig)> = std::iter::once((12u64, None))
+        .chain((4..=11u64).map(|mb| (mb, Some((12 - mb) << 20))))
+        .map(|(mb, polluter_bytes)| {
+            (mb, RunConfig { polluter_bytes, warmup_instr: warmup, ..cfg.clone() })
+        })
+        .collect();
+    let points: Vec<CapacityPoint> =
+        crate::par::par_map(cfg.jobs, &configs, |_, (_, point_cfg)| {
+            Ok(CapacityPoint {
+                scale_out: group_ipc(&scale_out, point_cfg)?,
+                server: group_ipc(&server, point_cfg)?,
+                mcf: run_strict(&mcf, point_cfg)?.app_ipc(),
+            })
+        })
+        .into_iter()
+        .collect::<Result<_, HarnessError>>()?;
 
-    let mut rows = Vec::new();
-    for mb in 4..=11u64 {
-        let polluted = RunConfig {
-            polluter_bytes: Some((12 - mb) << 20),
-            warmup_instr: warmup,
-            ..cfg.clone()
-        };
-        rows.push(Fig4Row {
-            cache_mb: mb,
-            scale_out: group_ipc(&scale_out, &polluted)? / base_so,
-            server: group_ipc(&server, &polluted)? / base_srv,
-            mcf: run_strict(&mcf, &polluted)?.app_ipc() / base_mcf,
-        });
-    }
-    Ok(rows)
+    let base = &points[0];
+    Ok(points[1..]
+        .iter()
+        .zip(configs[1..].iter())
+        .map(|(p, (mb, _))| Fig4Row {
+            cache_mb: *mb,
+            scale_out: p.scale_out / base.scale_out,
+            server: p.server / base.server,
+            mcf: p.mcf / base.mcf,
+        })
+        .collect())
 }
 
 /// Renders the sweep as the Figure 4 table.

@@ -28,23 +28,28 @@ pub struct Fig5Row {
 }
 
 /// Runs every workload in the three prefetcher configurations.
+///
+/// Each workload's three ablation legs form one independent unit, fanned
+/// over [`RunConfig::jobs`] threads ([`crate::par::par_map`]); rows come
+/// back in suite order regardless of scheduling.
 pub fn collect(cfg: &RunConfig) -> Result<Vec<Fig5Row>, HarnessError> {
     let no_adj = PrefetchConfig { adjacent_line: false, ..PrefetchConfig::default() };
     let no_str = PrefetchConfig { hw_stride: false, ..PrefetchConfig::default() };
-    let mut rows = Vec::new();
-    for b in Benchmark::all() {
-        let base = run_strict(&b, cfg)?;
-        let a = run_strict(&b, &RunConfig { prefetch: Some(no_adj), ..cfg.clone() })?;
-        let s = run_strict(&b, &RunConfig { prefetch: Some(no_str), ..cfg.clone() })?;
-        rows.push(Fig5Row {
+    let benches = Benchmark::all();
+    crate::par::par_map(cfg.jobs, &benches, |_, b| {
+        let base = run_strict(b, cfg)?;
+        let a = run_strict(b, &RunConfig { prefetch: Some(no_adj), ..cfg.clone() })?;
+        let s = run_strict(b, &RunConfig { prefetch: Some(no_str), ..cfg.clone() })?;
+        Ok(Fig5Row {
             workload: base.name.clone(),
             scale_out: b.category() == Category::ScaleOut,
             baseline: base.l2_hit_ratio(),
             no_adjacent: a.l2_hit_ratio(),
             no_stride: s.l2_hit_ratio(),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders the rows as the Figure 5 table.

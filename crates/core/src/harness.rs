@@ -114,6 +114,14 @@ pub struct RunConfig {
     /// [`HarnessError::Stalled`]. `0` disables the watchdog.
     #[serde(default = "default_watchdog_grace")]
     pub watchdog_grace: u64,
+    /// Worker threads the campaign and sweep layers may fan independent
+    /// runs over ([`crate::par::par_map`]). `1` (the default) runs
+    /// everything serially on the calling thread. This knob never touches
+    /// a single simulated run — every run is seeded and single-threaded —
+    /// so results are byte-identical at any value, and it is deliberately
+    /// excluded from the campaign resume fingerprint.
+    #[serde(default = "default_jobs")]
+    pub jobs: usize,
     /// Optional deterministic fault-injection plan (tests and robustness
     /// studies; `None` for every real measurement).
     #[serde(default)]
@@ -122,6 +130,10 @@ pub struct RunConfig {
 
 fn default_watchdog_grace() -> u64 {
     1_500_000
+}
+
+fn default_jobs() -> usize {
+    1
 }
 
 impl Default for RunConfig {
@@ -143,6 +155,7 @@ impl Default for RunConfig {
             max_cycles: 60_000_000,
             seed: 42,
             watchdog_grace: default_watchdog_grace(),
+            jobs: default_jobs(),
             fault: None,
         }
     }
@@ -192,6 +205,9 @@ impl RunConfig {
         }
         if self.max_cycles == 0 {
             return Err(ConfigError::ZeroWindow { which: "max_cycles" });
+        }
+        if self.jobs == 0 {
+            return Err(ConfigError::ZeroJobs);
         }
         if self.dram_channels == Some(0) {
             return Err(ConfigError::ZeroDramChannels);

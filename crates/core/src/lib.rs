@@ -20,7 +20,10 @@
 //!   "Implications" paragraphs;
 //! - [`errors`] — the typed error surface: configuration validation
 //!   ([`errors::ConfigError`]), stall/truncation diagnoses
-//!   ([`errors::HarnessError`]), and registry capability errors.
+//!   ([`errors::HarnessError`]), and registry capability errors;
+//! - [`par`] — the deterministic worker pool ([`par::par_map`]) that the
+//!   sweep experiments and the campaign layer fan independent, seeded
+//!   runs over ([`harness::RunConfig::jobs`] sets the width).
 //!
 //! # Quickstart
 //!
@@ -36,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::perf)]
 
 pub mod errors;
 pub mod experiments;
 pub mod harness;
 pub mod machine;
+pub mod par;
 pub mod registry;
 
 pub use errors::{ConfigError, HarnessError};

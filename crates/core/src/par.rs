@@ -1,0 +1,164 @@
+//! A minimal deterministic worker pool for independent experiment units.
+//!
+//! Every run in a figure campaign is seeded and shares no mutable state
+//! with its siblings, so a sweep is an embarrassingly parallel map. This
+//! module provides exactly that and nothing more: [`par_map`] fans a slice
+//! of work items over `jobs` scoped threads ([`std::thread::scope`], no
+//! detached lifetimes, no extra dependencies) and collects the results
+//! **by item index**, so the output order — and therefore every derived
+//! report and manifest byte — is independent of thread scheduling.
+//!
+//! Panic discipline: a panicking unit never takes its siblings down. Each
+//! unit runs under [`std::panic::catch_unwind`]; after all units finish,
+//! the first panic in *item order* (not completion order) is re-raised in
+//! the caller via [`std::panic::resume_unwind`]. Callers that must survive
+//! unit panics (the campaign layer) wrap their unit body in their own
+//! `catch_unwind` and convert the payload into a failure outcome instead.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Maps `f` over `items` on up to `jobs` threads (the calling thread
+/// counts as one), returning the results in item order.
+///
+/// `f` receives the item's index and a reference to the item. With
+/// `jobs <= 1` — or a single item — this degenerates to a plain serial
+/// loop on the calling thread, with no threads spawned and no unwinding
+/// interposed; results are identical either way.
+///
+/// # Panics
+///
+/// If one or more units panic, the panic payload of the lowest-indexed
+/// panicking unit is re-raised after every unit has finished.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One result slot per item; workers claim indices from a shared
+    // counter, so the assignment of items to threads is dynamic but the
+    // collection below is strictly by index.
+    let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+        // Storing a value cannot panic, so the lock is held only for the
+        // move; a poisoned slot can only mean another worker crashed hard,
+        // in which case its payload is what gets re-raised anyway.
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs - 1 {
+            s.spawn(worker);
+        }
+        worker(); // The calling thread is the last worker.
+    });
+
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic = None;
+    for slot in slots {
+        let result = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .expect("scope joined every worker, so every slot is filled");
+        match result {
+            Ok(r) => out.push(r),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        panic::resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(4, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E3779B97F4A7C15) >> 7;
+        let serial = par_map(1, &items, f);
+        for jobs in [2, 3, 4, 16] {
+            assert_eq!(par_map(jobs, &items, f), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn first_panic_by_index_is_propagated_after_all_units_finish() {
+        use std::sync::atomic::AtomicU32;
+        let completed = AtomicU32::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, &items, |i, _| {
+                if i == 3 {
+                    panic!("unit three");
+                }
+                if i == 9 {
+                    panic!("unit nine");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            })
+        }))
+        .expect_err("a panicking unit must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "unit three", "lowest index wins");
+        // Every non-panicking unit still ran to completion.
+        assert_eq!(completed.load(Ordering::SeqCst), 14);
+    }
+
+    #[test]
+    fn results_flow_even_when_r_is_a_result_type() {
+        let items: Vec<u32> = (0..10).collect();
+        let out: Vec<Result<u32, String>> = par_map(3, &items, |_, &x| {
+            if x % 2 == 0 {
+                Ok(x)
+            } else {
+                Err(format!("odd {x}"))
+            }
+        });
+        let collected: Result<Vec<u32>, String> = out.into_iter().collect();
+        assert_eq!(collected, Err("odd 1".to_owned()), "first error by index");
+    }
+}

@@ -50,6 +50,62 @@ struct Way {
 const INVALID: Way =
     Way { tag: 0, valid: false, stamp: 0, meta: LineMeta { dirty: false, writable: false, prefetched: false, sharers: 0, fresh_writer: None } };
 
+/// Precomputed set-index strategy: `line mod n_sets` without a hardware
+/// divide on the hot path.
+///
+/// Set counts are fixed at construction, so the divisor is a constant
+/// the compiler never sees — the Table 1 LLC has 12288 sets, which is
+/// *not* a power of two, and `line % 12288` showed up as a `div` in
+/// every lookup, fill, peek and invalidate. Powers of two reduce to a
+/// mask; other divisors below 2^32 use the multiply-shift trick
+/// (Lemire's fastmod): with `magic = ceil(2^128 / d)`, the remainder of
+/// any 64-bit `n` is `mulhi_128(magic * n, d)`. Divisors of 2^32 and up
+/// (never seen in practice) keep the plain `%`.
+#[derive(Debug, Clone, Copy)]
+enum SetIndex {
+    /// `n_sets` is a power of two: index = line & mask.
+    Mask(u64),
+    /// Non-power-of-two `d < 2^32`: index = high 64 bits of
+    /// `(magic * line mod 2^128) * d`.
+    FastMod { d: u64, magic: u128 },
+    /// Fallback for huge divisors: plain modulo.
+    Mod(u64),
+}
+
+/// High 64 bits of the 192-bit product `x * d`, computed in 128-bit
+/// pieces (`x` is already reduced mod 2^128 by wrapping arithmetic).
+#[inline]
+fn mulhi_128(x: u128, d: u64) -> u64 {
+    let lo = (x as u64) as u128;
+    let hi = (x >> 64) as u64 as u128;
+    let d = d as u128;
+    ((hi * d + ((lo * d) >> 64)) >> 64) as u64
+}
+
+impl SetIndex {
+    fn new(n_sets: u64) -> Self {
+        if n_sets.is_power_of_two() {
+            SetIndex::Mask(n_sets - 1)
+        } else if n_sets < 1 << 32 {
+            // ceil(2^128 / d) for non-power-of-two d; correct for all
+            // 64-bit dividends because the fastmod error term stays
+            // below 2^128 when d < 2^32.
+            SetIndex::FastMod { d: n_sets, magic: u128::MAX / n_sets as u128 + 1 }
+        } else {
+            SetIndex::Mod(n_sets)
+        }
+    }
+
+    #[inline]
+    fn index(self, line: u64) -> u64 {
+        match self {
+            SetIndex::Mask(mask) => line & mask,
+            SetIndex::FastMod { d, magic } => mulhi_128(magic.wrapping_mul(line as u128), d),
+            SetIndex::Mod(d) => line % d,
+        }
+    }
+}
+
 /// A set-associative, write-back, write-allocate cache over 64-byte lines
 /// with true-LRU replacement.
 ///
@@ -59,7 +115,7 @@ const INVALID: Way =
 pub struct Cache {
     ways: Vec<Way>,
     assoc: usize,
-    n_sets: u64,
+    set_index: SetIndex,
     tick: u64,
 }
 
@@ -81,7 +137,7 @@ impl Cache {
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets > 0, "set count must be positive");
         assert!(assoc > 0, "associativity must be positive");
-        Self { ways: vec![INVALID; sets * assoc], assoc, n_sets: sets as u64, tick: 0 }
+        Self { ways: vec![INVALID; sets * assoc], assoc, set_index: SetIndex::new(sets as u64), tick: 0 }
     }
 
     /// Creates a cache from a [`crate::config::CacheConfig`]. Set counts
@@ -98,12 +154,13 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % self.n_sets) as usize;
+        let set = self.set_index.index(line) as usize;
         set * self.assoc..(set + 1) * self.assoc
     }
 
     /// Looks up `line`; on a hit, touches LRU state and returns the
     /// metadata (mutable so the caller can update coherence bits).
+    #[inline]
     pub fn lookup(&mut self, line: u64) -> Option<&mut LineMeta> {
         self.tick += 1;
         let tick = self.tick;
@@ -132,6 +189,7 @@ impl Cache {
     /// Installs `line` with `meta`, evicting the LRU way if the set is
     /// full. If the line is already present its metadata is replaced (no
     /// eviction). Returns the victim, if one was evicted.
+    #[inline]
     pub fn fill(&mut self, line: u64, meta: LineMeta) -> Option<Evicted> {
         self.tick += 1;
         let tick = self.tick;
@@ -272,6 +330,45 @@ mod tests {
         assert!(c.peek(0).is_none());
         assert!(c.peek(3).is_some());
         assert!(c.fill(1, LineMeta::clean()).is_none()); // different set
+    }
+
+    #[test]
+    fn set_index_matches_plain_modulo() {
+        // Divisors covering every strategy: 1 and powers of two (mask),
+        // small odds and the Table 1 LLC's 12288 and large primes
+        // (fastmod), and a >= 2^32 divisor (plain-modulo fallback).
+        let divisors: &[u64] = &[
+            1,
+            2,
+            3,
+            5,
+            7,
+            12,
+            64,
+            12288,
+            12289,
+            65_521,
+            1 << 20,
+            (1 << 31) - 1,
+            (1 << 32) - 5,
+            (1 << 33) + 7,
+        ];
+        // Deterministic splitmix64 stream plus adversarial edge values.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut lines = vec![0u64, 1, 2, 63, 64, u64::MAX, u64::MAX - 1, 1 << 32, (1 << 32) - 1];
+        for _ in 0..10_000 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            lines.push(z ^ (z >> 31));
+        }
+        for &d in divisors {
+            let idx = SetIndex::new(d);
+            for &line in &lines {
+                assert_eq!(idx.index(line), line % d, "divisor {d}, line {line:#x}");
+            }
+        }
     }
 
     #[test]

@@ -174,13 +174,18 @@ impl MemorySystem {
         self.dram.stats()
     }
 
-    /// A self-contained snapshot of all statistics, with the DRAM totals
-    /// filled in (the in-place [`Self::stats`] view keeps them separate
-    /// for hot-path reasons).
-    pub fn export_stats(&self) -> MemStats {
-        let mut s = self.stats.clone();
-        s.dram = self.dram.stats();
-        s
+    /// Writes a self-contained snapshot of all statistics into `out`,
+    /// with the DRAM totals filled in (the in-place [`Self::stats`] view
+    /// keeps them separate for hot-path reasons).
+    ///
+    /// Reuses `out`'s buffers, so repeated snapshotting — the harness
+    /// takes one per measurement window — allocates at most once instead
+    /// of cloning the full per-core block each time. One-shot callers
+    /// that only need the live counters should read [`Self::stats`] and
+    /// [`Self::dram_stats`] directly, by reference.
+    pub fn export_stats_into(&self, out: &mut MemStats) {
+        out.per_core.clone_from(&self.stats.per_core);
+        out.dram = self.dram.stats();
     }
 
     /// DRAM bandwidth utilization over `elapsed_cycles` (Figure 7 metric).
@@ -1011,13 +1016,20 @@ mod tests {
     }
 
     #[test]
-    fn export_stats_includes_dram_totals() {
+    fn export_stats_into_includes_dram_totals_and_reuses_the_buffer() {
         let mut m = small_system(1);
         m.data_access(0, Privilege::User, 0x9999_0000, false, 0, 0);
-        let snap = m.export_stats();
+        let mut snap = MemStats::default();
+        m.export_stats_into(&mut snap);
         assert_eq!(snap.dram, m.dram_stats());
         assert!(snap.dram.reads >= 1);
         assert_eq!(snap.per_core[0].l1d.total_accesses(), 1);
+        // A second snapshot into the same buffer stays consistent (and
+        // reuses the per-core allocation rather than cloning afresh).
+        m.data_access(0, Privilege::User, 0x9999_0000, false, 0, 1);
+        m.export_stats_into(&mut snap);
+        assert_eq!(snap.per_core[0].l1d.total_accesses(), 2);
+        assert_eq!(snap.dram, m.dram_stats());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::perf)]
 
 pub mod counters;
 pub mod metrics;

@@ -18,6 +18,30 @@ pub trait TraceSource {
     /// workload has run to completion.
     fn next_op(&mut self) -> Option<MicroOp>;
 
+    /// Produces up to `max` micro-ops in program order, appending them to
+    /// `out`, and returns how many were appended. Returning fewer than
+    /// `max` — in particular zero — means the workload has run to
+    /// completion.
+    ///
+    /// Op streams carry no feedback from simulated time, so a block is
+    /// exactly the ops the same number of [`TraceSource::next_op`] calls
+    /// would yield; the core model pulls blocks to amortize the per-op
+    /// virtual dispatch on its fetch path. The default implementation
+    /// loops `next_op`; hot sources override it with a devirtualized loop.
+    fn next_block(&mut self, out: &mut Vec<MicroOp>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_op() {
+                Some(op) => {
+                    out.push(op);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// A short human-readable label for reports; defaults to `"anonymous"`.
     fn label(&self) -> &str {
         "anonymous"
@@ -27,6 +51,10 @@ pub trait TraceSource {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_op(&mut self) -> Option<MicroOp> {
         (**self).next_op()
+    }
+
+    fn next_block(&mut self, out: &mut Vec<MicroOp>, max: usize) -> usize {
+        (**self).next_block(out, max)
     }
 
     fn label(&self) -> &str {
@@ -181,6 +209,16 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn default_next_block_stops_at_exhaustion() {
+        let mut s = VecSource::new(ops(5));
+        let mut out = Vec::new();
+        assert_eq!(s.next_block(&mut out, 3), 3);
+        assert_eq!(s.next_block(&mut out, 3), 2);
+        assert_eq!(s.next_block(&mut out, 3), 0);
+        assert_eq!(out, ops(5));
     }
 
     #[test]

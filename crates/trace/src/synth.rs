@@ -16,7 +16,6 @@ use crate::rng::{chance, geometric, stream_rng, weighted_index, GeometricTable};
 use crate::source::TraceSource;
 use crate::datagen::PatternSpec;
 use rand::rngs::SmallRng;
-use std::collections::HashMap;
 
 /// Generator state for one execution mode (application or kernel).
 #[derive(Debug)]
@@ -96,6 +95,81 @@ fn region_base(
     }
 }
 
+/// Sentinel marking an empty [`ChainTable`] slot. Real keys are
+/// `(pattern index << 32) | chain id` with both halves tiny, so the
+/// all-ones key can never occur.
+const CHAIN_EMPTY: u64 = u64::MAX;
+
+/// Fixed-size open-addressed map from chain key to the sequence number
+/// of that chain's last load.
+///
+/// This sits on the hottest line of the generator — every chained memory
+/// op does one lookup and one store — and replaces a `HashMap<u64, u64>`
+/// whose SipHash plus control-byte probing dominated the profile. The
+/// key universe is known exactly at build time (one key per
+/// (pattern, chain) pair), so the table is sized once to stay at most
+/// half full: it never grows, never evicts, and linear probes terminate
+/// quickly.
+#[derive(Debug)]
+struct ChainTable {
+    keys: Box<[u64]>,
+    vals: Box<[u64]>,
+    mask: usize,
+}
+
+impl ChainTable {
+    /// A table for at most `chain_keys` distinct keys: capacity is the
+    /// next power of two past twice the key count (load factor ≤ 0.5),
+    /// at least 4 so chain-free engines still get a valid (if unused)
+    /// table.
+    fn with_chains(chain_keys: usize) -> Self {
+        let cap = (chain_keys * 2).next_power_of_two().max(4);
+        Self {
+            keys: vec![CHAIN_EMPTY; cap].into_boxed_slice(),
+            vals: vec![0; cap].into_boxed_slice(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Home slot: a Fibonacci multiply scrambles the low-entropy
+    /// (index, chain) keys before masking.
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, CHAIN_EMPTY);
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == CHAIN_EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u64, val: u64) {
+        debug_assert_ne!(key, CHAIN_EMPTY);
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key || k == CHAIN_EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
 /// A self-contained micro-op generator for one execution mode: code
 /// walker, data patterns, instruction mix, dependency model and chain
 /// bookkeeping. [`SyntheticSource`] runs two of these (application and
@@ -106,7 +180,7 @@ pub struct ModeEngine {
     state: ModeState,
     ilp: IlpModel,
     dep_table: GeometricTable,
-    last_chain_load: HashMap<u64, u64>,
+    last_chain_load: ChainTable,
     last_load_seq: Option<u64>,
 }
 
@@ -124,11 +198,20 @@ impl ModeEngine {
         shared_data: bool,
         rng: &mut SmallRng,
     ) -> Self {
+        let state = ModeState::build(code_base, code, data, mix, privilege, thread, shared_data);
+        let chain_keys: usize = state
+            .patterns
+            .iter()
+            .map(|p| match p {
+                Pattern::Chase(c) => c.chains(),
+                _ => 0,
+            })
+            .sum();
         Self {
-            state: ModeState::build(code_base, code, data, mix, privilege, thread, shared_data),
+            state,
             ilp,
             dep_table: GeometricTable::new(rng, ilp.mean_dep_distance),
-            last_chain_load: HashMap::new(),
+            last_chain_load: ChainTable::with_chains(chain_keys),
             last_load_seq: None,
         }
     }
@@ -199,8 +282,8 @@ impl ModeEngine {
                 op = op.with_privilege(privilege);
                 if access.chained {
                     let key = (idx as u64) << 32 | access.chain_id as u64;
-                    let dep = match self.last_chain_load.get(&key) {
-                        Some(&last) => seq - last,
+                    let dep = match self.last_chain_load.get(key) {
+                        Some(last) => seq - last,
                         None => 0,
                     };
                     if op.is_load() {
@@ -321,6 +404,25 @@ impl TraceSource for SyntheticSource {
         let op = engine.next_op(&mut self.rng, self.seq);
         self.seq += 1;
         Some(op)
+    }
+
+    /// The stream is endless, so a block is always full: a tight
+    /// monomorphic loop the core model pulls instead of `max` virtual
+    /// `next_op` calls.
+    fn next_block(&mut self, out: &mut Vec<MicroOp>, max: usize) -> usize {
+        out.reserve(max);
+        for _ in 0..max {
+            let kernel = self.advance_mode();
+            let engine = if kernel {
+                &mut self.os.as_mut().expect("kernel mode requires os").0
+            } else {
+                &mut self.app
+            };
+            let op = engine.next_op(&mut self.rng, self.seq);
+            self.seq += 1;
+            out.push(op);
+        }
+        max
     }
 
     fn label(&self) -> &str {
@@ -486,6 +588,51 @@ mod tests {
             "only {with_dep}/{} chase loads have deps",
             loads.len()
         );
+    }
+
+    #[test]
+    fn next_block_matches_per_op_pulls() {
+        let p = WorkloadProfile::data_serving();
+        let mut per_op = p.build_source(0, 77);
+        let mut blocked = p.build_source(0, 77);
+        let expect: Vec<_> = (0..4096).map(|_| per_op.next_op().expect("endless")).collect();
+        let mut got = Vec::new();
+        while got.len() < 4096 {
+            // An odd block size keeps block edges crossing kernel-burst
+            // boundaries.
+            let want = (4096 - got.len()).min(33);
+            assert_eq!(blocked.next_block(&mut got, want), want);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chain_table_replays_like_a_hashmap() {
+        use rand::Rng;
+        use std::collections::HashMap;
+        // The realistic key universe: a handful of patterns, each with a
+        // small number of chains.
+        let keys: Vec<u64> =
+            (0..6u64).flat_map(|idx| (0..24u64).map(move |c| idx << 32 | c)).collect();
+        let mut table = ChainTable::with_chains(keys.len());
+        let mut map: HashMap<u64, u64> = HashMap::new();
+        let mut rng = stream_rng(99, 0);
+        for seq in 0..20_000u64 {
+            let key = keys[rng.gen_range(0..keys.len())];
+            assert_eq!(
+                table.get(key),
+                map.get(&key).copied(),
+                "replay divergence at seq {seq}, key {key:#x}"
+            );
+            if chance(&mut rng, 0.7) {
+                table.insert(key, seq);
+                map.insert(key, seq);
+            }
+        }
+        // Every key was eventually written; the full universe must agree.
+        for &key in &keys {
+            assert_eq!(table.get(key), map.get(&key).copied());
+        }
     }
 
     #[test]

@@ -45,8 +45,17 @@ struct RobEntry {
     offcore_load: bool,
 }
 
+/// Ops pulled from the trace source per refill. Large enough to amortize
+/// the virtual `next_block` dispatch, small enough that the buffered
+/// run-ahead past the fetch point stays negligible.
+const FETCH_BLOCK: usize = 32;
+
 struct Thread {
     source: Box<dyn TraceSource>,
+    /// Block buffer refilled from `source` ([`FETCH_BLOCK`] ops at a
+    /// time); `block_pos` is the next unconsumed op.
+    block: Vec<MicroOp>,
+    block_pos: usize,
     rob: VecDeque<RobEntry>,
     fetch_buf: VecDeque<MicroOp>,
     pending: Option<MicroOp>,
@@ -82,6 +91,8 @@ impl Thread {
     fn new(source: Box<dyn TraceSource>) -> Self {
         Self {
             source,
+            block: Vec::with_capacity(FETCH_BLOCK),
+            block_pos: 0,
             rob: VecDeque::new(),
             fetch_buf: VecDeque::new(),
             pending: None,
@@ -95,6 +106,27 @@ impl Thread {
             waiting: Vec::new(),
             held_branch: None,
         }
+    }
+
+    /// Next op from the block buffer, refilling from the source when the
+    /// buffer runs dry. Sets `exhausted` when a refill yields nothing, so
+    /// `exhausted` always implies an empty buffer.
+    #[inline]
+    fn next_from_block(&mut self) -> Option<MicroOp> {
+        if self.block_pos == self.block.len() {
+            if self.exhausted {
+                return None;
+            }
+            self.block.clear();
+            self.block_pos = 0;
+            if self.source.next_block(&mut self.block, FETCH_BLOCK) == 0 {
+                self.exhausted = true;
+                return None;
+            }
+        }
+        let op = self.block[self.block_pos];
+        self.block_pos += 1;
+        Some(op)
     }
 
     /// Are all dependencies of the entry at `idx` satisfied?
@@ -278,17 +310,7 @@ impl OooCore {
             && !thread.flush_pending
             && now >= thread.fetch_stall_until
         {
-            let op = match thread.pending.take().or_else(|| {
-                if thread.exhausted {
-                    None
-                } else {
-                    let next = thread.source.next_op();
-                    if next.is_none() {
-                        thread.exhausted = true;
-                    }
-                    next
-                }
-            }) {
+            let op = match thread.pending.take().or_else(|| thread.next_from_block()) {
                 Some(op) => op,
                 None => break,
             };

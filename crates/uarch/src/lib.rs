@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
+#![warn(clippy::perf)]
 
 pub mod area;
 pub mod branch;
