@@ -13,7 +13,10 @@
 //! worker threads (default: `CS_JOBS`, then 1). Results are byte-identical
 //! at any jobs value; only the wall-clock changes.
 //!
-//! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]`
+//! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N] [--no-skip]`
+//!
+//! `--no-skip` disables the event-driven cycle-skipping fast path
+//! (equivalently `CS_NO_SKIP=1`); results are byte-identical either way.
 //!
 //! Exits non-zero only if at least one experiment ultimately failed.
 
@@ -21,16 +24,18 @@ use cs_bench::campaign::{self, ExperimentStatus};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N]";
+const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] [--no-skip]";
 
 fn main() -> ExitCode {
     let mut resume = false;
     let mut results_dir = PathBuf::from("results");
     let mut jobs = None;
+    let mut no_skip = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--resume" => resume = true,
+            "--no-skip" => no_skip = true,
             "--results-dir" => match args.next() {
                 Some(dir) => results_dir = PathBuf::from(dir),
                 None => {
@@ -56,6 +61,9 @@ fn main() -> ExitCode {
     let mut cfg = cs_bench::config_from_env();
     if let Some(jobs) = jobs {
         cfg.jobs = jobs; // The flag outranks CS_JOBS.
+    }
+    if no_skip {
+        cfg.cycle_skip = false; // The flag outranks CS_NO_SKIP.
     }
     let summary = campaign::run(&campaign::experiments(), &cfg, &results_dir, resume);
 

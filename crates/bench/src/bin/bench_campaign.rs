@@ -8,6 +8,14 @@
 //! micro-op generation, LLC-shaped cache lookup/fill), and writes all
 //! numbers to `BENCH_campaign.json`.
 //!
+//! It also baselines the event-driven cycle-skipping fast path: the same
+//! small campaign runs with skipping on and off (byte-compared, like the
+//! jobs passes), and the stall-dominated single experiments the paper's
+//! methodology makes skip-friendliest — the Figure 4 polluted leg and the
+//! Figure 5 no-prefetch leg — are timed in both modes with their
+//! skipped-cycle fraction recorded, so the speedup claim is inspectable
+//! rather than asserted.
+//!
 //! Usage: `bench_campaign [--out PATH]`
 //!
 //! The committed baseline is refreshed with
@@ -16,9 +24,11 @@
 //! machine-dependent — the file records the host's core count next to
 //! them.
 
-use cloudsuite::harness::RunConfig;
+use cloudsuite::harness::{RunConfig, RunResult};
+use cloudsuite::Benchmark;
 use cs_bench::campaign;
 use cs_memsys::cache::{Cache, LineMeta};
+use cs_memsys::PrefetchConfig;
 use cs_trace::synth::SyntheticSource;
 use cs_trace::{TraceSource, WorkloadProfile};
 use serde_json::{Map, Value};
@@ -42,14 +52,13 @@ fn bench_config(jobs: usize) -> RunConfig {
 }
 
 /// Runs the fixed campaign into `dir` and returns the wall-clock seconds.
-fn time_campaign(jobs: usize, dir: &Path) -> f64 {
+fn time_campaign(cfg: &RunConfig, dir: &Path) -> f64 {
     let experiments: Vec<_> = campaign::experiments()
         .into_iter()
         .filter(|e| CAMPAIGN.contains(&e.name))
         .collect();
-    let cfg = bench_config(jobs);
     let start = Instant::now();
-    let summary = campaign::run(&experiments, &cfg, dir, false);
+    let summary = campaign::run(&experiments, cfg, dir, false);
     let secs = start.elapsed().as_secs_f64();
     for failed in summary.failed() {
         eprintln!("bench_campaign: warning: {} failed during timing", failed.name);
@@ -132,6 +141,66 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
+fn round4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}
+
+/// The stall-dominated single experiments the skip fast path targets:
+/// the Figure 4 polluted leg and the Figure 5 no-prefetch leg, at the
+/// same reduced windows as the campaign passes.
+fn skip_legs() -> Vec<(&'static str, Benchmark, RunConfig)> {
+    let base = bench_config(1);
+    vec![
+        (
+            "fig4_web_search_polluted",
+            Benchmark::web_search(),
+            RunConfig { polluter_bytes: Some(8 << 20), ..base.clone() },
+        ),
+        (
+            "fig5_data_serving_no_prefetch",
+            Benchmark::data_serving(),
+            RunConfig { prefetch: Some(PrefetchConfig::none()), ..base },
+        ),
+    ]
+}
+
+/// Everything the leg comparison needs: both wall-clocks, the skipped
+/// fraction of the fast run, and whether the two runs' counters matched.
+struct SkipLegResult {
+    on_secs: f64,
+    off_secs: f64,
+    skipped_fraction: f64,
+    identical: bool,
+}
+
+fn results_identical(a: &RunResult, b: &RunResult) -> bool {
+    a.cycles == b.cycles
+        && a.requests == b.requests
+        && a.cores == b.cores
+        && a.mem == b.mem
+        && a.polluter_mem == b.polluter_mem
+        && a.dram == b.dram
+}
+
+/// Times one experiment with skipping on then off and byte-compares the
+/// counters the figures read. Returns `None` if the run itself failed.
+fn time_skip_leg(bench: &Benchmark, cfg: &RunConfig) -> Option<SkipLegResult> {
+    let on_cfg = RunConfig { cycle_skip: true, ..cfg.clone() };
+    let off_cfg = RunConfig { cycle_skip: false, ..cfg.clone() };
+    let start = Instant::now();
+    let fast = cloudsuite::harness::run(bench, &on_cfg).ok()?;
+    let on_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let slow = cloudsuite::harness::run(bench, &off_cfg).ok()?;
+    let off_secs = start.elapsed().as_secs_f64();
+    Some(SkipLegResult {
+        on_secs,
+        off_secs,
+        skipped_fraction: fast.skipped_fraction(),
+        identical: results_identical(&fast, &slow),
+    })
+}
+
 fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_campaign.json");
     let mut args = std::env::args().skip(1);
@@ -156,15 +225,45 @@ fn main() -> ExitCode {
     let scratch = std::env::temp_dir().join("cs_bench_campaign");
     let dir1 = scratch.join("jobs1");
     let dirn = scratch.join("jobsN");
-    for dir in [&dir1, &dirn] {
+    let dir_noskip = scratch.join("noskip");
+    for dir in [&dir1, &dirn, &dir_noskip] {
         let _ = std::fs::remove_dir_all(dir);
     }
 
     eprintln!("bench_campaign: timing {CAMPAIGN:?} at jobs=1 ...");
-    let secs_1 = time_campaign(1, &dir1);
+    let secs_1 = time_campaign(&bench_config(1), &dir1);
     eprintln!("bench_campaign: timing {CAMPAIGN:?} at jobs={jobs_n} ...");
-    let secs_n = time_campaign(jobs_n, &dirn);
+    let secs_n = time_campaign(&bench_config(jobs_n), &dirn);
     let identical = outputs_identical(&dir1, &dirn);
+
+    eprintln!("bench_campaign: timing {CAMPAIGN:?} with cycle skipping off ...");
+    let secs_noskip = time_campaign(
+        &RunConfig { cycle_skip: false, ..bench_config(1) },
+        &dir_noskip,
+    );
+    let skip_identical = outputs_identical(&dir1, &dir_noskip);
+
+    let mut leg_objs = Map::new();
+    let mut legs_identical = true;
+    for (name, bench, cfg) in skip_legs() {
+        eprintln!("bench_campaign: timing skip leg {name} ...");
+        let Some(leg) = time_skip_leg(&bench, &cfg) else {
+            eprintln!("bench_campaign: warning: {name} failed during timing");
+            legs_identical = false;
+            continue;
+        };
+        legs_identical &= leg.identical;
+        let mut obj = Map::new();
+        obj.insert("skip_on_wall_secs".into(), Value::from(round2(leg.on_secs)));
+        obj.insert("skip_off_wall_secs".into(), Value::from(round2(leg.off_secs)));
+        obj.insert(
+            "speedup".into(),
+            Value::from(round2(if leg.on_secs > 0.0 { leg.off_secs / leg.on_secs } else { 0.0 })),
+        );
+        obj.insert("skipped_fraction".into(), Value::from(round4(leg.skipped_fraction)));
+        obj.insert("outputs_identical".into(), Value::from(leg.identical));
+        leg_objs.insert(name.into(), Value::Object(obj));
+    }
 
     eprintln!("bench_campaign: timing substrate microbenches ...");
     let synth_ops = synth_ops_per_sec();
@@ -190,11 +289,22 @@ fn main() -> ExitCode {
     substrate.insert("synth_gen_ops_per_sec".into(), Value::from(synth_ops.round()));
     substrate.insert("cache_lookup_fill_ops_per_sec".into(), Value::from(cache_ops.round()));
 
+    let mut cycle_skip_obj = Map::new();
+    cycle_skip_obj.insert("campaign_skip_on_wall_secs".into(), Value::from(round2(secs_1)));
+    cycle_skip_obj.insert("campaign_skip_off_wall_secs".into(), Value::from(round2(secs_noskip)));
+    cycle_skip_obj.insert(
+        "campaign_speedup".into(),
+        Value::from(round2(if secs_1 > 0.0 { secs_noskip / secs_1 } else { 0.0 })),
+    );
+    cycle_skip_obj.insert("campaign_outputs_identical".into(), Value::from(skip_identical));
+    cycle_skip_obj.insert("experiments".into(), Value::Object(leg_objs));
+
     let mut root = Map::new();
     root.insert("campaign".into(), Value::Object(campaign_obj));
+    root.insert("cycle_skip".into(), Value::Object(cycle_skip_obj));
     root.insert("substrate".into(), Value::Object(substrate));
     root.insert("host_cores".into(), Value::from(jobs_n as u64));
-    root.insert("version".into(), Value::from(1u64));
+    root.insert("version".into(), Value::from(2u64));
 
     let text = match serde_json::to_string_pretty(&Value::Object(root)) {
         Ok(t) => t,
@@ -209,13 +319,22 @@ fn main() -> ExitCode {
     }
     eprintln!(
         "bench_campaign: jobs=1 {secs_1:.2}s, jobs={jobs_n} {secs_n:.2}s (identical: {identical}); \
+         skip-off {secs_noskip:.2}s (identical: {skip_identical}); \
          synth {synth_ops:.0} ops/s, cache {cache_ops:.0} ops/s"
     );
     eprintln!("(wrote {})", out.display());
-    if identical {
+    let mut ok = true;
+    if !identical {
+        eprintln!("bench_campaign: PARALLEL OUTPUT MISMATCH — results must be jobs-invariant");
+        ok = false;
+    }
+    if !skip_identical || !legs_identical {
+        eprintln!("bench_campaign: CYCLE-SKIP OUTPUT MISMATCH — skipping must be byte-invisible");
+        ok = false;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("bench_campaign: PARALLEL OUTPUT MISMATCH — results must be jobs-invariant");
         ExitCode::FAILURE
     }
 }

@@ -15,6 +15,10 @@
 //! - `CS_JOBS` — worker threads for the campaign and sweep layers
 //!   (default 1; the `all_figures --jobs` flag outranks it). Results are
 //!   byte-identical at any value — only the wall-clock changes.
+//! - `CS_NO_SKIP` — set to `1` to disable the event-driven cycle-skipping
+//!   fast path (`all_figures --no-skip` does the same). Results are
+//!   byte-identical with skipping on or off — the switch exists so any
+//!   suspected divergence is bisectable with one flag flip.
 //!
 //! Deterministic fault injection can be switched on from the environment
 //! to rehearse the failure paths (watchdog, retries, the campaign
@@ -60,6 +64,7 @@ pub fn config_from_env() -> RunConfig {
     cfg.max_cycles = env_u64("CS_MAX_CYCLES", cfg.max_cycles);
     cfg.watchdog_grace = env_u64("CS_WATCHDOG", cfg.watchdog_grace);
     cfg.jobs = (env_u64("CS_JOBS", cfg.jobs as u64) as usize).max(1);
+    cfg.cycle_skip = env_u64("CS_NO_SKIP", 0) == 0;
     let dram_lat = env_u64("CS_FAULT_DRAM_LAT", 0) as u32;
     let pf_drop = env_f64("CS_FAULT_PF_DROP", 0.0);
     if dram_lat > 0 || pf_drop > 0.0 {

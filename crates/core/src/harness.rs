@@ -126,6 +126,14 @@ pub struct RunConfig {
     /// studies; `None` for every real measurement).
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Event-driven cycle skipping: jump the simulator over certified-dead
+    /// stall spans instead of ticking them (default on). Results are
+    /// byte-identical either way — the switch (`--no-skip` /
+    /// `CS_NO_SKIP=1`) exists so any suspected divergence is bisectable
+    /// with one flag flip. Like `jobs`, it never changes what is
+    /// simulated, so it is excluded from the campaign resume fingerprint.
+    #[serde(default = "default_cycle_skip")]
+    pub cycle_skip: bool,
 }
 
 fn default_watchdog_grace() -> u64 {
@@ -134,6 +142,10 @@ fn default_watchdog_grace() -> u64 {
 
 fn default_jobs() -> usize {
     1
+}
+
+fn default_cycle_skip() -> bool {
+    true
 }
 
 impl Default for RunConfig {
@@ -157,6 +169,7 @@ impl Default for RunConfig {
             watchdog_grace: default_watchdog_grace(),
             jobs: default_jobs(),
             fault: None,
+            cycle_skip: default_cycle_skip(),
         }
     }
 }
@@ -296,6 +309,13 @@ pub struct RunResult {
     /// Whether the warmup and measurement windows committed their full
     /// instruction targets, or were truncated by the cycle cap.
     pub status: RunStatus,
+    /// Total cycles simulated over the whole run (polluter pre-warm,
+    /// warmup and measurement), for the skipped-fraction denominator.
+    pub cycles_total: u64,
+    /// Of [`RunResult::cycles_total`], cycles covered by event-driven
+    /// jumps rather than stepped individually (`0` with `cycle_skip`
+    /// off). Inspectability only: no figure metric is derived from it.
+    pub cycles_skipped: u64,
 }
 
 impl RunResult {
@@ -395,6 +415,13 @@ impl RunResult {
         self.requests.map(|r| 1000.0 * r as f64 / self.cycles as f64)
     }
 
+    /// Fraction of all simulated cycles the event-driven fast path jumped
+    /// over instead of stepping — the inspectable basis of the speedup
+    /// claim (`0.0` when `cycle_skip` is off).
+    pub fn skipped_fraction(&self) -> f64 {
+        cs_perf::ratio(self.cycles_skipped, self.cycles_total)
+    }
+
     /// LLC hit ratio achieved by the polluter threads (the §3.1 check that
     /// the polluters "achieve nearly 100% hit ratio in the LLC").
     pub fn polluter_llc_hit_ratio(&self) -> f64 {
@@ -449,6 +476,7 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
     let polluter_cores = cfg.polluter_cores(cps);
 
     let mut chip = machine.build();
+    chip.set_cycle_skip(cfg.cycle_skip);
 
     // Attach polluters first (§3.1): each walks half the stolen capacity.
     // They run alone for a while so their arrays are LLC-resident before
@@ -540,6 +568,8 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
         n_workers: worker_cores.len(),
         requests,
         status,
+        cycles_total: chip.cycle(),
+        cycles_skipped: chip.skipped_cycles(),
     })
 }
 

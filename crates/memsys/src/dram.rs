@@ -57,6 +57,9 @@ impl Dram {
 
     /// Requests a 64-byte line read at cycle `now`; returns the total
     /// latency (queueing + access + transfer) in cycles.
+    // Queueing delay is bounded by the channel backlog of one window and
+    // latency/service are small config constants, so the total fits u32.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn read(&mut self, line: u64, now: u64) -> u32 {
         let ch = (line % self.channels.len() as u64) as usize;
         let start = self.channels[ch].next_free.max(now);
@@ -77,6 +80,18 @@ impl Dram {
         self.stats.writes += 1;
         self.stats.bytes += 64;
         self.stats.busy_cycles += self.service_cycles;
+    }
+
+    /// Earliest cycle at which the DRAM subsystem would act on its own —
+    /// `u64::MAX`, always, because the channel model is demand-driven:
+    /// `next_free` is bookkeeping consumed lazily by the *next* read or
+    /// write (queueing delay), not a timer that fires. A read requested at
+    /// cycle `now` already received its full latency, so nothing returns
+    /// later. If an autonomous mechanism (refresh, scheduled writeback
+    /// drain) is ever added, its next firing time must be reported here
+    /// for the chip's cycle skipping to remain byte-identical.
+    pub fn next_event_cycle(&self) -> u64 {
+        u64::MAX
     }
 
     /// Statistics so far.

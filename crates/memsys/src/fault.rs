@@ -111,6 +111,18 @@ impl FaultState {
     pub(crate) fn counters(&self) -> FaultCounters {
         self.counters
     }
+
+    /// Earliest cycle at which the fault plan would act on its own —
+    /// `u64::MAX`, always: perturbations are *event-indexed* (one RNG draw
+    /// per DRAM read or prefetch issue, inside the access that triggers
+    /// them), never scheduled at a wall-clock cycle. Cycle skipping is
+    /// therefore transparent to the fault stream: the same accesses draw
+    /// the same rolls in the same order whether dead cycles are stepped
+    /// or jumped. A future *time-scheduled* fault (e.g. "stall channel 2
+    /// at cycle N") must report N here.
+    pub(crate) fn next_event_cycle(&self) -> u64 {
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

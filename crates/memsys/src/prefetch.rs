@@ -15,7 +15,13 @@
 //!
 //! The prefetchers only *decide* which lines to fetch; the fills (and the
 //! pollution and bandwidth they cause) are executed by
-//! [`crate::system::MemorySystem`].
+//! [`crate::system::MemorySystem`], synchronously, inside the demand
+//! access that triggered them. There is no in-flight prefetch queue and
+//! no timer: a prefetcher never acts between demand accesses, which is
+//! what makes the chip's event-driven cycle skipping safe without a
+//! prefetch entry in [`crate::system::MemorySystem::next_event_cycle`].
+//! A future decoupled prefetch queue (issue now, fill N cycles later)
+//! must surface its next fill time there.
 
 /// Companion line of the 128-byte aligned pair (adjacent-line prefetcher).
 #[inline]

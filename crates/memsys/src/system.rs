@@ -193,6 +193,26 @@ impl MemorySystem {
         self.dram.utilization(elapsed_cycles)
     }
 
+    /// Earliest cycle ≥ `now` at which the memory system itself would act
+    /// without being called — the memory-side input to the chip's
+    /// event-driven cycle skipping.
+    ///
+    /// The model is *latency-on-access* (see the crate docs): caches,
+    /// TLBs, prefetchers, DRAM channel timing and the fault plan all
+    /// mutate only inside [`MemorySystem::ifetch`] / [`MemorySystem::data_access`]
+    /// calls made by the cores, so today every component honestly reports
+    /// "never" and this returns `u64::MAX`. The per-component queries
+    /// ([`Dram::next_event_cycle`], [`crate::fault::FaultPlan`]'s
+    /// event-indexed stream, the decide-only prefetchers) keep the
+    /// contract explicit: any future *time-driven* component (a DRAM
+    /// refresh model, an autonomous prefetch queue, a time-scheduled
+    /// fault) must surface its next timer here or it will be skipped
+    /// over, breaking byte-identity.
+    pub fn next_event_cycle(&self, _now: u64) -> u64 {
+        let fault_next = self.fault.as_ref().map_or(u64::MAX, |f| f.next_event_cycle());
+        self.dram.next_event_cycle().min(fault_next)
+    }
+
     #[inline]
     fn socket_of(&self, core: usize) -> usize {
         core / self.cfg.cores_per_socket
@@ -485,7 +505,12 @@ impl MemorySystem {
             if want_write {
                 invalidate_mask = meta.sharers & !my_bit;
                 meta.sharers = my_bit;
-                meta.fresh_writer = Some(core as u8);
+                // Core ids are bounded by the sharer bitmask width (<= 64),
+                // far inside u8 range.
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    meta.fresh_writer = Some(core as u8);
+                }
                 meta.dirty = true;
                 meta.writable = true;
             } else {
@@ -570,7 +595,9 @@ impl MemorySystem {
             self.stats.per_core[core].rw_shared[usize::from(privilege.is_kernel())] += 1;
         }
 
-        // Fill the local LLC.
+        // Fill the local LLC. Core ids are bounded by the sharer bitmask
+        // width (<= 64), far inside u8 range.
+        #[allow(clippy::cast_possible_truncation)]
         let meta = LineMeta {
             dirty: want_write,
             writable: want_write,

@@ -41,6 +41,19 @@ pub struct Chip {
     cores: Vec<OooCore>,
     mem: MemorySystem,
     cycle: u64,
+    /// Event-driven fast path: jump over certified-dead cycles instead of
+    /// stepping them (on by default; results are byte-identical either
+    /// way, so disabling it only costs wall-clock time).
+    cycle_skip: bool,
+    /// Cycles covered by jumps rather than stepped individually.
+    skipped_cycles: u64,
+    /// Per-core next-event certificates, reused across `run_cycles`
+    /// iterations within one call (reset at entry: cores may be mutated
+    /// between calls). `<= now` means expired.
+    skip_next: Vec<u64>,
+    /// Per-core start of the current certified-idle span, bulk-accounted
+    /// lazily when the certificate expires or the window ends.
+    skip_idle: Vec<Option<u64>>,
 }
 
 impl Chip {
@@ -50,7 +63,29 @@ impl Chip {
             cores: (0..n_cores).map(|_| OooCore::new(core_cfg)).collect(),
             mem: MemorySystem::new(mem_cfg, n_cores),
             cycle: 0,
+            cycle_skip: true,
+            skipped_cycles: 0,
+            skip_next: vec![0; n_cores],
+            skip_idle: vec![None; n_cores],
         }
+    }
+
+    /// Enables or disables the event-driven cycle-skipping fast path.
+    /// Results are byte-identical either way; the switch exists so any
+    /// suspected divergence is immediately bisectable (`--no-skip`).
+    pub fn set_cycle_skip(&mut self, on: bool) {
+        self.cycle_skip = on;
+    }
+
+    /// Whether the cycle-skipping fast path is enabled.
+    pub fn cycle_skip(&self) -> bool {
+        self.cycle_skip
+    }
+
+    /// Cycles jumped over by the fast path so far (never reset; compare
+    /// against [`Chip::cycle`] for the skipped fraction of a whole run).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Attaches a trace source to a hardware context of core `core`.
@@ -78,13 +113,80 @@ impl Chip {
     }
 
     /// Advances every core by `n` cycles.
+    ///
+    /// With cycle skipping enabled, each core carries a *certificate*
+    /// ([`OooCore::next_event_cycle`]): the earliest future cycle at which
+    /// stepping it could change anything beyond the bulk-accountable idle
+    /// pattern. A certificate issued at cycle `t` stays valid until it
+    /// expires — a certified-dead core's step is inert by construction, so
+    /// neither its own (skipped) steps nor other cores' activity can
+    /// invalidate it early. That makes two savings sound:
+    ///
+    /// - **Per-core skips:** a certified-idle core is not stepped at all
+    ///   while other cores run; its idle span is accumulated and
+    ///   bulk-accounted when the certificate expires or the window ends.
+    ///   (Bulk accounting distributes over any partition of a span — every
+    ///   term is additive, including the fetch-stall clamp — so the split
+    ///   points cannot show through in the counters.)
+    /// - **Chip jumps:** when every certificate (and every memory-system
+    ///   timer) lies in the future, the clock jumps straight to the
+    ///   earliest one.
+    ///
+    /// Jumps are clamped to the end of this call's window and all pending
+    /// idle spans are flushed before returning, so the chip always lands on
+    /// exactly `cycle + n` with fully up-to-date counters — callers that
+    /// interleave `run_cycles` with inspection (the watchdog in
+    /// [`Chip::run_until_committed_watched`] checks every stride) observe
+    /// the same cycle boundaries, and therefore the same diagnoses, in
+    /// both modes. Certificates are reset at entry: between calls the
+    /// cores may be mutated (sources attached, stats exported) without
+    /// this loop noticing.
     pub fn run_cycles(&mut self, n: u64) {
         let end = self.cycle + n;
+        if !self.cycle_skip {
+            while self.cycle < end {
+                for (id, core) in self.cores.iter_mut().enumerate() {
+                    core.step(id, &mut self.mem, self.cycle);
+                }
+                self.cycle += 1;
+            }
+            return;
+        }
+        self.skip_next.iter_mut().for_each(|c| *c = 0);
+        self.skip_idle.iter_mut().for_each(|s| *s = None);
         while self.cycle < end {
-            for (id, core) in self.cores.iter_mut().enumerate() {
-                core.step(id, &mut self.mem, self.cycle);
+            let now = self.cycle;
+            let mut chip_next = self.mem.next_event_cycle(now);
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if self.skip_next[i] <= now {
+                    if let Some(s) = self.skip_idle[i].take() {
+                        core.account_idle_cycles(s, now - s);
+                    }
+                    let cert = core.next_event_cycle(now);
+                    self.skip_next[i] = cert;
+                    if cert > now {
+                        self.skip_idle[i] = Some(now);
+                    }
+                }
+                chip_next = chip_next.min(self.skip_next[i]);
+            }
+            if chip_next > now {
+                let to = chip_next.min(end);
+                self.skipped_cycles += to - now;
+                self.cycle = to;
+                continue;
+            }
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if self.skip_next[i] <= now {
+                    core.step(i, &mut self.mem, now);
+                }
             }
             self.cycle += 1;
+        }
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if let Some(s) = self.skip_idle[i].take() {
+                core.account_idle_cycles(s, end - s);
+            }
         }
     }
 
@@ -286,6 +388,213 @@ mod tests {
         assert!(!w.reached_target, "cycle-capped window must be flagged");
         assert_eq!(w.cycles, 10_000);
         assert!(w.committed > 0);
+    }
+
+    /// Asserts two chips are in byte-identical observable state: cycle,
+    /// every core's statistics, and the shared memory system's counters.
+    fn assert_identical(fast: &Chip, slow: &Chip) {
+        assert_eq!(fast.cycle(), slow.cycle(), "cycle counters diverged");
+        for (i, (a, b)) in fast.cores().iter().zip(slow.cores()).enumerate() {
+            assert_eq!(a.stats(), b.stats(), "core {i} stats diverged");
+        }
+        assert_eq!(fast.mem().stats(), slow.mem().stats(), "memory stats diverged");
+        assert_eq!(fast.mem().dram_stats(), slow.mem().dram_stats(), "dram stats diverged");
+    }
+
+    /// Runs two identically-built chips — one with cycle skipping, one
+    /// without — through the same deliberately awkward sequence of
+    /// `run_cycles` windows, so jumps keep colliding with window clamps.
+    /// Returns `(skipping, naive)`.
+    fn run_both(mk: impl Fn() -> Chip, total: u64) -> (Chip, Chip) {
+        let mut fast = mk();
+        fast.set_cycle_skip(true);
+        let mut slow = mk();
+        slow.set_cycle_skip(false);
+        for chip in [&mut fast, &mut slow] {
+            let mut remaining = total;
+            let mut chunk: u64 = 1;
+            while remaining > 0 {
+                let n = chunk.min(remaining);
+                chip.run_cycles(n);
+                remaining -= n;
+                chunk = chunk * 7 % 9973 + 1;
+            }
+        }
+        (fast, slow)
+    }
+
+    fn far_load_chain(n: u64, stride: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| MicroOp::load(0x40_0000, 0x8000_0000 + i * stride * 64, 8).with_deps(1, 0))
+            .collect()
+    }
+
+    #[test]
+    fn cycle_skip_is_identical_on_stall_heavy_trace() {
+        // Dependent far loads: the skip-friendliest pattern, with long
+        // certified-dead spans between DRAM returns.
+        let mk = || {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(300, 1009))));
+            chip.attach(1, Box::new(VecSource::new(alu_ops(500))));
+            chip
+        };
+        let (fast, slow) = run_both(mk, 300_000);
+        assert_identical(&fast, &slow);
+        assert_eq!(slow.skipped_cycles(), 0);
+        assert!(
+            fast.skipped_cycles() > fast.cycle() / 2,
+            "a load-latency-bound trace must be mostly skippable, skipped {} of {}",
+            fast.skipped_cycles(),
+            fast.cycle()
+        );
+    }
+
+    #[test]
+    fn cycle_skip_is_identical_under_smt_round_robin_and_icount() {
+        use crate::config::SmtFetchPolicy;
+        for policy in [SmtFetchPolicy::RoundRobin, SmtFetchPolicy::Icount] {
+            let mk = move || {
+                let cfg = CoreConfig {
+                    smt_threads: 2,
+                    smt_fetch: policy,
+                    ..CoreConfig::x5670()
+                };
+                let mut chip = Chip::new(cfg, mem_cfg(), 1);
+                chip.attach(0, Box::new(VecSource::new(far_load_chain(200, 997))));
+                chip.attach(0, Box::new(LoopSource::new(alu_ops(64))));
+                chip
+            };
+            let (fast, slow) = run_both(mk, 200_000);
+            assert_identical(&fast, &slow);
+            assert!(fast.skipped_cycles() > 0, "{policy:?} must still skip");
+        }
+    }
+
+    #[test]
+    fn cycle_skip_is_identical_with_gshare_and_prefetchers() {
+        use crate::branch::BranchModel;
+        let mk = || {
+            let cfg = CoreConfig {
+                branch_model: BranchModel::Gshare { bits: 10 },
+                ..CoreConfig::x5670()
+            };
+            // Default memory config: all prefetchers enabled.
+            let mut chip = Chip::new(cfg, MemSysConfig::default(), 1);
+            let mut ops = Vec::new();
+            for i in 0..150u64 {
+                ops.push(MicroOp::load(0x40_0000, 0x9000_0000 + i * 771 * 64, 8).with_deps(1, 0));
+                ops.push(MicroOp::branch(0x40_0010 + 8 * (i % 32), false));
+                ops.push(MicroOp::alu(0x40_0014 + 8 * (i % 32)));
+            }
+            chip.attach(0, Box::new(VecSource::new(ops)));
+            chip
+        };
+        let (fast, slow) = run_both(mk, 250_000);
+        assert_identical(&fast, &slow);
+        assert!(fast.skipped_cycles() > 0);
+    }
+
+    #[test]
+    fn cycle_skip_is_identical_under_fault_injection() {
+        use cs_memsys::FaultPlan;
+        // DRAM jitter plus prefetch drops: the fault stream is
+        // event-indexed, so skipping dead cycles must not change which
+        // accesses are perturbed.
+        let plan = FaultPlan {
+            dram_extra_latency: 180,
+            dram_perturb_rate: 0.3,
+            prefetch_drop_rate: 0.2,
+            seed: 0xFEED,
+        };
+        let mk = move || {
+            let cfg = MemSysConfig { fault: Some(plan), ..MemSysConfig::default() };
+            let mut chip = Chip::new(CoreConfig::x5670(), cfg, 1);
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(250, 1013))));
+            chip
+        };
+        let (fast, slow) = run_both(mk, 300_000);
+        assert_identical(&fast, &slow);
+        assert_eq!(fast.mem().fault_counters(), slow.mem().fault_counters());
+        assert!(fast.skipped_cycles() > 0);
+    }
+
+    #[test]
+    fn cycle_skip_bulk_accounts_the_drained_tail() {
+        // Run far past source exhaustion: the drained tail is one giant
+        // dead span, and its bulk accounting must match naive stepping.
+        let mk = || {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+            chip.attach(0, Box::new(VecSource::new(alu_ops(100))));
+            chip
+        };
+        let (fast, slow) = run_both(mk, 50_000);
+        assert_identical(&fast, &slow);
+        let s = fast.cores()[0].stats();
+        let classified: u64 =
+            s.committing_cycles.iter().sum::<u64>() + s.stalled_cycles.iter().sum::<u64>();
+        assert_eq!(classified, s.cycles);
+        assert!(fast.skipped_cycles() > 40_000, "the drained tail must be skipped");
+    }
+
+    #[test]
+    fn cycle_skip_handles_threadless_cores() {
+        // Cores with no attached sources accumulate cycles but are never
+        // classified — the bulk path must reproduce that exactly.
+        let mk = || {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 3);
+            chip.attach(0, Box::new(VecSource::new(alu_ops(200))));
+            chip
+        };
+        let (fast, slow) = run_both(mk, 20_000);
+        assert_identical(&fast, &slow);
+        let idle = fast.cores()[2].stats();
+        assert_eq!(idle.cycles, 20_000);
+        assert_eq!(idle.stalled_cycles, [0, 0]);
+        assert_eq!(idle.committing_cycles, [0, 0]);
+    }
+
+    #[test]
+    fn watchdog_diagnosis_is_identical_under_cycle_skip() {
+        use cs_memsys::FaultPlan;
+        // A stalled DRAM livelocks the workload; the watchdog must fire
+        // at the same cycle with the same diagnosis in both modes, since
+        // jumps are clamped to each watchdog stride.
+        let run_mode = |skip: bool| {
+            let cfg = MemSysConfig { fault: Some(FaultPlan::stall(1)), ..mem_cfg() };
+            let mut chip = Chip::new(CoreConfig::x5670(), cfg, 1);
+            let loads: Vec<MicroOp> = (0..64u64)
+                .map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + i * 64, 8))
+                .collect();
+            chip.attach(0, Box::new(VecSource::new(loads)));
+            chip.set_cycle_skip(skip);
+            let diag = chip
+                .run_until_committed_watched(&[0], 1_000, 5_000_000, 10_000)
+                .expect_err("a stalled DRAM must trip the watchdog");
+            (diag, chip.cycle())
+        };
+        let (diag_fast, cycle_fast) = run_mode(true);
+        let (diag_slow, cycle_slow) = run_mode(false);
+        assert_eq!(diag_fast, diag_slow);
+        assert_eq!(cycle_fast, cycle_slow);
+    }
+
+    #[test]
+    fn run_until_committed_is_identical_under_cycle_skip() {
+        let run_mode = |skip: bool| {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 1);
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(400, 883))));
+            chip.set_cycle_skip(skip);
+            let w = chip
+                .run_until_committed_watched(&[0], 300, 10_000_000, 50_000)
+                .expect("healthy run");
+            (w, chip.cycle(), chip.cores()[0].stats().clone())
+        };
+        let (w_fast, cycle_fast, stats_fast) = run_mode(true);
+        let (w_slow, cycle_slow, stats_slow) = run_mode(false);
+        assert_eq!(w_fast, w_slow);
+        assert_eq!(cycle_fast, cycle_slow);
+        assert_eq!(stats_fast, stats_slow);
     }
 
     #[test]

@@ -590,21 +590,25 @@ impl OooCore {
             let idx = usize::from(first_priv.expect("set when committing").is_kernel());
             self.stats.committing_cycles[idx] += 1;
         } else {
-            // Attribute the stall to the oldest in-flight instruction, or
-            // to the instruction being fetched when the window is empty.
-            let priv_ = self
-                .threads
-                .iter()
-                .filter_map(|t| t.rob.front().map(|e| e.op.privilege))
-                .next()
-                .or_else(|| {
-                    self.threads.iter().filter_map(|t| t.fetch_buf.front()).next().map(|o| o.privilege)
-                })
-                .unwrap_or_else(|| {
-                    self.threads.first().map(|t| t.last_fetch_priv).unwrap_or(Privilege::User)
-                });
-            self.stats.stalled_cycles[usize::from(priv_.is_kernel())] += 1;
+            self.stats.stalled_cycles[usize::from(self.stall_privilege().is_kernel())] += 1;
         }
+    }
+
+    /// Privilege a stalled (nothing-committed) cycle is attributed to: the
+    /// oldest in-flight instruction, or the instruction being fetched when
+    /// the window is empty. Shared between the per-cycle `commit` path and
+    /// the bulk idle accounting so the two can never drift apart.
+    fn stall_privilege(&self) -> Privilege {
+        self.threads
+            .iter()
+            .filter_map(|t| t.rob.front().map(|e| e.op.privilege))
+            .next()
+            .or_else(|| {
+                self.threads.iter().filter_map(|t| t.fetch_buf.front()).next().map(|o| o.privilege)
+            })
+            .unwrap_or_else(|| {
+                self.threads.first().map(|t| t.last_fetch_priv).unwrap_or(Privilege::User)
+            })
     }
 
     fn per_cycle_stats(&mut self, now: u64) {
@@ -621,6 +625,155 @@ impl OooCore {
         if data_outstanding || ifetch_mem_stall {
             self.stats.memory_cycles += 1;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven stall skipping.
+    //
+    // A cycle is *dead* when `step` would change nothing beyond the
+    // bulk-accountable idle pattern: no completion ripens, nothing can
+    // commit, dispatch and fetch are blocked, and the issue scan is known
+    // to be a no-op (`ready_dirty` false). `next_event_cycle` certifies
+    // the earliest cycle at which that might stop holding; the chip may
+    // then jump straight to it, bulk-accounting the skipped span with
+    // `account_idle_cycles`. Returning an earlier cycle than necessary is
+    // always safe (the skip is merely shorter); returning a later one
+    // would break byte-identity, so every bound below is conservative.
+
+    /// Earliest cycle ≥ `now` at which stepping this core could do
+    /// anything beyond idle accounting — `now` itself when the core is
+    /// not certifiably idle, `u64::MAX` when it is fully drained and no
+    /// timer can ever wake it.
+    pub fn next_event_cycle(&self, now: u64) -> u64 {
+        if self.threads.is_empty() {
+            return u64::MAX;
+        }
+        // A pending issue scan must run this cycle: its outcome (issues,
+        // or clearing the flag) is state the naive loop would produce.
+        if self.ready_dirty {
+            return now;
+        }
+        let mut next = u64::MAX;
+        if let Some(&Reverse((done_at, _, _))) = self.completion_heap.peek() {
+            if done_at <= now {
+                return now;
+            }
+            next = next.min(done_at);
+        }
+        if let Some(&t) = self.store_drain.front() {
+            if t <= now {
+                return now;
+            }
+            next = next.min(t);
+        }
+        // Commit: a Done entry at any ROB head retires this cycle.
+        if self.threads.iter().any(|t| {
+            t.rob.front().is_some_and(|e| e.state == EntryState::Done)
+        }) {
+            return now;
+        }
+        // Dispatch: a fetch-buffer head with room moves into the ROB this
+        // cycle. Room can otherwise only appear through a completion or
+        // commit, which are events in their own right.
+        let rob_cap = self.cfg.rob_per_thread();
+        for t in &self.threads {
+            if let Some(op) = t.fetch_buf.front() {
+                let room = t.rob.len() < rob_cap
+                    && self.rs_used < self.cfg.reservation_stations
+                    && (!op.is_load() || self.loads_in_rob < self.cfg.load_queue)
+                    && (!op.is_store() || self.stores_in_rob < self.cfg.store_queue);
+                if room {
+                    return now;
+                }
+            }
+        }
+        next.min(self.next_fetch_cycle(now))
+    }
+
+    /// When a thread could fetch, ignoring the SMT fetch-slot rotation:
+    /// `Some(fetch_stall_until)` if it has (or may refill) ops and its
+    /// frontend is not flush- or buffer-blocked, else `None`. A `None`
+    /// thread can only be re-enabled by a completion (flush resolution)
+    /// or dispatch (buffer room) — events certified elsewhere. A thread
+    /// with an empty block buffer but an unexhausted source counts as
+    /// ready: the refill attempt itself mutates the source (and may set
+    /// `exhausted`, which `is_done` observes), so it must not be skipped.
+    fn thread_fetch_ready(t: &Thread, fetch_buffer: usize) -> Option<u64> {
+        if t.flush_pending || t.fetch_buf.len() >= fetch_buffer {
+            return None;
+        }
+        let ops_maybe = t.pending.is_some() || t.block_pos < t.block.len() || !t.exhausted;
+        if ops_maybe {
+            Some(t.fetch_stall_until)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest cycle ≥ `now` at which `fetch` would do real work, given
+    /// that per-thread state is frozen until then (the premise of a dead
+    /// span). Honors the SMT fetch rotation: under round-robin a thread
+    /// only fetches on cycles ≡ its index (mod threads); under ICOUNT the
+    /// selection is a pure function of ROB and fetch-buffer occupancy,
+    /// which cannot change during a dead span, so only the currently
+    /// chosen thread is consulted — including the modeled quirk that a
+    /// drained chosen thread starves the others.
+    fn next_fetch_cycle(&self, now: u64) -> u64 {
+        let n = self.threads.len() as u64;
+        match self.cfg.smt_fetch {
+            SmtFetchPolicy::RoundRobin => {
+                let mut next = u64::MAX;
+                for (tid, t) in self.threads.iter().enumerate() {
+                    let Some(ready) = Self::thread_fetch_ready(t, self.cfg.fetch_buffer) else {
+                        continue;
+                    };
+                    let at = ready.max(now);
+                    let phase = (tid as u64 + n - at % n) % n;
+                    next = next.min(at + phase);
+                }
+                next
+            }
+            SmtFetchPolicy::Icount => {
+                let chosen = self
+                    .threads
+                    .iter()
+                    .min_by_key(|t| t.rob.len() + t.fetch_buf.len())
+                    .expect("threads checked non-empty");
+                match Self::thread_fetch_ready(chosen, self.cfg.fetch_buffer) {
+                    Some(ready) => ready.max(now),
+                    None => u64::MAX,
+                }
+            }
+        }
+    }
+
+    /// Bulk-accounts `span` certified-dead cycles starting at `start`,
+    /// producing byte-identical statistics to stepping each cycle. All
+    /// state consulted here is frozen for the whole span — the definition
+    /// of a dead span certified by [`OooCore::next_event_cycle`].
+    pub fn account_idle_cycles(&mut self, start: u64, span: u64) {
+        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        let data_outstanding =
+            self.outstanding_offcore_loads > 0 || !self.store_drain.is_empty();
+        // Frontend memory stalls may expire mid-span: count exactly the
+        // cycles `c` in [start, start+span) with `c < mem_stall_until`,
+        // as the per-cycle path would.
+        let mem_stall_until =
+            self.threads.iter().map(|t| t.mem_fetch_stall_until).max().unwrap_or(0);
+        let mem_stall_cycles = mem_stall_until.saturating_sub(start).min(span);
+        let stall_priv = if self.threads.is_empty() {
+            None // `commit` never classifies cycles of a threadless core.
+        } else {
+            Some(usize::from(self.stall_privilege().is_kernel()))
+        };
+        self.stats.record_idle_span(
+            span,
+            rob_total as u64,
+            self.outstanding_offcore_loads as u64,
+            data_outstanding,
+            mem_stall_cycles,
+            stall_priv,
+        );
     }
 }
 

@@ -111,6 +111,44 @@ impl CoreStats {
         cs_perf::ratio(self.rob_occupancy_sum, self.cycles)
     }
 
+    /// Bulk-accounts a span of `span` certified-idle cycles, producing the
+    /// exact counter deltas the per-cycle path (`commit` stall attribution
+    /// plus `per_cycle_stats`) would have produced had each cycle been
+    /// stepped individually. Used by the chip's event-driven fast path to
+    /// jump over dead cycles with byte-identical statistics.
+    ///
+    /// All inputs are frozen core state for the whole span (that is what
+    /// *certified idle* means): `rob_total` ROB entries across threads,
+    /// `outstanding_loads` off-core demand loads, `data_outstanding` when
+    /// a demand load or store RFO is in flight, `mem_stall_cycles` cycles
+    /// of the span spent under a frontend memory stall (already clamped to
+    /// the span by the caller), and `stall_priv` the `[user, kernel]`
+    /// index of the stall attribution — `None` for a threadless core,
+    /// whose cycles are never classified.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_idle_span(
+        &mut self,
+        span: u64,
+        rob_total: u64,
+        outstanding_loads: u64,
+        data_outstanding: bool,
+        mem_stall_cycles: u64,
+        stall_priv: Option<usize>,
+    ) {
+        self.cycles += span;
+        self.rob_occupancy_sum += rob_total * span;
+        self.offcore_load_occupancy.record_n(outstanding_loads, span);
+        if data_outstanding {
+            self.offcore_outstanding_cycles += span;
+            self.memory_cycles += span;
+        } else {
+            self.memory_cycles += mem_stall_cycles;
+        }
+        if let Some(idx) = stall_priv {
+            self.stalled_cycles[idx] += span;
+        }
+    }
+
     /// Exports the counters into a flat [`CounterSet`].
     pub fn to_counters(&self, prefix: &str) -> CounterSet {
         let mut c = CounterSet::new();

@@ -3,7 +3,7 @@
 use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
 use cs_trace::source::VecSource;
 use cs_trace::{MicroOp, OpKind};
-use cs_uarch::{CoreConfig, OooCore};
+use cs_uarch::{Chip, CoreConfig, OooCore};
 use proptest::prelude::*;
 
 fn arb_op(i: usize) -> impl Strategy<Value = MicroOp> {
@@ -55,6 +55,74 @@ proptest! {
         prop_assert_eq!(classified, s.cycles);
         prop_assert!(s.memory_cycles <= s.cycles);
         prop_assert!(s.ipc() <= 4.0 + 1e-9);
+    }
+
+    /// Event-driven cycle skipping is invisible: for arbitrary traces,
+    /// window chunkings and both core flavours, the skipping chip and the
+    /// naive chip end every window in bit-identical state.
+    #[test]
+    fn cycle_skip_is_byte_identical(
+        ops in arb_trace(),
+        in_order in any::<bool>(),
+        chunk in 1u64..5000,
+    ) {
+        let mk = || {
+            let core_cfg = CoreConfig { in_order, ..CoreConfig::x5670() };
+            let mem_cfg =
+                MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
+            let mut chip = Chip::new(core_cfg, mem_cfg, 1);
+            chip.attach(0, Box::new(VecSource::new(ops.clone())));
+            chip
+        };
+        let mut fast = mk();
+        fast.set_cycle_skip(true);
+        let mut slow = mk();
+        slow.set_cycle_skip(false);
+        for chip in [&mut fast, &mut slow] {
+            // Chunked windows: jumps must clamp at every boundary.
+            while !chip.cores().iter().all(|c| c.is_done()) && chip.cycle() < 2_000_000 {
+                chip.run_cycles(chunk);
+            }
+        }
+        prop_assert!(fast.cores()[0].is_done(), "pipeline deadlocked");
+        prop_assert_eq!(fast.cycle(), slow.cycle());
+        prop_assert_eq!(fast.cores()[0].stats(), slow.cores()[0].stats());
+        prop_assert_eq!(fast.mem().stats(), slow.mem().stats());
+        prop_assert_eq!(fast.mem().dram_stats(), slow.mem().dram_stats());
+        prop_assert_eq!(slow.skipped_cycles(), 0);
+    }
+
+    /// The counter invariants survive arbitrary skip spans: committing
+    /// and stalled cycles still partition time, per-privilege committed
+    /// counts still sum to the instruction total, and the skipped-cycle
+    /// count never exceeds the cycles simulated.
+    #[test]
+    fn skip_spans_preserve_counter_invariants(ops in arb_trace(), chunk in 1u64..3000) {
+        let n = ops.len() as u64;
+        let mut chip = Chip::new(
+            CoreConfig::x5670(),
+            MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() },
+            1,
+        );
+        chip.attach(0, Box::new(VecSource::new(ops)));
+        while !chip.cores().iter().all(|c| c.is_done()) && chip.cycle() < 2_000_000 {
+            chip.run_cycles(chunk);
+        }
+        // Run on past exhaustion so the drained tail is bulk-accounted too.
+        chip.run_cycles(10_000);
+        let s = chip.cores()[0].stats();
+        prop_assert_eq!(s.committed[0] + s.committed[1], n);
+        prop_assert_eq!(
+            s.per_thread_committed.iter().sum::<u64>(),
+            s.committed[0] + s.committed[1]
+        );
+        let classified: u64 =
+            s.committing_cycles.iter().sum::<u64>() + s.stalled_cycles.iter().sum::<u64>();
+        prop_assert_eq!(classified, s.cycles);
+        prop_assert!(s.memory_cycles <= s.cycles);
+        prop_assert!(s.offcore_outstanding_cycles <= s.memory_cycles);
+        prop_assert!(chip.skipped_cycles() <= chip.cycle());
+        prop_assert_eq!(s.cycles, chip.cycle());
     }
 
     /// MLP never exceeds the MSHR capacity.
