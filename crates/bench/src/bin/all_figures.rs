@@ -1,36 +1,52 @@
 //! Regenerates every table and figure of the evaluation, plus the
-//! ablations, as one resumable campaign.
+//! ablations, as one resumable, kill-safe campaign.
 //!
 //! Each experiment runs in isolation: a failure (typed harness error or
 //! panic) is recorded in `results/manifest.json` and the campaign moves
 //! on. Transient failures — a tripped watchdog or a truncated window —
 //! are retried once with a widened cycle budget. A second pass with
 //! `--resume` skips every experiment whose result is already up to date
-//! and re-runs only what failed.
+//! (checksum-verified) and re-runs only what failed.
+//!
+//! The campaign is crash-safe: every experiment snapshots its complete
+//! simulation state to `<results>.ckpt/` every `--ckpt-cycles` simulated
+//! cycles, and SIGINT/SIGTERM triggers one final snapshot before the
+//! process exits with code 3. A later `--resume` pass restores the
+//! snapshots and continues mid-window; the finished results are
+//! byte-identical to a never-interrupted campaign, at any `--jobs` value,
+//! with cycle-skipping on or off.
 //!
 //! Experiments — and the config points inside the sweep experiments —
 //! are independent seeded runs, so the campaign fans them over `--jobs N`
 //! worker threads (default: `CS_JOBS`, then 1). Results are byte-identical
 //! at any jobs value; only the wall-clock changes.
 //!
-//! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N] [--no-skip]`
+//! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]
+//! [--no-skip] [--ckpt-cycles N]`
 //!
 //! `--no-skip` disables the event-driven cycle-skipping fast path
 //! (equivalently `CS_NO_SKIP=1`); results are byte-identical either way.
+//! `--ckpt-cycles N` sets the checkpoint cadence in simulated cycles
+//! (default: `CS_CKPT_CYCLES`, then 2,000,000; `0` disables cadence
+//! snapshots — signal-triggered snapshots still happen).
 //!
-//! Exits non-zero only if at least one experiment ultimately failed.
+//! Exit codes: `0` all experiments accounted for, `1` at least one
+//! experiment ultimately failed, `2` usage error, `3` interrupted by a
+//! stop request with checkpoints saved (finish with `--resume`).
 
-use cs_bench::campaign::{self, ExperimentStatus};
+use cs_bench::campaign::{self, CampaignOptions, ExperimentStatus};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] [--no-skip]";
+const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] \
+                     [--no-skip] [--ckpt-cycles N]";
 
 fn main() -> ExitCode {
     let mut resume = false;
     let mut results_dir = PathBuf::from("results");
     let mut jobs = None;
     let mut no_skip = false;
+    let mut ckpt_cycles = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +66,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--ckpt-cycles" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => ckpt_cycles = Some(n),
+                None => {
+                    eprintln!("--ckpt-cycles requires a cycle count (0 disables cadence)");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("{USAGE}");
@@ -65,30 +88,57 @@ fn main() -> ExitCode {
     if no_skip {
         cfg.cycle_skip = false; // The flag outranks CS_NO_SKIP.
     }
-    let summary = campaign::run(&campaign::experiments(), &cfg, &results_dir, resume);
+
+    let mut opts = CampaignOptions { resume, stop: cs_bench::signal::install(), ..Default::default() };
+    if let Some(n) = ckpt_cycles {
+        opts.ckpt_cycles = n; // The flag outranks CS_CKPT_CYCLES.
+    } else if let Ok(v) = std::env::var("CS_CKPT_CYCLES") {
+        if let Ok(n) = v.parse::<u64>() {
+            opts.ckpt_cycles = n;
+        }
+    }
+    // Deterministic kill switch for tests and CI: behave exactly as if a
+    // signal arrived once each unit's chip reaches this cycle.
+    if let Ok(v) = std::env::var("CS_INTERRUPT_AFTER") {
+        if let Ok(n) = v.parse::<u64>() {
+            opts.interrupt_after = Some(n);
+        }
+    }
+
+    let summary = campaign::run_with(&campaign::experiments(), &cfg, &results_dir, &opts);
 
     eprintln!("\ncampaign summary:");
     for outcome in &summary.outcomes {
         match &outcome.status {
-            ExperimentStatus::Ok { attempts: 1 } => eprintln!("  ok      {}", outcome.name),
-            ExperimentStatus::Ok { attempts } => {
+            ExperimentStatus::Ok { attempts: 1, .. } => eprintln!("  ok      {}", outcome.name),
+            ExperimentStatus::Ok { attempts, .. } => {
                 eprintln!("  ok      {} (after {attempts} attempts)", outcome.name)
             }
             ExperimentStatus::Skipped => eprintln!("  skipped {} (up to date)", outcome.name),
+            ExperimentStatus::Interrupted => {
+                eprintln!("  paused  {} (snapshot saved; --resume continues)", outcome.name)
+            }
             ExperimentStatus::Failed { attempts, error } => {
                 eprintln!("  FAILED  {} ({attempts} attempts): {error}", outcome.name)
             }
         }
     }
     let failed = summary.failed();
-    if failed.is_empty() {
-        eprintln!("all {} experiments accounted for", summary.outcomes.len());
-    } else {
+    let interrupted = summary.interrupted();
+    if !failed.is_empty() {
         eprintln!(
             "{} of {} experiments failed; fix or re-run with --resume",
             failed.len(),
             summary.outcomes.len()
         );
+    } else if !interrupted.is_empty() {
+        eprintln!(
+            "interrupted with {} of {} experiments pending; finish with --resume",
+            interrupted.len(),
+            summary.outcomes.len()
+        );
+    } else {
+        eprintln!("all {} experiments accounted for", summary.outcomes.len());
     }
     ExitCode::from(summary.exit_code())
 }

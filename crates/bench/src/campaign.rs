@@ -26,15 +26,33 @@
 //! aborting its siblings — and because outcomes are collected in campaign
 //! order and the manifest map is key-sorted, the final `manifest.json`
 //! and every result file are byte-identical at any `jobs` value.
+//!
+//! # Mid-run checkpointing and graceful shutdown
+//!
+//! Every experiment runs under a [`cloudsuite::checkpoint::CheckpointCtl`]
+//! rooted at the sibling directory `<results>.ckpt` (kept outside the
+//! results directory so `diff -r` between two result trees never sees
+//! transient snapshot files). The harness snapshots its complete
+//! simulation state there every [`CampaignOptions::ckpt_cycles`] simulated
+//! cycles and — when the [`CampaignOptions::stop`] flag is raised by the
+//! SIGINT/SIGTERM handler ([`crate::signal::install`]) — saves one final
+//! snapshot and stops. An interrupted experiment is reported as
+//! [`ExperimentStatus::Interrupted`]: its manifest entry is left untouched
+//! (it is neither ok nor failed), the campaign's exit code becomes 3, and
+//! the next `--resume` pass restores the snapshot and continues, producing
+//! results byte-identical to a never-interrupted campaign. Checkpoints of
+//! an experiment are deleted once its result file is durably emitted.
 
+use cloudsuite::checkpoint::{with_checkpointing, CheckpointCtl, DEFAULT_CADENCE_CYCLES};
 use cloudsuite::experiments as exp;
 use cloudsuite::harness::RunConfig;
 use cloudsuite::{Benchmark, HarnessError, MachineConfig};
 use cs_perf::Report;
 use serde_json::{Map, Value};
 use std::panic::{self, AssertUnwindSafe};
-use std::path::Path;
-use std::sync::{Mutex, PoisonError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One independently-run, independently-resumable unit of a campaign.
 pub struct Experiment {
@@ -146,9 +164,20 @@ pub enum ExperimentStatus {
     Ok {
         /// Attempts used (2 means the transient-failure retry fired).
         attempts: u32,
+        /// FNV-1a 64 content checksum (hex) of the emitted result file,
+        /// recorded in the manifest for resume-time verification.
+        checksum: String,
+        /// Checkpoint file names this experiment's simulation units used
+        /// (deleted on success; recorded for observability).
+        units: Vec<String>,
     },
     /// An up-to-date result already existed (`resume`).
     Skipped,
+    /// A stop request (signal or deterministic test trigger) cut the
+    /// experiment short after a checkpoint was saved, or arrived before it
+    /// started. Not a failure: its manifest entry is left untouched and the
+    /// next `--resume` pass continues from the snapshot.
+    Interrupted,
     /// The experiment failed after all attempts.
     Failed {
         /// Attempts used.
@@ -183,10 +212,55 @@ impl CampaignSummary {
             .collect()
     }
 
-    /// Process exit code: non-zero only if an experiment ultimately
-    /// failed.
+    /// Experiments cut short by a stop request (resumable, not failed).
+    pub fn interrupted(&self) -> Vec<&Outcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ExperimentStatus::Interrupted))
+            .collect()
+    }
+
+    /// Process exit code: `1` if an experiment ultimately failed, `3` if
+    /// the campaign was interrupted (checkpoints saved, `--resume`
+    /// continues it), `0` otherwise.
     pub fn exit_code(&self) -> u8 {
-        u8::from(!self.failed().is_empty())
+        if !self.failed().is_empty() {
+            1
+        } else if !self.interrupted().is_empty() {
+            3
+        } else {
+            0
+        }
+    }
+}
+
+/// Knobs of one campaign pass beyond the [`RunConfig`] itself.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Skip experiments whose manifest entry is ok, fingerprint-matched,
+    /// and whose result file exists with a matching content checksum.
+    pub resume: bool,
+    /// Checkpoint cadence in simulated cycles (`0` disables cadence
+    /// snapshots; stop-triggered snapshots still happen).
+    pub ckpt_cycles: u64,
+    /// Cooperative stop flag, usually the one [`crate::signal::install`]
+    /// returns. Raised mid-campaign, it makes every in-flight experiment
+    /// save a snapshot and stop, and keeps pending ones from starting.
+    pub stop: Arc<AtomicBool>,
+    /// Deterministic interruption for tests and CI (`CS_INTERRUPT_AFTER`):
+    /// each simulation unit stops once its chip reaches this cycle, as if
+    /// a signal had arrived.
+    pub interrupt_after: Option<u64>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            resume: false,
+            ckpt_cycles: DEFAULT_CADENCE_CYCLES,
+            stop: Arc::new(AtomicBool::new(false)),
+            interrupt_after: None,
+        }
     }
 }
 
@@ -211,31 +285,71 @@ pub fn run(
     results_dir: &Path,
     resume: bool,
 ) -> CampaignSummary {
+    run_with(experiments, cfg, results_dir, &CampaignOptions { resume, ..Default::default() })
+}
+
+/// [`run`] with explicit [`CampaignOptions`]: checkpoint cadence, the
+/// graceful-shutdown stop flag, and the deterministic interrupt trigger.
+pub fn run_with(
+    experiments: &[Experiment],
+    cfg: &RunConfig,
+    results_dir: &Path,
+    opts: &CampaignOptions,
+) -> CampaignSummary {
     let manifest_path = results_dir.join("manifest.json");
-    let loaded = if resume { load_manifest(&manifest_path) } else { Map::new() };
+    let loaded = if opts.resume { load_manifest(&manifest_path) } else { Map::new() };
     let fp = fingerprint(cfg);
     // The skip set is decided before any worker starts: entries written
     // mid-campaign must not change which experiments this pass runs.
     let skip: Vec<bool> = experiments
         .iter()
-        .map(|e| resume && up_to_date(&loaded, e.name, &fp, results_dir))
+        .map(|e| opts.resume && up_to_date(&loaded, e.name, &fp, results_dir))
         .collect();
     let manifest = Mutex::new(loaded);
+    // Snapshots live in a sibling of the results directory, never inside
+    // it: `diff -r` between two result trees must not see them.
+    let ckpt_root = PathBuf::from(format!("{}.ckpt", results_dir.display()));
 
     let statuses = cloudsuite::par::par_map(cfg.jobs, experiments, |i, e| {
         if skip[i] {
             eprintln!("[campaign] {}: up to date, skipping", e.name);
             return ExperimentStatus::Skipped;
         }
+        // A stop raised before this experiment was dispatched: do not start
+        // new work, just mark it resumable.
+        if opts.stop.load(Ordering::SeqCst) {
+            eprintln!("[campaign] {}: stop requested, not starting", e.name);
+            return ExperimentStatus::Interrupted;
+        }
+        let ctl = CheckpointCtl {
+            dir: ckpt_root.clone(),
+            cadence_cycles: opts.ckpt_cycles,
+            stop: Arc::clone(&opts.stop),
+            interrupt_after: opts.interrupt_after,
+            scope: e.name.to_string(),
+            used: Arc::new(Mutex::new(Vec::new())),
+        };
         // `run_one` already catches panics inside the experiment body; this
         // outer guard is the campaign-level backstop that converts a panic
         // escaping anywhere on the worker (result emission included) into
         // this experiment's failure outcome instead of sinking siblings.
-        let status = panic::catch_unwind(AssertUnwindSafe(|| run_one(e, cfg, results_dir)))
-            .unwrap_or_else(|payload| ExperimentStatus::Failed {
-                attempts: 1,
-                error: panic_message(&*payload),
-            });
+        let status = panic::catch_unwind(AssertUnwindSafe(|| {
+            with_checkpointing(ctl.clone(), || run_one(e, cfg, results_dir, &ctl))
+        }))
+        .unwrap_or_else(|payload| ExperimentStatus::Failed {
+            attempts: 1,
+            error: panic_message(&*payload),
+        });
+        // An interrupted experiment leaves its manifest entry untouched:
+        // it is neither ok (the result was not produced) nor failed (the
+        // checkpoint makes it resumable).
+        if status == ExperimentStatus::Interrupted {
+            eprintln!(
+                "[campaign] {}: interrupted; snapshot saved, `--resume` continues it",
+                e.name
+            );
+            return status;
+        }
         let mut entries = manifest.lock().unwrap_or_else(PoisonError::into_inner);
         entries.insert(e.name.to_string(), manifest_entry(&fp, &status));
         // Rewritten after every experiment: an interrupted campaign loses
@@ -257,6 +371,7 @@ pub fn run(
 struct Failure {
     message: String,
     transient: bool,
+    interrupted: bool,
 }
 
 /// One guarded attempt: typed errors and panics both become [`Failure`]s.
@@ -268,18 +383,33 @@ fn attempt(e: &Experiment, cfg: &RunConfig) -> Result<Report, Failure> {
                 err,
                 HarnessError::Stalled { .. } | HarnessError::Truncated { .. }
             ),
+            interrupted: matches!(err, HarnessError::Interrupted),
             message: err.to_string(),
         }),
         // `&*payload`, not `&payload`: coercing the Box itself to
         // `dyn Any` would make both downcasts miss.
-        Err(payload) => Err(Failure { message: panic_message(&*payload), transient: false }),
+        Err(payload) => Err(Failure {
+            message: panic_message(&*payload),
+            transient: false,
+            interrupted: false,
+        }),
     }
 }
 
-fn run_one(e: &Experiment, cfg: &RunConfig, results_dir: &Path) -> ExperimentStatus {
+fn run_one(
+    e: &Experiment,
+    cfg: &RunConfig,
+    results_dir: &Path,
+    ctl: &CheckpointCtl,
+) -> ExperimentStatus {
     let mut attempts = 1;
     let mut result = attempt(e, cfg);
     if let Err(f) = &result {
+        // A stop request is not a failure — never retried, never recorded:
+        // the checkpoint the harness just saved makes the unit resumable.
+        if f.interrupted {
+            return ExperimentStatus::Interrupted;
+        }
         if f.transient {
             eprintln!(
                 "[campaign] {}: transient failure ({}); retrying with a widened cycle budget",
@@ -296,9 +426,18 @@ fn run_one(e: &Experiment, cfg: &RunConfig, results_dir: &Path) -> ExperimentSta
     }
     match result {
         Ok(report) => match crate::emit_to(results_dir, &report, e.name) {
-            Ok(_) => ExperimentStatus::Ok { attempts },
+            Ok(emitted) => {
+                // The result is durable; this experiment's snapshots have
+                // served their purpose.
+                let units = ctl.used_files();
+                for f in &units {
+                    let _ = std::fs::remove_file(ctl.dir.join(f));
+                }
+                ExperimentStatus::Ok { attempts, checksum: emitted.checksum, units }
+            }
             Err(err) => ExperimentStatus::Failed { attempts, error: err.to_string() },
         },
+        Err(f) if f.interrupted => ExperimentStatus::Interrupted,
         Err(f) => {
             eprintln!("[campaign] {}: FAILED: {}", e.name, f.message);
             ExperimentStatus::Failed { attempts, error: f.message }
@@ -320,17 +459,23 @@ fn manifest_entry(fp: &str, status: &ExperimentStatus) -> Value {
     let mut m = Map::new();
     m.insert("fingerprint".into(), Value::String(fp.into()));
     match status {
-        ExperimentStatus::Ok { attempts } => {
+        ExperimentStatus::Ok { attempts, checksum, units } => {
             m.insert("attempts".into(), Value::from(u64::from(*attempts)));
+            m.insert("checksum".into(), Value::String(checksum.clone()));
             m.insert("status".into(), Value::String("ok".into()));
+            m.insert(
+                "units".into(),
+                Value::Array(units.iter().map(|u| Value::String(u.clone())).collect()),
+            );
         }
         ExperimentStatus::Failed { attempts, error } => {
             m.insert("attempts".into(), Value::from(u64::from(*attempts)));
             m.insert("error".into(), Value::String(error.clone()));
             m.insert("status".into(), Value::String("failed".into()));
         }
-        // Skips never reach the manifest: the existing entry stands.
-        ExperimentStatus::Skipped => {}
+        // Skips and interruptions never reach the manifest: the existing
+        // entry (if any) stands.
+        ExperimentStatus::Skipped | ExperimentStatus::Interrupted => {}
     }
     Value::Object(m)
 }
@@ -347,6 +492,7 @@ fn load_manifest(path: &Path) -> Map<String, Value> {
 }
 
 fn write_manifest(path: &Path, entries: &Map<String, Value>) -> std::io::Result<()> {
+    use std::io::Write;
     let mut root = Map::new();
     root.insert("experiments".into(), Value::Object(entries.clone()));
     root.insert("version".into(), Value::from(1u64));
@@ -355,14 +501,34 @@ fn write_manifest(path: &Path, entries: &Map<String, Value>) -> std::io::Result<
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(path, text + "\n")
+    // Atomic, like every other artifact: a kill mid-rewrite must leave the
+    // previous manifest intact, not a torn one a resume pass would misread.
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.write_all(b"\n")?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 fn up_to_date(manifest: &Map<String, Value>, name: &str, fp: &str, results_dir: &Path) -> bool {
     let Some(entry) = manifest.get(name) else { return false };
-    entry.get("status").and_then(Value::as_str) == Some("ok")
-        && entry.get("fingerprint").and_then(Value::as_str) == Some(fp)
-        && results_dir.join(format!("{name}.json")).exists()
+    if entry.get("status").and_then(Value::as_str) != Some("ok")
+        || entry.get("fingerprint").and_then(Value::as_str) != Some(fp)
+    {
+        return false;
+    }
+    // Trust content, not existence: the recorded checksum must match the
+    // bytes on disk, so a torn, corrupted, or hand-edited result is re-run
+    // rather than silently kept. Entries without a checksum are re-run too.
+    let Some(recorded) = entry.get("checksum").and_then(Value::as_str) else { return false };
+    match std::fs::read(results_dir.join(format!("{name}.json"))) {
+        Ok(bytes) => crate::content_checksum(&bytes) == recorded,
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
@@ -458,14 +624,91 @@ mod tests {
         assert_eq!(second.exit_code(), 0);
         assert_eq!(RESUME_RUNS.load(Ordering::SeqCst), 1, "steady must be skipped");
         assert_eq!(second.outcomes[0].status, ExperimentStatus::Skipped);
-        assert_eq!(second.outcomes[1].status, ExperimentStatus::Ok { attempts: 1 });
+        assert!(matches!(second.outcomes[1].status, ExperimentStatus::Ok { attempts: 1, .. }));
         assert!(dir.join("flaky.json").exists());
 
         // A config change invalidates the fingerprint: nothing is skipped.
         let wider = RunConfig { measure_instr: 123_456, ..RunConfig::default() };
         let third = run(&fixed, &wider, &dir, true);
-        assert_eq!(third.outcomes[0].status, ExperimentStatus::Ok { attempts: 1 });
+        assert!(matches!(third.outcomes[0].status, ExperimentStatus::Ok { attempts: 1, .. }));
         assert_eq!(RESUME_RUNS.load(Ordering::SeqCst), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_distrusts_corrupted_results() {
+        let dir = scratch_dir("checksum");
+        let exps = [Experiment { name: "good", build: ok_report }];
+        let first = run(&exps, &RunConfig::default(), &dir, false);
+        assert_eq!(first.exit_code(), 0);
+        // The manifest records the content checksum of the emitted file.
+        let manifest = read_manifest(&dir);
+        let entry = manifest.get("experiments").and_then(|e| e.get("good")).expect("entry");
+        let recorded = entry.get("checksum").and_then(Value::as_str).expect("checksum");
+        let bytes = std::fs::read(dir.join("good.json")).expect("result");
+        assert_eq!(crate::content_checksum(&bytes), recorded);
+
+        // Untouched: a resume pass skips.
+        let second = run(&exps, &RunConfig::default(), &dir, true);
+        assert_eq!(second.outcomes[0].status, ExperimentStatus::Skipped);
+
+        // Corrupted on disk: the checksum mismatch forces a re-run.
+        std::fs::write(dir.join("good.json"), b"{\"tampered\": true}").expect("tamper");
+        let third = run(&exps, &RunConfig::default(), &dir, true);
+        assert!(
+            matches!(third.outcomes[0].status, ExperimentStatus::Ok { .. }),
+            "a corrupted result must be re-run, got {:?}",
+            third.outcomes[0].status
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn interrupting(_cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Err(HarnessError::Interrupted)
+    }
+
+    #[test]
+    fn interruption_is_resumable_not_failed() {
+        let dir = scratch_dir("interrupt");
+        // Establish a manifest entry for "good", then interrupt a pass
+        // containing both experiments.
+        let warm = [Experiment { name: "good", build: ok_report }];
+        run(&warm, &RunConfig::default(), &dir, false);
+        let manifest_before = read_manifest(&dir);
+
+        let exps = [
+            Experiment { name: "good", build: interrupting },
+            Experiment { name: "late", build: interrupting },
+        ];
+        let summary = run(&exps, &RunConfig::default(), &dir, false);
+        assert_eq!(summary.exit_code(), 3, "interrupted campaigns exit 3");
+        assert_eq!(summary.interrupted().len(), 2);
+        assert!(summary.failed().is_empty(), "interruption is not failure");
+        // No retry for interruptions, and the manifest is untouched: the
+        // prior ok entry stands and "late" never appears.
+        let manifest_after = read_manifest(&dir);
+        assert_eq!(manifest_before, manifest_after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raised_stop_flag_prevents_new_experiments() {
+        let dir = scratch_dir("stopflag");
+        let exps = [
+            Experiment { name: "one", build: counted_ok },
+            Experiment { name: "two", build: counted_ok },
+        ];
+        let before = RESUME_RUNS.load(Ordering::SeqCst);
+        let opts = CampaignOptions::default();
+        opts.stop.store(true, Ordering::SeqCst);
+        let summary = run_with(&exps, &RunConfig::default(), &dir, &opts);
+        assert_eq!(summary.exit_code(), 3);
+        assert_eq!(summary.interrupted().len(), 2);
+        assert_eq!(
+            RESUME_RUNS.load(Ordering::SeqCst),
+            before,
+            "no experiment body may run once the stop flag is raised"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

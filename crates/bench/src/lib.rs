@@ -30,11 +30,25 @@
 //! - `CS_FAULT_PF_DROP` — fraction of prefetch issues dropped
 //! - `CS_FAULT_SEED` — seed of the perturbation stream (default 0xC10D)
 //!
+//! Crash-safety and auditing knobs:
+//!
+//! - `CS_CKPT_CYCLES` — checkpoint cadence in simulated cycles (default
+//!   2,000,000; the `all_figures --ckpt-cycles` flag outranks it; `0`
+//!   disables cadence snapshots but stop-triggered snapshots still happen)
+//! - `CS_INTERRUPT_AFTER` — deterministic kill switch for tests and CI:
+//!   every run saves a checkpoint and stops once its chip reaches this
+//!   cycle, exactly as if a signal had arrived. Unset it on the resume leg.
+//! - `CS_PARANOID` — enable the end-of-run conservation auditor: a result
+//!   violating a cycle-accounting or cache-accounting invariant is
+//!   withheld and the run fails with a typed audit error.
+//!
 //! The multi-experiment campaign engine behind `all_figures` — experiment
-//! isolation, transparent retries, and the resumable `manifest.json` —
-//! lives in [`campaign`].
+//! isolation, transparent retries, graceful shutdown, mid-run
+//! checkpointing, and the resumable `manifest.json` — lives in
+//! [`campaign`]; the dependency-free SIGINT/SIGTERM trap lives in
+//! [`signal`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `forbid` would reject the one vetted FFI call in `signal`.
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 #![warn(clippy::perf)]
@@ -46,6 +60,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 pub mod campaign;
+pub mod signal;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -100,22 +115,57 @@ impl std::error::Error for EmitError {
     }
 }
 
+/// A successfully emitted result file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Emitted {
+    /// Where the file landed.
+    pub path: PathBuf,
+    /// FNV-1a 64 content checksum (hex), recorded in the campaign manifest
+    /// so a resume pass can detect silently corrupted or hand-edited
+    /// results instead of trusting file existence.
+    pub checksum: String,
+}
+
+/// FNV-1a 64 checksum of `bytes`, rendered as 16 hex digits — the
+/// fingerprint stored per result file in `manifest.json`.
+pub fn content_checksum(bytes: &[u8]) -> String {
+    format!("{:016x}", cs_trace::snap::fnv1a64(bytes))
+}
+
 /// Prints the report and writes its JSON twin under `results/<name>.json`.
-pub fn emit(report: &Report, name: &str) -> Result<PathBuf, EmitError> {
+pub fn emit(report: &Report, name: &str) -> Result<Emitted, EmitError> {
     emit_to(Path::new("results"), report, name)
 }
 
 /// Prints the report and writes its JSON twin under `<dir>/<name>.json`,
-/// returning the written path.
-pub fn emit_to(dir: &Path, report: &Report, name: &str) -> Result<PathBuf, EmitError> {
+/// returning the written path and content checksum.
+///
+/// The write is atomic: the bytes go to a uniquely-named temp file in the
+/// same directory, are fsynced, and renamed over the destination — a crash
+/// (or a kill signal) at any point leaves either the complete old file or
+/// the complete new one, never a torn result that a resume pass would
+/// trust.
+pub fn emit_to(dir: &Path, report: &Report, name: &str) -> Result<Emitted, EmitError> {
+    use std::io::Write;
     println!("{report}");
     std::fs::create_dir_all(dir)
         .map_err(|source| EmitError { path: dir.to_path_buf(), source })?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, report.to_json())
-        .map_err(|source| EmitError { path: path.clone(), source })?;
+    let bytes = report.to_json().into_bytes();
+    let tmp = dir.join(format!(".{name}.json.tmp.{}", std::process::id()));
+    let write_atomic = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)
+    };
+    write_atomic().map_err(|source| {
+        let _ = std::fs::remove_file(&tmp);
+        EmitError { path: path.clone(), source }
+    })?;
     eprintln!("(wrote {})", path.display());
-    Ok(path)
+    Ok(Emitted { path, checksum: content_checksum(&bytes) })
 }
 
 /// Standard `main` body for a single-figure binary: builds the config

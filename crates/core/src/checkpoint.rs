@@ -1,0 +1,370 @@
+//! Crash-safe mid-run checkpointing.
+//!
+//! A long figure campaign is hours of simulation; a kill signal, OOM or
+//! power loss used to throw away every half-finished unit. This module
+//! provides the two pieces that make interruption cheap instead:
+//!
+//! - **A versioned, checksummed snapshot envelope** ([`save_envelope`] /
+//!   [`load_envelope`]) written atomically (unique temp file + `fsync` +
+//!   `rename`), so a crash mid-write can never leave a torn file that
+//!   parses. The payload is the harness phase machine plus the full
+//!   [`cs_uarch::Chip`] snapshot — everything the simulator needs to
+//!   continue a run *byte-identically*.
+//! - **A thread-local checkpoint control** ([`CheckpointCtl`], installed
+//!   with [`with_checkpointing`]) that the harness polls at deterministic
+//!   cycle boundaries: it carries the snapshot directory, the cadence, the
+//!   cooperative stop flag the signal handler sets, and (for tests and CI)
+//!   a deterministic interrupt-after-cycle trigger.
+//!
+//! # Soundness of byte-identical resume
+//!
+//! The simulator is a pure function of its configuration and seeds: trace
+//! sources have no feedback from simulation, and every component exposes
+//! `encode_snap`/`restore_snap` covering its complete mutable state. A
+//! checkpoint is only ever taken *between* [`cs_uarch::Chip::run_cycles`]
+//! strides whose lengths are independent of the checkpoint cadence
+//! ([`cs_uarch::Chip::step_watched`]), so the sequence of simulated work is
+//! literally the same whether a run is interrupted zero or many times.
+//! Anything that would break this property (a time-dependent decision, an
+//! unserialized piece of state) is a bug, and the round-trip and
+//! kill/resume tests exist to catch it.
+//!
+//! # Degraded reads
+//!
+//! [`load_envelope`] never fails the run: a missing, truncated, corrupt,
+//! version-skewed or config-mismatched checkpoint logs one line to stderr
+//! and returns `None`, and the harness starts the unit from scratch — a
+//! fresh run produces the same bytes an uninterrupted run would, so
+//! dropping a bad checkpoint is always safe.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cs_trace::snap::fnv1a64;
+
+/// File magic of a checkpoint envelope (the trailing `01` is the major
+/// format generation; the explicit version field below tracks revisions).
+pub const MAGIC: &[u8; 8] = b"CSCKPT01";
+/// Current envelope version. Bump on any layout change of the payload;
+/// readers reject other versions (and the harness then starts fresh).
+pub const VERSION: u32 = 1;
+
+/// Default checkpoint cadence in simulated cycles.
+pub const DEFAULT_CADENCE_CYCLES: u64 = 2_000_000;
+
+/// Monotonic suffix for temp files, so concurrent writers in one process
+/// never collide.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Shared control block for checkpointing, installed per unit of work via
+/// [`with_checkpointing`] and polled by the harness at deterministic cycle
+/// boundaries.
+#[derive(Debug, Clone)]
+pub struct CheckpointCtl {
+    /// Directory snapshot files live in (created on first save).
+    pub dir: PathBuf,
+    /// Take a snapshot roughly every this many simulated cycles (`0`
+    /// disables cadence snapshots; stop/interrupt snapshots still happen).
+    pub cadence_cycles: u64,
+    /// Cooperative stop flag (set by the SIGINT/SIGTERM handler). When
+    /// observed, the harness saves a snapshot and returns
+    /// [`crate::errors::HarnessError::Interrupted`].
+    pub stop: Arc<AtomicBool>,
+    /// Deterministic interruption for tests and CI: behave exactly like a
+    /// kill signal once the chip reaches this cycle.
+    pub interrupt_after: Option<u64>,
+    /// Namespace for unit keys (the experiment name), so identical
+    /// configurations in different experiments never share a checkpoint.
+    pub scope: String,
+    /// File names of every checkpoint this control read or wrote, for the
+    /// campaign layer to record in the manifest and clean up after the
+    /// experiment's results are durably emitted.
+    pub used: Arc<Mutex<Vec<String>>>,
+}
+
+impl CheckpointCtl {
+    /// A control block with the given directory and scope, default cadence,
+    /// a fresh stop flag and no deterministic interrupt.
+    pub fn new(dir: PathBuf, scope: impl Into<String>) -> Self {
+        Self {
+            dir,
+            cadence_cycles: DEFAULT_CADENCE_CYCLES,
+            stop: Arc::new(AtomicBool::new(false)),
+            interrupt_after: None,
+            scope: scope.into(),
+            used: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Records that `file` (a bare file name inside [`CheckpointCtl::dir`])
+    /// belongs to the current unit of work.
+    pub fn note_used(&self, file: &str) {
+        if let Ok(mut v) = self.used.lock() {
+            if !v.iter().any(|f| f == file) {
+                v.push(file.to_owned());
+            }
+        }
+    }
+
+    /// Sorted snapshot of the file names recorded via
+    /// [`CheckpointCtl::note_used`].
+    pub fn used_files(&self) -> Vec<String> {
+        let mut v = self.used.lock().map(|v| v.clone()).unwrap_or_default();
+        v.sort();
+        v
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CheckpointCtl>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `ctl` installed as the thread's checkpoint control; the
+/// previous control (usually none) is restored afterwards, even on unwind.
+pub fn with_checkpointing<R>(ctl: CheckpointCtl, f: impl FnOnce() -> R) -> R {
+    struct Guard(Option<CheckpointCtl>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctl));
+    let _guard = Guard(prev);
+    f()
+}
+
+/// The checkpoint control installed on this thread, if any.
+pub fn current() -> Option<CheckpointCtl> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Stable fingerprint of one unit of work: the scope (experiment name),
+/// the benchmark, and every [`crate::harness::RunConfig`] field that
+/// affects simulated bytes. Deliberately **excluded**: `jobs` and
+/// `cycle_skip`, which never change results (so a checkpoint taken at
+/// `--jobs 4` resumes under `--jobs 1`, and with skip toggled).
+/// Deliberately **included**: `max_cycles` and `watchdog_grace` — the
+/// campaign's widened-budget retry must not resume the failed attempt's
+/// checkpoint, whose window cursor has the old budget baked in.
+pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u64 {
+    let canon = format!(
+        "{scope}|{bench}|{:?}|{:?}",
+        (
+            cfg.workers,
+            cfg.smt,
+            cfg.split_sockets,
+            cfg.polluter_bytes,
+            cfg.llc_bytes,
+            cfg.prefetch,
+            cfg.core,
+            cfg.l1i_bytes,
+            cfg.l2_bytes,
+        ),
+        (
+            cfg.dram_channels,
+            cfg.interconnect_latency,
+            cfg.warmup_instr,
+            cfg.measure_instr,
+            cfg.max_cycles,
+            cfg.seed,
+            cfg.watchdog_grace,
+            cfg.fault,
+        )
+    );
+    fnv1a64(canon.as_bytes())
+}
+
+/// File name of the checkpoint for `key` (inside [`CheckpointCtl::dir`]).
+pub fn unit_file(key: u64) -> String {
+    format!("{key:016x}.ckpt")
+}
+
+/// Writes `payload` to `path` atomically: a uniquely-named temp file in the
+/// same directory is written, checksummed, `fsync`ed and renamed over the
+/// destination. A crash at any point leaves either the old file or the new
+/// one — never a torn hybrid (a torn temp file is ignored by readers and
+/// harmless).
+pub fn save_envelope(path: &Path, config_hash: u64, payload: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut buf = Vec::with_capacity(payload.len() + 36);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&config_hash.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Reads and validates the envelope at `path`, returning the payload.
+///
+/// Returns `None` — and the caller starts the unit from scratch — when the
+/// file is missing, unreadable, truncated, has the wrong magic, an unknown
+/// version, a checksum mismatch, or was written for a different
+/// configuration (`config_hash`). Every reason except "missing" is logged
+/// to stderr, because it usually means a crashed writer or a stale format
+/// worth knowing about.
+pub fn load_envelope(path: &Path, config_hash: u64) -> Option<Vec<u8>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("checkpoint: ignoring unreadable {}: {e}", path.display());
+            return None;
+        }
+    };
+    let reject = |why: &str| {
+        eprintln!("checkpoint: ignoring {}: {why}", path.display());
+        None
+    };
+    if bytes.len() < 36 {
+        return reject("truncated header");
+    }
+    if &bytes[0..8] != MAGIC {
+        return reject("bad magic");
+    }
+    let rd_u32 = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+    let rd_u64 = |o: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[o..o + 8]);
+        u64::from_le_bytes(b)
+    };
+    if rd_u32(8) != VERSION {
+        return reject("unsupported version");
+    }
+    if rd_u64(12) != config_hash {
+        return reject("written for a different configuration");
+    }
+    let len = rd_u64(20);
+    let checksum = rd_u64(28);
+    let payload = &bytes[36..];
+    if payload.len() as u64 != len {
+        return reject("payload length mismatch");
+    }
+    if fnv1a64(payload) != checksum {
+        return reject("checksum mismatch");
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cs-ckpt-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let d = tdir("roundtrip");
+        let p = d.join("a.ckpt");
+        save_envelope(&p, 7, b"hello snapshot").expect("save");
+        assert_eq!(load_envelope(&p, 7).as_deref(), Some(&b"hello snapshot"[..]));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn envelope_rejects_corruption_and_skew() {
+        let d = tdir("reject");
+        let p = d.join("a.ckpt");
+        save_envelope(&p, 7, b"payload bytes").expect("save");
+        // Wrong config hash.
+        assert_eq!(load_envelope(&p, 8), None);
+        // Flip a payload byte: checksum mismatch.
+        let mut bytes = std::fs::read(&p).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&p, &bytes).expect("write");
+        assert_eq!(load_envelope(&p, 7), None);
+        // Truncation.
+        std::fs::write(&p, &bytes[..10]).expect("write");
+        assert_eq!(load_envelope(&p, 7), None);
+        // Missing file: silent None.
+        assert_eq!(load_envelope(&d.join("absent.ckpt"), 7), None);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn envelope_rejects_other_versions() {
+        let d = tdir("version");
+        let p = d.join("a.ckpt");
+        save_envelope(&p, 1, b"x").expect("save");
+        let mut bytes = std::fs::read(&p).expect("read");
+        bytes[8] = bytes[8].wrapping_add(1);
+        std::fs::write(&p, &bytes).expect("write");
+        assert_eq!(load_envelope(&p, 1), None);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp_files() {
+        let d = tdir("atomic");
+        let p = d.join("a.ckpt");
+        save_envelope(&p, 1, b"first").expect("save");
+        save_envelope(&p, 1, b"second, longer payload").expect("save");
+        assert_eq!(load_envelope(&p, 1).as_deref(), Some(&b"second, longer payload"[..]));
+        let leftovers: Vec<_> = std::fs::read_dir(&d)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn unit_key_ignores_jobs_and_skip_but_not_budgets() {
+        let base = crate::harness::RunConfig::quick();
+        let bench = "web_search";
+        let k = unit_key("fig1", bench, &base);
+        let mut jobs = base.clone();
+        jobs.jobs = 8;
+        jobs.cycle_skip = false;
+        assert_eq!(unit_key("fig1", bench, &jobs), k, "jobs/skip must not change the key");
+        let mut widened = base.clone();
+        widened.max_cycles *= 4;
+        assert_ne!(unit_key("fig1", bench, &widened), k, "budget changes must change the key");
+        assert_ne!(unit_key("fig2", bench, &base), k, "scope must namespace the key");
+        assert_ne!(unit_key("fig1", "mcf", &base), k, "bench must namespace the key");
+    }
+
+    #[test]
+    fn thread_local_ctl_is_scoped_and_restored() {
+        assert!(current().is_none());
+        let ctl = CheckpointCtl::new(PathBuf::from("/nonexistent"), "scope");
+        with_checkpointing(ctl, || {
+            let c = current().expect("installed");
+            assert_eq!(c.scope, "scope");
+            c.note_used("b.ckpt");
+            c.note_used("a.ckpt");
+            c.note_used("b.ckpt");
+            assert_eq!(c.used_files(), vec!["a.ckpt".to_owned(), "b.ckpt".to_owned()]);
+        });
+        assert!(current().is_none(), "control must be uninstalled on exit");
+    }
+}

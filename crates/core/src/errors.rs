@@ -107,7 +107,78 @@ pub enum HarnessError {
         /// The instruction target the window was supposed to reach.
         target: u64,
     },
+    /// The run was deliberately cut short by a stop request (SIGINT/SIGTERM
+    /// or a deterministic test trigger) **after** a checkpoint was saved.
+    /// This is not a failure: re-running the same unit under the same
+    /// checkpoint directory resumes from the snapshot and produces results
+    /// byte-identical to an uninterrupted run.
+    Interrupted,
+    /// The `CS_PARANOID` end-of-run auditor found an accounting invariant
+    /// violated; the result cannot be trusted and is withheld.
+    Audit(AuditError),
 }
+
+/// A violated accounting invariant, detected by the optional end-of-run
+/// auditor (enabled by setting the `CS_PARANOID` environment variable).
+///
+/// These are conservation laws the simulator maintains by construction;
+/// a violation means a counter-update bug (or a checkpoint/restore gap),
+/// never a property of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// A measured core's cycle breakdown does not partition its window:
+    /// commit-bucket cycles plus stall-bucket cycles must equal the cycles
+    /// the core was measured for.
+    CycleBreakdown {
+        /// The offending global core id.
+        core: usize,
+        /// Sum of the commit and stall buckets.
+        classified: u64,
+        /// Cycles the core's stats window actually spans.
+        cycles: u64,
+    },
+    /// `cycles_skipped` exceeds `cycles_total`: the event-driven skipper
+    /// claims to have fast-forwarded more cycles than elapsed.
+    SkipExceedsTotal {
+        /// Cycles the skipper claims to have jumped over.
+        skipped: u64,
+        /// Total cycles the chip advanced.
+        total: u64,
+    },
+    /// A cache level reports more hits than accesses for one access class.
+    HitsExceedAccesses {
+        /// The offending global core id.
+        core: usize,
+        /// Which level/class (e.g. `"l1d"`).
+        level: &'static str,
+        /// Hits reported for the class.
+        hits: u64,
+        /// Accesses reported for the class.
+        accesses: u64,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::CycleBreakdown { core, classified, cycles } => write!(
+                f,
+                "core {core}: commit+stall buckets classify {classified} cycles but the \
+                 window spans {cycles}"
+            ),
+            AuditError::SkipExceedsTotal { skipped, total } => write!(
+                f,
+                "cycle skipper claims {skipped} skipped cycles out of only {total} total"
+            ),
+            AuditError::HitsExceedAccesses { core, level, hits, accesses } => write!(
+                f,
+                "core {core} {level}: {hits} hits exceed {accesses} accesses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
 
 impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -127,6 +198,10 @@ impl fmt::Display for HarnessError {
                      instructions"
                 )
             }
+            HarnessError::Interrupted => {
+                write!(f, "run interrupted after saving a checkpoint; re-run to resume")
+            }
+            HarnessError::Audit(e) => write!(f, "paranoid audit failed: {e}"),
         }
     }
 }
@@ -135,8 +210,15 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Config(e) => Some(e),
+            HarnessError::Audit(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<AuditError> for HarnessError {
+    fn from(e: AuditError) -> Self {
+        HarnessError::Audit(e)
     }
 }
 
@@ -161,6 +243,13 @@ mod tests {
         let t = HarnessError::Truncated { committed: 5, target: 10 };
         assert!(t.to_string().contains("5"));
         assert!(t.to_string().contains("10"));
+        let i = HarnessError::Interrupted;
+        assert!(i.to_string().contains("checkpoint"));
+        let a = HarnessError::Audit(AuditError::SkipExceedsTotal { skipped: 9, total: 4 });
+        assert!(a.to_string().contains("9"));
+        assert!(a.to_string().contains("4"));
+        use std::error::Error;
+        assert!(a.source().is_some(), "audit errors carry a typed source");
     }
 
     #[test]

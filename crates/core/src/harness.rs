@@ -39,13 +39,14 @@
 //! [`RunConfig::fault`]: a seeded [`FaultPlan`] perturbs DRAM latency or
 //! drops prefetch issues at configurable rates, reproducibly.
 
-use crate::errors::{ConfigError, HarnessError};
+use crate::errors::{AuditError, ConfigError, HarnessError};
 use crate::machine::MachineConfig;
 use crate::registry::Benchmark;
 use cs_memsys::stats::CoreMemStats;
 use cs_memsys::{AccessClass, FaultPlan, PrefetchConfig};
+use cs_trace::snap::{Dec, Enc, SnapError};
 use cs_trace::WorkloadProfile;
-use cs_uarch::{CoreConfig, CoreStats};
+use cs_uarch::{CoreConfig, CoreStats, WatchedWindow, WindowOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Number of cores of the modeled machine (Table 1: two sockets of six).
@@ -432,6 +433,138 @@ impl RunResult {
     }
 }
 
+/// Cycles the polluter threads run alone before any workload thread is
+/// attached (§3.1: the polluter processes start with the system, so their
+/// arrays are LLC-resident before the workload arrives).
+const PREWARM_CYCLES: u64 = 800_000;
+
+/// Cycle-budget granularity at which a checkpointed run returns control to
+/// the harness between simulation slices. This value never affects results:
+/// [`cs_uarch::Chip::step_watched`] sizes its internal strides independently
+/// of the budget, and [`cs_uarch::Chip::run_cycles`] distributes over any
+/// partition of a span — the constant only bounds how stale a snapshot or a
+/// stop response can be.
+const CKPT_SLICE: u64 = 65_536;
+
+/// Resumable execution position of [`run`]'s §3.1 pipeline.
+///
+/// A checkpoint is this phase marker plus the full chip snapshot; restoring
+/// re-enters the phase loop exactly where the interrupted process left it.
+/// The phase records which threads exist (workers are only attached when
+/// leaving `PreWarm`), so the restore path can rebuild the chip's thread
+/// population before handing the snapshot to `Chip::restore_snap`.
+enum Phase {
+    /// Polluters (if any) are warming the LLC alone; workers do not exist
+    /// yet. `cycles_done` counts pre-warm cycles already simulated.
+    PreWarm {
+        /// Pre-warm cycles already simulated.
+        cycles_done: u64,
+    },
+    /// The warmup window is in flight.
+    Warmup {
+        /// Cursor of the in-flight warmup window.
+        window: WatchedWindow,
+    },
+    /// The measurement window is in flight; the warmup outcome and the
+    /// request-meter baseline are carried so the final result can be
+    /// assembled without re-running warmup.
+    Measure {
+        /// Cursor of the in-flight measurement window.
+        window: WatchedWindow,
+        /// Outcome of the completed warmup window.
+        warmup: WindowOutcome,
+        /// Request-meter total at statistics reset, the throughput baseline.
+        requests_at_warmup: u64,
+    },
+}
+
+impl Phase {
+    fn encode_snap(&self, e: &mut Enc) {
+        match self {
+            Phase::PreWarm { cycles_done } => {
+                e.u8(0);
+                e.u64(*cycles_done);
+            }
+            Phase::Warmup { window } => {
+                e.u8(1);
+                window.encode_snap(e);
+            }
+            Phase::Measure { window, warmup, requests_at_warmup } => {
+                e.u8(2);
+                window.encode_snap(e);
+                e.u64(warmup.cycles);
+                e.u64(warmup.committed);
+                e.bool(warmup.reached_target);
+                e.u64(*requests_at_warmup);
+            }
+        }
+    }
+
+    fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
+        match d.u8()? {
+            0 => Ok(Phase::PreWarm { cycles_done: d.u64()? }),
+            1 => Ok(Phase::Warmup { window: WatchedWindow::decode_snap(d)? }),
+            2 => {
+                let window = WatchedWindow::decode_snap(d)?;
+                let warmup = WindowOutcome {
+                    cycles: d.u64()?,
+                    committed: d.u64()?,
+                    reached_target: d.bool()?,
+                };
+                let requests_at_warmup = d.u64()?;
+                Ok(Phase::Measure { window, warmup, requests_at_warmup })
+            }
+            t => Err(SnapError::BadTag(t)),
+        }
+    }
+}
+
+/// Whether the optional end-of-run conservation auditor is enabled:
+/// `CS_PARANOID` set to anything but empty or `0`.
+fn paranoid_enabled() -> bool {
+    std::env::var("CS_PARANOID").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Conservation checks over a finished result: the cycle breakdown must
+/// partition each measured core's window exactly, the cycle skipper cannot
+/// have jumped more cycles than elapsed, and no cache level may report more
+/// hits than accesses. These hold by construction; a violation means a
+/// counter bug or a checkpoint/restore gap, and the result is withheld.
+pub fn audit(r: &RunResult) -> Result<(), AuditError> {
+    if r.cycles_skipped > r.cycles_total {
+        return Err(AuditError::SkipExceedsTotal {
+            skipped: r.cycles_skipped,
+            total: r.cycles_total,
+        });
+    }
+    for (i, c) in r.cores.iter().enumerate() {
+        let classified = c.committing_cycles[0]
+            + c.committing_cycles[1]
+            + c.stalled_cycles[0]
+            + c.stalled_cycles[1];
+        if classified != r.cycles {
+            return Err(AuditError::CycleBreakdown { core: i, classified, cycles: r.cycles });
+        }
+    }
+    for (i, m) in r.mem.iter().enumerate() {
+        let levels =
+            [("l1i", &m.l1i), ("l1d", &m.l1d), ("l2", &m.l2), ("llc", &m.llc)];
+        for (level, stats) in levels {
+            for k in 0..stats.hits.len() {
+                if stats.hits[k] > stats.accesses[k] {
+                    return Err(AuditError::HitsExceedAccesses {
+                        core: i,
+                        level,
+                        hits: stats.hits[k],
+                        accesses: stats.accesses[k],
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs `bench` under `cfg` and returns the measured result.
 ///
 /// The configuration is validated first ([`RunConfig::validate`]); a run
@@ -439,6 +572,18 @@ impl RunResult {
 /// ([`HarnessError::Stalled`]). A window truncated by the cycle cap is
 /// reported in [`RunResult::status`], never silently — use [`run_strict`]
 /// if truncation should be an error.
+///
+/// # Checkpointing
+///
+/// When a [`crate::checkpoint::CheckpointCtl`] is installed on the calling
+/// thread (via [`crate::checkpoint::with_checkpointing`]), the run becomes
+/// resumable: a snapshot of the complete simulation state is written
+/// atomically every [`crate::checkpoint::CheckpointCtl::cadence_cycles`]
+/// simulated cycles, and on a stop request the run saves a final snapshot
+/// and returns [`HarnessError::Interrupted`]. A later call with the same
+/// benchmark and configuration (under the same checkpoint directory)
+/// restores the snapshot and continues; results are byte-identical to an
+/// uninterrupted run. Without an installed control, nothing here changes.
 pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError> {
     cfg.validate()?;
     let mut machine = MachineConfig::x5670(MACHINE_CORES);
@@ -478,65 +623,209 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
     let mut chip = machine.build();
     chip.set_cycle_skip(cfg.cycle_skip);
 
-    // Attach polluters first (§3.1): each walks half the stolen capacity.
-    // They run alone for a while so their arrays are LLC-resident before
-    // the workload arrives — as on the paper's testbed, where the polluter
-    // processes are started with the system.
-    if let Some(bytes) = cfg.polluter_bytes {
-        let per = (bytes / polluter_cores.len() as u64).max(64 * 1024);
-        for (i, &core) in polluter_cores.iter().enumerate() {
-            let profile = WorkloadProfile::polluter(per);
-            chip.attach(core, Box::new(profile.build_source(100 + i, cfg.seed)));
-            if cfg.smt {
+    // Checkpoint bookkeeping. Without an installed control every branch
+    // below is inert and the run proceeds exactly as before.
+    let ckpt = crate::checkpoint::current();
+    let key = ckpt
+        .as_ref()
+        .map(|c| crate::checkpoint::unit_key(&c.scope, bench.name(), cfg))
+        .unwrap_or(0);
+    let ckpt_path = ckpt.as_ref().map(|c| {
+        let file = crate::checkpoint::unit_file(key);
+        c.note_used(&file);
+        c.dir.join(file)
+    });
+
+    // Polluters walk half the stolen capacity each (§3.1); they exist from
+    // cycle zero, before any workload thread.
+    let attach_polluters = |chip: &mut cs_uarch::Chip| {
+        if let Some(bytes) = cfg.polluter_bytes {
+            let per = (bytes / polluter_cores.len() as u64).max(64 * 1024);
+            for (i, &core) in polluter_cores.iter().enumerate() {
                 let profile = WorkloadProfile::polluter(per);
-                chip.attach(core, Box::new(profile.build_source(110 + i, cfg.seed)));
+                chip.attach(core, Box::new(profile.build_source(100 + i, cfg.seed)));
+                if cfg.smt {
+                    let profile = WorkloadProfile::polluter(per);
+                    chip.attach(core, Box::new(profile.build_source(110 + i, cfg.seed)));
+                }
             }
         }
-        chip.run_cycles(800_000);
-    }
-
-    // Attach workload threads: one per hardware context, with request
-    // meters where the workload provides them.
+    };
+    // Workload threads: one per hardware context, with request meters where
+    // the workload provides them. Attached only when pre-warm ends, so the
+    // attach order (polluters, then workers) is identical on the fresh and
+    // the restore path.
     let threads_per_core = if cfg.smt { 2 } else { 1 };
+    let attach_workers = |chip: &mut cs_uarch::Chip| {
+        let mut meters = Vec::new();
+        for (i, &core) in worker_cores.iter().enumerate() {
+            for t in 0..threads_per_core {
+                let thread_id = i * threads_per_core + t;
+                let (source, meter) = bench.build_source_metered(thread_id, cfg.seed);
+                chip.attach(core, source);
+                meters.extend(meter);
+            }
+        }
+        meters
+    };
+
+    // Restore a prior snapshot if one exists for this exact unit. Any
+    // defect — missing, corrupt, version skew, topology mismatch — degrades
+    // to a fresh run, which produces the same bytes anyway.
     let mut meters = Vec::new();
-    for (i, &core) in worker_cores.iter().enumerate() {
-        for t in 0..threads_per_core {
-            let thread_id = i * threads_per_core + t;
-            let (source, meter) = bench.build_source_metered(thread_id, cfg.seed);
-            chip.attach(core, source);
-            meters.extend(meter);
+    let mut resumed = None;
+    if let Some(path) = ckpt_path.as_deref() {
+        if let Some(payload) = crate::checkpoint::load_envelope(path, key) {
+            let mut attempt = || -> Result<Phase, SnapError> {
+                let mut d = Dec::new(&payload);
+                let phase = Phase::decode_snap(&mut d)?;
+                attach_polluters(&mut chip);
+                if !matches!(phase, Phase::PreWarm { .. }) {
+                    meters = attach_workers(&mut chip);
+                }
+                chip.restore_snap(&mut d)?;
+                d.finish()?;
+                Ok(phase)
+            };
+            match attempt() {
+                Ok(phase) => resumed = Some(phase),
+                Err(e) => {
+                    eprintln!(
+                        "checkpoint: discarding {} ({e:?}); starting fresh",
+                        path.display()
+                    );
+                    chip = machine.build();
+                    chip.set_cycle_skip(cfg.cycle_skip);
+                    meters.clear();
+                }
+            }
         }
     }
+    let mut phase = match resumed {
+        Some(p) => p,
+        None => {
+            attach_polluters(&mut chip);
+            Phase::PreWarm { cycles_done: 0 }
+        }
+    };
 
-    // Warmup to steady state, then measure (§3.1). Both windows run under
-    // the forward-progress watchdog.
-    let warmup = chip
-        .run_until_committed_watched(
-            &worker_cores,
-            cfg.warmup_instr,
-            cfg.max_cycles,
-            cfg.watchdog_grace,
-        )
-        .map_err(|d| HarnessError::Stalled {
-            core: d.core,
-            cycles_without_commit: d.cycles_without_commit,
-            window: "warmup",
-        })?;
-    chip.reset_stats();
-    let requests_at_warmup: u64 =
-        meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum();
-    let measure = chip
-        .run_until_committed_watched(
-            &worker_cores,
-            cfg.measure_instr,
-            cfg.max_cycles,
-            cfg.watchdog_grace,
-        )
-        .map_err(|d| HarnessError::Stalled {
-            core: d.core,
-            cycles_without_commit: d.cycles_without_commit,
-            window: "measure",
-        })?;
+    let prewarm_target = if cfg.polluter_bytes.is_some() { PREWARM_CYCLES } else { 0 };
+    // Slice budgets only bound snapshot staleness; they never change what
+    // is simulated (run_cycles distributes over any partition of a span,
+    // and step_watched strides independently of its budget).
+    let step_budget = if ckpt.is_some() { CKPT_SLICE } else { u64::MAX };
+    let mut last_ckpt = chip.cycle();
+
+    let save_snapshot = |chip: &cs_uarch::Chip, phase: &Phase, path: &std::path::Path| {
+        let mut e = Enc::new();
+        phase.encode_snap(&mut e);
+        chip.encode_snap(&mut e);
+        // Best-effort: a failed save costs re-simulation on resume, never
+        // correctness — a fresh run produces the same bytes.
+        if let Err(err) = crate::checkpoint::save_envelope(path, key, &e.buf) {
+            eprintln!("checkpoint: failed to save {}: {err}", path.display());
+        }
+    };
+    // Called between simulation slices: honours stop requests (signal flag
+    // or the deterministic test trigger) by saving and bailing out, and
+    // takes a cadence snapshot when one is due.
+    let boundary =
+        |chip: &cs_uarch::Chip, phase: &Phase, last_ckpt: &mut u64| -> Result<(), HarnessError> {
+            let (Some(ctl), Some(path)) = (ckpt.as_ref(), ckpt_path.as_deref()) else {
+                return Ok(());
+            };
+            let now = chip.cycle();
+            let stop_requested = ctl.stop.load(std::sync::atomic::Ordering::SeqCst)
+                || ctl.interrupt_after.is_some_and(|k| now >= k);
+            if stop_requested {
+                save_snapshot(chip, phase, path);
+                return Err(HarnessError::Interrupted);
+            }
+            if ctl.cadence_cycles > 0 && now >= last_ckpt.saturating_add(ctl.cadence_cycles) {
+                save_snapshot(chip, phase, path);
+                *last_ckpt = now;
+            }
+            Ok(())
+        };
+
+    // The phase loop: §3.1 pre-warm, warmup to steady state, statistics
+    // reset, measurement — with a checkpoint opportunity between slices.
+    let (measure, warmup, requests_at_warmup) = loop {
+        phase = match phase {
+            Phase::PreWarm { cycles_done } => {
+                if cycles_done >= prewarm_target {
+                    meters = attach_workers(&mut chip);
+                    Phase::Warmup {
+                        window: chip.begin_watched(
+                            &worker_cores,
+                            cfg.warmup_instr,
+                            cfg.max_cycles,
+                            cfg.watchdog_grace,
+                        ),
+                    }
+                } else {
+                    let step = step_budget.min(prewarm_target - cycles_done);
+                    chip.run_cycles(step);
+                    let p = Phase::PreWarm { cycles_done: cycles_done + step };
+                    boundary(&chip, &p, &mut last_ckpt)?;
+                    p
+                }
+            }
+            Phase::Warmup { mut window } => {
+                let stepped =
+                    chip.step_watched(&mut window, step_budget).map_err(|d| {
+                        HarnessError::Stalled {
+                            core: d.core,
+                            cycles_without_commit: d.cycles_without_commit,
+                            window: "warmup",
+                        }
+                    })?;
+                match stepped {
+                    Some(out) => {
+                        chip.reset_stats();
+                        let requests_at_warmup: u64 = meters
+                            .iter()
+                            .map(|m| m.load(std::sync::atomic::Ordering::Relaxed))
+                            .sum();
+                        Phase::Measure {
+                            window: chip.begin_watched(
+                                &worker_cores,
+                                cfg.measure_instr,
+                                cfg.max_cycles,
+                                cfg.watchdog_grace,
+                            ),
+                            warmup: out,
+                            requests_at_warmup,
+                        }
+                    }
+                    None => {
+                        let p = Phase::Warmup { window };
+                        boundary(&chip, &p, &mut last_ckpt)?;
+                        p
+                    }
+                }
+            }
+            Phase::Measure { mut window, warmup, requests_at_warmup } => {
+                let stepped =
+                    chip.step_watched(&mut window, step_budget).map_err(|d| {
+                        HarnessError::Stalled {
+                            core: d.core,
+                            cycles_without_commit: d.cycles_without_commit,
+                            window: "measure",
+                        }
+                    })?;
+                match stepped {
+                    Some(out) => break (out, warmup, requests_at_warmup),
+                    None => {
+                        let p = Phase::Measure { window, warmup, requests_at_warmup };
+                        boundary(&chip, &p, &mut last_ckpt)?;
+                        p
+                    }
+                }
+            }
+        };
+    };
+
     let cycles = measure.cycles;
     let requests = if meters.is_empty() {
         None
@@ -557,7 +846,7 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
     };
 
     let mem_stats = chip.mem().stats();
-    Ok(RunResult {
+    let result = RunResult {
         name: bench.name().to_owned(),
         cycles,
         cores: worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect(),
@@ -570,7 +859,11 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
         status,
         cycles_total: chip.cycle(),
         cycles_skipped: chip.skipped_cycles(),
-    })
+    };
+    if paranoid_enabled() {
+        audit(&result)?;
+    }
+    Ok(result)
 }
 
 /// Like [`run`], but treats a truncated window as a hard failure: a result
@@ -730,6 +1023,79 @@ mod tests {
         assert!(!r.status.is_complete());
         let strict = run_strict(&bench, &cfg).expect_err("run_strict must reject truncation");
         assert!(matches!(strict, HarnessError::Truncated { .. }));
+    }
+
+    #[test]
+    fn audit_passes_on_a_real_run_and_catches_corruption() {
+        let bench = Benchmark::mcf();
+        let r = run(&bench, &tiny()).expect("valid config must run");
+        audit(&r).expect("a real run must satisfy every conservation law");
+        let mut bad = r.clone();
+        bad.cycles_skipped = bad.cycles_total + 1;
+        assert!(matches!(audit(&bad), Err(AuditError::SkipExceedsTotal { .. })));
+        let mut bad = r.clone();
+        bad.cores[0].committing_cycles[0] += 1;
+        assert!(matches!(audit(&bad), Err(AuditError::CycleBreakdown { core: 0, .. })));
+        let mut bad = r;
+        bad.mem[0].l1d.hits[0] = bad.mem[0].l1d.accesses[0] + 1;
+        assert!(matches!(audit(&bad), Err(AuditError::HitsExceedAccesses { .. })));
+    }
+
+    #[test]
+    fn repeated_interrupt_and_resume_is_byte_identical() {
+        use crate::checkpoint::{with_checkpointing, CheckpointCtl};
+        let bench = Benchmark::mcf();
+        // Polluters included so the PreWarm phase (workers not yet
+        // attached) is exercised by the first interrupt.
+        let cfg = RunConfig { polluter_bytes: Some(2 << 20), ..tiny() };
+        let baseline = run(&bench, &cfg).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Kill the run at increasing cycle counts, resuming each time from
+        // the snapshot the previous interrupt saved.
+        let mut interrupts = 0;
+        let mut k = 200_000u64;
+        let result = loop {
+            let mut ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+            ctl.cadence_cycles = 150_000;
+            ctl.interrupt_after = Some(k);
+            match with_checkpointing(ctl, || run(&bench, &cfg)) {
+                Err(HarnessError::Interrupted) => {
+                    interrupts += 1;
+                    k += 700_000;
+                }
+                Ok(r) => break r,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+            assert!(interrupts < 64, "run never completed");
+        };
+        assert!(interrupts >= 2, "test must interrupt at least twice, got {interrupts}");
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{result:?}"),
+            "an interrupted-and-resumed run must reproduce the baseline exactly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_a_fresh_byte_identical_run() {
+        use crate::checkpoint::{unit_file, unit_key, with_checkpointing, CheckpointCtl};
+        let bench = Benchmark::mcf();
+        let cfg = tiny();
+        let baseline = run(&bench, &cfg).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-ckpt-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // Plant garbage where the checkpoint would live.
+        let key = unit_key("unit-test", bench.name(), &cfg);
+        std::fs::write(dir.join(unit_file(key)), b"not a checkpoint").expect("write");
+        let ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+        let r = with_checkpointing(ctl, || run(&bench, &cfg)).expect("must degrade to fresh");
+        assert_eq!(format!("{baseline:?}"), format!("{r:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   ([`errors::HarnessError`]), and registry capability errors;
 //! - [`par`] — the deterministic worker pool ([`par::par_map`]) that the
 //!   sweep experiments and the campaign layer fan independent, seeded
-//!   runs over ([`harness::RunConfig::jobs`] sets the width).
+//!   runs over ([`harness::RunConfig::jobs`] sets the width);
+//! - [`checkpoint`] — crash-safe mid-run snapshots: a versioned,
+//!   checksummed envelope written atomically on a cycle cadence and on
+//!   stop requests, so a killed campaign resumes from its last snapshot
+//!   with byte-identical results.
 //!
 //! # Quickstart
 //!
@@ -41,6 +45,7 @@
 #![warn(clippy::unwrap_used)]
 #![warn(clippy::perf)]
 
+pub mod checkpoint;
 pub mod errors;
 pub mod experiments;
 pub mod harness;
@@ -48,7 +53,7 @@ pub mod machine;
 pub mod par;
 pub mod registry;
 
-pub use errors::{ConfigError, HarnessError};
+pub use errors::{AuditError, ConfigError, HarnessError};
 pub use harness::{run, run_strict, RunConfig, RunResult, RunStatus};
 pub use machine::MachineConfig;
 pub use registry::{Benchmark, Category, RegistryError};

@@ -42,6 +42,13 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    // The checkpoint control is thread-local; spawned workers would
+    // otherwise silently run without it and never snapshot. Capture the
+    // caller's control once and re-install it inside every worker (the
+    // control is all shared handles, so workers cooperate on the same stop
+    // flag and used-file ledger).
+    let ckpt = crate::checkpoint::current();
+
     // One result slot per item; workers claim indices from a shared
     // counter, so the assignment of items to threads is dynamic but the
     // collection below is strictly by index.
@@ -49,14 +56,20 @@ where
         items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
-    let worker = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        let Some(item) = items.get(i) else { break };
-        let result = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
-        // Storing a value cannot panic, so the lock is held only for the
-        // move; a poisoned slot can only mean another worker crashed hard,
-        // in which case its payload is what gets re-raised anyway.
-        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    let worker = || {
+        let body = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(i) else { break };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+            // Storing a value cannot panic, so the lock is held only for the
+            // move; a poisoned slot can only mean another worker crashed hard,
+            // in which case its payload is what gets re-raised anyway.
+            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        };
+        match ckpt.clone() {
+            Some(ctl) => crate::checkpoint::with_checkpointing(ctl, body),
+            None => body(),
+        }
     };
 
     std::thread::scope(|s| {
@@ -146,6 +159,23 @@ mod tests {
         assert_eq!(msg, "unit three", "lowest index wins");
         // Every non-panicking unit still ran to completion.
         assert_eq!(completed.load(Ordering::SeqCst), 14);
+    }
+
+    #[test]
+    fn checkpoint_ctl_reaches_every_worker_thread() {
+        use crate::checkpoint::{current, with_checkpointing, CheckpointCtl};
+        let ctl = CheckpointCtl::new(std::path::PathBuf::from("/nonexistent"), "par-test");
+        let items: Vec<u32> = (0..32).collect();
+        let seen = with_checkpointing(ctl, || {
+            let seen = par_map(4, &items, |_, _| current().map(|c| c.scope.clone()));
+            assert!(current().is_some(), "caller's own control is untouched");
+            seen
+        });
+        assert!(
+            seen.iter().all(|s| s.as_deref() == Some("par-test")),
+            "every unit must observe the caller's checkpoint control"
+        );
+        assert!(current().is_none(), "control is uninstalled after the scope ends");
     }
 
     #[test]

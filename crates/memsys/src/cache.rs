@@ -234,6 +234,66 @@ impl Cache {
     pub fn valid_lines(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Serializes the cache contents (LRU clock plus every valid way) into
+    /// `e`. Geometry (`sets`/`assoc`) is *not* serialized — it is derived
+    /// from configuration at restore time, so a snapshot can only be
+    /// restored into an identically-shaped cache.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.u64(self.tick);
+        e.len(self.valid_lines());
+        for (i, w) in self.ways.iter().enumerate() {
+            if !w.valid {
+                continue;
+            }
+            // Plain u64, not `len`: a way *index* in a large cache can
+            // legitimately exceed the snapshot's byte length, which the
+            // `len` corruption guard would reject.
+            e.u64(i as u64);
+            e.u64(w.tag);
+            e.u64(w.stamp);
+            e.bool(w.meta.dirty);
+            e.bool(w.meta.writable);
+            e.bool(w.meta.prefetched);
+            e.u16(w.meta.sharers);
+            e.opt_u8(w.meta.fresh_writer);
+        }
+    }
+
+    /// Restores contents written by [`Cache::encode_snap`] into this
+    /// cache, which must have the same geometry. All ways are invalidated
+    /// first, so a partially-filled snapshot leaves the rest empty.
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        self.tick = d.u64()?;
+        for w in &mut self.ways {
+            *w = INVALID;
+        }
+        let n = d.len()?;
+        for _ in 0..n {
+            let i = usize::try_from(d.u64()?).map_err(|_| SnapError::Truncated)?;
+            if i >= self.ways.len() {
+                return Err(SnapError::Mismatch(format!(
+                    "way index {i} out of range for a {}-line cache",
+                    self.ways.len()
+                )));
+            }
+            let tag = d.u64()?;
+            let stamp = d.u64()?;
+            let meta = LineMeta {
+                dirty: d.bool()?,
+                writable: d.bool()?,
+                prefetched: d.bool()?,
+                sharers: d.u16()?,
+                fresh_writer: d.opt_u8()?,
+            };
+            self.ways[i] = Way { tag, valid: true, stamp, meta };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,43 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    /// Serializes channel timing and statistics into `e` (the config and
+    /// the derived `service_cycles` are rebuilt from configuration).
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.len(self.channels.len());
+        for ch in &self.channels {
+            e.u64(ch.next_free);
+        }
+        e.u64(self.stats.reads);
+        e.u64(self.stats.writes);
+        e.u64(self.stats.bytes);
+        e.u64(self.stats.busy_cycles);
+    }
+
+    /// Restores state written by [`Dram::encode_snap`]; the subsystem must
+    /// have the same channel count.
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        let n = d.len()?;
+        if n != self.channels.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} DRAM channels, config has {}",
+                self.channels.len()
+            )));
+        }
+        for ch in &mut self.channels {
+            ch.next_free = d.u64()?;
+        }
+        self.stats.reads = d.u64()?;
+        self.stats.writes = d.u64()?;
+        self.stats.bytes = d.u64()?;
+        self.stats.busy_cycles = d.u64()?;
+        Ok(())
+    }
+
     /// Bandwidth utilization over `elapsed_cycles`: bytes moved divided by
     /// peak deliverable bytes (the Figure 7 metric).
     pub fn utilization(&self, elapsed_cycles: u64) -> f64 {

@@ -112,6 +112,25 @@ impl FaultState {
         self.counters
     }
 
+    /// Serializes the perturbation cursor (RNG word) and injected-fault
+    /// counters into `e`; the plan itself is configuration.
+    pub(crate) fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.u64(self.rng);
+        e.u64(self.counters.perturbed_dram_reads);
+        e.u64(self.counters.dropped_prefetches);
+    }
+
+    /// Restores the cursor written by [`FaultState::encode_snap`].
+    pub(crate) fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        self.rng = d.u64()?;
+        self.counters.perturbed_dram_reads = d.u64()?;
+        self.counters.dropped_prefetches = d.u64()?;
+        Ok(())
+    }
+
     /// Earliest cycle at which the fault plan would act on its own —
     /// `u64::MAX`, always: perturbations are *event-indexed* (one RNG draw
     /// per DRAM read or prefetch issue, inside the access that triggers

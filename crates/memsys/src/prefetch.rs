@@ -106,6 +106,43 @@ impl StridePrefetcher {
             *e = StreamEntry { page_tag: page, last_line: line, stride: 0, confidence: 0, valid: true };
         }
     }
+
+    /// Serializes the stream table into `e` (the `degree` is configuration
+    /// and is not serialized).
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.len(self.entries.len());
+        for s in &self.entries {
+            e.u64(s.page_tag);
+            e.u64(s.last_line);
+            e.i64(s.stride);
+            e.u8(s.confidence);
+            e.bool(s.valid);
+        }
+    }
+
+    /// Restores a table written by [`StridePrefetcher::encode_snap`]; the
+    /// prefetcher must have the same number of entries.
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        let n = d.len()?;
+        if n != self.entries.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} stride entries, prefetcher has {}",
+                self.entries.len()
+            )));
+        }
+        for s in &mut self.entries {
+            s.page_tag = d.u64()?;
+            s.last_line = d.u64()?;
+            s.stride = d.i64()?;
+            s.confidence = d.u8()?;
+            s.valid = d.bool()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

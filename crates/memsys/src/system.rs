@@ -193,6 +193,124 @@ impl MemorySystem {
         self.dram.utilization(elapsed_cycles)
     }
 
+    /// Serializes the complete mutable state of the memory system into
+    /// `e`: every cache array, TLB level, prefetcher table, the DCU miss
+    /// cursors, DRAM channel timing, all accumulated statistics and the
+    /// fault-plan cursor. Geometry (core/socket counts, cache shapes) is
+    /// configuration: it is written only as a guard and rebuilt from the
+    /// config on restore. `pf_buf` is per-access scratch, always empty
+    /// between accesses, and is not serialized.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.len(self.n_cores);
+        e.len(self.n_sockets);
+        for c in &self.l1i {
+            c.encode_snap(e);
+        }
+        for c in &self.l1d {
+            c.encode_snap(e);
+        }
+        for c in &self.l2 {
+            c.encode_snap(e);
+        }
+        for c in &self.llcs {
+            c.encode_snap(e);
+        }
+        for t in &self.tlbs {
+            t.encode_snap(e);
+        }
+        for s in &self.stride {
+            s.encode_snap(e);
+        }
+        for &m in &self.dcu_last_miss {
+            e.u64(m);
+        }
+        self.dram.encode_snap(e);
+        for core in &self.stats.per_core {
+            encode_core_stats(e, core);
+        }
+        e.u64(self.stats.dram.reads);
+        e.u64(self.stats.dram.writes);
+        e.u64(self.stats.dram.bytes);
+        e.u64(self.stats.dram.busy_cycles);
+        match &self.fault {
+            Some(f) => {
+                e.bool(true);
+                f.encode_snap(e);
+            }
+            None => e.bool(false),
+        }
+    }
+
+    /// Restores state written by [`MemorySystem::encode_snap`] into a
+    /// system freshly built from the *same configuration*. Topology
+    /// disagreements (core count, socket count, fault-plan presence)
+    /// are reported as [`cs_trace::snap::SnapError::Mismatch`].
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        let cores = d.len()?;
+        if cores != self.n_cores {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {cores} cores, memory system has {}",
+                self.n_cores
+            )));
+        }
+        let sockets = d.len()?;
+        if sockets != self.n_sockets {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {sockets} sockets, memory system has {}",
+                self.n_sockets
+            )));
+        }
+        for c in &mut self.l1i {
+            c.restore_snap(d)?;
+        }
+        for c in &mut self.l1d {
+            c.restore_snap(d)?;
+        }
+        for c in &mut self.l2 {
+            c.restore_snap(d)?;
+        }
+        for c in &mut self.llcs {
+            c.restore_snap(d)?;
+        }
+        for t in &mut self.tlbs {
+            t.restore_snap(d)?;
+        }
+        for s in &mut self.stride {
+            s.restore_snap(d)?;
+        }
+        for m in &mut self.dcu_last_miss {
+            *m = d.u64()?;
+        }
+        self.dram.restore_snap(d)?;
+        for core in &mut self.stats.per_core {
+            restore_core_stats(d, core)?;
+        }
+        self.stats.dram.reads = d.u64()?;
+        self.stats.dram.writes = d.u64()?;
+        self.stats.dram.bytes = d.u64()?;
+        self.stats.dram.busy_cycles = d.u64()?;
+        let had_fault = d.bool()?;
+        match (had_fault, &mut self.fault) {
+            (true, Some(f)) => f.restore_snap(d)?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(SnapError::Mismatch(
+                    "snapshot has an active fault plan, config has none".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(SnapError::Mismatch(
+                    "snapshot has no fault plan, config expects one".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Earliest cycle ≥ `now` at which the memory system itself would act
     /// without being called — the memory-side input to the chip's
     /// event-driven cycle skipping.
@@ -746,6 +864,82 @@ impl MemorySystem {
     }
 }
 
+/// Writes one [`LevelStats`] (accesses then hits, class order).
+fn encode_level(e: &mut cs_trace::snap::Enc, s: &crate::stats::LevelStats) {
+    for &v in &s.accesses {
+        e.u64(v);
+    }
+    for &v in &s.hits {
+        e.u64(v);
+    }
+}
+
+fn restore_level(
+    d: &mut cs_trace::snap::Dec<'_>,
+    s: &mut crate::stats::LevelStats,
+) -> Result<(), cs_trace::snap::SnapError> {
+    for v in &mut s.accesses {
+        *v = d.u64()?;
+    }
+    for v in &mut s.hits {
+        *v = d.u64()?;
+    }
+    Ok(())
+}
+
+/// Writes every counter of one core's [`CoreMemStats`].
+fn encode_core_stats(e: &mut cs_trace::snap::Enc, s: &CoreMemStats) {
+    encode_level(e, &s.l1i);
+    encode_level(e, &s.l1d);
+    encode_level(e, &s.l2);
+    encode_level(e, &s.llc);
+    e.u64(s.rw_shared[0]);
+    e.u64(s.rw_shared[1]);
+    e.u64(s.upgrades);
+    e.u64(s.dram_bytes[0]);
+    e.u64(s.dram_bytes[1]);
+    e.u64(s.prefetch.issued_adjacent);
+    e.u64(s.prefetch.issued_stride);
+    e.u64(s.prefetch.issued_dcu);
+    e.u64(s.prefetch.issued_instr);
+    e.u64(s.prefetch.useful_l1d);
+    e.u64(s.prefetch.useful_l2);
+    e.u64(s.prefetch.useful_l1i);
+    e.u64(s.tlb.itlb_misses);
+    e.u64(s.tlb.dtlb_misses);
+    e.u64(s.tlb.stlb_misses);
+    e.u64(s.tlb.itlb_miss_cycles);
+    e.u64(s.tlb.stlb_miss_cycles);
+}
+
+fn restore_core_stats(
+    d: &mut cs_trace::snap::Dec<'_>,
+    s: &mut CoreMemStats,
+) -> Result<(), cs_trace::snap::SnapError> {
+    restore_level(d, &mut s.l1i)?;
+    restore_level(d, &mut s.l1d)?;
+    restore_level(d, &mut s.l2)?;
+    restore_level(d, &mut s.llc)?;
+    s.rw_shared[0] = d.u64()?;
+    s.rw_shared[1] = d.u64()?;
+    s.upgrades = d.u64()?;
+    s.dram_bytes[0] = d.u64()?;
+    s.dram_bytes[1] = d.u64()?;
+    s.prefetch.issued_adjacent = d.u64()?;
+    s.prefetch.issued_stride = d.u64()?;
+    s.prefetch.issued_dcu = d.u64()?;
+    s.prefetch.issued_instr = d.u64()?;
+    s.prefetch.useful_l1d = d.u64()?;
+    s.prefetch.useful_l2 = d.u64()?;
+    s.prefetch.useful_l1i = d.u64()?;
+    s.tlb.itlb_misses = d.u64()?;
+    s.tlb.dtlb_misses = d.u64()?;
+    s.tlb.stlb_misses = d.u64()?;
+    s.tlb.itlb_miss_cycles = d.u64()?;
+    s.tlb.stlb_miss_cycles = d.u64()?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1092,6 +1286,77 @@ mod tests {
         assert_eq!(b.latency, a.latency + 10_000, "rate-1.0 plan must hit every DRAM read");
         assert_eq!(clean.fault_counters(), None);
         assert_eq!(faulty.fault_counters().expect("plan active").perturbed_dram_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical_and_behavior_preserving() {
+        use crate::fault::FaultPlan;
+        // Prefetchers on and a fault plan active: every snapshotted
+        // component carries non-trivial state.
+        let cfg = MemSysConfig {
+            fault: Some(FaultPlan::prefetch_drops(0.25, 11)),
+            ..MemSysConfig::default()
+        };
+        let mut live = MemorySystem::new(cfg.clone(), 4);
+        for i in 0..3_000u64 {
+            let core = (i % 4) as usize;
+            let priv_ = if i % 7 == 0 { Privilege::Kernel } else { Privilege::User };
+            live.data_access(core, priv_, 0x1000_0000 + (i % 512) * 64, i % 3 == 0, 0x40_0000 + i * 4, i * 2);
+            live.ifetch(core, priv_, 0x40_0000 + (i % 128) * 64, i * 2 + 1);
+        }
+
+        let mut enc = cs_trace::snap::Enc::new();
+        live.encode_snap(&mut enc);
+        let bytes = enc.buf.clone();
+
+        let mut restored = MemorySystem::new(cfg, 4);
+        let mut dec = cs_trace::snap::Dec::new(&bytes);
+        restored.restore_snap(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+
+        // Re-encoding the restored system reproduces the snapshot bytes.
+        let mut enc2 = cs_trace::snap::Enc::new();
+        restored.encode_snap(&mut enc2);
+        assert_eq!(enc2.buf, bytes, "restore(save(s)) must re-encode identically");
+
+        // And both systems continue identically.
+        for i in 0..1_000u64 {
+            let core = (i % 4) as usize;
+            let a = live.data_access(core, Privilege::User, 0x2000_0000 + i * 64, false, 0x41_0000, 6_000 + i);
+            let b = restored.data_access(core, Privilege::User, 0x2000_0000 + i * 64, false, 0x41_0000, 6_000 + i);
+            assert_eq!(a, b);
+        }
+        assert_eq!(live.stats(), restored.stats());
+        assert_eq!(live.dram_stats(), restored.dram_stats());
+        assert_eq!(live.fault_counters(), restored.fault_counters());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_topology_mismatch() {
+        let mut a = small_system(2);
+        let mut enc = cs_trace::snap::Enc::new();
+        a.encode_snap(&mut enc);
+        // Wrong core count.
+        let mut b = small_system(4);
+        let mut dec = cs_trace::snap::Dec::new(&enc.buf);
+        match b.restore_snap(&mut dec) {
+            Err(cs_trace::snap::SnapError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // Fault-plan presence disagreement.
+        use crate::fault::FaultPlan;
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig::none(),
+            fault: Some(FaultPlan::dram_jitter(10, 0.5, 3)),
+            ..MemSysConfig::default()
+        };
+        let mut c = MemorySystem::new(cfg, 2);
+        let mut dec = cs_trace::snap::Dec::new(&enc.buf);
+        match c.restore_snap(&mut dec) {
+            Err(cs_trace::snap::SnapError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let _ = a.data_access(0, Privilege::User, 0x1000, false, 0, 0);
     }
 
     #[test]

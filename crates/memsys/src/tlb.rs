@@ -74,6 +74,24 @@ impl TlbHierarchy {
             TlbOutcome::Walk => self.cfg.walk_penalty,
         }
     }
+
+    /// Serializes all three TLB levels into `e`.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        self.itlb.encode_snap(e);
+        self.dtlb.encode_snap(e);
+        self.stlb.encode_snap(e);
+    }
+
+    /// Restores state written by [`TlbHierarchy::encode_snap`]; the
+    /// hierarchy must have been built from the same configuration.
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        self.itlb.restore_snap(d)?;
+        self.dtlb.restore_snap(d)?;
+        self.stlb.restore_snap(d)
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,14 @@ impl Histogram {
         self.overflow
     }
 
+    /// Number of in-range buckets (the `capacity` passed to
+    /// [`Histogram::new`]). Together with [`Histogram::count_at`] and
+    /// [`Histogram::overflow`] this makes the full distribution readable
+    /// through the public API, which the snapshot codec relies on.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Mean of the distribution, counting overflow at the bucket cap.
     pub fn mean(&self) -> f64 {
         let total = self.total();

@@ -25,6 +25,8 @@
 //! - the synthetic trace source ([`synth`]) that combines all of the above,
 //!   plus the operating-system overlay that interleaves kernel-mode
 //!   execution bursts into any application-level source;
+//! - the byte-stable binary snapshot codec ([`snap`]) that the
+//!   checkpoint/restore subsystem serializes all simulator state through;
 //! - trace capture and binary replay ([`capture`]), the suite's analogue
 //!   of the paper's re-used SAT Solver input traces (§3.1).
 //!
@@ -60,6 +62,7 @@ pub mod layout;
 pub mod op;
 pub mod profile;
 pub mod rng;
+pub mod snap;
 pub mod source;
 pub mod synth;
 pub mod zipf;

@@ -1,0 +1,491 @@
+//! Binary snapshot codec for crash-safe checkpoint/restore.
+//!
+//! Every layer of the simulator (cores, caches, DRAM timers, fault
+//! cursors, accumulated counters) serializes its state through the tiny
+//! explicit codec in this module rather than through serde: the snapshot
+//! format must be *byte-stable* across builds — a checkpoint written by an
+//! interrupted campaign is read back by a fresh process and must restore
+//! bit-identical state — so every field is written in a fixed order with a
+//! fixed-width little-endian representation and read back with typed
+//! errors instead of panics.
+//!
+//! The format rules, applied uniformly:
+//!
+//! - integers are fixed-width little-endian (`u64::to_le_bytes` and
+//!   friends); lengths are `u64`;
+//! - `bool` is one byte (0/1), any other value is a [`SnapError::BadTag`];
+//! - `Option<T>` is a one-byte tag (0 = `None`, 1 = `Some`) followed by
+//!   the payload;
+//! - `f64` travels as its IEEE-754 bit pattern (`to_bits`), so exact
+//!   values round-trip;
+//! - enums are a one-byte tag; unknown tags are a typed error, never UB.
+//!
+//! Checksumming (FNV-1a 64) and the versioned envelope live with the
+//! checkpoint manager in `cs-core`; this module provides the primitive
+//! [`fnv1a64`] plus the [`Enc`]/[`Dec`] pair and codecs for the trace
+//! types ([`MicroOp`] et al.) that higher layers embed in their snapshots.
+
+use crate::op::{MemRef, MicroOp, OpKind, Privilege};
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer ended before the field being read.
+    Truncated,
+    /// An enum/bool/option tag byte had no defined meaning.
+    BadTag(u8),
+    /// The envelope magic did not match.
+    BadMagic,
+    /// The envelope carried an unsupported format version.
+    Version(u32),
+    /// The payload checksum did not match its header.
+    Checksum,
+    /// The snapshot is internally valid but inconsistent with the state
+    /// being restored into (wrong topology, wrong config, …).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated => f.write_str("snapshot truncated"),
+            SnapError::BadTag(t) => write!(f, "snapshot contains undefined tag byte {t:#04x}"),
+            SnapError::BadMagic => f.write_str("not a snapshot file (bad magic)"),
+            SnapError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapError::Checksum => f.write_str("snapshot checksum mismatch"),
+            SnapError::Mismatch(why) => write!(f, "snapshot does not match this run: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash — the snapshot payload checksum. Not cryptographic;
+/// it guards against torn writes and bit rot, not adversaries.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only snapshot encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    /// The bytes written so far.
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an `Option<u64>` as tag + payload.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    /// Writes an `Option<u8>` as tag + payload.
+    pub fn opt_u8(&mut self, v: Option<u8>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u8(x);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Sequential snapshot decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(n).ok_or(SnapError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length written by [`Enc::len`]. Rejects lengths that cannot
+    /// possibly fit in the remaining buffer, so corrupt snapshots fail
+    /// fast instead of triggering huge allocations.
+    // Not a container-length getter — it consumes a length *field* from
+    // the stream — so `is_empty` would be meaningless here.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        let v = usize::try_from(v).map_err(|_| SnapError::Truncated)?;
+        if v > self.buf.len() {
+            return Err(SnapError::Truncated);
+        }
+        Ok(v)
+    }
+
+    /// Reads a bool byte; anything other than 0/1 is a [`SnapError::BadTag`].
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(SnapError::BadTag(t)),
+        }
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(SnapError::BadTag(t)),
+        }
+    }
+
+    /// Reads an `Option<u8>`.
+    pub fn opt_u8(&mut self) -> Result<Option<u8>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u8()?)),
+            t => Err(SnapError::BadTag(t)),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::BadTag(0xFF))
+    }
+
+    /// Asserts that every byte has been consumed — a decoded struct that
+    /// leaves trailing garbage means the writer and reader disagree.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Mismatch(format!("{} trailing bytes after decode", self.remaining())))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-type codecs
+// ---------------------------------------------------------------------
+
+/// Encodes a [`Privilege`].
+pub fn encode_privilege(e: &mut Enc, p: Privilege) {
+    e.u8(match p {
+        Privilege::User => 0,
+        Privilege::Kernel => 1,
+    });
+}
+
+/// Decodes a [`Privilege`].
+pub fn decode_privilege(d: &mut Dec<'_>) -> Result<Privilege, SnapError> {
+    match d.u8()? {
+        0 => Ok(Privilege::User),
+        1 => Ok(Privilege::Kernel),
+        t => Err(SnapError::BadTag(t)),
+    }
+}
+
+/// Encodes an [`OpKind`].
+pub fn encode_op_kind(e: &mut Enc, k: OpKind) {
+    e.u8(match k {
+        OpKind::IntAlu => 0,
+        OpKind::IntMul => 1,
+        OpKind::IntDiv => 2,
+        OpKind::Fp => 3,
+        OpKind::Load => 4,
+        OpKind::Store => 5,
+        OpKind::Branch { mispredict: false } => 6,
+        OpKind::Branch { mispredict: true } => 7,
+    });
+}
+
+/// Decodes an [`OpKind`].
+pub fn decode_op_kind(d: &mut Dec<'_>) -> Result<OpKind, SnapError> {
+    match d.u8()? {
+        0 => Ok(OpKind::IntAlu),
+        1 => Ok(OpKind::IntMul),
+        2 => Ok(OpKind::IntDiv),
+        3 => Ok(OpKind::Fp),
+        4 => Ok(OpKind::Load),
+        5 => Ok(OpKind::Store),
+        6 => Ok(OpKind::Branch { mispredict: false }),
+        7 => Ok(OpKind::Branch { mispredict: true }),
+        t => Err(SnapError::BadTag(t)),
+    }
+}
+
+/// Encodes a full [`MicroOp`].
+pub fn encode_op(e: &mut Enc, op: &MicroOp) {
+    e.u64(op.pc);
+    encode_op_kind(e, op.kind);
+    match op.mem {
+        None => e.u8(0),
+        Some(MemRef { addr, size }) => {
+            e.u8(1);
+            e.u64(addr);
+            e.u8(size);
+        }
+    }
+    encode_privilege(e, op.privilege);
+    e.u8(op.dep1);
+    e.u8(op.dep2);
+}
+
+/// Decodes a full [`MicroOp`].
+pub fn decode_op(d: &mut Dec<'_>) -> Result<MicroOp, SnapError> {
+    let pc = d.u64()?;
+    let kind = decode_op_kind(d)?;
+    let mem = match d.u8()? {
+        0 => None,
+        1 => {
+            let addr = d.u64()?;
+            let size = d.u8()?;
+            if !(1..=64).contains(&size) {
+                return Err(SnapError::BadTag(size));
+            }
+            Some(MemRef { addr, size })
+        }
+        t => return Err(SnapError::BadTag(t)),
+    };
+    let privilege = decode_privilege(d)?;
+    let dep1 = d.u8()?;
+    let dep2 = d.u8()?;
+    Ok(MicroOp { pc, kind, mem, privilege, dep1, dep2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(0xAB);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.bool(true);
+        e.bool(false);
+        e.f64(3.5);
+        e.f64(f64::NEG_INFINITY);
+        e.opt_u64(None);
+        e.opt_u64(Some(7));
+        e.opt_u8(Some(9));
+        e.str("checkpoint");
+        let mut d = Dec::new(&e.buf);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.f64().unwrap(), 3.5);
+        assert_eq!(d.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert_eq!(d.opt_u64().unwrap(), Some(7));
+        assert_eq!(d.opt_u8().unwrap(), Some(9));
+        assert_eq!(d.str().unwrap(), "checkpoint");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut e = Enc::new();
+        e.u64(1234);
+        let mut d = Dec::new(&e.buf[..5]);
+        assert_eq!(d.u64(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_are_rejected() {
+        let buf = [2u8];
+        assert_eq!(Dec::new(&buf).bool(), Err(SnapError::BadTag(2)));
+        assert_eq!(Dec::new(&buf).opt_u64(), Err(SnapError::BadTag(2)));
+    }
+
+    #[test]
+    fn oversized_length_fails_fast() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        assert_eq!(Dec::new(&e.buf).len(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let buf = [0u8; 3];
+        let mut d = Dec::new(&buf);
+        d.u8().unwrap();
+        assert!(matches!(d.finish(), Err(SnapError::Mismatch(_))));
+    }
+
+    #[test]
+    fn micro_ops_roundtrip_exactly() {
+        let ops = [
+            MicroOp::alu(0x400000).with_deps(3, 250),
+            MicroOp::load(0x400004, 0x1000, 8).with_privilege(Privilege::Kernel),
+            MicroOp::store(0x400008, 0x2040, 64),
+            MicroOp::branch(0x40000C, true),
+            MicroOp::branch(0x400010, false),
+            MicroOp::of_kind(0x400014, OpKind::IntDiv),
+            MicroOp::of_kind(0x400018, OpKind::Fp),
+            MicroOp::of_kind(0x40001C, OpKind::IntMul),
+        ];
+        let mut e = Enc::new();
+        for op in &ops {
+            encode_op(&mut e, op);
+        }
+        let mut d = Dec::new(&e.buf);
+        for op in &ops {
+            assert_eq!(&decode_op(&mut d).unwrap(), op);
+        }
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn memref_size_is_validated() {
+        let mut e = Enc::new();
+        e.u64(0); // pc
+        e.u8(4); // Load
+        e.u8(1); // Some(mem)
+        e.u64(0x1000);
+        e.u8(0); // invalid size
+        assert!(matches!(decode_op(&mut Dec::new(&e.buf)), Err(SnapError::BadTag(0))));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a64_detects_single_bit_flips() {
+        let data = b"snapshot payload bytes".to_vec();
+        let h = fnv1a64(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a64(&flipped), h);
+        }
+    }
+}

@@ -86,6 +86,35 @@ impl Gshare {
             self.mispredicts as f64 / self.predictions as f64
         }
     }
+
+    /// Serializes the full predictor state (table, history, counters) into
+    /// `e` for checkpointing.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.len(self.table.len());
+        e.buf.extend_from_slice(&self.table);
+        e.u64(self.history);
+        e.u64(self.predictions);
+        e.u64(self.mispredicts);
+    }
+
+    /// Rebuilds a predictor from [`Gshare::encode_snap`] bytes.
+    pub fn decode_snap(
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<Self, cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        let n = d.len()?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SnapError::Mismatch(format!("gshare table size {n} not a power of two")));
+        }
+        let table = d.take(n)?.to_vec();
+        if table.iter().any(|&c| c > 3) {
+            return Err(SnapError::Mismatch("gshare counter out of 0..=3".into()));
+        }
+        let history = d.u64()?;
+        let predictions = d.u64()?;
+        let mispredicts = d.u64()?;
+        Ok(Self { table, history, mask: n as u64 - 1, predictions, mispredicts })
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,73 @@ pub struct StallDiagnosis {
     pub cycles_without_commit: u64,
 }
 
+/// Resumable state of a watched measurement window.
+///
+/// [`Chip::run_until_committed_watched`] used to hold this state in local
+/// variables, which made a half-finished window impossible to checkpoint.
+/// Splitting it out lets the harness drive the window in budgeted slices
+/// via [`Chip::step_watched`], snapshot between slices, and resume a
+/// restored window with the *same* watchdog bookkeeping — so a killed and
+/// resumed run takes every decision (including a watchdog trip) at exactly
+/// the cycle the uninterrupted run would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchedWindow {
+    measured: Vec<usize>,
+    target: u64,
+    start: u64,
+    start_cycle: u64,
+    max_cycles: u64,
+    stall_grace: u64,
+    last_count: Vec<u64>,
+    last_progress: Vec<u64>,
+}
+
+impl WatchedWindow {
+    /// Serializes the window cursor into `e`.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.len(self.measured.len());
+        for &c in &self.measured {
+            e.len(c);
+        }
+        e.u64(self.target);
+        e.u64(self.start);
+        e.u64(self.start_cycle);
+        e.u64(self.max_cycles);
+        e.u64(self.stall_grace);
+        for &v in &self.last_count {
+            e.u64(v);
+        }
+        for &v in &self.last_progress {
+            e.u64(v);
+        }
+    }
+
+    /// Reads a window cursor written by [`WatchedWindow::encode_snap`].
+    pub fn decode_snap(
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<Self, cs_trace::snap::SnapError> {
+        let n = d.len()?;
+        let mut measured = Vec::with_capacity(n);
+        for _ in 0..n {
+            measured.push(d.len()?);
+        }
+        let target = d.u64()?;
+        let start = d.u64()?;
+        let start_cycle = d.u64()?;
+        let max_cycles = d.u64()?;
+        let stall_grace = d.u64()?;
+        let mut last_count = Vec::with_capacity(n);
+        for _ in 0..n {
+            last_count.push(d.u64()?);
+        }
+        let mut last_progress = Vec::with_capacity(n);
+        for _ in 0..n {
+            last_progress.push(d.u64()?);
+        }
+        Ok(Self { measured, target, start, start_cycle, max_cycles, stall_grace, last_count, last_progress })
+    }
+}
+
 /// A chip: cores plus the shared memory system.
 #[derive(Debug)]
 pub struct Chip {
@@ -226,46 +293,100 @@ impl Chip {
         max_cycles: u64,
         stall_grace: u64,
     ) -> Result<WindowOutcome, StallDiagnosis> {
-        let start_cycle = self.cycle;
+        let mut w = self.begin_watched(measured, instructions, max_cycles, stall_grace);
+        loop {
+            if let Some(out) = self.step_watched(&mut w, u64::MAX)? {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Opens a watched window at the current cycle. Drive it with
+    /// [`Chip::step_watched`].
+    pub fn begin_watched(
+        &self,
+        measured: &[usize],
+        instructions: u64,
+        max_cycles: u64,
+        stall_grace: u64,
+    ) -> WatchedWindow {
         let start: u64 = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
-        let target = start + instructions;
-        let mut last_count: Vec<u64> =
-            measured.iter().map(|&c| self.cores[c].stats().instructions()).collect();
-        let mut last_progress: Vec<u64> = vec![self.cycle; measured.len()];
+        WatchedWindow {
+            measured: measured.to_vec(),
+            target: start + instructions,
+            start,
+            start_cycle: self.cycle,
+            max_cycles,
+            stall_grace,
+            last_count: measured.iter().map(|&c| self.cores[c].stats().instructions()).collect(),
+            last_progress: vec![self.cycle; measured.len()],
+        }
+    }
+
+    /// Advances the window by up to `budget` cycles and reports whether it
+    /// finished: `Ok(Some(outcome))` when the window ended (target reached,
+    /// `max_cycles` spent, or every source exhausted), `Ok(None)` when only
+    /// the budget ran out, `Err` when the watchdog fired.
+    ///
+    /// Progress is made in fixed strides whose lengths depend only on the
+    /// window state — never on `budget`, which is consulted purely *between*
+    /// strides. The sequence of [`Chip::run_cycles`] calls (and therefore
+    /// every cycle boundary the watchdog observes) is identical for any
+    /// slicing of the same window, which is what makes a checkpointed run
+    /// byte-identical to an uninterrupted one.
+    pub fn step_watched(
+        &mut self,
+        w: &mut WatchedWindow,
+        budget: u64,
+    ) -> Result<Option<WindowOutcome>, StallDiagnosis> {
         // Check in strides to amortize the aggregation.
         const STRIDE: u64 = 1024;
-        let mut done = start;
-        while self.cycle - start_cycle < max_cycles && done < target {
-            self.run_cycles(STRIDE.min(max_cycles - (self.cycle - start_cycle)));
-            done = measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
-            if done >= target {
-                break;
+        let mut spent: u64 = 0;
+        loop {
+            let elapsed = self.cycle - w.start_cycle;
+            let done: u64 =
+                w.measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
+            if elapsed >= w.max_cycles || done >= w.target {
+                return Ok(Some(self.close_watched(w, done)));
+            }
+            if spent >= budget {
+                return Ok(None);
+            }
+            self.run_cycles(STRIDE.min(w.max_cycles - elapsed));
+            spent = spent.saturating_add(STRIDE);
+            let done: u64 =
+                w.measured.iter().map(|&c| self.cores[c].stats().instructions()).sum();
+            if done >= w.target {
+                return Ok(Some(self.close_watched(w, done)));
             }
             if self.cores.iter().all(|c| c.is_done()) {
-                break;
+                return Ok(Some(self.close_watched(w, done)));
             }
-            if stall_grace > 0 {
-                for (i, &c) in measured.iter().enumerate() {
+            if w.stall_grace > 0 {
+                for (i, &c) in w.measured.iter().enumerate() {
                     let count = self.cores[c].stats().instructions();
-                    if count != last_count[i] {
-                        last_count[i] = count;
-                        last_progress[i] = self.cycle;
+                    if count != w.last_count[i] {
+                        w.last_count[i] = count;
+                        w.last_progress[i] = self.cycle;
                     } else if !self.cores[c].is_done()
-                        && self.cycle - last_progress[i] >= stall_grace
+                        && self.cycle - w.last_progress[i] >= w.stall_grace
                     {
                         return Err(StallDiagnosis {
                             core: c,
-                            cycles_without_commit: self.cycle - last_progress[i],
+                            cycles_without_commit: self.cycle - w.last_progress[i],
                         });
                     }
                 }
             }
         }
-        Ok(WindowOutcome {
-            cycles: self.cycle - start_cycle,
-            committed: done - start,
-            reached_target: done >= target,
-        })
+    }
+
+    fn close_watched(&self, w: &WatchedWindow, done: u64) -> WindowOutcome {
+        WindowOutcome {
+            cycles: self.cycle - w.start_cycle,
+            committed: done - w.start,
+            reached_target: done >= w.target,
+        }
     }
 
     /// Zeroes all core and memory statistics while preserving
@@ -275,6 +396,47 @@ impl Chip {
             core.reset_stats();
         }
         self.mem.reset_stats();
+    }
+
+    /// Serializes the chip's complete deterministic state into `e`: the
+    /// cycle counter, the skipped-cycle tally, every core (pipeline,
+    /// threads, predictor, statistics) and the shared memory system.
+    ///
+    /// Not serialized: `cycle_skip` (configuration, chosen by the run, and
+    /// byte-identical either way) and the `skip_next` / `skip_idle`
+    /// scratch, which [`Chip::run_cycles`] resets at entry precisely so
+    /// cores may be mutated — or snapshotted and restored — between calls.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.u64(self.cycle);
+        e.u64(self.skipped_cycles);
+        e.len(self.cores.len());
+        for core in &self.cores {
+            core.encode_snap(e);
+        }
+        self.mem.encode_snap(e);
+    }
+
+    /// Restores state written by [`Chip::encode_snap`] into a chip built
+    /// from the same configuration, with the same trace sources already
+    /// attached in the same order.
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        self.cycle = d.u64()?;
+        self.skipped_cycles = d.u64()?;
+        let n = d.len()?;
+        if n != self.cores.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} cores, chip has {}",
+                self.cores.len()
+            )));
+        }
+        for core in &mut self.cores {
+            core.restore_snap(d)?;
+        }
+        self.mem.restore_snap(d)
     }
 }
 
@@ -595,6 +757,84 @@ mod tests {
         assert_eq!(w_fast, w_slow);
         assert_eq!(cycle_fast, cycle_slow);
         assert_eq!(stats_fast, stats_slow);
+    }
+
+    #[test]
+    fn step_watched_slicing_is_invisible() {
+        // The same window driven in budgeted slices must produce the same
+        // outcome, final cycle and stats as one unsliced call, because the
+        // run_cycles sequence is budget-independent.
+        let mk = || {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(300, 991))));
+            chip.attach(1, Box::new(LoopSource::new(alu_ops(64))));
+            chip
+        };
+        let mut whole = mk();
+        let w_whole = whole
+            .run_until_committed_watched(&[0, 1], 20_000, 2_000_000, 50_000)
+            .expect("healthy");
+        let mut sliced = mk();
+        let mut w = sliced.begin_watched(&[0, 1], 20_000, 2_000_000, 50_000);
+        let mut budgets = [1u64, 3000, 700, 12_000, 1, 250_000].iter().cycle();
+        let outcome = loop {
+            match sliced.step_watched(&mut w, *budgets.next().unwrap()).expect("healthy") {
+                Some(out) => break out,
+                None => continue,
+            }
+        };
+        assert_eq!(outcome, w_whole);
+        assert_eq!(sliced.cycle(), whole.cycle());
+        assert_identical(&sliced, &whole);
+    }
+
+    #[test]
+    fn chip_snapshot_resumes_byte_identically_mid_window() {
+        let attach_all = |chip: &mut Chip| {
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(400, 883))));
+            chip.attach(1, Box::new(LoopSource::new(alu_ops(64))));
+        };
+        for skip in [true, false] {
+            // Reference: uninterrupted run.
+            let mut straight = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            attach_all(&mut straight);
+            straight.set_cycle_skip(skip);
+            let w_ref = straight
+                .run_until_committed_watched(&[0, 1], 30_000, 3_000_000, 50_000)
+                .expect("healthy");
+
+            // Interrupted run: stop mid-window, snapshot, throw the chip
+            // away, rebuild, restore, finish.
+            let mut first = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            attach_all(&mut first);
+            first.set_cycle_skip(skip);
+            let mut w = first.begin_watched(&[0, 1], 30_000, 3_000_000, 50_000);
+            assert!(
+                first.step_watched(&mut w, 2_000).expect("healthy").is_none(),
+                "window must not finish in 2000 cycles"
+            );
+            let mut enc = cs_trace::snap::Enc::new();
+            first.encode_snap(&mut enc);
+            w.encode_snap(&mut enc);
+            drop(first);
+
+            let mut resumed = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            attach_all(&mut resumed);
+            resumed.set_cycle_skip(skip);
+            let mut dec = cs_trace::snap::Dec::new(&enc.buf);
+            resumed.restore_snap(&mut dec).expect("restore");
+            let mut w2 = WatchedWindow::decode_snap(&mut dec).expect("window");
+            dec.finish().expect("no trailing bytes");
+            assert_eq!(w2, w);
+            let outcome = loop {
+                if let Some(out) = resumed.step_watched(&mut w2, 7_777).expect("healthy") {
+                    break out;
+                }
+            };
+            assert_eq!(outcome, w_ref, "skip={skip}");
+            assert_identical(&resumed, &straight);
+            assert_eq!(resumed.skipped_cycles(), straight.skipped_cycles(), "skip={skip}");
+        }
     }
 
     #[test]

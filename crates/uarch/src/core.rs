@@ -52,6 +52,12 @@ const FETCH_BLOCK: usize = 32;
 
 struct Thread {
     source: Box<dyn TraceSource>,
+    /// Total ops ever pulled from `source`. Snapshots store this instead
+    /// of the source's internal state: synthetic sources are pure
+    /// functions of `(profile, thread, seed)` with no feedback from the
+    /// simulation, so restore rebuilds the source from the same factory
+    /// and fast-forwards it by re-pulling exactly this many ops.
+    ops_pulled: u64,
     /// Block buffer refilled from `source` ([`FETCH_BLOCK`] ops at a
     /// time); `block_pos` is the next unconsumed op.
     block: Vec<MicroOp>,
@@ -91,6 +97,7 @@ impl Thread {
     fn new(source: Box<dyn TraceSource>) -> Self {
         Self {
             source,
+            ops_pulled: 0,
             block: Vec::with_capacity(FETCH_BLOCK),
             block_pos: 0,
             rob: VecDeque::new(),
@@ -119,7 +126,9 @@ impl Thread {
             }
             self.block.clear();
             self.block_pos = 0;
-            if self.source.next_block(&mut self.block, FETCH_BLOCK) == 0 {
+            let pulled = self.source.next_block(&mut self.block, FETCH_BLOCK);
+            self.ops_pulled += pulled as u64;
+            if pulled == 0 {
                 self.exhausted = true;
                 return None;
             }
@@ -127,6 +136,139 @@ impl Thread {
         let op = self.block[self.block_pos];
         self.block_pos += 1;
         Some(op)
+    }
+
+    /// Serializes everything except the trace source itself (see
+    /// `ops_pulled` for how the source is reconstructed).
+    fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        use cs_trace::snap::encode_op;
+        e.u64(self.ops_pulled);
+        e.len(self.block.len());
+        for op in &self.block {
+            encode_op(e, op);
+        }
+        e.len(self.block_pos);
+        e.len(self.rob.len());
+        for entry in &self.rob {
+            encode_op(e, &entry.op);
+            e.u64(entry.seq);
+            e.u8(match entry.state {
+                EntryState::Waiting => 0,
+                EntryState::Issued => 1,
+                EntryState::Done => 2,
+            });
+            e.bool(entry.offcore_load);
+        }
+        e.len(self.fetch_buf.len());
+        for op in &self.fetch_buf {
+            encode_op(e, op);
+        }
+        match &self.pending {
+            None => e.u8(0),
+            Some(op) => {
+                e.u8(1);
+                encode_op(e, op);
+            }
+        }
+        e.u64(self.next_seq);
+        e.u64(self.fetch_stall_until);
+        e.u64(self.mem_fetch_stall_until);
+        e.u64(self.cur_fetch_line);
+        e.bool(self.flush_pending);
+        cs_trace::snap::encode_privilege(e, self.last_fetch_priv);
+        e.bool(self.exhausted);
+        e.len(self.waiting.len());
+        for &seq in &self.waiting {
+            e.u64(seq);
+        }
+        match &self.held_branch {
+            None => e.u8(0),
+            Some(op) => {
+                e.u8(1);
+                encode_op(e, op);
+            }
+        }
+    }
+
+    /// Restores a snapshot written by [`Thread::encode_snap`] into this
+    /// thread, whose `source` must be a *fresh* copy of the snapshotted
+    /// one (same factory, same seed). The source is fast-forwarded by
+    /// re-pulling the snapshotted number of ops before the buffered state
+    /// is installed, so its internal RNG/synth cursors land exactly where
+    /// they were when the snapshot was taken.
+    fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::{decode_op, SnapError};
+        let ops_pulled = d.u64()?;
+        // Fast-forward the fresh source. A source that dries up early is
+        // not the source the snapshot was taken from.
+        let mut remaining = ops_pulled;
+        let mut scratch: Vec<MicroOp> = Vec::with_capacity(4096);
+        while remaining > 0 {
+            scratch.clear();
+            let want = remaining.min(4096) as usize;
+            let got = self.source.next_block(&mut scratch, want);
+            if got == 0 {
+                return Err(SnapError::Mismatch(format!(
+                    "trace source dried up {remaining} ops before the snapshot point"
+                )));
+            }
+            remaining -= got as u64;
+        }
+        self.ops_pulled = ops_pulled;
+        let n = d.len()?;
+        self.block.clear();
+        for _ in 0..n {
+            self.block.push(decode_op(d)?);
+        }
+        self.block_pos = d.len()?;
+        if self.block_pos > self.block.len() {
+            return Err(SnapError::Mismatch("block cursor past buffer end".into()));
+        }
+        let n = d.len()?;
+        self.rob.clear();
+        for _ in 0..n {
+            let op = decode_op(d)?;
+            let seq = d.u64()?;
+            let state = match d.u8()? {
+                0 => EntryState::Waiting,
+                1 => EntryState::Issued,
+                2 => EntryState::Done,
+                t => return Err(SnapError::BadTag(t)),
+            };
+            let offcore_load = d.bool()?;
+            self.rob.push_back(RobEntry { op, seq, state, offcore_load });
+        }
+        let n = d.len()?;
+        self.fetch_buf.clear();
+        for _ in 0..n {
+            self.fetch_buf.push_back(decode_op(d)?);
+        }
+        self.pending = match d.u8()? {
+            0 => None,
+            1 => Some(decode_op(d)?),
+            t => return Err(SnapError::BadTag(t)),
+        };
+        self.next_seq = d.u64()?;
+        self.fetch_stall_until = d.u64()?;
+        self.mem_fetch_stall_until = d.u64()?;
+        self.cur_fetch_line = d.u64()?;
+        self.flush_pending = d.bool()?;
+        self.last_fetch_priv = cs_trace::snap::decode_privilege(d)?;
+        self.exhausted = d.bool()?;
+        let n = d.len()?;
+        self.waiting.clear();
+        for _ in 0..n {
+            self.waiting.push(d.u64()?);
+        }
+        self.held_branch = match d.u8()? {
+            0 => None,
+            1 => Some(decode_op(d)?),
+            t => return Err(SnapError::BadTag(t)),
+        };
+        Ok(())
     }
 
     /// Are all dependencies of the entry at `idx` satisfied?
@@ -775,6 +917,95 @@ impl OooCore {
             stall_priv,
         );
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore.
+
+    /// Serializes the complete core state — pipeline, in-flight timers,
+    /// predictor, statistics, and per-thread fast-forward cursors — into
+    /// `e`. The attached trace sources are captured by their pull count
+    /// only (see `Thread::encode_snap`).
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        self.stats.encode_snap(e);
+        e.len(self.rs_used);
+        e.len(self.loads_in_rob);
+        e.len(self.stores_in_rob);
+        e.u32(self.outstanding_offcore_loads);
+        e.len(self.store_drain.len());
+        for &t in &self.store_drain {
+            e.u64(t);
+        }
+        // BinaryHeap iteration order is unspecified; serialize sorted so
+        // identical states produce identical bytes.
+        let heap: Vec<_> = self.completion_heap.clone().into_sorted_vec();
+        e.len(heap.len());
+        for Reverse((done_at, tid, seq)) in heap {
+            e.u64(done_at);
+            e.len(tid);
+            e.u64(seq);
+        }
+        e.bool(self.ready_dirty);
+        match &self.gshare {
+            None => e.u8(0),
+            Some(g) => {
+                e.u8(1);
+                g.encode_snap(e);
+            }
+        }
+        e.len(self.threads.len());
+        for t in &self.threads {
+            t.encode_snap(e);
+        }
+    }
+
+    /// Restores a snapshot written by [`OooCore::encode_snap`] into this
+    /// core, which must have been built with the same configuration and
+    /// have the same number of threads attached (each with a fresh copy
+    /// of the snapshotted trace source).
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        use cs_trace::snap::SnapError;
+        self.stats = CoreStats::decode_snap(d)?;
+        self.rs_used = d.len()?;
+        self.loads_in_rob = d.len()?;
+        self.stores_in_rob = d.len()?;
+        self.outstanding_offcore_loads = d.u32()?;
+        let n = d.len()?;
+        self.store_drain.clear();
+        for _ in 0..n {
+            self.store_drain.push_back(d.u64()?);
+        }
+        let n = d.len()?;
+        self.completion_heap.clear();
+        for _ in 0..n {
+            let done_at = d.u64()?;
+            let tid = d.len()?;
+            let seq = d.u64()?;
+            self.completion_heap.push(Reverse((done_at, tid, seq)));
+        }
+        self.ready_dirty = d.bool()?;
+        match (d.u8()?, &mut self.gshare) {
+            (0, None) => {}
+            (1, slot @ Some(_)) => *slot = Some(Gshare::decode_snap(d)?),
+            (0 | 1, _) => {
+                return Err(SnapError::Mismatch("branch-model mismatch with snapshot".into()))
+            }
+            (t, _) => return Err(SnapError::BadTag(t)),
+        }
+        let n = d.len()?;
+        if n != self.threads.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} threads, core has {}",
+                self.threads.len()
+            )));
+        }
+        for t in &mut self.threads {
+            t.restore_snap(d)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1050,6 +1281,67 @@ mod tests {
     fn trace_mode_has_no_gshare() {
         let core = OooCore::new(CoreConfig::x5670());
         assert!(core.gshare_mispredict_rate().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        use cs_trace::snap::{Dec, Enc};
+        // A mixed stream exercising loads, stores, branches and deps.
+        let mk_ops = || -> Vec<MicroOp> {
+            (0..4000u64)
+                .map(|i| match i % 5 {
+                    0 => MicroOp::load(0x40_0000 + 4 * (i % 64), 0x6000_0000 + i * 577 * 8, 8),
+                    1 => MicroOp::store(0x40_0100 + 4 * (i % 64), 0x6100_0000 + i * 131 * 8, 8),
+                    2 => MicroOp::branch(0x40_0200 + 4 * (i % 64), i % 35 == 0),
+                    _ => MicroOp::alu(0x40_0300 + 4 * (i % 64)).with_deps(i % 3, 0),
+                })
+                .collect()
+        };
+        let mut live = OooCore::new(CoreConfig::x5670());
+        live.attach(Box::new(VecSource::new(mk_ops())));
+        let mut m_live = mem();
+        for now in 0..5_000 {
+            live.step(0, &mut m_live, now);
+        }
+        let mut snap = Enc::new();
+        live.encode_snap(&mut snap);
+
+        // Restore into a freshly-built core with a fresh source.
+        let mut restored = OooCore::new(CoreConfig::x5670());
+        restored.attach(Box::new(VecSource::new(mk_ops())));
+        let mut d = Dec::new(&snap.buf);
+        restored.restore_snap(&mut d).expect("restore");
+        d.finish().expect("full consumption");
+
+        // Re-encoding the restored core must reproduce the bytes exactly.
+        let mut reenc = Enc::new();
+        restored.encode_snap(&mut reenc);
+        assert_eq!(reenc.buf, snap.buf, "save(restore(save(s))) == save(s)");
+
+        // Continuing both cores must stay in lockstep. The memory system
+        // is restored separately in the full chip path; here both sides
+        // share identically-warmed memories by construction.
+        let mut m_restored = MemorySystem::new(
+            cs_memsys::MemSysConfig {
+                prefetch: PrefetchConfig::none(),
+                ..cs_memsys::MemSysConfig::default()
+            },
+            1,
+        );
+        let mut me = cs_trace::snap::Enc::new();
+        m_live.encode_snap(&mut me);
+        let mut md = cs_trace::snap::Dec::new(&me.buf);
+        m_restored.restore_snap(&mut md).expect("mem restore");
+        for now in 5_000..9_000 {
+            live.step(0, &mut m_live, now);
+            restored.step(0, &mut m_restored, now);
+        }
+        assert_eq!(restored.stats(), live.stats());
+        let mut a = Enc::new();
+        let mut b = Enc::new();
+        live.encode_snap(&mut a);
+        restored.encode_snap(&mut b);
+        assert_eq!(a.buf, b.buf, "continued states must stay byte-identical");
     }
 
     #[test]

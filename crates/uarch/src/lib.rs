@@ -30,7 +30,7 @@ pub mod core;
 pub mod stats;
 
 pub use branch::BranchModel;
-pub use chip::{Chip, StallDiagnosis, WindowOutcome};
+pub use chip::{Chip, StallDiagnosis, WatchedWindow, WindowOutcome};
 pub use config::{CoreConfig, SmtFetchPolicy};
 pub use core::OooCore;
 pub use stats::CoreStats;

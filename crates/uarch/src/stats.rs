@@ -149,6 +149,79 @@ impl CoreStats {
         }
     }
 
+    /// Serializes every counter — including the full occupancy histogram —
+    /// into `e` for checkpointing.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        e.u64(self.cycles);
+        for v in self.committed.iter().chain(&self.committing_cycles).chain(&self.stalled_cycles) {
+            e.u64(*v);
+        }
+        e.u64(self.offcore_outstanding_cycles);
+        e.u64(self.memory_cycles);
+        e.u64(self.l2_ifetch_stall_cycles);
+        let cap = self.offcore_load_occupancy.capacity();
+        e.len(cap);
+        for i in 0..cap {
+            e.u64(self.offcore_load_occupancy.count_at(i as u64));
+        }
+        e.u64(self.offcore_load_occupancy.overflow());
+        e.u64(self.branches);
+        e.u64(self.mispredicts);
+        e.u64(self.rob_occupancy_sum);
+        e.len(self.per_thread_committed.len());
+        for v in &self.per_thread_committed {
+            e.u64(*v);
+        }
+    }
+
+    /// Rebuilds counters from [`CoreStats::encode_snap`] bytes.
+    pub fn decode_snap(
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<Self, cs_trace::snap::SnapError> {
+        let read2 = |d: &mut cs_trace::snap::Dec<'_>| -> Result<[u64; 2], _> {
+            Ok([d.u64()?, d.u64()?])
+        };
+        let cycles = d.u64()?;
+        let committed = read2(d)?;
+        let committing_cycles = read2(d)?;
+        let stalled_cycles = read2(d)?;
+        let offcore_outstanding_cycles = d.u64()?;
+        let memory_cycles = d.u64()?;
+        let l2_ifetch_stall_cycles = d.u64()?;
+        let cap = d.len()?;
+        if cap == 0 {
+            return Err(cs_trace::snap::SnapError::Mismatch("empty histogram".into()));
+        }
+        let mut offcore_load_occupancy = Histogram::new(cap);
+        for i in 0..cap {
+            offcore_load_occupancy.record_n(i as u64, d.u64()?);
+        }
+        // Out-of-range values land in the overflow bucket by construction.
+        offcore_load_occupancy.record_n(cap as u64, d.u64()?);
+        let branches = d.u64()?;
+        let mispredicts = d.u64()?;
+        let rob_occupancy_sum = d.u64()?;
+        let n_threads = d.len()?;
+        let mut per_thread_committed = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            per_thread_committed.push(d.u64()?);
+        }
+        Ok(Self {
+            cycles,
+            committed,
+            committing_cycles,
+            stalled_cycles,
+            offcore_outstanding_cycles,
+            memory_cycles,
+            l2_ifetch_stall_cycles,
+            offcore_load_occupancy,
+            branches,
+            mispredicts,
+            rob_occupancy_sum,
+            per_thread_committed,
+        })
+    }
+
     /// Exports the counters into a flat [`CounterSet`].
     pub fn to_counters(&self, prefix: &str) -> CounterSet {
         let mut c = CounterSet::new();
@@ -210,6 +283,31 @@ mod tests {
         let c = s.to_counters("core0");
         assert_eq!(c.get("core0.cycles"), 7);
         assert_eq!(c.get("core0.mispredicts"), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_every_counter() {
+        let mut s = CoreStats::new(2, 4);
+        s.cycles = 1000;
+        s.committed = [800, 150];
+        s.committing_cycles = [500, 100];
+        s.stalled_cycles = [350, 50];
+        s.offcore_outstanding_cycles = 77;
+        s.memory_cycles = 123;
+        s.l2_ifetch_stall_cycles = 9;
+        s.offcore_load_occupancy.record_n(0, 900);
+        s.offcore_load_occupancy.record_n(3, 60);
+        s.offcore_load_occupancy.record_n(99, 40); // overflow
+        s.branches = 33;
+        s.mispredicts = 4;
+        s.rob_occupancy_sum = 42_000;
+        s.per_thread_committed = vec![700, 250];
+        let mut e = cs_trace::snap::Enc::new();
+        s.encode_snap(&mut e);
+        let mut d = cs_trace::snap::Dec::new(&e.buf);
+        let back = CoreStats::decode_snap(&mut d).expect("decode");
+        d.finish().expect("no trailing bytes");
+        assert_eq!(back, s);
     }
 
     #[test]

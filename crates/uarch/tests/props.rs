@@ -1,6 +1,7 @@
 //! Property-based tests of the core model invariants.
 
 use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
+use cs_trace::snap::{Dec, Enc};
 use cs_trace::source::VecSource;
 use cs_trace::{MicroOp, OpKind};
 use cs_uarch::{Chip, CoreConfig, OooCore};
@@ -123,6 +124,77 @@ proptest! {
         prop_assert!(s.offcore_outstanding_cycles <= s.memory_cycles);
         prop_assert!(chip.skipped_cycles() <= chip.cycle());
         prop_assert_eq!(s.cycles, chip.cycle());
+    }
+
+    /// Checkpoint/restore is invisible: snapshotting a chip mid-run at an
+    /// arbitrary cut point, restoring it into a fresh chip, and re-encoding
+    /// reproduces the snapshot bytes exactly — and both chips then evolve
+    /// bit-identically for arbitrary traces.
+    #[test]
+    fn chip_snapshot_roundtrip_is_byte_identical(ops in arb_trace(), cut in 100u64..3000) {
+        let mk = || {
+            let mut chip = Chip::new(
+                CoreConfig::x5670(),
+                MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() },
+                1,
+            );
+            chip.attach(0, Box::new(VecSource::new(ops.clone())));
+            chip
+        };
+        let mut original = mk();
+        original.run_cycles(cut);
+
+        let mut e = Enc::new();
+        original.encode_snap(&mut e);
+
+        // Restore into a structurally-identical fresh chip (the harness
+        // rebuilds config and trace sources; only dynamic state is saved).
+        let mut restored = mk();
+        let mut d = Dec::new(&e.buf);
+        restored.restore_snap(&mut d).expect("snapshot must decode");
+        d.finish().expect("snapshot must be fully consumed");
+
+        // Re-encoding the restored chip must reproduce the bytes exactly.
+        let mut e2 = Enc::new();
+        restored.encode_snap(&mut e2);
+        prop_assert_eq!(&e.buf, &e2.buf, "restore must reproduce the snapshot bytes");
+
+        // And the two chips must stay in lockstep afterwards.
+        for chip in [&mut original, &mut restored] {
+            chip.run_cycles(5_000);
+        }
+        prop_assert_eq!(original.cycle(), restored.cycle());
+        prop_assert_eq!(original.cores()[0].stats(), restored.cores()[0].stats());
+        prop_assert_eq!(original.mem().stats(), restored.mem().stats());
+        prop_assert_eq!(original.mem().dram_stats(), restored.mem().dram_stats());
+    }
+
+    /// A truncated snapshot never decodes silently: any strict prefix of a
+    /// chip snapshot fails to restore (or fails the full-consumption check)
+    /// rather than yielding a half-restored chip.
+    #[test]
+    fn truncated_chip_snapshots_never_decode(ops in arb_trace(), frac in 0.0f64..1.0) {
+        let mk = || {
+            let mut chip = Chip::new(
+                CoreConfig::x5670(),
+                MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() },
+                1,
+            );
+            chip.attach(0, Box::new(VecSource::new(ops.clone())));
+            chip
+        };
+        let mut chip = mk();
+        chip.run_cycles(1_000);
+        let mut e = Enc::new();
+        chip.encode_snap(&mut e);
+        let cut = ((e.buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < e.buf.len());
+        let truncated = &e.buf[..cut];
+
+        let mut victim = mk();
+        let mut d = Dec::new(truncated);
+        let outcome = victim.restore_snap(&mut d).and_then(|_| d.finish());
+        prop_assert!(outcome.is_err(), "a strict prefix must be rejected");
     }
 
     /// MLP never exceeds the MSHR capacity.

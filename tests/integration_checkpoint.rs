@@ -1,0 +1,142 @@
+//! Crash-safe checkpoint/restore: killing a run at arbitrary points and
+//! resuming from the saved snapshot must reproduce the uninterrupted run
+//! byte-for-byte — for every scale-out workload, with interrupts landing
+//! in both the warmup and the measure window, and with the cycle-skipping
+//! fast path on or off.
+
+use cloudsuite::checkpoint::{unit_file, unit_key, with_checkpointing, CheckpointCtl};
+use cloudsuite::harness::{run, RunConfig, RunResult};
+use cloudsuite::{Benchmark, HarnessError};
+use std::path::{Path, PathBuf};
+
+fn cfg(cycle_skip: bool) -> RunConfig {
+    RunConfig {
+        warmup_instr: 60_000,
+        measure_instr: 120_000,
+        max_cycles: 8_000_000,
+        cycle_skip,
+        ..RunConfig::default()
+    }
+}
+
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cs-itest-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The phase tag of the snapshot on disk: the envelope header is 36 bytes
+/// (magic, version, config hash, payload length, checksum), and the
+/// payload opens with the phase discriminant (0 = pre-warm, 1 = warmup,
+/// 2 = measure).
+fn snapshot_phase(dir: &Path, scope: &str, bench: &Benchmark, cfg: &RunConfig) -> Option<u8> {
+    let key = unit_key(scope, bench.name(), cfg);
+    let bytes = std::fs::read(dir.join(unit_file(key))).ok()?;
+    bytes.get(36).copied()
+}
+
+/// Kills the run each time its chip reaches the next interrupt cycle,
+/// resumes from the snapshot, and keeps going until it completes.
+/// Returns the final result, how many interrupts fired, and the set of
+/// phase tags the on-disk snapshots were taken in.
+fn run_resumable(
+    bench: &Benchmark,
+    cfg: &RunConfig,
+    dir: &Path,
+    first_k: u64,
+    step: u64,
+) -> (RunResult, u32, Vec<u8>) {
+    let mut interrupts = 0u32;
+    let mut phases = Vec::new();
+    let mut k = first_k;
+    let result = loop {
+        let mut ctl = CheckpointCtl::new(dir.to_path_buf(), "itest");
+        ctl.cadence_cycles = 40_000;
+        ctl.interrupt_after = Some(k);
+        match with_checkpointing(ctl, || run(bench, cfg)) {
+            Err(HarnessError::Interrupted) => {
+                interrupts += 1;
+                if let Some(tag) = snapshot_phase(dir, "itest", bench, cfg) {
+                    phases.push(tag);
+                }
+                k += step;
+            }
+            Ok(r) => break r,
+            Err(other) => panic!("{}: unexpected error: {other:?}", bench.name()),
+        }
+        assert!(interrupts < 256, "{}: run never completed", bench.name());
+    };
+    (result, interrupts, phases)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn kill_and_resume_matches_uninterrupted_for_every_workload() {
+    let cfg = cfg(true);
+    for bench in Benchmark::scale_out_suite() {
+        let baseline = run(&bench, &cfg).expect("uninterrupted run");
+        let dir = ckpt_dir("suite");
+        let (resumed, interrupts, phases) = run_resumable(&bench, &cfg, &dir, 30_000, 50_000);
+        assert!(interrupts >= 2, "{}: want >=2 interrupts, got {interrupts}", bench.name());
+        assert!(
+            phases.contains(&1),
+            "{}: no interrupt landed mid-warmup (phases: {phases:?})",
+            bench.name()
+        );
+        assert!(
+            phases.contains(&2),
+            "{}: no interrupt landed mid-measure (phases: {phases:?})",
+            bench.name()
+        );
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{resumed:?}"),
+            "{}: kill-and-resume must reproduce the uninterrupted run",
+            bench.name()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn kill_and_resume_is_identical_with_cycle_skipping_off() {
+    // The skip-on result is the reference; a skip-off run — interrupted or
+    // not — must land on the same counters, so a checkpoint taken under
+    // one setting never bakes the fast path into the results.
+    let bench = Benchmark::web_search();
+    let reference = run(&bench, &cfg(true)).expect("skip-on baseline");
+    let baseline_off = run(&bench, &cfg(false)).expect("skip-off baseline");
+    let dir = ckpt_dir("noskip");
+    let (resumed, interrupts, _) = run_resumable(&bench, &cfg(false), &dir, 30_000, 50_000);
+    assert!(interrupts >= 2, "want >=2 interrupts, got {interrupts}");
+    assert_eq!(format!("{baseline_off:?}"), format!("{resumed:?}"));
+    // Cross-check against the skip-on reference on the counters the two
+    // modes share exactly (skipped-cycle bookkeeping differs by design).
+    assert_eq!(reference.cycles, resumed.cycles);
+    assert_eq!(
+        format!("{:?}", reference.cores),
+        format!("{:?}", resumed.cores),
+        "per-core counters must not depend on the fast path"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn checkpoints_survive_polluted_multicore_configs() {
+    // Polluter cores force the pre-warm phase (workers not yet attached),
+    // and a second measured core exercises multi-core snapshot state.
+    let bench = Benchmark::data_serving();
+    let cfg = RunConfig { workers: 2, polluter_bytes: Some(2 << 20), ..cfg(true) };
+    let baseline = run(&bench, &cfg).expect("uninterrupted run");
+    let dir = ckpt_dir("polluted");
+    let (resumed, interrupts, phases) = run_resumable(&bench, &cfg, &dir, 100_000, 400_000);
+    assert!(interrupts >= 2, "want >=2 interrupts, got {interrupts}");
+    assert!(
+        phases.contains(&0),
+        "no interrupt landed in the pre-warm phase (phases: {phases:?})"
+    );
+    assert_eq!(format!("{baseline:?}"), format!("{resumed:?}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
