@@ -4,9 +4,12 @@
 //! Each experiment runs in isolation: a failure (typed harness error or
 //! panic) is recorded in `results/manifest.json` and the campaign moves
 //! on. Transient failures — a tripped watchdog or a truncated window —
-//! are retried once with a widened cycle budget. A second pass with
-//! `--resume` skips every experiment whose result is already up to date
-//! (checksum-verified) and re-runs only what failed.
+//! are retried on a capped exponential budget-widening schedule:
+//! `--max-retries N` (default: `CS_MAX_RETRIES`, then 1) allows up to `N`
+//! retries, retry `i` re-running with the original cycle budget widened
+//! `min(4 * 4^i, 256)`-fold. A second pass with `--resume` skips every
+//! experiment whose result is already up to date (checksum-verified) and
+//! re-runs only what failed.
 //!
 //! The campaign is crash-safe: every experiment snapshots its complete
 //! simulation state to `<results>.ckpt/` every `--ckpt-cycles` simulated
@@ -22,7 +25,7 @@
 //! at any jobs value; only the wall-clock changes.
 //!
 //! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]
-//! [--no-skip] [--ckpt-cycles N]`
+//! [--no-skip] [--ckpt-cycles N] [--max-retries N]`
 //!
 //! `--no-skip` disables the event-driven cycle-skipping fast path
 //! (equivalently `CS_NO_SKIP=1`); results are byte-identical either way.
@@ -39,7 +42,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] \
-                     [--no-skip] [--ckpt-cycles N]";
+                     [--no-skip] [--ckpt-cycles N] [--max-retries N]";
 
 fn main() -> ExitCode {
     let mut resume = false;
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
     let mut jobs = None;
     let mut no_skip = false;
     let mut ckpt_cycles = None;
+    let mut max_retries = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +74,13 @@ fn main() -> ExitCode {
                 Some(n) => ckpt_cycles = Some(n),
                 None => {
                     eprintln!("--ckpt-cycles requires a cycle count (0 disables cadence)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-retries" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => max_retries = Some(n),
+                None => {
+                    eprintln!("--max-retries requires a retry count (0 disables retries)");
                     return ExitCode::from(2);
                 }
             },
@@ -102,6 +113,15 @@ fn main() -> ExitCode {
     if let Ok(v) = std::env::var("CS_INTERRUPT_AFTER") {
         if let Ok(n) = v.parse::<u64>() {
             opts.interrupt_after = Some(n);
+        }
+    }
+    // Transient-failure retry cap: the flag outranks CS_MAX_RETRIES; the
+    // widening schedule itself (4x, 16x, ... capped 256x) stays fixed.
+    if let Some(n) = max_retries {
+        opts.retry.max_retries = n;
+    } else if let Ok(v) = std::env::var("CS_MAX_RETRIES") {
+        if let Ok(n) = v.parse::<u32>() {
+            opts.retry.max_retries = n;
         }
     }
 

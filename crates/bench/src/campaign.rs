@@ -4,8 +4,13 @@
 //! one `<results>/<name>.json`. The runner keeps experiments isolated from
 //! each other: a panic or a typed [`HarnessError`] in one experiment is
 //! caught, recorded, and the rest of the campaign continues. Transient
-//! failures — a tripped watchdog or a truncated window — are retried once
-//! with a widened cycle budget before being declared failed.
+//! failures — a tripped watchdog or a truncated window — are retried on a
+//! configurable capped exponential-backoff schedule
+//! ([`CampaignOptions::retry`], the same [`cs_fleet::RetryPolicy`] the
+//! fleet simulator's clients use): each attempt widens the cycle budget by
+//! the schedule's next multiplier, applied to the *original* budget so the
+//! schedule — not attempt compounding — bounds the worst case. The default
+//! is one retry at 4x, the historical behavior.
 //!
 //! Every outcome is recorded in `<results>/manifest.json`, rewritten after
 //! each experiment so an interrupted campaign loses at most the experiment
@@ -47,6 +52,7 @@ use cloudsuite::checkpoint::{with_checkpointing, CheckpointCtl, DEFAULT_CADENCE_
 use cloudsuite::experiments as exp;
 use cloudsuite::harness::RunConfig;
 use cloudsuite::{Benchmark, HarnessError, MachineConfig};
+use cs_fleet::RetryPolicy;
 use cs_perf::Report;
 use serde_json::{Map, Value};
 use std::panic::{self, AssertUnwindSafe};
@@ -138,6 +144,9 @@ pub fn experiments() -> Vec<Experiment> {
             &exp::ablations::a8_narrow_interconnect(&Benchmark::scale_out_suite(), cfg)?,
         ))
     }
+    fn fleet_slo(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::fleet_slo::report(&exp::fleet_slo::collect(cfg)?))
+    }
     vec![
         Experiment { name: "table1", build: table1 },
         Experiment { name: "fig1", build: fig1 },
@@ -154,6 +163,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment { name: "ablation_a5", build: a5 },
         Experiment { name: "ablation_a6", build: a6 },
         Experiment { name: "ablation_a8", build: a8 },
+        Experiment { name: "fleet_slo", build: fleet_slo },
     ]
 }
 
@@ -251,7 +261,17 @@ pub struct CampaignOptions {
     /// each simulation unit stops once its chip reaches this cycle, as if
     /// a signal had arrived.
     pub interrupt_after: Option<u64>,
+    /// Transient-failure retry schedule. `backoff(i)` is the budget
+    /// *multiplier* of retry `i` (applied to the original `max_cycles` and
+    /// `watchdog_grace`, not compounded across attempts); `max_retries`
+    /// bounds the attempts at `1 + max_retries`.
+    pub retry: RetryPolicy,
 }
+
+/// The historical transient-retry behavior: one retry with a 4x budget
+/// (schedule 4, 16, 64, capped at 256x, of which only the first fires).
+pub const DEFAULT_RETRY: RetryPolicy =
+    RetryPolicy { max_retries: 1, base: 4, factor: 4, cap: 256 };
 
 impl Default for CampaignOptions {
     fn default() -> Self {
@@ -260,6 +280,7 @@ impl Default for CampaignOptions {
             ckpt_cycles: DEFAULT_CADENCE_CYCLES,
             stop: Arc::new(AtomicBool::new(false)),
             interrupt_after: None,
+            retry: DEFAULT_RETRY,
         }
     }
 }
@@ -334,7 +355,9 @@ pub fn run_with(
         // escaping anywhere on the worker (result emission included) into
         // this experiment's failure outcome instead of sinking siblings.
         let status = panic::catch_unwind(AssertUnwindSafe(|| {
-            with_checkpointing(ctl.clone(), || run_one(e, cfg, results_dir, &ctl))
+            with_checkpointing(ctl.clone(), || {
+                run_one(e, cfg, results_dir, &ctl, &opts.retry)
+            })
         }))
         .unwrap_or_else(|payload| ExperimentStatus::Failed {
             attempts: 1,
@@ -401,28 +424,33 @@ fn run_one(
     cfg: &RunConfig,
     results_dir: &Path,
     ctl: &CheckpointCtl,
+    retry: &RetryPolicy,
 ) -> ExperimentStatus {
-    let mut attempts = 1;
+    let mut attempts: u32 = 1;
     let mut result = attempt(e, cfg);
-    if let Err(f) = &result {
+    while let Err(f) = &result {
         // A stop request is not a failure — never retried, never recorded:
         // the checkpoint the harness just saved makes the unit resumable.
         if f.interrupted {
             return ExperimentStatus::Interrupted;
         }
-        if f.transient {
-            eprintln!(
-                "[campaign] {}: transient failure ({}); retrying with a widened cycle budget",
-                e.name, f.message
-            );
-            attempts = 2;
-            let widened = RunConfig {
-                max_cycles: cfg.max_cycles.saturating_mul(4),
-                watchdog_grace: cfg.watchdog_grace.saturating_mul(4),
-                ..cfg.clone()
-            };
-            result = attempt(e, &widened);
+        if !f.transient || attempts > retry.max_retries {
+            break;
         }
+        // Retry i widens the *original* budget by `backoff(i)`: the
+        // schedule, not attempt compounding, bounds the worst case.
+        let widen = retry.backoff(attempts - 1);
+        eprintln!(
+            "[campaign] {}: transient failure ({}); retry {}/{} with a {}x cycle budget",
+            e.name, f.message, attempts, retry.max_retries, widen
+        );
+        let widened = RunConfig {
+            max_cycles: cfg.max_cycles.saturating_mul(widen),
+            watchdog_grace: cfg.watchdog_grace.saturating_mul(widen),
+            ..cfg.clone()
+        };
+        attempts += 1;
+        result = attempt(e, &widened);
     }
     match result {
         Ok(report) => match crate::emit_to(results_dir, &report, e.name) {
@@ -709,6 +737,81 @@ mod tests {
             before,
             "no experiment body may run once the stop flag is raised"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    static FLAKY_CALLS: AtomicUsize = AtomicUsize::new(0);
+    static FLAKY_BUDGETS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    fn flaky_twice(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        FLAKY_BUDGETS.lock().unwrap_or_else(PoisonError::into_inner).push(cfg.max_cycles);
+        if FLAKY_CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+            Err(HarnessError::Truncated { committed: 1, target: 2 })
+        } else {
+            Ok(Report::new("finally"))
+        }
+    }
+
+    #[test]
+    fn retry_schedule_widens_the_original_budget_until_success() {
+        let dir = scratch_dir("retry-schedule");
+        let exps = [Experiment { name: "flaky_twice", build: flaky_twice }];
+        let opts = CampaignOptions {
+            retry: RetryPolicy { max_retries: 3, base: 2, factor: 3, cap: 7 },
+            ..Default::default()
+        };
+        let cfg = RunConfig::default();
+        let summary = run_with(&exps, &cfg, &dir, &opts);
+        assert_eq!(summary.exit_code(), 0);
+        assert!(
+            matches!(summary.outcomes[0].status, ExperimentStatus::Ok { attempts: 3, .. }),
+            "two transient failures then success must use 3 attempts, got {:?}",
+            summary.outcomes[0].status
+        );
+        // Multipliers come from the schedule (2, 6, capped 7) and apply to
+        // the ORIGINAL budget — never compounded across attempts.
+        let budgets =
+            FLAKY_BUDGETS.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        assert_eq!(
+            budgets,
+            vec![cfg.max_cycles, cfg.max_cycles * 2, cfg.max_cycles * 6],
+            "budgets must follow the capped exponential schedule"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_failure_with_counted_attempts() {
+        let dir = scratch_dir("retry-exhaust");
+        let exps = [Experiment { name: "always_sick", build: stalling }];
+        let opts = CampaignOptions {
+            retry: RetryPolicy { max_retries: 2, base: 4, factor: 4, cap: 256 },
+            ..Default::default()
+        };
+        let summary = run_with(&exps, &RunConfig::default(), &dir, &opts);
+        assert_eq!(summary.exit_code(), 1);
+        assert!(
+            matches!(
+                summary.outcomes[0].status,
+                ExperimentStatus::Failed { attempts: 3, .. }
+            ),
+            "1 initial + 2 retries, got {:?}",
+            summary.outcomes[0].status
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_retries_means_exactly_one_attempt() {
+        let dir = scratch_dir("retry-none");
+        let exps = [Experiment { name: "sick_once", build: stalling }];
+        let opts =
+            CampaignOptions { retry: RetryPolicy::none(), ..Default::default() };
+        let summary = run_with(&exps, &RunConfig::default(), &dir, &opts);
+        assert!(matches!(
+            summary.outcomes[0].status,
+            ExperimentStatus::Failed { attempts: 1, .. }
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

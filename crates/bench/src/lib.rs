@@ -19,6 +19,11 @@
 //!   fast path (`all_figures --no-skip` does the same). Results are
 //!   byte-identical with skipping on or off — the switch exists so any
 //!   suspected divergence is bisectable with one flag flip.
+//! - `CS_MAX_RETRIES` — transient-failure retries per experiment in the
+//!   campaign (default 1; the `all_figures --max-retries` flag outranks
+//!   it). Retry `i` re-runs with the original cycle budget widened by the
+//!   capped exponential schedule `min(4 * 4^i, 256)`; `0` disables
+//!   retries entirely.
 //!
 //! Deterministic fault injection can be switched on from the environment
 //! to rehearse the failure paths (watchdog, retries, the campaign

@@ -36,6 +36,14 @@
 //! and returns `None`, and the harness starts the unit from scratch — a
 //! fresh run produces the same bytes an uninterrupted run would, so
 //! dropping a bad checkpoint is always safe.
+//!
+//! Structurally bad files — bad magic, version skew, truncation, checksum
+//! mismatch, or a payload that no longer decodes — are additionally
+//! **quarantined**: atomically renamed to `<name>.corrupt` next to the
+//! original ([`quarantine`]), so the evidence survives for a post-mortem
+//! instead of being silently overwritten by the fresh run's next snapshot.
+//! A config-hash mismatch is *not* quarantined: the envelope is intact,
+//! it just belongs to a different unit of work.
 
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -217,6 +225,27 @@ pub fn save_envelope(path: &Path, config_hash: u64, payload: &[u8]) -> std::io::
     }
 }
 
+/// Atomically renames a structurally corrupt snapshot to `<name>.corrupt`
+/// so the fresh-run fallback cannot overwrite the evidence. Best-effort:
+/// a failed rename (e.g. a read-only directory) is logged and the file is
+/// left in place — the caller has already decided to ignore it either way.
+pub fn quarantine(path: &Path, why: &str) {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".corrupt");
+    let dest = PathBuf::from(name);
+    match std::fs::rename(path, &dest) {
+        Ok(()) => eprintln!(
+            "checkpoint: quarantined corrupt {} -> {} ({why})",
+            path.display(),
+            dest.display()
+        ),
+        Err(e) => eprintln!(
+            "checkpoint: ignoring corrupt {} ({why}); quarantine rename failed: {e}",
+            path.display()
+        ),
+    }
+}
+
 /// Reads and validates the envelope at `path`, returning the payload.
 ///
 /// Returns `None` — and the caller starts the unit from scratch — when the
@@ -224,7 +253,8 @@ pub fn save_envelope(path: &Path, config_hash: u64, payload: &[u8]) -> std::io::
 /// version, a checksum mismatch, or was written for a different
 /// configuration (`config_hash`). Every reason except "missing" is logged
 /// to stderr, because it usually means a crashed writer or a stale format
-/// worth knowing about.
+/// worth knowing about. Structural defects (anything except a config-hash
+/// mismatch) also [`quarantine`] the file as `<name>.corrupt`.
 pub fn load_envelope(path: &Path, config_hash: u64) -> Option<Vec<u8>> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
@@ -234,15 +264,21 @@ pub fn load_envelope(path: &Path, config_hash: u64) -> Option<Vec<u8>> {
             return None;
         }
     };
+    // An intact envelope for a different unit: ignored but not corrupt.
     let reject = |why: &str| {
         eprintln!("checkpoint: ignoring {}: {why}", path.display());
         None
     };
+    // A structurally bad file: ignored and moved aside for post-mortem.
+    let corrupt = |why: &str| {
+        quarantine(path, why);
+        None
+    };
     if bytes.len() < 36 {
-        return reject("truncated header");
+        return corrupt("truncated header");
     }
     if &bytes[0..8] != MAGIC {
-        return reject("bad magic");
+        return corrupt("bad magic");
     }
     let rd_u32 = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
     let rd_u64 = |o: usize| {
@@ -251,7 +287,7 @@ pub fn load_envelope(path: &Path, config_hash: u64) -> Option<Vec<u8>> {
         u64::from_le_bytes(b)
     };
     if rd_u32(8) != VERSION {
-        return reject("unsupported version");
+        return corrupt("unsupported version");
     }
     if rd_u64(12) != config_hash {
         return reject("written for a different configuration");
@@ -260,10 +296,10 @@ pub fn load_envelope(path: &Path, config_hash: u64) -> Option<Vec<u8>> {
     let checksum = rd_u64(28);
     let payload = &bytes[36..];
     if payload.len() as u64 != len {
-        return reject("payload length mismatch");
+        return corrupt("payload length mismatch");
     }
     if fnv1a64(payload) != checksum {
-        return reject("checksum mismatch");
+        return corrupt("checksum mismatch");
     }
     Some(payload.to_vec())
 }
@@ -292,20 +328,30 @@ mod tests {
     fn envelope_rejects_corruption_and_skew() {
         let d = tdir("reject");
         let p = d.join("a.ckpt");
+        let q = d.join("a.ckpt.corrupt");
         save_envelope(&p, 7, b"payload bytes").expect("save");
-        // Wrong config hash.
+        // Wrong config hash: rejected but intact — NOT quarantined (the
+        // envelope belongs to a different unit, it is not corrupt).
         assert_eq!(load_envelope(&p, 8), None);
-        // Flip a payload byte: checksum mismatch.
+        assert!(p.exists(), "config mismatch must leave the file in place");
+        assert!(!q.exists());
+        // Flip a payload byte: checksum mismatch, quarantined.
         let mut bytes = std::fs::read(&p).expect("read");
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&p, &bytes).expect("write");
         assert_eq!(load_envelope(&p, 7), None);
-        // Truncation.
+        assert!(!p.exists(), "corrupt snapshot must be moved aside");
+        assert!(q.exists(), "corrupt snapshot must survive as .corrupt");
+        // Truncation: quarantined too (renamed over the earlier quarantine;
+        // the latest evidence wins).
         std::fs::write(&p, &bytes[..10]).expect("write");
         assert_eq!(load_envelope(&p, 7), None);
-        // Missing file: silent None.
+        assert!(!p.exists());
+        assert!(q.exists());
+        // Missing file: silent None, nothing quarantined.
         assert_eq!(load_envelope(&d.join("absent.ckpt"), 7), None);
+        assert!(!d.join("absent.ckpt.corrupt").exists());
         let _ = std::fs::remove_dir_all(&d);
     }
 
@@ -318,6 +364,10 @@ mod tests {
         bytes[8] = bytes[8].wrapping_add(1);
         std::fs::write(&p, &bytes).expect("write");
         assert_eq!(load_envelope(&p, 1), None);
+        assert!(
+            d.join("a.ckpt.corrupt").exists(),
+            "version skew is structural: the file must be quarantined"
+        );
         let _ = std::fs::remove_dir_all(&d);
     }
 

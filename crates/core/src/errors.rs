@@ -48,6 +48,16 @@ pub enum ConfigError {
     },
     /// `jobs == 0`: no thread would ever pick up a unit of work.
     ZeroJobs,
+    /// A fleet simulation was asked to use a service-time table with no
+    /// usable entry for a workload (zero requests or zero cycles measured,
+    /// so no per-request service time can be derived).
+    EmptyServiceTable {
+        /// The workload whose service-time entry is missing or degenerate.
+        workload: String,
+    },
+    /// A fleet simulation configuration was rejected before any event was
+    /// scheduled (see [`cs_fleet::FleetConfigError`]).
+    Fleet(cs_fleet::FleetConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -76,6 +86,14 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroJobs => {
                 write!(f, "jobs is 0; no worker thread would ever run")
             }
+            ConfigError::EmptyServiceTable { workload } => {
+                write!(
+                    f,
+                    "service-time table has no usable entry for {workload}; the harness \
+                     measured zero requests or zero cycles, so no fleet service time exists"
+                )
+            }
+            ConfigError::Fleet(e) => write!(f, "fleet config rejected: {e}"),
         }
     }
 }
@@ -156,6 +174,9 @@ pub enum AuditError {
         /// Accesses reported for the class.
         accesses: u64,
     },
+    /// A fleet simulation's request/attempt conservation audit failed
+    /// (see [`cs_fleet::FleetAuditError`] for the specific law violated).
+    Fleet(cs_fleet::FleetAuditError),
 }
 
 impl fmt::Display for AuditError {
@@ -174,7 +195,20 @@ impl fmt::Display for AuditError {
                 f,
                 "core {core} {level}: {hits} hits exceed {accesses} accesses"
             ),
+            AuditError::Fleet(e) => write!(f, "fleet conservation violated: {e}"),
         }
+    }
+}
+
+impl From<cs_fleet::FleetAuditError> for AuditError {
+    fn from(e: cs_fleet::FleetAuditError) -> Self {
+        AuditError::Fleet(e)
+    }
+}
+
+impl From<cs_fleet::FleetAuditError> for HarnessError {
+    fn from(e: cs_fleet::FleetAuditError) -> Self {
+        HarnessError::Audit(AuditError::Fleet(e))
     }
 }
 
@@ -225,6 +259,18 @@ impl From<AuditError> for HarnessError {
 impl From<ConfigError> for HarnessError {
     fn from(e: ConfigError) -> Self {
         HarnessError::Config(e)
+    }
+}
+
+impl From<cs_fleet::FleetConfigError> for ConfigError {
+    fn from(e: cs_fleet::FleetConfigError) -> Self {
+        ConfigError::Fleet(e)
+    }
+}
+
+impl From<cs_fleet::FleetConfigError> for HarnessError {
+    fn from(e: cs_fleet::FleetConfigError) -> Self {
+        HarnessError::Config(ConfigError::Fleet(e))
     }
 }
 

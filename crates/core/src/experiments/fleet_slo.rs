@@ -1,0 +1,625 @@
+//! `fleet_slo`: cluster-level tail-latency SLOs under machine failures.
+//!
+//! The paper studies one machine; its workloads run as fleets. This
+//! experiment closes the loop: the §3.1 harness measures each scale-out
+//! workload's per-request service time (and how it inflates under SMT
+//! sharing and LLC co-location, the fig. 3/fig. 4 methodologies), and the
+//! `cs-fleet` discrete-event simulator serves an open-loop Poisson-plus-
+//! burst request stream with those service times across a cluster —
+//! injecting seeded machine crashes and stragglers, retrying with capped
+//! exponential backoff, hedging slow initial attempts, ejecting unhealthy
+//! machines, and shedding load at admission when a machine's bounded
+//! queue is full.
+//!
+//! The sweep crosses every scale-out workload with fleet sizes
+//! [`MACHINE_COUNTS`] and fault intensities [`FaultLevel`], reporting
+//! p50/p99/p999 completion latency, goodput, SLO attainment, and the
+//! retry/hedge/shed/failure counters per point. Everything downstream of
+//! the harness runs is a pure function of (config, seed): results are
+//! byte-identical across `--jobs` values and across reruns.
+
+use crate::errors::{ConfigError, HarnessError};
+use crate::harness::{run_strict, RunConfig, RunResult};
+use crate::machine::MachineConfig;
+use crate::registry::Benchmark;
+use cs_fleet::{
+    simulate, Burst, FleetConfig, FleetFaultPlan, HedgePolicy, RetryPolicy, ServiceProfile,
+};
+use cs_perf::{Report, Table};
+use cs_trace::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// Fleet sizes swept per workload.
+pub const MACHINE_COUNTS: [usize; 3] = [4, 8, 16];
+
+/// Serving contexts per machine (requests concurrently in service).
+pub const CONTEXTS_PER_MACHINE: usize = 4;
+
+/// Bounded per-machine wait queue; admission beyond contexts + queue is shed.
+pub const QUEUE_CAPACITY: usize = 4;
+
+/// Open-loop requests per sweep point.
+pub const REQUESTS_PER_POINT: u64 = 4_000;
+
+/// Mean offered load as a fraction of fleet capacity (off-burst).
+const TARGET_UTILIZATION: f64 = 0.65;
+
+/// Burst modulation: the first quarter of each period runs at 3x the base
+/// arrival rate, pushing instantaneous utilization near 2x capacity so the
+/// bounded queues actually shed.
+const BURST_AMPLITUDE: f64 = 3.0;
+const BURST_ON_FRACTION: f64 = 0.25;
+const BURST_PERIOD_GAPS: u64 = 256;
+
+/// Client policy knobs, as multiples of the effective mean service time.
+const TIMEOUT_FACTOR: u64 = 8;
+const RETRY_BASE_FACTOR: u64 = 2;
+const RETRY_CAP_FACTOR: u64 = 16;
+const MAX_RETRIES: u32 = 3;
+const HEDGE_DELAY_FACTOR: u64 = 6;
+const PROBE_FACTOR: u64 = 4;
+
+/// The SLO bound, as a multiple of the effective mean service time.
+const SLO_FACTOR: u64 = 20;
+
+/// Salt separating the fault-plan seed from the arrival/service seed.
+const FAULT_SEED_SALT: u64 = 0xF1EE_7FA0;
+
+/// Fault intensity of one sweep point. Plans are scaled to the expected
+/// simulated span so every intensity above `None` reliably fires within
+/// the window regardless of the workload's absolute service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultLevel {
+    /// No injected faults: the healthy-fleet baseline.
+    None,
+    /// Roughly one crash and one straggler episode per machine per run.
+    Moderate,
+    /// Crashes every third of the run per machine, long repairs, frequent
+    /// and severe straggler episodes.
+    Heavy,
+}
+
+impl FaultLevel {
+    /// All levels, in sweep order.
+    pub fn all() -> [FaultLevel; 3] {
+        [FaultLevel::None, FaultLevel::Moderate, FaultLevel::Heavy]
+    }
+
+    /// Short label used in reports and result files.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultLevel::None => "none",
+            FaultLevel::Moderate => "moderate",
+            FaultLevel::Heavy => "heavy",
+        }
+    }
+
+    /// The seeded fault plan for a run expected to span `span_ns`.
+    pub fn plan(self, span_ns: u64, seed: u64) -> Option<FleetFaultPlan> {
+        let span = span_ns.max(1);
+        match self {
+            FaultLevel::None => None,
+            FaultLevel::Moderate => Some(FleetFaultPlan {
+                crash_mtbf_ns: span,
+                repair_ns: (span / 8).max(1),
+                straggler_mtbf_ns: span,
+                straggler_duration_ns: (span / 12).max(1),
+                straggler_factor: 4.0,
+                seed,
+            }),
+            FaultLevel::Heavy => Some(FleetFaultPlan {
+                crash_mtbf_ns: (span / 3).max(1),
+                repair_ns: (span / 6).max(1),
+                straggler_mtbf_ns: (span / 2).max(1),
+                straggler_duration_ns: (span / 8).max(1),
+                straggler_factor: 6.0,
+                seed,
+            }),
+        }
+    }
+}
+
+/// One harness measurement reduced to what service-time extraction needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Cycles the measurement window spanned.
+    pub cycles: u64,
+    /// Hardware contexts that served requests during the window.
+    pub contexts: usize,
+    /// Requests completed in the window (0 when the workload is unmetered).
+    pub requests: u64,
+}
+
+impl Measured {
+    fn from_run(r: &RunResult, threads_per_core: usize) -> Self {
+        Self {
+            cycles: r.cycles,
+            contexts: r.n_workers * threads_per_core,
+            requests: r.requests.unwrap_or(0),
+        }
+    }
+
+    /// Mean time one context spends on one request, in ns.
+    fn per_context_service_ns(&self, freq_ghz: f64) -> Option<f64> {
+        if self.cycles == 0 || self.contexts == 0 || self.requests == 0 {
+            return None;
+        }
+        let cycles_per_request = self.cycles as f64 * self.contexts as f64 / self.requests as f64;
+        Some(cycles_per_request / freq_ghz)
+    }
+}
+
+/// Derives a workload's [`ServiceProfile`] from three measurements: a
+/// dedicated-context baseline, an SMT run (sibling thread busy), and a
+/// co-located run (cache-polluter tenants). The inflation factors are
+/// per-context service-time ratios against the baseline.
+///
+/// Fails with [`ConfigError::EmptyServiceTable`] when any measurement
+/// completed zero requests or zero cycles — a fleet simulation fed from a
+/// degenerate table would be silently meaningless.
+pub fn derive_profile(
+    workload: &str,
+    freq_ghz: f64,
+    base: Measured,
+    smt: Measured,
+    colocated: Measured,
+) -> Result<ServiceProfile, ConfigError> {
+    let empty = || ConfigError::EmptyServiceTable { workload: workload.to_owned() };
+    let base_ns = base.per_context_service_ns(freq_ghz).ok_or_else(empty)?;
+    let smt_ns = smt.per_context_service_ns(freq_ghz).ok_or_else(empty)?;
+    let colocated_ns = colocated.per_context_service_ns(freq_ghz).ok_or_else(empty)?;
+    Ok(ServiceProfile {
+        workload: workload.to_owned(),
+        mean_service_ns: (base_ns as u64).max(1),
+        smt_inflation: smt_ns / base_ns,
+        colocation_inflation: colocated_ns / base_ns,
+    })
+}
+
+/// Measures service profiles for `benches` with the §3.1 harness: per
+/// workload a baseline, an SMT run, and a polluted run.
+///
+/// All three runs share fig. 4's extended warmup — the polluters need it to
+/// claim their LLC share before measurement, and the baseline and SMT runs
+/// must match it so the inflation ratios compare equally-warm caches rather
+/// than warmup-length artifacts.
+///
+/// Each workload's three runs are one independent unit, fanned over
+/// [`RunConfig::jobs`] threads ([`crate::par::par_map`]).
+pub fn service_profiles(
+    cfg: &RunConfig,
+    benches: &[Benchmark],
+) -> Result<Vec<ServiceProfile>, HarnessError> {
+    let freq_ghz = MachineConfig::default().freq_ghz;
+    let warmup = cfg.warmup_instr.max(3_000_000);
+    crate::par::par_map(cfg.jobs, benches, |_, b| {
+        let base = run_strict(b, &RunConfig { warmup_instr: warmup, ..cfg.clone() })?;
+        let smt =
+            run_strict(b, &RunConfig { smt: true, warmup_instr: warmup, ..cfg.clone() })?;
+        let polluted = run_strict(
+            b,
+            &RunConfig {
+                polluter_bytes: Some(8 << 20),
+                warmup_instr: warmup,
+                ..cfg.clone()
+            },
+        )?;
+        Ok(derive_profile(
+            &base.name,
+            freq_ghz,
+            Measured::from_run(&base, 1),
+            Measured::from_run(&smt, 2),
+            Measured::from_run(&polluted, 1),
+        )?)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The effective mean service time of a densely packed machine: the
+/// baseline mean inflated by both measured sharing penalties (contexts run
+/// two-per-core with co-located tenants).
+fn effective_mean_ns(profile: &ServiceProfile) -> u64 {
+    let inflation = profile.smt_inflation * profile.colocation_inflation;
+    ((profile.mean_service_ns as f64 * inflation) as u64).max(1)
+}
+
+/// Builds the fleet configuration of one sweep point. Pure function of its
+/// arguments; the same point always simulates the same bytes.
+pub fn point_config(
+    profile: &ServiceProfile,
+    machines: usize,
+    level: FaultLevel,
+    seed: u64,
+) -> FleetConfig {
+    let eff = effective_mean_ns(profile);
+    let capacity = (machines * CONTEXTS_PER_MACHINE) as f64;
+    let gap = ((eff as f64 / (capacity * TARGET_UTILIZATION)) as u64).max(1);
+    let span = REQUESTS_PER_POINT.saturating_mul(gap);
+    FleetConfig {
+        machines,
+        contexts_per_machine: CONTEXTS_PER_MACHINE,
+        queue_capacity: QUEUE_CAPACITY,
+        requests: REQUESTS_PER_POINT,
+        mean_interarrival_ns: gap,
+        burst: Some(Burst {
+            period_ns: gap.saturating_mul(BURST_PERIOD_GAPS),
+            on_fraction: BURST_ON_FRACTION,
+            amplitude: BURST_AMPLITUDE,
+        }),
+        service_inflation: profile.smt_inflation * profile.colocation_inflation,
+        timeout_ns: eff.saturating_mul(TIMEOUT_FACTOR),
+        connect_timeout_ns: eff,
+        probe_interval_ns: eff.saturating_mul(PROBE_FACTOR),
+        retry: RetryPolicy {
+            max_retries: MAX_RETRIES,
+            base: eff.saturating_mul(RETRY_BASE_FACTOR),
+            factor: 2,
+            cap: eff.saturating_mul(RETRY_CAP_FACTOR),
+        },
+        hedge: Some(HedgePolicy {
+            delay_ns: eff.saturating_mul(HEDGE_DELAY_FACTOR),
+            max_hedges: 1,
+        }),
+        faults: level.plan(span, splitmix64(seed ^ FAULT_SEED_SALT)),
+        seed,
+    }
+}
+
+/// One sweep point's results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSloRow {
+    /// Workload name.
+    pub workload: String,
+    /// Fleet size.
+    pub machines: usize,
+    /// Fault intensity.
+    pub faults: FaultLevel,
+    /// Median completion latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile completion latency, ns.
+    pub p99_ns: u64,
+    /// 99.9th-percentile completion latency, ns.
+    pub p999_ns: u64,
+    /// Completed requests per second of simulated time.
+    pub goodput_rps: f64,
+    /// Fraction of arrived requests completing within the SLO bound
+    /// (shed and failed requests count against it).
+    pub slo_attainment: f64,
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests that exhausted the retry budget.
+    pub failed: u64,
+    /// Retry attempts dispatched.
+    pub retries: u64,
+    /// Hedge attempts dispatched.
+    pub hedges: u64,
+    /// Attempts abandoned by the client timeout.
+    pub timeouts: u64,
+    /// Machine crashes injected.
+    pub machine_failures: u64,
+    /// Machines repaired.
+    pub recoveries: u64,
+    /// Straggler episodes injected.
+    pub straggler_episodes: u64,
+    /// Machines ejected from rotation.
+    pub ejections: u64,
+    /// Machines readmitted by health probes.
+    pub readmissions: u64,
+    /// Server completions of already-abandoned attempts (wasted work).
+    pub wasted_completions: u64,
+}
+
+/// Simulates one sweep point. Under `CS_PARANOID` the fleet conservation
+/// auditor runs on the result and any imbalance fails the point loudly
+/// ([`crate::errors::AuditError::Fleet`]).
+pub fn run_point(
+    profile: &ServiceProfile,
+    machines: usize,
+    level: FaultLevel,
+    seed: u64,
+) -> Result<FleetSloRow, HarnessError> {
+    let cfg = point_config(profile, machines, level, seed);
+    let stats = simulate(&cfg, profile)?;
+    if crate::harness::paranoid_enabled() {
+        stats.audit(cfg.hedge)?;
+    }
+    let slo_ns = effective_mean_ns(profile).saturating_mul(SLO_FACTOR);
+    Ok(FleetSloRow {
+        workload: profile.workload.clone(),
+        machines,
+        faults: level,
+        p50_ns: stats.p50_ns(),
+        p99_ns: stats.p99_ns(),
+        p999_ns: stats.p999_ns(),
+        goodput_rps: stats.goodput_rps(),
+        slo_attainment: stats.slo_attainment(slo_ns),
+        arrived: stats.arrived,
+        completed: stats.completed,
+        shed: stats.shed,
+        failed: stats.failed,
+        retries: stats.retries,
+        hedges: stats.hedges,
+        timeouts: stats.timeouts,
+        machine_failures: stats.machine_failures,
+        recoveries: stats.recoveries,
+        straggler_episodes: stats.straggler_episodes,
+        ejections: stats.ejections,
+        readmissions: stats.readmissions,
+        wasted_completions: stats.wasted_completions,
+    })
+}
+
+/// The measured service-time table plus the full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSloData {
+    /// Harness-measured service profiles, in suite order.
+    pub profiles: Vec<ServiceProfile>,
+    /// One row per (workload, machines, fault level) point.
+    pub rows: Vec<FleetSloRow>,
+}
+
+/// Deterministic per-point seed: position in the sweep, scrambled.
+fn point_seed(base_seed: u64, index: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(0x5105 + index as u64))
+}
+
+/// Runs the full sweep over every scale-out workload.
+pub fn collect(cfg: &RunConfig) -> Result<FleetSloData, HarnessError> {
+    collect_subset(cfg, &Benchmark::scale_out_suite())
+}
+
+/// Runs the sweep over a chosen subset of workloads (tests use a single
+/// workload to keep the harness portion cheap).
+///
+/// Sweep points are independent units fanned over [`RunConfig::jobs`]
+/// threads; per-point seeds are positional, so neither the job count nor
+/// scheduling order can change a single byte of the output.
+pub fn collect_subset(
+    cfg: &RunConfig,
+    benches: &[Benchmark],
+) -> Result<FleetSloData, HarnessError> {
+    let profiles = service_profiles(cfg, benches)?;
+    let points: Vec<(usize, usize, FaultLevel)> = (0..profiles.len())
+        .flat_map(|p| {
+            MACHINE_COUNTS
+                .into_iter()
+                .flat_map(move |m| FaultLevel::all().into_iter().map(move |l| (p, m, l)))
+        })
+        .collect();
+    let rows = crate::par::par_map(cfg.jobs, &points, |i, &(p, machines, level)| {
+        run_point(&profiles[p], machines, level, point_seed(cfg.seed, i))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(FleetSloData { profiles, rows })
+}
+
+/// Renders the service table, the per-point sweep, and the fleet totals.
+pub fn report(data: &FleetSloData) -> Report {
+    let mut services = Table::new(
+        "Harness-measured service times",
+        &["workload", "mean service (us)", "SMT inflation", "co-location inflation"],
+    );
+    for p in &data.profiles {
+        services.row([
+            p.workload.clone().into(),
+            (p.mean_service_ns as f64 / 1e3).into(),
+            p.smt_inflation.into(),
+            p.colocation_inflation.into(),
+        ]);
+    }
+
+    let mut points = Table::new(
+        "Tail latency and goodput per (fleet size, fault intensity)",
+        &[
+            "workload",
+            "machines",
+            "faults",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "goodput (req/s)",
+            "SLO %",
+            "shed",
+            "failed",
+            "retries",
+            "hedges",
+            "crashes",
+            "ejections",
+            "wasted",
+        ],
+    );
+    for r in &data.rows {
+        points.row([
+            r.workload.clone().into(),
+            (r.machines as u64).into(),
+            r.faults.label().into(),
+            (r.p50_ns as f64 / 1e6).into(),
+            (r.p99_ns as f64 / 1e6).into(),
+            (r.p999_ns as f64 / 1e6).into(),
+            r.goodput_rps.into(),
+            (100.0 * r.slo_attainment).into(),
+            r.shed.into(),
+            r.failed.into(),
+            r.retries.into(),
+            r.hedges.into(),
+            r.machine_failures.into(),
+            r.ejections.into(),
+            r.wasted_completions.into(),
+        ]);
+    }
+
+    let sum = |get: fn(&FleetSloRow) -> u64| data.rows.iter().map(get).sum::<u64>();
+    let mut totals = Table::new(
+        "Fleet totals (sweep-wide)",
+        &[
+            "arrived",
+            "completed",
+            "shed",
+            "failed",
+            "retries",
+            "hedges",
+            "timeouts",
+            "machine failures",
+            "recoveries",
+            "ejections",
+            "readmissions",
+            "wasted",
+        ],
+    );
+    totals.row([
+        sum(|r| r.arrived).into(),
+        sum(|r| r.completed).into(),
+        sum(|r| r.shed).into(),
+        sum(|r| r.failed).into(),
+        sum(|r| r.retries).into(),
+        sum(|r| r.hedges).into(),
+        sum(|r| r.timeouts).into(),
+        sum(|r| r.machine_failures).into(),
+        sum(|r| r.recoveries).into(),
+        sum(|r| r.ejections).into(),
+        sum(|r| r.readmissions).into(),
+        sum(|r| r.wasted_completions).into(),
+    ]);
+
+    let mut rep = Report::new("Fleet SLO: tail latency under machine failures");
+    rep.note(
+        "Service times measured by the harness (fig. 3/4 methodology); the fleet is a \
+         seeded discrete-event simulation with crashes, stragglers, capped-backoff \
+         retries, hedging, health ejection, and admission-time load shedding.",
+    );
+    rep.push(services);
+    rep.push(points);
+    rep.push(totals);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_profile() -> ServiceProfile {
+        ServiceProfile {
+            workload: "synthetic".into(),
+            mean_service_ns: 50_000,
+            smt_inflation: 1.4,
+            colocation_inflation: 1.15,
+        }
+    }
+
+    #[test]
+    fn point_configs_validate_and_replay() {
+        let p = synthetic_profile();
+        for machines in MACHINE_COUNTS {
+            for level in FaultLevel::all() {
+                let a = point_config(&p, machines, level, 7);
+                let b = point_config(&p, machines, level, 7);
+                assert_eq!(a, b, "point config must be a pure function");
+                a.validate(&p).expect("generated configs must be valid");
+                assert_eq!(level == FaultLevel::None, a.faults.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_levels_scale_pressure() {
+        let moderate = FaultLevel::Moderate.plan(1 << 30, 9).expect("plan");
+        let heavy = FaultLevel::Heavy.plan(1 << 30, 9).expect("plan");
+        assert!(heavy.crash_mtbf_ns < moderate.crash_mtbf_ns);
+        assert!(heavy.straggler_mtbf_ns < moderate.straggler_mtbf_ns);
+        assert!(heavy.straggler_factor > moderate.straggler_factor);
+        assert!(FaultLevel::None.plan(1 << 30, 9).is_none());
+    }
+
+    #[test]
+    fn degenerate_measurements_are_an_empty_table() {
+        let good = Measured { cycles: 1_000_000, contexts: 4, requests: 500 };
+        let no_requests = Measured { requests: 0, ..good };
+        let err = derive_profile("cassandra", 2.93, good, no_requests, good)
+            .expect_err("zero requests must be rejected");
+        assert!(matches!(err, ConfigError::EmptyServiceTable { ref workload } if workload == "cassandra"));
+        let no_cycles = Measured { cycles: 0, ..good };
+        assert!(derive_profile("x", 2.93, no_cycles, good, good).is_err());
+        let p = derive_profile("x", 2.93, good, good, good).expect("good table");
+        assert!(p.mean_service_ns > 0);
+        assert!((p.smt_inflation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_inflation_is_per_context() {
+        // SMT doubles contexts and (say) raises throughput 1.5x: each
+        // context now takes 2/1.5 = 1.33x longer per request.
+        let base = Measured { cycles: 1_000_000, contexts: 4, requests: 1_000 };
+        let smt = Measured { cycles: 1_000_000, contexts: 8, requests: 1_500 };
+        let p = derive_profile("x", 2.93, base, smt, base).expect("profile");
+        assert!((p.smt_inflation - 8.0 / 6.0).abs() < 1e-9, "got {}", p.smt_inflation);
+    }
+
+    #[test]
+    fn sweep_points_conserve_and_fault_levels_bite() {
+        let p = synthetic_profile();
+        let mut shed_total = 0;
+        let mut heavy_crashes = 0;
+        let mut heavy_retries = 0;
+        for (i, machines) in MACHINE_COUNTS.into_iter().enumerate() {
+            for (j, level) in FaultLevel::all().into_iter().enumerate() {
+                let row = run_point(&p, machines, level, point_seed(42, i * 3 + j))
+                    .expect("point must simulate");
+                assert_eq!(
+                    row.arrived,
+                    row.completed + row.shed + row.failed,
+                    "request conservation at {machines} machines, {}",
+                    level.label()
+                );
+                assert_eq!(row.arrived, REQUESTS_PER_POINT);
+                shed_total += row.shed;
+                if level == FaultLevel::Heavy {
+                    heavy_crashes += row.machine_failures;
+                    heavy_retries += row.retries;
+                } else if level == FaultLevel::None {
+                    assert_eq!(row.machine_failures, 0);
+                    assert_eq!(row.straggler_episodes, 0);
+                }
+            }
+        }
+        assert!(shed_total > 0, "bursty overload must shed somewhere in the sweep");
+        assert!(heavy_crashes > 0, "heavy fault level must crash machines");
+        assert!(heavy_retries > 0, "crashes and timeouts must provoke retries");
+    }
+
+    #[test]
+    fn rows_replay_byte_identically() {
+        let p = synthetic_profile();
+        let a = run_point(&p, 8, FaultLevel::Heavy, 1234).expect("run");
+        let b = run_point(&p, 8, FaultLevel::Heavy, 1234).expect("run");
+        assert_eq!(a, b);
+        let c = run_point(&p, 8, FaultLevel::Heavy, 1235).expect("run");
+        assert_ne!(a, c, "a different seed must change the point");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn harness_profiles_are_usable() {
+        let cfg = RunConfig {
+            warmup_instr: 200_000,
+            measure_instr: 400_000,
+            ..RunConfig::default()
+        };
+        let profiles =
+            service_profiles(&cfg, &[Benchmark::data_serving()]).expect("profiles");
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert!(p.mean_service_ns > 0);
+        assert!(
+            p.smt_inflation > 1.0,
+            "per-context service time must inflate under SMT, got {}",
+            p.smt_inflation
+        );
+        assert!(p.colocation_inflation > 1.0, "got {}", p.colocation_inflation);
+    }
+}

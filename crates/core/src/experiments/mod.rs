@@ -16,5 +16,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet_slo;
 pub mod table1;
 pub mod trends;

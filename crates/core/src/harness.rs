@@ -521,7 +521,7 @@ impl Phase {
 
 /// Whether the optional end-of-run conservation auditor is enabled:
 /// `CS_PARANOID` set to anything but empty or `0`.
-fn paranoid_enabled() -> bool {
+pub(crate) fn paranoid_enabled() -> bool {
     std::env::var("CS_PARANOID").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
@@ -690,10 +690,10 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
             match attempt() {
                 Ok(phase) => resumed = Some(phase),
                 Err(e) => {
-                    eprintln!(
-                        "checkpoint: discarding {} ({e:?}); starting fresh",
-                        path.display()
-                    );
+                    // The envelope checksum held but the payload no longer
+                    // decodes (format drift or a writer bug): structural —
+                    // move the evidence aside and start fresh.
+                    crate::checkpoint::quarantine(path, &format!("payload decode: {e:?}"));
                     chip = machine.build();
                     chip.set_cycle_skip(cfg.cycle_skip);
                     meters.clear();

@@ -17,7 +17,9 @@
 //!   used for the LLC study), and the derived metrics;
 //! - [`experiments`] — one entry point per table and figure (Table 1,
 //!   Figures 1–7) plus the ablations suggested by the paper's
-//!   "Implications" paragraphs;
+//!   "Implications" paragraphs and the `fleet_slo` cluster-serving study
+//!   (harness-measured service times driving the `cs-fleet` fault-tolerant
+//!   fleet simulator);
 //! - [`errors`] — the typed error surface: configuration validation
 //!   ([`errors::ConfigError`]), stall/truncation diagnoses
 //!   ([`errors::HarnessError`]), and registry capability errors;

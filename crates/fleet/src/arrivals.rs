@@ -1,0 +1,112 @@
+//! Open-loop request arrival processes.
+//!
+//! The paper's §2 observation — scale-out requests are independent — is
+//! what licenses an open-loop model: arrivals do not wait for completions,
+//! so overload shows up as queueing delay and shedding rather than as a
+//! politely self-throttling client. The base process is Poisson; an
+//! optional square-wave [`Burst`] modulation reshapes it into the
+//! diurnal/bursty traffic that makes load shedding and hedging earn their
+//! keep.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Square-wave modulation of the arrival rate.
+///
+/// Within each `period_ns` window, the first `on_fraction` of the period
+/// multiplies the arrival rate by `amplitude` (>= 1); the remainder runs
+/// at the base rate. Phase is anchored at simulated time zero, so the
+/// burst pattern is a pure function of the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Length of one modulation period.
+    pub period_ns: u64,
+    /// Fraction of the period spent in the high-rate phase, in `(0, 1)`.
+    pub on_fraction: f64,
+    /// Rate multiplier during the high-rate phase.
+    pub amplitude: f64,
+}
+
+/// A seeded open-loop arrival process.
+#[derive(Debug)]
+pub struct ArrivalProcess {
+    mean_interarrival_ns: f64,
+    burst: Option<Burst>,
+    rng: SmallRng,
+}
+
+impl ArrivalProcess {
+    /// Builds a process with the given base mean inter-arrival gap.
+    pub fn new(mean_interarrival_ns: u64, burst: Option<Burst>, rng: SmallRng) -> Self {
+        Self { mean_interarrival_ns: mean_interarrival_ns.max(1) as f64, burst, rng }
+    }
+
+    /// The rate multiplier in effect at time `now`.
+    fn rate_factor(&self, now: u64) -> f64 {
+        match self.burst {
+            Some(b) if b.period_ns > 0 && b.amplitude > 1.0 => {
+                let phase = (now % b.period_ns) as f64 / b.period_ns as f64;
+                if phase < b.on_fraction {
+                    b.amplitude
+                } else {
+                    1.0
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Draws the gap from `now` to the next arrival (>= 1 ns).
+    pub fn next_gap(&mut self, now: u64) -> u64 {
+        let mean = self.mean_interarrival_ns / self.rate_factor(now);
+        let u: f64 = self.rng.gen::<f64>().min(1.0 - f64::EPSILON);
+        let gap = mean * -(1.0 - u).ln();
+        (gap as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_trace::rng::stream_rng;
+
+    #[test]
+    fn gaps_are_deterministic() {
+        let mut a = ArrivalProcess::new(1_000, None, stream_rng(4, 1));
+        let mut b = ArrivalProcess::new(1_000, None, stream_rng(4, 1));
+        let xs: Vec<u64> = (0..128).map(|i| a.next_gap(i * 500)).collect();
+        let ys: Vec<u64> = (0..128).map(|i| b.next_gap(i * 500)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_respected() {
+        let mut p = ArrivalProcess::new(2_000, None, stream_rng(9, 0));
+        let n = 100_000u64;
+        let sum: u64 = (0..n).map(|_| p.next_gap(0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((1_800.0..2_200.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn burst_phase_shrinks_gaps() {
+        let burst = Burst { period_ns: 1_000_000, on_fraction: 0.5, amplitude: 4.0 };
+        let mut p = ArrivalProcess::new(10_000, Some(burst), stream_rng(2, 0));
+        let n = 20_000u64;
+        // Sample entirely inside the on-phase, then entirely in the off-phase.
+        let on: u64 = (0..n).map(|_| p.next_gap(100)).sum();
+        let off: u64 = (0..n).map(|_| p.next_gap(600_000)).sum();
+        let ratio = off as f64 / on as f64;
+        assert!((3.0..5.0).contains(&ratio), "amplitude 4 drew ratio {ratio}");
+    }
+
+    #[test]
+    fn gap_is_at_least_one_ns() {
+        let burst = Burst { period_ns: 100, on_fraction: 0.9, amplitude: 1e9 };
+        let mut p = ArrivalProcess::new(1, Some(burst), stream_rng(8, 0));
+        for _ in 0..1_000 {
+            assert!(p.next_gap(0) >= 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Load balancer: least-outstanding routing, health ejection, shedding.
+//!
+//! Routing is deterministic: among machines that are not ejected (and not
+//! explicitly excluded, for hedges), pick the one with the least
+//! outstanding load, breaking ties by lowest machine id. Ejection happens
+//! when the balancer *observes* a failure — a connect failure or a crash
+//! that killed in-flight attempts — or when a periodic health probe finds
+//! the machine down; readmission happens only via a probe that finds it
+//! up again. Shedding is the admission decision: a request (initial or
+//! retry) whose best available machine is already at `contexts +
+//! queue_capacity` outstanding, or that finds every machine ejected, is
+//! dropped at the door rather than queued into certain timeout.
+
+use crate::machine::Machine;
+
+/// Balancer state: the ejection set plus its decision counters.
+#[derive(Debug, Default)]
+pub struct Balancer {
+    ejected: Vec<bool>,
+    /// Ejections performed (first observation only; already-ejected
+    /// machines do not re-count).
+    pub ejections: u64,
+    /// Readmissions performed by health probes.
+    pub readmissions: u64,
+}
+
+/// Outcome of a routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Dispatch to this machine.
+    To(usize),
+    /// Admission denied: the best machine is saturated or none is in
+    /// rotation.
+    Shed,
+}
+
+impl Balancer {
+    /// A balancer over `machines` machines, all in rotation.
+    pub fn new(machines: usize) -> Self {
+        Self { ejected: vec![false; machines], ejections: 0, readmissions: 0 }
+    }
+
+    /// Whether machine `m` is currently out of rotation.
+    pub fn is_ejected(&self, m: usize) -> bool {
+        self.ejected[m]
+    }
+
+    /// Takes `m` out of rotation (observed failure or failed probe).
+    pub fn eject(&mut self, m: usize) {
+        if !self.ejected[m] {
+            self.ejected[m] = true;
+            self.ejections += 1;
+        }
+    }
+
+    /// Puts `m` back in rotation (probe found it up).
+    pub fn readmit(&mut self, m: usize) {
+        if self.ejected[m] {
+            self.ejected[m] = false;
+            self.readmissions += 1;
+        }
+    }
+
+    /// Picks a machine for an attempt, or sheds.
+    ///
+    /// `exclude` lists machines carrying live sibling attempts of the same
+    /// request (hedges should land elsewhere); exclusion is best-effort —
+    /// if every in-rotation machine is excluded, the exclusion is lifted
+    /// rather than failing the dispatch.
+    /// `queue_capacity` bounds the per-machine wait queue.
+    pub fn route(&self, machines: &[Machine], exclude: &[usize], queue_capacity: usize) -> Route {
+        let pick = |respect_exclude: bool| -> Option<usize> {
+            let mut best: Option<(usize, usize)> = None;
+            for (m, machine) in machines.iter().enumerate() {
+                if self.ejected[m] || (respect_exclude && exclude.contains(&m)) {
+                    continue;
+                }
+                let load = machine.load();
+                if best.is_none_or(|(_, bl)| load < bl) {
+                    best = Some((m, load));
+                }
+            }
+            best.map(|(m, _)| m)
+        };
+        let chosen = pick(true).or_else(|| pick(false));
+        match chosen {
+            Some(m) if machines[m].load() < machines[m].contexts + queue_capacity => Route::To(m),
+            _ => Route::Shed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(loads: &[usize]) -> Vec<Machine> {
+        loads
+            .iter()
+            .map(|&l| {
+                let mut m = Machine::new(4);
+                for i in 0..l {
+                    m.queue.push_back(i as u32);
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_to_least_loaded_lowest_id() {
+        let machines = fleet(&[3, 1, 1, 2]);
+        let b = Balancer::new(4);
+        assert_eq!(b.route(&machines, &[], 8), Route::To(1));
+    }
+
+    #[test]
+    fn ejected_machines_are_skipped_and_readmitted() {
+        let machines = fleet(&[0, 5]);
+        let mut b = Balancer::new(2);
+        b.eject(0);
+        b.eject(0);
+        assert_eq!(b.ejections, 1);
+        assert_eq!(b.route(&machines, &[], 8), Route::To(1));
+        b.readmit(0);
+        assert_eq!(b.readmissions, 1);
+        assert_eq!(b.route(&machines, &[], 8), Route::To(0));
+    }
+
+    #[test]
+    fn exclusion_is_best_effort() {
+        let machines = fleet(&[1, 2]);
+        let mut b = Balancer::new(2);
+        assert_eq!(b.route(&machines, &[0], 8), Route::To(1));
+        // With machine 1 ejected, the exclusion of 0 must be lifted.
+        b.eject(1);
+        assert_eq!(b.route(&machines, &[0], 8), Route::To(0));
+    }
+
+    #[test]
+    fn saturation_and_empty_rotation_shed() {
+        let machines = fleet(&[12, 12]);
+        let mut b = Balancer::new(2);
+        assert_eq!(b.route(&machines, &[], 8), Route::Shed);
+        let light = fleet(&[0]);
+        let mut solo = Balancer::new(1);
+        solo.eject(0);
+        assert_eq!(solo.route(&light, &[], 8), Route::Shed);
+        b.eject(0);
+        b.eject(1);
+        assert_eq!(b.route(&machines, &[], 8), Route::Shed);
+    }
+}

@@ -1,0 +1,178 @@
+//! Seeded machine-level fault injection: crashes and stragglers.
+//!
+//! Follows the `cs-memsys` `FaultPlan` discipline: a plan is plain data, a
+//! pure function of its seed, and every fault it injects is counted so
+//! tests can assert the chaos actually happened. Where the memory-system
+//! plan perturbs individual DRAM events, the fleet plan schedules
+//! machine-lifetime events — whole-machine crashes with a fixed repair
+//! time, and straggler episodes that multiply service times for a while.
+//! Each machine draws from its own SplitMix-derived stream, so adding a
+//! machine never perturbs the fault history of the others.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A seeded machine-level fault plan.
+///
+/// Gap draws are exponential around the configured mean time between
+/// faults; a mean of zero disables that fault class entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetFaultPlan {
+    /// Mean time between crashes per machine, in ns (0 = no crashes).
+    pub crash_mtbf_ns: u64,
+    /// Downtime after a crash before the machine serves again.
+    pub repair_ns: u64,
+    /// Mean time between straggler episodes per machine (0 = none).
+    pub straggler_mtbf_ns: u64,
+    /// Length of one straggler episode.
+    pub straggler_duration_ns: u64,
+    /// Service-time multiplier while straggling (> 1 to have any effect).
+    pub straggler_factor: f64,
+    /// Seed of the fault streams (independent of the service-time seed).
+    pub seed: u64,
+}
+
+impl FleetFaultPlan {
+    /// A plan that injects nothing (useful as an explicit baseline).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            crash_mtbf_ns: 0,
+            repair_ns: 0,
+            straggler_mtbf_ns: 0,
+            straggler_duration_ns: 0,
+            straggler_factor: 1.0,
+            seed,
+        }
+    }
+
+    /// Crashes only: machines fail every `mtbf_ns` on average and come
+    /// back `repair_ns` later.
+    pub fn crashes(mtbf_ns: u64, repair_ns: u64, seed: u64) -> Self {
+        Self { crash_mtbf_ns: mtbf_ns, repair_ns, ..Self::quiet(seed) }
+    }
+
+    /// Stragglers only: episodes of `duration_ns` during which service
+    /// times are multiplied by `factor`.
+    pub fn stragglers(mtbf_ns: u64, duration_ns: u64, factor: f64, seed: u64) -> Self {
+        Self {
+            straggler_mtbf_ns: mtbf_ns,
+            straggler_duration_ns: duration_ns,
+            straggler_factor: factor,
+            ..Self::quiet(seed)
+        }
+    }
+}
+
+/// Per-machine fault streams for one simulation.
+///
+/// Crash gaps and straggler gaps come from separate streams so enabling
+/// one fault class never shifts the schedule of the other.
+#[derive(Debug)]
+pub struct FaultStreams {
+    plan: FleetFaultPlan,
+    crash: Vec<SmallRng>,
+    straggle: Vec<SmallRng>,
+}
+
+/// Stream-id offset separating straggler streams from crash streams.
+const STRAGGLE_STREAM_BASE: u64 = 1 << 32;
+
+impl FaultStreams {
+    /// Builds streams for `machines` machines from the plan's seed.
+    pub fn new(plan: FleetFaultPlan, machines: usize) -> Self {
+        let crash = (0..machines)
+            .map(|m| cs_trace::rng::stream_rng(plan.seed, m as u64))
+            .collect();
+        let straggle = (0..machines)
+            .map(|m| cs_trace::rng::stream_rng(plan.seed, STRAGGLE_STREAM_BASE + m as u64))
+            .collect();
+        Self { plan, crash, straggle }
+    }
+
+    /// The plan these streams realize.
+    pub fn plan(&self) -> &FleetFaultPlan {
+        &self.plan
+    }
+
+    fn exp_gap(rng: &mut SmallRng, mean_ns: u64) -> u64 {
+        let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON);
+        ((mean_ns as f64) * -(1.0 - u).ln()) as u64 + 1
+    }
+
+    /// Gap to machine `m`'s next crash, or `None` if crashes are disabled.
+    pub fn next_crash_gap(&mut self, m: usize) -> Option<u64> {
+        if self.plan.crash_mtbf_ns == 0 {
+            return None;
+        }
+        Some(Self::exp_gap(&mut self.crash[m], self.plan.crash_mtbf_ns))
+    }
+
+    /// Gap to machine `m`'s next straggler episode, or `None` if disabled.
+    pub fn next_straggle_gap(&mut self, m: usize) -> Option<u64> {
+        if self.plan.straggler_mtbf_ns == 0 || self.plan.straggler_factor <= 1.0 {
+            return None;
+        }
+        Some(Self::exp_gap(&mut self.straggle[m], self.plan.straggler_mtbf_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FleetFaultPlan::crashes(1_000_000, 50_000, 13);
+        let mut a = FaultStreams::new(plan, 4);
+        let mut b = FaultStreams::new(plan, 4);
+        for m in 0..4 {
+            let xs: Vec<_> = (0..32).map(|_| a.next_crash_gap(m)).collect();
+            let ys: Vec<_> = (0..32).map(|_| b.next_crash_gap(m)).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn machines_have_independent_streams() {
+        let plan = FleetFaultPlan::crashes(1_000_000, 50_000, 13);
+        let mut s = FaultStreams::new(plan, 2);
+        let xs: Vec<_> = (0..32).map(|_| s.next_crash_gap(0)).collect();
+        let ys: Vec<_> = (0..32).map(|_| s.next_crash_gap(1)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn adding_a_machine_preserves_existing_streams() {
+        let plan = FleetFaultPlan::stragglers(500_000, 10_000, 4.0, 5);
+        let mut small = FaultStreams::new(plan, 2);
+        let mut large = FaultStreams::new(plan, 8);
+        for m in 0..2 {
+            let xs: Vec<_> = (0..16).map(|_| small.next_straggle_gap(m)).collect();
+            let ys: Vec<_> = (0..16).map(|_| large.next_straggle_gap(m)).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn quiet_plan_schedules_nothing() {
+        let mut s = FaultStreams::new(FleetFaultPlan::quiet(1), 3);
+        assert_eq!(s.next_crash_gap(0), None);
+        assert_eq!(s.next_straggle_gap(2), None);
+    }
+
+    #[test]
+    fn factor_at_or_below_one_disables_stragglers() {
+        let mut s = FaultStreams::new(FleetFaultPlan::stragglers(1_000, 100, 1.0, 2), 1);
+        assert_eq!(s.next_straggle_gap(0), None);
+    }
+
+    #[test]
+    fn gaps_are_positive() {
+        let plan = FleetFaultPlan::crashes(1, 1, 99);
+        let mut s = FaultStreams::new(plan, 1);
+        for _ in 0..1_000 {
+            assert!(s.next_crash_gap(0).unwrap_or(1) >= 1);
+        }
+    }
+}

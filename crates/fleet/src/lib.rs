@@ -1,0 +1,51 @@
+//! # cs-fleet — fault-tolerant cluster serving layer
+//!
+//! The paper measures one machine; real deployments run thousands, and
+//! the numbers operators actually provision against are cluster-level:
+//! p99/p999 latency under an SLO, goodput under faults, how much capacity
+//! headroom a workload needs before its tail collapses. `cs-fleet` turns
+//! the per-workload service times measured by the CloudSuite-RS harness
+//! into those numbers with a deterministic, seeded discrete-event
+//! queueing simulator of a serving fleet.
+//!
+//! The crate is deliberately independent of the harness: it depends only
+//! on `cs-trace` (for the seeded RNG discipline) and consumes a plain
+//! [`ServiceProfile`] — mean service time plus SMT/co-location inflation
+//! factors — that `cs-core` extracts from simulation results. Everything
+//! here is a pure function of configuration and seed:
+//!
+//! - **Arrivals** ([`arrivals`]): open-loop Poisson, optionally modulated
+//!   by a square-wave burst pattern.
+//! - **Machines and routing** ([`machine`], [`balancer`]):
+//!   least-outstanding routing over bounded queues, health ejection and
+//!   probe-driven readmission, overload shedding at admission.
+//! - **Faults** ([`faults`]): seeded machine crash/recovery and straggler
+//!   episodes, per-machine streams in the `cs-memsys` `FaultPlan`
+//!   discipline.
+//! - **Client policies** ([`policy`]): per-request timeouts, capped
+//!   exponential-backoff retries (the same [`RetryPolicy`] the campaign
+//!   runner uses for transient experiment failures), and hedged requests.
+//! - **The event loop** ([`sim`]): a single `(time, sequence)`-ordered
+//!   heap, which is the whole determinism argument — see the module docs.
+//! - **SLO accounting** ([`report`]): percentiles, goodput, and a
+//!   conservation auditor (`arrived = completed + shed + failed`, plus
+//!   attempt-level books) that `CS_PARANOID` runs after every simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, clippy::unwrap_used, clippy::perf)]
+
+pub mod arrivals;
+pub mod balancer;
+pub mod faults;
+pub mod machine;
+pub mod policy;
+pub mod report;
+pub mod service;
+pub mod sim;
+
+pub use arrivals::Burst;
+pub use faults::FleetFaultPlan;
+pub use policy::{HedgePolicy, RetryPolicy};
+pub use report::{FleetAuditError, FleetStats};
+pub use service::ServiceProfile;
+pub use sim::{simulate, FleetConfig, FleetConfigError};

@@ -1,0 +1,100 @@
+//! Client-side resilience policies: capped exponential backoff and hedging.
+//!
+//! Both the fleet simulator and the campaign runner in `cs-bench` share
+//! [`RetryPolicy`]. The fleet interprets the schedule as nanosecond delays
+//! before re-dispatching a failed request; the campaign interprets it as
+//! budget multipliers (`max_cycles`, `watchdog_grace`) for re-running a
+//! transient-failed experiment. In both cases the schedule is a pure
+//! function of the policy — deterministic, monotone non-decreasing, and
+//! bounded by the cap — which is what the property tests lock down.
+
+use serde::{Deserialize, Serialize};
+
+/// A capped exponential-backoff retry schedule.
+///
+/// Attempt `i` (zero-based retry index) backs off by
+/// `min(base * factor^i, cap)`, computed in saturating integer arithmetic
+/// so pathological policies cannot overflow. A backoff of zero is rounded
+/// up to one so that a retry can never be scheduled at the same instant it
+/// was provoked (which would make event ordering load-bearing in a way the
+/// determinism argument does not cover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff of the first retry (nanoseconds in the fleet; a unitless
+    /// budget multiplier in the campaign runner).
+    pub base: u64,
+    /// Multiplicative growth per retry.
+    pub factor: u32,
+    /// Upper bound on any single backoff.
+    pub cap: u64,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Self { max_retries: 0, base: 1, factor: 2, cap: 1 }
+    }
+
+    /// The backoff before retry `retry_index` (zero-based), i.e.
+    /// `min(base * factor^retry_index, cap)`, saturating, and at least 1.
+    pub fn backoff(&self, retry_index: u32) -> u64 {
+        let factor = u64::from(self.factor.max(1));
+        let mut b = self.base.max(1);
+        for _ in 0..retry_index {
+            b = b.saturating_mul(factor);
+            if b >= self.cap {
+                break;
+            }
+        }
+        b.min(self.cap.max(1))
+    }
+
+    /// The full schedule as a vector, one entry per permitted retry.
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.max_retries).map(|i| self.backoff(i)).collect()
+    }
+}
+
+/// Hedged-request policy: after `delay_ns` without a response, dispatch a
+/// duplicate attempt to a different machine; first completion wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HedgePolicy {
+    /// How long a request must be outstanding before it is hedged.
+    pub delay_ns: u64,
+    /// Maximum hedges per request.
+    pub max_hedges: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically_until_the_cap() {
+        let p = RetryPolicy { max_retries: 6, base: 100, factor: 2, cap: 1_000 };
+        assert_eq!(p.schedule(), vec![100, 200, 400, 800, 1_000, 1_000]);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy { max_retries: 4, base: u64::MAX / 2, factor: u32::MAX, cap: u64::MAX };
+        for i in 0..64 {
+            assert_eq!(p.backoff(i).max(1), p.backoff(i));
+        }
+        assert_eq!(p.backoff(63), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_is_never_zero() {
+        let p = RetryPolicy { max_retries: 2, base: 0, factor: 0, cap: 0 };
+        assert_eq!(p.backoff(0), 1);
+        assert_eq!(p.backoff(9), 1);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        assert!(RetryPolicy::none().schedule().is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! SLO statistics and the fleet conservation auditor.
+//!
+//! Every request ends in exactly one of three states — completed, shed, or
+//! failed — and every dispatched attempt in exactly one of five — won,
+//! timed out, connect-failed, crash-failed, or cancelled. [`FleetStats`]
+//! counts all of them, plus the fault/policy events that caused them, and
+//! [`FleetStats::audit`] re-derives the books. Under `CS_PARANOID` the
+//! experiment layer runs the audit after every simulation and fails the
+//! run loudly on any imbalance.
+
+use crate::policy::HedgePolicy;
+use serde::{Deserialize, Serialize};
+
+/// Counters and latencies from one fleet simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Requests that arrived (open loop: fixed by configuration).
+    pub arrived: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests dropped at admission (overload or empty rotation).
+    pub shed: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+
+    /// Attempts dispatched to machines (initial + retries + hedges).
+    pub attempts: u64,
+    /// Initial attempts dispatched.
+    pub initial_attempts: u64,
+    /// Retry attempts dispatched.
+    pub retries: u64,
+    /// Hedge attempts dispatched.
+    pub hedges: u64,
+
+    /// Attempts that won their request.
+    pub won_attempts: u64,
+    /// Attempts abandoned by the client after the per-request timeout.
+    pub timeouts: u64,
+    /// Attempts that failed to connect (machine down, not yet ejected).
+    pub connect_failures: u64,
+    /// Attempts killed by a machine crash while queued or in service.
+    pub crash_failures: u64,
+    /// Sibling attempts cancelled when another attempt won.
+    pub cancelled: u64,
+    /// Server-side completions of attempts the client had already
+    /// abandoned — wasted work, the cost of timeouts under overload.
+    pub wasted_completions: u64,
+
+    /// Machine crashes injected.
+    pub machine_failures: u64,
+    /// Machines repaired and brought back up.
+    pub recoveries: u64,
+    /// Straggler episodes started.
+    pub straggler_episodes: u64,
+    /// Machines ejected from rotation by the balancer.
+    pub ejections: u64,
+    /// Machines readmitted by health probes.
+    pub readmissions: u64,
+    /// Health probes performed.
+    pub probes: u64,
+
+    /// Simulated time of the last request resolution, in ns.
+    pub span_ns: u64,
+    /// Completion latencies (arrival to winning completion), sorted, ns.
+    pub latencies_ns: Vec<u64>,
+}
+
+/// A conservation violation found by [`FleetStats::audit`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetAuditError {
+    /// `arrived != completed + shed + failed`.
+    RequestConservation {
+        /// Requests that arrived.
+        arrived: u64,
+        /// Requests accounted for by the three terminal states.
+        resolved: u64,
+    },
+    /// `attempts != initial + retries + hedges`.
+    AttemptProvenance {
+        /// Attempts dispatched.
+        attempts: u64,
+        /// Sum of the three dispatch classes.
+        classified: u64,
+    },
+    /// `attempts != won + timeouts + connect_failures + crash_failures +
+    /// cancelled` (an attempt is unaccounted for or double-counted).
+    AttemptConservation {
+        /// Attempts dispatched.
+        attempts: u64,
+        /// Attempts accounted for by the five terminal outcomes.
+        resolved: u64,
+    },
+    /// More retries than observed attempt failures — a retry fired without
+    /// a provoking timeout/connect/crash failure.
+    RetryProvenance {
+        /// Retries dispatched.
+        retries: u64,
+        /// Observed attempt failures that can provoke a retry.
+        failures: u64,
+    },
+    /// Hedges exceed the policy cap of `max_hedges` per arrived request.
+    HedgeCap {
+        /// Hedges dispatched.
+        hedges: u64,
+        /// `arrived * max_hedges`.
+        cap: u64,
+    },
+    /// Completion latencies disagree with the completed count.
+    LatencyCount {
+        /// Requests completed.
+        completed: u64,
+        /// Latency samples recorded.
+        samples: u64,
+    },
+}
+
+impl std::fmt::Display for FleetAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RequestConservation { arrived, resolved } => write!(
+                f,
+                "request conservation violated: arrived {arrived} != completed+shed+failed {resolved}"
+            ),
+            Self::AttemptProvenance { attempts, classified } => write!(
+                f,
+                "attempt provenance violated: dispatched {attempts} != initial+retries+hedges {classified}"
+            ),
+            Self::AttemptConservation { attempts, resolved } => write!(
+                f,
+                "attempt conservation violated: dispatched {attempts} != terminal outcomes {resolved}"
+            ),
+            Self::RetryProvenance { retries, failures } => write!(
+                f,
+                "retry provenance violated: {retries} retries but only {failures} observed attempt failures"
+            ),
+            Self::HedgeCap { hedges, cap } => {
+                write!(f, "hedge cap violated: {hedges} hedges exceed policy cap {cap}")
+            }
+            Self::LatencyCount { completed, samples } => write!(
+                f,
+                "latency bookkeeping violated: {completed} completions but {samples} latency samples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetAuditError {}
+
+impl FleetStats {
+    /// Nearest-rank percentile of the completion latencies (`q` in
+    /// `(0, 1]`), or 0 when nothing completed.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ns[rank - 1]
+    }
+
+    /// Median completion latency, ns.
+    pub fn p50_ns(&self) -> u64 {
+        self.latency_percentile(0.50)
+    }
+
+    /// 99th-percentile completion latency, ns.
+    pub fn p99_ns(&self) -> u64 {
+        self.latency_percentile(0.99)
+    }
+
+    /// 99.9th-percentile completion latency, ns.
+    pub fn p999_ns(&self) -> u64 {
+        self.latency_percentile(0.999)
+    }
+
+    /// Completed requests per second of simulated time.
+    pub fn goodput_rps(&self) -> f64 {
+        self.completed as f64 / (self.span_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Fraction of *arrived* requests that completed within `slo_ns` —
+    /// shed and failed requests count against the SLO, which is the whole
+    /// point of calling it goodput rather than throughput.
+    pub fn slo_attainment(&self, slo_ns: u64) -> f64 {
+        if self.arrived == 0 {
+            return 0.0;
+        }
+        let within = self.latencies_ns.partition_point(|&l| l <= slo_ns);
+        within as f64 / self.arrived as f64
+    }
+
+    /// Re-derives every conservation identity; `hedge` is the policy the
+    /// simulation ran with (None = hedging disabled).
+    pub fn audit(&self, hedge: Option<HedgePolicy>) -> Result<(), FleetAuditError> {
+        let resolved = self.completed + self.shed + self.failed;
+        if self.arrived != resolved {
+            return Err(FleetAuditError::RequestConservation { arrived: self.arrived, resolved });
+        }
+        let classified = self.initial_attempts + self.retries + self.hedges;
+        if self.attempts != classified {
+            return Err(FleetAuditError::AttemptProvenance { attempts: self.attempts, classified });
+        }
+        let outcomes = self.won_attempts
+            + self.timeouts
+            + self.connect_failures
+            + self.crash_failures
+            + self.cancelled;
+        if self.attempts != outcomes {
+            return Err(FleetAuditError::AttemptConservation {
+                attempts: self.attempts,
+                resolved: outcomes,
+            });
+        }
+        // Every retry must have been provoked by an observed attempt
+        // failure. The converse does not hold: a failure whose request is
+        // out of retry budget provokes nothing, so `<=`, not `==`.
+        let failures = self.timeouts + self.connect_failures + self.crash_failures;
+        if self.retries > failures {
+            return Err(FleetAuditError::RetryProvenance { retries: self.retries, failures });
+        }
+        let cap = self.arrived.saturating_mul(u64::from(hedge.map_or(0, |h| h.max_hedges)));
+        if self.hedges > cap {
+            return Err(FleetAuditError::HedgeCap { hedges: self.hedges, cap });
+        }
+        if self.completed != self.latencies_ns.len() as u64 {
+            return Err(FleetAuditError::LatencyCount {
+                completed: self.completed,
+                samples: self.latencies_ns.len() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> FleetStats {
+        FleetStats {
+            arrived: 10,
+            completed: 7,
+            shed: 2,
+            failed: 1,
+            attempts: 12,
+            initial_attempts: 8,
+            retries: 3,
+            hedges: 1,
+            won_attempts: 7,
+            timeouts: 3,
+            connect_failures: 1,
+            crash_failures: 0,
+            cancelled: 1,
+            latencies_ns: vec![10, 20, 30, 40, 50, 60, 70],
+            span_ns: 1_000_000_000,
+            ..FleetStats::default()
+        }
+    }
+
+    #[test]
+    fn audit_accepts_balanced_books() {
+        let hedge = Some(HedgePolicy { delay_ns: 100, max_hedges: 1 });
+        balanced().audit(hedge).expect("balanced stats must pass");
+    }
+
+    #[test]
+    fn audit_catches_each_imbalance() {
+        let hedge = Some(HedgePolicy { delay_ns: 100, max_hedges: 1 });
+        let mut s = balanced();
+        s.shed = 0;
+        assert!(matches!(
+            s.audit(hedge),
+            Err(FleetAuditError::RequestConservation { .. })
+        ));
+        let mut s = balanced();
+        s.retries = 2;
+        assert!(matches!(s.audit(hedge), Err(FleetAuditError::AttemptProvenance { .. })));
+        let mut s = balanced();
+        s.cancelled = 0;
+        assert!(matches!(s.audit(hedge), Err(FleetAuditError::AttemptConservation { .. })));
+        let mut s = balanced();
+        s.retries = 6;
+        s.initial_attempts = 5;
+        assert!(matches!(s.audit(hedge), Err(FleetAuditError::RetryProvenance { .. })));
+        let s = balanced();
+        assert!(matches!(s.audit(None), Err(FleetAuditError::HedgeCap { .. })));
+        let mut s = balanced();
+        s.latencies_ns.pop();
+        assert!(matches!(s.audit(hedge), Err(FleetAuditError::LatencyCount { .. })));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = FleetStats { latencies_ns: (1..=100).collect(), ..FleetStats::default() };
+        assert_eq!(s.p50_ns(), 50);
+        assert_eq!(s.p99_ns(), 99);
+        assert_eq!(s.p999_ns(), 100);
+        assert_eq!(s.latency_percentile(1.0), 100);
+        assert!(s.p50_ns() <= s.p99_ns() && s.p99_ns() <= s.p999_ns());
+    }
+
+    #[test]
+    fn empty_latencies_report_zero() {
+        let s = FleetStats::default();
+        assert_eq!(s.p999_ns(), 0);
+        assert_eq!(s.slo_attainment(100), 0.0);
+    }
+
+    #[test]
+    fn slo_attainment_counts_against_all_arrivals() {
+        let s = balanced();
+        // 4 of 7 completions are <= 40 ns, over 10 arrivals.
+        assert!((s.slo_attainment(40) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_is_completions_over_span() {
+        let s = balanced();
+        assert!((s.goodput_rps() - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-workload service-time models.
+//!
+//! The harness measures how many requests a workload completes in a
+//! simulated window; `cs-core` turns that into a [`ServiceProfile`] — the
+//! mean time one hardware context spends serving one request, plus the
+//! inflation factors observed under SMT sharing (fig. 3 methodology) and
+//! LLC co-location (fig. 4 methodology). The fleet simulator samples
+//! per-request service times from an exponential body around that mean,
+//! floored so a request is never free and capped so a single sample cannot
+//! dominate a percentile on its own (stragglers are modeled explicitly by
+//! the fault plan, not by the service distribution's tail).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Measured service-time characteristics of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Workload name (matches the benchmark registry).
+    pub workload: String,
+    /// Mean service time of one request on one dedicated context, in ns.
+    pub mean_service_ns: u64,
+    /// Per-context service-time inflation when the sibling SMT thread is
+    /// busy (>= 1 in practice; the model only requires > 0).
+    pub smt_inflation: f64,
+    /// Service-time inflation when co-located with a cache-hungry tenant.
+    pub colocation_inflation: f64,
+}
+
+/// Smallest sample, as a fraction of the mean (1/8).
+const FLOOR_SHIFT: u32 = 3;
+/// Largest sample, as a multiple of the mean.
+const CAP_FACTOR: u64 = 32;
+
+/// Deterministic sampler for per-request service times.
+///
+/// Samples `mean * -ln(1 - u)` (an exponential body), clamped to
+/// `[mean/8, 32*mean]`. All draws come from the seeded RNG handed in by
+/// the simulator, so a (config, seed) pair always produces the same
+/// service-time sequence.
+#[derive(Debug)]
+pub struct ServiceSampler {
+    mean_ns: f64,
+}
+
+impl ServiceSampler {
+    /// Builds a sampler around an effective mean (profile mean times any
+    /// inflation the scenario applies).
+    pub fn new(mean_ns: u64) -> Self {
+        Self { mean_ns: mean_ns.max(1) as f64 }
+    }
+
+    /// Draws one service time in nanoseconds.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON);
+        let raw = self.mean_ns * -(1.0 - u).ln();
+        let floor = (self.mean_ns as u64) >> FLOOR_SHIFT;
+        let cap = (self.mean_ns as u64).saturating_mul(CAP_FACTOR);
+        (raw as u64).clamp(floor.max(1), cap.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_trace::rng::stream_rng;
+
+    #[test]
+    fn samples_are_deterministic() {
+        let s = ServiceSampler::new(10_000);
+        let mut a = stream_rng(1, 2);
+        let mut b = stream_rng(1, 2);
+        let xs: Vec<u64> = (0..64).map(|_| s.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| s.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn samples_stay_within_floor_and_cap() {
+        let s = ServiceSampler::new(8_000);
+        let mut rng = stream_rng(3, 0);
+        for _ in 0..10_000 {
+            let x = s.sample(&mut rng);
+            assert!((1_000..=256_000).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_respected() {
+        let s = ServiceSampler::new(10_000);
+        let mut rng = stream_rng(5, 0);
+        let n = 100_000u64;
+        let sum: u64 = (0..n).map(|_| s.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((8_500.0..11_500.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zero_mean_degrades_to_one_ns() {
+        let s = ServiceSampler::new(0);
+        let mut rng = stream_rng(7, 0);
+        assert!(s.sample(&mut rng) >= 1);
+    }
+}

@@ -1,0 +1,834 @@
+//! The deterministic discrete-event fleet simulator.
+//!
+//! One simulation is a pure function of ([`FleetConfig`],
+//! [`ServiceProfile`]): every random draw flows through seeded streams
+//! (arrivals, service times, per-machine fault schedules), and every
+//! effect — including retries, hedges, crashes, and probes — is an event
+//! in a single binary heap ordered by `(time, sequence)`. The sequence
+//! number is assigned at scheduling time, so simultaneous events replay
+//! in the order they were scheduled; nothing observes allocation order,
+//! thread interleaving, or wall-clock time. That is the entire
+//! determinism argument, and it is what lets the `fleet_slo` experiment
+//! promise byte-identical results across `--jobs` values and reruns.
+//!
+//! ## Request lifecycle
+//!
+//! A request arrives (open loop), is routed by the balancer, and ends in
+//! exactly one of three states:
+//!
+//! - **completed** — some attempt finished before the client gave up;
+//! - **shed** — admission was denied (all machines saturated or out of
+//!   rotation) with no live attempt outstanding;
+//! - **failed** — the retry budget was exhausted.
+//!
+//! Attempts are the unit of dispatch: the initial attempt, retries (after
+//! an observed timeout/connect/crash failure, delayed by the capped
+//! exponential backoff schedule), and hedges (duplicates fired while the
+//! initial attempt is still outstanding). A timed-out attempt whose
+//! server is still working becomes *abandoned*: the server finishes it
+//! anyway and the completed work is counted as wasted — the classic
+//! overload amplification that load shedding exists to prevent.
+
+use crate::arrivals::{ArrivalProcess, Burst};
+use crate::balancer::{Balancer, Route};
+use crate::faults::{FaultStreams, FleetFaultPlan};
+use crate::machine::Machine;
+use crate::policy::{HedgePolicy, RetryPolicy};
+use crate::report::FleetStats;
+use crate::service::{ServiceProfile, ServiceSampler};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// RNG stream id for the arrival process.
+const ARRIVAL_STREAM: u64 = 0xA1;
+/// RNG stream id for service-time sampling.
+const SERVICE_STREAM: u64 = 0x5E;
+
+/// Full configuration of one fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of serving machines.
+    pub machines: usize,
+    /// Hardware contexts per machine (concurrent requests in service).
+    pub contexts_per_machine: usize,
+    /// Bounded per-machine wait queue; admission beyond
+    /// `contexts + queue_capacity` outstanding is shed.
+    pub queue_capacity: usize,
+    /// Total requests to arrive (open loop).
+    pub requests: u64,
+    /// Base mean inter-arrival gap, ns.
+    pub mean_interarrival_ns: u64,
+    /// Optional square-wave burst modulation of the arrival rate.
+    pub burst: Option<Burst>,
+    /// Service-time multiplier for the scenario (SMT sharing, co-location).
+    pub service_inflation: f64,
+    /// Client-side per-attempt timeout, ns.
+    pub timeout_ns: u64,
+    /// Connect timeout for attempts routed to a down machine, ns (must be
+    /// below `timeout_ns`).
+    pub connect_timeout_ns: u64,
+    /// Health-probe period per machine, ns.
+    pub probe_interval_ns: u64,
+    /// Retry schedule (backoffs in ns).
+    pub retry: RetryPolicy,
+    /// Optional hedged-request policy.
+    pub hedge: Option<HedgePolicy>,
+    /// Optional seeded fault plan.
+    pub faults: Option<FleetFaultPlan>,
+    /// Seed of the arrival and service streams.
+    pub seed: u64,
+}
+
+/// A rejected [`FleetConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetConfigError {
+    /// `machines` is zero.
+    NoMachines,
+    /// `contexts_per_machine` is zero.
+    NoContexts,
+    /// `requests` is zero.
+    NoRequests,
+    /// `mean_interarrival_ns` is zero.
+    ZeroInterarrival,
+    /// `timeout_ns` is zero.
+    ZeroTimeout,
+    /// `connect_timeout_ns` is zero or not below `timeout_ns`.
+    BadConnectTimeout,
+    /// `probe_interval_ns` is zero (ejected machines could never return).
+    ZeroProbeInterval,
+    /// `service_inflation` is not finite and positive.
+    BadInflation,
+    /// The service profile's mean is zero.
+    ZeroServiceTime,
+    /// Burst parameters out of range.
+    BadBurst,
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Self::NoMachines => "fleet needs at least one machine",
+            Self::NoContexts => "machines need at least one context",
+            Self::NoRequests => "fleet needs at least one request",
+            Self::ZeroInterarrival => "mean inter-arrival gap must be positive",
+            Self::ZeroTimeout => "request timeout must be positive",
+            Self::BadConnectTimeout => "connect timeout must be positive and below the request timeout",
+            Self::ZeroProbeInterval => "probe interval must be positive",
+            Self::BadInflation => "service inflation must be finite and positive",
+            Self::ZeroServiceTime => "service profile mean must be positive",
+            Self::BadBurst => "burst needs period > 0, on_fraction in (0,1), amplitude >= 1",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+impl FleetConfig {
+    /// Validates the configuration against `profile`.
+    pub fn validate(&self, profile: &ServiceProfile) -> Result<(), FleetConfigError> {
+        if self.machines == 0 {
+            return Err(FleetConfigError::NoMachines);
+        }
+        if self.contexts_per_machine == 0 {
+            return Err(FleetConfigError::NoContexts);
+        }
+        if self.requests == 0 {
+            return Err(FleetConfigError::NoRequests);
+        }
+        if self.mean_interarrival_ns == 0 {
+            return Err(FleetConfigError::ZeroInterarrival);
+        }
+        if self.timeout_ns == 0 {
+            return Err(FleetConfigError::ZeroTimeout);
+        }
+        if self.connect_timeout_ns == 0 || self.connect_timeout_ns >= self.timeout_ns {
+            return Err(FleetConfigError::BadConnectTimeout);
+        }
+        if self.probe_interval_ns == 0 {
+            return Err(FleetConfigError::ZeroProbeInterval);
+        }
+        if !(self.service_inflation.is_finite() && self.service_inflation > 0.0) {
+            return Err(FleetConfigError::BadInflation);
+        }
+        if profile.mean_service_ns == 0 {
+            return Err(FleetConfigError::ZeroServiceTime);
+        }
+        if let Some(b) = self.burst {
+            if b.period_ns == 0
+                || !(b.on_fraction > 0.0 && b.on_fraction < 1.0)
+                || !(b.amplitude.is_finite() && b.amplitude >= 1.0)
+            {
+                return Err(FleetConfigError::BadBurst);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the simulator does when an event fires.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    ServiceDone { attempt: u32 },
+    Timeout { attempt: u32 },
+    ConnectFail { attempt: u32 },
+    HedgeFire { req: u32 },
+    RetryFire { req: u32 },
+    Crash { machine: usize },
+    Recover { machine: usize },
+    StragglerStart { machine: usize },
+    StragglerEnd { machine: usize },
+    Probe { machine: usize },
+}
+
+/// Heap entry: min-ordered by `(at, seq)` via `Reverse`.
+#[derive(Debug)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Client-visible state of one dispatched attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttState {
+    /// Waiting in a machine's queue.
+    Queued,
+    /// Occupying a context.
+    InService,
+    /// Routed to a down machine; the connect will fail.
+    ConnectPending,
+    /// Client gave up (timeout) or a sibling won, but the server is still
+    /// working on it; its completion will be wasted.
+    Abandoned,
+    /// Fully accounted for.
+    Terminal,
+}
+
+#[derive(Debug)]
+struct Att {
+    req: u32,
+    machine: usize,
+    state: AttState,
+}
+
+#[derive(Debug)]
+struct Req {
+    arrived_at: u64,
+    resolved: bool,
+    retries_used: u32,
+    hedges_used: u32,
+    /// Live (non-terminal, non-abandoned) attempts of this request.
+    live: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DispatchKind {
+    Initial,
+    Retry,
+    Hedge,
+}
+
+struct Sim<'a> {
+    cfg: &'a FleetConfig,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: u64,
+    machines: Vec<Machine>,
+    balancer: Balancer,
+    reqs: Vec<Req>,
+    atts: Vec<Att>,
+    arrivals: ArrivalProcess,
+    service_rng: SmallRng,
+    sampler: ServiceSampler,
+    faults: Option<FaultStreams>,
+    stats: FleetStats,
+    arrivals_generated: u64,
+    resolved: u64,
+    last_resolution: u64,
+}
+
+/// Runs one simulation to completion.
+pub fn simulate(cfg: &FleetConfig, profile: &ServiceProfile) -> Result<FleetStats, FleetConfigError> {
+    cfg.validate(profile)?;
+    let effective_mean =
+        ((profile.mean_service_ns as f64 * cfg.service_inflation) as u64).max(1);
+    let mut sim = Sim {
+        cfg,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        now: 0,
+        machines: (0..cfg.machines).map(|_| Machine::new(cfg.contexts_per_machine)).collect(),
+        balancer: Balancer::new(cfg.machines),
+        reqs: Vec::with_capacity(cfg.requests as usize),
+        atts: Vec::with_capacity(cfg.requests as usize),
+        arrivals: ArrivalProcess::new(
+            cfg.mean_interarrival_ns,
+            cfg.burst,
+            cs_trace::rng::stream_rng(cfg.seed, ARRIVAL_STREAM),
+        ),
+        service_rng: cs_trace::rng::stream_rng(cfg.seed, SERVICE_STREAM),
+        sampler: ServiceSampler::new(effective_mean),
+        faults: cfg.faults.map(|p| FaultStreams::new(p, cfg.machines)),
+        stats: FleetStats::default(),
+        arrivals_generated: 0,
+        resolved: 0,
+        last_resolution: 0,
+    };
+    sim.run();
+    let mut stats = sim.stats;
+    stats.ejections = sim.balancer.ejections;
+    stats.readmissions = sim.balancer.readmissions;
+    stats.span_ns = sim.last_resolution;
+    stats.latencies_ns.sort_unstable();
+    Ok(stats)
+}
+
+impl Sim<'_> {
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+    }
+
+    fn run(&mut self) {
+        let first_gap = self.arrivals.next_gap(0);
+        self.schedule(first_gap, Ev::Arrival);
+        for m in 0..self.cfg.machines {
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_crash_gap(m)) {
+                self.schedule(gap, Ev::Crash { machine: m });
+            }
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_straggle_gap(m)) {
+                self.schedule(gap, Ev::StragglerStart { machine: m });
+            }
+            self.schedule(self.cfg.probe_interval_ns, Ev::Probe { machine: m });
+        }
+        while let Some(Reverse(s)) = self.heap.pop() {
+            self.now = s.at;
+            self.handle(s.ev);
+            // Probes, crashes, and stragglers reschedule themselves forever;
+            // the run is over once every request has resolved.
+            if self.resolved == self.cfg.requests && self.arrivals_generated == self.cfg.requests
+            {
+                break;
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival => self.on_arrival(),
+            Ev::ServiceDone { attempt } => self.on_service_done(attempt),
+            Ev::Timeout { attempt } => self.on_timeout(attempt),
+            Ev::ConnectFail { attempt } => self.on_connect_fail(attempt),
+            Ev::HedgeFire { req } => self.on_hedge_fire(req),
+            Ev::RetryFire { req } => self.on_retry_fire(req),
+            Ev::Crash { machine } => self.on_crash(machine),
+            Ev::Recover { machine } => self.on_recover(machine),
+            Ev::StragglerStart { machine } => self.on_straggler_start(machine),
+            Ev::StragglerEnd { machine } => self.on_straggler_end(machine),
+            Ev::Probe { machine } => self.on_probe(machine),
+        }
+    }
+
+    fn on_arrival(&mut self) {
+        self.arrivals_generated += 1;
+        self.stats.arrived += 1;
+        let r = self.reqs.len() as u32;
+        self.reqs.push(Req {
+            arrived_at: self.now,
+            resolved: false,
+            retries_used: 0,
+            hedges_used: 0,
+            live: Vec::new(),
+        });
+        self.dispatch(r, DispatchKind::Initial);
+        if self.arrivals_generated < self.cfg.requests {
+            let gap = self.arrivals.next_gap(self.now);
+            self.schedule(self.now + gap, Ev::Arrival);
+        }
+    }
+
+    /// Routes one attempt of request `r`. Sheds the request on admission
+    /// denial (hedges are skipped silently instead — the request still has
+    /// a live attempt racing).
+    fn dispatch(&mut self, r: u32, kind: DispatchKind) {
+        let exclude: Vec<usize> =
+            self.reqs[r as usize].live.iter().map(|&a| self.atts[a as usize].machine).collect();
+        match self.balancer.route(&self.machines, &exclude, self.cfg.queue_capacity) {
+            Route::Shed => {
+                if !matches!(kind, DispatchKind::Hedge) {
+                    self.resolve_shed(r);
+                }
+            }
+            Route::To(m) => {
+                let a = self.atts.len() as u32;
+                self.stats.attempts += 1;
+                match kind {
+                    DispatchKind::Initial => self.stats.initial_attempts += 1,
+                    DispatchKind::Retry => self.stats.retries += 1,
+                    DispatchKind::Hedge => self.stats.hedges += 1,
+                }
+                let start_now = self.machines[m].up && self.machines[m].has_free_context();
+                let state = if !self.machines[m].up {
+                    self.schedule(self.now + self.cfg.connect_timeout_ns, Ev::ConnectFail {
+                        attempt: a,
+                    });
+                    AttState::ConnectPending
+                } else if start_now {
+                    AttState::InService
+                } else {
+                    self.machines[m].queue.push_back(a);
+                    AttState::Queued
+                };
+                self.atts.push(Att { req: r, machine: m, state });
+                self.reqs[r as usize].live.push(a);
+                self.schedule(self.now + self.cfg.timeout_ns, Ev::Timeout { attempt: a });
+                if start_now {
+                    self.begin_service(a);
+                }
+                // Hedging covers the initial attempt's window only.
+                if matches!(kind, DispatchKind::Initial) {
+                    if let Some(h) = self.cfg.hedge {
+                        if h.max_hedges > 0 {
+                            self.schedule(self.now + h.delay_ns, Ev::HedgeFire { req: r });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Puts attempt `a` into service on its machine and schedules its
+    /// completion (inflated while the machine is straggling).
+    fn begin_service(&mut self, a: u32) {
+        let m = self.atts[a as usize].machine;
+        self.atts[a as usize].state = AttState::InService;
+        self.machines[m].in_service.push(a);
+        let mut svc = self.sampler.sample(&mut self.service_rng);
+        if self.machines[m].slow {
+            let factor = self.faults.as_ref().map_or(1.0, |f| f.plan().straggler_factor);
+            svc = (svc as f64 * factor) as u64;
+        }
+        self.schedule(self.now + svc.max(1), Ev::ServiceDone { attempt: a });
+    }
+
+    /// Starts queued attempts while contexts are free.
+    fn pull_queue(&mut self, m: usize) {
+        while self.machines[m].up
+            && self.machines[m].has_free_context()
+            && !self.machines[m].queue.is_empty()
+        {
+            if let Some(a) = self.machines[m].queue.pop_front() {
+                self.begin_service(a);
+            }
+        }
+    }
+
+    fn on_service_done(&mut self, a: u32) {
+        let m = self.atts[a as usize].machine;
+        match self.atts[a as usize].state {
+            AttState::InService => {
+                self.machines[m].release(a);
+                self.atts[a as usize].state = AttState::Terminal;
+                self.stats.won_attempts += 1;
+                self.resolve_completed(a);
+                self.pull_queue(m);
+            }
+            AttState::Abandoned => {
+                self.machines[m].release(a);
+                self.atts[a as usize].state = AttState::Terminal;
+                self.stats.wasted_completions += 1;
+                self.pull_queue(m);
+            }
+            // A crash already drained it; the stale completion is void.
+            _ => {}
+        }
+    }
+
+    fn on_timeout(&mut self, a: u32) {
+        let m = self.atts[a as usize].machine;
+        match self.atts[a as usize].state {
+            AttState::Queued => {
+                self.machines[m].unqueue(a);
+                self.atts[a as usize].state = AttState::Terminal;
+                self.stats.timeouts += 1;
+                self.attempt_failed(a);
+            }
+            AttState::InService => {
+                // The client gives up; the server keeps burning the context.
+                self.atts[a as usize].state = AttState::Abandoned;
+                self.stats.timeouts += 1;
+                self.attempt_failed(a);
+            }
+            AttState::ConnectPending => {
+                // Defensive: unreachable while connect_timeout < timeout.
+                self.atts[a as usize].state = AttState::Terminal;
+                self.stats.timeouts += 1;
+                self.attempt_failed(a);
+            }
+            AttState::Abandoned | AttState::Terminal => {}
+        }
+    }
+
+    fn on_connect_fail(&mut self, a: u32) {
+        if self.atts[a as usize].state != AttState::ConnectPending {
+            return;
+        }
+        self.atts[a as usize].state = AttState::Terminal;
+        self.stats.connect_failures += 1;
+        // A failed connect is an observed machine failure.
+        self.balancer.eject(self.atts[a as usize].machine);
+        self.attempt_failed(a);
+    }
+
+    /// Client-side bookkeeping after attempt `a` failed (timeout, connect
+    /// failure, or crash): if no sibling is still racing, schedule a retry
+    /// or give up.
+    fn attempt_failed(&mut self, a: u32) {
+        let r = self.atts[a as usize].req;
+        let req = &mut self.reqs[r as usize];
+        req.live.retain(|&x| x != a);
+        if req.resolved || !req.live.is_empty() {
+            return;
+        }
+        if req.retries_used < self.cfg.retry.max_retries {
+            let backoff = self.cfg.retry.backoff(req.retries_used);
+            req.retries_used += 1;
+            self.schedule(self.now + backoff, Ev::RetryFire { req: r });
+        } else {
+            self.resolve_failed(r);
+        }
+    }
+
+    fn on_retry_fire(&mut self, r: u32) {
+        if self.reqs[r as usize].resolved {
+            return;
+        }
+        self.dispatch(r, DispatchKind::Retry);
+    }
+
+    fn on_hedge_fire(&mut self, r: u32) {
+        let Some(h) = self.cfg.hedge else { return };
+        let req = &mut self.reqs[r as usize];
+        if req.resolved || req.live.is_empty() || req.hedges_used >= h.max_hedges {
+            return;
+        }
+        // The hedge consumes budget even if routing then skips it — the
+        // fire/skip decision must not depend on transient queue state in a
+        // way that could re-arm the timer forever.
+        req.hedges_used += 1;
+        let rearm = req.hedges_used < h.max_hedges;
+        self.dispatch(r, DispatchKind::Hedge);
+        if rearm {
+            self.schedule(self.now + h.delay_ns, Ev::HedgeFire { req: r });
+        }
+    }
+
+    fn on_crash(&mut self, m: usize) {
+        self.stats.machine_failures += 1;
+        self.machines[m].up = false;
+        let (serving, queued) = self.machines[m].drain();
+        let mut observed = false;
+        let mut failed: Vec<u32> = Vec::new();
+        for a in serving.into_iter().chain(queued) {
+            match self.atts[a as usize].state {
+                AttState::InService | AttState::Queued => {
+                    self.atts[a as usize].state = AttState::Terminal;
+                    self.stats.crash_failures += 1;
+                    observed = true;
+                    failed.push(a);
+                }
+                // Abandoned work dies with the machine; it was already
+                // accounted for when the client gave it up.
+                AttState::Abandoned => self.atts[a as usize].state = AttState::Terminal,
+                _ => {}
+            }
+        }
+        if observed {
+            self.balancer.eject(m);
+        }
+        for a in failed {
+            self.attempt_failed(a);
+        }
+        let plan = self.faults.as_ref().map(|f| *f.plan());
+        if let Some(p) = plan {
+            let up_at = self.now + p.repair_ns.max(1);
+            self.schedule(up_at, Ev::Recover { machine: m });
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_crash_gap(m)) {
+                self.schedule(up_at + gap, Ev::Crash { machine: m });
+            }
+        }
+    }
+
+    fn on_recover(&mut self, m: usize) {
+        self.machines[m].up = true;
+        self.stats.recoveries += 1;
+        // Rotation waits for a probe: readmission is a balancer decision,
+        // not a machine event.
+    }
+
+    fn on_straggler_start(&mut self, m: usize) {
+        let plan = self.faults.as_ref().map(|f| *f.plan());
+        let Some(p) = plan else { return };
+        if self.machines[m].up && !self.machines[m].slow {
+            self.machines[m].slow = true;
+            self.stats.straggler_episodes += 1;
+            let end = self.now + p.straggler_duration_ns.max(1);
+            self.schedule(end, Ev::StragglerEnd { machine: m });
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_straggle_gap(m)) {
+                self.schedule(end + gap, Ev::StragglerStart { machine: m });
+            }
+        } else if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_straggle_gap(m)) {
+            self.schedule(self.now + gap, Ev::StragglerStart { machine: m });
+        }
+    }
+
+    fn on_straggler_end(&mut self, m: usize) {
+        self.machines[m].slow = false;
+    }
+
+    fn on_probe(&mut self, m: usize) {
+        self.stats.probes += 1;
+        if self.machines[m].up {
+            self.balancer.readmit(m);
+        } else {
+            self.balancer.eject(m);
+        }
+        self.schedule(self.now + self.cfg.probe_interval_ns, Ev::Probe { machine: m });
+    }
+
+    /// The winning attempt `a` completes its request: record the latency
+    /// and cancel every sibling still racing.
+    fn resolve_completed(&mut self, a: u32) {
+        let r = self.atts[a as usize].req;
+        let req = &mut self.reqs[r as usize];
+        req.resolved = true;
+        let latency = self.now - req.arrived_at;
+        let siblings: Vec<u32> = req.live.drain(..).filter(|&x| x != a).collect();
+        self.stats.completed += 1;
+        self.stats.latencies_ns.push(latency);
+        for s in siblings {
+            let sm = self.atts[s as usize].machine;
+            match self.atts[s as usize].state {
+                AttState::Queued => {
+                    self.machines[sm].unqueue(s);
+                    self.atts[s as usize].state = AttState::Terminal;
+                    self.stats.cancelled += 1;
+                }
+                AttState::InService => {
+                    // Too late to pull it off the context; the server will
+                    // finish and the completion is wasted.
+                    self.atts[s as usize].state = AttState::Abandoned;
+                    self.stats.cancelled += 1;
+                }
+                AttState::ConnectPending => {
+                    self.atts[s as usize].state = AttState::Terminal;
+                    self.stats.cancelled += 1;
+                }
+                AttState::Abandoned | AttState::Terminal => {}
+            }
+        }
+        self.note_resolution();
+    }
+
+    fn resolve_shed(&mut self, r: u32) {
+        self.reqs[r as usize].resolved = true;
+        self.stats.shed += 1;
+        self.note_resolution();
+    }
+
+    fn resolve_failed(&mut self, r: u32) {
+        self.reqs[r as usize].resolved = true;
+        self.stats.failed += 1;
+        self.note_resolution();
+    }
+
+    fn note_resolution(&mut self) {
+        self.resolved += 1;
+        self.last_resolution = self.now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ServiceProfile {
+        ServiceProfile {
+            workload: "Test".into(),
+            mean_service_ns: 10_000,
+            smt_inflation: 1.3,
+            colocation_inflation: 1.2,
+        }
+    }
+
+    fn base_cfg() -> FleetConfig {
+        FleetConfig {
+            machines: 4,
+            contexts_per_machine: 4,
+            queue_capacity: 16,
+            requests: 5_000,
+            mean_interarrival_ns: 1_000,
+            burst: None,
+            service_inflation: 1.0,
+            timeout_ns: 100_000,
+            connect_timeout_ns: 10_000,
+            probe_interval_ns: 200_000,
+            retry: RetryPolicy { max_retries: 3, base: 20_000, factor: 2, cap: 160_000 },
+            hedge: Some(HedgePolicy { delay_ns: 60_000, max_hedges: 1 }),
+            faults: None,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_completes_everything() {
+        let stats = simulate(&base_cfg(), &profile()).expect("simulate");
+        assert_eq!(stats.arrived, 5_000);
+        assert_eq!(stats.completed + stats.shed + stats.failed, 5_000);
+        assert_eq!(stats.machine_failures, 0);
+        assert!(stats.completed > 4_900, "healthy fleet lost {} requests", stats.failed);
+        assert!(stats.p50_ns() <= stats.p99_ns() && stats.p99_ns() <= stats.p999_ns());
+        stats.audit(base_cfg().hedge).expect("audit");
+    }
+
+    #[test]
+    fn identical_configs_replay_identically() {
+        let a = simulate(&base_cfg(), &profile()).expect("simulate");
+        let b = simulate(&base_cfg(), &profile()).expect("simulate");
+        assert_eq!(a, b);
+        let different = FleetConfig { seed: 43, ..base_cfg() };
+        let c = simulate(&different, &profile()).expect("simulate");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overload_sheds_and_books_stay_balanced() {
+        let cfg = FleetConfig {
+            machines: 1,
+            contexts_per_machine: 1,
+            queue_capacity: 2,
+            requests: 2_000,
+            mean_interarrival_ns: 2_000, // 5x oversubscribed vs 10us service
+            hedge: None,
+            ..base_cfg()
+        };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert!(stats.shed > 0, "5x overload with a 2-deep queue must shed");
+        assert_eq!(stats.arrived, stats.completed + stats.shed + stats.failed);
+        stats.audit(None).expect("audit");
+    }
+
+    #[test]
+    fn crashes_provoke_retries_and_recoveries() {
+        let cfg = FleetConfig {
+            faults: Some(FleetFaultPlan::crashes(2_000_000, 300_000, 7)),
+            ..base_cfg()
+        };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert!(stats.machine_failures > 0, "crash plan must crash machines");
+        assert!(stats.crash_failures + stats.connect_failures > 0);
+        assert!(stats.retries > 0, "failures must provoke retries");
+        assert!(stats.ejections > 0 && stats.readmissions > 0);
+        assert!(stats.recoveries > 0);
+        stats.audit(cfg.hedge).expect("audit");
+    }
+
+    #[test]
+    fn stragglers_stretch_the_tail() {
+        let quiet = simulate(&base_cfg(), &profile()).expect("simulate");
+        let cfg = FleetConfig {
+            faults: Some(FleetFaultPlan::stragglers(1_000_000, 400_000, 16.0, 7)),
+            ..base_cfg()
+        };
+        let slow = simulate(&cfg, &profile()).expect("simulate");
+        assert!(slow.straggler_episodes > 0);
+        assert!(
+            slow.p999_ns() > quiet.p999_ns(),
+            "16x stragglers must stretch p999: {} vs {}",
+            slow.p999_ns(),
+            quiet.p999_ns()
+        );
+        stats_audit_both(&quiet, &slow, cfg.hedge);
+    }
+
+    fn stats_audit_both(a: &FleetStats, b: &FleetStats, hedge: Option<HedgePolicy>) {
+        a.audit(hedge).expect("audit quiet");
+        b.audit(hedge).expect("audit slow");
+    }
+
+    #[test]
+    fn tiny_timeouts_exhaust_the_retry_budget() {
+        let cfg = FleetConfig {
+            timeout_ns: 3_000, // below most service times
+            connect_timeout_ns: 1_000,
+            retry: RetryPolicy { max_retries: 2, base: 1_000, factor: 2, cap: 4_000 },
+            hedge: None,
+            requests: 500,
+            ..base_cfg()
+        };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert!(stats.timeouts > 0);
+        assert!(stats.failed > 0, "2 retries under a 3us timeout must fail some requests");
+        assert!(stats.wasted_completions > 0, "abandoned work must show up as waste");
+        stats.audit(None).expect("audit");
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let p = profile();
+        let ok = base_cfg();
+        assert!(ok.validate(&p).is_ok());
+        let cases = [
+            (FleetConfig { machines: 0, ..ok.clone() }, FleetConfigError::NoMachines),
+            (FleetConfig { contexts_per_machine: 0, ..ok.clone() }, FleetConfigError::NoContexts),
+            (FleetConfig { requests: 0, ..ok.clone() }, FleetConfigError::NoRequests),
+            (
+                FleetConfig { mean_interarrival_ns: 0, ..ok.clone() },
+                FleetConfigError::ZeroInterarrival,
+            ),
+            (FleetConfig { timeout_ns: 0, ..ok.clone() }, FleetConfigError::ZeroTimeout),
+            (
+                FleetConfig { connect_timeout_ns: 200_000, ..ok.clone() },
+                FleetConfigError::BadConnectTimeout,
+            ),
+            (
+                FleetConfig { probe_interval_ns: 0, ..ok.clone() },
+                FleetConfigError::ZeroProbeInterval,
+            ),
+            (FleetConfig { service_inflation: 0.0, ..ok.clone() }, FleetConfigError::BadInflation),
+            (
+                FleetConfig {
+                    burst: Some(Burst { period_ns: 0, on_fraction: 0.5, amplitude: 2.0 }),
+                    ..ok.clone()
+                },
+                FleetConfigError::BadBurst,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(&p).expect_err("must reject"), want);
+        }
+        let dead = ServiceProfile { mean_service_ns: 0, ..p };
+        assert_eq!(ok.validate(&dead).expect_err("must reject"), FleetConfigError::ZeroServiceTime);
+    }
+}

@@ -247,11 +247,9 @@ impl ModeEngine {
         let step = self.state.walker.step(rng);
         let privilege = self.state.privilege;
 
-        let op = if step.is_branch {
-            let mut op = MicroOp::branch(step.pc, step.mispredict).with_privilege(privilege);
+        if step.is_branch {
             let dep1 = if chance(rng, self.ilp.dep_prob) { self.dep_table.sample(rng) } else { 0 };
-            op = op.with_deps(dep1, 0);
-            op
+            MicroOp::branch(step.pc, step.mispredict).with_privilege(privilege).with_deps(dep1, 0)
         } else {
             let mix = self.state.mix;
             let r: f64 = rand::Rng::gen(rng);
@@ -309,13 +307,10 @@ impl ModeEngine {
                 }
                 op
             } else {
-                let mut op = MicroOp::of_kind(step.pc, kind).with_privilege(privilege);
                 let (d1, d2) = self.generic_deps(rng);
-                op = op.with_deps(d1, d2);
-                op
+                MicroOp::of_kind(step.pc, kind).with_privilege(privilege).with_deps(d1, d2)
             }
-        };
-        op
+        }
     }
 }
 

@@ -124,6 +124,49 @@ fn kill_and_resume_is_identical_with_cycle_skipping_off() {
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn corrupt_snapshot_is_quarantined_and_the_run_stays_byte_identical() {
+    // Interrupt once to produce a snapshot, flip a payload byte on disk,
+    // then resume: the corrupt file must be moved aside as `.corrupt`
+    // (not overwritten, not trusted) and the fresh run must reproduce the
+    // uninterrupted result byte-for-byte.
+    let bench = Benchmark::web_search();
+    let cfg = cfg(true);
+    let baseline = run(&bench, &cfg).expect("uninterrupted run");
+    let dir = ckpt_dir("quarantine");
+
+    let mut ctl = CheckpointCtl::new(dir.clone(), "itest");
+    ctl.cadence_cycles = 40_000;
+    ctl.interrupt_after = Some(60_000);
+    match with_checkpointing(ctl, || run(&bench, &cfg)) {
+        Err(HarnessError::Interrupted) => {}
+        other => panic!("expected an interrupt, got {other:?}"),
+    }
+
+    let key = unit_key("itest", bench.name(), &cfg);
+    let snap = dir.join(unit_file(key));
+    let mut bytes = std::fs::read(&snap).expect("snapshot exists after interrupt");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&snap, &bytes).expect("corrupt the snapshot");
+
+    let ctl = CheckpointCtl::new(dir.clone(), "itest");
+    let resumed = with_checkpointing(ctl, || run(&bench, &cfg)).expect("fresh run completes");
+    let quarantined = PathBuf::from(format!("{}.corrupt", snap.display()));
+    assert!(
+        quarantined.exists(),
+        "corrupt snapshot must be preserved as {}",
+        quarantined.display()
+    );
+    assert_eq!(
+        format!("{baseline:?}"),
+        format!("{resumed:?}"),
+        "a quarantined checkpoint must degrade to a byte-identical fresh run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
 fn checkpoints_survive_polluted_multicore_configs() {
     // Polluter cores force the pre-warm phase (workers not yet attached),
     // and a second measured core exercises multi-core snapshot state.

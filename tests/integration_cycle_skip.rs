@@ -77,7 +77,7 @@ fn cycle_skip_is_identical_on_all_scale_out_workloads() {
     for bench in Benchmark::scale_out_suite() {
         let skipped = assert_equivalent(&bench, &cfg());
         assert!(
-            skipped >= 0.0 && skipped < 1.0,
+            (0.0..1.0).contains(&skipped),
             "{}: skipped fraction {skipped} out of range",
             bench.name()
         );

@@ -1,0 +1,84 @@
+//! The `fleet_slo` experiment end to end: harness-measured service times
+//! driving the cs-fleet cluster simulator. The sweep must be byte-identical
+//! across `jobs` values and reruns, the seeded fault levels must actually
+//! bite (crashes, retries, shedding all non-zero), and with `CS_PARANOID`
+//! set every point passes the fleet conservation audit — which this test
+//! double-checks by re-deriving `arrived = completed + shed + failed` from
+//! the published rows.
+
+use cloudsuite::experiments::fleet_slo::{
+    collect_subset, report, FaultLevel, REQUESTS_PER_POINT,
+};
+use cloudsuite::harness::RunConfig;
+use cloudsuite::Benchmark;
+
+fn cfg(jobs: usize) -> RunConfig {
+    RunConfig {
+        warmup_instr: 60_000,
+        measure_instr: 120_000,
+        max_cycles: 8_000_000,
+        jobs,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn fleet_slo_is_byte_identical_across_jobs_and_reruns() {
+    let benches = [Benchmark::web_search()];
+    let serial = collect_subset(&cfg(1), &benches).expect("jobs=1 sweep");
+    let threaded = collect_subset(&cfg(2), &benches).expect("jobs=2 sweep");
+    let rerun = collect_subset(&cfg(1), &benches).expect("rerun sweep");
+    assert_eq!(serial, threaded, "jobs=2 must not change a single value");
+    assert_eq!(serial, rerun, "a rerun must reproduce the sweep exactly");
+    assert_eq!(
+        report(&serial).to_json(),
+        report(&threaded).to_json(),
+        "the emitted report must be byte-identical across jobs values"
+    );
+    // One sweep = |machine counts| x |fault levels| points per workload.
+    assert_eq!(serial.profiles.len(), benches.len());
+    assert_eq!(serial.rows.len(), benches.len() * 3 * 3);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn fleet_slo_faults_bite_and_requests_are_conserved_under_paranoid() {
+    // paranoid_enabled() reads the environment on every call, so setting
+    // it here covers exactly this sweep; the audit runs inside run_point
+    // and any conservation imbalance fails collect_subset with a typed
+    // fleet audit error.
+    std::env::set_var("CS_PARANOID", "1");
+    let data = collect_subset(&cfg(2), &[Benchmark::data_serving()]).expect("audited sweep");
+
+    for row in &data.rows {
+        assert_eq!(
+            row.arrived, REQUESTS_PER_POINT,
+            "open loop: every configured request arrives"
+        );
+        assert_eq!(
+            row.arrived,
+            row.completed + row.shed + row.failed,
+            "{} m={} {}: request conservation must hold in the published row",
+            row.workload,
+            row.machines,
+            row.faults.label()
+        );
+        if row.faults == FaultLevel::None {
+            assert_eq!(row.machine_failures, 0, "fault-free rows must not crash");
+            assert_eq!(row.straggler_episodes, 0, "fault-free rows must not straggle");
+        }
+    }
+
+    let heavy_crashes: u64 = data
+        .rows
+        .iter()
+        .filter(|r| r.faults == FaultLevel::Heavy)
+        .map(|r| r.machine_failures)
+        .sum();
+    let retries: u64 = data.rows.iter().map(|r| r.retries).sum();
+    let shed: u64 = data.rows.iter().map(|r| r.shed).sum();
+    assert!(heavy_crashes > 0, "heavy fault level must inject machine crashes");
+    assert!(retries > 0, "injected faults must provoke retries");
+    assert!(shed > 0, "burst overload must shed load somewhere in the sweep");
+}
