@@ -25,13 +25,23 @@
 //! at any jobs value; only the wall-clock changes.
 //!
 //! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]
-//! [--no-skip] [--ckpt-cycles N] [--max-retries N]`
+//! [--no-skip] [--ckpt-cycles N] [--max-retries N] [--warmup-instr N]
+//! [--measure-instr N] [--sample-windows K] [--sample-period N]
+//! [--sample-warmup N]`
 //!
 //! `--no-skip` disables the event-driven cycle-skipping fast path
 //! (equivalently `CS_NO_SKIP=1`); results are byte-identical either way.
 //! `--ckpt-cycles N` sets the checkpoint cadence in simulated cycles
 //! (default: `CS_CKPT_CYCLES`, then 2,000,000; `0` disables cadence
 //! snapshots — signal-triggered snapshots still happen).
+//! `--warmup-instr`/`--measure-instr` set the two window budgets,
+//! outranking `CS_WARMUP_INSTR`/`CS_MEASURE_INSTR` (which in turn outrank
+//! `CS_WARMUP`/`CS_MEASURE`). `--sample-windows K` switches every
+//! experiment to SMARTS-style sampled measurement with `K` detailed
+//! windows (`CS_SAMPLE_WINDOWS`); `--sample-period` sets the functional
+//! fast-forward span between windows (`CS_SAMPLE_PERIOD`, required
+//! nonzero when sampling) and `--sample-warmup` the detailed warm-up
+//! re-run before each window (`CS_SAMPLE_WARMUP`).
 //!
 //! Exit codes: `0` all experiments accounted for, `1` at least one
 //! experiment ultimately failed, `2` usage error, `3` interrupted by a
@@ -42,7 +52,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] \
-                     [--no-skip] [--ckpt-cycles N] [--max-retries N]";
+                     [--no-skip] [--ckpt-cycles N] [--max-retries N] \
+                     [--warmup-instr N] [--measure-instr N] [--sample-windows K] \
+                     [--sample-period N] [--sample-warmup N]";
 
 fn main() -> ExitCode {
     let mut resume = false;
@@ -51,6 +63,11 @@ fn main() -> ExitCode {
     let mut no_skip = false;
     let mut ckpt_cycles = None;
     let mut max_retries = None;
+    let mut warmup_instr = None;
+    let mut measure_instr = None;
+    let mut sample_windows = None;
+    let mut sample_period = None;
+    let mut sample_warmup = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,6 +101,41 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--warmup-instr" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => warmup_instr = Some(n),
+                None => {
+                    eprintln!("--warmup-instr requires an instruction count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--measure-instr" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => measure_instr = Some(n),
+                _ => {
+                    eprintln!("--measure-instr requires a positive instruction count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sample-windows" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(k) => sample_windows = Some(k),
+                None => {
+                    eprintln!("--sample-windows requires a window count (0 disables sampling)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sample-period" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => sample_period = Some(n),
+                None => {
+                    eprintln!("--sample-period requires an instruction count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sample-warmup" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => sample_warmup = Some(n),
+                None => {
+                    eprintln!("--sample-warmup requires an instruction count");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("{USAGE}");
@@ -98,6 +150,28 @@ fn main() -> ExitCode {
     }
     if no_skip {
         cfg.cycle_skip = false; // The flag outranks CS_NO_SKIP.
+    }
+    // Window-budget and sampling-schedule flags outrank their env forms.
+    if let Some(n) = warmup_instr {
+        cfg.warmup_instr = n;
+    }
+    if let Some(n) = measure_instr {
+        cfg.measure_instr = n;
+    }
+    if let Some(k) = sample_windows {
+        cfg.sample_windows = k;
+    }
+    if let Some(n) = sample_period {
+        cfg.sample_period = n;
+    }
+    if let Some(n) = sample_warmup {
+        cfg.sample_warmup_instr = n;
+    }
+    // Reject a degenerate schedule up front instead of failing every
+    // experiment with the same typed error.
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::from(2);
     }
 
     let mut opts = CampaignOptions { resume, stop: cs_bench::signal::install(), ..Default::default() };

@@ -16,6 +16,14 @@
 //! skipped-cycle fraction recorded, so the speedup claim is inspectable
 //! rather than asserted.
 //!
+//! Finally it baselines SMARTS-style sampled simulation: a 5M-instruction
+//! full-detail measurement of the data-serving workload against a sampled
+//! schedule whose functionally-warmed fast-forward spans and detailed
+//! windows cover the same execution span. The file records both
+//! wall-clocks, the speedup, the full-detail IPC, the sampled point
+//! estimate with its CLT 95% interval, and whether the full-detail IPC
+//! fell inside that interval — measured, not asserted.
+//!
 //! Usage: `bench_campaign [--out PATH]`
 //!
 //! The committed baseline is refreshed with
@@ -135,6 +143,69 @@ fn cache_ops_per_sec() -> f64 {
     let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(hits);
     OPS as f64 / secs
+}
+
+/// The sampled-simulation comparison: a 50M-instruction full-detail
+/// measurement and a SMARTS schedule spanning the same execution region —
+/// ten 20k-instruction detailed windows separated by 4.95M-instruction
+/// functionally-warmed fast-forwards, each preceded by a 30k-instruction
+/// detailed re-warm (10 x (4.95M + 30k + 20k) ≈ 50M). The leg is long
+/// because that is where sampling earns its keep: the fixed detailed
+/// costs (warmup, re-warms, windows) amortize, and the wall-clock ratio
+/// approaches the functional path's per-instruction advantage.
+fn sampled_leg_configs() -> (RunConfig, RunConfig) {
+    let full = RunConfig {
+        warmup_instr: 500_000,
+        measure_instr: 50_000_000,
+        ..RunConfig::default()
+    };
+    let sampled = RunConfig {
+        measure_instr: 200_000,
+        sample_windows: 10,
+        sample_period: 4_950_000,
+        sample_warmup_instr: 30_000,
+        ..full.clone()
+    };
+    (full, sampled)
+}
+
+/// Everything the sampled comparison records: both wall-clocks, the
+/// full-detail IPC, and the sampled estimate with its interval.
+struct SampledLegResult {
+    full_secs: f64,
+    sampled_secs: f64,
+    full_ipc: f64,
+    point_ipc: f64,
+    mean_ipc: f64,
+    ci_lo: f64,
+    ci_hi: f64,
+    windows: usize,
+}
+
+/// Times the full-detail and sampled runs of the data-serving workload.
+/// Returns `None` if either run failed or was truncated.
+fn time_sampled_leg() -> Option<SampledLegResult> {
+    let bench = Benchmark::data_serving();
+    let (full_cfg, sampled_cfg) = sampled_leg_configs();
+    let start = Instant::now();
+    let full = cloudsuite::harness::run_strict(&bench, &full_cfg).ok()?;
+    let full_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let sampled = cloudsuite::harness::run_strict(&bench, &sampled_cfg).ok()?;
+    let sampled_secs = start.elapsed().as_secs_f64();
+    let n = sampled.cores.len();
+    let stat: cs_perf::RunningStat = sampled.samples.iter().map(|s| s.ipc(n)).collect();
+    let (ci_lo, ci_hi) = stat.ci95();
+    Some(SampledLegResult {
+        full_secs,
+        sampled_secs,
+        full_ipc: full.ipc(),
+        point_ipc: sampled.ipc(),
+        mean_ipc: stat.mean(),
+        ci_lo,
+        ci_hi,
+        windows: sampled.samples.len(),
+    })
 }
 
 fn round2(v: f64) -> f64 {
@@ -265,6 +336,12 @@ fn main() -> ExitCode {
         leg_objs.insert(name.into(), Value::Object(obj));
     }
 
+    eprintln!("bench_campaign: timing sampled-vs-full-detail leg (50M instructions) ...");
+    let sampled_leg = time_sampled_leg();
+    if sampled_leg.is_none() {
+        eprintln!("bench_campaign: warning: sampled leg failed during timing");
+    }
+
     eprintln!("bench_campaign: timing substrate microbenches ...");
     let synth_ops = synth_ops_per_sec();
     let cache_ops = cache_ops_per_sec();
@@ -299,12 +376,49 @@ fn main() -> ExitCode {
     cycle_skip_obj.insert("campaign_outputs_identical".into(), Value::from(skip_identical));
     cycle_skip_obj.insert("experiments".into(), Value::Object(leg_objs));
 
+    let mut sampled_obj = Map::new();
+    {
+        let (full_cfg, sampled_cfg) = sampled_leg_configs();
+        sampled_obj.insert("workload".into(), Value::from("data_serving"));
+        sampled_obj.insert("warmup_instr".into(), Value::from(full_cfg.warmup_instr));
+        sampled_obj.insert("full_measure_instr".into(), Value::from(full_cfg.measure_instr));
+        sampled_obj.insert("sample_windows".into(), Value::from(sampled_cfg.sample_windows as u64));
+        sampled_obj.insert("sample_period".into(), Value::from(sampled_cfg.sample_period));
+        sampled_obj.insert("sample_warmup_instr".into(), Value::from(sampled_cfg.sample_warmup_instr));
+        sampled_obj.insert("sampled_measure_instr".into(), Value::from(sampled_cfg.measure_instr));
+    }
+    if let Some(leg) = &sampled_leg {
+        sampled_obj.insert("full_detail_wall_secs".into(), Value::from(round2(leg.full_secs)));
+        sampled_obj.insert("sampled_wall_secs".into(), Value::from(round2(leg.sampled_secs)));
+        sampled_obj.insert(
+            "speedup".into(),
+            Value::from(round2(if leg.sampled_secs > 0.0 {
+                leg.full_secs / leg.sampled_secs
+            } else {
+                0.0
+            })),
+        );
+        sampled_obj.insert("full_detail_ipc".into(), Value::from(round4(leg.full_ipc)));
+        sampled_obj.insert("sampled_ipc_point".into(), Value::from(round4(leg.point_ipc)));
+        sampled_obj.insert("sampled_ipc_window_mean".into(), Value::from(round4(leg.mean_ipc)));
+        sampled_obj.insert("sampled_ipc_ci95_lo".into(), Value::from(round4(leg.ci_lo)));
+        sampled_obj.insert("sampled_ipc_ci95_hi".into(), Value::from(round4(leg.ci_hi)));
+        sampled_obj.insert("windows".into(), Value::from(leg.windows as u64));
+        sampled_obj.insert(
+            "full_ipc_in_ci".into(),
+            Value::from(leg.ci_lo <= leg.full_ipc && leg.full_ipc <= leg.ci_hi),
+        );
+    } else {
+        sampled_obj.insert("failed".into(), Value::from(true));
+    }
+
     let mut root = Map::new();
     root.insert("campaign".into(), Value::Object(campaign_obj));
     root.insert("cycle_skip".into(), Value::Object(cycle_skip_obj));
+    root.insert("sampled".into(), Value::Object(sampled_obj));
     root.insert("substrate".into(), Value::Object(substrate));
     root.insert("host_cores".into(), Value::from(jobs_n as u64));
-    root.insert("version".into(), Value::from(2u64));
+    root.insert("version".into(), Value::from(3u64));
 
     let text = match serde_json::to_string_pretty(&Value::Object(root)) {
         Ok(t) => t,
@@ -322,6 +436,19 @@ fn main() -> ExitCode {
          skip-off {secs_noskip:.2}s (identical: {skip_identical}); \
          synth {synth_ops:.0} ops/s, cache {cache_ops:.0} ops/s"
     );
+    if let Some(leg) = &sampled_leg {
+        eprintln!(
+            "bench_campaign: sampled leg full {:.2}s vs sampled {:.2}s ({:.2}x); \
+             full IPC {:.4}, sampled CI [{:.4}, {:.4}] (contained: {})",
+            leg.full_secs,
+            leg.sampled_secs,
+            if leg.sampled_secs > 0.0 { leg.full_secs / leg.sampled_secs } else { 0.0 },
+            leg.full_ipc,
+            leg.ci_lo,
+            leg.ci_hi,
+            leg.ci_lo <= leg.full_ipc && leg.full_ipc <= leg.ci_hi
+        );
+    }
     eprintln!("(wrote {})", out.display());
     let mut ok = true;
     if !identical {

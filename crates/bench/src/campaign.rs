@@ -68,7 +68,8 @@ pub struct Experiment {
     pub build: fn(&RunConfig) -> Result<Report, HarnessError>,
 }
 
-/// The full campaign behind `all_figures`: Table 1, Figures 1–7, and the
+/// The full campaign behind `all_figures`: Table 1, Figures 1–7, the
+/// sampled-simulation estimates, the fleet serving layer, and the
 /// ablation studies.
 pub fn experiments() -> Vec<Experiment> {
     fn table1(_cfg: &RunConfig) -> Result<Report, HarnessError> {
@@ -147,6 +148,9 @@ pub fn experiments() -> Vec<Experiment> {
     fn fleet_slo(cfg: &RunConfig) -> Result<Report, HarnessError> {
         Ok(exp::fleet_slo::report(&exp::fleet_slo::collect(cfg)?))
     }
+    fn sampled_ipc(cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(exp::sampled::report(&exp::sampled::collect(cfg)?))
+    }
     vec![
         Experiment { name: "table1", build: table1 },
         Experiment { name: "fig1", build: fig1 },
@@ -164,6 +168,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment { name: "ablation_a6", build: a6 },
         Experiment { name: "ablation_a8", build: a8 },
         Experiment { name: "fleet_slo", build: fleet_slo },
+        Experiment { name: "sampled_ipc", build: sampled_ipc },
     ]
 }
 
@@ -287,8 +292,21 @@ impl Default for CampaignOptions {
 
 /// The configuration fingerprint stored per manifest entry; a resume pass
 /// only trusts results produced under the same fingerprint.
+///
+/// Sampling-disabled configs keep the historical `w-m-s` shape so manifests
+/// written before sampling existed still resume; a sampled schedule appends
+/// its three knobs, so flipping sampling on or off invalidates prior
+/// results.
 pub fn fingerprint(cfg: &RunConfig) -> String {
-    format!("w{}-m{}-s{}", cfg.warmup_instr, cfg.measure_instr, cfg.seed)
+    let base = format!("w{}-m{}-s{}", cfg.warmup_instr, cfg.measure_instr, cfg.seed);
+    if cfg.sample_windows == 0 {
+        base
+    } else {
+        format!(
+            "{base}-k{}-p{}-sw{}",
+            cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr
+        )
+    }
 }
 
 /// Runs the campaign, emitting result files into `results_dir` and
@@ -841,5 +859,14 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(fingerprint(&cfg), "w10-m20-s7");
+        // A sampled schedule appends its knobs; disabled stays bare so
+        // pre-sampling manifests still match.
+        let sampled = RunConfig {
+            sample_windows: 4,
+            sample_period: 500,
+            sample_warmup_instr: 50,
+            ..cfg
+        };
+        assert_eq!(fingerprint(&sampled), "w10-m20-s7-k4-p500-sw50");
     }
 }

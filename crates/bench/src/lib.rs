@@ -8,6 +8,19 @@
 //!
 //! - `CS_WARMUP` — warmup instructions (default 1,600,000)
 //! - `CS_MEASURE` — measured instructions (default 3,200,000)
+//! - `CS_WARMUP_INSTR` / `CS_MEASURE_INSTR` — explicit aliases for the two
+//!   window budgets; when both an alias and its short form are set, the
+//!   alias wins (the `all_figures --warmup-instr`/`--measure-instr` flags
+//!   outrank both)
+//! - `CS_SAMPLE_WINDOWS` — SMARTS-style sampling: number of detailed
+//!   measurement windows (default 0 = sampling disabled, one contiguous
+//!   window). When nonzero, the run fast-forwards functionally between
+//!   windows, keeping caches/TLBs/predictors warm, and the measured
+//!   budget is split evenly across the windows.
+//! - `CS_SAMPLE_PERIOD` — instructions fast-forwarded before each window
+//!   (required nonzero when sampling is enabled)
+//! - `CS_SAMPLE_WARMUP` — detailed warm-up instructions re-run before each
+//!   window's measurement starts (`0` drops straight into measurement)
 //! - `CS_SEED` — base random seed (default 42)
 //! - `CS_MAX_CYCLES` — per-window simulated-cycle safety cap
 //! - `CS_WATCHDOG` — forward-progress watchdog grace period in cycles
@@ -80,6 +93,12 @@ pub fn config_from_env() -> RunConfig {
     let mut cfg = RunConfig::default();
     cfg.warmup_instr = env_u64("CS_WARMUP", cfg.warmup_instr);
     cfg.measure_instr = env_u64("CS_MEASURE", cfg.measure_instr);
+    // The explicit aliases outrank the short forms.
+    cfg.warmup_instr = env_u64("CS_WARMUP_INSTR", cfg.warmup_instr);
+    cfg.measure_instr = env_u64("CS_MEASURE_INSTR", cfg.measure_instr);
+    cfg.sample_windows = env_u64("CS_SAMPLE_WINDOWS", cfg.sample_windows as u64) as usize;
+    cfg.sample_period = env_u64("CS_SAMPLE_PERIOD", cfg.sample_period);
+    cfg.sample_warmup_instr = env_u64("CS_SAMPLE_WARMUP", cfg.sample_warmup_instr);
     cfg.seed = env_u64("CS_SEED", cfg.seed);
     cfg.max_cycles = env_u64("CS_MAX_CYCLES", cfg.max_cycles);
     cfg.watchdog_grace = env_u64("CS_WATCHDOG", cfg.watchdog_grace);

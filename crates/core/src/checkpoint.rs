@@ -57,7 +57,9 @@ use cs_trace::snap::fnv1a64;
 pub const MAGIC: &[u8; 8] = b"CSCKPT01";
 /// Current envelope version. Bump on any layout change of the payload;
 /// readers reject other versions (and the harness then starts fresh).
-pub const VERSION: u32 = 1;
+/// Version 2: per-core fidelity byte in the core snapshot and the
+/// SMARTS sampling phase (window bookkeeping + statistics accumulator).
+pub const VERSION: u32 = 2;
 
 /// Default checkpoint cadence in simulated cycles.
 pub const DEFAULT_CADENCE_CYCLES: u64 = 2_000_000;
@@ -159,7 +161,7 @@ pub fn current() -> Option<CheckpointCtl> {
 /// checkpoint, whose window cursor has the old budget baked in.
 pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u64 {
     let canon = format!(
-        "{scope}|{bench}|{:?}|{:?}",
+        "{scope}|{bench}|{:?}|{:?}|{:?}",
         (
             cfg.workers,
             cfg.smt,
@@ -180,7 +182,8 @@ pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u6
             cfg.seed,
             cfg.watchdog_grace,
             cfg.fault,
-        )
+        ),
+        (cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr)
     );
     fnv1a64(canon.as_bytes())
 }
@@ -399,6 +402,10 @@ mod tests {
         let mut widened = base.clone();
         widened.max_cycles *= 4;
         assert_ne!(unit_key("fig1", bench, &widened), k, "budget changes must change the key");
+        let mut sampled = base.clone();
+        sampled.sample_windows = 8;
+        sampled.sample_period = 100_000;
+        assert_ne!(unit_key("fig1", bench, &sampled), k, "sampling must change the key");
         assert_ne!(unit_key("fig2", bench, &base), k, "scope must namespace the key");
         assert_ne!(unit_key("fig1", "mcf", &base), k, "bench must namespace the key");
     }

@@ -48,6 +48,14 @@ pub enum ConfigError {
     },
     /// `jobs == 0`: no thread would ever pick up a unit of work.
     ZeroJobs,
+    /// Sampling asks for more measurement windows than there are measured
+    /// instructions, so some window would have a zero-instruction target.
+    SampleWindowsExceedMeasure {
+        /// The requested number of sampling windows.
+        windows: usize,
+        /// The measurement budget they must share.
+        measure_instr: u64,
+    },
     /// A fleet simulation was asked to use a service-time table with no
     /// usable entry for a workload (zero requests or zero cycles measured,
     /// so no per-request service time can be derived).
@@ -85,6 +93,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroJobs => {
                 write!(f, "jobs is 0; no worker thread would ever run")
+            }
+            ConfigError::SampleWindowsExceedMeasure { windows, measure_instr } => {
+                write!(
+                    f,
+                    "sample_windows = {windows} exceeds measure_instr = {measure_instr}; \
+                     some window would have a zero-instruction target"
+                )
             }
             ConfigError::EmptyServiceTable { workload } => {
                 write!(
@@ -174,6 +189,26 @@ pub enum AuditError {
         /// Accesses reported for the class.
         accesses: u64,
     },
+    /// A sampled run's measurement window does not partition its span:
+    /// summed commit and stall buckets must equal the window's cycles
+    /// times the number of measured cores.
+    WindowBreakdown {
+        /// Zero-based index of the offending window.
+        window: usize,
+        /// Sum of the window's commit and stall buckets over all cores.
+        classified: u64,
+        /// Cycles the window spans, summed over the measured cores.
+        cycles: u64,
+    },
+    /// A sampled run's per-window instruction counts disagree with the
+    /// total the merged statistics report (or fall short of the
+    /// configured measurement budget on a completed run).
+    WindowInstructionSum {
+        /// Instructions summed over the per-window samples.
+        summed: u64,
+        /// The total they must reach.
+        total: u64,
+    },
     /// A fleet simulation's request/attempt conservation audit failed
     /// (see [`cs_fleet::FleetAuditError`] for the specific law violated).
     Fleet(cs_fleet::FleetAuditError),
@@ -194,6 +229,15 @@ impl fmt::Display for AuditError {
             AuditError::HitsExceedAccesses { core, level, hits, accesses } => write!(
                 f,
                 "core {core} {level}: {hits} hits exceed {accesses} accesses"
+            ),
+            AuditError::WindowBreakdown { window, classified, cycles } => write!(
+                f,
+                "sampling window {window}: commit+stall buckets classify {classified} \
+                 core-cycles but the window spans {cycles}"
+            ),
+            AuditError::WindowInstructionSum { summed, total } => write!(
+                f,
+                "sampling windows sum to {summed} instructions but the run reports {total}"
             ),
             AuditError::Fleet(e) => write!(f, "fleet conservation violated: {e}"),
         }

@@ -17,5 +17,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet_slo;
+pub mod sampled;
 pub mod table1;
 pub mod trends;

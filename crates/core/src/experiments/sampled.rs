@@ -1,0 +1,213 @@
+//! SMARTS-style sampled measurement: per-workload IPC and execution-time
+//! breakdown estimated from short detailed windows separated by
+//! functionally-warmed fast-forward spans, with CLT-based 95% confidence
+//! intervals over the per-window samples.
+//!
+//! The point estimate is the merged-counter ratio over the union of the
+//! measurement windows (exactly what a sampling-disabled run reports over
+//! one long window); the interval comes from treating the per-window IPCs
+//! as i.i.d. draws and applying the normal approximation, which is sound
+//! once the windows are spaced far enough apart to decorrelate (see
+//! DESIGN.md).
+
+use crate::errors::HarnessError;
+use crate::harness::{run_strict, RunConfig, RunResult};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, RunningStat, Table};
+use serde::{Deserialize, Serialize};
+
+/// Returns `cfg` with a deterministic default sampling schedule filled in
+/// when sampling is disabled, so this experiment always samples: 8 windows,
+/// a fast-forward period of half the measurement budget between them, and
+/// a detailed warm-up span of 1/32 of the budget before each.
+pub fn sampled_config(cfg: &RunConfig) -> RunConfig {
+    if cfg.sample_windows > 0 {
+        return cfg.clone();
+    }
+    RunConfig {
+        sample_windows: 8,
+        sample_period: (cfg.measure_instr / 2).max(1),
+        sample_warmup_instr: cfg.measure_instr / 32,
+        ..cfg.clone()
+    }
+}
+
+/// One workload's sampled estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledRow {
+    /// Workload name.
+    pub workload: String,
+    /// Scale-out or traditional.
+    pub scale_out: bool,
+    /// Measurement windows the estimate aggregates.
+    pub windows: usize,
+    /// Point estimate: per-core IPC over the merged window counters.
+    pub ipc_point: f64,
+    /// Mean of the per-window IPCs (the CI is centered here).
+    pub ipc_mean: f64,
+    /// CLT 95% confidence interval for the IPC, lower bound.
+    pub ipc_ci_lo: f64,
+    /// CLT 95% confidence interval for the IPC, upper bound.
+    pub ipc_ci_hi: f64,
+    /// Per-window mean fraction of cycles with memory stalls outstanding
+    /// (the overlapped Figure-1 bar; not a partition bucket).
+    pub memory_frac_mean: f64,
+    /// Half-width of the memory-fraction CI.
+    pub memory_frac_ci: f64,
+    /// Per-window mean fraction of cycles stalled on non-memory hazards.
+    pub stalled_frac_mean: f64,
+    /// Half-width of the stalled-fraction CI.
+    pub stalled_frac_ci: f64,
+    /// Per-window mean fraction of cycles spent committing.
+    pub committing_frac_mean: f64,
+    /// Half-width of the committing-fraction CI.
+    pub committing_frac_ci: f64,
+}
+
+fn stat_over<F: Fn(&crate::harness::WindowSample) -> f64>(r: &RunResult, f: F) -> RunningStat {
+    r.samples.iter().map(f).collect()
+}
+
+fn row_from(r: &RunResult, scale_out: bool) -> SampledRow {
+    let n = r.cores.len();
+    let ipc = stat_over(r, |s| s.ipc(n));
+    let frac = |num: u64, s: &crate::harness::WindowSample| {
+        cs_perf::ratio(num, s.cycles * n as u64)
+    };
+    let mem = stat_over(r, |s| frac(s.memory_cycles, s));
+    let stall = stat_over(r, |s| frac(s.stalled[0] + s.stalled[1], s));
+    let commit = stat_over(r, |s| frac(s.committing[0] + s.committing[1], s));
+    let (lo, hi) = ipc.ci95();
+    SampledRow {
+        workload: r.name.clone(),
+        scale_out,
+        windows: r.samples.len(),
+        ipc_point: r.ipc(),
+        ipc_mean: ipc.mean(),
+        ipc_ci_lo: lo,
+        ipc_ci_hi: hi,
+        memory_frac_mean: mem.mean(),
+        memory_frac_ci: mem.ci95_half_width(),
+        stalled_frac_mean: stall.mean(),
+        stalled_frac_ci: stall.ci95_half_width(),
+        committing_frac_mean: commit.mean(),
+        committing_frac_ci: commit.ci95_half_width(),
+    }
+}
+
+/// Runs every workload under the sampled schedule ([`sampled_config`]).
+///
+/// Each workload is one independent unit fanned over [`RunConfig::jobs`]
+/// threads, like the figure sweeps.
+pub fn collect(cfg: &RunConfig) -> Result<Vec<SampledRow>, HarnessError> {
+    let scfg = sampled_config(cfg);
+    let benches = Benchmark::all();
+    crate::par::par_map(scfg.jobs, &benches, |_, b| {
+        let r = run_strict(b, &scfg)?;
+        Ok(row_from(&r, b.category() == Category::ScaleOut))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Renders the sampled rows: IPC point estimate with its interval, then
+/// the per-window breakdown means.
+pub fn report(rows: &[SampledRow]) -> Report {
+    let mut t = Table::new(
+        "Sampled application IPC (95% CI over measurement windows)",
+        &["workload", "class", "windows", "IPC point", "IPC mean", "CI lo", "CI hi"],
+    );
+    for r in rows {
+        t.row([
+            r.workload.clone().into(),
+            if r.scale_out { "scale-out" } else { "traditional" }.into(),
+            (r.windows as f64).into(),
+            r.ipc_point.into(),
+            r.ipc_mean.into(),
+            r.ipc_ci_lo.into(),
+            r.ipc_ci_hi.into(),
+        ]);
+    }
+    let mut b = Table::new(
+        "Sampled cycle-breakdown fractions (per-window mean ± 95% half-width)",
+        &["workload", "memory", "memory ±", "stalled", "stalled ±", "committing", "committing ±"],
+    );
+    for r in rows {
+        b.row([
+            r.workload.clone().into(),
+            r.memory_frac_mean.into(),
+            r.memory_frac_ci.into(),
+            r.stalled_frac_mean.into(),
+            r.stalled_frac_ci.into(),
+            r.committing_frac_mean.into(),
+            r.committing_frac_ci.into(),
+        ]);
+    }
+    let mut rep = Report::new("Sampled simulation: IPC and breakdown with confidence intervals");
+    rep.note(
+        "Point estimates merge the counters of every detailed window; intervals are \
+         CLT-normal over per-window values (n = windows, Bessel-corrected).",
+    );
+    rep.push(t);
+    rep.push(b);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_config_respects_an_explicit_schedule() {
+        let explicit = RunConfig {
+            sample_windows: 3,
+            sample_period: 999,
+            sample_warmup_instr: 7,
+            ..RunConfig::default()
+        };
+        assert_eq!(sampled_config(&explicit), explicit);
+        let defaulted = sampled_config(&RunConfig::default());
+        assert_eq!(defaulted.sample_windows, 8);
+        assert!(defaulted.sample_period > 0);
+        defaulted.validate().expect("default schedule must validate");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn intervals_are_finite_and_centered_on_the_window_mean() {
+        let cfg = RunConfig {
+            warmup_instr: 40_000,
+            measure_instr: 80_000,
+            ..RunConfig::default()
+        };
+        let rows = collect(&cfg).expect("collect");
+        assert_eq!(rows.len(), Benchmark::all().len());
+        for r in &rows {
+            assert_eq!(r.windows, 8, "{}: default schedule is 8 windows", r.workload);
+            for v in [r.ipc_point, r.ipc_mean, r.ipc_ci_lo, r.ipc_ci_hi] {
+                assert!(v.is_finite(), "{}: non-finite estimate", r.workload);
+            }
+            assert!(r.ipc_ci_hi > r.ipc_ci_lo, "{}: degenerate interval", r.workload);
+            assert!(
+                r.ipc_ci_lo <= r.ipc_mean && r.ipc_mean <= r.ipc_ci_hi,
+                "{}: interval must contain its center",
+                r.workload
+            );
+            // Committing + stalled partition every cycle; memory is the
+            // overlapped bar and can only re-cover stalled-or-committing
+            // cycles.
+            let frac_sum = r.stalled_frac_mean + r.committing_frac_mean;
+            assert!(
+                (frac_sum - 1.0).abs() < 1e-9,
+                "{}: per-window breakdown fractions must partition: {frac_sum}",
+                r.workload
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.memory_frac_mean),
+                "{}: overlapped memory fraction out of range: {}",
+                r.workload,
+                r.memory_frac_mean
+            );
+        }
+    }
+}

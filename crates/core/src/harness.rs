@@ -46,7 +46,7 @@ use cs_memsys::stats::CoreMemStats;
 use cs_memsys::{AccessClass, FaultPlan, PrefetchConfig};
 use cs_trace::snap::{Dec, Enc, SnapError};
 use cs_trace::WorkloadProfile;
-use cs_uarch::{CoreConfig, CoreStats, WatchedWindow, WindowOutcome};
+use cs_uarch::{CoreConfig, CoreStats, Fidelity, WatchedWindow, WindowOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Number of cores of the modeled machine (Table 1: two sockets of six).
@@ -135,6 +135,27 @@ pub struct RunConfig {
     /// simulated, so it is excluded from the campaign resume fingerprint.
     #[serde(default = "default_cycle_skip")]
     pub cycle_skip: bool,
+    /// SMARTS-style statistical sampling: number of detailed measurement
+    /// windows. `0` (the default) disables sampling entirely — the
+    /// measurement window runs in full detail exactly as before, and the
+    /// simulated bytes are untouched by this PR. With `K > 0`, the
+    /// measurement budget `measure_instr` is split over `K` short detailed
+    /// windows separated by functional fast-forward spans that keep the
+    /// caches, TLBs, prefetcher tables and branch predictor warming
+    /// ([`cs_uarch::Fidelity::Functional`]).
+    #[serde(default)]
+    pub sample_windows: usize,
+    /// Instructions (total across workers) fast-forwarded functionally
+    /// before each measurement window. Must be nonzero when
+    /// `sample_windows > 0`.
+    #[serde(default)]
+    pub sample_period: u64,
+    /// Detailed-mode warmup instructions re-warming the ROB/LSQ and other
+    /// un-warmed pipeline state after each functional span, excluded from
+    /// measurement (the SMARTS "detailed warming" knob). `0` drops
+    /// straight from functional into measurement.
+    #[serde(default)]
+    pub sample_warmup_instr: u64,
 }
 
 fn default_watchdog_grace() -> u64 {
@@ -171,6 +192,9 @@ impl Default for RunConfig {
             jobs: default_jobs(),
             fault: None,
             cycle_skip: default_cycle_skip(),
+            sample_windows: 0,
+            sample_period: 0,
+            sample_warmup_instr: 0,
         }
     }
 }
@@ -208,8 +232,10 @@ impl RunConfig {
     /// Rejected configurations: zero workers, thread placements that fall
     /// off the chip or land workers and polluters on the same core, zero
     /// DRAM channels, cache-capacity overrides that do not fit the level's
-    /// geometry, and degenerate windows (`measure_instr == 0` or
-    /// `max_cycles == 0`).
+    /// geometry, degenerate windows (`measure_instr == 0` or
+    /// `max_cycles == 0`), and sampling that could never run
+    /// (`sample_windows > 0` with a zero `sample_period`, or more windows
+    /// than measured instructions).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.workers == 0 {
             return Err(ConfigError::NoWorkers);
@@ -222,6 +248,17 @@ impl RunConfig {
         }
         if self.jobs == 0 {
             return Err(ConfigError::ZeroJobs);
+        }
+        if self.sample_windows > 0 {
+            if self.sample_period == 0 {
+                return Err(ConfigError::ZeroWindow { which: "sample_period" });
+            }
+            if (self.sample_windows as u64) > self.measure_instr {
+                return Err(ConfigError::SampleWindowsExceedMeasure {
+                    windows: self.sample_windows,
+                    measure_instr: self.measure_instr,
+                });
+            }
         }
         if self.dram_channels == Some(0) {
             return Err(ConfigError::ZeroDramChannels);
@@ -284,6 +321,35 @@ impl RunStatus {
     }
 }
 
+/// Per-window measurements of one sampled run (empty when sampling is
+/// disabled). Cycle buckets are summed across the worker cores, so the
+/// breakdown partition invariant is
+/// `committing[0] + committing[1] + stalled[0] + stalled[1] ==
+/// cycles * n_workers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Cycles the detailed measurement window spanned.
+    pub cycles: u64,
+    /// Instructions the workers committed in the window.
+    pub instructions: u64,
+    /// Committing cycles summed over worker cores, `[app, os]`.
+    pub committing: [u64; 2],
+    /// Stalled cycles summed over worker cores, `[app, os]`.
+    pub stalled: [u64; 2],
+    /// Overlapped memory cycles summed over worker cores.
+    pub memory_cycles: u64,
+    /// Application requests completed during the window (0 when the
+    /// workload has no request meter).
+    pub requests: u64,
+}
+
+impl WindowSample {
+    /// Per-core IPC of this window, over `n_workers` cores.
+    pub fn ipc(&self, n_workers: usize) -> f64 {
+        cs_perf::ratio(self.instructions, self.cycles * n_workers as u64)
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -317,6 +383,13 @@ pub struct RunResult {
     /// jumps rather than stepped individually (`0` with `cycle_skip`
     /// off). Inspectability only: no figure metric is derived from it.
     pub cycles_skipped: u64,
+    /// Per-window measurements when SMARTS sampling is enabled
+    /// ([`RunConfig::sample_windows`] > 0); empty otherwise. The
+    /// aggregate fields above ([`RunResult::cycles`],
+    /// [`RunResult::cores`], [`RunResult::mem`], ...) then cover the
+    /// union of the measurement windows only — functional fast-forward
+    /// and detailed re-warm spans are excluded, exactly as warmup is.
+    pub samples: Vec<WindowSample>,
 }
 
 impl RunResult {
@@ -446,6 +519,209 @@ const PREWARM_CYCLES: u64 = 800_000;
 /// stop response can be.
 const CKPT_SLICE: u64 = 65_536;
 
+/// Which leg of one sampling window is in flight.
+enum SampleSub {
+    /// Functional fast-forward: the cores retire at fidelity
+    /// [`cs_uarch::Fidelity::Functional`] while the memory hierarchy and
+    /// branch predictor keep warming.
+    Forward {
+        /// Cursor of the in-flight fast-forward span.
+        window: WatchedWindow,
+    },
+    /// Detailed re-warm: full out-of-order modeling, statistics discarded.
+    Warm {
+        /// Cursor of the in-flight re-warm span.
+        window: WatchedWindow,
+    },
+    /// Detailed measurement: statistics were reset at entry and are
+    /// harvested into the accumulator at completion.
+    Measure {
+        /// Cursor of the in-flight measurement window.
+        window: WatchedWindow,
+        /// Request-meter total at window entry.
+        requests_at_start: u64,
+    },
+}
+
+/// Running aggregate of a sampled run, carried (and checkpointed) across
+/// windows: merged worker/polluter statistics over the measurement windows
+/// completed so far, the per-window samples, and the main-warmup outcome
+/// needed for the final status.
+struct SampleAcc {
+    /// Outcome of the completed main warmup window.
+    warmup: WindowOutcome,
+    /// Request-meter total at statistics reset after main warmup.
+    requests_at_warmup: u64,
+    /// Worker-core pipeline statistics merged over completed windows
+    /// (empty until the first window completes).
+    cores: Vec<CoreStats>,
+    /// Worker-core memory statistics merged over completed windows.
+    mem: Vec<CoreMemStats>,
+    /// Polluter-core memory statistics merged over completed windows.
+    polluter_mem: Vec<CoreMemStats>,
+    /// DRAM totals merged over completed windows.
+    dram: cs_memsys::dram::DramStats,
+    /// One entry per completed measurement window.
+    samples: Vec<WindowSample>,
+    /// A fast-forward or re-warm span hit the cycle cap.
+    forward_truncated: bool,
+    /// A measurement window hit the cycle cap.
+    measure_truncated: bool,
+}
+
+impl SampleAcc {
+    fn new(warmup: WindowOutcome, requests_at_warmup: u64) -> Self {
+        Self {
+            warmup,
+            requests_at_warmup,
+            cores: Vec::new(),
+            mem: Vec::new(),
+            polluter_mem: Vec::new(),
+            dram: cs_memsys::dram::DramStats::default(),
+            samples: Vec::new(),
+            forward_truncated: false,
+            measure_truncated: false,
+        }
+    }
+
+    /// Folds one completed measurement window's statistics (gathered since
+    /// the `reset_stats` at window entry) into the running aggregate.
+    fn harvest(
+        &mut self,
+        chip: &cs_uarch::Chip,
+        worker_cores: &[usize],
+        polluter_cores: &[usize],
+        out: &WindowOutcome,
+        window_requests: u64,
+    ) {
+        let mem_stats = chip.mem().stats();
+        let cores: Vec<CoreStats> =
+            worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect();
+        let sum = |f: &dyn Fn(&CoreStats) -> u64| cores.iter().map(f).sum::<u64>();
+        self.samples.push(WindowSample {
+            cycles: out.cycles,
+            instructions: out.committed,
+            committing: [sum(&|c| c.committing_cycles[0]), sum(&|c| c.committing_cycles[1])],
+            stalled: [sum(&|c| c.stalled_cycles[0]), sum(&|c| c.stalled_cycles[1])],
+            memory_cycles: sum(&|c| c.memory_cycles),
+            requests: window_requests,
+        });
+        if self.cores.is_empty() {
+            self.cores = cores;
+            self.mem =
+                worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect();
+            self.polluter_mem =
+                polluter_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect();
+        } else {
+            for (acc, new) in self.cores.iter_mut().zip(&cores) {
+                acc.absorb(new);
+            }
+            for (acc, &c) in self.mem.iter_mut().zip(worker_cores) {
+                acc.merge_from(&mem_stats.per_core[c]);
+            }
+            for (acc, &c) in self.polluter_mem.iter_mut().zip(polluter_cores) {
+                acc.merge_from(&mem_stats.per_core[c]);
+            }
+        }
+        let d = chip.mem().dram_stats();
+        self.dram.reads += d.reads;
+        self.dram.writes += d.writes;
+        self.dram.bytes += d.bytes;
+        self.dram.busy_cycles += d.busy_cycles;
+    }
+
+    fn encode_snap(&self, e: &mut Enc) {
+        e.u64(self.warmup.cycles);
+        e.u64(self.warmup.committed);
+        e.bool(self.warmup.reached_target);
+        e.u64(self.requests_at_warmup);
+        e.bool(self.forward_truncated);
+        e.bool(self.measure_truncated);
+        e.len(self.cores.len());
+        for c in &self.cores {
+            c.encode_snap(e);
+        }
+        e.len(self.mem.len());
+        for m in &self.mem {
+            m.encode_snap(e);
+        }
+        e.len(self.polluter_mem.len());
+        for m in &self.polluter_mem {
+            m.encode_snap(e);
+        }
+        e.u64(self.dram.reads);
+        e.u64(self.dram.writes);
+        e.u64(self.dram.bytes);
+        e.u64(self.dram.busy_cycles);
+        e.len(self.samples.len());
+        for s in &self.samples {
+            e.u64(s.cycles);
+            e.u64(s.instructions);
+            e.u64(s.committing[0]);
+            e.u64(s.committing[1]);
+            e.u64(s.stalled[0]);
+            e.u64(s.stalled[1]);
+            e.u64(s.memory_cycles);
+            e.u64(s.requests);
+        }
+    }
+
+    fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let warmup = WindowOutcome {
+            cycles: d.u64()?,
+            committed: d.u64()?,
+            reached_target: d.bool()?,
+        };
+        let requests_at_warmup = d.u64()?;
+        let forward_truncated = d.bool()?;
+        let measure_truncated = d.bool()?;
+        let mut cores = Vec::new();
+        for _ in 0..d.len()? {
+            cores.push(CoreStats::decode_snap(d)?);
+        }
+        let mut mem = Vec::new();
+        for _ in 0..d.len()? {
+            let mut m = CoreMemStats::default();
+            m.restore_snap(d)?;
+            mem.push(m);
+        }
+        let mut polluter_mem = Vec::new();
+        for _ in 0..d.len()? {
+            let mut m = CoreMemStats::default();
+            m.restore_snap(d)?;
+            polluter_mem.push(m);
+        }
+        let dram = cs_memsys::dram::DramStats {
+            reads: d.u64()?,
+            writes: d.u64()?,
+            bytes: d.u64()?,
+            busy_cycles: d.u64()?,
+        };
+        let mut samples = Vec::new();
+        for _ in 0..d.len()? {
+            samples.push(WindowSample {
+                cycles: d.u64()?,
+                instructions: d.u64()?,
+                committing: [d.u64()?, d.u64()?],
+                stalled: [d.u64()?, d.u64()?],
+                memory_cycles: d.u64()?,
+                requests: d.u64()?,
+            });
+        }
+        Ok(Self {
+            warmup,
+            requests_at_warmup,
+            cores,
+            mem,
+            polluter_mem,
+            dram,
+            samples,
+            forward_truncated,
+            measure_truncated,
+        })
+    }
+}
+
 /// Resumable execution position of [`run`]'s §3.1 pipeline.
 ///
 /// A checkpoint is this phase marker plus the full chip snapshot; restoring
@@ -476,6 +752,20 @@ enum Phase {
         /// Request-meter total at statistics reset, the throughput baseline.
         requests_at_warmup: u64,
     },
+    /// SMARTS sampling is in flight: window `k` of
+    /// [`RunConfig::sample_windows`] is in sub-phase `sub`, with the
+    /// merged statistics of completed windows in `acc`. The fidelity each
+    /// core is running at is part of the chip snapshot, so a restore
+    /// mid-`Forward` resumes functional and mid-`Warm`/`Measure` resumes
+    /// detailed without any re-switching here.
+    Sample {
+        /// Zero-based index of the in-flight window.
+        k: usize,
+        /// Which leg of the window is running.
+        sub: SampleSub,
+        /// Aggregate over completed windows.
+        acc: Box<SampleAcc>,
+    },
 }
 
 impl Phase {
@@ -497,6 +787,26 @@ impl Phase {
                 e.bool(warmup.reached_target);
                 e.u64(*requests_at_warmup);
             }
+            Phase::Sample { k, sub, acc } => {
+                e.u8(3);
+                e.len(*k);
+                match sub {
+                    SampleSub::Forward { window } => {
+                        e.u8(0);
+                        window.encode_snap(e);
+                    }
+                    SampleSub::Warm { window } => {
+                        e.u8(1);
+                        window.encode_snap(e);
+                    }
+                    SampleSub::Measure { window, requests_at_start } => {
+                        e.u8(2);
+                        window.encode_snap(e);
+                        e.u64(*requests_at_start);
+                    }
+                }
+                acc.encode_snap(e);
+            }
         }
     }
 
@@ -514,6 +824,20 @@ impl Phase {
                 let requests_at_warmup = d.u64()?;
                 Ok(Phase::Measure { window, warmup, requests_at_warmup })
             }
+            3 => {
+                let k = d.len()?;
+                let sub = match d.u8()? {
+                    0 => SampleSub::Forward { window: WatchedWindow::decode_snap(d)? },
+                    1 => SampleSub::Warm { window: WatchedWindow::decode_snap(d)? },
+                    2 => SampleSub::Measure {
+                        window: WatchedWindow::decode_snap(d)?,
+                        requests_at_start: d.u64()?,
+                    },
+                    t => return Err(SnapError::BadTag(t)),
+                };
+                let acc = Box::new(SampleAcc::decode_snap(d)?);
+                Ok(Phase::Sample { k, sub, acc })
+            }
             t => Err(SnapError::BadTag(t)),
         }
     }
@@ -528,9 +852,28 @@ pub(crate) fn paranoid_enabled() -> bool {
 /// Conservation checks over a finished result: the cycle breakdown must
 /// partition each measured core's window exactly, the cycle skipper cannot
 /// have jumped more cycles than elapsed, and no cache level may report more
-/// hits than accesses. These hold by construction; a violation means a
+/// hits than accesses. A sampled result must additionally satisfy the same
+/// partition law inside every measurement window, and its windows'
+/// instruction counts must sum to the configured measurement budget when
+/// the run completed. These hold by construction; a violation means a
 /// counter bug or a checkpoint/restore gap, and the result is withheld.
 pub fn audit(r: &RunResult) -> Result<(), AuditError> {
+    for (i, s) in r.samples.iter().enumerate() {
+        let classified = s.committing[0] + s.committing[1] + s.stalled[0] + s.stalled[1];
+        let span = s.cycles * r.cores.len() as u64;
+        if classified != span {
+            return Err(AuditError::WindowBreakdown { window: i, classified, cycles: span });
+        }
+    }
+    if !r.samples.is_empty() && r.status.is_complete() {
+        let summed: u64 = r.samples.iter().map(|s| s.instructions).sum();
+        if summed != r.instructions() {
+            return Err(AuditError::WindowInstructionSum {
+                summed,
+                total: r.instructions(),
+            });
+        }
+    }
     if r.cycles_skipped > r.cycles_total {
         return Err(AuditError::SkipExceedsTotal {
             skipped: r.cycles_skipped,
@@ -748,9 +1091,23 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
             Ok(())
         };
 
+    let meter_total = |meters: &[std::sync::Arc<std::sync::atomic::AtomicU64>]| -> u64 {
+        meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum()
+    };
+    // Instruction target of sampling window `k`: the measurement budget is
+    // split evenly, with the remainder folded into the last window so the
+    // targets always sum to exactly `measure_instr`.
+    let window_target = |k: usize| -> u64 {
+        let n = cfg.sample_windows as u64;
+        let base = cfg.measure_instr / n;
+        if k as u64 + 1 == n { cfg.measure_instr - base * (n - 1) } else { base }
+    };
+
     // The phase loop: §3.1 pre-warm, warmup to steady state, statistics
     // reset, measurement — with a checkpoint opportunity between slices.
-    let (measure, warmup, requests_at_warmup) = loop {
+    // Sampled runs interleave functional fast-forward, detailed re-warm
+    // and short detailed measurement windows instead of one long window.
+    let (measure, warmup, requests_at_warmup, sampled) = loop {
         phase = match phase {
             Phase::PreWarm { cycles_done } => {
                 if cycles_done >= prewarm_target {
@@ -783,19 +1140,34 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
                 match stepped {
                     Some(out) => {
                         chip.reset_stats();
-                        let requests_at_warmup: u64 = meters
-                            .iter()
-                            .map(|m| m.load(std::sync::atomic::Ordering::Relaxed))
-                            .sum();
-                        Phase::Measure {
-                            window: chip.begin_watched(
-                                &worker_cores,
-                                cfg.measure_instr,
-                                cfg.max_cycles,
-                                cfg.watchdog_grace,
-                            ),
-                            warmup: out,
-                            requests_at_warmup,
+                        let requests_at_warmup = meter_total(&meters);
+                        if cfg.sample_windows > 0 {
+                            // Sampled run: fast-forward functionally to the
+                            // first deterministically spaced window.
+                            chip.set_fidelity(Fidelity::Functional);
+                            Phase::Sample {
+                                k: 0,
+                                sub: SampleSub::Forward {
+                                    window: chip.begin_watched(
+                                        &worker_cores,
+                                        cfg.sample_period,
+                                        cfg.max_cycles,
+                                        cfg.watchdog_grace,
+                                    ),
+                                },
+                                acc: Box::new(SampleAcc::new(out, requests_at_warmup)),
+                            }
+                        } else {
+                            Phase::Measure {
+                                window: chip.begin_watched(
+                                    &worker_cores,
+                                    cfg.measure_instr,
+                                    cfg.max_cycles,
+                                    cfg.watchdog_grace,
+                                ),
+                                warmup: out,
+                                requests_at_warmup,
+                            }
                         }
                     }
                     None => {
@@ -815,7 +1187,7 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
                         }
                     })?;
                 match stepped {
-                    Some(out) => break (out, warmup, requests_at_warmup),
+                    Some(out) => break (out, warmup, requests_at_warmup, None),
                     None => {
                         let p = Phase::Measure { window, warmup, requests_at_warmup };
                         boundary(&chip, &p, &mut last_ckpt)?;
@@ -823,20 +1195,193 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
                     }
                 }
             }
+            Phase::Sample { k, sub, mut acc } => match sub {
+                SampleSub::Forward { mut window } => {
+                    let stepped =
+                        chip.step_watched(&mut window, step_budget).map_err(|d| {
+                            HarnessError::Stalled {
+                                core: d.core,
+                                cycles_without_commit: d.cycles_without_commit,
+                                window: "sample-forward",
+                            }
+                        })?;
+                    // Sampled sub-windows are often shorter than a slice
+                    // budget, so the completed branches below must pass
+                    // through `boundary` too — otherwise a fast schedule
+                    // would never observe a stop request or take a
+                    // cadence snapshot.
+                    match stepped {
+                        Some(out) => {
+                            if !out.reached_target {
+                                acc.forward_truncated = true;
+                            }
+                            chip.set_fidelity(Fidelity::Detailed);
+                            let p = if cfg.sample_warmup_instr > 0 {
+                                Phase::Sample {
+                                    k,
+                                    sub: SampleSub::Warm {
+                                        window: chip.begin_watched(
+                                            &worker_cores,
+                                            cfg.sample_warmup_instr,
+                                            cfg.max_cycles,
+                                            cfg.watchdog_grace,
+                                        ),
+                                    },
+                                    acc,
+                                }
+                            } else {
+                                chip.reset_stats();
+                                Phase::Sample {
+                                    k,
+                                    sub: SampleSub::Measure {
+                                        window: chip.begin_watched(
+                                            &worker_cores,
+                                            window_target(k),
+                                            cfg.max_cycles,
+                                            cfg.watchdog_grace,
+                                        ),
+                                        requests_at_start: meter_total(&meters),
+                                    },
+                                    acc,
+                                }
+                            };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                        None => {
+                            let p =
+                                Phase::Sample { k, sub: SampleSub::Forward { window }, acc };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                    }
+                }
+                SampleSub::Warm { mut window } => {
+                    let stepped =
+                        chip.step_watched(&mut window, step_budget).map_err(|d| {
+                            HarnessError::Stalled {
+                                core: d.core,
+                                cycles_without_commit: d.cycles_without_commit,
+                                window: "sample-warmup",
+                            }
+                        })?;
+                    match stepped {
+                        Some(out) => {
+                            if !out.reached_target {
+                                acc.forward_truncated = true;
+                            }
+                            chip.reset_stats();
+                            let p = Phase::Sample {
+                                k,
+                                sub: SampleSub::Measure {
+                                    window: chip.begin_watched(
+                                        &worker_cores,
+                                        window_target(k),
+                                        cfg.max_cycles,
+                                        cfg.watchdog_grace,
+                                    ),
+                                    requests_at_start: meter_total(&meters),
+                                },
+                                acc,
+                            };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                        None => {
+                            let p = Phase::Sample { k, sub: SampleSub::Warm { window }, acc };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                    }
+                }
+                SampleSub::Measure { mut window, requests_at_start } => {
+                    let stepped =
+                        chip.step_watched(&mut window, step_budget).map_err(|d| {
+                            HarnessError::Stalled {
+                                core: d.core,
+                                cycles_without_commit: d.cycles_without_commit,
+                                window: "sample-measure",
+                            }
+                        })?;
+                    match stepped {
+                        Some(out) => {
+                            if !out.reached_target {
+                                acc.measure_truncated = true;
+                            }
+                            let window_requests =
+                                meter_total(&meters) - requests_at_start;
+                            acc.harvest(
+                                &chip,
+                                &worker_cores,
+                                &polluter_cores,
+                                &out,
+                                window_requests,
+                            );
+                            if k + 1 == cfg.sample_windows {
+                                // All windows done: the combined outcome
+                                // spans the union of the measurement
+                                // windows, and the status logic below sees
+                                // any truncation anywhere in the schedule.
+                                let combined = WindowOutcome {
+                                    cycles: acc.samples.iter().map(|s| s.cycles).sum(),
+                                    committed: acc
+                                        .samples
+                                        .iter()
+                                        .map(|s| s.instructions)
+                                        .sum(),
+                                    reached_target: !acc.measure_truncated
+                                        && !acc.forward_truncated,
+                                };
+                                let warmup = acc.warmup;
+                                let requests_at_warmup = acc.requests_at_warmup;
+                                break (combined, warmup, requests_at_warmup, Some(acc));
+                            }
+                            chip.set_fidelity(Fidelity::Functional);
+                            let p = Phase::Sample {
+                                k: k + 1,
+                                sub: SampleSub::Forward {
+                                    window: chip.begin_watched(
+                                        &worker_cores,
+                                        cfg.sample_period,
+                                        cfg.max_cycles,
+                                        cfg.watchdog_grace,
+                                    ),
+                                },
+                                acc,
+                            };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                        None => {
+                            let p = Phase::Sample {
+                                k,
+                                sub: SampleSub::Measure { window, requests_at_start },
+                                acc,
+                            };
+                            boundary(&chip, &p, &mut last_ckpt)?;
+                            p
+                        }
+                    }
+                }
+            },
         };
     };
 
     let cycles = measure.cycles;
     let requests = if meters.is_empty() {
         None
+    } else if let Some(acc) = &sampled {
+        // Sampled runs meter requests per measurement window so throughput
+        // covers exactly the cycles the IPC covers.
+        Some(acc.samples.iter().map(|s| s.requests).sum())
     } else {
-        let total: u64 =
-            meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum();
-        Some(total - requests_at_warmup)
+        Some(meter_total(&meters) - requests_at_warmup)
     };
 
     // Truncation is surfaced, never silent: the measurement window takes
-    // precedence over warmup when both fell short.
+    // precedence over warmup when both fell short. In sampled mode the
+    // combined measurement outcome already folds in any truncated
+    // fast-forward, re-warm or measurement span.
     let status = if !measure.reached_target {
         RunStatus::Truncated { committed: measure.committed, target: cfg.measure_instr }
     } else if !warmup.reached_target {
@@ -845,23 +1390,62 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
         RunStatus::Completed
     };
 
-    let mem_stats = chip.mem().stats();
-    let result = RunResult {
-        name: bench.name().to_owned(),
-        cycles,
-        cores: worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect(),
-        mem: worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
-        polluter_mem: polluter_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
-        dram: chip.mem().dram_stats(),
-        peak_bytes_per_cycle: machine.mem.dram.peak_bytes_per_cycle(),
-        n_workers: worker_cores.len(),
-        requests,
-        status,
-        cycles_total: chip.cycle(),
-        cycles_skipped: chip.skipped_cycles(),
+    let result = match sampled {
+        Some(acc) => RunResult {
+            name: bench.name().to_owned(),
+            cycles,
+            cores: acc.cores,
+            mem: acc.mem,
+            polluter_mem: acc.polluter_mem,
+            dram: acc.dram,
+            peak_bytes_per_cycle: machine.mem.dram.peak_bytes_per_cycle(),
+            n_workers: worker_cores.len(),
+            requests,
+            status,
+            cycles_total: chip.cycle(),
+            cycles_skipped: chip.skipped_cycles(),
+            samples: acc.samples,
+        },
+        None => {
+            let mem_stats = chip.mem().stats();
+            RunResult {
+                name: bench.name().to_owned(),
+                cycles,
+                cores: worker_cores
+                    .iter()
+                    .map(|&c| chip.cores()[c].stats().clone())
+                    .collect(),
+                mem: worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
+                polluter_mem: polluter_cores
+                    .iter()
+                    .map(|&c| mem_stats.per_core[c].clone())
+                    .collect(),
+                dram: chip.mem().dram_stats(),
+                peak_bytes_per_cycle: machine.mem.dram.peak_bytes_per_cycle(),
+                n_workers: worker_cores.len(),
+                requests,
+                status,
+                cycles_total: chip.cycle(),
+                cycles_skipped: chip.skipped_cycles(),
+                samples: Vec::new(),
+            }
+        }
     };
     if paranoid_enabled() {
         audit(&result)?;
+        // With the budget split over windows whose targets sum to exactly
+        // `measure_instr`, a completed sampled run must have measured at
+        // least that many instructions (commit-width overshoot only adds).
+        if !result.samples.is_empty() && result.status.is_complete() {
+            let summed: u64 = result.samples.iter().map(|s| s.instructions).sum();
+            if summed < cfg.measure_instr {
+                return Err(AuditError::WindowInstructionSum {
+                    summed,
+                    total: cfg.measure_instr,
+                }
+                .into());
+            }
+        }
     }
     Ok(result)
 }
@@ -1095,6 +1679,104 @@ mod tests {
         let ctl = CheckpointCtl::new(dir.clone(), "unit-test");
         let r = with_checkpointing(ctl, || run(&bench, &cfg)).expect("must degrade to fresh");
         assert_eq!(format!("{baseline:?}"), format!("{r:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sampled_tiny() -> RunConfig {
+        RunConfig {
+            sample_windows: 4,
+            sample_period: 120_000,
+            sample_warmup_instr: 20_000,
+            ..tiny()
+        }
+    }
+
+    #[test]
+    fn sampled_run_completes_and_audits() {
+        let bench = Benchmark::mcf();
+        let r = run(&bench, &sampled_tiny()).expect("valid config must run");
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.samples.len(), 4);
+        let summed: u64 = r.samples.iter().map(|s| s.instructions).sum();
+        assert_eq!(summed, r.instructions(), "window sums must match merged stats");
+        assert!(summed >= 120_000, "windows must cover the measurement budget");
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        for s in &r.samples {
+            assert!(s.ipc(r.n_workers) > 0.0);
+        }
+        // The merged breakdown must still partition the union of windows.
+        let b = r.breakdown();
+        let total = b.committing_app + b.committing_os + b.stalled_app + b.stalled_os;
+        assert!((total - 1.0).abs() < 1e-6, "breakdown must partition time, got {total}");
+        audit(&r).expect("a sampled run must satisfy every conservation law");
+        // And the auditor must catch per-window corruption.
+        let mut bad = r.clone();
+        bad.samples[0].committing[0] += 1;
+        assert!(matches!(audit(&bad), Err(AuditError::WindowBreakdown { window: 0, .. })));
+        let mut bad = r;
+        bad.samples[1].instructions += 1;
+        assert!(matches!(audit(&bad), Err(AuditError::WindowInstructionSum { .. })));
+    }
+
+    #[test]
+    fn sampled_zero_detailed_warmup_still_completes() {
+        let bench = Benchmark::mcf();
+        let cfg = RunConfig { sample_warmup_instr: 0, ..sampled_tiny() };
+        let r = run(&bench, &cfg).expect("valid config must run");
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.samples.len(), 4);
+        audit(&r).expect("audit");
+    }
+
+    #[test]
+    fn sampled_validation_rejects_degenerate_schedules() {
+        let cfg = RunConfig { sample_windows: 3, ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow { which: "sample_period" }));
+        let cfg = RunConfig {
+            sample_windows: 10,
+            sample_period: 1_000,
+            measure_instr: 5,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::SampleWindowsExceedMeasure { windows: 10, measure_instr: 5 })
+        );
+    }
+
+    #[test]
+    fn sampled_interrupt_and_resume_is_byte_identical() {
+        use crate::checkpoint::{with_checkpointing, CheckpointCtl};
+        let bench = Benchmark::mcf();
+        let cfg = sampled_tiny();
+        let baseline = run(&bench, &cfg).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-sampled-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Kill at increasing cycle counts so interrupts land inside
+        // functional fast-forward, re-warm and measurement sub-phases.
+        let mut interrupts = 0;
+        let mut k = 150_000u64;
+        let result = loop {
+            let mut ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+            ctl.cadence_cycles = 100_000;
+            ctl.interrupt_after = Some(k);
+            match with_checkpointing(ctl, || run(&bench, &cfg)) {
+                Err(HarnessError::Interrupted) => {
+                    interrupts += 1;
+                    k += 250_000;
+                }
+                Ok(r) => break r,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+            assert!(interrupts < 64, "run never completed");
+        };
+        assert!(interrupts >= 2, "test must interrupt at least twice, got {interrupts}");
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{result:?}"),
+            "an interrupted-and-resumed sampled run must reproduce the baseline exactly"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -174,6 +174,40 @@ impl Cache {
         None
     }
 
+    /// Way index and metadata of `line`, if present, without touching LRU
+    /// state.
+    pub fn probe(&self, line: u64) -> Option<(usize, &LineMeta)> {
+        let range = self.set_range(line);
+        let base = range.start;
+        self.ways[range]
+            .iter()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == line)
+            .map(|(i, w)| (base + i, &w.meta))
+    }
+
+    /// Metadata of `line` if — and only if — it currently sits at `way`,
+    /// without touching LRU state. O(1): validates a memoized way index
+    /// instead of scanning the set.
+    #[inline]
+    pub fn way_holds(&self, way: usize, line: u64) -> Option<&LineMeta> {
+        let w = &self.ways[way];
+        if w.valid && w.tag == line {
+            Some(&w.meta)
+        } else {
+            None
+        }
+    }
+
+    /// Re-stamps `way` as most-recently used, exactly as a [`Cache::lookup`]
+    /// hit on its resident line would (tick advance included, so snapshots
+    /// of a replayed hit are byte-identical to snapshots of a real one).
+    #[inline]
+    pub fn touch_way(&mut self, way: usize) {
+        self.tick += 1;
+        self.ways[way].stamp = self.tick;
+    }
+
     /// Looks up `line` without touching LRU state.
     pub fn peek(&self, line: u64) -> Option<&LineMeta> {
         let range = self.set_range(line);
@@ -228,6 +262,7 @@ impl Cache {
         }
         None
     }
+
 
     /// Number of currently valid lines (O(capacity); for tests and
     /// diagnostics).

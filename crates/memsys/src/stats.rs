@@ -99,6 +99,38 @@ impl LevelStats {
     pub fn instr_misses(&self) -> (u64, u64) {
         (self.misses(AccessClass::InstrUser), self.misses(AccessClass::InstrKernel))
     }
+
+    /// Adds every counter of `other` into `self` (per-window aggregation).
+    pub fn merge_from(&mut self, other: &LevelStats) {
+        for i in 0..4 {
+            self.accesses[i] += other.accesses[i];
+            self.hits[i] += other.hits[i];
+        }
+    }
+
+    /// Writes both counter arrays in a fixed order.
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        for &v in &self.accesses {
+            e.u64(v);
+        }
+        for &v in &self.hits {
+            e.u64(v);
+        }
+    }
+
+    /// Inverse of [`LevelStats::encode_snap`].
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        for v in &mut self.accesses {
+            *v = d.u64()?;
+        }
+        for v in &mut self.hits {
+            *v = d.u64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Prefetcher activity for one core.
@@ -120,6 +152,19 @@ pub struct PrefetchStats {
     pub useful_l1i: u64,
 }
 
+impl PrefetchStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge_from(&mut self, other: &PrefetchStats) {
+        self.issued_adjacent += other.issued_adjacent;
+        self.issued_stride += other.issued_stride;
+        self.issued_dcu += other.issued_dcu;
+        self.issued_instr += other.issued_instr;
+        self.useful_l1d += other.useful_l1d;
+        self.useful_l2 += other.useful_l2;
+        self.useful_l1i += other.useful_l1i;
+    }
+}
+
 /// TLB activity for one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbStats {
@@ -133,6 +178,17 @@ pub struct TlbStats {
     pub itlb_miss_cycles: u64,
     /// Cycles of second-level TLB miss stall (ditto).
     pub stlb_miss_cycles: u64,
+}
+
+impl TlbStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge_from(&mut self, other: &TlbStats) {
+        self.itlb_misses += other.itlb_misses;
+        self.dtlb_misses += other.dtlb_misses;
+        self.stlb_misses += other.stlb_misses;
+        self.itlb_miss_cycles += other.itlb_miss_cycles;
+        self.stlb_miss_cycles += other.stlb_miss_cycles;
+    }
 }
 
 /// All memory-system statistics attributed to one core.
@@ -175,6 +231,79 @@ impl CoreMemStats {
     /// Total DRAM bytes attributed to this core.
     pub fn dram_bytes_total(&self) -> u64 {
         self.dram_bytes[0] + self.dram_bytes[1]
+    }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Used by the sampling driver to fold per-window memory statistics
+    /// into the campaign-level accumulator.
+    pub fn merge_from(&mut self, other: &CoreMemStats) {
+        self.l1i.merge_from(&other.l1i);
+        self.l1d.merge_from(&other.l1d);
+        self.l2.merge_from(&other.l2);
+        self.llc.merge_from(&other.llc);
+        self.rw_shared[0] += other.rw_shared[0];
+        self.rw_shared[1] += other.rw_shared[1];
+        self.upgrades += other.upgrades;
+        self.dram_bytes[0] += other.dram_bytes[0];
+        self.dram_bytes[1] += other.dram_bytes[1];
+        self.prefetch.merge_from(&other.prefetch);
+        self.tlb.merge_from(&other.tlb);
+    }
+
+    /// Writes every counter in a fixed order (shared with the
+    /// [`crate::MemorySystem`] snapshot codec).
+    pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
+        self.l1i.encode_snap(e);
+        self.l1d.encode_snap(e);
+        self.l2.encode_snap(e);
+        self.llc.encode_snap(e);
+        e.u64(self.rw_shared[0]);
+        e.u64(self.rw_shared[1]);
+        e.u64(self.upgrades);
+        e.u64(self.dram_bytes[0]);
+        e.u64(self.dram_bytes[1]);
+        e.u64(self.prefetch.issued_adjacent);
+        e.u64(self.prefetch.issued_stride);
+        e.u64(self.prefetch.issued_dcu);
+        e.u64(self.prefetch.issued_instr);
+        e.u64(self.prefetch.useful_l1d);
+        e.u64(self.prefetch.useful_l2);
+        e.u64(self.prefetch.useful_l1i);
+        e.u64(self.tlb.itlb_misses);
+        e.u64(self.tlb.dtlb_misses);
+        e.u64(self.tlb.stlb_misses);
+        e.u64(self.tlb.itlb_miss_cycles);
+        e.u64(self.tlb.stlb_miss_cycles);
+    }
+
+    /// Inverse of [`CoreMemStats::encode_snap`].
+    pub fn restore_snap(
+        &mut self,
+        d: &mut cs_trace::snap::Dec<'_>,
+    ) -> Result<(), cs_trace::snap::SnapError> {
+        self.l1i.restore_snap(d)?;
+        self.l1d.restore_snap(d)?;
+        self.l2.restore_snap(d)?;
+        self.llc.restore_snap(d)?;
+        self.rw_shared[0] = d.u64()?;
+        self.rw_shared[1] = d.u64()?;
+        self.upgrades = d.u64()?;
+        self.dram_bytes[0] = d.u64()?;
+        self.dram_bytes[1] = d.u64()?;
+        self.prefetch.issued_adjacent = d.u64()?;
+        self.prefetch.issued_stride = d.u64()?;
+        self.prefetch.issued_dcu = d.u64()?;
+        self.prefetch.issued_instr = d.u64()?;
+        self.prefetch.useful_l1d = d.u64()?;
+        self.prefetch.useful_l2 = d.u64()?;
+        self.prefetch.useful_l1i = d.u64()?;
+        self.tlb.itlb_misses = d.u64()?;
+        self.tlb.dtlb_misses = d.u64()?;
+        self.tlb.stlb_misses = d.u64()?;
+        self.tlb.itlb_miss_cycles = d.u64()?;
+        self.tlb.stlb_miss_cycles = d.u64()?;
+        Ok(())
     }
 }
 
@@ -263,6 +392,40 @@ mod tests {
         assert_eq!(s.llc_data_refs(), 2);
         assert_eq!(s.rw_shared_total(), 2);
         assert_eq!(s.dram_bytes_total(), 150);
+    }
+
+    #[test]
+    fn merge_sums_every_counter_and_codec_roundtrips() {
+        let mut a = CoreMemStats::default();
+        a.l1d.record(AccessClass::DataUser, true);
+        a.l1d.record(AccessClass::DataKernel, false);
+        a.llc.record(AccessClass::InstrUser, true);
+        a.rw_shared = [3, 1];
+        a.upgrades = 2;
+        a.dram_bytes = [640, 128];
+        a.prefetch.issued_stride = 5;
+        a.prefetch.useful_l2 = 4;
+        a.tlb.dtlb_misses = 9;
+        a.tlb.stlb_miss_cycles = 77;
+        let mut b = a.clone();
+        b.merge_from(&a);
+        assert_eq!(b.l1d.total_accesses(), 2 * a.l1d.total_accesses());
+        assert_eq!(b.l1d.total_hits(), 2 * a.l1d.total_hits());
+        assert_eq!(b.llc.accesses[AccessClass::InstrUser.idx()], 2);
+        assert_eq!(b.rw_shared, [6, 2]);
+        assert_eq!(b.upgrades, 4);
+        assert_eq!(b.dram_bytes_total(), 2 * 768);
+        assert_eq!(b.prefetch.issued_stride, 10);
+        assert_eq!(b.prefetch.useful_l2, 8);
+        assert_eq!(b.tlb.dtlb_misses, 18);
+        assert_eq!(b.tlb.stlb_miss_cycles, 154);
+
+        let mut e = cs_trace::snap::Enc::new();
+        b.encode_snap(&mut e);
+        let mut d = cs_trace::snap::Dec::new(&e.buf);
+        let mut back = CoreMemStats::default();
+        back.restore_snap(&mut d).expect("restore");
+        assert_eq!(back, b);
     }
 
     #[test]

@@ -100,7 +100,53 @@ pub struct MemorySystem {
     stats: MemStats,
     pf_buf: Vec<u64>,
     fault: Option<FaultState>,
+    /// Transient flag set only for the duration of one
+    /// [`MemorySystem::ifetch_warm`] / [`MemorySystem::data_access_warm`]
+    /// call: the access updates every piece of microarchitectural state
+    /// but bypasses the DRAM channel timers and bandwidth books. Always
+    /// false between accesses (like `pf_buf`), so it is not serialized.
+    warming: bool,
+    /// Per-core direct-mapped memo tables over recent pure-L1 hits on the
+    /// warm path: `warm_data[core]` for `data_access_warm`,
+    /// `warm_instr[core]` for `ifetch_warm`. A memo records where a line
+    /// and its page were found (L1 way, first-level-TLB way) the last
+    /// time a warm access to the line was serviced as a pure L1 hit. On
+    /// a repeat touch, the warm path revalidates every premise of the
+    /// skip *directly against current state* in O(1) — the line still
+    /// sits at that way, its `prefetched` flag is clear, for stores it
+    /// is writable and dirty, and the page still sits at that TLB way —
+    /// and then replays the hit: the exact LRU touches the walk would
+    /// make (way-for-way, tick-for-tick, so snapshots and digests are
+    /// byte-identical) plus the L1 hit counter. Because validation reads
+    /// the live cache state, no invalidation hooks are needed anywhere:
+    /// any fill, eviction, coherence invalidation or downgrade that
+    /// breaks a premise makes the check fail and the access fall back to
+    /// the ordinary walk. Pure accelerator — never serialized, wiped on
+    /// restore.
+    warm_data: Vec<Box<[WarmMemo]>>,
+    /// Instruction-side memo table; see `warm_data`.
+    warm_instr: Vec<Box<[WarmMemo]>>,
 }
+
+/// One entry of the warm-path memo tables; see `MemorySystem::warm_data`.
+#[derive(Debug, Clone, Copy)]
+struct WarmMemo {
+    /// Memoized line address; `u64::MAX` marks an empty entry.
+    line: u64,
+    /// Way the line was last found at in the L1 cache.
+    l1_way: u32,
+    /// Way the line's page was last found at in the first-level TLB.
+    tlb_way: u32,
+}
+
+impl WarmMemo {
+    const EMPTY: Self = Self { line: u64::MAX, l1_way: 0, tlb_way: 0 };
+}
+
+/// Entries per warm-memo table. Power of two (the index is a mask of the
+/// line address); 512 matches the L1-D line capacity, so the table can
+/// cover the whole warm working set that is skippable at all.
+const WARM_MEMO_SLOTS: usize = 512;
 
 impl MemorySystem {
     /// Builds the memory system for `n_cores` cores under `cfg`.
@@ -125,9 +171,23 @@ impl MemorySystem {
             stats: MemStats { per_core: vec![CoreMemStats::default(); n_cores], ..Default::default() },
             pf_buf: Vec::with_capacity(8),
             fault: cfg.fault.map(FaultState::new),
+            warming: false,
+            warm_data: (0..n_cores)
+                .map(|_| vec![WarmMemo::EMPTY; WARM_MEMO_SLOTS].into_boxed_slice())
+                .collect(),
+            warm_instr: (0..n_cores)
+                .map(|_| vec![WarmMemo::EMPTY; WARM_MEMO_SLOTS].into_boxed_slice())
+                .collect(),
             n_cores,
             n_sockets,
             cfg,
+        }
+    }
+
+    /// Wipes every warm-path memo (see `warm_data`).
+    fn clear_warm_memos(&mut self) {
+        for table in self.warm_data.iter_mut().chain(self.warm_instr.iter_mut()) {
+            table.fill(WarmMemo::EMPTY);
         }
     }
 
@@ -308,6 +368,10 @@ impl MemorySystem {
                 ))
             }
         }
+        // The warm memos are a pure in-memory accelerator, never
+        // serialized; start the restored run with them wiped so a resumed
+        // run and an uninterrupted one behave identically.
+        self.clear_warm_memos();
         Ok(())
     }
 
@@ -347,6 +411,141 @@ impl MemorySystem {
         let n = self.n_cores;
         let cps = self.cfg.cores_per_socket;
         (0..cps).filter(move |i| mask & (1 << i) != 0).map(move |i| base + i).filter(move |c| *c < n)
+    }
+
+    // ------------------------------------------------------------------
+    // Warming-only paths (functional fast-forward)
+    // ------------------------------------------------------------------
+
+    /// [`MemorySystem::ifetch`] minus the timing: the access walks the
+    /// same hierarchy and updates every piece of microarchitectural state
+    /// — cache arrays and replacement order, coherence metadata, TLBs,
+    /// prefetcher tables and streams, and the fault-stream cursor — but
+    /// never touches the DRAM channel timers or bandwidth books, and its
+    /// latency is discarded. Functional-mode cores drive this during
+    /// sampled fast-forward so the next detailed window opens on caches
+    /// warmed exactly as detailed execution of the same instruction
+    /// stream would have left them ([`MemorySystem::warm_state_digest`]).
+    pub fn ifetch_warm(&mut self, core: usize, privilege: Privilege, addr: u64, now: u64) {
+        let line = addr >> 6;
+        let slot = (line as usize) & (WARM_MEMO_SLOTS - 1);
+        let m = self.warm_instr[core][slot];
+        if m.line == line {
+            let resident = self.l1i[core]
+                .way_holds(m.l1_way as usize, line)
+                .is_some_and(|meta| !meta.prefetched);
+            if resident && self.tlbs[core].itlb_way_holds(m.tlb_way as usize, addr >> 12) {
+                // Replay the pure L1-I hit the walk would perform: the
+                // ITLB and L1-I LRU touches (way-for-way, tick-for-tick)
+                // and the hit counter. See `data_access_warm` for the
+                // full argument.
+                self.tlbs[core].touch_itlb(m.tlb_way as usize);
+                self.l1i[core].touch_way(m.l1_way as usize);
+                self.stats.per_core[core].l1i.record(AccessClass::new(true, privilege), true);
+                return;
+            }
+        }
+        self.warming = true;
+        let out = self.ifetch(core, privilege, addr, now);
+        self.warming = false;
+        if out.level == ServiceLevel::L1 {
+            if let (Some((way, _)), Some(tway)) =
+                (self.l1i[core].probe(line), self.tlbs[core].itlb_way_of(addr >> 12))
+            {
+                self.warm_instr[core][slot] =
+                    WarmMemo { line, l1_way: way as u32, tlb_way: tway as u32 };
+            }
+        }
+    }
+
+    /// [`MemorySystem::data_access`] minus the timing; see
+    /// [`MemorySystem::ifetch_warm`].
+    ///
+    /// The warm path additionally memoizes recent pure-L1-hit lines
+    /// (`warm_data`) and replays a repeat touch in O(1) instead of
+    /// re-walking. The replay is byte-identical to walking: a repeat
+    /// pure-L1-D hit's only effects are the DTLB and L1-D LRU touches
+    /// (replayed way-for-way, tick advance included, so snapshots and
+    /// digests cannot tell the difference), the L1-D hit counter
+    /// (recorded right here with the access's own class), and — for
+    /// stores — the dirty bit, which the revalidated `writable && dirty`
+    /// premise guarantees is already set. Every premise is checked
+    /// against live state immediately before the replay: the line still
+    /// sits at the memoized L1-D way with `prefetched` clear (so the
+    /// walk would record no useful-prefetch event), a store finds it
+    /// writable and dirty (so the walk's in-place dirty update and the
+    /// upgrade path are both no-ops), and — since a line's 64 bytes lie
+    /// within one page — the page still sits at the memoized DTLB way
+    /// (so the walk's translation would hit with no TLB stats). The
+    /// fault cursor only advances on the DRAM path, so replayed hits
+    /// never disturb it.
+    pub fn data_access_warm(
+        &mut self,
+        core: usize,
+        privilege: Privilege,
+        addr: u64,
+        is_store: bool,
+        pc: u64,
+        now: u64,
+    ) {
+        let line = addr >> 6;
+        let slot = (line as usize) & (WARM_MEMO_SLOTS - 1);
+        let m = self.warm_data[core][slot];
+        if m.line == line {
+            let ok = self.l1d[core].way_holds(m.l1_way as usize, line).is_some_and(|meta| {
+                !meta.prefetched && (!is_store || (meta.writable && meta.dirty))
+            });
+            if ok && self.tlbs[core].dtlb_way_holds(m.tlb_way as usize, addr >> 12) {
+                self.tlbs[core].touch_dtlb(m.tlb_way as usize);
+                self.l1d[core].touch_way(m.l1_way as usize);
+                self.stats.per_core[core].l1d.record(AccessClass::new(false, privilege), true);
+                return;
+            }
+        }
+        self.warming = true;
+        let out = self.data_access(core, privilege, addr, is_store, pc, now);
+        self.warming = false;
+        if out.level == ServiceLevel::L1 {
+            if let (Some((way, _)), Some(dway)) =
+                (self.l1d[core].probe(line), self.tlbs[core].dtlb_way_of(addr >> 12))
+            {
+                self.warm_data[core][slot] =
+                    WarmMemo { line, l1_way: way as u32, tlb_way: dway as u32 };
+            }
+        }
+    }
+
+    /// FNV-1a digest over the warmable microarchitectural state — every
+    /// cache array, TLB level, prefetcher table and the DCU stream
+    /// cursors — and nothing else: no statistics, no DRAM timing, no
+    /// fault cursor. Functional-warming soundness is the claim that
+    /// detailed and functional execution of the same reference sequence
+    /// leave this digest identical; the cs-uarch property tests assert
+    /// exactly that.
+    pub fn warm_state_digest(&self) -> u64 {
+        let mut e = cs_trace::snap::Enc::new();
+        for c in &self.l1i {
+            c.encode_snap(&mut e);
+        }
+        for c in &self.l1d {
+            c.encode_snap(&mut e);
+        }
+        for c in &self.l2 {
+            c.encode_snap(&mut e);
+        }
+        for c in &self.llcs {
+            c.encode_snap(&mut e);
+        }
+        for t in &self.tlbs {
+            t.encode_snap(&mut e);
+        }
+        for s in &self.stride {
+            s.encode_snap(&mut e);
+        }
+        for &m in &self.dcu_last_miss {
+            e.u64(m);
+        }
+        cs_trace::snap::fnv1a64(&e.buf)
     }
 
     // ------------------------------------------------------------------
@@ -699,7 +898,12 @@ impl MemorySystem {
         let (lat, level) = if remote_state.is_some() {
             (self.cfg.llc.latency + self.cfg.remote_snoop_extra, ServiceLevel::RemoteLlc)
         } else {
-            let mut dram_lat = self.dram.read(line, now);
+            // Warming accesses bypass the DRAM channel timers (their fake
+            // pacing would corrupt queueing state and the bandwidth books
+            // for the next detailed window), but the fault stream is
+            // event-indexed over hierarchy events: the roll is consumed
+            // either way so detailed and warmed runs see the same cursor.
+            let mut dram_lat = if self.warming { 0 } else { self.dram.read(line, now) };
             if let Some(f) = &mut self.fault {
                 dram_lat = dram_lat.saturating_add(f.perturb_dram());
             }
@@ -751,7 +955,9 @@ impl MemorySystem {
             }
         }
         if dirty {
-            self.dram.write(evicted.line, now);
+            if !self.warming {
+                self.dram.write(evicted.line, now);
+            }
             self.stats.per_core[core].dram_bytes[usize::from(privilege.is_kernel())] += 64;
         }
     }
@@ -797,7 +1003,9 @@ impl MemorySystem {
         if let Some(m) = self.llcs[socket].peek_mut(line) {
             m.dirty = true;
         } else {
-            self.dram.write(line, now);
+            if !self.warming {
+                self.dram.write(line, now);
+            }
             // Attribution of stale writebacks: charged as user traffic to
             // the evicting core (privilege of the original writer is gone).
             self.stats.per_core[core].dram_bytes[0] += 64;
@@ -864,80 +1072,16 @@ impl MemorySystem {
     }
 }
 
-/// Writes one [`LevelStats`] (accesses then hits, class order).
-fn encode_level(e: &mut cs_trace::snap::Enc, s: &crate::stats::LevelStats) {
-    for &v in &s.accesses {
-        e.u64(v);
-    }
-    for &v in &s.hits {
-        e.u64(v);
-    }
-}
-
-fn restore_level(
-    d: &mut cs_trace::snap::Dec<'_>,
-    s: &mut crate::stats::LevelStats,
-) -> Result<(), cs_trace::snap::SnapError> {
-    for v in &mut s.accesses {
-        *v = d.u64()?;
-    }
-    for v in &mut s.hits {
-        *v = d.u64()?;
-    }
-    Ok(())
-}
-
 /// Writes every counter of one core's [`CoreMemStats`].
 fn encode_core_stats(e: &mut cs_trace::snap::Enc, s: &CoreMemStats) {
-    encode_level(e, &s.l1i);
-    encode_level(e, &s.l1d);
-    encode_level(e, &s.l2);
-    encode_level(e, &s.llc);
-    e.u64(s.rw_shared[0]);
-    e.u64(s.rw_shared[1]);
-    e.u64(s.upgrades);
-    e.u64(s.dram_bytes[0]);
-    e.u64(s.dram_bytes[1]);
-    e.u64(s.prefetch.issued_adjacent);
-    e.u64(s.prefetch.issued_stride);
-    e.u64(s.prefetch.issued_dcu);
-    e.u64(s.prefetch.issued_instr);
-    e.u64(s.prefetch.useful_l1d);
-    e.u64(s.prefetch.useful_l2);
-    e.u64(s.prefetch.useful_l1i);
-    e.u64(s.tlb.itlb_misses);
-    e.u64(s.tlb.dtlb_misses);
-    e.u64(s.tlb.stlb_misses);
-    e.u64(s.tlb.itlb_miss_cycles);
-    e.u64(s.tlb.stlb_miss_cycles);
+    s.encode_snap(e);
 }
 
 fn restore_core_stats(
     d: &mut cs_trace::snap::Dec<'_>,
     s: &mut CoreMemStats,
 ) -> Result<(), cs_trace::snap::SnapError> {
-    restore_level(d, &mut s.l1i)?;
-    restore_level(d, &mut s.l1d)?;
-    restore_level(d, &mut s.l2)?;
-    restore_level(d, &mut s.llc)?;
-    s.rw_shared[0] = d.u64()?;
-    s.rw_shared[1] = d.u64()?;
-    s.upgrades = d.u64()?;
-    s.dram_bytes[0] = d.u64()?;
-    s.dram_bytes[1] = d.u64()?;
-    s.prefetch.issued_adjacent = d.u64()?;
-    s.prefetch.issued_stride = d.u64()?;
-    s.prefetch.issued_dcu = d.u64()?;
-    s.prefetch.issued_instr = d.u64()?;
-    s.prefetch.useful_l1d = d.u64()?;
-    s.prefetch.useful_l2 = d.u64()?;
-    s.prefetch.useful_l1i = d.u64()?;
-    s.tlb.itlb_misses = d.u64()?;
-    s.tlb.dtlb_misses = d.u64()?;
-    s.tlb.stlb_misses = d.u64()?;
-    s.tlb.itlb_miss_cycles = d.u64()?;
-    s.tlb.stlb_miss_cycles = d.u64()?;
-    Ok(())
+    s.restore_snap(d)
 }
 
 #[cfg(test)]
@@ -1357,6 +1501,64 @@ mod tests {
             other => panic!("expected Mismatch, got {other:?}"),
         }
         let _ = a.data_access(0, Privilege::User, 0x1000, false, 0, 0);
+    }
+
+    #[test]
+    fn warm_accesses_leave_cache_state_identical_to_detailed() {
+        // The functional-warming soundness claim at the memsys level: the
+        // same reference sequence, driven once through the demand paths
+        // and once through the warming paths, must leave byte-identical
+        // cache/TLB/prefetcher state — only DRAM timing may differ.
+        let mk = || MemorySystem::new(MemSysConfig::default(), 2);
+        let mut detailed = mk();
+        let mut warmed = mk();
+        for i in 0..2_000u64 {
+            let core = (i % 2) as usize;
+            let priv_ = if i % 7 == 0 { Privilege::Kernel } else { Privilege::User };
+            let addr = 0x1000_0000 + (i % 777) * 64;
+            let pc = 0x40_0000 + (i % 64) * 4;
+            detailed.data_access(core, priv_, addr, i % 3 == 0, pc, i);
+            detailed.ifetch(core, priv_, pc, i);
+            warmed.data_access_warm(core, priv_, addr, i % 3 == 0, pc, i);
+            warmed.ifetch_warm(core, priv_, pc, i);
+        }
+        assert_eq!(detailed.warm_state_digest(), warmed.warm_state_digest());
+        // Demand stats are identical too (warming records them; they are
+        // zeroed at each measurement-window start anyway).
+        assert_eq!(detailed.stats().per_core, warmed.stats().per_core);
+        // But warming never touched the DRAM channel books.
+        assert_eq!(warmed.dram_stats().reads, 0);
+        assert_eq!(warmed.dram_stats().writes, 0);
+        assert!(detailed.dram_stats().reads > 0);
+    }
+
+    #[test]
+    fn warm_accesses_consume_the_fault_stream_like_demand_accesses() {
+        use crate::fault::FaultPlan;
+        // One shared RNG feeds DRAM perturbation and prefetch drops; the
+        // warming path must consume rolls at exactly the demand rate or a
+        // sampled run's post-warming fault cursor would diverge.
+        let plan = FaultPlan {
+            dram_extra_latency: 150,
+            dram_perturb_rate: 0.4,
+            prefetch_drop_rate: 0.3,
+            seed: 0xABCD,
+        };
+        let mk = || {
+            let cfg = MemSysConfig { fault: Some(plan), ..MemSysConfig::default() };
+            MemorySystem::new(cfg, 1)
+        };
+        let mut detailed = mk();
+        let mut warmed = mk();
+        for i in 0..1_500u64 {
+            let addr = 0x9000_0000 + (i % 500) * 64;
+            detailed.data_access(0, Privilege::User, addr, false, 0x40_0000, i);
+            warmed.data_access_warm(0, Privilege::User, addr, false, 0x40_0000, i);
+        }
+        let a = detailed.fault_counters().expect("plan active");
+        let b = warmed.fault_counters().expect("plan active");
+        assert_eq!(a, b, "fault cursor must advance identically in both paths");
+        assert!(a.perturbed_dram_reads > 0);
     }
 
     #[test]

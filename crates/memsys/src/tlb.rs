@@ -66,6 +66,45 @@ impl TlbHierarchy {
         Self::translate(&mut self.dtlb, &mut self.stlb, page)
     }
 
+    /// Way index of `page` in the data TLB, if resident (no LRU touch).
+    pub fn dtlb_way_of(&self, page: u64) -> Option<usize> {
+        self.dtlb.probe(page).map(|(way, _)| way)
+    }
+
+    /// Way index of `page` in the instruction TLB, if resident (no LRU
+    /// touch).
+    pub fn itlb_way_of(&self, page: u64) -> Option<usize> {
+        self.itlb.probe(page).map(|(way, _)| way)
+    }
+
+    /// Whether `way` of the data TLB currently holds `page` (no LRU
+    /// touch); O(1) revalidation of a memoized way index.
+    #[inline]
+    pub fn dtlb_way_holds(&self, way: usize, page: u64) -> bool {
+        self.dtlb.way_holds(way, page).is_some()
+    }
+
+    /// Whether `way` of the instruction TLB currently holds `page` (no
+    /// LRU touch); O(1) revalidation of a memoized way index.
+    #[inline]
+    pub fn itlb_way_holds(&self, way: usize, page: u64) -> bool {
+        self.itlb.way_holds(way, page).is_some()
+    }
+
+    /// Re-stamps a data-TLB way as most-recently used, exactly as a
+    /// [`TlbHierarchy::translate_data`] hit on its resident page would.
+    #[inline]
+    pub fn touch_dtlb(&mut self, way: usize) {
+        self.dtlb.touch_way(way);
+    }
+
+    /// Re-stamps an instruction-TLB way as most-recently used, exactly as
+    /// a [`TlbHierarchy::translate_instr`] hit on its resident page would.
+    #[inline]
+    pub fn touch_itlb(&mut self, way: usize) {
+        self.itlb.touch_way(way);
+    }
+
     /// Cycle penalty of an outcome under this configuration.
     pub fn penalty(&self, outcome: TlbOutcome) -> u32 {
         match outcome {

@@ -110,6 +110,37 @@ impl RunningStat {
         let mean = self.mean();
         (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
     }
+
+    /// Sample standard deviation (Bessel-corrected, `n - 1` denominator;
+    /// 0 with fewer than two samples). This is the estimator the sampled
+    /// simulation's confidence intervals are built on: the measurement
+    /// windows are a sample drawn from the run, not the whole population.
+    pub fn sample_stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0).sqrt()
+    }
+
+    /// Half-width of the CLT-based 95% confidence interval on the mean:
+    /// `1.96 * s / sqrt(n)` with `s` the sample standard deviation
+    /// ([`RunningStat::sample_stddev`]). Returns 0 with fewer than two
+    /// samples — a single window carries no interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.sample_stddev() / (self.count as f64).sqrt()
+    }
+
+    /// The 95% confidence interval on the mean as `(lo, hi)` —
+    /// `mean ± ci95_half_width`. Degenerates to `(mean, mean)` with fewer
+    /// than two samples.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean() - h, self.mean() + h)
+    }
 }
 
 impl FromIterator<f64> for RunningStat {
@@ -199,6 +230,26 @@ impl Histogram {
         sum as f64 / total as f64
     }
 
+    /// Adds every bucket of `other` into `self` (used by the sampling
+    /// harness to merge per-window occupancy distributions into run
+    /// totals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ — merging distributions recorded
+    /// against different bucket ranges is a configuration bug.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram capacity mismatch in merge"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.overflow += other.overflow;
+    }
+
     /// Mean over only the observations with `value >= 1` — the paper's MLP
     /// formula: average outstanding misses over cycles with at least one
     /// outstanding miss.
@@ -262,6 +313,50 @@ mod tests {
     fn stddev_of_constant_is_zero() {
         let s: RunningStat = [5.0, 5.0, 5.0].into_iter().collect();
         assert!(s.stddev().abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stddev_uses_bessel_correction() {
+        let s: RunningStat = [2.0, 4.0].into_iter().collect();
+        // Population stddev is 1.0; sample stddev is sqrt(2).
+        assert!((s.sample_stddev() - 2f64.sqrt()).abs() < 1e-12);
+        let single: RunningStat = [3.0].into_iter().collect();
+        assert_eq!(single.sample_stddev(), 0.0);
+        assert_eq!(single.ci95_half_width(), 0.0);
+        assert_eq!(single.ci95(), (3.0, 3.0));
+    }
+
+    #[test]
+    fn ci95_brackets_the_mean_symmetrically() {
+        let s: RunningStat = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean() && s.mean() < hi, "CI must contain the mean");
+        assert!((hi - s.mean() - (s.mean() - lo)).abs() < 1e-12, "CI is symmetric");
+        let expected = 1.96 * s.sample_stddev() / 2.0; // sqrt(4) = 2
+        assert!((s.ci95_half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_overflow() {
+        let mut a = Histogram::new(3);
+        a.record_n(1, 4);
+        a.record(10);
+        let mut b = Histogram::new(3);
+        b.record_n(1, 2);
+        b.record_n(2, 5);
+        b.record(99);
+        a.merge_from(&b);
+        assert_eq!(a.count_at(1), 6);
+        assert_eq!(a.count_at(2), 5);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.total(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn histogram_merge_rejects_capacity_mismatch() {
+        let mut a = Histogram::new(3);
+        a.merge_from(&Histogram::new(4));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! to cores and disabling the rest.
 
 use crate::config::CoreConfig;
-use crate::core::OooCore;
+use crate::core::{Fidelity, OooCore};
 use cs_memsys::{MemSysConfig, MemorySystem};
 use cs_trace::TraceSource;
 
@@ -153,6 +153,22 @@ impl Chip {
     /// against [`Chip::cycle`] for the skipped fraction of a whole run).
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
+    }
+
+    /// Switches every core's fidelity level (see [`Fidelity`] and
+    /// [`OooCore::set_fidelity`] for the drain semantics). Safe between
+    /// [`Chip::run_cycles`] windows: the skip certificates are reset at
+    /// entry, so the change takes effect on the next cycle stepped.
+    pub fn set_fidelity(&mut self, fidelity: Fidelity) {
+        for core in &mut self.cores {
+            core.set_fidelity(fidelity);
+        }
+    }
+
+    /// The fidelity level the cores are running at. All cores switch
+    /// together; a coreless chip reports `Detailed`.
+    pub fn fidelity(&self) -> Fidelity {
+        self.cores.first().map_or(Fidelity::Detailed, OooCore::fidelity)
     }
 
     /// Attaches a trace source to a hardware context of core `core`.
@@ -835,6 +851,30 @@ mod tests {
             assert_identical(&resumed, &straight);
             assert_eq!(resumed.skipped_cycles(), straight.skipped_cycles(), "skip={skip}");
         }
+    }
+
+    #[test]
+    fn functional_mode_is_identical_under_cycle_skip() {
+        // A detailed → functional → detailed round trip must land on the
+        // same state regardless of the skip mode, because functional
+        // cores certify "now" (never skipped) while live and the drain at
+        // the switch point is cycle-independent.
+        let run_mode = |skip: bool| {
+            let mut chip = Chip::new(CoreConfig::x5670(), mem_cfg(), 2);
+            chip.attach(0, Box::new(VecSource::new(far_load_chain(300, 1009))));
+            chip.attach(1, Box::new(LoopSource::new(alu_ops(64))));
+            chip.set_cycle_skip(skip);
+            chip.run_cycles(10_000);
+            chip.set_fidelity(Fidelity::Functional);
+            assert_eq!(chip.fidelity(), Fidelity::Functional);
+            chip.run_cycles(5_000);
+            chip.set_fidelity(Fidelity::Detailed);
+            chip.run_cycles(20_000);
+            chip
+        };
+        let fast = run_mode(true);
+        let slow = run_mode(false);
+        assert_identical(&fast, &slow);
     }
 
     #[test]

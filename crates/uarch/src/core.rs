@@ -30,6 +30,24 @@ use cs_trace::{MicroOp, OpKind, Privilege, TraceSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Simulation fidelity level of a core.
+///
+/// `Detailed` is the full cycle-level out-of-order pipeline. `Functional`
+/// retires instructions at commit width with no pipeline modeling, but
+/// still drives every instruction and data reference through the memory
+/// system's warming path so caches, TLBs, prefetcher tables and the
+/// branch predictor keep evolving exactly as their contents would under
+/// detailed execution of the same instruction stream — the
+/// functional-warming fast-forward of SMARTS-style sampled simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Full out-of-order timing model.
+    #[default]
+    Detailed,
+    /// Warming-only fast path: no timing, full state updates.
+    Functional,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EntryState {
     Waiting,
@@ -306,6 +324,9 @@ pub struct OooCore {
     ready_dirty: bool,
     /// Shared gshare predictor (as on real SMT cores), when enabled.
     gshare: Option<Gshare>,
+    /// Current fidelity level; see [`Fidelity`] and
+    /// [`OooCore::set_fidelity`].
+    fidelity: Fidelity,
 }
 
 impl OooCore {
@@ -331,6 +352,7 @@ impl OooCore {
             completion_heap: BinaryHeap::new(),
             ready_dirty: false,
             gshare,
+            fidelity: Fidelity::Detailed,
             cfg,
         }
     }
@@ -374,15 +396,190 @@ impl OooCore {
         }) || self.threads.is_empty()
     }
 
+    /// The fidelity level the core is currently running at.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Switches the core's fidelity level.
+    ///
+    /// Entering `Functional` first *drains* the pipeline: every in-flight
+    /// instruction (ROB, then fetch buffer, in per-thread program order)
+    /// retires immediately with no further memory traffic or timing, and
+    /// all structural bookkeeping (reservation stations, load/store
+    /// queues, MSHR occupancy, completion/store-drain timers) is cleared.
+    /// Drained instructions count toward the committed-instruction
+    /// meters, and branches that had not yet been issue-counted are
+    /// counted here, so the meters stay monotone and deterministic. A
+    /// gshare-held branch and a fetch-stalled `pending` op are *not*
+    /// drained — the functional path consumes them first, preserving the
+    /// exact resolution order the detailed path would have used.
+    ///
+    /// Switching back to `Detailed` is trivial: the functional path keeps
+    /// the pipeline empty, so the detailed model simply starts fetching.
+    pub fn set_fidelity(&mut self, fidelity: Fidelity) {
+        if fidelity == self.fidelity {
+            return;
+        }
+        if fidelity == Fidelity::Functional {
+            self.drain_pipeline();
+        }
+        self.fidelity = fidelity;
+    }
+
+    fn drain_pipeline(&mut self) {
+        for tid in 0..self.threads.len() {
+            while let Some(e) = self.threads[tid].rob.pop_front() {
+                // Waiting entries never reached issue, where branches are
+                // normally counted; count them now.
+                if e.state == EntryState::Waiting {
+                    if let OpKind::Branch { mispredict } = e.op.kind {
+                        self.stats.branches += 1;
+                        if mispredict {
+                            self.stats.mispredicts += 1;
+                        }
+                    }
+                }
+                self.stats.committed[usize::from(e.op.is_kernel())] += 1;
+                self.stats.per_thread_committed[tid] += 1;
+            }
+            while let Some(op) = self.threads[tid].fetch_buf.pop_front() {
+                if let OpKind::Branch { mispredict } = op.kind {
+                    self.stats.branches += 1;
+                    if mispredict {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+                self.stats.committed[usize::from(op.is_kernel())] += 1;
+                self.stats.per_thread_committed[tid] += 1;
+            }
+            self.threads[tid].waiting.clear();
+            self.threads[tid].flush_pending = false;
+        }
+        self.completion_heap.clear();
+        self.store_drain.clear();
+        self.rs_used = 0;
+        self.loads_in_rob = 0;
+        self.stores_in_rob = 0;
+        self.outstanding_offcore_loads = 0;
+        self.ready_dirty = false;
+    }
+
     /// Advances the core by one cycle at time `now`, using `mem` for all
     /// instruction and data accesses. `core_id` is this core's global id
     /// within `mem`.
     pub fn step(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
-        self.complete(now);
-        self.fetch(core_id, mem, now);
-        self.dispatch();
-        self.issue(core_id, mem, now);
-        self.commit(now);
+        match self.fidelity {
+            Fidelity::Detailed => {
+                self.complete(now);
+                self.fetch(core_id, mem, now);
+                self.dispatch();
+                self.issue(core_id, mem, now);
+                self.commit(now);
+                self.per_cycle_stats(now);
+            }
+            Fidelity::Functional => self.step_functional(core_id, mem, now),
+        }
+    }
+
+    /// One functional-mode cycle: retire up to `width` instructions (one
+    /// per thread per round-robin round, starting at `now % threads` like
+    /// the detailed commit stage) while driving every instruction-line
+    /// crossing and data reference through the memory system's warming
+    /// path. Gshare branches are held and resolved against the next
+    /// fetched PC exactly as the detailed frontend does, so the predictor
+    /// sees the identical training sequence. Cycles still classify as
+    /// committing/stalled and flow into the same per-cycle statistics, so
+    /// the audit partition (`committing + stalled == cycles`) holds in
+    /// both fidelity levels.
+    fn step_functional(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
+        let n = self.threads.len();
+        let mut first_priv: Option<Privilege> = None;
+        if n > 0 {
+            let mut budget = self.cfg.width;
+            let start = (now % n as u64) as usize;
+            'rounds: loop {
+                let mut progressed = false;
+                for k in 0..n {
+                    if budget == 0 {
+                        break 'rounds;
+                    }
+                    let tid = (start + k) % n;
+                    let thread = &mut self.threads[tid];
+                    let Some(op) = thread.pending.take().or_else(|| thread.next_from_block())
+                    else {
+                        continue;
+                    };
+                    progressed = true;
+                    let line = op.pc >> 6;
+                    if line != thread.cur_fetch_line {
+                        mem.ifetch_warm(core_id, op.privilege, op.pc, now);
+                        thread.cur_fetch_line = line;
+                    }
+                    thread.last_fetch_priv = op.privilege;
+                    if let Some(g) = self.gshare.as_mut() {
+                        if let Some(held) = thread.held_branch.take() {
+                            let taken = op.pc != held.pc + 4;
+                            let mispredict = g.predict_and_update(held.pc, taken);
+                            self.stats.branches += 1;
+                            if mispredict {
+                                self.stats.mispredicts += 1;
+                            }
+                            self.stats.committed[usize::from(held.is_kernel())] += 1;
+                            self.stats.per_thread_committed[tid] += 1;
+                            if first_priv.is_none() {
+                                first_priv = Some(held.privilege);
+                            }
+                            budget -= 1;
+                            if budget == 0 {
+                                // The resolving op is not lost: it waits
+                                // in `pending` for the next cycle.
+                                self.threads[tid].pending = Some(op);
+                                break 'rounds;
+                            }
+                        }
+                        if op.kind.is_branch() {
+                            self.threads[tid].held_branch = Some(op);
+                            continue;
+                        }
+                    }
+                    match op.kind {
+                        OpKind::Branch { mispredict } => {
+                            self.stats.branches += 1;
+                            if mispredict {
+                                self.stats.mispredicts += 1;
+                            }
+                        }
+                        OpKind::Load | OpKind::Store => {
+                            let mref = op.mem.expect("memory ops carry refs");
+                            mem.data_access_warm(
+                                core_id,
+                                op.privilege,
+                                mref.addr,
+                                matches!(op.kind, OpKind::Store),
+                                op.pc,
+                                now,
+                            );
+                        }
+                        _ => {}
+                    }
+                    self.stats.committed[usize::from(op.is_kernel())] += 1;
+                    self.stats.per_thread_committed[tid] += 1;
+                    if first_priv.is_none() {
+                        first_priv = Some(op.privilege);
+                    }
+                    budget -= 1;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        if let Some(p) = first_priv {
+            self.stats.committing_cycles[usize::from(p.is_kernel())] += 1;
+        } else if n > 0 {
+            self.stats.stalled_cycles[usize::from(self.stall_privilege().is_kernel())] += 1;
+        }
         self.per_cycle_stats(now);
     }
 
@@ -790,6 +987,11 @@ impl OooCore {
         if self.threads.is_empty() {
             return u64::MAX;
         }
+        // Functional mode has no dead cycles while ops remain: every step
+        // retires work. Once fully drained, nothing can ever wake it.
+        if self.fidelity == Fidelity::Functional {
+            return if self.is_done() { u64::MAX } else { now };
+        }
         // A pending issue scan must run this cycle: its outcome (issues,
         // or clearing the flag) is state the naive loop would produce.
         if self.ready_dirty {
@@ -945,6 +1147,10 @@ impl OooCore {
             e.u64(seq);
         }
         e.bool(self.ready_dirty);
+        e.u8(match self.fidelity {
+            Fidelity::Detailed => 0,
+            Fidelity::Functional => 1,
+        });
         match &self.gshare {
             None => e.u8(0),
             Some(g) => {
@@ -986,6 +1192,11 @@ impl OooCore {
             self.completion_heap.push(Reverse((done_at, tid, seq)));
         }
         self.ready_dirty = d.bool()?;
+        self.fidelity = match d.u8()? {
+            0 => Fidelity::Detailed,
+            1 => Fidelity::Functional,
+            t => return Err(SnapError::BadTag(t)),
+        };
         match (d.u8()?, &mut self.gshare) {
             (0, None) => {}
             (1, slot @ Some(_)) => *slot = Some(Gshare::decode_snap(d)?),
@@ -1342,6 +1553,177 @@ mod tests {
         live.encode_snap(&mut a);
         restored.encode_snap(&mut b);
         assert_eq!(a.buf, b.buf, "continued states must stay byte-identical");
+    }
+
+    #[test]
+    fn functional_mode_retires_everything_and_partitions_cycles() {
+        let mk_ops = || -> Vec<MicroOp> {
+            (0..3000u64)
+                .map(|i| match i % 5 {
+                    0 => MicroOp::load(0x40_0000 + 4 * (i % 64), 0x6000_0000 + i * 577 * 8, 8),
+                    1 => MicroOp::store(0x40_0100 + 4 * (i % 64), 0x6100_0000 + i * 131 * 8, 8),
+                    2 => MicroOp::branch(0x40_0200 + 4 * (i % 64), i % 35 == 0),
+                    _ => MicroOp::alu(0x40_0300 + 4 * (i % 64)).with_deps(i % 3, 0),
+                })
+                .collect()
+        };
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(mk_ops())));
+        core.set_fidelity(Fidelity::Functional);
+        let mut m = mem();
+        let cycles = run(&mut core, &mut m, 100_000);
+        let s = core.stats();
+        assert_eq!(s.instructions(), 3000, "functional mode must retire the full trace");
+        assert_eq!(s.branches, 600);
+        // Retires exactly `width` per cycle while ops remain.
+        assert!(cycles <= 3000 / 4 + 2, "took {cycles} cycles");
+        let classified: u64 =
+            s.committing_cycles.iter().sum::<u64>() + s.stalled_cycles.iter().sum::<u64>();
+        assert_eq!(classified, s.cycles, "partition must hold in functional mode");
+        // Warming really happened: the memory system saw the misses.
+        assert!(m.stats().per_core[0].l1d.total_accesses() > 0);
+    }
+
+    #[test]
+    fn fidelity_switch_drains_and_detailed_resumes() {
+        let ops: Vec<MicroOp> = (0..2000u64)
+            .map(|i| MicroOp::load(0x40_0000 + 4 * (i % 64), 0x8000_0000 + i * 709 * 8, 8))
+            .collect();
+        let mut core = OooCore::new(CoreConfig::x5670());
+        core.attach(Box::new(VecSource::new(ops)));
+        let mut m = mem();
+        let mut now = 0u64;
+        for _ in 0..200 {
+            core.step(0, &mut m, now);
+            now += 1;
+        }
+        let before = core.stats().instructions();
+        core.set_fidelity(Fidelity::Functional);
+        let drained = core.stats().instructions();
+        assert!(drained >= before, "drain never loses committed instructions");
+        for _ in 0..300 {
+            core.step(0, &mut m, now);
+            now += 1;
+        }
+        core.set_fidelity(Fidelity::Detailed);
+        while !core.is_done() && now < 1_000_000 {
+            core.step(0, &mut m, now);
+            now += 1;
+        }
+        assert!(core.is_done(), "detailed mode must finish the trace after the round trip");
+        assert_eq!(core.stats().instructions(), 2000);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_fidelity() {
+        use cs_trace::snap::{Dec, Enc};
+        let mk = || {
+            let mut c = OooCore::new(CoreConfig::x5670());
+            c.attach(Box::new(VecSource::new(alu_ops(500))));
+            c
+        };
+        let mut live = mk();
+        let mut m = mem();
+        for now in 0..50 {
+            live.step(0, &mut m, now);
+        }
+        live.set_fidelity(Fidelity::Functional);
+        for now in 50..80 {
+            live.step(0, &mut m, now);
+        }
+        let mut e = Enc::new();
+        live.encode_snap(&mut e);
+        let mut restored = mk();
+        assert_eq!(restored.fidelity(), Fidelity::Detailed);
+        let mut d = Dec::new(&e.buf);
+        restored.restore_snap(&mut d).expect("restore");
+        d.finish().expect("full consumption");
+        assert_eq!(restored.fidelity(), Fidelity::Functional);
+        let mut re = Enc::new();
+        restored.encode_snap(&mut re);
+        assert_eq!(re.buf, e.buf);
+    }
+
+    #[test]
+    fn functional_gshare_trains_like_a_frontend() {
+        use crate::branch::BranchModel;
+        use cs_trace::source::LoopSource;
+        // Same predictable loop as the detailed gshare test: the
+        // functional path must hold/resolve branches identically, so the
+        // predictor learns the loop just as well.
+        let mut ops = Vec::new();
+        for i in 0..63 {
+            ops.push(MicroOp::alu(0x40_0000 + 4 * i));
+        }
+        ops.push(MicroOp::branch(0x40_0000 + 4 * 63, false));
+        let mut core = OooCore::new(CoreConfig {
+            branch_model: BranchModel::Gshare { bits: 12 },
+            ..CoreConfig::x5670()
+        });
+        core.attach(Box::new(LoopSource::new(ops)));
+        core.set_fidelity(Fidelity::Functional);
+        let mut m = mem();
+        for now in 0..30_000 {
+            core.step(0, &mut m, now);
+        }
+        let s = core.stats();
+        assert!(s.instructions() > 100_000, "retired {}", s.instructions());
+        let rate = core.gshare_mispredict_rate().expect("gshare enabled");
+        assert!(rate < 0.05, "functional training must learn the loop, rate {rate:.3}");
+    }
+
+    #[test]
+    fn functional_warming_leaves_identical_warm_state() {
+        use crate::branch::BranchModel;
+        // Serialized trace (each op depends on its predecessor) confined
+        // to one instruction line: even the OoO core issues its memory
+        // references in program order, so detailed and functional
+        // execution drive the identical sequence through the hierarchy
+        // and must leave every warmable structure bit-identical. The
+        // prefetchers stay enabled — their tables are part of the claim.
+        let mk_ops = || -> Vec<MicroOp> {
+            let mut x = 0x9E37_79B9u64;
+            (0..4000u64)
+                .map(|i| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let pc = 0x40_0000 + 4 * (i % 16);
+                    let op = match x % 5 {
+                        0 => MicroOp::load(pc, (x >> 16) % (1 << 22), 8),
+                        1 => MicroOp::store(pc, (x >> 24) % (1 << 22), 8),
+                        2 => MicroOp::branch(pc, x % 31 == 0),
+                        _ => MicroOp::alu(pc),
+                    };
+                    op.with_deps(1, 0)
+                })
+                .collect()
+        };
+        let run_mode = |functional: bool| -> (u64, u64, u64, u64) {
+            let mut core = OooCore::new(CoreConfig {
+                branch_model: BranchModel::Gshare { bits: 12 },
+                ..CoreConfig::x5670()
+            });
+            core.attach(Box::new(VecSource::new(mk_ops())));
+            if functional {
+                core.set_fidelity(Fidelity::Functional);
+            }
+            let mut m = MemorySystem::new(MemSysConfig::default(), 1);
+            let mut now = 0;
+            while !core.is_done() && now < 2_000_000 {
+                core.step(0, &mut m, now);
+                now += 1;
+            }
+            assert!(core.is_done(), "trace must finish");
+            let s = core.stats();
+            (m.warm_state_digest(), s.instructions(), s.branches, s.mispredicts)
+        };
+        let (d_digest, d_instr, d_br, d_miss) = run_mode(false);
+        let (f_digest, f_instr, f_br, f_miss) = run_mode(true);
+        assert_eq!(d_instr, f_instr);
+        assert_eq!((d_br, d_miss), (f_br, f_miss), "gshare must train identically");
+        assert_eq!(
+            d_digest, f_digest,
+            "functional warming must leave caches/TLBs/prefetchers bit-identical"
+        );
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod stats;
 pub use branch::BranchModel;
 pub use chip::{Chip, StallDiagnosis, WatchedWindow, WindowOutcome};
 pub use config::{CoreConfig, SmtFetchPolicy};
-pub use core::OooCore;
+pub use core::{Fidelity, OooCore};
 pub use stats::CoreStats;

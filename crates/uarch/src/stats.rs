@@ -149,6 +149,40 @@ impl CoreStats {
         }
     }
 
+    /// Adds every counter of `other` into `self` — used by the sampling
+    /// harness to merge per-window statistics into run totals. Both sides
+    /// must come from the same core configuration (same thread count and
+    /// MSHR capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-thread vectors or occupancy-histogram capacities
+    /// differ — merging windows measured on differently-shaped cores is a
+    /// harness bug.
+    pub fn absorb(&mut self, other: &CoreStats) {
+        assert_eq!(
+            self.per_thread_committed.len(),
+            other.per_thread_committed.len(),
+            "thread-count mismatch in stats merge"
+        );
+        self.cycles += other.cycles;
+        for i in 0..2 {
+            self.committed[i] += other.committed[i];
+            self.committing_cycles[i] += other.committing_cycles[i];
+            self.stalled_cycles[i] += other.stalled_cycles[i];
+        }
+        self.offcore_outstanding_cycles += other.offcore_outstanding_cycles;
+        self.memory_cycles += other.memory_cycles;
+        self.l2_ifetch_stall_cycles += other.l2_ifetch_stall_cycles;
+        self.offcore_load_occupancy.merge_from(&other.offcore_load_occupancy);
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.rob_occupancy_sum += other.rob_occupancy_sum;
+        for (a, b) in self.per_thread_committed.iter_mut().zip(&other.per_thread_committed) {
+            *a += *b;
+        }
+    }
+
     /// Serializes every counter — including the full occupancy histogram —
     /// into `e` for checkpointing.
     pub fn encode_snap(&self, e: &mut cs_trace::snap::Enc) {
@@ -308,6 +342,52 @@ mod tests {
         let back = CoreStats::decode_snap(&mut d).expect("decode");
         d.finish().expect("no trailing bytes");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = CoreStats::new(2, 4);
+        a.cycles = 10;
+        a.committed = [6, 1];
+        a.committing_cycles = [5, 1];
+        a.stalled_cycles = [3, 1];
+        a.memory_cycles = 4;
+        a.offcore_load_occupancy.record_n(1, 3);
+        a.branches = 2;
+        a.per_thread_committed = vec![4, 3];
+        let mut b = CoreStats::new(2, 4);
+        b.cycles = 20;
+        b.committed = [10, 3];
+        b.committing_cycles = [8, 2];
+        b.stalled_cycles = [9, 1];
+        b.memory_cycles = 7;
+        b.offcore_load_occupancy.record_n(1, 5);
+        b.offcore_load_occupancy.record_n(99, 2);
+        b.branches = 4;
+        b.mispredicts = 1;
+        b.per_thread_committed = vec![9, 4];
+        a.absorb(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.committed, [16, 4]);
+        assert_eq!(a.instructions(), 20);
+        assert_eq!(a.committing_cycles, [13, 3]);
+        assert_eq!(a.stalled_cycles, [12, 2]);
+        assert_eq!(a.memory_cycles, 11);
+        assert_eq!(a.offcore_load_occupancy.count_at(1), 8);
+        assert_eq!(a.offcore_load_occupancy.overflow(), 2);
+        assert_eq!(a.branches, 6);
+        assert_eq!(a.per_thread_committed, vec![13, 7]);
+        // The partition invariant survives the merge.
+        let classified: u64 =
+            a.committing_cycles.iter().chain(a.stalled_cycles.iter()).sum();
+        assert_eq!(classified, a.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread-count mismatch")]
+    fn absorb_rejects_shape_mismatch() {
+        let mut a = CoreStats::new(1, 4);
+        a.absorb(&CoreStats::new(2, 4));
     }
 
     #[test]

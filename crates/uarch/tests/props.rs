@@ -30,6 +30,31 @@ fn arb_trace() -> impl Strategy<Value = Vec<MicroOp>> {
     })
 }
 
+/// Fully serialized op at `i`: depends on its predecessor and stays within
+/// one 64-byte instruction line, so issue order — and thus the memory
+/// reference order the hierarchy observes — equals program order in both
+/// fidelity levels.
+fn arb_serial_op(i: usize) -> impl Strategy<Value = MicroOp> {
+    let pc = 0x40_0000 + 4 * (i as u64 % 16);
+    prop_oneof![
+        Just(MicroOp::alu(pc)),
+        (0u64..(1 << 19)).prop_map(move |a| MicroOp::load(pc, a * 8, 8)),
+        (0u64..(1 << 19)).prop_map(move |a| MicroOp::store(pc, a * 8, 8)),
+        any::<bool>().prop_map(move |m| MicroOp::branch(pc, m)),
+    ]
+    .prop_map(|op| op.with_deps(1, 0))
+}
+
+fn arb_serial_trace() -> impl Strategy<Value = Vec<MicroOp>> {
+    proptest::collection::vec(any::<u16>(), 20..400).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_serial_op(i))
+            .collect::<Vec<_>>()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -195,6 +220,46 @@ proptest! {
         let mut d = Dec::new(truncated);
         let outcome = victim.restore_snap(&mut d).and_then(|_| d.finish());
         prop_assert!(outcome.is_err(), "a strict prefix must be rejected");
+    }
+
+    /// Functional warming is sound: for serialized traces (every op
+    /// depends on its predecessor, so even the OoO core issues memory
+    /// references in program order) confined to one instruction line,
+    /// detailed and functional execution drive the identical reference
+    /// sequence through the hierarchy and leave every warmable structure
+    /// — cache arrays, TLBs, prefetcher tables and cursors — bit-identical,
+    /// and train the branch predictor identically. Prefetchers stay
+    /// enabled: their tables are part of the claim.
+    #[test]
+    fn functional_warming_matches_detailed_warm_state(
+        ops in arb_serial_trace(),
+        in_order in any::<bool>(),
+    ) {
+        use cs_uarch::Fidelity;
+        let run_mode = |functional: bool| -> (u64, u64, u64, u64) {
+            let mut core = OooCore::new(CoreConfig { in_order, ..CoreConfig::x5670() });
+            core.attach(Box::new(VecSource::new(ops.clone())));
+            if functional {
+                core.set_fidelity(Fidelity::Functional);
+            }
+            let mut mem = MemorySystem::new(MemSysConfig::default(), 1);
+            let mut now = 0;
+            while !core.is_done() && now < 2_000_000 {
+                core.step(0, &mut mem, now);
+                now += 1;
+            }
+            assert!(core.is_done(), "pipeline deadlocked");
+            let s = core.stats();
+            (mem.warm_state_digest(), s.instructions(), s.branches, s.mispredicts)
+        };
+        let (d_digest, d_instr, d_br, d_miss) = run_mode(false);
+        let (f_digest, f_instr, f_br, f_miss) = run_mode(true);
+        prop_assert_eq!(d_instr, f_instr, "both fidelities must retire the whole trace");
+        prop_assert_eq!((d_br, d_miss), (f_br, f_miss), "branch accounting must match");
+        prop_assert_eq!(
+            d_digest, f_digest,
+            "functional warming must leave the warmable state bit-identical"
+        );
     }
 
     /// MLP never exceeds the MSHR capacity.
