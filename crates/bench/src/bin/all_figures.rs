@@ -27,7 +27,9 @@
 //! Usage: `all_figures [--resume] [--results-dir DIR] [--jobs N]
 //! [--no-skip] [--ckpt-cycles N] [--max-retries N] [--warmup-instr N]
 //! [--measure-instr N] [--sample-windows K] [--sample-period N]
-//! [--sample-warmup N]`
+//! [--sample-warmup N] [--matrix-workloads LIST]` — `--help` prints the
+//! full knob registry (flags, env vars, and defaults all come from
+//! [`cloudsuite::config::RunConfigBuilder::campaign`], declared once).
 //!
 //! `--no-skip` disables the event-driven cycle-skipping fast path
 //! (equivalently `CS_NO_SKIP=1`); results are byte-identical either way.
@@ -47,126 +49,29 @@
 //! experiment ultimately failed, `2` usage error, `3` interrupted by a
 //! stop request with checkpoints saved (finish with `--resume`).
 
+use cloudsuite::config::{ParseOutcome, RunConfigBuilder};
 use cs_bench::campaign::{self, CampaignOptions, ExperimentStatus};
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: all_figures [--resume] [--results-dir DIR] [--jobs N] \
-                     [--no-skip] [--ckpt-cycles N] [--max-retries N] \
-                     [--warmup-instr N] [--measure-instr N] [--sample-windows K] \
-                     [--sample-period N] [--sample-warmup N]";
-
 fn main() -> ExitCode {
-    let mut resume = false;
-    let mut results_dir = PathBuf::from("results");
-    let mut jobs = None;
-    let mut no_skip = false;
-    let mut ckpt_cycles = None;
-    let mut max_retries = None;
-    let mut warmup_instr = None;
-    let mut measure_instr = None;
-    let mut sample_windows = None;
-    let mut sample_period = None;
-    let mut sample_warmup = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--resume" => resume = true,
-            "--no-skip" => no_skip = true,
-            "--results-dir" => match args.next() {
-                Some(dir) => results_dir = PathBuf::from(dir),
-                None => {
-                    eprintln!("--results-dir requires a path");
-                    return ExitCode::from(2);
-                }
-            },
-            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) if n > 0 => jobs = Some(n),
-                _ => {
-                    eprintln!("--jobs requires a positive integer");
-                    return ExitCode::from(2);
-                }
-            },
-            "--ckpt-cycles" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(n) => ckpt_cycles = Some(n),
-                None => {
-                    eprintln!("--ckpt-cycles requires a cycle count (0 disables cadence)");
-                    return ExitCode::from(2);
-                }
-            },
-            "--max-retries" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
-                Some(n) => max_retries = Some(n),
-                None => {
-                    eprintln!("--max-retries requires a retry count (0 disables retries)");
-                    return ExitCode::from(2);
-                }
-            },
-            "--warmup-instr" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(n) => warmup_instr = Some(n),
-                None => {
-                    eprintln!("--warmup-instr requires an instruction count");
-                    return ExitCode::from(2);
-                }
-            },
-            "--measure-instr" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(n) if n > 0 => measure_instr = Some(n),
-                _ => {
-                    eprintln!("--measure-instr requires a positive instruction count");
-                    return ExitCode::from(2);
-                }
-            },
-            "--sample-windows" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(k) => sample_windows = Some(k),
-                None => {
-                    eprintln!("--sample-windows requires a window count (0 disables sampling)");
-                    return ExitCode::from(2);
-                }
-            },
-            "--sample-period" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(n) => sample_period = Some(n),
-                None => {
-                    eprintln!("--sample-period requires an instruction count");
-                    return ExitCode::from(2);
-                }
-            },
-            "--sample-warmup" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
-                Some(n) => sample_warmup = Some(n),
-                None => {
-                    eprintln!("--sample-warmup requires an instruction count");
-                    return ExitCode::from(2);
-                }
-            },
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("{USAGE}");
-                return ExitCode::from(2);
-            }
+    // Every knob — flag name, env var(s), precedence, help line — is
+    // declared once in the shared campaign registry.
+    let builder = RunConfigBuilder::campaign("all_figures");
+    let settings = match builder.parse(std::env::args().skip(1)) {
+        ParseOutcome::Ready(s) => *s,
+        ParseOutcome::Help(text) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
         }
-    }
-
-    let mut cfg = cs_bench::config_from_env();
-    if let Some(jobs) = jobs {
-        cfg.jobs = jobs; // The flag outranks CS_JOBS.
-    }
-    if no_skip {
-        cfg.cycle_skip = false; // The flag outranks CS_NO_SKIP.
-    }
-    // Window-budget and sampling-schedule flags outrank their env forms.
-    if let Some(n) = warmup_instr {
-        cfg.warmup_instr = n;
-    }
-    if let Some(n) = measure_instr {
-        cfg.measure_instr = n;
-    }
-    if let Some(k) = sample_windows {
-        cfg.sample_windows = k;
-    }
-    if let Some(n) = sample_period {
-        cfg.sample_period = n;
-    }
-    if let Some(n) = sample_warmup {
-        cfg.sample_warmup_instr = n;
-    }
+        ParseOutcome::Error { message, show_usage } => {
+            eprintln!("{message}");
+            if show_usage {
+                eprintln!("{}", builder.usage());
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = settings.run;
     // Reject a degenerate schedule up front instead of failing every
     // experiment with the same typed error.
     if let Err(e) = cfg.validate() {
@@ -174,32 +79,22 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut opts = CampaignOptions { resume, stop: cs_bench::signal::install(), ..Default::default() };
-    if let Some(n) = ckpt_cycles {
-        opts.ckpt_cycles = n; // The flag outranks CS_CKPT_CYCLES.
-    } else if let Ok(v) = std::env::var("CS_CKPT_CYCLES") {
-        if let Ok(n) = v.parse::<u64>() {
-            opts.ckpt_cycles = n;
-        }
+    let mut opts = CampaignOptions {
+        resume: settings.resume,
+        stop: cs_bench::signal::install(),
+        interrupt_after: settings.interrupt_after,
+        ..Default::default()
+    };
+    if let Some(n) = settings.ckpt_cycles {
+        opts.ckpt_cycles = n;
     }
-    // Deterministic kill switch for tests and CI: behave exactly as if a
-    // signal arrived once each unit's chip reaches this cycle.
-    if let Ok(v) = std::env::var("CS_INTERRUPT_AFTER") {
-        if let Ok(n) = v.parse::<u64>() {
-            opts.interrupt_after = Some(n);
-        }
-    }
-    // Transient-failure retry cap: the flag outranks CS_MAX_RETRIES; the
-    // widening schedule itself (4x, 16x, ... capped 256x) stays fixed.
-    if let Some(n) = max_retries {
+    // The widening schedule itself (4x, 16x, ... capped 256x) stays fixed;
+    // only the retry cap is tunable.
+    if let Some(n) = settings.max_retries {
         opts.retry.max_retries = n;
-    } else if let Ok(v) = std::env::var("CS_MAX_RETRIES") {
-        if let Ok(n) = v.parse::<u32>() {
-            opts.retry.max_retries = n;
-        }
     }
 
-    let summary = campaign::run_with(&campaign::experiments(), &cfg, &results_dir, &opts);
+    let summary = campaign::run_with(&campaign::experiments(), &cfg, &settings.results_dir, &opts);
 
     eprintln!("\ncampaign summary:");
     for outcome in &summary.outcomes {

@@ -32,6 +32,7 @@
 //! machine-dependent — the file records the host's core count next to
 //! them.
 
+use cloudsuite::config::{Knob, ParseOutcome, RunConfigBuilder};
 use cloudsuite::harness::{RunConfig, RunResult};
 use cloudsuite::Benchmark;
 use cs_bench::campaign;
@@ -273,24 +274,35 @@ fn time_skip_leg(bench: &Benchmark, cfg: &RunConfig) -> Option<SkipLegResult> {
 }
 
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_campaign.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => match args.next() {
-                Some(p) => out = PathBuf::from(p),
-                None => {
-                    eprintln!("--out requires a path");
-                    return ExitCode::from(2);
-                }
-            },
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_campaign [--out PATH]");
-                return ExitCode::from(2);
-            }
+    // The one knob this binary owns, declared through the same registry
+    // the campaign binaries use.
+    let builder = RunConfigBuilder::new("bench_campaign").knob(Knob::valued(
+        "--out",
+        "PATH",
+        &[],
+        "--out requires a path",
+        "where the baseline JSON is written",
+        |s, v| {
+            s.out = Some(PathBuf::from(v));
+            true
+        },
+    ));
+    let out = match builder.parse(std::env::args().skip(1)) {
+        ParseOutcome::Ready(s) => {
+            s.out.unwrap_or_else(|| PathBuf::from("BENCH_campaign.json"))
         }
-    }
+        ParseOutcome::Help(text) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        ParseOutcome::Error { message, show_usage } => {
+            eprintln!("{message}");
+            if show_usage {
+                eprintln!("{}", builder.usage());
+            }
+            return ExitCode::from(2);
+        }
+    };
 
     let jobs_n = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let scratch = std::env::temp_dir().join("cs_bench_campaign");

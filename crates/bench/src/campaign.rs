@@ -60,17 +60,42 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// A shareable experiment builder: runs the experiment and renders its
+/// report.
+pub type ExperimentFn = Arc<dyn Fn(&RunConfig) -> Result<Report, HarnessError> + Send + Sync>;
+
 /// One independently-run, independently-resumable unit of a campaign.
+#[derive(Clone)]
 pub struct Experiment {
     /// Manifest key and result-file stem (`<results>/<name>.json`).
     pub name: &'static str,
     /// Runs the experiment and renders its report.
-    pub build: fn(&RunConfig) -> Result<Report, HarnessError>,
+    pub build: ExperimentFn,
+}
+
+impl Experiment {
+    /// Wraps a plain builder function (or closure) under a manifest name.
+    pub fn new(
+        name: &'static str,
+        build: impl Fn(&RunConfig) -> Result<Report, HarnessError> + Send + Sync + 'static,
+    ) -> Self {
+        Self { name, build: Arc::new(build) }
+    }
+
+    /// Adapts a [`cloudsuite::experiments::Experiment`] trait object: the
+    /// experiment's own name becomes the manifest key, and its `run`
+    /// method the builder. This is how every non-figure experiment enters
+    /// the campaign — the loop never special-cases them.
+    pub fn from_registry(e: Box<dyn exp::Experiment + Send + Sync>) -> Self {
+        let name = e.name();
+        Self { name, build: Arc::new(move |cfg| e.run(cfg)) }
+    }
 }
 
 /// The full campaign behind `all_figures`: Table 1, Figures 1–7, the
-/// sampled-simulation estimates, the fleet serving layer, and the
-/// ablation studies.
+/// ablation studies, and — via [`cloudsuite::experiments::registry`] —
+/// the fleet serving layer, the sampled-simulation estimates, and the
+/// co-location interference matrix.
 pub fn experiments() -> Vec<Experiment> {
     fn table1(_cfg: &RunConfig) -> Result<Report, HarnessError> {
         Ok(exp::table1::report(&MachineConfig::default()))
@@ -145,31 +170,27 @@ pub fn experiments() -> Vec<Experiment> {
             &exp::ablations::a8_narrow_interconnect(&Benchmark::scale_out_suite(), cfg)?,
         ))
     }
-    fn fleet_slo(cfg: &RunConfig) -> Result<Report, HarnessError> {
-        Ok(exp::fleet_slo::report(&exp::fleet_slo::collect(cfg)?))
-    }
-    fn sampled_ipc(cfg: &RunConfig) -> Result<Report, HarnessError> {
-        Ok(exp::sampled::report(&exp::sampled::collect(cfg)?))
-    }
-    vec![
-        Experiment { name: "table1", build: table1 },
-        Experiment { name: "fig1", build: fig1 },
-        Experiment { name: "fig2", build: fig2 },
-        Experiment { name: "fig3", build: fig3 },
-        Experiment { name: "fig4", build: fig4 },
-        Experiment { name: "fig5", build: fig5 },
-        Experiment { name: "fig6", build: fig6 },
-        Experiment { name: "fig7", build: fig7 },
-        Experiment { name: "ablation_a1", build: a1 },
-        Experiment { name: "ablation_a2", build: a2 },
-        Experiment { name: "ablation_a3", build: a3 },
-        Experiment { name: "ablation_a4", build: a4 },
-        Experiment { name: "ablation_a5", build: a5 },
-        Experiment { name: "ablation_a6", build: a6 },
-        Experiment { name: "ablation_a8", build: a8 },
-        Experiment { name: "fleet_slo", build: fleet_slo },
-        Experiment { name: "sampled_ipc", build: sampled_ipc },
-    ]
+    let mut v = vec![
+        Experiment::new("table1", table1),
+        Experiment::new("fig1", fig1),
+        Experiment::new("fig2", fig2),
+        Experiment::new("fig3", fig3),
+        Experiment::new("fig4", fig4),
+        Experiment::new("fig5", fig5),
+        Experiment::new("fig6", fig6),
+        Experiment::new("fig7", fig7),
+        Experiment::new("ablation_a1", a1),
+        Experiment::new("ablation_a2", a2),
+        Experiment::new("ablation_a3", a3),
+        Experiment::new("ablation_a4", a4),
+        Experiment::new("ablation_a5", a5),
+        Experiment::new("ablation_a6", a6),
+        Experiment::new("ablation_a8", a8),
+    ];
+    // Every non-figure experiment registers itself through the trait; the
+    // campaign just adapts the registry instead of naming each one.
+    v.extend(exp::registry().into_iter().map(Experiment::from_registry));
+    v
 }
 
 /// How one experiment of a campaign ended.
@@ -298,15 +319,19 @@ impl Default for CampaignOptions {
 /// its three knobs, so flipping sampling on or off invalidates prior
 /// results.
 pub fn fingerprint(cfg: &RunConfig) -> String {
-    let base = format!("w{}-m{}-s{}", cfg.warmup_instr, cfg.measure_instr, cfg.seed);
-    if cfg.sample_windows == 0 {
-        base
-    } else {
-        format!(
-            "{base}-k{}-p{}-sw{}",
+    let mut fp = format!("w{}-m{}-s{}", cfg.warmup_instr, cfg.measure_instr, cfg.seed);
+    if cfg.sample_windows > 0 {
+        fp = format!(
+            "{fp}-k{}-p{}-sw{}",
             cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr
-        )
+        );
     }
+    // A restricted interference matrix produces a different result file
+    // under the same name; widening it back must invalidate the entry.
+    if let Some(w) = &cfg.matrix_workloads {
+        fp = format!("{fp}-x{}", w.join("+"));
+    }
+    fp
 }
 
 /// Runs the campaign, emitting result files into `results_dir` and
@@ -611,10 +636,10 @@ mod tests {
     fn one_failure_does_not_sink_the_campaign() {
         let dir = scratch_dir("isolation");
         let exps = [
-            Experiment { name: "good_a", build: ok_report },
-            Experiment { name: "sick", build: stalling },
-            Experiment { name: "explosive", build: panicking },
-            Experiment { name: "good_b", build: ok_report },
+            Experiment::new("good_a", ok_report),
+            Experiment::new("sick", stalling),
+            Experiment::new("explosive", panicking),
+            Experiment::new("good_b", ok_report),
         ];
         let summary = run(&exps, &RunConfig::default(), &dir, false);
         assert_eq!(summary.exit_code(), 1);
@@ -654,8 +679,8 @@ mod tests {
     fn resume_reruns_only_the_failure() {
         let dir = scratch_dir("resume");
         let broken = [
-            Experiment { name: "steady", build: counted_ok },
-            Experiment { name: "flaky", build: stalling },
+            Experiment::new("steady", counted_ok),
+            Experiment::new("flaky", stalling),
         ];
         let first = run(&broken, &RunConfig::default(), &dir, false);
         assert_eq!(first.exit_code(), 1);
@@ -663,8 +688,8 @@ mod tests {
 
         // The flaw is fixed; a resume pass must re-run only "flaky".
         let fixed = [
-            Experiment { name: "steady", build: counted_ok },
-            Experiment { name: "flaky", build: ok_report },
+            Experiment::new("steady", counted_ok),
+            Experiment::new("flaky", ok_report),
         ];
         let second = run(&fixed, &RunConfig::default(), &dir, true);
         assert_eq!(second.exit_code(), 0);
@@ -684,7 +709,7 @@ mod tests {
     #[test]
     fn resume_distrusts_corrupted_results() {
         let dir = scratch_dir("checksum");
-        let exps = [Experiment { name: "good", build: ok_report }];
+        let exps = [Experiment::new("good", ok_report)];
         let first = run(&exps, &RunConfig::default(), &dir, false);
         assert_eq!(first.exit_code(), 0);
         // The manifest records the content checksum of the emitted file.
@@ -718,13 +743,13 @@ mod tests {
         let dir = scratch_dir("interrupt");
         // Establish a manifest entry for "good", then interrupt a pass
         // containing both experiments.
-        let warm = [Experiment { name: "good", build: ok_report }];
+        let warm = [Experiment::new("good", ok_report)];
         run(&warm, &RunConfig::default(), &dir, false);
         let manifest_before = read_manifest(&dir);
 
         let exps = [
-            Experiment { name: "good", build: interrupting },
-            Experiment { name: "late", build: interrupting },
+            Experiment::new("good", interrupting),
+            Experiment::new("late", interrupting),
         ];
         let summary = run(&exps, &RunConfig::default(), &dir, false);
         assert_eq!(summary.exit_code(), 3, "interrupted campaigns exit 3");
@@ -741,8 +766,8 @@ mod tests {
     fn raised_stop_flag_prevents_new_experiments() {
         let dir = scratch_dir("stopflag");
         let exps = [
-            Experiment { name: "one", build: counted_ok },
-            Experiment { name: "two", build: counted_ok },
+            Experiment::new("one", counted_ok),
+            Experiment::new("two", counted_ok),
         ];
         let before = RESUME_RUNS.load(Ordering::SeqCst);
         let opts = CampaignOptions::default();
@@ -773,7 +798,7 @@ mod tests {
     #[test]
     fn retry_schedule_widens_the_original_budget_until_success() {
         let dir = scratch_dir("retry-schedule");
-        let exps = [Experiment { name: "flaky_twice", build: flaky_twice }];
+        let exps = [Experiment::new("flaky_twice", flaky_twice)];
         let opts = CampaignOptions {
             retry: RetryPolicy { max_retries: 3, base: 2, factor: 3, cap: 7 },
             ..Default::default()
@@ -801,7 +826,7 @@ mod tests {
     #[test]
     fn retry_budget_exhaustion_is_a_failure_with_counted_attempts() {
         let dir = scratch_dir("retry-exhaust");
-        let exps = [Experiment { name: "always_sick", build: stalling }];
+        let exps = [Experiment::new("always_sick", stalling)];
         let opts = CampaignOptions {
             retry: RetryPolicy { max_retries: 2, base: 4, factor: 4, cap: 256 },
             ..Default::default()
@@ -822,7 +847,7 @@ mod tests {
     #[test]
     fn zero_retries_means_exactly_one_attempt() {
         let dir = scratch_dir("retry-none");
-        let exps = [Experiment { name: "sick_once", build: stalling }];
+        let exps = [Experiment::new("sick_once", stalling)];
         let opts =
             CampaignOptions { retry: RetryPolicy::none(), ..Default::default() };
         let summary = run_with(&exps, &RunConfig::default(), &dir, &opts);
@@ -838,8 +863,8 @@ mod tests {
         let dir_a = scratch_dir("det-a");
         let dir_b = scratch_dir("det-b");
         let exps = [
-            Experiment { name: "one", build: ok_report },
-            Experiment { name: "two", build: stalling },
+            Experiment::new("one", ok_report),
+            Experiment::new("two", stalling),
         ];
         run(&exps, &RunConfig::default(), &dir_a, false);
         run(&exps, &RunConfig::default(), &dir_b, false);

@@ -37,6 +37,12 @@
 //!   it). Retry `i` re-runs with the original cycle budget widened by the
 //!   capped exponential schedule `min(4 * 4^i, 256)`; `0` disables
 //!   retries entirely.
+//! - `CS_MATRIX_WORKLOADS` — comma-separated roster keys restricting the
+//!   interference-matrix experiment to a sub-matrix (the `all_figures
+//!   --matrix-workloads` flag outranks it); unknown keys are a loud
+//!   configuration error.
+//! - `CS_LLC_BYTES` — override the LLC capacity in bytes. CI smoke runs
+//!   shrink it so short windows still produce real cache pressure.
 //!
 //! Deterministic fault injection can be switched on from the environment
 //! to rehearse the failure paths (watchdog, retries, the campaign
@@ -72,7 +78,7 @@
 #![warn(clippy::perf)]
 
 use cloudsuite::harness::RunConfig;
-use cloudsuite::{FaultPlan, HarnessError};
+use cloudsuite::HarnessError;
 use cs_perf::Report;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -80,41 +86,13 @@ use std::process::ExitCode;
 pub mod campaign;
 pub mod signal;
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
 /// Builds the run configuration from the environment.
+///
+/// A thin wrapper over the declarative knob registry
+/// ([`cloudsuite::config::RunConfigBuilder::campaign`]), which is the
+/// single place every `CS_*` variable and its precedence is declared.
 pub fn config_from_env() -> RunConfig {
-    let mut cfg = RunConfig::default();
-    cfg.warmup_instr = env_u64("CS_WARMUP", cfg.warmup_instr);
-    cfg.measure_instr = env_u64("CS_MEASURE", cfg.measure_instr);
-    // The explicit aliases outrank the short forms.
-    cfg.warmup_instr = env_u64("CS_WARMUP_INSTR", cfg.warmup_instr);
-    cfg.measure_instr = env_u64("CS_MEASURE_INSTR", cfg.measure_instr);
-    cfg.sample_windows = env_u64("CS_SAMPLE_WINDOWS", cfg.sample_windows as u64) as usize;
-    cfg.sample_period = env_u64("CS_SAMPLE_PERIOD", cfg.sample_period);
-    cfg.sample_warmup_instr = env_u64("CS_SAMPLE_WARMUP", cfg.sample_warmup_instr);
-    cfg.seed = env_u64("CS_SEED", cfg.seed);
-    cfg.max_cycles = env_u64("CS_MAX_CYCLES", cfg.max_cycles);
-    cfg.watchdog_grace = env_u64("CS_WATCHDOG", cfg.watchdog_grace);
-    cfg.jobs = (env_u64("CS_JOBS", cfg.jobs as u64) as usize).max(1);
-    cfg.cycle_skip = env_u64("CS_NO_SKIP", 0) == 0;
-    let dram_lat = env_u64("CS_FAULT_DRAM_LAT", 0) as u32;
-    let pf_drop = env_f64("CS_FAULT_PF_DROP", 0.0);
-    if dram_lat > 0 || pf_drop > 0.0 {
-        cfg.fault = Some(FaultPlan {
-            dram_extra_latency: dram_lat,
-            dram_perturb_rate: env_f64("CS_FAULT_DRAM_RATE", 1.0),
-            prefetch_drop_rate: pf_drop,
-            seed: env_u64("CS_FAULT_SEED", 0xC10D),
-        });
-    }
-    cfg
+    cloudsuite::config::RunConfigBuilder::campaign("cs-bench").settings_from_env().run
 }
 
 /// A failed attempt to write a result file: the path that could not be

@@ -50,10 +50,10 @@ fn failing_d(_cfg: &RunConfig) -> Result<Report, HarnessError> {
 
 fn synthetic_experiments() -> [Experiment; 4] {
     [
-        Experiment { name: "slow_a", build: slow_a },
-        Experiment { name: "quick_b", build: quick_b },
-        Experiment { name: "quick_c", build: quick_c },
-        Experiment { name: "failing_d", build: failing_d },
+        Experiment::new("slow_a", slow_a),
+        Experiment::new("quick_b", quick_b),
+        Experiment::new("quick_c", quick_c),
+        Experiment::new("failing_d", failing_d),
     ]
 }
 

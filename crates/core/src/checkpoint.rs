@@ -59,7 +59,9 @@ pub const MAGIC: &[u8; 8] = b"CSCKPT01";
 /// readers reject other versions (and the harness then starts fresh).
 /// Version 2: per-core fidelity byte in the core snapshot and the
 /// SMARTS sampling phase (window bookkeeping + statistics accumulator).
-pub const VERSION: u32 = 2;
+/// Version 3: tenant byte per LLC line and the optional DRAM bandwidth
+/// regulator cursors (multi-tenant co-location QoS).
+pub const VERSION: u32 = 3;
 
 /// Default checkpoint cadence in simulated cycles.
 pub const DEFAULT_CADENCE_CYCLES: u64 = 2_000_000;
@@ -161,7 +163,7 @@ pub fn current() -> Option<CheckpointCtl> {
 /// checkpoint, whose window cursor has the old budget baked in.
 pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u64 {
     let canon = format!(
-        "{scope}|{bench}|{:?}|{:?}|{:?}",
+        "{scope}|{bench}|{:?}|{:?}|{:?}|{:?}",
         (
             cfg.workers,
             cfg.smt,
@@ -183,7 +185,8 @@ pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u6
             cfg.watchdog_grace,
             cfg.fault,
         ),
-        (cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr)
+        (cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr),
+        (&cfg.llc_way_masks, &cfg.dram_budgets, cfg.dram_budget_window)
     );
     fnv1a64(canon.as_bytes())
 }
@@ -406,6 +409,12 @@ mod tests {
         sampled.sample_windows = 8;
         sampled.sample_period = 100_000;
         assert_ne!(unit_key("fig1", bench, &sampled), k, "sampling must change the key");
+        let mut qos = base.clone();
+        qos.llc_way_masks = Some(vec![0x00FF, 0xFF00]);
+        assert_ne!(unit_key("fig1", bench, &qos), k, "way masks must change the key");
+        let mut qos = base.clone();
+        qos.dram_budgets = Some(vec![4096, 4096]);
+        assert_ne!(unit_key("fig1", bench, &qos), k, "budgets must change the key");
         assert_ne!(unit_key("fig2", bench, &base), k, "scope must namespace the key");
         assert_ne!(unit_key("fig1", "mcf", &base), k, "bench must namespace the key");
     }

@@ -56,6 +56,30 @@ pub enum ConfigError {
         /// The measurement budget they must share.
         measure_instr: u64,
     },
+    /// An LLC way-partition mask is degenerate: it selects no ways at all,
+    /// or names a way the cache does not have.
+    InvalidWayMask {
+        /// The tenant whose mask is rejected.
+        tenant: usize,
+        /// The rejected mask, one bit per LLC way.
+        mask: u64,
+        /// LLC associativity the mask must fit inside.
+        assoc: usize,
+    },
+    /// A per-tenant DRAM bandwidth budget smaller than one cache line:
+    /// no single transfer could ever be admitted.
+    BudgetBelowLineSize {
+        /// The tenant whose budget is rejected.
+        tenant: usize,
+        /// The rejected per-window byte budget.
+        bytes: u64,
+    },
+    /// An interference-matrix run named a workload that is not in the
+    /// matrix roster.
+    UnknownMatrixWorkload {
+        /// The unrecognized roster key.
+        name: String,
+    },
     /// A fleet simulation was asked to use a service-time table with no
     /// usable entry for a workload (zero requests or zero cycles measured,
     /// so no per-request service time can be derived).
@@ -99,6 +123,28 @@ impl fmt::Display for ConfigError {
                     f,
                     "sample_windows = {windows} exceeds measure_instr = {measure_instr}; \
                      some window would have a zero-instruction target"
+                )
+            }
+            ConfigError::InvalidWayMask { tenant, mask, assoc } => {
+                write!(
+                    f,
+                    "tenant {tenant} way mask {mask:#x} selects no way or names a way \
+                     beyond the {assoc}-way LLC"
+                )
+            }
+            ConfigError::BudgetBelowLineSize { tenant, bytes } => {
+                write!(
+                    f,
+                    "tenant {tenant} DRAM budget of {bytes} bytes per window is smaller \
+                     than one 64-byte line; nothing could ever be admitted"
+                )
+            }
+            ConfigError::UnknownMatrixWorkload { name } => {
+                write!(
+                    f,
+                    "unknown interference-matrix workload {name:?}; valid keys are \
+                     data_serving, mapreduce, media_streaming, sat_solver, web_frontend, \
+                     web_search, polluter, cpu_bound"
                 )
             }
             ConfigError::EmptyServiceTable { workload } => {

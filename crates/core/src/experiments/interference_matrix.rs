@@ -1,0 +1,432 @@
+//! N×N co-location interference matrix with QoS mitigations.
+//!
+//! Every unordered pairing of the six scale-out workloads — plus the
+//! Figure-4 LLC polluter and a compute-bound PARSEC-style profile — shares
+//! one chip's LLC and DRAM channels. For each pairing the experiment
+//! reports, per tenant, the IPC loss against a solo run on the same core
+//! count, the share of LLC lines the tenant holds at the end of
+//! measurement, and its share of DRAM traffic. Each pairing then re-runs
+//! under the two mitigations the paper's cache discussion motivates:
+//!
+//! * **way-partition** — the LLC's 16 ways are split 8/8 between the
+//!   tenants (CAT-style allocation masks; hits stay unpartitioned), and
+//! * **throttle** — each tenant's DRAM traffic is capped at half the
+//!   aggregate peak bandwidth per accounting window (a token-bucket
+//!   regulator whose deferrals fold into miss latency).
+//!
+//! All runs are independent units fanned over [`RunConfig::jobs`], and
+//! every QoS knob composes with cycle skipping, sampling, and
+//! checkpointing without breaking byte-identity (see DESIGN.md).
+
+use crate::errors::{ConfigError, HarnessError};
+use crate::harness::{run_colocated_strict, run_strict, RunConfig};
+use crate::registry::{Benchmark, Category};
+use cs_perf::{Report, Table};
+use cs_trace::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// LLC capacity the polluter tenant walks: 8 MB of the 12 MB LLC, the
+/// Figure-4 "polluted" operating point.
+const POLLUTER_BYTES: u64 = 8 << 20;
+
+/// QoS mitigation applied to a co-located pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// Unmanaged sharing: the contention baseline.
+    None,
+    /// Half the LLC ways to each tenant (allocation-side partitioning).
+    WayPartition,
+    /// Half the aggregate peak DRAM bandwidth to each tenant per window.
+    Throttle,
+}
+
+impl Mitigation {
+    /// Every mitigation, in report order.
+    pub const ALL: [Mitigation; 3] = [Mitigation::None, Mitigation::WayPartition, Mitigation::Throttle];
+
+    /// Stable label used in rows, file names, and the CI assertion script.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mitigation::None => "none",
+            Mitigation::WayPartition => "way_partition",
+            Mitigation::Throttle => "throttle",
+        }
+    }
+
+    /// Returns `cfg` with exactly this mitigation's QoS knobs set (and the
+    /// other mitigation's knobs cleared, so legs never stack).
+    pub fn apply(self, cfg: &RunConfig) -> RunConfig {
+        let base = RunConfig { llc_way_masks: None, dram_budgets: None, ..cfg.clone() };
+        match self {
+            Mitigation::None => base,
+            Mitigation::WayPartition => {
+                let assoc = cs_memsys::CacheConfig::llc().assoc;
+                let low = (1u64 << (assoc / 2)) - 1;
+                let high = ((1u64 << assoc) - 1) ^ low;
+                RunConfig { llc_way_masks: Some(vec![low, high]), ..base }
+            }
+            Mitigation::Throttle => {
+                let peak = cs_memsys::DramConfig::default().peak_bytes_per_cycle();
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let share = ((peak * base.dram_budget_window as f64) / 2.0) as u64;
+                RunConfig { dram_budgets: Some(vec![share.max(64); 2]), ..base }
+            }
+        }
+    }
+}
+
+/// One tenant of one pairing under one mitigation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceRow {
+    /// Pairing label: both roster keys joined with `+` (first tenant
+    /// first).
+    pub pair: String,
+    /// [`Mitigation::label`] of the leg.
+    pub mitigation: String,
+    /// This tenant's roster key.
+    pub tenant: String,
+    /// Per-core IPC of this tenant while co-located.
+    pub ipc: f64,
+    /// Per-core IPC of the same workload running alone on the same core
+    /// count, no QoS.
+    pub solo_ipc: f64,
+    /// IPC loss against solo, percent (negative = co-location sped it up).
+    pub ipc_loss_pct: f64,
+    /// Share of valid LLC lines this tenant holds at end of measurement.
+    pub llc_share_pct: f64,
+    /// Share of total DRAM traffic (both tenants) this tenant generated.
+    pub dram_share_pct: f64,
+    /// This tenant's absolute DRAM traffic during measurement, bytes.
+    pub dram_bytes: u64,
+}
+
+/// The roster: the six scale-out workloads plus the two interference
+/// probes, each under a stable machine-readable key.
+/// The roster keys in matrix order — what `matrix_workloads` entries are
+/// validated against (also by [`RunConfig::validate`], so a typo fails
+/// the campaign up front instead of mid-run).
+pub const ROSTER_KEYS: [&str; 8] = [
+    "data_serving",
+    "mapreduce",
+    "media_streaming",
+    "sat_solver",
+    "web_frontend",
+    "web_search",
+    "polluter",
+    "cpu_bound",
+];
+
+/// The full matrix roster: stable key → benchmark, in matrix order.
+pub fn roster() -> Vec<(&'static str, Benchmark)> {
+    vec![
+        ("data_serving", Benchmark::data_serving()),
+        ("mapreduce", Benchmark::mapreduce()),
+        ("media_streaming", Benchmark::media_streaming()),
+        ("sat_solver", Benchmark::sat_solver()),
+        ("web_frontend", Benchmark::web_frontend()),
+        ("web_search", Benchmark::web_search()),
+        (
+            "polluter",
+            Benchmark::from_profile(Category::Traditional, WorkloadProfile::polluter(POLLUTER_BYTES)),
+        ),
+        ("cpu_bound", Benchmark::from_profile(Category::Traditional, WorkloadProfile::parsec_cpu())),
+    ]
+}
+
+/// Resolves [`RunConfig::matrix_workloads`] against the roster, keeping
+/// roster order. An unknown key is a loud configuration error, not a
+/// silently smaller matrix.
+pub fn select(cfg: &RunConfig) -> Result<Vec<(&'static str, Benchmark)>, HarnessError> {
+    let all = roster();
+    let Some(wanted) = &cfg.matrix_workloads else {
+        return Ok(all);
+    };
+    for name in wanted {
+        if !all.iter().any(|(key, _)| key == name) {
+            return Err(ConfigError::UnknownMatrixWorkload { name: name.clone() }.into());
+        }
+    }
+    Ok(all.into_iter().filter(|(key, _)| wanted.iter().any(|w| w == key)).collect())
+}
+
+/// An independent simulation unit of the matrix.
+enum Unit {
+    /// Solo baseline of roster entry `i`.
+    Solo(usize),
+    /// Roster entries `i` and `j` co-located under the mitigation.
+    Pair(usize, usize, Mitigation),
+}
+
+/// What one unit contributes to the assembled rows.
+enum UnitOut {
+    Solo { idx: usize, ipc: f64 },
+    Pair { i: usize, j: usize, mitigation: Mitigation, tenants: Vec<TenantOut> },
+}
+
+struct TenantOut {
+    ipc: f64,
+    llc_share_pct: f64,
+    dram_share_pct: f64,
+    dram_bytes: u64,
+}
+
+fn run_unit(
+    entries: &[(&'static str, Benchmark)],
+    per_tenant: usize,
+    cfg: &RunConfig,
+    unit: &Unit,
+) -> Result<UnitOut, HarnessError> {
+    match *unit {
+        Unit::Solo(idx) => {
+            let solo_cfg = RunConfig { workers: per_tenant, ..Mitigation::None.apply(cfg) };
+            let r = run_strict(&entries[idx].1, &solo_cfg)?;
+            Ok(UnitOut::Solo { idx, ipc: r.ipc() })
+        }
+        Unit::Pair(i, j, mitigation) => {
+            let pair_cfg = RunConfig { workers: per_tenant, ..mitigation.apply(cfg) };
+            let benches = [entries[i].1.clone(), entries[j].1.clone()];
+            let r = run_colocated_strict(&benches, &pair_cfg)?;
+            let tenants = (0..benches.len())
+                .map(|t| TenantOut {
+                    ipc: r.tenant_ipc(t),
+                    llc_share_pct: r.tenant_llc_share_pct(t),
+                    dram_share_pct: r.tenant_dram_share_pct(t),
+                    dram_bytes: r.tenants[t].dram_bytes,
+                })
+                .collect();
+            Ok(UnitOut::Pair { i, j, mitigation, tenants })
+        }
+    }
+}
+
+/// Runs the matrix: one solo baseline per selected workload, then every
+/// unordered pairing (self-pairings included) under every mitigation.
+///
+/// Units are independent and fan over [`RunConfig::jobs`]; rows come back
+/// in deterministic roster × mitigation order regardless of scheduling.
+pub fn collect(cfg: &RunConfig) -> Result<Vec<InterferenceRow>, HarnessError> {
+    let entries = select(cfg)?;
+    let n = entries.len();
+    if n == 0 {
+        return Err(ConfigError::NoWorkers.into());
+    }
+    let per_tenant = (cfg.workers / 2).max(1);
+
+    let mut units = Vec::new();
+    for i in 0..n {
+        units.push(Unit::Solo(i));
+    }
+    for i in 0..n {
+        for j in i..n {
+            for mitigation in Mitigation::ALL {
+                units.push(Unit::Pair(i, j, mitigation));
+            }
+        }
+    }
+
+    let outs = crate::par::par_map(cfg.jobs, &units, |_, u| run_unit(&entries, per_tenant, cfg, u))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut solo_ipc = vec![0.0f64; n];
+    for out in &outs {
+        if let UnitOut::Solo { idx, ipc } = out {
+            solo_ipc[*idx] = *ipc;
+        }
+    }
+
+    let mut rows = Vec::new();
+    for out in outs {
+        let UnitOut::Pair { i, j, mitigation, tenants } = out else { continue };
+        let pair = format!("{}+{}", entries[i].0, entries[j].0);
+        for (t, tenant) in tenants.into_iter().enumerate() {
+            let owner = if t == 0 { i } else { j };
+            let solo = solo_ipc[owner];
+            rows.push(InterferenceRow {
+                pair: pair.clone(),
+                mitigation: mitigation.label().to_owned(),
+                tenant: entries[owner].0.to_owned(),
+                ipc: tenant.ipc,
+                solo_ipc: solo,
+                ipc_loss_pct: if solo > 0.0 { (1.0 - tenant.ipc / solo) * 100.0 } else { 0.0 },
+                llc_share_pct: tenant.llc_share_pct,
+                dram_share_pct: tenant.dram_share_pct,
+                dram_bytes: tenant.dram_bytes,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the matrix rows, one table per mitigation, mirroring how the
+/// study compares an unmanaged baseline against each QoS knob.
+pub fn report(rows: &[InterferenceRow]) -> Report {
+    let mut rep = Report::new("Co-location interference matrix: per-tenant IPC loss and shares");
+    rep.note(
+        "Each pairing shares one chip's LLC and DRAM. Solo baselines use the same \
+         per-tenant core count with QoS off. way_partition splits the LLC's ways 8/8 \
+         (allocation only; hits are unpartitioned); throttle caps each tenant at half \
+         the aggregate peak DRAM bandwidth per accounting window.",
+    );
+    for mitigation in Mitigation::ALL {
+        let mut t = Table::new(
+            match mitigation {
+                Mitigation::None => "Unmanaged sharing (baseline)",
+                Mitigation::WayPartition => "LLC way-partitioned 8/8",
+                Mitigation::Throttle => "DRAM throttled to half peak per tenant",
+            },
+            &[
+                "pair",
+                "tenant",
+                "IPC",
+                "solo IPC",
+                "IPC loss %",
+                "LLC share %",
+                "DRAM share %",
+            ],
+        );
+        for r in rows.iter().filter(|r| r.mitigation == mitigation.label()) {
+            t.row([
+                r.pair.clone().into(),
+                r.tenant.clone().into(),
+                r.ipc.into(),
+                r.solo_ipc.into(),
+                r.ipc_loss_pct.into(),
+                r.llc_share_pct.into(),
+                r.dram_share_pct.into(),
+            ]);
+        }
+        rep.push(t);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mitigations_set_exactly_their_own_knobs() {
+        let dirty = RunConfig {
+            llc_way_masks: Some(vec![0x1]),
+            dram_budgets: Some(vec![64]),
+            ..RunConfig::default()
+        };
+        let none = Mitigation::None.apply(&dirty);
+        assert_eq!(none.llc_way_masks, None);
+        assert_eq!(none.dram_budgets, None);
+
+        let part = Mitigation::WayPartition.apply(&dirty);
+        part.validate().expect("partition config validates");
+        let masks = part.llc_way_masks.expect("partition sets masks");
+        assert_eq!(masks.len(), 2);
+        assert_eq!(masks[0] & masks[1], 0, "tenant partitions must be disjoint");
+        let assoc = cs_memsys::CacheConfig::llc().assoc;
+        assert_eq!(masks[0] | masks[1], (1u64 << assoc) - 1, "partitions must cover the LLC");
+        assert_eq!(part.dram_budgets, None);
+
+        let thr = Mitigation::Throttle.apply(&dirty);
+        thr.validate().expect("throttle config validates");
+        assert_eq!(thr.llc_way_masks, None);
+        let budgets = thr.dram_budgets.expect("throttle sets budgets");
+        assert_eq!(budgets.len(), 2);
+        assert_eq!(budgets[0], budgets[1], "fair-share throttle is symmetric");
+        assert!(budgets[0] >= 64);
+    }
+
+    #[test]
+    fn selection_honors_the_knob_and_rejects_unknown_keys() {
+        assert_eq!(
+            roster().iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            ROSTER_KEYS,
+            "the validation const must mirror the roster"
+        );
+        let full = select(&RunConfig::default()).expect("full roster");
+        assert_eq!(full.len(), 8);
+
+        let sub_cfg = RunConfig {
+            matrix_workloads: Some(vec!["polluter".into(), "web_search".into()]),
+            ..RunConfig::default()
+        };
+        let sub = select(&sub_cfg).expect("subset");
+        // Roster order wins over request order.
+        assert_eq!(sub.iter().map(|(k, _)| *k).collect::<Vec<_>>(), ["web_search", "polluter"]);
+
+        let bad = RunConfig {
+            matrix_workloads: Some(vec!["web_search".into(), "memcached".into()]),
+            ..RunConfig::default()
+        };
+        let err = select(&bad).expect_err("unknown key must be loud");
+        assert!(err.to_string().contains("memcached"), "{err}");
+        // And the same typo fails RunConfig::validate(), so a campaign
+        // rejects it before running anything.
+        let err = bad.validate().expect_err("validate must catch roster typos");
+        assert!(err.to_string().contains("memcached"), "{err}");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+    fn reduced_matrix_rows_are_complete_and_finite() {
+        let cfg = RunConfig {
+            warmup_instr: 40_000,
+            measure_instr: 80_000,
+            workers: 2,
+            // Shrink the LLC so the 8 MB polluter creates real eviction
+            // pressure inside the short test windows — without it the
+            // 12 MB LLC never fills and the way masks have nothing to do.
+            llc_bytes: Some(1 << 20),
+            matrix_workloads: Some(vec!["web_search".into(), "polluter".into()]),
+            ..RunConfig::default()
+        };
+        let rows = collect(&cfg).expect("collect");
+        // 3 unordered pairings (incl. self-pairs) x 3 mitigations x 2 tenants.
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!(r.ipc.is_finite() && r.ipc > 0.0, "{}/{}: bad IPC", r.pair, r.tenant);
+            assert!(r.solo_ipc > 0.0, "{}/{}: missing solo baseline", r.pair, r.tenant);
+            assert!(
+                (0.0..=100.0).contains(&r.llc_share_pct),
+                "{}/{}: LLC share out of range",
+                r.pair,
+                r.tenant
+            );
+            assert!(
+                (0.0..=100.0).contains(&r.dram_share_pct),
+                "{}/{}: DRAM share out of range",
+                r.pair,
+                r.tenant
+            );
+        }
+        // Shares within one pairing row-pair must account for (almost) the
+        // whole resource.
+        for chunk in rows.chunks(2) {
+            let llc = chunk[0].llc_share_pct + chunk[1].llc_share_pct;
+            assert!(llc <= 100.0 + 1e-9, "LLC shares exceed 100%: {llc}");
+            let dram = chunk[0].dram_share_pct + chunk[1].dram_share_pct;
+            assert!((dram - 100.0).abs() < 1e-6 || dram == 0.0, "DRAM shares must partition: {dram}");
+        }
+        // The polluter must hurt web_search when unmanaged: it exists to
+        // steal LLC capacity.
+        let victim = rows
+            .iter()
+            .find(|r| r.pair == "web_search+polluter" && r.mitigation == "none" && r.tenant == "web_search")
+            .expect("victim row");
+        assert!(victim.ipc_loss_pct > 0.0, "polluter caused no IPC loss: {victim:?}");
+        // And the full way partition must give some of that loss back.
+        let partitioned = rows
+            .iter()
+            .find(|r| {
+                r.pair == "web_search+polluter"
+                    && r.mitigation == "way_partition"
+                    && r.tenant == "web_search"
+            })
+            .expect("partitioned row");
+        assert!(
+            partitioned.ipc_loss_pct < victim.ipc_loss_pct,
+            "way partition did not reduce IPC loss: {} vs {}",
+            partitioned.ipc_loss_pct,
+            victim.ipc_loss_pct
+        );
+    }
+
+}

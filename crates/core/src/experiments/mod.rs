@@ -5,6 +5,11 @@
 //! tests and programmatic use) and a `report` function rendering the rows
 //! as a [`cs_perf::Report`] whose tables mirror the figure's series. The
 //! regeneration binaries in `cs-bench` are thin wrappers around these.
+//!
+//! Experiments that are not figure regenerations — the methodology and
+//! systems studies layered on top — additionally implement the
+//! [`Experiment`] trait and appear in [`registry`], so the campaign layer
+//! picks them up uniformly instead of special-casing each one.
 
 pub mod ablations;
 pub mod density;
@@ -17,6 +22,77 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet_slo;
+pub mod interference_matrix;
 pub mod sampled;
 pub mod table1;
 pub mod trends;
+
+use crate::errors::HarnessError;
+use crate::harness::RunConfig;
+use cs_perf::Report;
+
+/// A named, self-describing experiment the campaign layer can run without
+/// knowing its internals: it resolves its own effective configuration and
+/// produces a rendered report.
+pub trait Experiment {
+    /// Stable name: the campaign's result file stem and checkpoint scope.
+    fn name(&self) -> &'static str;
+
+    /// The effective configuration this experiment runs under, with any
+    /// experiment-specific defaults filled in. The default is the caller's
+    /// configuration unchanged.
+    fn config(&self, cfg: &RunConfig) -> RunConfig {
+        cfg.clone()
+    }
+
+    /// Runs the experiment end to end and renders its report.
+    fn run(&self, cfg: &RunConfig) -> Result<Report, HarnessError>;
+}
+
+/// SMARTS-style sampled IPC estimates with confidence intervals.
+pub struct SampledIpc;
+
+impl Experiment for SampledIpc {
+    fn name(&self) -> &'static str {
+        "sampled_ipc"
+    }
+
+    fn config(&self, cfg: &RunConfig) -> RunConfig {
+        sampled::sampled_config(cfg)
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(sampled::report(&sampled::collect(cfg)?))
+    }
+}
+
+/// Cluster-level serving study: fault injection and SLO accounting.
+pub struct FleetSlo;
+
+impl Experiment for FleetSlo {
+    fn name(&self) -> &'static str {
+        "fleet_slo"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(fleet_slo::report(&fleet_slo::collect(cfg)?))
+    }
+}
+
+/// N×N co-location interference matrix with QoS mitigations.
+pub struct InterferenceMatrix;
+
+impl Experiment for InterferenceMatrix {
+    fn name(&self) -> &'static str {
+        "interference_matrix"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(interference_matrix::report(&interference_matrix::collect(cfg)?))
+    }
+}
+
+/// Every non-figure experiment, in campaign order.
+pub fn registry() -> Vec<Box<dyn Experiment + Send + Sync>> {
+    vec![Box::new(FleetSlo), Box::new(SampledIpc), Box::new(InterferenceMatrix)]
+}

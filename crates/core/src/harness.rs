@@ -156,6 +156,35 @@ pub struct RunConfig {
     /// straight from functional into measurement.
     #[serde(default)]
     pub sample_warmup_instr: u64,
+    /// Way-partition the shared LLC between co-located tenants (the CAT
+    /// mitigation of the interference study): tenant `t` may only
+    /// *allocate* lines in the ways of `llc_way_masks[t]`. Hits are served
+    /// from any way, so partitioning changes victim choice, never
+    /// correctness. `None` (the default) leaves allocation unrestricted; a
+    /// tenant beyond the list is likewise unrestricted.
+    #[serde(default)]
+    pub llc_way_masks: Option<Vec<u64>>,
+    /// Throttle each tenant's DRAM bandwidth to `dram_budgets[t]` bytes
+    /// per [`RunConfig::dram_budget_window`] cycles (the token-bucket
+    /// mitigation of the interference study). Over-budget demand misses
+    /// are deferred to the next window boundary — the delay folds into
+    /// the miss latency, so cycle skipping stays sound. `None` disables
+    /// throttling; a tenant beyond the list is unthrottled.
+    #[serde(default)]
+    pub dram_budgets: Option<Vec<u64>>,
+    /// Cycle length of one bandwidth-accounting window (only meaningful
+    /// with `dram_budgets` set).
+    #[serde(default = "default_dram_budget_window")]
+    pub dram_budget_window: u64,
+    /// Restrict the interference-matrix experiment to these roster keys
+    /// (e.g. `["web_search", "polluter"]`), for smoke runs and CI. `None`
+    /// runs the full roster. Ignored by every other experiment.
+    #[serde(default)]
+    pub matrix_workloads: Option<Vec<String>>,
+}
+
+fn default_dram_budget_window() -> u64 {
+    cs_memsys::QosConfig::default_window()
 }
 
 fn default_watchdog_grace() -> u64 {
@@ -195,6 +224,10 @@ impl Default for RunConfig {
             sample_windows: 0,
             sample_period: 0,
             sample_warmup_instr: 0,
+            llc_way_masks: None,
+            dram_budgets: None,
+            dram_budget_window: default_dram_budget_window(),
+            matrix_workloads: None,
         }
     }
 }
@@ -262,6 +295,36 @@ impl RunConfig {
         }
         if self.dram_channels == Some(0) {
             return Err(ConfigError::ZeroDramChannels);
+        }
+        if let Some(masks) = &self.llc_way_masks {
+            let assoc = cs_memsys::CacheConfig::llc().assoc;
+            let legal = (1u64 << assoc) - 1;
+            for (tenant, &mask) in masks.iter().enumerate() {
+                if mask == 0 || mask & !legal != 0 {
+                    return Err(ConfigError::InvalidWayMask { tenant, mask, assoc });
+                }
+            }
+        }
+        if let Some(budgets) = &self.dram_budgets {
+            if self.dram_budget_window == 0 {
+                return Err(ConfigError::ZeroWindow { which: "dram_budget_window" });
+            }
+            for (tenant, &bytes) in budgets.iter().enumerate() {
+                if bytes < 64 {
+                    return Err(ConfigError::BudgetBelowLineSize { tenant, bytes });
+                }
+            }
+        }
+        if let Some(wanted) = &self.matrix_workloads {
+            // Catch a roster typo at campaign startup, not after every
+            // earlier experiment has already run.
+            for name in wanted {
+                let known = crate::experiments::interference_matrix::ROSTER_KEYS
+                    .contains(&name.as_str());
+                if !known {
+                    return Err(ConfigError::UnknownMatrixWorkload { name: name.clone() });
+                }
+            }
         }
         // Capacity overrides must respect the level's fixed geometry: a
         // whole number of sets, i.e. a positive multiple of assoc * 64
@@ -350,6 +413,25 @@ impl WindowSample {
     }
 }
 
+/// Per-tenant accounting of one (possibly co-located) run. A solo run has
+/// exactly one entry covering all worker cores; a co-located run
+/// ([`run_colocated`]) has one entry per benchmark, each owning a disjoint
+/// chunk of the worker cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantUsage {
+    /// The tenant's benchmark name.
+    pub name: String,
+    /// Global core ids this tenant's threads are pinned to.
+    pub cores: Vec<usize>,
+    /// Instructions the tenant committed over the measurement window.
+    pub instructions: u64,
+    /// LLC lines the tenant owned at the end of the run — an end-state
+    /// occupancy snapshot, not a window average.
+    pub llc_lines: u64,
+    /// DRAM bytes the tenant's cores moved over the measurement window.
+    pub dram_bytes: u64,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -390,6 +472,11 @@ pub struct RunResult {
     /// union of the measurement windows only — functional fast-forward
     /// and detailed re-warm spans are excluded, exactly as warmup is.
     pub samples: Vec<WindowSample>,
+    /// Per-tenant accounting: one entry per co-located benchmark (a solo
+    /// run has one entry spanning every worker core). Entry `t` covers the
+    /// contiguous chunk `cores[t*w .. (t+1)*w]` of the per-core vectors,
+    /// where `w` is [`RunConfig::workers`].
+    pub tenants: Vec<TenantUsage>,
 }
 
 impl RunResult {
@@ -494,6 +581,27 @@ impl RunResult {
     /// claim (`0.0` when `cycle_skip` is off).
     pub fn skipped_fraction(&self) -> f64 {
         cs_perf::ratio(self.cycles_skipped, self.cycles_total)
+    }
+
+    /// Per-core IPC of tenant `t` (all privileges), over the cores the
+    /// tenant owns. Panics if `t` is out of range.
+    pub fn tenant_ipc(&self, t: usize) -> f64 {
+        let u = &self.tenants[t];
+        cs_perf::ratio(u.instructions, self.cycles * u.cores.len() as u64)
+    }
+
+    /// Tenant `t`'s share of the occupied LLC lines at end of run, as a
+    /// percentage of all tenants' lines (not of total capacity).
+    pub fn tenant_llc_share_pct(&self, t: usize) -> f64 {
+        let total: u64 = self.tenants.iter().map(|u| u.llc_lines).sum();
+        cs_perf::percent(self.tenants[t].llc_lines, total)
+    }
+
+    /// Tenant `t`'s share of the DRAM bytes the workers moved over the
+    /// measurement window, as a percentage.
+    pub fn tenant_dram_share_pct(&self, t: usize) -> f64 {
+        let total: u64 = self.tenants.iter().map(|u| u.dram_bytes).sum();
+        cs_perf::percent(self.tenants[t].dram_bytes, total)
     }
 
     /// LLC hit ratio achieved by the polluter threads (the §3.1 check that
@@ -928,7 +1036,38 @@ pub fn audit(r: &RunResult) -> Result<(), AuditError> {
 /// restores the snapshot and continues; results are byte-identical to an
 /// uninterrupted run. Without an installed control, nothing here changes.
 pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError> {
-    cfg.validate()?;
+    run_colocated(std::slice::from_ref(bench), cfg)
+}
+
+/// Runs several benchmarks co-located as tenants on one chip, sharing the
+/// LLC and the DRAM channels (the interference-matrix methodology).
+///
+/// Tenant `t` gets its own `cfg.workers`-core chunk of the worker
+/// placement — `worker_cores[t*w .. (t+1)*w]` — so validation and
+/// placement see `cfg.workers * benches.len()` total workers. The warmup
+/// and measurement instruction targets remain totals across *all*
+/// workers, exactly as in a solo run. Per-tenant accounting lands in
+/// [`RunResult::tenants`]; the QoS mitigations
+/// ([`RunConfig::llc_way_masks`], [`RunConfig::dram_budgets`]) partition
+/// the LLC ways and throttle per-tenant DRAM bandwidth respectively.
+///
+/// A one-element slice is *byte-identical* to [`run`] with QoS off: the
+/// single tenant's id is 0 everywhere, the full way mask degenerates to
+/// the unmasked victim scan, and no regulator is built. Everything [`run`]
+/// documents — validation, watchdog, truncation, checkpoint/resume —
+/// applies unchanged; the checkpoint unit is keyed by the `+`-joined
+/// benchmark names, so co-located and solo runs never share a snapshot.
+pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult, HarnessError> {
+    if benches.is_empty() {
+        return Err(ConfigError::NoWorkers.into());
+    }
+    // Placement, validation and instruction targets all see the total
+    // worker count; the per-tenant chunk size is what the caller set.
+    let per_tenant = cfg.workers;
+    let eff = RunConfig { workers: cfg.workers * benches.len(), ..cfg.clone() };
+    eff.validate()?;
+    let cfg = &eff;
+    let unit_name = benches.iter().map(|b| b.name()).collect::<Vec<_>>().join("+");
     let mut machine = MachineConfig::x5670(MACHINE_CORES);
     if cfg.smt {
         machine = machine.with_smt();
@@ -959,19 +1098,36 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
         machine.mem.remote_snoop_extra = snoop_extra;
     }
     machine.mem.fault = cfg.fault;
+    machine.mem.qos = cs_memsys::QosConfig {
+        llc_way_masks: cfg.llc_way_masks.clone(),
+        dram_budgets: cfg.dram_budgets.clone(),
+        dram_budget_window: cfg.dram_budget_window,
+    };
     let cps = machine.mem.cores_per_socket;
     let worker_cores = cfg.worker_cores(cps);
     let polluter_cores = cfg.polluter_cores(cps);
 
+    // The tenant map is configuration, not simulated state: it is applied
+    // to every chip this run builds (fresh, or rebuilt after a quarantined
+    // snapshot) and never serialized, so the restore path sees the same
+    // tags as the fresh path. Polluter cores stay tenant 0.
+    let apply_tenants = |chip: &mut cs_uarch::Chip| {
+        for (i, &core) in worker_cores.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            chip.set_tenant(core, (i / per_tenant) as u8);
+        }
+    };
+
     let mut chip = machine.build();
     chip.set_cycle_skip(cfg.cycle_skip);
+    apply_tenants(&mut chip);
 
     // Checkpoint bookkeeping. Without an installed control every branch
     // below is inert and the run proceeds exactly as before.
     let ckpt = crate::checkpoint::current();
     let key = ckpt
         .as_ref()
-        .map(|c| crate::checkpoint::unit_key(&c.scope, bench.name(), cfg))
+        .map(|c| crate::checkpoint::unit_key(&c.scope, &unit_name, cfg))
         .unwrap_or(0);
     let ckpt_path = ckpt.as_ref().map(|c| {
         let file = crate::checkpoint::unit_file(key);
@@ -1002,6 +1158,7 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
     let attach_workers = |chip: &mut cs_uarch::Chip| {
         let mut meters = Vec::new();
         for (i, &core) in worker_cores.iter().enumerate() {
+            let bench = &benches[i / per_tenant];
             for t in 0..threads_per_core {
                 let thread_id = i * threads_per_core + t;
                 let (source, meter) = bench.build_source_metered(thread_id, cfg.seed);
@@ -1039,6 +1196,7 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
                     crate::checkpoint::quarantine(path, &format!("payload decode: {e:?}"));
                     chip = machine.build();
                     chip.set_cycle_skip(cfg.cycle_skip);
+                    apply_tenants(&mut chip);
                     meters.clear();
                 }
             }
@@ -1390,9 +1548,9 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
         RunStatus::Completed
     };
 
-    let result = match sampled {
+    let mut result = match sampled {
         Some(acc) => RunResult {
-            name: bench.name().to_owned(),
+            name: unit_name.clone(),
             cycles,
             cores: acc.cores,
             mem: acc.mem,
@@ -1405,11 +1563,12 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
             cycles_total: chip.cycle(),
             cycles_skipped: chip.skipped_cycles(),
             samples: acc.samples,
+            tenants: Vec::new(),
         },
         None => {
             let mem_stats = chip.mem().stats();
             RunResult {
-                name: bench.name().to_owned(),
+                name: unit_name,
                 cycles,
                 cores: worker_cores
                     .iter()
@@ -1428,9 +1587,32 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
                 cycles_total: chip.cycle(),
                 cycles_skipped: chip.skipped_cycles(),
                 samples: Vec::new(),
+                tenants: Vec::new(),
             }
         }
     };
+    result.tenants = benches
+        .iter()
+        .enumerate()
+        .map(|(t, b)| {
+            let chunk = t * per_tenant..(t + 1) * per_tenant;
+            #[allow(clippy::cast_possible_truncation)]
+            let llc_lines = chip.mem().llc_tenant_lines(t as u8);
+            TenantUsage {
+                name: b.name().to_owned(),
+                cores: worker_cores[chunk.clone()].to_vec(),
+                instructions: result.cores[chunk.clone()]
+                    .iter()
+                    .map(CoreStats::instructions)
+                    .sum(),
+                llc_lines,
+                dram_bytes: result.mem[chunk]
+                    .iter()
+                    .map(|m| m.dram_bytes[0] + m.dram_bytes[1])
+                    .sum(),
+            }
+        })
+        .collect();
     if paranoid_enabled() {
         audit(&result)?;
         // With the budget split over windows whose targets sum to exactly
@@ -1456,7 +1638,16 @@ pub fn run(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError
 /// short window can never contaminate published numbers — the campaign
 /// layer retries with a widened `max_cycles` instead.
 pub fn run_strict(bench: &Benchmark, cfg: &RunConfig) -> Result<RunResult, HarnessError> {
-    let result = run(bench, cfg)?;
+    run_colocated_strict(std::slice::from_ref(bench), cfg)
+}
+
+/// Like [`run_colocated`], but treats a truncated window as a hard failure,
+/// exactly as [`run_strict`] does for solo runs.
+pub fn run_colocated_strict(
+    benches: &[Benchmark],
+    cfg: &RunConfig,
+) -> Result<RunResult, HarnessError> {
+    let result = run_colocated(benches, cfg)?;
     if let RunStatus::Truncated { committed, target } = result.status {
         return Err(HarnessError::Truncated { committed, target });
     }
@@ -1776,6 +1967,97 @@ mod tests {
             format!("{baseline:?}"),
             format!("{result:?}"),
             "an interrupted-and-resumed sampled run must reproduce the baseline exactly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_qos() {
+        let cfg = RunConfig { llc_way_masks: Some(vec![0]), ..RunConfig::default() };
+        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidWayMask { tenant: 0, .. })));
+        let cfg = RunConfig { llc_way_masks: Some(vec![1 << 16]), ..RunConfig::default() };
+        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidWayMask { .. })));
+        let cfg = RunConfig { dram_budgets: Some(vec![63]), ..RunConfig::default() };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BudgetBelowLineSize { tenant: 0, bytes: 63 })
+        ));
+        let cfg = RunConfig {
+            dram_budgets: Some(vec![4096]),
+            dram_budget_window: 0,
+            ..RunConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow { which: "dram_budget_window" }));
+    }
+
+    #[test]
+    fn solo_run_is_a_one_tenant_colocation() {
+        let bench = Benchmark::mcf();
+        let a = run(&bench, &tiny()).expect("solo run");
+        assert_eq!(a.tenants.len(), 1);
+        assert_eq!(a.tenants[0].cores, vec![0, 1, 2, 3]);
+        assert_eq!(a.tenants[0].instructions, a.instructions());
+        assert!((a.tenant_ipc(0) - a.ipc()).abs() < 1e-12);
+        assert_eq!(a.tenant_llc_share_pct(0), 100.0);
+    }
+
+    #[test]
+    fn colocated_pair_reports_per_tenant_usage() {
+        let benches = [Benchmark::mcf(), Benchmark::web_search()];
+        let cfg = RunConfig { workers: 2, ..tiny() };
+        let r = run_colocated(&benches, &cfg).expect("valid config must run");
+        assert_eq!(r.name, "SPECint (mcf)+Web Search");
+        assert_eq!(r.cores.len(), 4, "two tenants x two workers");
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].cores, vec![0, 1]);
+        assert_eq!(r.tenants[1].cores, vec![2, 3]);
+        for t in 0..2 {
+            assert!(r.tenants[t].instructions > 0);
+            assert!(r.tenants[t].llc_lines > 0, "tenant {t} owns no LLC lines");
+            assert!(r.tenant_ipc(t) > 0.0);
+        }
+        let per_tenant: u64 = r.tenants.iter().map(|u| u.instructions).sum();
+        assert_eq!(per_tenant, r.instructions(), "tenant chunks must partition the workers");
+        audit(&r).expect("a co-located run must satisfy every conservation law");
+    }
+
+    #[test]
+    fn colocated_interrupt_and_resume_with_qos_is_byte_identical() {
+        use crate::checkpoint::{with_checkpointing, CheckpointCtl};
+        let benches = [Benchmark::mcf(), Benchmark::data_serving()];
+        // Both mitigations on, so the regulator cursors and per-line tenant
+        // tags must survive the snapshot round-trip.
+        let cfg = RunConfig {
+            workers: 2,
+            llc_way_masks: Some(vec![0x00FF, 0xFF00]),
+            dram_budgets: Some(vec![64 * 1024, 64 * 1024]),
+            ..tiny()
+        };
+        let baseline = run_colocated(&benches, &cfg).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-coloc-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut interrupts = 0;
+        let mut k = 150_000u64;
+        let result = loop {
+            let mut ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+            ctl.cadence_cycles = 100_000;
+            ctl.interrupt_after = Some(k);
+            match with_checkpointing(ctl, || run_colocated(&benches, &cfg)) {
+                Err(HarnessError::Interrupted) => {
+                    interrupts += 1;
+                    k += 400_000;
+                }
+                Ok(r) => break r,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+            assert!(interrupts < 64, "run never completed");
+        };
+        assert!(interrupts >= 1, "test must interrupt at least once");
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{result:?}"),
+            "an interrupted-and-resumed co-located run must reproduce the baseline exactly"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

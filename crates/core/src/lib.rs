@@ -23,6 +23,9 @@
 //! - [`errors`] — the typed error surface: configuration validation
 //!   ([`errors::ConfigError`]), stall/truncation diagnoses
 //!   ([`errors::HarnessError`]), and registry capability errors;
+//! - [`config`] — the declarative knob registry behind the campaign
+//!   binaries: every `--flag`/`CS_*` pair is declared once and parsing,
+//!   precedence, and `--help` are derived from the registry;
 //! - [`par`] — the deterministic worker pool ([`par::par_map`]) that the
 //!   sweep experiments and the campaign layer fan independent, seeded
 //!   runs over ([`harness::RunConfig::jobs`] sets the width);
@@ -48,6 +51,7 @@
 #![warn(clippy::perf)]
 
 pub mod checkpoint;
+pub mod config;
 pub mod errors;
 pub mod experiments;
 pub mod harness;

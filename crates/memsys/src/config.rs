@@ -134,6 +134,51 @@ impl PrefetchConfig {
     }
 }
 
+/// Multi-tenant quality-of-service knobs: LLC way partitioning and DRAM
+/// bandwidth throttling. Both default to off, and a defaulted [`QosConfig`]
+/// leaves every simulated byte identical to a build without one — the
+/// interference-matrix mitigations are strictly opt-in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosConfig {
+    /// Per-tenant LLC way masks (bit `i` = way `i`): tenant `t` may only
+    /// allocate LLC lines in the ways of `llc_way_masks[t]`. `None`
+    /// disables partitioning; tenants beyond the list are unrestricted.
+    #[serde(default)]
+    pub llc_way_masks: Option<Vec<u64>>,
+    /// Per-tenant DRAM bandwidth budgets in bytes per window. `None`
+    /// disables throttling; tenants beyond the list are unthrottled.
+    #[serde(default)]
+    pub dram_budgets: Option<Vec<u64>>,
+    /// Length of one throttle accounting window in cycles (only read when
+    /// `dram_budgets` is set).
+    #[serde(default = "QosConfig::default_window")]
+    pub dram_budget_window: u64,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self {
+            llc_way_masks: None,
+            dram_budgets: None,
+            dram_budget_window: Self::default_window(),
+        }
+    }
+}
+
+impl QosConfig {
+    /// Default throttle window: 10k cycles — long enough to amortize
+    /// burstiness, short enough that a deferred access resumes quickly.
+    pub fn default_window() -> u64 {
+        10_000
+    }
+
+    /// True when neither mitigation is configured (the common case; lets
+    /// hot paths skip tenant bookkeeping entirely).
+    pub fn is_off(&self) -> bool {
+        self.llc_way_masks.is_none() && self.dram_budgets.is_none()
+    }
+}
+
 /// Full memory-system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemSysConfig {
@@ -160,6 +205,10 @@ pub struct MemSysConfig {
     /// studies; `None` in every normal run).
     #[serde(default)]
     pub fault: Option<crate::fault::FaultPlan>,
+    /// Multi-tenant QoS knobs (LLC way partition, DRAM throttle); both
+    /// off by default.
+    #[serde(default)]
+    pub qos: QosConfig,
 }
 
 impl Default for MemSysConfig {
@@ -175,6 +224,7 @@ impl Default for MemSysConfig {
             cores_per_socket: 6,
             remote_snoop_extra: 70,
             fault: None,
+            qos: QosConfig::default(),
         }
     }
 }

@@ -30,7 +30,8 @@ pub mod stats;
 pub mod system;
 pub mod tlb;
 
-pub use config::{CacheConfig, DramConfig, MemSysConfig, PrefetchConfig, TlbConfig};
+pub use config::{CacheConfig, DramConfig, MemSysConfig, PrefetchConfig, QosConfig, TlbConfig};
+pub use dram::BandwidthRegulator;
 pub use fault::{FaultCounters, FaultPlan};
 pub use stats::{AccessClass, MemStats};
 pub use system::{DataOutcome, FetchOutcome, MemorySystem, ServiceLevel};

@@ -24,7 +24,7 @@
 
 use crate::cache::{Cache, LineMeta};
 use crate::config::MemSysConfig;
-use crate::dram::Dram;
+use crate::dram::{BandwidthRegulator, Dram};
 use crate::fault::{FaultCounters, FaultState};
 use crate::prefetch::{adjacent_line, next_line, StridePrefetcher};
 use crate::stats::{AccessClass, CoreMemStats, MemStats};
@@ -126,6 +126,15 @@ pub struct MemorySystem {
     warm_data: Vec<Box<[WarmMemo]>>,
     /// Instruction-side memo table; see `warm_data`.
     warm_instr: Vec<Box<[WarmMemo]>>,
+    /// Tenant id of each core (all `0` unless the harness co-locates
+    /// workloads). Configuration-like — set once before simulation by
+    /// [`MemorySystem::set_tenant`] on both the fresh and the restore
+    /// path, so it is not serialized.
+    tenants: Vec<u8>,
+    /// Per-tenant DRAM bandwidth throttle, present only when
+    /// [`crate::config::QosConfig::dram_budgets`] is configured. Its
+    /// window cursors are dynamic simulation state and are serialized.
+    regulator: Option<BandwidthRegulator>,
 }
 
 /// One entry of the warm-path memo tables; see `MemorySystem::warm_data`.
@@ -137,10 +146,14 @@ struct WarmMemo {
     l1_way: u32,
     /// Way the line's page was last found at in the first-level TLB.
     tlb_way: u32,
+    /// Tenant the memo was recorded under: a memo keyed by (tenant, line)
+    /// never replays for a core whose tenant has since changed, keeping
+    /// functional warming sound under co-location.
+    tenant: u8,
 }
 
 impl WarmMemo {
-    const EMPTY: Self = Self { line: u64::MAX, l1_way: 0, tlb_way: 0 };
+    const EMPTY: Self = Self { line: u64::MAX, l1_way: 0, tlb_way: 0, tenant: 0 };
 }
 
 /// Entries per warm-memo table. Power of two (the index is a mask of the
@@ -178,9 +191,56 @@ impl MemorySystem {
             warm_instr: (0..n_cores)
                 .map(|_| vec![WarmMemo::EMPTY; WARM_MEMO_SLOTS].into_boxed_slice())
                 .collect(),
+            tenants: vec![0; n_cores],
+            regulator: cfg
+                .qos
+                .dram_budgets
+                .as_ref()
+                .map(|b| BandwidthRegulator::new(cfg.qos.dram_budget_window, b.clone())),
             n_cores,
             n_sockets,
             cfg,
+        }
+    }
+
+    /// Assigns `core` to `tenant` (default: every core is tenant 0).
+    /// Called by the harness before simulation starts; the tenant map is
+    /// part of the run's configuration, not of its dynamic state, so the
+    /// restore path re-applies it the same way the fresh path does.
+    ///
+    /// Changing a core's tenant invalidates that core's warm memos: a
+    /// memoized hit must not replay under a different tenant tag.
+    pub fn set_tenant(&mut self, core: usize, tenant: u8) {
+        if self.tenants[core] != tenant {
+            self.tenants[core] = tenant;
+            self.warm_data[core].fill(WarmMemo::EMPTY);
+            self.warm_instr[core].fill(WarmMemo::EMPTY);
+        }
+    }
+
+    /// Tenant id of `core`.
+    pub fn tenant_of(&self, core: usize) -> u8 {
+        self.tenants[core]
+    }
+
+    /// LLC lines currently owned by `tenant`, summed over sockets
+    /// (O(LLC capacity); read at report time only).
+    pub fn llc_tenant_lines(&self, tenant: u8) -> u64 {
+        self.llcs.iter().map(|c| c.tenant_lines(tenant) as u64).sum()
+    }
+
+    /// Total valid LLC lines, summed over sockets.
+    pub fn llc_valid_lines(&self) -> u64 {
+        self.llcs.iter().map(|c| c.valid_lines() as u64).sum()
+    }
+
+    /// The LLC way mask tenant `t` allocates under (full when
+    /// partitioning is off or the tenant is beyond the configured list).
+    #[inline]
+    fn way_mask_of(&self, tenant: u8) -> u64 {
+        match &self.cfg.qos.llc_way_masks {
+            Some(masks) => masks.get(tenant as usize).copied().unwrap_or(u64::MAX),
+            None => u64::MAX,
         }
     }
 
@@ -299,6 +359,13 @@ impl MemorySystem {
             }
             None => e.bool(false),
         }
+        match &self.regulator {
+            Some(r) => {
+                e.bool(true);
+                r.encode_snap(e);
+            }
+            None => e.bool(false),
+        }
     }
 
     /// Restores state written by [`MemorySystem::encode_snap`] into a
@@ -368,6 +435,21 @@ impl MemorySystem {
                 ))
             }
         }
+        let had_regulator = d.bool()?;
+        match (had_regulator, &mut self.regulator) {
+            (true, Some(r)) => r.restore_snap(d)?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(SnapError::Mismatch(
+                    "snapshot has a bandwidth regulator, config has none".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(SnapError::Mismatch(
+                    "snapshot has no bandwidth regulator, config expects one".into(),
+                ))
+            }
+        }
         // The warm memos are a pure in-memory accelerator, never
         // serialized; start the restored run with them wiped so a resumed
         // run and an uninterrupted one behave identically.
@@ -430,7 +512,7 @@ impl MemorySystem {
         let line = addr >> 6;
         let slot = (line as usize) & (WARM_MEMO_SLOTS - 1);
         let m = self.warm_instr[core][slot];
-        if m.line == line {
+        if m.line == line && m.tenant == self.tenants[core] {
             let resident = self.l1i[core]
                 .way_holds(m.l1_way as usize, line)
                 .is_some_and(|meta| !meta.prefetched);
@@ -452,8 +534,12 @@ impl MemorySystem {
             if let (Some((way, _)), Some(tway)) =
                 (self.l1i[core].probe(line), self.tlbs[core].itlb_way_of(addr >> 12))
             {
-                self.warm_instr[core][slot] =
-                    WarmMemo { line, l1_way: way as u32, tlb_way: tway as u32 };
+                self.warm_instr[core][slot] = WarmMemo {
+                    line,
+                    l1_way: way as u32,
+                    tlb_way: tway as u32,
+                    tenant: self.tenants[core],
+                };
             }
         }
     }
@@ -491,7 +577,7 @@ impl MemorySystem {
         let line = addr >> 6;
         let slot = (line as usize) & (WARM_MEMO_SLOTS - 1);
         let m = self.warm_data[core][slot];
-        if m.line == line {
+        if m.line == line && m.tenant == self.tenants[core] {
             let ok = self.l1d[core].way_holds(m.l1_way as usize, line).is_some_and(|meta| {
                 !meta.prefetched && (!is_store || (meta.writable && meta.dirty))
             });
@@ -509,8 +595,12 @@ impl MemorySystem {
             if let (Some((way, _)), Some(dway)) =
                 (self.l1d[core].probe(line), self.tlbs[core].dtlb_way_of(addr >> 12))
             {
-                self.warm_data[core][slot] =
-                    WarmMemo { line, l1_way: way as u32, tlb_way: dway as u32 };
+                self.warm_data[core][slot] = WarmMemo {
+                    line,
+                    l1_way: way as u32,
+                    tlb_way: dway as u32,
+                    tenant: self.tenants[core],
+                };
             }
         }
     }
@@ -898,12 +988,24 @@ impl MemorySystem {
         let (lat, level) = if remote_state.is_some() {
             (self.cfg.llc.latency + self.cfg.remote_snoop_extra, ServiceLevel::RemoteLlc)
         } else {
-            // Warming accesses bypass the DRAM channel timers (their fake
-            // pacing would corrupt queueing state and the bandwidth books
-            // for the next detailed window), but the fault stream is
-            // event-indexed over hierarchy events: the roll is consumed
-            // either way so detailed and warmed runs see the same cursor.
-            let mut dram_lat = if self.warming { 0 } else { self.dram.read(line, now) };
+            // Warming accesses bypass the DRAM channel timers and the
+            // bandwidth regulator (their fake pacing would corrupt queueing
+            // and window state for the next detailed window), but the fault
+            // stream is event-indexed over hierarchy events: the roll is
+            // consumed either way so detailed and warmed runs see the same
+            // cursor.
+            let mut dram_lat = if self.warming {
+                0
+            } else {
+                let throttle = match &mut self.regulator {
+                    Some(r) => r.admit(self.tenants[core] as usize, 64, now),
+                    None => 0,
+                };
+                // Throttle delays are bounded by a handful of windows; the
+                // u32 latency domain comfortably holds them.
+                #[allow(clippy::cast_possible_truncation)]
+                self.dram.read(line, now + throttle).saturating_add(throttle as u32)
+            };
             if let Some(f) = &mut self.fault {
                 dram_lat = dram_lat.saturating_add(f.perturb_dram());
             }
@@ -917,8 +1019,11 @@ impl MemorySystem {
             self.stats.per_core[core].rw_shared[usize::from(privilege.is_kernel())] += 1;
         }
 
-        // Fill the local LLC. Core ids are bounded by the sharer bitmask
-        // width (<= 64), far inside u8 range.
+        // Fill the local LLC, allocating only inside the tenant's way
+        // partition when one is configured. Core ids are bounded by the
+        // sharer bitmask width (<= 64), far inside u8 range.
+        let tenant = self.tenants[core];
+        let mask = self.way_mask_of(tenant);
         #[allow(clippy::cast_possible_truncation)]
         let meta = LineMeta {
             dirty: want_write,
@@ -926,8 +1031,9 @@ impl MemorySystem {
             prefetched: is_prefetch,
             sharers: my_bit,
             fresh_writer: if want_write { Some(core as u8) } else { None },
+            tenant,
         };
-        if let Some(evicted) = self.llcs[socket].fill(line, meta) {
+        if let Some(evicted) = self.llcs[socket].fill_masked(line, meta, mask) {
             self.evict_llc_victim(core, socket, evicted, privilege, now);
         }
 
@@ -957,6 +1063,12 @@ impl MemorySystem {
         if dirty {
             if !self.warming {
                 self.dram.write(evicted.line, now);
+                // Writebacks are charged against the *evicting* tenant's
+                // bandwidth budget but proceed asynchronously — the delay
+                // is folded into window occupancy, not demand latency.
+                if let Some(r) = &mut self.regulator {
+                    let _ = r.admit(self.tenants[core] as usize, 64, now);
+                }
             }
             self.stats.per_core[core].dram_bytes[usize::from(privilege.is_kernel())] += 64;
         }
@@ -964,7 +1076,14 @@ impl MemorySystem {
 
     /// Fills `line` into the private L2, handling dirty victims.
     fn fill_l2(&mut self, core: usize, line: u64, writable: bool, prefetched: bool, now: u64) {
-        let meta = LineMeta { dirty: false, writable, prefetched, sharers: 0, fresh_writer: None };
+        let meta = LineMeta {
+            dirty: false,
+            writable,
+            prefetched,
+            sharers: 0,
+            fresh_writer: None,
+            tenant: self.tenants[core],
+        };
         if let Some(evicted) = self.l2[core].fill(line, meta) {
             if evicted.meta.dirty {
                 self.writeback_to_llc(core, evicted.line, now);
@@ -983,7 +1102,14 @@ impl MemorySystem {
         prefetched: bool,
         now: u64,
     ) {
-        let meta = LineMeta { dirty: false, writable, prefetched, sharers: 0, fresh_writer: None };
+        let meta = LineMeta {
+            dirty: false,
+            writable,
+            prefetched,
+            sharers: 0,
+            fresh_writer: None,
+            tenant: self.tenants[core],
+        };
         let cache = if is_instr { &mut self.l1i[core] } else { &mut self.l1d[core] };
         if let Some(evicted) = cache.fill(line, meta) {
             if evicted.meta.dirty {
@@ -1005,6 +1131,9 @@ impl MemorySystem {
         } else {
             if !self.warming {
                 self.dram.write(line, now);
+                if let Some(r) = &mut self.regulator {
+                    let _ = r.admit(self.tenants[core] as usize, 64, now);
+                }
             }
             // Attribution of stale writebacks: charged as user traffic to
             // the evicting core (privilege of the original writer is gone).
@@ -1087,7 +1216,7 @@ fn restore_core_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MemSysConfig, PrefetchConfig};
+    use crate::config::{MemSysConfig, PrefetchConfig, QosConfig};
 
     fn small_system(n_cores: usize) -> MemorySystem {
         let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), ..MemSysConfig::default() };
@@ -1585,5 +1714,178 @@ mod tests {
             lines_touched(&faulty) <= lines_touched(&clean),
             "dropping prefetches cannot increase DRAM traffic"
         );
+    }
+
+    /// Two tenants, two cores, with the LLC split into disjoint way
+    /// halves. Under the partition, no amount of streaming by one tenant
+    /// may evict the other tenant's LLC-resident lines.
+    #[test]
+    fn way_partition_isolates_tenant_llc_occupancy() {
+        let cfg = MemSysConfig {
+            prefetch: PrefetchConfig::none(),
+            qos: QosConfig {
+                llc_way_masks: Some(vec![0x00FF, 0xFF00]),
+                ..QosConfig::default()
+            },
+            ..MemSysConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 2);
+        m.set_tenant(0, 0);
+        m.set_tenant(1, 1);
+        // Tenant 0 loads a modest working set.
+        for i in 0..256u64 {
+            m.data_access(0, Privilege::User, 0x1000_0000 + i * 64, false, 0, i);
+        }
+        let resident = m.llc_tenant_lines(0);
+        assert_eq!(resident, 256);
+        // Tenant 1 streams far more than the whole LLC.
+        let llc_lines = (12u64 << 20) / 64;
+        for i in 0..(llc_lines * 2) {
+            m.data_access(1, Privilege::User, 0x8000_0000 + i * 64, false, 0, 1_000 + i);
+        }
+        assert_eq!(
+            m.llc_tenant_lines(0),
+            resident,
+            "a way-partitioned polluter must not evict the victim tenant's lines"
+        );
+        // And the polluter is capped at its half of the ways.
+        assert!(m.llc_tenant_lines(1) <= llc_lines / 2);
+    }
+
+    /// Without a partition the same polluter stream wipes out the victim
+    /// tenant's occupancy — the contrast that makes the previous test
+    /// meaningful.
+    #[test]
+    fn unpartitioned_polluter_evicts_the_other_tenant() {
+        let mut m = small_system(2);
+        m.set_tenant(1, 1);
+        for i in 0..256u64 {
+            m.data_access(0, Privilege::User, 0x1000_0000 + i * 64, false, 0, i);
+        }
+        let llc_lines = (12u64 << 20) / 64;
+        for i in 0..(llc_lines * 2) {
+            m.data_access(1, Privilege::User, 0x8000_0000 + i * 64, false, 0, 1_000 + i);
+        }
+        assert_eq!(m.llc_tenant_lines(0), 0, "an unpartitioned polluter sweeps the whole LLC");
+    }
+
+    /// The throttle delays demand reads once a tenant exhausts its window
+    /// budget, and an unthrottled config is untouched.
+    #[test]
+    fn throttle_defers_reads_beyond_the_window_budget() {
+        let qos = QosConfig {
+            dram_budgets: Some(vec![128, u64::MAX / 2]),
+            dram_budget_window: 100_000,
+            ..QosConfig::default()
+        };
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), qos, ..MemSysConfig::default() };
+        let mut throttled = MemorySystem::new(cfg, 1);
+        let mut free = small_system(1);
+        // Two reads fit the 128-byte budget; the third must wait for the
+        // next 100k-cycle window, which dwarfs any DRAM latency.
+        for m in [&mut free, &mut throttled] {
+            for k in 0..3u64 {
+                let out = m.data_access(0, Privilege::User, 0x6000_0000 + k * 1_000_000, false, 0, k);
+                assert_eq!(out.level, ServiceLevel::Dram);
+            }
+        }
+        let free_lat = free.data_access(0, Privilege::User, 0x7000_0000, false, 0, 10).latency;
+        let thr_lat = throttled.data_access(0, Privilege::User, 0x7000_0000, false, 0, 10).latency;
+        assert!(
+            thr_lat > free_lat + 50_000,
+            "4th read of an exhausted budget must wait for a future window \
+             (throttled {thr_lat} vs free {free_lat})"
+        );
+    }
+
+    /// Functional warming must leave the regulator's window state alone,
+    /// exactly as it leaves the DRAM channel timers alone.
+    #[test]
+    fn warm_accesses_bypass_the_regulator() {
+        let qos = QosConfig {
+            dram_budgets: Some(vec![64]),
+            dram_budget_window: 1_000_000,
+            ..QosConfig::default()
+        };
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), qos, ..MemSysConfig::default() };
+        let mut m = MemorySystem::new(cfg, 1);
+        // Warm far past the 64-byte budget.
+        for i in 0..100u64 {
+            m.data_access_warm(0, Privilege::User, 0x5000_0000 + i * 64, false, 0, i);
+        }
+        // The first detailed read still sees a full budget: no throttle
+        // delay on top of the plain DRAM latency.
+        let lat = m.data_access(0, Privilege::User, 0x9000_0000, false, 0, 200).latency;
+        let mut plain = small_system(1);
+        let base = plain.data_access(0, Privilege::User, 0x9000_0000, false, 0, 200).latency;
+        assert_eq!(lat, base, "warming must not consume regulator budget");
+    }
+
+    /// Regulator window state survives a snapshot/restore round trip, and
+    /// the restored system keeps deferring exactly like the live one.
+    #[test]
+    fn snapshot_roundtrip_preserves_regulator_state() {
+        let qos = QosConfig {
+            dram_budgets: Some(vec![128]),
+            dram_budget_window: 100_000,
+            ..QosConfig::default()
+        };
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), qos, ..MemSysConfig::default() };
+        let mut live = MemorySystem::new(cfg.clone(), 1);
+        for k in 0..3u64 {
+            live.data_access(0, Privilege::User, 0x6000_0000 + k * 1_000_000, false, 0, k);
+        }
+        let mut enc = cs_trace::snap::Enc::new();
+        live.encode_snap(&mut enc);
+        let mut restored = MemorySystem::new(cfg, 1);
+        let mut dec = cs_trace::snap::Dec::new(&enc.buf);
+        restored.restore_snap(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+        let a = live.data_access(0, Privilege::User, 0x7000_0000, false, 0, 10).latency;
+        let b = restored.data_access(0, Privilege::User, 0x7000_0000, false, 0, 10).latency;
+        assert_eq!(a, b, "restored regulator must defer identically to the live one");
+        assert!(a > 50_000, "the post-roundtrip read should still be throttled");
+    }
+
+    /// A tenant-count mismatch between snapshot and config is rejected,
+    /// mirroring the fault-plan presence guards.
+    #[test]
+    fn snapshot_with_regulator_needs_matching_config() {
+        let qos = QosConfig {
+            dram_budgets: Some(vec![128]),
+            dram_budget_window: 100_000,
+            ..QosConfig::default()
+        };
+        let cfg = MemSysConfig { prefetch: PrefetchConfig::none(), qos, ..MemSysConfig::default() };
+        let live = MemorySystem::new(cfg, 1);
+        let mut enc = cs_trace::snap::Enc::new();
+        live.encode_snap(&mut enc);
+        let mut plain = small_system(1);
+        let mut dec = cs_trace::snap::Dec::new(&enc.buf);
+        match plain.restore_snap(&mut dec) {
+            Err(cs_trace::snap::SnapError::Mismatch(msg)) => {
+                assert!(msg.contains("regulator"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+    }
+
+    /// Changing a core's tenant wipes its warm memos, so a memoized hit
+    /// recorded under one tenant never replays under another.
+    #[test]
+    fn warm_memo_is_keyed_by_tenant() {
+        let mut m = small_system(1);
+        let addr = 0x4000_0000;
+        // Record a warm memo for tenant 0.
+        m.data_access_warm(0, Privilege::User, addr, false, 0, 0);
+        m.data_access_warm(0, Privilege::User, addr, false, 0, 1);
+        let hits_before = m.stats().per_core[0].l1d.total_hits();
+        // Switch tenants; the line is still L1-resident, so the re-walk
+        // (not the memo) must service the touch and re-memoize under the
+        // new tenant id.
+        m.set_tenant(0, 1);
+        m.data_access_warm(0, Privilege::User, addr, false, 0, 2);
+        assert!(m.stats().per_core[0].l1d.total_hits() > hits_before);
+        assert_eq!(m.tenant_of(0), 1);
     }
 }

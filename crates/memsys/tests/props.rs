@@ -1,7 +1,7 @@
 //! Property-based tests of the cache and memory-system invariants.
 
 use cs_memsys::cache::{Cache, LineMeta};
-use cs_memsys::{MemSysConfig, MemorySystem, PrefetchConfig};
+use cs_memsys::{BandwidthRegulator, MemSysConfig, MemorySystem, PrefetchConfig};
 use cs_trace::snap::{Dec, Enc};
 use cs_trace::Privilege;
 use proptest::prelude::*;
@@ -130,4 +130,98 @@ proptest! {
         let d = m.dram_stats();
         prop_assert_eq!(d.bytes, 64 * (d.reads + d.writes));
     }
+
+    /// Under a full disjoint way partition, every masked fill lands inside
+    /// its tenant's ways and never evicts the other tenant's lines —
+    /// whatever the interleaving.
+    #[test]
+    fn way_partition_never_evicts_across_tenants(
+        sets in 1usize..16,
+        picks in proptest::collection::vec((any::<bool>(), 0u64..2_000), 50..400),
+    ) {
+        check_way_partition(sets, &picks);
+    }
+
+    /// The token-bucket regulator never admits more than one budget of
+    /// bytes into any accounting window, whatever the admission schedule.
+    #[test]
+    fn throttle_never_exceeds_the_window_budget(
+        window in 100u64..10_000,
+        budgets in proptest::collection::vec(64u64..4_096, 1..4),
+        steps in proptest::collection::vec((0usize..4, 0u64..500), 20..300),
+    ) {
+        check_throttle_budget(window, &budgets, &steps);
+    }
+}
+
+/// Drives a two-tenant cache with disjoint way masks (0x0F / 0xF0) and
+/// asserts, after every masked fill, that the line landed inside its
+/// tenant's ways, that any eviction hit the filler's own tenant, and that
+/// per-tenant occupancy accounting partitions exactly. Tenants use
+/// disjoint address spaces (even/odd lines) so an in-place refresh —
+/// which hardware never partitions — cannot cross tenants either.
+fn check_way_partition(sets: usize, picks: &[(bool, u64)]) {
+    const ASSOC: usize = 8;
+    const MASKS: [u64; 2] = [0x0F, 0xF0];
+    let mut c = Cache::new(sets, ASSOC);
+    for &(second, line) in picks {
+        let tenant = usize::from(second);
+        let line = line * 2 + tenant as u64;
+        let meta = LineMeta { tenant: tenant as u8, ..LineMeta::clean() };
+        if let Some(v) = c.fill_masked(line, meta, MASKS[tenant]) {
+            assert_eq!(
+                v.meta.tenant, tenant as u8,
+                "tenant {tenant} evicted a line of tenant {}", v.meta.tenant
+            );
+        }
+        let (way, meta) = c.probe(line).expect("just-filled line must be resident");
+        assert_eq!(meta.tenant, tenant as u8);
+        assert!(
+            MASKS[tenant] & (1u64 << (way % ASSOC)) != 0,
+            "tenant {tenant} allocated way {} outside mask {:#x}", way % ASSOC, MASKS[tenant]
+        );
+        assert_eq!(c.tenant_lines(0) + c.tenant_lines(1), c.valid_lines());
+        assert!(c.tenant_lines(tenant as u8) <= sets * ASSOC / 2);
+    }
+}
+
+/// Replays an admission schedule through the regulator and asserts that
+/// each charge's landing window (`(now + delay) / window`) accumulates at
+/// most `budgets[tenant]` bytes, that charges never land in the past, and
+/// that tenants beyond the budget table are never delayed.
+fn check_throttle_budget(window: u64, budgets: &[u64], steps: &[(usize, u64)]) {
+    let mut reg = BandwidthRegulator::new(window, budgets.to_vec());
+    let mut now = 0u64;
+    let mut landed = std::collections::HashMap::new();
+    for &(tenant, advance) in steps {
+        now += advance;
+        let delay = reg.admit(tenant, 64, now);
+        if tenant >= budgets.len() {
+            assert_eq!(delay, 0, "unbudgeted tenants are never delayed");
+            continue;
+        }
+        let win = (now + delay) / window;
+        assert!(win >= now / window, "a charge can never land in the past");
+        let used = landed.entry((tenant, win)).or_insert(0u64);
+        *used += 64;
+        assert!(
+            *used <= budgets[tenant],
+            "tenant {tenant} window {win} holds {used} bytes against a budget of {}",
+            budgets[tenant]
+        );
+    }
+}
+
+/// Fixed-input smoke twins of the two QoS properties: a saturating
+/// interleaving that forces evictions in every set, and an admission
+/// schedule that overruns one window and spills into the next.
+#[test]
+fn qos_property_smoke_cases() {
+    let picks: Vec<(bool, u64)> =
+        (0..300).map(|i| (i % 3 == 0, (i * 7) % 97)).collect();
+    check_way_partition(4, &picks);
+
+    let steps: Vec<(usize, u64)> =
+        (0..200).map(|i| (i % 3, if i % 5 == 0 { 40 } else { 0 })).collect();
+    check_throttle_budget(256, &[64, 128], &steps);
 }

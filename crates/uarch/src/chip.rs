@@ -195,6 +195,15 @@ impl Chip {
         &self.mem
     }
 
+    /// Assigns `core` to `tenant` for co-location studies: the memory
+    /// system tags every line the core fills and books its DRAM traffic
+    /// against that tenant's QoS budgets. Tenant assignment is
+    /// configuration (like the core→workload map), not simulated state,
+    /// so the harness re-applies it on both fresh and restored runs.
+    pub fn set_tenant(&mut self, core: usize, tenant: u8) {
+        self.mem.set_tenant(core, tenant);
+    }
+
     /// Advances every core by `n` cycles.
     ///
     /// With cycle skipping enabled, each core carries a *certificate*

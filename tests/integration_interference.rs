@@ -1,0 +1,98 @@
+//! The interference-matrix contract: the N×N co-location matrix is a pure
+//! function of its configuration — byte-identical across `jobs` values and
+//! across a kill+resume cycle — and the way-partition mitigation actually
+//! buys back measurable IPC loss on the CI smoke sub-matrix.
+
+use cloudsuite::checkpoint::{with_checkpointing, CheckpointCtl};
+use cloudsuite::experiments::interference_matrix::collect;
+use cloudsuite::harness::RunConfig;
+use cloudsuite::HarnessError;
+
+/// The reduced two-workload matrix the byte-identity legs run: small LLC
+/// so the snapshots carry eviction-heavy masked fill state, not just
+/// quiescent caches.
+fn reduced() -> RunConfig {
+    RunConfig {
+        warmup_instr: 40_000,
+        measure_instr: 80_000,
+        workers: 2,
+        llc_bytes: Some(1 << 20),
+        matrix_workloads: Some(vec!["web_search".into(), "polluter".into()]),
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn matrix_is_byte_identical_across_jobs_and_resume() {
+    let cfg = reduced();
+    let baseline = collect(&cfg).expect("jobs=1 matrix");
+    let fanned = collect(&RunConfig { jobs: 2, ..cfg.clone() }).expect("jobs=2 matrix");
+    assert_eq!(baseline, fanned, "matrix must not depend on the jobs value");
+
+    let dir = std::env::temp_dir().join(format!("cs-matrix-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut interrupts = 0;
+    let mut k = 60_000u64;
+    let resumed = loop {
+        let mut ctl = CheckpointCtl::new(dir.clone(), "integration-test");
+        ctl.cadence_cycles = 50_000;
+        ctl.interrupt_after = Some(k);
+        let attempt = with_checkpointing(ctl, || collect(&RunConfig { jobs: 2, ..cfg.clone() }));
+        match attempt {
+            Err(HarnessError::Interrupted) => {
+                interrupts += 1;
+                k += 300_000;
+            }
+            Ok(r) => break r,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+        assert!(interrupts < 64, "matrix never completed");
+    };
+    assert!(interrupts >= 1, "test must interrupt at least once");
+    assert_eq!(
+        baseline, resumed,
+        "a killed-and-resumed matrix must reproduce the uninterrupted rows exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The Rust twin of CI's `interference-smoke` python assertion, on the
+/// same 3×3 sub-matrix and shrunken LLC: at least one pairing must lose
+/// measurable IPC unmanaged, and the full 8/8 way partition must reduce
+/// that loss.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn way_partition_buys_back_loss_on_the_smoke_matrix() {
+    let cfg = RunConfig {
+        warmup_instr: 40_000,
+        measure_instr: 80_000,
+        llc_bytes: Some(1 << 20),
+        jobs: 2,
+        matrix_workloads: Some(vec![
+            "web_search".into(),
+            "polluter".into(),
+            "cpu_bound".into(),
+        ]),
+        ..RunConfig::default()
+    };
+    let rows = collect(&cfg).expect("3x3 smoke matrix");
+    // 6 unordered pairings (incl. self-pairs) x 3 mitigations x 2 tenants.
+    assert_eq!(rows.len(), 36);
+    let helped: Vec<_> = rows
+        .iter()
+        .filter(|b| b.mitigation == "none" && b.ipc_loss_pct > 1.0)
+        .filter(|b| {
+            rows.iter().any(|p| {
+                p.mitigation == "way_partition"
+                    && p.pair == b.pair
+                    && p.tenant == b.tenant
+                    && p.ipc_loss_pct < b.ipc_loss_pct
+            })
+        })
+        .collect();
+    assert!(
+        !helped.is_empty(),
+        "no pairing showed measurable IPC loss that the way partition reduced"
+    );
+}
