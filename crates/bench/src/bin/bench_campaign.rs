@@ -24,7 +24,17 @@
 //! estimate with its CLT 95% interval, and whether the full-detail IPC
 //! fell inside that interval — measured, not asserted.
 //!
-//! Usage: `bench_campaign [--out PATH]`
+//! The window-parallel leg re-runs the sampled schedule under
+//! `window_par` at `jobs = 1` and at the host's parallelism, records both
+//! wall-clocks plus the speedup over the sequential sampled pass, and
+//! Debug-compares the two parallel results for the byte-identity claim.
+//!
+//! Usage: `bench_campaign [--out PATH] [--force]`
+//!
+//! Every timed section records `host_cores` at measurement time; the
+//! binary refuses to overwrite a section measured on a host with a
+//! different core count unless `--force` is given, so the committed
+//! baseline's history stays comparable.
 //!
 //! The committed baseline is refreshed with
 //! `cargo run --release --bin bench_campaign` from the repo root; see
@@ -170,6 +180,37 @@ fn sampled_leg_configs() -> (RunConfig, RunConfig) {
     (full, sampled)
 }
 
+/// The window-parallel comparison: the sequential sampled schedule of
+/// [`sampled_leg_configs`] against the same schedule under
+/// `window_par`, at `jobs = 1` and at the host's parallelism, with the
+/// two parallel passes' results Debug-compared (samples included) for
+/// the byte-identity claim.
+struct WindowParLegResult {
+    par1_secs: f64,
+    parn_secs: f64,
+    identical: bool,
+}
+
+/// Times the window-parallel sampled runs. Returns `None` if a run
+/// failed or was truncated.
+fn time_window_par_leg(jobs_n: usize) -> Option<WindowParLegResult> {
+    let bench = Benchmark::data_serving();
+    let (_, sampled_cfg) = sampled_leg_configs();
+    let wp1 = RunConfig { window_par: true, jobs: 1, ..sampled_cfg.clone() };
+    let wpn = RunConfig { window_par: true, jobs: jobs_n, ..sampled_cfg };
+    let start = Instant::now();
+    let r1 = cloudsuite::harness::run_strict(&bench, &wp1).ok()?;
+    let par1_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let rn = cloudsuite::harness::run_strict(&bench, &wpn).ok()?;
+    let parn_secs = start.elapsed().as_secs_f64();
+    Some(WindowParLegResult {
+        par1_secs,
+        parn_secs,
+        identical: format!("{r1:?}") == format!("{rn:?}"),
+    })
+}
+
 /// Everything the sampled comparison records: both wall-clocks, the
 /// full-detail IPC, and the sampled estimate with its interval.
 struct SampledLegResult {
@@ -273,23 +314,59 @@ fn time_skip_leg(bench: &Benchmark, cfg: &RunConfig) -> Option<SkipLegResult> {
     })
 }
 
+/// Sections of the baseline file that carry wall-clock numbers, i.e.
+/// whose history is only comparable across hosts with the same core
+/// count. Each records `host_cores` at measurement time; overwriting one
+/// recorded on a different core count requires `--force`.
+const TIMED_SECTIONS: &[&str] =
+    &["campaign", "cycle_skip", "sampled", "window_par", "substrate"];
+
+/// Section names of the existing baseline whose recorded `host_cores`
+/// differs from `host_cores` now. An unreadable/unparsable file, a
+/// missing section, or a section without the field (pre-version-4
+/// baselines) never blocks — only a *known, different* core count does.
+fn core_count_conflicts(path: &Path, host_cores: u64) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(root) = serde_json::from_str::<Value>(&text) else { return Vec::new() };
+    TIMED_SECTIONS
+        .iter()
+        .filter(|&&name| {
+            root.get(name)
+                .and_then(|s| s.get("host_cores"))
+                .and_then(Value::as_u64)
+                .is_some_and(|prev| prev != host_cores)
+        })
+        .map(|&name| name.to_owned())
+        .collect()
+}
+
 fn main() -> ExitCode {
-    // The one knob this binary owns, declared through the same registry
+    // The two knobs this binary owns, declared through the same registry
     // the campaign binaries use.
-    let builder = RunConfigBuilder::new("bench_campaign").knob(Knob::valued(
-        "--out",
-        "PATH",
-        &[],
-        "--out requires a path",
-        "where the baseline JSON is written",
-        |s, v| {
-            s.out = Some(PathBuf::from(v));
-            true
-        },
-    ));
-    let out = match builder.parse(std::env::args().skip(1)) {
+    let builder = RunConfigBuilder::new("bench_campaign")
+        .knob(Knob::valued(
+            "--out",
+            "PATH",
+            &[],
+            "--out requires a path",
+            "where the baseline JSON is written",
+            |s, v| {
+                s.out = Some(PathBuf::from(v));
+                true
+            },
+        ))
+        .knob(Knob::switch(
+            "--force",
+            &[],
+            "overwrite sections measured on a host with a different core count",
+            |s, _| {
+                s.force = true;
+                true
+            },
+        ));
+    let (out, force) = match builder.parse(std::env::args().skip(1)) {
         ParseOutcome::Ready(s) => {
-            s.out.unwrap_or_else(|| PathBuf::from("BENCH_campaign.json"))
+            (s.out.unwrap_or_else(|| PathBuf::from("BENCH_campaign.json")), s.force)
         }
         ParseOutcome::Help(text) => {
             println!("{text}");
@@ -305,6 +382,20 @@ fn main() -> ExitCode {
     };
 
     let jobs_n = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    // Wall-clock sections are only comparable against a baseline measured
+    // on the same core count; silently overwriting one measured elsewhere
+    // would make the committed history lie about trends.
+    let conflicts = core_count_conflicts(&out, jobs_n as u64);
+    if !conflicts.is_empty() && !force {
+        eprintln!(
+            "bench_campaign: {} records sections {conflicts:?} measured on a host \
+             with a different core count than this one ({jobs_n}); re-measuring \
+             would overwrite them with incomparable numbers. Pass --force to \
+             overwrite anyway.",
+            out.display()
+        );
+        return ExitCode::from(3);
+    }
     let scratch = std::env::temp_dir().join("cs_bench_campaign");
     let dir1 = scratch.join("jobs1");
     let dirn = scratch.join("jobsN");
@@ -352,6 +443,12 @@ fn main() -> ExitCode {
     let sampled_leg = time_sampled_leg();
     if sampled_leg.is_none() {
         eprintln!("bench_campaign: warning: sampled leg failed during timing");
+    }
+
+    eprintln!("bench_campaign: timing window-parallel sampled leg at jobs=1 and jobs={jobs_n} ...");
+    let window_par_leg = time_window_par_leg(jobs_n);
+    if window_par_leg.is_none() {
+        eprintln!("bench_campaign: warning: window-parallel leg failed during timing");
     }
 
     eprintln!("bench_campaign: timing substrate microbenches ...");
@@ -424,13 +521,55 @@ fn main() -> ExitCode {
         sampled_obj.insert("failed".into(), Value::from(true));
     }
 
+    let mut window_par_obj = Map::new();
+    window_par_obj.insert("workload".into(), Value::from("data_serving"));
+    window_par_obj.insert("jobsN".into(), Value::from(jobs_n as u64));
+    window_par_obj.insert(
+        "sample_inflight".into(),
+        Value::from(RunConfig::default().sample_inflight as u64),
+    );
+    let mut window_par_identical = true;
+    if let Some(leg) = &window_par_leg {
+        if let Some(sampled) = &sampled_leg {
+            window_par_obj
+                .insert("sequential_wall_secs".into(), Value::from(round2(sampled.sampled_secs)));
+            window_par_obj.insert(
+                "speedup_vs_sequential".into(),
+                Value::from(round2(if leg.parn_secs > 0.0 {
+                    sampled.sampled_secs / leg.parn_secs
+                } else {
+                    0.0
+                })),
+            );
+        }
+        window_par_obj.insert("jobs1_wall_secs".into(), Value::from(round2(leg.par1_secs)));
+        window_par_obj.insert("jobsN_wall_secs".into(), Value::from(round2(leg.parn_secs)));
+        window_par_obj.insert(
+            "jobs1_vs_jobsN_speedup".into(),
+            Value::from(round2(if leg.parn_secs > 0.0 { leg.par1_secs / leg.parn_secs } else { 0.0 })),
+        );
+        window_par_obj.insert("outputs_identical".into(), Value::from(leg.identical));
+        window_par_identical = leg.identical;
+    } else {
+        window_par_obj.insert("failed".into(), Value::from(true));
+    }
+
     let mut root = Map::new();
     root.insert("campaign".into(), Value::Object(campaign_obj));
     root.insert("cycle_skip".into(), Value::Object(cycle_skip_obj));
     root.insert("sampled".into(), Value::Object(sampled_obj));
+    root.insert("window_par".into(), Value::Object(window_par_obj));
     root.insert("substrate".into(), Value::Object(substrate));
+    // Every timed section records the core count it was measured on, so a
+    // future run on a different host can detect (and refuse) incomparable
+    // overwrites per section.
+    for name in TIMED_SECTIONS {
+        if let Some(Value::Object(section)) = root.get_mut(*name) {
+            section.insert("host_cores".into(), Value::from(jobs_n as u64));
+        }
+    }
     root.insert("host_cores".into(), Value::from(jobs_n as u64));
-    root.insert("version".into(), Value::from(3u64));
+    root.insert("version".into(), Value::from(4u64));
 
     let text = match serde_json::to_string_pretty(&Value::Object(root)) {
         Ok(t) => t,
@@ -461,6 +600,12 @@ fn main() -> ExitCode {
             leg.ci_lo <= leg.full_ipc && leg.full_ipc <= leg.ci_hi
         );
     }
+    if let Some(leg) = &window_par_leg {
+        eprintln!(
+            "bench_campaign: window-par leg jobs=1 {:.2}s vs jobs={jobs_n} {:.2}s (identical: {})",
+            leg.par1_secs, leg.parn_secs, leg.identical
+        );
+    }
     eprintln!("(wrote {})", out.display());
     let mut ok = true;
     if !identical {
@@ -469,6 +614,13 @@ fn main() -> ExitCode {
     }
     if !skip_identical || !legs_identical {
         eprintln!("bench_campaign: CYCLE-SKIP OUTPUT MISMATCH — skipping must be byte-invisible");
+        ok = false;
+    }
+    if !window_par_identical {
+        eprintln!(
+            "bench_campaign: WINDOW-PAR OUTPUT MISMATCH — window-parallel sampling must be \
+             jobs-invariant"
+        );
         ok = false;
     }
     if ok {

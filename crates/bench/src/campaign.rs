@@ -325,6 +325,14 @@ pub fn fingerprint(cfg: &RunConfig) -> String {
             "{fp}-k{}-p{}-sw{}",
             cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr
         );
+        // The overlapped window-parallel schedule warms each window from a
+        // snapshot instead of measuring in-line, so its bytes differ from
+        // the sequential sampled path; flipping it must invalidate prior
+        // results. `sample_inflight` is scheduling-only (byte-identical at
+        // any value) and deliberately stays out of the fingerprint.
+        if cfg.window_par {
+            fp = format!("{fp}-wp");
+        }
     }
     // A restricted interference matrix produces a different result file
     // under the same name; widening it back must invalidate the entry.
@@ -431,7 +439,43 @@ pub fn run_with(
         .zip(statuses)
         .map(|(e, status)| Outcome { name: e.name.into(), status })
         .collect();
+    write_telemetry(&ckpt_root);
     CampaignSummary { outcomes }
+}
+
+/// Drains the harness's per-phase wall-clock telemetry accumulated by the
+/// sampled units of this pass and writes it to `<results>.ckpt/telemetry.json`
+/// — deliberately *outside* the results directory, because wall-clock
+/// timings are host-dependent and must never show up in a `diff -r` between
+/// two result trees. Best-effort: an unwritable directory only loses the
+/// timings, never the campaign.
+fn write_telemetry(ckpt_root: &Path) {
+    let units = cloudsuite::sampling::drain_telemetry();
+    if units.is_empty() {
+        return;
+    }
+    let rows: Vec<Value> = units
+        .iter()
+        .map(|t| {
+            let mut m = Map::new();
+            m.insert("unit".into(), Value::String(t.unit.clone()));
+            m.insert("windows".into(), Value::from(t.windows as u64));
+            m.insert("forward_secs".into(), Value::from(t.forward_secs));
+            m.insert("warm_secs".into(), Value::from(t.warm_secs));
+            m.insert("measure_secs".into(), Value::from(t.measure_secs));
+            m.insert("fold_wait_secs".into(), Value::from(t.fold_wait_secs));
+            Value::Object(m)
+        })
+        .collect();
+    let mut root = Map::new();
+    root.insert("units".into(), Value::Array(rows));
+    let Ok(text) = serde_json::to_string_pretty(&Value::Object(root)) else { return };
+    if std::fs::create_dir_all(ckpt_root).is_err() {
+        return;
+    }
+    if let Err(e) = std::fs::write(ckpt_root.join("telemetry.json"), text + "\n") {
+        eprintln!("[campaign] warning: could not write telemetry: {e}");
+    }
 }
 
 struct Failure {
@@ -893,5 +937,16 @@ mod tests {
             ..cfg
         };
         assert_eq!(fingerprint(&sampled), "w10-m20-s7-k4-p500-sw50");
+        // Window-parallelism appends its marker only when sampling is on;
+        // the in-flight budget never shows up (scheduling-only).
+        let wp = RunConfig { window_par: true, sample_inflight: 8, ..sampled.clone() };
+        assert_eq!(fingerprint(&wp), "w10-m20-s7-k4-p500-sw50-wp");
+        let wp_off =
+            RunConfig { window_par: true, sample_windows: 0, ..sampled.clone() };
+        assert_eq!(
+            fingerprint(&wp_off),
+            "w10-m20-s7",
+            "window_par without sampling must not perturb the fingerprint"
+        );
     }
 }

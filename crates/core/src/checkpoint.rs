@@ -61,7 +61,10 @@ pub const MAGIC: &[u8; 8] = b"CSCKPT01";
 /// SMARTS sampling phase (window bookkeeping + statistics accumulator).
 /// Version 3: tenant byte per LLC line and the optional DRAM bandwidth
 /// regulator cursors (multi-tenant co-location QoS).
-pub const VERSION: u32 = 3;
+/// Version 4: the window-parallel sampling phase (forward cursor, pending
+/// in-flight windows as raw snapshots, and the accumulator's excursion
+/// cycle extras appended after the window samples).
+pub const VERSION: u32 = 4;
 
 /// Default checkpoint cadence in simulated cycles.
 pub const DEFAULT_CADENCE_CYCLES: u64 = 2_000_000;
@@ -155,9 +158,14 @@ pub fn current() -> Option<CheckpointCtl> {
 
 /// Stable fingerprint of one unit of work: the scope (experiment name),
 /// the benchmark, and every [`crate::harness::RunConfig`] field that
-/// affects simulated bytes. Deliberately **excluded**: `jobs` and
-/// `cycle_skip`, which never change results (so a checkpoint taken at
-/// `--jobs 4` resumes under `--jobs 1`, and with skip toggled).
+/// affects simulated bytes. Deliberately **excluded**: `jobs`,
+/// `cycle_skip` and `sample_inflight`, which never change results (so a
+/// checkpoint taken at `--jobs 4` resumes under `--jobs 1`, with skip
+/// toggled, and with a different in-flight window budget).
+/// Deliberately **included**: `window_par` — the overlapped schedule
+/// stores a different phase shape (and different warming-strand cycle
+/// counts) than the sequential sampled path, so the two must never share
+/// a checkpoint.
 /// Deliberately **included**: `max_cycles` and `watchdog_grace` — the
 /// campaign's widened-budget retry must not resume the failed attempt's
 /// checkpoint, whose window cursor has the old budget baked in.
@@ -185,7 +193,7 @@ pub fn unit_key(scope: &str, bench: &str, cfg: &crate::harness::RunConfig) -> u6
             cfg.watchdog_grace,
             cfg.fault,
         ),
-        (cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr),
+        (cfg.sample_windows, cfg.sample_period, cfg.sample_warmup_instr, cfg.window_par),
         (&cfg.llc_way_masks, &cfg.dram_budgets, cfg.dram_budget_window)
     );
     fnv1a64(canon.as_bytes())
@@ -409,6 +417,16 @@ mod tests {
         sampled.sample_windows = 8;
         sampled.sample_period = 100_000;
         assert_ne!(unit_key("fig1", bench, &sampled), k, "sampling must change the key");
+        let mut wp = base.clone();
+        wp.window_par = true;
+        assert_ne!(unit_key("fig1", bench, &wp), k, "window_par must change the key");
+        let mut inflight = base.clone();
+        inflight.sample_inflight = 16;
+        assert_eq!(
+            unit_key("fig1", bench, &inflight),
+            k,
+            "sample_inflight is scheduling-only and must not change the key"
+        );
         let mut qos = base.clone();
         qos.llc_way_masks = Some(vec![0x00FF, 0xFF00]);
         assert_ne!(unit_key("fig1", bench, &qos), k, "way masks must change the key");

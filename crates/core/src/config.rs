@@ -41,6 +41,10 @@ pub struct CampaignSettings {
     pub max_retries: Option<u32>,
     /// `--out`: output path override for single-file binaries.
     pub out: Option<PathBuf>,
+    /// `--force`: overwrite baseline sections that were measured on a
+    /// host with a different core count (`bench_campaign` refuses
+    /// otherwise, so wall-clock history stays comparable).
+    pub force: bool,
 }
 
 impl Default for CampaignSettings {
@@ -53,6 +57,7 @@ impl Default for CampaignSettings {
             interrupt_after: None,
             max_retries: None,
             out: None,
+            force: false,
         }
     }
 }
@@ -300,6 +305,40 @@ impl RunConfigBuilder {
                 "detailed warm-up instructions before each sample window",
                 |s, v| v.parse::<u64>().map(|n| s.run.sample_warmup_instr = n).is_ok(),
             ))
+            .knob(
+                Knob::switch(
+                    "--window-par",
+                    &["CS_WINDOW_PAR"],
+                    "overlap sampled windows: fork detailed measurement off \
+                     snapshots while functional warming streams ahead",
+                    |s, _| {
+                        s.run.window_par = true;
+                        true
+                    },
+                )
+                .with_env_apply(|s, v| {
+                    // Same lenient 0/1 semantics as CS_NO_SKIP.
+                    if let Ok(n) = v.parse::<u64>() {
+                        s.run.window_par = n != 0;
+                    }
+                    true
+                }),
+            )
+            .knob(Knob::valued(
+                "--sample-inflight",
+                "N",
+                &["CS_SAMPLE_INFLIGHT"],
+                "--sample-inflight requires a positive window count",
+                "in-flight detailed-window budget under --window-par \
+                 (scheduling-only: results are byte-identical at any value)",
+                |s, v| match v.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        s.run.sample_inflight = n;
+                        true
+                    }
+                    _ => false,
+                },
+            ))
             .knob(Knob::valued(
                 "--matrix-workloads",
                 "LIST",
@@ -493,6 +532,9 @@ mod tests {
             "500",
             "--sample-warmup",
             "50",
+            "--window-par",
+            "--sample-inflight",
+            "2",
             "--ckpt-cycles",
             "0",
             "--max-retries",
@@ -509,6 +551,8 @@ mod tests {
         assert_eq!(s.run.sample_windows, 4);
         assert_eq!(s.run.sample_period, 500);
         assert_eq!(s.run.sample_warmup_instr, 50);
+        assert!(s.run.window_par);
+        assert_eq!(s.run.sample_inflight, 2);
         assert_eq!(s.ckpt_cycles, Some(0));
         assert_eq!(s.max_retries, Some(2));
         assert_eq!(
@@ -525,6 +569,10 @@ mod tests {
             (vec!["--jobs"], "--jobs requires a positive integer"),
             (vec!["--measure-instr", "0"], "--measure-instr requires a positive instruction count"),
             (vec!["--results-dir"], "--results-dir requires a path"),
+            (
+                vec!["--sample-inflight", "0"],
+                "--sample-inflight requires a positive window count",
+            ),
             (
                 vec!["--matrix-workloads", ","],
                 "--matrix-workloads requires a comma-separated list of roster keys",
@@ -563,6 +611,8 @@ mod tests {
             "--sample-windows K",
             "--sample-period N",
             "--sample-warmup N",
+            "--window-par",
+            "--sample-inflight N",
             "--matrix-workloads LIST",
         ] {
             assert!(usage.contains(&format!("[{flag}]")), "usage must list {flag}: {usage}");

@@ -195,6 +195,17 @@ pub enum HarnessError {
     /// The `CS_PARANOID` end-of-run auditor found an accounting invariant
     /// violated; the result cannot be trusted and is withheld.
     Audit(AuditError),
+    /// A window-parallel worker could not decode the chip snapshot it was
+    /// handed for a measurement window. The snapshot was encoded by the
+    /// same process (or by the interrupted process whose checkpoint this
+    /// run resumed), so this is structural — a codec bug or a corrupted
+    /// checkpoint payload — never a property of the workload.
+    WindowHandoff {
+        /// Zero-based index of the window whose snapshot failed to decode.
+        window: usize,
+        /// The decoder's diagnosis.
+        detail: String,
+    },
 }
 
 /// A violated accounting invariant, detected by the optional end-of-run
@@ -326,6 +337,13 @@ impl fmt::Display for HarnessError {
                 write!(f, "run interrupted after saving a checkpoint; re-run to resume")
             }
             HarnessError::Audit(e) => write!(f, "paranoid audit failed: {e}"),
+            HarnessError::WindowHandoff { window, detail } => {
+                write!(
+                    f,
+                    "window-parallel handoff: worker could not decode the snapshot for \
+                     sampling window {window}: {detail}"
+                )
+            }
         }
     }
 }

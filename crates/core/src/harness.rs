@@ -42,11 +42,12 @@
 use crate::errors::{AuditError, ConfigError, HarnessError};
 use crate::machine::MachineConfig;
 use crate::registry::Benchmark;
+use crate::sampling::{self, Phase, SampleAcc, SampleSub};
 use cs_memsys::stats::CoreMemStats;
 use cs_memsys::{AccessClass, FaultPlan, PrefetchConfig};
 use cs_trace::snap::{Dec, Enc, SnapError};
 use cs_trace::WorkloadProfile;
-use cs_uarch::{CoreConfig, CoreStats, Fidelity, WatchedWindow, WindowOutcome};
+use cs_uarch::{CoreConfig, CoreStats, Fidelity, WindowOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Number of cores of the modeled machine (Table 1: two sockets of six).
@@ -156,6 +157,28 @@ pub struct RunConfig {
     /// straight from functional into measurement.
     #[serde(default)]
     pub sample_warmup_instr: u64,
+    /// Overlapped window-parallel sampling: at each window boundary the
+    /// chip state is snapshotted and that window's detailed `Warm→Measure`
+    /// excursion runs on a worker chip restored from the snapshot, while
+    /// functional warming streams ahead toward the next boundary. This
+    /// CHANGES the simulated schedule relative to the sequential sampler
+    /// (each window becomes an isolated excursion instead of feeding the
+    /// next fast-forward span), so — unlike `jobs` — it IS part of the
+    /// campaign resume fingerprint whenever sampling is enabled. For a
+    /// fixed `window_par` value the results are byte-identical at any
+    /// `jobs`/`sample_inflight` setting. Ignored when
+    /// `sample_windows == 0`, so a blanket `CS_WINDOW_PAR=1` never
+    /// perturbs non-sampled experiments.
+    #[serde(default)]
+    pub window_par: bool,
+    /// Bound on dispatched-but-unfolded window snapshots the
+    /// window-parallel sampler keeps alive at once (a memory bound: each
+    /// pending window holds one full chip snapshot). The effective window
+    /// concurrency is `min(jobs, sample_inflight)`. Pure scheduling —
+    /// excluded from the campaign resume fingerprint, like `jobs`. Must be
+    /// nonzero.
+    #[serde(default = "default_sample_inflight")]
+    pub sample_inflight: usize,
     /// Way-partition the shared LLC between co-located tenants (the CAT
     /// mitigation of the interference study): tenant `t` may only
     /// *allocate* lines in the ways of `llc_way_masks[t]`. Hits are served
@@ -199,6 +222,10 @@ fn default_cycle_skip() -> bool {
     true
 }
 
+fn default_sample_inflight() -> usize {
+    4
+}
+
 impl Default for RunConfig {
     fn default() -> Self {
         Self {
@@ -224,6 +251,8 @@ impl Default for RunConfig {
             sample_windows: 0,
             sample_period: 0,
             sample_warmup_instr: 0,
+            window_par: false,
+            sample_inflight: default_sample_inflight(),
             llc_way_masks: None,
             dram_budgets: None,
             dram_budget_window: default_dram_budget_window(),
@@ -281,6 +310,9 @@ impl RunConfig {
         }
         if self.jobs == 0 {
             return Err(ConfigError::ZeroJobs);
+        }
+        if self.sample_inflight == 0 {
+            return Err(ConfigError::ZeroWindow { which: "sample_inflight" });
         }
         if self.sample_windows > 0 {
             if self.sample_period == 0 {
@@ -627,330 +659,6 @@ const PREWARM_CYCLES: u64 = 800_000;
 /// stop response can be.
 const CKPT_SLICE: u64 = 65_536;
 
-/// Which leg of one sampling window is in flight.
-enum SampleSub {
-    /// Functional fast-forward: the cores retire at fidelity
-    /// [`cs_uarch::Fidelity::Functional`] while the memory hierarchy and
-    /// branch predictor keep warming.
-    Forward {
-        /// Cursor of the in-flight fast-forward span.
-        window: WatchedWindow,
-    },
-    /// Detailed re-warm: full out-of-order modeling, statistics discarded.
-    Warm {
-        /// Cursor of the in-flight re-warm span.
-        window: WatchedWindow,
-    },
-    /// Detailed measurement: statistics were reset at entry and are
-    /// harvested into the accumulator at completion.
-    Measure {
-        /// Cursor of the in-flight measurement window.
-        window: WatchedWindow,
-        /// Request-meter total at window entry.
-        requests_at_start: u64,
-    },
-}
-
-/// Running aggregate of a sampled run, carried (and checkpointed) across
-/// windows: merged worker/polluter statistics over the measurement windows
-/// completed so far, the per-window samples, and the main-warmup outcome
-/// needed for the final status.
-struct SampleAcc {
-    /// Outcome of the completed main warmup window.
-    warmup: WindowOutcome,
-    /// Request-meter total at statistics reset after main warmup.
-    requests_at_warmup: u64,
-    /// Worker-core pipeline statistics merged over completed windows
-    /// (empty until the first window completes).
-    cores: Vec<CoreStats>,
-    /// Worker-core memory statistics merged over completed windows.
-    mem: Vec<CoreMemStats>,
-    /// Polluter-core memory statistics merged over completed windows.
-    polluter_mem: Vec<CoreMemStats>,
-    /// DRAM totals merged over completed windows.
-    dram: cs_memsys::dram::DramStats,
-    /// One entry per completed measurement window.
-    samples: Vec<WindowSample>,
-    /// A fast-forward or re-warm span hit the cycle cap.
-    forward_truncated: bool,
-    /// A measurement window hit the cycle cap.
-    measure_truncated: bool,
-}
-
-impl SampleAcc {
-    fn new(warmup: WindowOutcome, requests_at_warmup: u64) -> Self {
-        Self {
-            warmup,
-            requests_at_warmup,
-            cores: Vec::new(),
-            mem: Vec::new(),
-            polluter_mem: Vec::new(),
-            dram: cs_memsys::dram::DramStats::default(),
-            samples: Vec::new(),
-            forward_truncated: false,
-            measure_truncated: false,
-        }
-    }
-
-    /// Folds one completed measurement window's statistics (gathered since
-    /// the `reset_stats` at window entry) into the running aggregate.
-    fn harvest(
-        &mut self,
-        chip: &cs_uarch::Chip,
-        worker_cores: &[usize],
-        polluter_cores: &[usize],
-        out: &WindowOutcome,
-        window_requests: u64,
-    ) {
-        let mem_stats = chip.mem().stats();
-        let cores: Vec<CoreStats> =
-            worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect();
-        let sum = |f: &dyn Fn(&CoreStats) -> u64| cores.iter().map(f).sum::<u64>();
-        self.samples.push(WindowSample {
-            cycles: out.cycles,
-            instructions: out.committed,
-            committing: [sum(&|c| c.committing_cycles[0]), sum(&|c| c.committing_cycles[1])],
-            stalled: [sum(&|c| c.stalled_cycles[0]), sum(&|c| c.stalled_cycles[1])],
-            memory_cycles: sum(&|c| c.memory_cycles),
-            requests: window_requests,
-        });
-        if self.cores.is_empty() {
-            self.cores = cores;
-            self.mem =
-                worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect();
-            self.polluter_mem =
-                polluter_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect();
-        } else {
-            for (acc, new) in self.cores.iter_mut().zip(&cores) {
-                acc.absorb(new);
-            }
-            for (acc, &c) in self.mem.iter_mut().zip(worker_cores) {
-                acc.merge_from(&mem_stats.per_core[c]);
-            }
-            for (acc, &c) in self.polluter_mem.iter_mut().zip(polluter_cores) {
-                acc.merge_from(&mem_stats.per_core[c]);
-            }
-        }
-        let d = chip.mem().dram_stats();
-        self.dram.reads += d.reads;
-        self.dram.writes += d.writes;
-        self.dram.bytes += d.bytes;
-        self.dram.busy_cycles += d.busy_cycles;
-    }
-
-    fn encode_snap(&self, e: &mut Enc) {
-        e.u64(self.warmup.cycles);
-        e.u64(self.warmup.committed);
-        e.bool(self.warmup.reached_target);
-        e.u64(self.requests_at_warmup);
-        e.bool(self.forward_truncated);
-        e.bool(self.measure_truncated);
-        e.len(self.cores.len());
-        for c in &self.cores {
-            c.encode_snap(e);
-        }
-        e.len(self.mem.len());
-        for m in &self.mem {
-            m.encode_snap(e);
-        }
-        e.len(self.polluter_mem.len());
-        for m in &self.polluter_mem {
-            m.encode_snap(e);
-        }
-        e.u64(self.dram.reads);
-        e.u64(self.dram.writes);
-        e.u64(self.dram.bytes);
-        e.u64(self.dram.busy_cycles);
-        e.len(self.samples.len());
-        for s in &self.samples {
-            e.u64(s.cycles);
-            e.u64(s.instructions);
-            e.u64(s.committing[0]);
-            e.u64(s.committing[1]);
-            e.u64(s.stalled[0]);
-            e.u64(s.stalled[1]);
-            e.u64(s.memory_cycles);
-            e.u64(s.requests);
-        }
-    }
-
-    fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
-        let warmup = WindowOutcome {
-            cycles: d.u64()?,
-            committed: d.u64()?,
-            reached_target: d.bool()?,
-        };
-        let requests_at_warmup = d.u64()?;
-        let forward_truncated = d.bool()?;
-        let measure_truncated = d.bool()?;
-        let mut cores = Vec::new();
-        for _ in 0..d.len()? {
-            cores.push(CoreStats::decode_snap(d)?);
-        }
-        let mut mem = Vec::new();
-        for _ in 0..d.len()? {
-            let mut m = CoreMemStats::default();
-            m.restore_snap(d)?;
-            mem.push(m);
-        }
-        let mut polluter_mem = Vec::new();
-        for _ in 0..d.len()? {
-            let mut m = CoreMemStats::default();
-            m.restore_snap(d)?;
-            polluter_mem.push(m);
-        }
-        let dram = cs_memsys::dram::DramStats {
-            reads: d.u64()?,
-            writes: d.u64()?,
-            bytes: d.u64()?,
-            busy_cycles: d.u64()?,
-        };
-        let mut samples = Vec::new();
-        for _ in 0..d.len()? {
-            samples.push(WindowSample {
-                cycles: d.u64()?,
-                instructions: d.u64()?,
-                committing: [d.u64()?, d.u64()?],
-                stalled: [d.u64()?, d.u64()?],
-                memory_cycles: d.u64()?,
-                requests: d.u64()?,
-            });
-        }
-        Ok(Self {
-            warmup,
-            requests_at_warmup,
-            cores,
-            mem,
-            polluter_mem,
-            dram,
-            samples,
-            forward_truncated,
-            measure_truncated,
-        })
-    }
-}
-
-/// Resumable execution position of [`run`]'s §3.1 pipeline.
-///
-/// A checkpoint is this phase marker plus the full chip snapshot; restoring
-/// re-enters the phase loop exactly where the interrupted process left it.
-/// The phase records which threads exist (workers are only attached when
-/// leaving `PreWarm`), so the restore path can rebuild the chip's thread
-/// population before handing the snapshot to `Chip::restore_snap`.
-enum Phase {
-    /// Polluters (if any) are warming the LLC alone; workers do not exist
-    /// yet. `cycles_done` counts pre-warm cycles already simulated.
-    PreWarm {
-        /// Pre-warm cycles already simulated.
-        cycles_done: u64,
-    },
-    /// The warmup window is in flight.
-    Warmup {
-        /// Cursor of the in-flight warmup window.
-        window: WatchedWindow,
-    },
-    /// The measurement window is in flight; the warmup outcome and the
-    /// request-meter baseline are carried so the final result can be
-    /// assembled without re-running warmup.
-    Measure {
-        /// Cursor of the in-flight measurement window.
-        window: WatchedWindow,
-        /// Outcome of the completed warmup window.
-        warmup: WindowOutcome,
-        /// Request-meter total at statistics reset, the throughput baseline.
-        requests_at_warmup: u64,
-    },
-    /// SMARTS sampling is in flight: window `k` of
-    /// [`RunConfig::sample_windows`] is in sub-phase `sub`, with the
-    /// merged statistics of completed windows in `acc`. The fidelity each
-    /// core is running at is part of the chip snapshot, so a restore
-    /// mid-`Forward` resumes functional and mid-`Warm`/`Measure` resumes
-    /// detailed without any re-switching here.
-    Sample {
-        /// Zero-based index of the in-flight window.
-        k: usize,
-        /// Which leg of the window is running.
-        sub: SampleSub,
-        /// Aggregate over completed windows.
-        acc: Box<SampleAcc>,
-    },
-}
-
-impl Phase {
-    fn encode_snap(&self, e: &mut Enc) {
-        match self {
-            Phase::PreWarm { cycles_done } => {
-                e.u8(0);
-                e.u64(*cycles_done);
-            }
-            Phase::Warmup { window } => {
-                e.u8(1);
-                window.encode_snap(e);
-            }
-            Phase::Measure { window, warmup, requests_at_warmup } => {
-                e.u8(2);
-                window.encode_snap(e);
-                e.u64(warmup.cycles);
-                e.u64(warmup.committed);
-                e.bool(warmup.reached_target);
-                e.u64(*requests_at_warmup);
-            }
-            Phase::Sample { k, sub, acc } => {
-                e.u8(3);
-                e.len(*k);
-                match sub {
-                    SampleSub::Forward { window } => {
-                        e.u8(0);
-                        window.encode_snap(e);
-                    }
-                    SampleSub::Warm { window } => {
-                        e.u8(1);
-                        window.encode_snap(e);
-                    }
-                    SampleSub::Measure { window, requests_at_start } => {
-                        e.u8(2);
-                        window.encode_snap(e);
-                        e.u64(*requests_at_start);
-                    }
-                }
-                acc.encode_snap(e);
-            }
-        }
-    }
-
-    fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
-        match d.u8()? {
-            0 => Ok(Phase::PreWarm { cycles_done: d.u64()? }),
-            1 => Ok(Phase::Warmup { window: WatchedWindow::decode_snap(d)? }),
-            2 => {
-                let window = WatchedWindow::decode_snap(d)?;
-                let warmup = WindowOutcome {
-                    cycles: d.u64()?,
-                    committed: d.u64()?,
-                    reached_target: d.bool()?,
-                };
-                let requests_at_warmup = d.u64()?;
-                Ok(Phase::Measure { window, warmup, requests_at_warmup })
-            }
-            3 => {
-                let k = d.len()?;
-                let sub = match d.u8()? {
-                    0 => SampleSub::Forward { window: WatchedWindow::decode_snap(d)? },
-                    1 => SampleSub::Warm { window: WatchedWindow::decode_snap(d)? },
-                    2 => SampleSub::Measure {
-                        window: WatchedWindow::decode_snap(d)?,
-                        requests_at_start: d.u64()?,
-                    },
-                    t => return Err(SnapError::BadTag(t)),
-                };
-                let acc = Box::new(SampleAcc::decode_snap(d)?);
-                Ok(Phase::Sample { k, sub, acc })
-            }
-            t => Err(SnapError::BadTag(t)),
-        }
-    }
-}
-
 /// Whether the optional end-of-run conservation auditor is enabled:
 /// `CS_PARANOID` set to anything but empty or `0`.
 pub(crate) fn paranoid_enabled() -> bool {
@@ -1168,6 +876,18 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
         }
         meters
     };
+    // Builds a fresh chip with every thread attached (the restore-path
+    // attach order: polluters, then workers), ready to receive a window
+    // snapshot — the window-parallel worker recipe, identical to the
+    // quarantine-rebuild path above.
+    let build_worker = || -> (cs_uarch::Chip, Vec<std::sync::Arc<std::sync::atomic::AtomicU64>>) {
+        let mut worker_chip = machine.build();
+        worker_chip.set_cycle_skip(cfg.cycle_skip);
+        apply_tenants(&mut worker_chip);
+        attach_polluters(&mut worker_chip);
+        let worker_meters = attach_workers(&mut worker_chip);
+        (worker_chip, worker_meters)
+    };
 
     // Restore a prior snapshot if one exists for this exact unit. Any
     // defect — missing, corrupt, version skew, topology mismatch — degrades
@@ -1249,17 +969,18 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
             Ok(())
         };
 
-    let meter_total = |meters: &[std::sync::Arc<std::sync::atomic::AtomicU64>]| -> u64 {
-        meters.iter().map(|m| m.load(std::sync::atomic::Ordering::Relaxed)).sum()
+    let meter_total = sampling::meter_total;
+    let window_target = |k: usize| sampling::window_target(cfg, k);
+    // Window-parallel saves reuse the same snapshot recipe; the path is
+    // resolved once here so the executor never sees checkpoint plumbing.
+    let save_wp = |chip: &cs_uarch::Chip, phase: &Phase| {
+        if let Some(path) = ckpt_path.as_deref() {
+            save_snapshot(chip, phase, path);
+        }
     };
-    // Instruction target of sampling window `k`: the measurement budget is
-    // split evenly, with the remainder folded into the last window so the
-    // targets always sum to exactly `measure_instr`.
-    let window_target = |k: usize| -> u64 {
-        let n = cfg.sample_windows as u64;
-        let base = cfg.measure_instr / n;
-        if k as u64 + 1 == n { cfg.measure_instr - base * (n - 1) } else { base }
-    };
+    // Wall-clock split of the sampled phases, published as telemetry at
+    // the end of the run (never folded into simulated results).
+    let mut timers = sampling::WindowTimers::default();
 
     // The phase loop: §3.1 pre-warm, warmup to steady state, statistics
     // reset, measurement — with a checkpoint opportunity between slices.
@@ -1299,7 +1020,24 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                     Some(out) => {
                         chip.reset_stats();
                         let requests_at_warmup = meter_total(&meters);
-                        if cfg.sample_windows > 0 {
+                        if cfg.sample_windows > 0 && cfg.window_par {
+                            // Window-parallel sampled run: the warming
+                            // strand only ever fast-forwards; each window
+                            // boundary forks a detailed excursion off a
+                            // snapshot while warming streams ahead.
+                            chip.set_fidelity(Fidelity::Functional);
+                            Phase::WindowPar {
+                                next_k: 0,
+                                forward: Some(chip.begin_watched(
+                                    &worker_cores,
+                                    sampling::forward_span(cfg, 0),
+                                    cfg.max_cycles,
+                                    cfg.watchdog_grace,
+                                )),
+                                acc: Box::new(SampleAcc::new(out, requests_at_warmup)),
+                                pending: Vec::new(),
+                            }
+                        } else if cfg.sample_windows > 0 {
                             // Sampled run: fast-forward functionally to the
                             // first deterministically spaced window.
                             chip.set_fidelity(Fidelity::Functional);
@@ -1355,6 +1093,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
             }
             Phase::Sample { k, sub, mut acc } => match sub {
                 SampleSub::Forward { mut window } => {
+                    let slice_start = std::time::Instant::now();
                     let stepped =
                         chip.step_watched(&mut window, step_budget).map_err(|d| {
                             HarnessError::Stalled {
@@ -1363,6 +1102,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                                 window: "sample-forward",
                             }
                         })?;
+                    timers.forward_secs += slice_start.elapsed().as_secs_f64();
                     // Sampled sub-windows are often shorter than a slice
                     // budget, so the completed branches below must pass
                     // through `boundary` too — otherwise a fast schedule
@@ -1415,6 +1155,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                     }
                 }
                 SampleSub::Warm { mut window } => {
+                    let slice_start = std::time::Instant::now();
                     let stepped =
                         chip.step_watched(&mut window, step_budget).map_err(|d| {
                             HarnessError::Stalled {
@@ -1423,6 +1164,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                                 window: "sample-warmup",
                             }
                         })?;
+                    timers.warm_secs += slice_start.elapsed().as_secs_f64();
                     match stepped {
                         Some(out) => {
                             if !out.reached_target {
@@ -1453,6 +1195,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                     }
                 }
                 SampleSub::Measure { mut window, requests_at_start } => {
+                    let slice_start = std::time::Instant::now();
                     let stepped =
                         chip.step_watched(&mut window, step_budget).map_err(|d| {
                             HarnessError::Stalled {
@@ -1461,6 +1204,7 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                                 window: "sample-measure",
                             }
                         })?;
+                    timers.measure_secs += slice_start.elapsed().as_secs_f64();
                     match stepped {
                         Some(out) => {
                             if !out.reached_target {
@@ -1522,6 +1266,34 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                     }
                 }
             },
+            Phase::WindowPar { next_k, forward, acc, pending } => {
+                // The overlapped executor owns the whole remaining
+                // schedule: warming strand, snapshot handoff, bounded
+                // worker pool, in-order folding, checkpoint boundaries.
+                let ctx = sampling::WindowParCtx {
+                    cfg,
+                    worker_cores: &worker_cores,
+                    polluter_cores: &polluter_cores,
+                    build_worker: &build_worker,
+                    save: &save_wp,
+                    ckpt: ckpt.as_ref(),
+                    step_budget,
+                };
+                let acc = sampling::run_window_par(
+                    &mut chip, next_k, forward, acc, pending, ctx, &mut last_ckpt, &mut timers,
+                )?;
+                // Same combined outcome the sequential sampler breaks with:
+                // the union of the measurement windows, truncation anywhere
+                // in the schedule folded in.
+                let combined = WindowOutcome {
+                    cycles: acc.samples.iter().map(|s| s.cycles).sum(),
+                    committed: acc.samples.iter().map(|s| s.instructions).sum(),
+                    reached_target: !acc.measure_truncated && !acc.forward_truncated,
+                };
+                let warmup = acc.warmup;
+                let requests_at_warmup = acc.requests_at_warmup;
+                break (combined, warmup, requests_at_warmup, Some(acc));
+            }
         };
     };
 
@@ -1560,8 +1332,11 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
             n_workers: worker_cores.len(),
             requests,
             status,
-            cycles_total: chip.cycle(),
-            cycles_skipped: chip.skipped_cycles(),
+            // Window-parallel excursions simulate cycles off the warming
+            // strand; the extras keep the totals a true partition of
+            // everything simulated (zero for the sequential sampler).
+            cycles_total: chip.cycle() + acc.extra_cycles,
+            cycles_skipped: chip.skipped_cycles() + acc.extra_skipped,
             samples: acc.samples,
             tenants: Vec::new(),
         },
@@ -1628,6 +1403,16 @@ pub fn run_colocated(benches: &[Benchmark], cfg: &RunConfig) -> Result<RunResult
                 .into());
             }
         }
+    }
+    if cfg.sample_windows > 0 {
+        sampling::record_telemetry(sampling::PhaseTelemetry {
+            unit: result.name.clone(),
+            windows: result.samples.len(),
+            forward_secs: timers.forward_secs,
+            warm_secs: timers.warm_secs,
+            measure_secs: timers.measure_secs,
+            fold_wait_secs: timers.fold_wait_secs,
+        });
     }
     Ok(result)
 }
@@ -1969,6 +1754,134 @@ mod tests {
             "an interrupted-and-resumed sampled run must reproduce the baseline exactly"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn window_par_tiny() -> RunConfig {
+        RunConfig { window_par: true, ..sampled_tiny() }
+    }
+
+    #[test]
+    fn window_par_run_completes_and_audits() {
+        let bench = Benchmark::mcf();
+        let r = run(&bench, &window_par_tiny()).expect("valid config must run");
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.samples.len(), 4);
+        let summed: u64 = r.samples.iter().map(|s| s.instructions).sum();
+        assert_eq!(summed, r.instructions(), "window sums must match merged stats");
+        assert!(summed >= 120_000, "windows must cover the measurement budget");
+        assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        audit(&r).expect("a window-parallel run must satisfy every conservation law");
+        // The worker excursions happen off the warming strand; the extras
+        // must keep the cycle totals a partition.
+        assert!(r.cycles_total >= r.cycles, "totals must cover the measured windows");
+        assert!(r.cycles_skipped <= r.cycles_total);
+    }
+
+    #[test]
+    fn window_par_is_byte_identical_across_jobs_and_inflight() {
+        let bench = Benchmark::mcf();
+        let base = run(&bench, &window_par_tiny()).expect("jobs=1 run");
+        for cfg in [
+            RunConfig { jobs: 2, ..window_par_tiny() },
+            RunConfig { jobs: 4, ..window_par_tiny() },
+            RunConfig { jobs: 4, sample_inflight: 1, ..window_par_tiny() },
+            RunConfig { jobs: 4, sample_inflight: 2, ..window_par_tiny() },
+        ] {
+            let r = run(&bench, &cfg).expect("parallel run");
+            assert_eq!(
+                format!("{base:?}"),
+                format!("{r:?}"),
+                "window-parallel results must not depend on jobs={} inflight={}",
+                cfg.jobs,
+                cfg.sample_inflight
+            );
+        }
+    }
+
+    #[test]
+    fn window_par_interrupt_and_resume_is_byte_identical() {
+        use crate::checkpoint::{with_checkpointing, CheckpointCtl};
+        let bench = Benchmark::mcf();
+        let cfg = RunConfig { jobs: 2, ..window_par_tiny() };
+        let baseline = run(&bench, &cfg).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-windowpar-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Kill at increasing warming-strand cycle counts; with windows
+        // dispatched ahead of the fold cursor, interrupts land while ≥1
+        // window is in flight and those windows are re-run on resume.
+        // The warming strand stays functional throughout, so its cycle
+        // count is far below the sequential sampled run's — the ladder
+        // steps are correspondingly tighter.
+        let mut interrupts = 0;
+        let mut k = 60_000u64;
+        let result = loop {
+            let mut ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+            ctl.cadence_cycles = 50_000;
+            ctl.interrupt_after = Some(k);
+            match with_checkpointing(ctl, || run(&bench, &cfg)) {
+                Err(HarnessError::Interrupted) => {
+                    interrupts += 1;
+                    k += 80_000;
+                }
+                Ok(r) => break r,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+            assert!(interrupts < 64, "run never completed");
+        };
+        assert!(interrupts >= 2, "test must interrupt at least twice, got {interrupts}");
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{result:?}"),
+            "a killed-and-resumed window-parallel run must reproduce the baseline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_par_resume_crosses_jobs_values() {
+        use crate::checkpoint::{with_checkpointing, CheckpointCtl};
+        let bench = Benchmark::mcf();
+        let par = RunConfig { jobs: 4, ..window_par_tiny() };
+        let baseline = run(&bench, &par).expect("uninterrupted run");
+        let dir = std::env::temp_dir()
+            .join(format!("cs-harness-windowpar-xjobs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Interrupt a jobs=4 run mid-schedule, then finish it at jobs=1:
+        // pending windows are re-dispatched inline and the bytes must
+        // still match (jobs is not part of the checkpoint key).
+        let mut ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+        ctl.cadence_cycles = 50_000;
+        ctl.interrupt_after = Some(150_000);
+        match with_checkpointing(ctl, || run(&bench, &par)) {
+            Err(HarnessError::Interrupted) => {}
+            other => panic!("expected an interrupt, got {other:?}"),
+        }
+        let seq = RunConfig { jobs: 1, ..window_par_tiny() };
+        let ctl = CheckpointCtl::new(dir.clone(), "unit-test");
+        let result =
+            with_checkpointing(ctl, || run(&bench, &seq)).expect("resumed run completes");
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{result:?}"),
+            "a jobs=4 checkpoint resumed at jobs=1 must reproduce the jobs=4 bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_rejects_zero_sample_inflight() {
+        let cfg = RunConfig { sample_inflight: 0, ..RunConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow { which: "sample_inflight" }));
+    }
+
+    #[test]
+    fn window_par_without_sampling_is_inert() {
+        // A blanket CS_WINDOW_PAR=1 must not perturb non-sampled runs.
+        let bench = Benchmark::mcf();
+        let plain = run(&bench, &tiny()).expect("plain run");
+        let wp = run(&bench, &RunConfig { window_par: true, ..tiny() }).expect("wp run");
+        assert_eq!(format!("{plain:?}"), format!("{wp:?}"));
     }
 
     #[test]

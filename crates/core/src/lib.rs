@@ -29,6 +29,11 @@
 //! - [`par`] — the deterministic worker pool ([`par::par_map`]) that the
 //!   sweep experiments and the campaign layer fan independent, seeded
 //!   runs over ([`harness::RunConfig::jobs`] sets the width);
+//! - [`sampling`] — the SMARTS sampling machine shared by the harness:
+//!   window phases and their checkpoint codecs, and the overlapped
+//!   window-parallel executor that forks detailed measurement windows off
+//!   chip snapshots while functional warming streams ahead
+//!   ([`harness::RunConfig::window_par`]);
 //! - [`checkpoint`] — crash-safe mid-run snapshots: a versioned,
 //!   checksummed envelope written atomically on a cycle cadence and on
 //!   stop requests, so a killed campaign resumes from its last snapshot
@@ -58,6 +63,7 @@ pub mod harness;
 pub mod machine;
 pub mod par;
 pub mod registry;
+pub mod sampling;
 
 pub use errors::{AuditError, ConfigError, HarnessError};
 pub use harness::{run, run_strict, RunConfig, RunResult, RunStatus};

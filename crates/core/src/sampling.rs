@@ -1,0 +1,987 @@
+//! The SMARTS sampling machine: window state, snapshot handoff, and the
+//! overlapped window-parallel executor.
+//!
+//! The sequential sampler ([`Phase::Sample`]) interleaves functional
+//! fast-forward spans with detailed `Warm→Measure` windows on one strand.
+//! The window-parallel sampler ([`Phase::WindowPar`], enabled by
+//! [`RunConfig::window_par`]) decouples them: at each window boundary the
+//! harness snapshots the chip ([`cs_uarch::Chip::encode_snap`]), hands the
+//! `(window_index, snapshot)` pair to a detailed-simulation worker, and
+//! immediately resumes functional warming toward the next boundary. A
+//! worker restores the snapshot into a freshly built chip (same sources,
+//! same seeds — the proven checkpoint-restore recipe), runs the detailed
+//! excursion, and returns a [`WindowHarvest`] that is folded into the
+//! running [`SampleAcc`] strictly in window-index order.
+//!
+//! # Why folding in window-index order preserves byte-identity
+//!
+//! Each window's harvest is a pure function of its snapshot bytes: the
+//! worker chip is rebuilt deterministically, the restore is byte-exact,
+//! and the excursion is single-threaded and seeded. The warming strand
+//! never observes the workers. So the only ordering that could leak into
+//! the result is the fold order into the accumulator — which is pinned to
+//! `0, 1, 2, …` by joining the oldest in-flight window first. Any
+//! `jobs`/`sample_inflight` value therefore produces the same bytes, and
+//! a run killed with windows in flight resumes by simply re-running every
+//! window not yet folded (the snapshots are part of the checkpoint).
+
+use crate::errors::HarnessError;
+use crate::harness::{RunConfig, WindowSample};
+use cs_memsys::stats::CoreMemStats;
+use cs_trace::snap::{Dec, Enc, SnapError};
+use cs_uarch::{Chip, CoreStats, Fidelity, WatchedWindow, WindowOutcome};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which leg of one sequential sampling window is in flight.
+pub(crate) enum SampleSub {
+    /// Functional fast-forward: the cores retire at fidelity
+    /// [`cs_uarch::Fidelity::Functional`] while the memory hierarchy and
+    /// branch predictor keep warming.
+    Forward {
+        /// Cursor of the in-flight fast-forward span.
+        window: WatchedWindow,
+    },
+    /// Detailed re-warm: full out-of-order modeling, statistics discarded.
+    Warm {
+        /// Cursor of the in-flight re-warm span.
+        window: WatchedWindow,
+    },
+    /// Detailed measurement: statistics were reset at entry and are
+    /// harvested into the accumulator at completion.
+    Measure {
+        /// Cursor of the in-flight measurement window.
+        window: WatchedWindow,
+        /// Request-meter total at window entry.
+        requests_at_start: u64,
+    },
+}
+
+/// Everything one detailed measurement window contributes to the sampled
+/// aggregate, collected on whichever chip ran the window (the main strand
+/// for the sequential sampler, a restored worker chip for the
+/// window-parallel one) and folded into [`SampleAcc`] in window-index
+/// order. The wall-clock fields ride along for telemetry only and never
+/// touch simulated state.
+pub(crate) struct WindowHarvest {
+    /// The per-window sample row.
+    pub(crate) sample: WindowSample,
+    /// Worker-core pipeline statistics over the window.
+    pub(crate) cores: Vec<CoreStats>,
+    /// Worker-core memory statistics over the window.
+    pub(crate) mem: Vec<CoreMemStats>,
+    /// Polluter-core memory statistics over the window.
+    pub(crate) polluter_mem: Vec<CoreMemStats>,
+    /// DRAM totals over the window (stats were reset at window entry).
+    pub(crate) dram: cs_memsys::dram::DramStats,
+    /// The detailed re-warm span hit the cycle cap.
+    pub(crate) forward_truncated: bool,
+    /// The measurement window hit the cycle cap.
+    pub(crate) measure_truncated: bool,
+    /// Cycles simulated off the warming strand (worker excursions only;
+    /// `0` for the sequential sampler, whose windows advance the strand's
+    /// own cycle counter).
+    pub(crate) extra_cycles: u64,
+    /// Of `extra_cycles`, cycles covered by event-driven jumps.
+    pub(crate) extra_skipped: u64,
+    /// Wall-clock seconds the detailed re-warm took (telemetry only).
+    pub(crate) warm_secs: f64,
+    /// Wall-clock seconds the measurement took (telemetry only).
+    pub(crate) measure_secs: f64,
+}
+
+impl WindowHarvest {
+    /// Gathers one completed window's statistics from `chip` (whose stats
+    /// were reset at window entry, so everything read here is a window
+    /// delta). Truncation flags, extra-cycle accounting and timings are
+    /// left zeroed for the caller to fill in.
+    pub(crate) fn collect(
+        chip: &Chip,
+        worker_cores: &[usize],
+        polluter_cores: &[usize],
+        out: &WindowOutcome,
+        window_requests: u64,
+    ) -> Self {
+        let mem_stats = chip.mem().stats();
+        let cores: Vec<CoreStats> =
+            worker_cores.iter().map(|&c| chip.cores()[c].stats().clone()).collect();
+        let sum = |f: &dyn Fn(&CoreStats) -> u64| cores.iter().map(f).sum::<u64>();
+        let sample = WindowSample {
+            cycles: out.cycles,
+            instructions: out.committed,
+            committing: [sum(&|c| c.committing_cycles[0]), sum(&|c| c.committing_cycles[1])],
+            stalled: [sum(&|c| c.stalled_cycles[0]), sum(&|c| c.stalled_cycles[1])],
+            memory_cycles: sum(&|c| c.memory_cycles),
+            requests: window_requests,
+        };
+        WindowHarvest {
+            sample,
+            cores,
+            mem: worker_cores.iter().map(|&c| mem_stats.per_core[c].clone()).collect(),
+            polluter_mem: polluter_cores
+                .iter()
+                .map(|&c| mem_stats.per_core[c].clone())
+                .collect(),
+            dram: chip.mem().dram_stats(),
+            forward_truncated: false,
+            measure_truncated: false,
+            extra_cycles: 0,
+            extra_skipped: 0,
+            warm_secs: 0.0,
+            measure_secs: 0.0,
+        }
+    }
+}
+
+/// Running aggregate of a sampled run, carried (and checkpointed) across
+/// windows: merged worker/polluter statistics over the measurement windows
+/// completed so far, the per-window samples, and the main-warmup outcome
+/// needed for the final status.
+#[derive(Clone)]
+pub(crate) struct SampleAcc {
+    /// Outcome of the completed main warmup window.
+    pub(crate) warmup: WindowOutcome,
+    /// Request-meter total at statistics reset after main warmup.
+    pub(crate) requests_at_warmup: u64,
+    /// Worker-core pipeline statistics merged over completed windows
+    /// (empty until the first window completes).
+    pub(crate) cores: Vec<CoreStats>,
+    /// Worker-core memory statistics merged over completed windows.
+    pub(crate) mem: Vec<CoreMemStats>,
+    /// Polluter-core memory statistics merged over completed windows.
+    pub(crate) polluter_mem: Vec<CoreMemStats>,
+    /// DRAM totals merged over completed windows.
+    pub(crate) dram: cs_memsys::dram::DramStats,
+    /// One entry per completed measurement window.
+    pub(crate) samples: Vec<WindowSample>,
+    /// A fast-forward or re-warm span hit the cycle cap.
+    pub(crate) forward_truncated: bool,
+    /// A measurement window hit the cycle cap.
+    pub(crate) measure_truncated: bool,
+    /// Cycles simulated off the warming strand by window-parallel worker
+    /// excursions (the `cycles_total` partition term; `0` sequentially).
+    pub(crate) extra_cycles: u64,
+    /// Of `extra_cycles`, cycles covered by event-driven jumps.
+    pub(crate) extra_skipped: u64,
+}
+
+impl SampleAcc {
+    pub(crate) fn new(warmup: WindowOutcome, requests_at_warmup: u64) -> Self {
+        Self {
+            warmup,
+            requests_at_warmup,
+            cores: Vec::new(),
+            mem: Vec::new(),
+            polluter_mem: Vec::new(),
+            dram: cs_memsys::dram::DramStats::default(),
+            samples: Vec::new(),
+            forward_truncated: false,
+            measure_truncated: false,
+            extra_cycles: 0,
+            extra_skipped: 0,
+        }
+    }
+
+    /// Folds one window's harvest into the running aggregate. Folding is
+    /// strictly in window-index order — `samples.len()` is therefore also
+    /// the index of the next window to fold, which is what lets a restored
+    /// run re-dispatch exactly the windows not yet folded.
+    pub(crate) fn fold(&mut self, h: WindowHarvest) {
+        self.samples.push(h.sample);
+        if self.cores.is_empty() {
+            self.cores = h.cores;
+            self.mem = h.mem;
+            self.polluter_mem = h.polluter_mem;
+        } else {
+            for (acc, new) in self.cores.iter_mut().zip(&h.cores) {
+                acc.absorb(new);
+            }
+            for (acc, new) in self.mem.iter_mut().zip(&h.mem) {
+                acc.merge_from(new);
+            }
+            for (acc, new) in self.polluter_mem.iter_mut().zip(&h.polluter_mem) {
+                acc.merge_from(new);
+            }
+        }
+        self.dram.reads += h.dram.reads;
+        self.dram.writes += h.dram.writes;
+        self.dram.bytes += h.dram.bytes;
+        self.dram.busy_cycles += h.dram.busy_cycles;
+        self.forward_truncated |= h.forward_truncated;
+        self.measure_truncated |= h.measure_truncated;
+        self.extra_cycles += h.extra_cycles;
+        self.extra_skipped += h.extra_skipped;
+    }
+
+    /// Folds one completed measurement window's statistics straight off
+    /// the live chip (the sequential sampler's path).
+    pub(crate) fn harvest(
+        &mut self,
+        chip: &Chip,
+        worker_cores: &[usize],
+        polluter_cores: &[usize],
+        out: &WindowOutcome,
+        window_requests: u64,
+    ) {
+        self.fold(WindowHarvest::collect(
+            chip,
+            worker_cores,
+            polluter_cores,
+            out,
+            window_requests,
+        ));
+    }
+
+    pub(crate) fn encode_snap(&self, e: &mut Enc) {
+        e.u64(self.warmup.cycles);
+        e.u64(self.warmup.committed);
+        e.bool(self.warmup.reached_target);
+        e.u64(self.requests_at_warmup);
+        e.bool(self.forward_truncated);
+        e.bool(self.measure_truncated);
+        e.len(self.cores.len());
+        for c in &self.cores {
+            c.encode_snap(e);
+        }
+        e.len(self.mem.len());
+        for m in &self.mem {
+            m.encode_snap(e);
+        }
+        e.len(self.polluter_mem.len());
+        for m in &self.polluter_mem {
+            m.encode_snap(e);
+        }
+        e.u64(self.dram.reads);
+        e.u64(self.dram.writes);
+        e.u64(self.dram.bytes);
+        e.u64(self.dram.busy_cycles);
+        e.len(self.samples.len());
+        for s in &self.samples {
+            e.u64(s.cycles);
+            e.u64(s.instructions);
+            e.u64(s.committing[0]);
+            e.u64(s.committing[1]);
+            e.u64(s.stalled[0]);
+            e.u64(s.stalled[1]);
+            e.u64(s.memory_cycles);
+            e.u64(s.requests);
+        }
+        e.u64(self.extra_cycles);
+        e.u64(self.extra_skipped);
+    }
+
+    pub(crate) fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let warmup = WindowOutcome {
+            cycles: d.u64()?,
+            committed: d.u64()?,
+            reached_target: d.bool()?,
+        };
+        let requests_at_warmup = d.u64()?;
+        let forward_truncated = d.bool()?;
+        let measure_truncated = d.bool()?;
+        let mut cores = Vec::new();
+        for _ in 0..d.len()? {
+            cores.push(CoreStats::decode_snap(d)?);
+        }
+        let mut mem = Vec::new();
+        for _ in 0..d.len()? {
+            let mut m = CoreMemStats::default();
+            m.restore_snap(d)?;
+            mem.push(m);
+        }
+        let mut polluter_mem = Vec::new();
+        for _ in 0..d.len()? {
+            let mut m = CoreMemStats::default();
+            m.restore_snap(d)?;
+            polluter_mem.push(m);
+        }
+        let dram = cs_memsys::dram::DramStats {
+            reads: d.u64()?,
+            writes: d.u64()?,
+            bytes: d.u64()?,
+            busy_cycles: d.u64()?,
+        };
+        let mut samples = Vec::new();
+        for _ in 0..d.len()? {
+            samples.push(WindowSample {
+                cycles: d.u64()?,
+                instructions: d.u64()?,
+                committing: [d.u64()?, d.u64()?],
+                stalled: [d.u64()?, d.u64()?],
+                memory_cycles: d.u64()?,
+                requests: d.u64()?,
+            });
+        }
+        let extra_cycles = d.u64()?;
+        let extra_skipped = d.u64()?;
+        Ok(Self {
+            warmup,
+            requests_at_warmup,
+            cores,
+            mem,
+            polluter_mem,
+            dram,
+            samples,
+            forward_truncated,
+            measure_truncated,
+            extra_cycles,
+            extra_skipped,
+        })
+    }
+}
+
+/// Resumable execution position of the harness's §3.1 pipeline.
+///
+/// A checkpoint is this phase marker plus the full chip snapshot; restoring
+/// re-enters the phase loop exactly where the interrupted process left it.
+/// The phase records which threads exist (workers are only attached when
+/// leaving `PreWarm`), so the restore path can rebuild the chip's thread
+/// population before handing the snapshot to `Chip::restore_snap`.
+pub(crate) enum Phase {
+    /// Polluters (if any) are warming the LLC alone; workers do not exist
+    /// yet. `cycles_done` counts pre-warm cycles already simulated.
+    PreWarm {
+        /// Pre-warm cycles already simulated.
+        cycles_done: u64,
+    },
+    /// The warmup window is in flight.
+    Warmup {
+        /// Cursor of the in-flight warmup window.
+        window: WatchedWindow,
+    },
+    /// The measurement window is in flight; the warmup outcome and the
+    /// request-meter baseline are carried so the final result can be
+    /// assembled without re-running warmup.
+    Measure {
+        /// Cursor of the in-flight measurement window.
+        window: WatchedWindow,
+        /// Outcome of the completed warmup window.
+        warmup: WindowOutcome,
+        /// Request-meter total at statistics reset, the throughput baseline.
+        requests_at_warmup: u64,
+    },
+    /// Sequential SMARTS sampling is in flight: window `k` of
+    /// [`RunConfig::sample_windows`] is in sub-phase `sub`, with the
+    /// merged statistics of completed windows in `acc`. The fidelity each
+    /// core is running at is part of the chip snapshot, so a restore
+    /// mid-`Forward` resumes functional and mid-`Warm`/`Measure` resumes
+    /// detailed without any re-switching here.
+    Sample {
+        /// Zero-based index of the in-flight window.
+        k: usize,
+        /// Which leg of the window is running.
+        sub: SampleSub,
+        /// Aggregate over completed windows.
+        acc: Box<SampleAcc>,
+    },
+    /// Window-parallel sampling is in flight: the warming strand is
+    /// fast-forwarding toward boundary `next_k` while the snapshots in
+    /// `pending` (dispatched at earlier boundaries but not yet folded)
+    /// run — or on restore, re-run — as detailed worker excursions. The
+    /// chip snapshot accompanying this phase is the *warming strand*;
+    /// worker state is never checkpointed, because each window is a pure
+    /// function of its pending snapshot.
+    WindowPar {
+        /// Index of the next window boundary the warming strand will reach
+        /// (every window below it has already been dispatched).
+        next_k: usize,
+        /// Cursor of the in-flight fast-forward span; `None` once every
+        /// boundary has been reached and only folding remains.
+        forward: Option<WatchedWindow>,
+        /// Aggregate over folded windows (`acc.samples.len()` is the index
+        /// of the next window to fold).
+        acc: Box<SampleAcc>,
+        /// `(window_index, chip snapshot)` for every dispatched-but-unfolded
+        /// window, oldest first.
+        pending: Vec<(usize, Arc<Vec<u8>>)>,
+    },
+}
+
+impl Phase {
+    pub(crate) fn encode_snap(&self, e: &mut Enc) {
+        match self {
+            Phase::PreWarm { cycles_done } => {
+                e.u8(0);
+                e.u64(*cycles_done);
+            }
+            Phase::Warmup { window } => {
+                e.u8(1);
+                window.encode_snap(e);
+            }
+            Phase::Measure { window, warmup, requests_at_warmup } => {
+                e.u8(2);
+                window.encode_snap(e);
+                e.u64(warmup.cycles);
+                e.u64(warmup.committed);
+                e.bool(warmup.reached_target);
+                e.u64(*requests_at_warmup);
+            }
+            Phase::Sample { k, sub, acc } => {
+                e.u8(3);
+                e.len(*k);
+                match sub {
+                    SampleSub::Forward { window } => {
+                        e.u8(0);
+                        window.encode_snap(e);
+                    }
+                    SampleSub::Warm { window } => {
+                        e.u8(1);
+                        window.encode_snap(e);
+                    }
+                    SampleSub::Measure { window, requests_at_start } => {
+                        e.u8(2);
+                        window.encode_snap(e);
+                        e.u64(*requests_at_start);
+                    }
+                }
+                acc.encode_snap(e);
+            }
+            Phase::WindowPar { next_k, forward, acc, pending } => {
+                e.u8(4);
+                e.len(*next_k);
+                match forward {
+                    Some(w) => {
+                        e.bool(true);
+                        w.encode_snap(e);
+                    }
+                    None => e.bool(false),
+                }
+                acc.encode_snap(e);
+                e.len(pending.len());
+                for (k, snap) in pending {
+                    e.len(*k);
+                    e.bytes(snap);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn decode_snap(d: &mut Dec<'_>) -> Result<Self, SnapError> {
+        match d.u8()? {
+            0 => Ok(Phase::PreWarm { cycles_done: d.u64()? }),
+            1 => Ok(Phase::Warmup { window: WatchedWindow::decode_snap(d)? }),
+            2 => {
+                let window = WatchedWindow::decode_snap(d)?;
+                let warmup = WindowOutcome {
+                    cycles: d.u64()?,
+                    committed: d.u64()?,
+                    reached_target: d.bool()?,
+                };
+                let requests_at_warmup = d.u64()?;
+                Ok(Phase::Measure { window, warmup, requests_at_warmup })
+            }
+            3 => {
+                let k = d.len()?;
+                let sub = match d.u8()? {
+                    0 => SampleSub::Forward { window: WatchedWindow::decode_snap(d)? },
+                    1 => SampleSub::Warm { window: WatchedWindow::decode_snap(d)? },
+                    2 => SampleSub::Measure {
+                        window: WatchedWindow::decode_snap(d)?,
+                        requests_at_start: d.u64()?,
+                    },
+                    t => return Err(SnapError::BadTag(t)),
+                };
+                let acc = Box::new(SampleAcc::decode_snap(d)?);
+                Ok(Phase::Sample { k, sub, acc })
+            }
+            4 => {
+                let next_k = d.len()?;
+                let forward = if d.bool()? {
+                    Some(WatchedWindow::decode_snap(d)?)
+                } else {
+                    None
+                };
+                let acc = Box::new(SampleAcc::decode_snap(d)?);
+                let mut pending = Vec::new();
+                for _ in 0..d.len()? {
+                    let k = d.len()?;
+                    pending.push((k, Arc::new(d.bytes()?)));
+                }
+                Ok(Phase::WindowPar { next_k, forward, acc, pending })
+            }
+            t => Err(SnapError::BadTag(t)),
+        }
+    }
+}
+
+/// Instruction target of sampling window `k`: the measurement budget is
+/// split evenly, with the remainder folded into the last window so the
+/// targets always sum to exactly `measure_instr`.
+pub(crate) fn window_target(cfg: &RunConfig, k: usize) -> u64 {
+    let n = cfg.sample_windows as u64;
+    let base = cfg.measure_instr / n;
+    if k as u64 + 1 == n {
+        cfg.measure_instr - base * (n - 1)
+    } else {
+        base
+    }
+}
+
+/// Instructions the warming strand fast-forwards functionally to reach
+/// boundary `k` in window-parallel mode. Boundary 0 sits one
+/// `sample_period` past the warmup reset, exactly like the sequential
+/// schedule; each later span additionally re-covers (functionally) the
+/// `Warm + Measure` instructions its predecessor window executes in detail
+/// off-strand, so measured windows remain disjoint spans of the dynamic
+/// instruction stream and the inter-window spacing matches the sequential
+/// sampler's — the CLT independence argument is unchanged.
+pub(crate) fn forward_span(cfg: &RunConfig, k: usize) -> u64 {
+    if k == 0 {
+        cfg.sample_period
+    } else {
+        cfg.sample_warmup_instr + window_target(cfg, k - 1) + cfg.sample_period
+    }
+}
+
+/// Sums the request meters.
+pub(crate) fn meter_total(meters: &[Arc<AtomicU64>]) -> u64 {
+    meters.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+}
+
+/// Wall-clock split of one sampled run's phases, accumulated while the run
+/// executes and published through [`record_telemetry`]. Purely diagnostic:
+/// nothing here feeds back into simulated state or emitted results.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WindowTimers {
+    /// Seconds spent fast-forwarding functionally (the warming strand).
+    pub(crate) forward_secs: f64,
+    /// Seconds spent in detailed re-warm spans.
+    pub(crate) warm_secs: f64,
+    /// Seconds spent in detailed measurement windows.
+    pub(crate) measure_secs: f64,
+    /// Seconds the warming strand blocked joining a not-yet-finished
+    /// window worker (always `0` sequentially).
+    pub(crate) fold_wait_secs: f64,
+}
+
+/// Per-unit wall-clock telemetry of a sampled run: where the time went,
+/// split into functional fast-forward, detailed re-warm, detailed
+/// measurement, and fold-wait (the warming strand blocking on an
+/// unfinished window worker). The campaign layer drains these after each
+/// experiment and writes them next to its checkpoints — deliberately
+/// *outside* the results tree, which must stay byte-identical across
+/// `jobs` values and re-runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseTelemetry {
+    /// The run's unit name (the `+`-joined benchmark names).
+    pub unit: String,
+    /// Measurement windows the run completed.
+    pub windows: usize,
+    /// Seconds spent fast-forwarding functionally.
+    pub forward_secs: f64,
+    /// Seconds spent in detailed re-warm spans.
+    pub warm_secs: f64,
+    /// Seconds spent in detailed measurement windows.
+    pub measure_secs: f64,
+    /// Seconds the warming strand blocked waiting to fold a window.
+    pub fold_wait_secs: f64,
+}
+
+static TELEMETRY: Mutex<Vec<PhaseTelemetry>> = Mutex::new(Vec::new());
+
+/// Publishes one run's phase telemetry to the process-wide collector.
+pub fn record_telemetry(rec: PhaseTelemetry) {
+    if let Ok(mut v) = TELEMETRY.lock() {
+        v.push(rec);
+    }
+}
+
+/// Drains every telemetry record published since the last drain. The
+/// campaign layer calls this after each experiment; a process that never
+/// drains simply accumulates a bounded-by-runs vector.
+pub fn drain_telemetry() -> Vec<PhaseTelemetry> {
+    TELEMETRY.lock().map(|mut v| std::mem::take(&mut *v)).unwrap_or_default()
+}
+
+/// Everything a window worker needs to rebuild, restore and run one
+/// detailed excursion, plus the checkpoint hooks of the warming strand.
+/// All references outlive the executor's thread scope.
+#[derive(Clone, Copy)]
+pub(crate) struct WindowParCtx<'env> {
+    /// The run's effective configuration.
+    pub(crate) cfg: &'env RunConfig,
+    /// Global core ids of the measured worker cores.
+    pub(crate) worker_cores: &'env [usize],
+    /// Global core ids of the polluter cores.
+    pub(crate) polluter_cores: &'env [usize],
+    /// Builds a chip with every thread attached (polluters then workers,
+    /// the restore-path attach order) and returns it with its request
+    /// meters, ready for `restore_snap`.
+    pub(crate) build_worker: &'env (dyn Fn() -> (Chip, Vec<Arc<AtomicU64>>) + Sync),
+    /// Saves a checkpoint envelope for the warming strand (no-op when
+    /// checkpointing is not installed).
+    pub(crate) save: &'env dyn Fn(&Chip, &Phase),
+    /// The installed checkpoint control, if any.
+    pub(crate) ckpt: Option<&'env crate::checkpoint::CheckpointCtl>,
+    /// Cycle-budget granularity between checkpoint opportunities.
+    pub(crate) step_budget: u64,
+}
+
+type Pool<'scope> =
+    VecDeque<(usize, std::thread::ScopedJoinHandle<'scope, Result<WindowHarvest, HarnessError>>)>;
+type Pending = VecDeque<(usize, Arc<Vec<u8>>)>;
+
+/// Restores `snap` into a freshly built chip and runs window `k`'s
+/// detailed `Warm→Measure` excursion to completion, returning its harvest.
+///
+/// This is the worker unit of the window-parallel sampler — and also the
+/// inline path at `jobs == 1`, which is what makes the two byte-identical
+/// by construction.
+pub(crate) fn run_window_unit(
+    cfg: &RunConfig,
+    k: usize,
+    snap: &[u8],
+    build_worker: &(dyn Fn() -> (Chip, Vec<Arc<AtomicU64>>) + Sync),
+    worker_cores: &[usize],
+    polluter_cores: &[usize],
+) -> Result<WindowHarvest, HarnessError> {
+    let (mut chip, meters) = build_worker();
+    let mut d = Dec::new(snap);
+    if let Err(e) = chip.restore_snap(&mut d).and_then(|()| d.finish()) {
+        // Structurally impossible in a healthy process — the harness
+        // encoded these bytes moments (or one resumed run) earlier — so
+        // surface it loudly instead of degrading.
+        return Err(HarnessError::WindowHandoff { window: k, detail: format!("{e:?}") });
+    }
+    let snap_cycle = chip.cycle();
+    let snap_skipped = chip.skipped_cycles();
+    // The snapshot was taken mid-fast-forward, so the restored cores are
+    // functional; drop into detail exactly as the sequential sampler does
+    // at a forward-span completion.
+    chip.set_fidelity(Fidelity::Detailed);
+    let mut forward_truncated = false;
+    let mut warm_secs = 0.0;
+    if cfg.sample_warmup_instr > 0 {
+        let t0 = Instant::now();
+        let out = chip
+            .run_until_committed_watched(
+                worker_cores,
+                cfg.sample_warmup_instr,
+                cfg.max_cycles,
+                cfg.watchdog_grace,
+            )
+            .map_err(|diag| HarnessError::Stalled {
+                core: diag.core,
+                cycles_without_commit: diag.cycles_without_commit,
+                window: "sample-warmup",
+            })?;
+        warm_secs = t0.elapsed().as_secs_f64();
+        if !out.reached_target {
+            forward_truncated = true;
+        }
+    }
+    chip.reset_stats();
+    let requests_at_start = meter_total(&meters);
+    let t0 = Instant::now();
+    let out = chip
+        .run_until_committed_watched(
+            worker_cores,
+            window_target(cfg, k),
+            cfg.max_cycles,
+            cfg.watchdog_grace,
+        )
+        .map_err(|diag| HarnessError::Stalled {
+            core: diag.core,
+            cycles_without_commit: diag.cycles_without_commit,
+            window: "sample-measure",
+        })?;
+    let measure_secs = t0.elapsed().as_secs_f64();
+    let window_requests = meter_total(&meters) - requests_at_start;
+    let mut h = WindowHarvest::collect(&chip, worker_cores, polluter_cores, &out, window_requests);
+    h.forward_truncated = forward_truncated;
+    h.measure_truncated = !out.reached_target;
+    h.extra_cycles = chip.cycle() - snap_cycle;
+    h.extra_skipped = chip.skipped_cycles() - snap_skipped;
+    h.warm_secs = warm_secs;
+    h.measure_secs = measure_secs;
+    Ok(h)
+}
+
+/// Joins the oldest in-flight window and folds its harvest — the *only*
+/// fold site in threaded mode, which is what pins the fold order to
+/// window-index order regardless of which worker finishes first.
+fn fold_oldest(
+    pool: &mut Pool<'_>,
+    pending: &mut Pending,
+    acc: &mut SampleAcc,
+    timers: &mut WindowTimers,
+) -> Result<(), HarnessError> {
+    let Some((k, handle)) = pool.pop_front() else {
+        return Ok(());
+    };
+    let t0 = Instant::now();
+    let h = match handle.join() {
+        Ok(r) => r?,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    timers.fold_wait_secs += t0.elapsed().as_secs_f64();
+    timers.warm_secs += h.warm_secs;
+    timers.measure_secs += h.measure_secs;
+    debug_assert_eq!(pending.front().map(|p| p.0), Some(k));
+    pending.pop_front();
+    acc.fold(h);
+    Ok(())
+}
+
+/// Dispatches window `k` (already recorded in `pending`): inline at an
+/// effective budget of one, otherwise onto a scoped worker thread, folding
+/// the oldest in-flight window first if the in-flight budget is full.
+#[allow(clippy::too_many_arguments)]
+fn dispatch<'scope, 'env: 'scope>(
+    s: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: WindowParCtx<'env>,
+    budget: usize,
+    k: usize,
+    snap: Arc<Vec<u8>>,
+    pool: &mut Pool<'scope>,
+    pending: &mut Pending,
+    acc: &mut SampleAcc,
+    timers: &mut WindowTimers,
+) -> Result<(), HarnessError> {
+    if budget <= 1 {
+        let h = run_window_unit(
+            ctx.cfg,
+            k,
+            &snap,
+            ctx.build_worker,
+            ctx.worker_cores,
+            ctx.polluter_cores,
+        )?;
+        timers.warm_secs += h.warm_secs;
+        timers.measure_secs += h.measure_secs;
+        debug_assert_eq!(pending.front().map(|p| p.0), Some(k));
+        pending.pop_front();
+        acc.fold(h);
+        return Ok(());
+    }
+    while pool.len() >= budget {
+        fold_oldest(pool, pending, acc, timers)?;
+    }
+    let handle = s.spawn(move || {
+        run_window_unit(
+            ctx.cfg,
+            k,
+            &snap,
+            ctx.build_worker,
+            ctx.worker_cores,
+            ctx.polluter_cores,
+        )
+    });
+    pool.push_back((k, handle));
+    Ok(())
+}
+
+/// Stop/cadence checkpoint opportunity for the warming strand. The phase
+/// (including every pending snapshot) is only materialized when a save is
+/// actually due.
+#[allow(clippy::too_many_arguments)]
+fn check_boundary(
+    chip: &Chip,
+    ctx: WindowParCtx<'_>,
+    next_k: usize,
+    forward: &Option<WatchedWindow>,
+    acc: &SampleAcc,
+    pending: &Pending,
+    last_ckpt: &mut u64,
+) -> Result<(), HarnessError> {
+    let Some(ctl) = ctx.ckpt else {
+        return Ok(());
+    };
+    let now = chip.cycle();
+    let stop = ctl.stop.load(Ordering::SeqCst)
+        || ctl.interrupt_after.is_some_and(|c| now >= c);
+    let cadence_due =
+        ctl.cadence_cycles > 0 && now >= last_ckpt.saturating_add(ctl.cadence_cycles);
+    if !stop && !cadence_due {
+        return Ok(());
+    }
+    let phase = Phase::WindowPar {
+        next_k,
+        forward: forward.clone(),
+        acc: Box::new(acc.clone()),
+        pending: pending.iter().cloned().collect(),
+    };
+    (ctx.save)(chip, &phase);
+    if stop {
+        return Err(HarnessError::Interrupted);
+    }
+    *last_ckpt = now;
+    Ok(())
+}
+
+/// Drives window-parallel sampling to completion: the warming strand
+/// fast-forwards functionally from boundary to boundary, snapshotting and
+/// dispatching each window to the bounded worker pool, then drains the
+/// pool. Returns the full accumulator (every window folded, in order).
+///
+/// On entry the state may come fresh from warmup (`next_k == 0`, empty
+/// `pending`) or from a restored [`Phase::WindowPar`] checkpoint, in which
+/// case every pending window is simply re-dispatched — each is a pure
+/// function of its snapshot, so re-running windows whose results died with
+/// the interrupted process reproduces the same bytes.
+#[allow(clippy::too_many_arguments)] // the four state args mirror Phase::WindowPar's fields
+pub(crate) fn run_window_par(
+    chip: &mut Chip,
+    next_k: usize,
+    forward: Option<WatchedWindow>,
+    acc: Box<SampleAcc>,
+    pending: Vec<(usize, Arc<Vec<u8>>)>,
+    ctx: WindowParCtx<'_>,
+    last_ckpt: &mut u64,
+    timers: &mut WindowTimers,
+) -> Result<Box<SampleAcc>, HarnessError> {
+    let n = ctx.cfg.sample_windows;
+    let budget = ctx.cfg.sample_inflight.min(ctx.cfg.jobs).max(1);
+    let mut next_k = next_k;
+    let mut forward = forward;
+    let mut acc = acc;
+    let mut pending: Pending = pending.into();
+    std::thread::scope(|s| -> Result<(), HarnessError> {
+        let mut pool: Pool<'_> = VecDeque::new();
+        // Re-dispatch windows restored from a checkpoint, oldest first
+        // (fresh entries start with an empty pending list). A restore may
+        // carry more pending windows than this process's budget — e.g. a
+        // `jobs 4` run resumed at `jobs 1` — and `dispatch` simply folds
+        // as it admits.
+        let restored: Vec<(usize, Arc<Vec<u8>>)> = pending.iter().cloned().collect();
+        for (k, snap) in restored {
+            dispatch(s, ctx, budget, k, snap, &mut pool, &mut pending, &mut acc, timers)?;
+        }
+        loop {
+            if let Some(mut w) = forward.take() {
+                let t0 = Instant::now();
+                let stepped = chip.step_watched(&mut w, ctx.step_budget).map_err(|d| {
+                    HarnessError::Stalled {
+                        core: d.core,
+                        cycles_without_commit: d.cycles_without_commit,
+                        window: "sample-forward",
+                    }
+                })?;
+                timers.forward_secs += t0.elapsed().as_secs_f64();
+                match stepped {
+                    Some(out) => {
+                        if !out.reached_target {
+                            acc.forward_truncated = true;
+                        }
+                        // Boundary `next_k` reached: snapshot the chip,
+                        // hand the window off, and immediately resume
+                        // warming toward the next boundary.
+                        let mut e = Enc::new();
+                        chip.encode_snap(&mut e);
+                        let snap = Arc::new(e.buf);
+                        pending.push_back((next_k, Arc::clone(&snap)));
+                        dispatch(
+                            s, ctx, budget, next_k, snap, &mut pool, &mut pending, &mut acc,
+                            timers,
+                        )?;
+                        next_k += 1;
+                        forward = if next_k < n {
+                            Some(chip.begin_watched(
+                                ctx.worker_cores,
+                                forward_span(ctx.cfg, next_k),
+                                ctx.cfg.max_cycles,
+                                ctx.cfg.watchdog_grace,
+                            ))
+                        } else {
+                            None
+                        };
+                    }
+                    None => forward = Some(w),
+                }
+                check_boundary(chip, ctx, next_k, &forward, &acc, &pending, last_ckpt)?;
+            } else {
+                // Every boundary dispatched: drain the pool in order,
+                // honouring stop requests between folds.
+                if pool.is_empty() && pending.is_empty() {
+                    return Ok(());
+                }
+                fold_oldest(&mut pool, &mut pending, &mut acc, timers)?;
+                check_boundary(chip, ctx, next_k, &forward, &acc, &pending, last_ckpt)?;
+            }
+        }
+    })?;
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_targets_sum_to_the_measurement_budget() {
+        let cfg = RunConfig {
+            sample_windows: 7,
+            sample_period: 1_000,
+            measure_instr: 100_003,
+            ..RunConfig::default()
+        };
+        let total: u64 = (0..7).map(|k| window_target(&cfg, k)).sum();
+        assert_eq!(total, 100_003);
+        assert!(window_target(&cfg, 6) >= window_target(&cfg, 0));
+    }
+
+    #[test]
+    fn forward_spans_recover_the_sequential_spacing() {
+        let cfg = RunConfig {
+            sample_windows: 4,
+            sample_period: 10_000,
+            sample_warmup_instr: 2_000,
+            measure_instr: 40_000,
+            ..RunConfig::default()
+        };
+        assert_eq!(forward_span(&cfg, 0), 10_000);
+        // Later spans functionally re-cover the predecessor window's
+        // detailed Warm + Measure instructions plus one period.
+        assert_eq!(forward_span(&cfg, 1), 2_000 + 10_000 + 10_000);
+    }
+
+    #[test]
+    fn telemetry_collector_drains_what_was_recorded() {
+        // Drain whatever other tests left behind first.
+        let _ = drain_telemetry();
+        record_telemetry(PhaseTelemetry {
+            unit: "sampling-test-unit".into(),
+            windows: 3,
+            forward_secs: 0.5,
+            warm_secs: 0.1,
+            measure_secs: 0.2,
+            fold_wait_secs: 0.0,
+        });
+        let drained = drain_telemetry();
+        assert!(drained.iter().any(|t| t.unit == "sampling-test-unit" && t.windows == 3));
+        assert!(drain_telemetry().iter().all(|t| t.unit != "sampling-test-unit"));
+    }
+
+    #[test]
+    fn window_par_phase_round_trips_through_the_codec() {
+        let acc = SampleAcc::new(
+            WindowOutcome { cycles: 10, committed: 20, reached_target: true },
+            7,
+        );
+        let pending = vec![
+            (2usize, Arc::new(vec![1u8, 2, 3])),
+            (3usize, Arc::new(vec![9u8; 40])),
+        ];
+        let phase = Phase::WindowPar { next_k: 4, forward: None, acc: Box::new(acc), pending };
+        let mut e = Enc::new();
+        phase.encode_snap(&mut e);
+        let mut d = Dec::new(&e.buf);
+        let back = Phase::decode_snap(&mut d).expect("decode");
+        d.finish().expect("no trailing bytes");
+        match back {
+            Phase::WindowPar { next_k, forward, acc, pending } => {
+                assert_eq!(next_k, 4);
+                assert!(forward.is_none());
+                assert_eq!(acc.requests_at_warmup, 7);
+                assert_eq!(acc.extra_cycles, 0);
+                assert_eq!(pending.len(), 2);
+                assert_eq!(pending[0], (2, Arc::new(vec![1u8, 2, 3])));
+                assert_eq!(*pending[1].1, vec![9u8; 40]);
+            }
+            _ => panic!("wrong phase tag"),
+        }
+    }
+}

@@ -528,19 +528,24 @@ impl MemorySystem {
             }
         }
         self.warming = true;
-        let out = self.ifetch(core, privilege, addr, now);
+        let _ = self.ifetch(core, privilege, addr, now);
         self.warming = false;
-        if out.level == ServiceLevel::L1 {
-            if let (Some((way, _)), Some(tway)) =
-                (self.l1i[core].probe(line), self.tlbs[core].itlb_way_of(addr >> 12))
-            {
-                self.warm_instr[core][slot] = WarmMemo {
-                    line,
-                    l1_way: way as u32,
-                    tlb_way: tway as u32,
-                    tenant: self.tenants[core],
-                };
-            }
+        // Record a memo wherever the line now sits in L1 — after pure L1
+        // hits AND after walks that just filled it (the repeat-after-L2-hit
+        // pattern: a line bouncing between L1 and L2 becomes replayable on
+        // its *second* touch instead of its third). Safe at any service
+        // level because every premise is revalidated against live state at
+        // replay time; an entry the fill path made invalid (say, a
+        // prefetched flag) just falls back to the walk.
+        if let (Some((way, _)), Some(tway)) =
+            (self.l1i[core].probe(line), self.tlbs[core].itlb_way_of(addr >> 12))
+        {
+            self.warm_instr[core][slot] = WarmMemo {
+                line,
+                l1_way: way as u32,
+                tlb_way: tway as u32,
+                tenant: self.tenants[core],
+            };
         }
     }
 
@@ -589,19 +594,20 @@ impl MemorySystem {
             }
         }
         self.warming = true;
-        let out = self.data_access(core, privilege, addr, is_store, pc, now);
+        let _ = self.data_access(core, privilege, addr, is_store, pc, now);
         self.warming = false;
-        if out.level == ServiceLevel::L1 {
-            if let (Some((way, _)), Some(dway)) =
-                (self.l1d[core].probe(line), self.tlbs[core].dtlb_way_of(addr >> 12))
-            {
-                self.warm_data[core][slot] = WarmMemo {
-                    line,
-                    l1_way: way as u32,
-                    tlb_way: dway as u32,
-                    tenant: self.tenants[core],
-                };
-            }
+        // Widened like `ifetch_warm`: memoize after fills too, not only
+        // pure L1 hits — replay-time revalidation (including the
+        // writable-and-dirty premise for stores) keeps it sound.
+        if let (Some((way, _)), Some(dway)) =
+            (self.l1d[core].probe(line), self.tlbs[core].dtlb_way_of(addr >> 12))
+        {
+            self.warm_data[core][slot] = WarmMemo {
+                line,
+                l1_way: way as u32,
+                tlb_way: dway as u32,
+                tenant: self.tenants[core],
+            };
         }
     }
 
@@ -1659,6 +1665,34 @@ mod tests {
         assert_eq!(warmed.dram_stats().reads, 0);
         assert_eq!(warmed.dram_stats().writes, 0);
         assert!(detailed.dram_stats().reads > 0);
+    }
+
+    #[test]
+    fn widened_memo_stays_sound_under_l1_thrash() {
+        // The widened memo records entries after L2-serviced fills, so a
+        // line bouncing between L1 and L2 replays on its second touch.
+        // Drive an L1-thrashing ping-pong (working set larger than L1,
+        // comfortably inside L2, with immediate re-touches that hit the
+        // fresh memo) and assert the soundness digest still matches the
+        // demand walk exactly, stores included.
+        let mk = || MemorySystem::new(MemSysConfig::default(), 1);
+        let mut detailed = mk();
+        let mut warmed = mk();
+        let l1_lines = MemSysConfig::default().l1d.size_bytes / 64;
+        for i in 0..6_000u64 {
+            // Stride over 4x the L1 capacity so most touches are L2 hits,
+            // then touch the same line twice more (memo replays).
+            let base = 0x2000_0000 + (i % (l1_lines * 4)) * 64;
+            let pc = 0x40_0000 + (i % 2048) * 4;
+            for _ in 0..3 {
+                detailed.data_access(0, Privilege::User, base, i % 5 == 0, pc, i);
+                detailed.ifetch(0, Privilege::User, pc, i);
+                warmed.data_access_warm(0, Privilege::User, base, i % 5 == 0, pc, i);
+                warmed.ifetch_warm(0, Privilege::User, pc, i);
+            }
+        }
+        assert_eq!(detailed.warm_state_digest(), warmed.warm_state_digest());
+        assert_eq!(detailed.stats().per_core, warmed.stats().per_core);
     }
 
     #[test]

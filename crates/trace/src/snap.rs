@@ -153,6 +153,14 @@ impl Enc {
         self.len(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
+
+    /// Writes a length-prefixed opaque byte blob — the in-memory handoff
+    /// primitive for nesting one encoded snapshot (e.g. a chip state
+    /// captured at a sampling-window boundary) inside another stream.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.len(b.len());
+        self.buf.extend_from_slice(b);
+    }
 }
 
 /// Sequential snapshot decoder over a byte slice.
@@ -267,6 +275,12 @@ impl<'a> Dec<'a> {
         let n = self.len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::BadTag(0xFF))
+    }
+
+    /// Reads a length-prefixed opaque byte blob written by [`Enc::bytes`].
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Asserts that every byte has been consumed — a decoded struct that

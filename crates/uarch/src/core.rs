@@ -494,6 +494,13 @@ impl OooCore {
     /// both fidelity levels.
     fn step_functional(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
         let n = self.threads.len();
+        // The dominant warming shape — one hardware thread, trace-carried
+        // branch outcomes — takes a batched fast path that consumes the
+        // block buffer in runs instead of op-at-a-time rounds.
+        if n == 1 && self.gshare.is_none() {
+            self.step_functional_single(core_id, mem, now);
+            return;
+        }
         let mut first_priv: Option<Privilege> = None;
         if n > 0 {
             let mut budget = self.cfg.width;
@@ -578,6 +585,93 @@ impl OooCore {
         if let Some(p) = first_priv {
             self.stats.committing_cycles[usize::from(p.is_kernel())] += 1;
         } else if n > 0 {
+            self.stats.stalled_cycles[usize::from(self.stall_privilege().is_kernel())] += 1;
+        }
+        self.per_cycle_stats(now);
+    }
+
+    /// The single-thread, trace-branch specialization of
+    /// [`OooCore::step_functional`]: byte-identical retirement order and
+    /// statistics, restructured for throughput. The round-robin scaffolding
+    /// collapses (one thread always wins every round), the per-op stats
+    /// stores are batched into local counters flushed once per cycle, and
+    /// the hot per-thread fields (fetch line, privilege) live in locals so
+    /// the inner loop carries no redundant loads or round bookkeeping.
+    fn step_functional_single(&mut self, core_id: usize, mem: &mut MemorySystem, now: u64) {
+        let thread = &mut self.threads[0];
+        let mut budget = self.cfg.width;
+        let mut committed = [0u64; 2];
+        let mut branches = 0u64;
+        let mut mispredicts = 0u64;
+        let mut first_priv: Option<Privilege> = None;
+        // Local mirrors of the hot per-thread fields keep the inner loop
+        // free of repeated field loads/stores; written back once below.
+        let mut cur_line = thread.cur_fetch_line;
+        let mut last_priv = thread.last_fetch_priv;
+        // A fetch-stalled op parked by a previous detailed phase retires
+        // first, exactly as the generic path's `pending.take()` would.
+        let mut pending = thread.pending.take();
+        'cycle: while budget > 0 {
+            let op = if let Some(op) = pending.take() {
+                op
+            } else {
+                if thread.block_pos == thread.block.len() {
+                    if thread.exhausted {
+                        break 'cycle;
+                    }
+                    thread.block.clear();
+                    thread.block_pos = 0;
+                    let pulled = thread.source.next_block(&mut thread.block, FETCH_BLOCK);
+                    thread.ops_pulled += pulled as u64;
+                    if pulled == 0 {
+                        thread.exhausted = true;
+                        break 'cycle;
+                    }
+                }
+                let op = thread.block[thread.block_pos];
+                thread.block_pos += 1;
+                op
+            };
+            budget -= 1;
+            let line = op.pc >> 6;
+            if line != cur_line {
+                mem.ifetch_warm(core_id, op.privilege, op.pc, now);
+                cur_line = line;
+            }
+            last_priv = op.privilege;
+            match op.kind {
+                OpKind::Branch { mispredict } => {
+                    branches += 1;
+                    mispredicts += u64::from(mispredict);
+                }
+                OpKind::Load | OpKind::Store => {
+                    let mref = op.mem.expect("memory ops carry refs");
+                    mem.data_access_warm(
+                        core_id,
+                        op.privilege,
+                        mref.addr,
+                        matches!(op.kind, OpKind::Store),
+                        op.pc,
+                        now,
+                    );
+                }
+                _ => {}
+            }
+            committed[usize::from(op.is_kernel())] += 1;
+            if first_priv.is_none() {
+                first_priv = Some(op.privilege);
+            }
+        }
+        thread.cur_fetch_line = cur_line;
+        thread.last_fetch_priv = last_priv;
+        self.stats.branches += branches;
+        self.stats.mispredicts += mispredicts;
+        self.stats.committed[0] += committed[0];
+        self.stats.committed[1] += committed[1];
+        self.stats.per_thread_committed[0] += committed[0] + committed[1];
+        if let Some(p) = first_priv {
+            self.stats.committing_cycles[usize::from(p.is_kernel())] += 1;
+        } else {
             self.stats.stalled_cycles[usize::from(self.stall_privilege().is_kernel())] += 1;
         }
         self.per_cycle_stats(now);
@@ -1690,7 +1784,7 @@ mod tests {
                     let op = match x % 5 {
                         0 => MicroOp::load(pc, (x >> 16) % (1 << 22), 8),
                         1 => MicroOp::store(pc, (x >> 24) % (1 << 22), 8),
-                        2 => MicroOp::branch(pc, x % 31 == 0),
+                        2 => MicroOp::branch(pc, x.is_multiple_of(31)),
                         _ => MicroOp::alu(pc),
                     };
                     op.with_deps(1, 0)

@@ -101,6 +101,87 @@ fn sampled_rows_are_byte_identical_across_jobs_and_skip() {
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn window_par_rows_are_byte_identical_across_jobs() {
+    let base = RunConfig { window_par: true, ..sampled_cfg() };
+    let reference = sampled::collect(&base).expect("window-par jobs=1 collect");
+    assert_eq!(reference.len(), Benchmark::all().len());
+    for r in &reference {
+        assert_eq!(r.windows, 4, "{}: all four windows must be measured", r.workload);
+    }
+    for jobs in [2usize, 4] {
+        let rows = sampled::collect(&RunConfig { jobs, ..base.clone() })
+            .unwrap_or_else(|e| panic!("window-par jobs={jobs} collect: {e:?}"));
+        assert_eq!(
+            rows_as_json(&reference),
+            rows_as_json(&rows),
+            "window-parallel sampled rows must not depend on jobs (jobs={jobs})"
+        );
+    }
+}
+
+/// `(next_k, forward_active)` of an on-disk window-parallel snapshot
+/// (phase tag 4). The phase codec is fixed-offset up front: tag at byte
+/// 36, `next_k` as a little-endian u64 at 37..45, the forward-span flag
+/// at 45.
+fn window_par_probe(dir: &Path, bench: &Benchmark, cfg: &RunConfig) -> Option<(u64, bool)> {
+    let key = unit_key("itest", bench.name(), cfg);
+    let bytes = std::fs::read(dir.join(unit_file(key))).ok()?;
+    if bytes.get(36).copied() != Some(4) {
+        return None;
+    }
+    let next_k = u64::from_le_bytes(bytes.get(37..45)?.try_into().ok()?);
+    Some((next_k, bytes.get(45).copied() == Some(1)))
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn window_par_kill_and_resume_with_windows_in_flight() {
+    let bench = Benchmark::data_serving();
+    let cfg = RunConfig { window_par: true, jobs: 2, ..sampled_cfg() };
+    let baseline = run(&bench, &cfg).expect("uninterrupted window-par run");
+    assert_eq!(baseline.samples.len(), 4, "sampling must engage");
+
+    // Interrupt the warming strand on a tight ladder and probe each
+    // snapshot. At an in-flight budget of two, folds only happen when a
+    // dispatch finds the budget full, so a snapshot whose strand is
+    // mid-fast-forward past boundary 0 (`next_k >= 1` with the forward
+    // span live) necessarily carries >= 1 dispatched-but-unfolded window.
+    let dir = ckpt_dir("windowpar");
+    let mut probes = Vec::new();
+    let mut interrupts = 0u32;
+    let mut k = 50_000u64;
+    let resumed = loop {
+        let mut ctl = CheckpointCtl::new(dir.clone(), "itest");
+        ctl.cadence_cycles = 30_000;
+        ctl.interrupt_after = Some(k);
+        match with_checkpointing(ctl, || run(&bench, &cfg)) {
+            Err(HarnessError::Interrupted) => {
+                interrupts += 1;
+                if let Some(p) = window_par_probe(&dir, &bench, &cfg) {
+                    probes.push(p);
+                }
+                k += 40_000;
+            }
+            Ok(r) => break r,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+        assert!(interrupts < 256, "window-par run never completed");
+    };
+    assert!(interrupts >= 2, "want >=2 interrupts, got {interrupts}");
+    assert!(
+        probes.iter().any(|&(next_k, fwd)| next_k >= 1 && fwd),
+        "no interrupt landed with a window in flight (probes: {probes:?})"
+    );
+    assert_eq!(
+        format!("{baseline:?}"),
+        format!("{resumed:?}"),
+        "a kill + resume with windows in flight must reproduce the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
 fn sampled_kill_and_resume_matches_uninterrupted() {
     let cfg = sampled_cfg();
     for bench in [Benchmark::data_serving(), Benchmark::web_search()] {
