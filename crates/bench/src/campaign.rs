@@ -339,6 +339,10 @@ pub fn fingerprint(cfg: &RunConfig) -> String {
     if let Some(w) = &cfg.matrix_workloads {
         fp = format!("{fp}-x{}", w.join("+"));
     }
+    // Same contract for a restricted fleet_resilience scenario sweep.
+    if let Some(sc) = &cfg.fleet_scenarios {
+        fp = format!("{fp}-fr{}", sc.join("+"));
+    }
     fp
 }
 
@@ -449,32 +453,74 @@ pub fn run_with(
 /// timings are host-dependent and must never show up in a `diff -r` between
 /// two result trees. Best-effort: an unwritable directory only loses the
 /// timings, never the campaign.
+///
+/// A resumed pass only re-runs stale units, so this pass's rows merge into
+/// whatever the previous pass left: same-unit rows are replaced, other
+/// units survive. A corrupt or torn existing file (a previous process was
+/// killed mid-write before this writer became atomic, or the disk filled)
+/// degrades to an empty history instead of aborting — and the write itself
+/// goes through a temp file + rename so this writer can never produce such
+/// a torn file again.
 fn write_telemetry(ckpt_root: &Path) {
-    let units = cloudsuite::sampling::drain_telemetry();
+    write_telemetry_units(ckpt_root, &cloudsuite::sampling::drain_telemetry());
+}
+
+/// [`write_telemetry`] with the drained units passed in, so tests can
+/// exercise the merge and corruption tolerance without the process-global
+/// telemetry accumulator.
+fn write_telemetry_units(ckpt_root: &Path, units: &[cloudsuite::sampling::PhaseTelemetry]) {
+    use std::io::Write;
     if units.is_empty() {
         return;
     }
-    let rows: Vec<Value> = units
-        .iter()
-        .map(|t| {
-            let mut m = Map::new();
-            m.insert("unit".into(), Value::String(t.unit.clone()));
-            m.insert("windows".into(), Value::from(t.windows as u64));
-            m.insert("forward_secs".into(), Value::from(t.forward_secs));
-            m.insert("warm_secs".into(), Value::from(t.warm_secs));
-            m.insert("measure_secs".into(), Value::from(t.measure_secs));
-            m.insert("fold_wait_secs".into(), Value::from(t.fold_wait_secs));
-            Value::Object(m)
-        })
-        .collect();
+    let path = ckpt_root.join("telemetry.json");
+    let mut rows = load_telemetry_rows(&path);
+    for t in units {
+        let mut m = Map::new();
+        m.insert("unit".into(), Value::String(t.unit.clone()));
+        m.insert("windows".into(), Value::from(t.windows as u64));
+        m.insert("forward_secs".into(), Value::from(t.forward_secs));
+        m.insert("warm_secs".into(), Value::from(t.warm_secs));
+        m.insert("measure_secs".into(), Value::from(t.measure_secs));
+        m.insert("fold_wait_secs".into(), Value::from(t.fold_wait_secs));
+        let row = Value::Object(m);
+        match rows.iter_mut().find(|r| r.get("unit").and_then(Value::as_str) == Some(&t.unit)) {
+            Some(existing) => *existing = row,
+            None => rows.push(row),
+        }
+    }
     let mut root = Map::new();
     root.insert("units".into(), Value::Array(rows));
     let Ok(text) = serde_json::to_string_pretty(&Value::Object(root)) else { return };
     if std::fs::create_dir_all(ckpt_root).is_err() {
         return;
     }
-    if let Err(e) = std::fs::write(ckpt_root.join("telemetry.json"), text + "\n") {
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    };
+    if let Err(e) = write() {
         eprintln!("[campaign] warning: could not write telemetry: {e}");
+    }
+}
+
+/// The unit rows of an existing telemetry file; anything unreadable —
+/// missing, truncated mid-JSON, or the wrong shape — is an empty history.
+fn load_telemetry_rows(path: &Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    match serde_json::from_str::<Value>(&text) {
+        Ok(v) => match v.get("units").and_then(Value::as_array) {
+            Some(rows) => rows.iter().filter(|r| r.as_object().is_some()).cloned().collect(),
+            None => Vec::new(),
+        },
+        Err(_) => Vec::new(),
     }
 }
 
@@ -934,7 +980,7 @@ mod tests {
             sample_windows: 4,
             sample_period: 500,
             sample_warmup_instr: 50,
-            ..cfg
+            ..cfg.clone()
         };
         assert_eq!(fingerprint(&sampled), "w10-m20-s7-k4-p500-sw50");
         // Window-parallelism appends its marker only when sampling is on;
@@ -948,5 +994,84 @@ mod tests {
             "w10-m20-s7",
             "window_par without sampling must not perturb the fingerprint"
         );
+        // Restricted sweeps produce different result files under the same
+        // names; their markers must invalidate unrestricted entries (and
+        // vice versa). Unset, they stay out so old manifests still match.
+        let matrix = RunConfig {
+            matrix_workloads: Some(vec!["web_search".into(), "polluter".into()]),
+            ..cfg.clone()
+        };
+        assert_eq!(fingerprint(&matrix), "w10-m20-s7-xweb_search+polluter");
+        let fleet = RunConfig {
+            fleet_scenarios: Some(vec!["metastable".into(), "gray_fleet".into()]),
+            ..cfg.clone()
+        };
+        assert_eq!(fingerprint(&fleet), "w10-m20-s7-frmetastable+gray_fleet");
+    }
+
+    fn unit(name: &str, windows: usize) -> cloudsuite::sampling::PhaseTelemetry {
+        cloudsuite::sampling::PhaseTelemetry {
+            unit: name.to_owned(),
+            windows,
+            forward_secs: 1.0,
+            warm_secs: 2.0,
+            measure_secs: 3.0,
+            fold_wait_secs: 0.0,
+        }
+    }
+
+    fn telemetry_units(dir: &Path) -> Vec<Value> {
+        let text =
+            std::fs::read_to_string(dir.join("telemetry.json")).expect("telemetry file");
+        let v: Value = serde_json::from_str(&text).expect("telemetry parses");
+        v.get("units").and_then(Value::as_array).expect("units array").clone()
+    }
+
+    #[test]
+    fn telemetry_merges_across_passes_and_survives_corruption() {
+        let dir = scratch_dir("telemetry");
+
+        // First pass: two units land.
+        write_telemetry_units(&dir, &[unit("alpha", 2), unit("beta", 3)]);
+        assert_eq!(telemetry_units(&dir).len(), 2);
+        assert!(
+            !dir.join(format!("telemetry.json.tmp.{}", std::process::id())).exists(),
+            "the temp file must not outlive the rename"
+        );
+
+        // Resumed pass re-ran only beta (new numbers) plus a new unit:
+        // alpha survives, beta is replaced, gamma appends.
+        write_telemetry_units(&dir, &[unit("beta", 9), unit("gamma", 1)]);
+        let rows = telemetry_units(&dir);
+        let windows_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.get("unit").and_then(Value::as_str) == Some(name))
+                .and_then(|r| r.get("windows"))
+                .and_then(Value::as_u64)
+        };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(windows_of("alpha"), Some(2));
+        assert_eq!(windows_of("beta"), Some(9), "re-run units replace their row");
+        assert_eq!(windows_of("gamma"), Some(1));
+
+        // A torn file from a killed previous process degrades to an empty
+        // history instead of wedging every later pass.
+        std::fs::write(dir.join("telemetry.json"), "{\"units\": [{\"unit\": \"al")
+            .expect("plant torn file");
+        write_telemetry_units(&dir, &[unit("delta", 4)]);
+        let rows = telemetry_units(&dir);
+        assert_eq!(rows.len(), 1, "corrupt history is dropped, not merged");
+        assert_eq!(
+            rows[0].get("unit").and_then(Value::as_str),
+            Some("delta"),
+            "the fresh pass still records"
+        );
+
+        // The wrong shape (valid JSON, no units array) is equally ignored.
+        std::fs::write(dir.join("telemetry.json"), "[1, 2, 3]\n").expect("plant wrong shape");
+        write_telemetry_units(&dir, &[unit("epsilon", 5)]);
+        assert_eq!(telemetry_units(&dir).len(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

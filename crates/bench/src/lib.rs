@@ -41,6 +41,13 @@
 //!   interference-matrix experiment to a sub-matrix (the `all_figures
 //!   --matrix-workloads` flag outranks it); unknown keys are a loud
 //!   configuration error.
+//! - `CS_FLEET_SCENARIOS` — comma-separated scenario keys (`baseline`,
+//!   `gray_fleet`, `rack_outage`, `metastable`) restricting the
+//!   fleet-resilience experiment (the `all_figures --fleet-scenarios`
+//!   flag outranks it); unknown keys are a loud configuration error.
+//!   Unknown `CS_*` variables themselves are rejected by the flag-parsing
+//!   binaries with a nearest-knob suggestion, so a typo like
+//!   `CS_WINDOW_PARR` fails loudly instead of silently doing nothing.
 //! - `CS_LLC_BYTES` — override the LLC capacity in bytes. CI smoke runs
 //!   shrink it so short windows still produce real cache pressure.
 //!

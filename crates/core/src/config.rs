@@ -17,8 +17,21 @@
 //! 3. command-line flags, left to right. Flags are strict: a missing or
 //!    invalid value is a usage error (exit 2), never ignored.
 
+use crate::errors::ConfigError;
 use crate::harness::RunConfig;
 use std::path::PathBuf;
+
+/// Knobs read outside the registry: `CS_PARANOID` is consulted at audit
+/// sites ([`crate::harness::paranoid_enabled`]) and the `CS_FAULT_*`
+/// family resolves as one unit in [`apply_fault_env`]. They are still
+/// valid spellings for [`RunConfigBuilder::check_env_names`].
+const EXTRA_KNOWN_ENVS: &[&str] = &[
+    "CS_PARANOID",
+    "CS_FAULT_DRAM_LAT",
+    "CS_FAULT_DRAM_RATE",
+    "CS_FAULT_PF_DROP",
+    "CS_FAULT_SEED",
+];
 
 /// Everything a campaign binary needs from flags and environment: the
 /// simulation [`RunConfig`] plus the campaign-level knobs that live
@@ -355,6 +368,22 @@ impl RunConfigBuilder {
                     true
                 },
             ))
+            .knob(Knob::valued(
+                "--fleet-scenarios",
+                "LIST",
+                &["CS_FLEET_SCENARIOS"],
+                "--fleet-scenarios requires a comma-separated list of scenario keys",
+                "restrict fleet_resilience to these scenario keys",
+                |s, v| {
+                    let keys: Vec<String> =
+                        v.split(',').map(str::trim).filter(|k| !k.is_empty()).map(String::from).collect();
+                    if keys.is_empty() {
+                        return false;
+                    }
+                    s.run.fleet_scenarios = Some(keys);
+                    true
+                },
+            ))
             .knob(Knob::env_only(&["CS_SEED"], "base random seed", |s, v| {
                 v.parse().map(|n| s.run.seed = n).is_ok()
             }))
@@ -403,11 +432,62 @@ impl RunConfigBuilder {
         s
     }
 
+    /// Every environment variable this registry understands: the knobs'
+    /// declared names plus the out-of-registry family
+    /// ([`EXTRA_KNOWN_ENVS`]).
+    pub fn known_envs(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> =
+            self.knobs.iter().flat_map(|k| k.envs.iter().copied()).collect();
+        names.extend_from_slice(EXTRA_KNOWN_ENVS);
+        names
+    }
+
+    /// Rejects `CS_*`-prefixed names the registry does not know — the
+    /// typo (`CS_WINDOW_PARR`) that the lenient environment contract
+    /// would otherwise silently ignore, leaving the user convinced a knob
+    /// is on when it never applied. The error names the nearest valid
+    /// knob when one is plausibly close.
+    ///
+    /// Takes the names as an iterator so tests can probe spellings
+    /// without mutating shared process state.
+    pub fn check_env_names<I>(&self, names: I) -> Result<(), ConfigError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let known = self.known_envs();
+        for name in names {
+            if !name.starts_with("CS_") || known.iter().any(|k| *k == name) {
+                continue;
+            }
+            let nearest = known
+                .iter()
+                .map(|k| (levenshtein(&name, k), *k))
+                .min()
+                .filter(|&(d, _)| d <= 3)
+                .map(|(_, k)| k.to_owned());
+            return Err(ConfigError::UnknownEnvKnob { name, nearest });
+        }
+        Ok(())
+    }
+
+    /// [`RunConfigBuilder::check_env_names`] over the live process
+    /// environment.
+    pub fn check_env(&self) -> Result<(), ConfigError> {
+        self.check_env_names(std::env::vars().map(|(name, _)| name))
+    }
+
     /// Parses `args` (no program name) on top of the environment.
+    ///
+    /// Flags are strict, and so is the environment's *shape*: an unknown
+    /// `CS_*` variable is a usage error here even though unparsable
+    /// values of known knobs stay lenient.
     pub fn parse<I>(&self, args: I) -> ParseOutcome
     where
         I: IntoIterator<Item = String>,
     {
+        if let Err(e) = self.check_env() {
+            return ParseOutcome::Error { message: e.to_string(), show_usage: false };
+        }
         let mut s = self.settings_from_env();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -471,6 +551,23 @@ impl RunConfigBuilder {
         }
         text
     }
+}
+
+/// Edit distance between two knob names, for "did you mean" suggestions.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Builds the deterministic fault-injection plan from `CS_FAULT_*`. The
@@ -541,6 +638,8 @@ mod tests {
             "2",
             "--matrix-workloads",
             "web_search,polluter",
+            "--fleet-scenarios",
+            "metastable,gray_fleet",
         ])));
         assert!(s.resume);
         assert!(!s.run.cycle_skip);
@@ -559,6 +658,10 @@ mod tests {
             s.run.matrix_workloads,
             Some(vec!["web_search".to_owned(), "polluter".to_owned()])
         );
+        assert_eq!(
+            s.run.fleet_scenarios,
+            Some(vec!["metastable".to_owned(), "gray_fleet".to_owned()])
+        );
     }
 
     #[test]
@@ -576,6 +679,10 @@ mod tests {
             (
                 vec!["--matrix-workloads", ","],
                 "--matrix-workloads requires a comma-separated list of roster keys",
+            ),
+            (
+                vec!["--fleet-scenarios", ","],
+                "--fleet-scenarios requires a comma-separated list of scenario keys",
             ),
         ] {
             match b.parse(argv(&args)) {
@@ -614,6 +721,7 @@ mod tests {
             "--window-par",
             "--sample-inflight N",
             "--matrix-workloads LIST",
+            "--fleet-scenarios LIST",
         ] {
             assert!(usage.contains(&format!("[{flag}]")), "usage must list {flag}: {usage}");
         }
@@ -624,6 +732,52 @@ mod tests {
         assert!(help.contains("CS_JOBS"), "help must name env vars");
         assert!(help.contains("CS_SEED"), "help must list env-only knobs");
         assert!(help.contains("CS_MATRIX_WORKLOADS"));
+        assert!(help.contains("CS_FLEET_SCENARIOS"));
+    }
+
+    #[test]
+    fn unknown_cs_env_knobs_are_caught_with_a_suggestion() {
+        let b = RunConfigBuilder::campaign("all_figures");
+        let names = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+
+        // Every registered spelling, the out-of-registry family, and
+        // non-CS variables pass untouched.
+        let mut fine = b.known_envs().iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        fine.extend(names(&["PATH", "HOME", "CARGO_TARGET_DIR", "CSV_SEPARATOR"]));
+        b.check_env_names(fine).expect("known and non-CS names must pass");
+
+        // The motivating typo: a doubled letter suggests the real knob.
+        let err = b
+            .check_env_names(names(&["CS_WINDOW_PARR"]))
+            .expect_err("typos must be rejected");
+        match err {
+            ConfigError::UnknownEnvKnob { ref name, ref nearest } => {
+                assert_eq!(name, "CS_WINDOW_PARR");
+                assert_eq!(nearest.as_deref(), Some("CS_WINDOW_PAR"));
+            }
+            other => panic!("expected UnknownEnvKnob, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("CS_WINDOW_PARR") && msg.contains("CS_WINDOW_PAR"), "{msg}");
+
+        // A CS_ name near nothing gets no suggestion but still fails.
+        match b.check_env_names(names(&["CS_TURBO_ENCABULATOR"])) {
+            Err(ConfigError::UnknownEnvKnob { nearest: None, .. }) => {}
+            other => panic!("expected a suggestion-free rejection, got {other:?}"),
+        }
+
+        for (typo, want) in [
+            ("CS_FLEET_SCENARIO", "CS_FLEET_SCENARIOS"),
+            ("CS_PARANOID1", "CS_PARANOID"),
+            ("CS_JOBZ", "CS_JOBS"),
+        ] {
+            match b.check_env_names(names(&[typo])) {
+                Err(ConfigError::UnknownEnvKnob { nearest: Some(n), .. }) => {
+                    assert_eq!(n, want, "for {typo}");
+                }
+                other => panic!("{typo}: expected a suggestion, got {other:?}"),
+            }
+        }
     }
 
     #[test]

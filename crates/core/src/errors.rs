@@ -80,6 +80,22 @@ pub enum ConfigError {
         /// The unrecognized roster key.
         name: String,
     },
+    /// A fleet-resilience run named a scenario that is not in the
+    /// scenario roster.
+    UnknownFleetScenario {
+        /// The unrecognized scenario key.
+        name: String,
+    },
+    /// A `CS_*` environment variable does not name any registered knob —
+    /// almost always a typo (`CS_WINDOW_PARR`) that would otherwise be
+    /// silently ignored, leaving the run configured differently than the
+    /// operator believes.
+    UnknownEnvKnob {
+        /// The unrecognized environment variable name.
+        name: String,
+        /// The closest registered knob, when one is plausibly close.
+        nearest: Option<String>,
+    },
     /// A fleet simulation was asked to use a service-time table with no
     /// usable entry for a workload (zero requests or zero cycles measured,
     /// so no per-request service time can be derived).
@@ -146,6 +162,20 @@ impl fmt::Display for ConfigError {
                      data_serving, mapreduce, media_streaming, sat_solver, web_frontend, \
                      web_search, polluter, cpu_bound"
                 )
+            }
+            ConfigError::UnknownFleetScenario { name } => {
+                write!(
+                    f,
+                    "unknown fleet-resilience scenario {name:?}; valid keys are \
+                     baseline, gray_fleet, rack_outage, metastable"
+                )
+            }
+            ConfigError::UnknownEnvKnob { name, nearest } => {
+                write!(f, "unknown environment knob {name}")?;
+                if let Some(n) = nearest {
+                    write!(f, "; did you mean {n}?")?;
+                }
+                Ok(())
             }
             ConfigError::EmptyServiceTable { workload } => {
                 write!(

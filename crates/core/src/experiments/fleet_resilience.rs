@@ -1,0 +1,716 @@
+//! `fleet_resilience`: gray failures, correlated fault domains, and
+//! retry-storm protection.
+//!
+//! `fleet_slo` injects the failures health checks are built for: crashes
+//! and stragglers, crisp signals the balancer ejects on. This experiment
+//! injects the failures that actually erode cloud SLOs — and measures how
+//! much of the damage the client-side mitigation stack claws back:
+//!
+//! - **Gray fleet**: machines enter seeded degradation episodes during
+//!   which they stay `up` and keep passing probes, yet serve several times
+//!   slower (latency factor stacked with the harness-measured co-location
+//!   memory-pressure inflation) and silently drop a fraction of accepted
+//!   requests. The health ejector never fires once.
+//! - **Rack outage**: machines are grouped into fault domains (racks /
+//!   power feeds); domain-level draws take a whole domain down — or gray —
+//!   at the same instant, the correlated shape i.i.d. crash draws cannot
+//!   produce.
+//! - **Metastable**: a one-shot arrival burst at high utilization with a
+//!   tight timeout and an aggressive retry schedule. Retries feed back
+//!   into offered load, so the overload can outlive its trigger; the
+//!   post-trigger (`late_*`) books measure whether the fleet ever
+//!   recovers.
+//!
+//! Against each scenario the sweep crosses four mitigation stacks — none,
+//! a token-bucket retry budget, per-machine circuit breakers, and the full
+//! stack (budget + breaker + AIMD concurrency limit) — over every
+//! scale-out workload's harness-measured service profile. Everything
+//! downstream of the harness runs is a pure function of (config, seed):
+//! byte-identical across `--jobs` values and reruns, and under
+//! `CS_PARANOID` every point must pass the fleet conservation audit,
+//! including the retry-budget token books and the breaker transition
+//! ledger.
+
+use crate::errors::HarnessError;
+use crate::harness::RunConfig;
+use crate::registry::Benchmark;
+use cs_fleet::{
+    simulate, AimdPolicy, BreakerPolicy, Burst, FleetConfig, FleetFaultPlan, HedgePolicy,
+    RetryBudget, RetryPolicy, ServiceProfile,
+};
+use cs_perf::{Report, Table};
+use cs_trace::rng::splitmix64;
+use serde::{Deserialize, Serialize};
+
+use super::fleet_slo::service_profiles;
+
+/// Fleet size (fixed: the sweep spends its points on scenarios, not sizes).
+pub const MACHINES: usize = 8;
+
+/// Serving contexts per machine.
+pub const CONTEXTS_PER_MACHINE: usize = 4;
+
+/// Bounded per-machine wait queue.
+pub const QUEUE_CAPACITY: usize = 4;
+
+/// Open-loop requests per sweep point.
+pub const REQUESTS_PER_POINT: u64 = 4_000;
+
+/// Fault domains in the rack-outage scenario (8 machines, 2 per rack).
+pub const FAULT_DOMAINS: usize = 4;
+
+/// Offered load as a fraction of fleet capacity in the steady scenarios.
+const BASE_UTILIZATION: f64 = 0.65;
+
+/// Offered load in the metastable scenario: high enough that retry
+/// amplification can keep the fleet saturated after the trigger ends.
+const OVERLOAD_UTILIZATION: f64 = 0.85;
+
+/// Client timeout in the steady scenarios, multiples of the effective mean.
+const TIMEOUT_FACTOR: u64 = 8;
+
+/// Tight client timeout in the metastable scenario — generous against an
+/// uncongested fleet, hopeless once a backlog sits in front of every
+/// request; the impatience that turns congestion into retries.
+const TIGHT_TIMEOUT_FACTOR: u64 = 4;
+
+/// Deep per-machine queues in the metastable scenario. The bounded queues
+/// of the steady scenarios shed overload at admission, which *breaks* the
+/// retry feedback loop; a buffer-bloated fleet instead converts overload
+/// into queueing delay, timeouts, and retries — the metastable substrate.
+const METASTABLE_QUEUE_CAPACITY: usize = 16;
+
+/// The SLO bound, as a multiple of the effective mean service time.
+const SLO_FACTOR: u64 = 20;
+
+const PROBE_FACTOR: u64 = 4;
+const HEDGE_DELAY_FACTOR: u64 = 6;
+
+/// Salt separating the fault-plan seed from the arrival/service seed.
+const FAULT_SEED_SALT: u64 = 0x6EA7_FA17;
+
+/// One failure scenario of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Healthy fleet at steady utilization: the control row.
+    Baseline,
+    /// Gray degradation episodes the health ejector cannot see.
+    GrayFleet,
+    /// Correlated domain outages plus domain-wide gray episodes.
+    RackOutage,
+    /// One-shot overload trigger with retry feedback at high utilization.
+    Metastable,
+}
+
+impl Scenario {
+    /// All scenarios, in sweep order.
+    pub fn all() -> [Scenario; 4] {
+        [Scenario::Baseline, Scenario::GrayFleet, Scenario::RackOutage, Scenario::Metastable]
+    }
+
+    /// Short label used in reports, result files, and `CS_FLEET_SCENARIOS`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::GrayFleet => "gray_fleet",
+            Scenario::RackOutage => "rack_outage",
+            Scenario::Metastable => "metastable",
+        }
+    }
+
+    /// Parses a `CS_FLEET_SCENARIOS` key.
+    pub fn from_key(key: &str) -> Option<Scenario> {
+        Self::all().into_iter().find(|s| s.label() == key)
+    }
+}
+
+/// One mitigation stack of the sweep, each independently togglable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// No client-side protection beyond the baseline retry/hedge policy.
+    Unmitigated,
+    /// Token-bucket retry budget only.
+    Budget,
+    /// Per-machine circuit breakers only.
+    Breaker,
+    /// Budget + breakers + AIMD adaptive concurrency limit.
+    Full,
+}
+
+impl Mitigation {
+    /// All mitigation stacks, in sweep order.
+    pub fn all() -> [Mitigation; 4] {
+        [Mitigation::Unmitigated, Mitigation::Budget, Mitigation::Breaker, Mitigation::Full]
+    }
+
+    /// Short label used in reports and result files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mitigation::Unmitigated => "none",
+            Mitigation::Budget => "budget",
+            Mitigation::Breaker => "breaker",
+            Mitigation::Full => "full",
+        }
+    }
+}
+
+/// The effective mean service time of a densely packed machine (both
+/// measured sharing penalties applied).
+fn effective_mean_ns(profile: &ServiceProfile) -> u64 {
+    let inflation = profile.smt_inflation * profile.colocation_inflation;
+    ((profile.mean_service_ns as f64 * inflation) as u64).max(1)
+}
+
+/// Builds the fleet configuration of one sweep point. Pure function of its
+/// arguments; the same point always simulates the same bytes.
+pub fn point_config(
+    profile: &ServiceProfile,
+    scenario: Scenario,
+    mitigation: Mitigation,
+    seed: u64,
+) -> FleetConfig {
+    let eff = effective_mean_ns(profile);
+    let capacity = (MACHINES * CONTEXTS_PER_MACHINE) as f64;
+    let utilization = match scenario {
+        Scenario::Metastable => OVERLOAD_UTILIZATION,
+        _ => BASE_UTILIZATION,
+    };
+    let gap = ((eff as f64 / (capacity * utilization)) as u64).max(1);
+    let span = REQUESTS_PER_POINT.saturating_mul(gap);
+    let fault_seed = splitmix64(seed ^ FAULT_SEED_SALT);
+    // The measured co-location inflation doubles as the gray memory-
+    // pressure factor: a gray machine behaves like one that lost its LLC
+    // share to a noisy neighbor.
+    let memory_pressure = profile.colocation_inflation.max(1.0);
+
+    let mut cfg = FleetConfig {
+        machines: MACHINES,
+        contexts_per_machine: CONTEXTS_PER_MACHINE,
+        queue_capacity: QUEUE_CAPACITY,
+        requests: REQUESTS_PER_POINT,
+        mean_interarrival_ns: gap,
+        burst: Some(Burst {
+            period_ns: gap.saturating_mul(256),
+            on_fraction: 0.25,
+            amplitude: 2.0,
+        }),
+        service_inflation: profile.smt_inflation * profile.colocation_inflation,
+        timeout_ns: eff.saturating_mul(TIMEOUT_FACTOR),
+        connect_timeout_ns: eff,
+        probe_interval_ns: eff.saturating_mul(PROBE_FACTOR),
+        retry: RetryPolicy {
+            max_retries: 3,
+            base: eff.saturating_mul(2),
+            factor: 2,
+            cap: eff.saturating_mul(16),
+        },
+        hedge: Some(HedgePolicy {
+            delay_ns: eff.saturating_mul(HEDGE_DELAY_FACTOR),
+            max_hedges: 1,
+        }),
+        faults: None,
+        fault_domains: 0,
+        trigger_end_ns: None,
+        retry_budget: None,
+        breaker: None,
+        aimd: None,
+        seed,
+    };
+
+    match scenario {
+        Scenario::Baseline => {}
+        Scenario::GrayFleet => {
+            // Severe episodes: a gray machine serves ~6x slow (on top of
+            // the measured memory-pressure inflation) and swallows a
+            // third of what it accepts — yet keeps answering probes.
+            cfg.faults = Some(FleetFaultPlan {
+                gray_mtbf_ns: (span / 2).max(1),
+                gray_duration_ns: (span / 5).max(1),
+                gray_latency_factor: 6.0,
+                gray_drop_rate: 0.35,
+                ..FleetFaultPlan::quiet(fault_seed)
+            }
+            .with_gray_memory_inflation(memory_pressure));
+        }
+        Scenario::RackOutage => {
+            cfg.fault_domains = FAULT_DOMAINS;
+            cfg.faults = Some(FleetFaultPlan {
+                domain_outage_mtbf_ns: span,
+                repair_ns: (span / 8).max(1),
+                domain_gray_mtbf_ns: span,
+                gray_duration_ns: (span / 8).max(1),
+                gray_latency_factor: 2.0,
+                gray_drop_rate: 0.05,
+                ..FleetFaultPlan::quiet(fault_seed)
+            }
+            .with_gray_memory_inflation(memory_pressure));
+        }
+        Scenario::Metastable => {
+            // One-shot trigger: the burst period is far longer than the
+            // run, so only the initial on-window ever fires — a short 3x
+            // overload whose damage must not outlive it.
+            let trigger_ns = (span / 6).max(1);
+            cfg.burst = Some(Burst {
+                period_ns: trigger_ns.saturating_mul(50),
+                on_fraction: 0.02,
+                amplitude: 3.0,
+            });
+            cfg.trigger_end_ns = Some(trigger_ns);
+            cfg.queue_capacity = METASTABLE_QUEUE_CAPACITY;
+            cfg.timeout_ns = eff.saturating_mul(TIGHT_TIMEOUT_FACTOR);
+            cfg.retry = RetryPolicy {
+                max_retries: 4,
+                base: (eff / 4).max(1),
+                factor: 2,
+                cap: eff,
+            };
+            // Hedging is itself retry-shaped extra load; the metastable
+            // scenario isolates the retry feedback loop.
+            cfg.hedge = None;
+        }
+    }
+
+    match mitigation {
+        Mitigation::Unmitigated => {}
+        Mitigation::Budget => {
+            cfg.retry_budget = Some(RetryBudget::percent(10, 2));
+        }
+        Mitigation::Breaker => {
+            cfg.breaker =
+                Some(BreakerPolicy { failure_threshold: 3, open_ns: eff.saturating_mul(8) });
+        }
+        Mitigation::Full => {
+            cfg.retry_budget = Some(RetryBudget::percent(10, 2));
+            cfg.breaker =
+                Some(BreakerPolicy { failure_threshold: 3, open_ns: eff.saturating_mul(8) });
+            cfg.aimd = Some(AimdPolicy {
+                min_inflight: MACHINES as u64,
+                max_inflight: (MACHINES * (CONTEXTS_PER_MACHINE + QUEUE_CAPACITY)) as u64,
+                increase_milli: 500,
+                decrease_pct: 30,
+            });
+        }
+    }
+    cfg
+}
+
+/// One sweep point's results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResilienceRow {
+    /// Workload name.
+    pub workload: String,
+    /// Failure scenario.
+    pub scenario: Scenario,
+    /// Mitigation stack.
+    pub mitigation: Mitigation,
+    /// Median completion latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile completion latency, ns.
+    pub p99_ns: u64,
+    /// 99.9th-percentile completion latency, ns.
+    pub p999_ns: u64,
+    /// Completed requests per second of simulated time.
+    pub goodput_rps: f64,
+    /// Fraction of arrived requests completing within the SLO bound.
+    pub slo_attainment: f64,
+    /// SLO attainment over post-trigger arrivals only (metastable
+    /// recovery; 0 when the scenario has no trigger era).
+    pub late_slo_attainment: f64,
+    /// Requests shed at admission (including AIMD throttling).
+    pub shed: u64,
+    /// Requests that exhausted the retry schedule or budget.
+    pub failed: u64,
+    /// Retry attempts dispatched.
+    pub retries: u64,
+    /// Hedge attempts dispatched.
+    pub hedges: u64,
+    /// Attempts abandoned by the client timeout.
+    pub timeouts: u64,
+    /// Gray episodes started (machine-level).
+    pub gray_episodes: u64,
+    /// Attempts silently dropped by gray machines.
+    pub gray_dropped: u64,
+    /// Correlated domain outages injected.
+    pub domain_outages: u64,
+    /// Machine crashes injected (all via domain outages here).
+    pub machine_failures: u64,
+    /// Machines ejected from rotation by the health ejector.
+    pub ejections: u64,
+    /// Retry/hedge dispatches denied by the budget.
+    pub budget_denied: u64,
+    /// Breaker trips (closed/half-open -> open).
+    pub breaker_opens: u64,
+    /// Dispatches denied by the AIMD concurrency limit.
+    pub aimd_throttled: u64,
+    /// Server completions of abandoned attempts (wasted work).
+    pub wasted_completions: u64,
+}
+
+/// Simulates one sweep point. Under `CS_PARANOID` the full fleet audit —
+/// including the retry-budget token books and breaker transition ledger —
+/// runs on the result and any imbalance fails the point loudly.
+pub fn run_point(
+    profile: &ServiceProfile,
+    scenario: Scenario,
+    mitigation: Mitigation,
+    seed: u64,
+) -> Result<FleetResilienceRow, HarnessError> {
+    let cfg = point_config(profile, scenario, mitigation, seed);
+    let stats = simulate(&cfg, profile)?;
+    if crate::harness::paranoid_enabled() {
+        stats.audit(&cfg.audit_policies())?;
+    }
+    let slo_ns = effective_mean_ns(profile).saturating_mul(SLO_FACTOR);
+    Ok(FleetResilienceRow {
+        workload: profile.workload.clone(),
+        scenario,
+        mitigation,
+        p50_ns: stats.p50_ns(),
+        p99_ns: stats.p99_ns(),
+        p999_ns: stats.p999_ns(),
+        goodput_rps: stats.goodput_rps(),
+        slo_attainment: stats.slo_attainment(slo_ns),
+        late_slo_attainment: stats.late_slo_attainment(slo_ns),
+        shed: stats.shed,
+        failed: stats.failed,
+        retries: stats.retries,
+        hedges: stats.hedges,
+        timeouts: stats.timeouts,
+        gray_episodes: stats.gray_episodes,
+        gray_dropped: stats.gray_dropped,
+        domain_outages: stats.domain_outages,
+        machine_failures: stats.machine_failures,
+        ejections: stats.ejections,
+        budget_denied: stats.budget_denied,
+        breaker_opens: stats.breaker_opens,
+        aimd_throttled: stats.aimd_throttled,
+        wasted_completions: stats.wasted_completions,
+    })
+}
+
+/// The measured service-time table plus the full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResilienceData {
+    /// Harness-measured service profiles, in suite order.
+    pub profiles: Vec<ServiceProfile>,
+    /// One row per (workload, scenario, mitigation) point.
+    pub rows: Vec<FleetResilienceRow>,
+}
+
+/// Deterministic per-point seed: position in the sweep, scrambled. Salted
+/// differently from `fleet_slo` so shared positions never share streams.
+fn point_seed(base_seed: u64, index: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(0x4E51 + index as u64))
+}
+
+/// The scenarios a run sweeps: every one, or the `CS_FLEET_SCENARIOS`
+/// subset (already validated by [`RunConfig::validate`]).
+fn scenarios_for(cfg: &RunConfig) -> Vec<Scenario> {
+    match &cfg.fleet_scenarios {
+        None => Scenario::all().to_vec(),
+        Some(keys) => keys.iter().filter_map(|k| Scenario::from_key(k)).collect(),
+    }
+}
+
+/// Runs the full sweep over every scale-out workload.
+pub fn collect(cfg: &RunConfig) -> Result<FleetResilienceData, HarnessError> {
+    collect_subset(cfg, &Benchmark::scale_out_suite())
+}
+
+/// Runs the sweep over a chosen subset of workloads.
+///
+/// The harness measures one service profile per workload (fanned over
+/// [`RunConfig::jobs`]); every (workload, scenario, mitigation) point is
+/// then an independent pure simulation fanned the same way, with
+/// positional seeds — neither the job count nor scheduling order can
+/// change a single byte of the output.
+pub fn collect_subset(
+    cfg: &RunConfig,
+    benches: &[Benchmark],
+) -> Result<FleetResilienceData, HarnessError> {
+    let profiles = service_profiles(cfg, benches)?;
+    let scenarios = scenarios_for(cfg);
+    let points: Vec<(usize, Scenario, Mitigation)> = (0..profiles.len())
+        .flat_map(|p| {
+            scenarios.iter().flat_map(move |&s| {
+                Mitigation::all().into_iter().map(move |m| (p, s, m))
+            })
+        })
+        .collect();
+    let rows = crate::par::par_map(cfg.jobs, &points, |i, &(p, scenario, mitigation)| {
+        run_point(&profiles[p], scenario, mitigation, point_seed(cfg.seed, i))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(FleetResilienceData { profiles, rows })
+}
+
+/// Mean SLO attainment, recovery-era attainment, goodput, and wasted work
+/// for one (scenario, mitigation) cell, aggregated across workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cell {
+    scenario: Scenario,
+    mitigation: Mitigation,
+    mean_slo: f64,
+    mean_late_slo: f64,
+    goodput_rps: f64,
+    wasted: u64,
+}
+
+fn rank(data: &FleetResilienceData) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for scenario in Scenario::all() {
+        let mut per_scenario: Vec<Cell> = Mitigation::all()
+            .into_iter()
+            .filter_map(|mitigation| {
+                let rows: Vec<&FleetResilienceRow> = data
+                    .rows
+                    .iter()
+                    .filter(|r| r.scenario == scenario && r.mitigation == mitigation)
+                    .collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let n = rows.len() as f64;
+                Some(Cell {
+                    scenario,
+                    mitigation,
+                    mean_slo: rows.iter().map(|r| r.slo_attainment).sum::<f64>() / n,
+                    mean_late_slo: rows.iter().map(|r| r.late_slo_attainment).sum::<f64>() / n,
+                    goodput_rps: rows.iter().map(|r| r.goodput_rps).sum::<f64>(),
+                    wasted: rows.iter().map(|r| r.wasted_completions).sum::<u64>(),
+                })
+            })
+            .collect();
+        // Best mitigation first within each scenario; ties (notably the
+        // fault-free baseline) break by sweep order, which is stable.
+        per_scenario.sort_by(|a, b| {
+            b.mean_slo.partial_cmp(&a.mean_slo).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        cells.extend(per_scenario);
+    }
+    cells
+}
+
+/// Renders the service table, the per-point sweep, and the scenario x
+/// mitigation ranking.
+pub fn report(data: &FleetResilienceData) -> Report {
+    let mut services = Table::new(
+        "Harness-measured service times",
+        &["workload", "mean service (us)", "SMT inflation", "co-location inflation"],
+    );
+    for p in &data.profiles {
+        services.row([
+            p.workload.clone().into(),
+            (p.mean_service_ns as f64 / 1e3).into(),
+            p.smt_inflation.into(),
+            p.colocation_inflation.into(),
+        ]);
+    }
+
+    let mut points = Table::new(
+        "Resilience per (scenario, mitigation)",
+        &[
+            "workload",
+            "scenario",
+            "mitigation",
+            "p99 (ms)",
+            "p999 (ms)",
+            "goodput (req/s)",
+            "SLO %",
+            "late SLO %",
+            "shed",
+            "failed",
+            "retries",
+            "timeouts",
+            "gray drops",
+            "denied",
+            "breaker opens",
+            "throttled",
+            "wasted",
+        ],
+    );
+    for r in &data.rows {
+        points.row([
+            r.workload.clone().into(),
+            r.scenario.label().into(),
+            r.mitigation.label().into(),
+            (r.p99_ns as f64 / 1e6).into(),
+            (r.p999_ns as f64 / 1e6).into(),
+            r.goodput_rps.into(),
+            (100.0 * r.slo_attainment).into(),
+            (100.0 * r.late_slo_attainment).into(),
+            r.shed.into(),
+            r.failed.into(),
+            r.retries.into(),
+            r.timeouts.into(),
+            r.gray_dropped.into(),
+            r.budget_denied.into(),
+            r.breaker_opens.into(),
+            r.aimd_throttled.into(),
+            r.wasted_completions.into(),
+        ]);
+    }
+
+    let mut ranking = Table::new(
+        "Mitigation ranking per scenario (mean over workloads, best first)",
+        &[
+            "scenario",
+            "mitigation",
+            "mean SLO %",
+            "mean late SLO %",
+            "goodput (req/s)",
+            "wasted",
+        ],
+    );
+    for c in rank(data) {
+        ranking.row([
+            c.scenario.label().into(),
+            c.mitigation.label().into(),
+            (100.0 * c.mean_slo).into(),
+            (100.0 * c.mean_late_slo).into(),
+            c.goodput_rps.into(),
+            c.wasted.into(),
+        ]);
+    }
+
+    let mut rep = Report::new("Fleet resilience: gray failures, fault domains, retry storms");
+    rep.note(
+        "Gray machines stay up and pass every health probe while serving slowly and \
+         dropping requests; fault domains crash whole racks at once; the metastable \
+         scenario feeds retries back into offered load after a one-shot trigger burst. \
+         Mitigations (retry budget, circuit breakers, AIMD concurrency limit) are \
+         client-side and independently togglable; 'late SLO %' scores only requests \
+         arriving after the trigger ended, i.e. whether the fleet ever recovered.",
+    );
+    rep.push(services);
+    rep.push(points);
+    rep.push(ranking);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_profile() -> ServiceProfile {
+        ServiceProfile {
+            workload: "synthetic".into(),
+            mean_service_ns: 50_000,
+            smt_inflation: 1.4,
+            colocation_inflation: 1.15,
+        }
+    }
+
+    #[test]
+    fn scenario_and_mitigation_keys_round_trip() {
+        for s in Scenario::all() {
+            assert_eq!(Scenario::from_key(s.label()), Some(s));
+        }
+        assert_eq!(Scenario::from_key("grey_fleet"), None);
+        let labels: Vec<&str> = Mitigation::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["none", "budget", "breaker", "full"]);
+    }
+
+    #[test]
+    fn point_configs_validate_and_replay() {
+        let p = synthetic_profile();
+        for scenario in Scenario::all() {
+            for mitigation in Mitigation::all() {
+                let a = point_config(&p, scenario, mitigation, 7);
+                let b = point_config(&p, scenario, mitigation, 7);
+                assert_eq!(a, b, "point config must be a pure function");
+                a.validate(&p).expect("generated configs must be valid");
+            }
+        }
+        let meta = point_config(&p, Scenario::Metastable, Mitigation::Unmitigated, 7);
+        assert!(meta.trigger_end_ns.is_some());
+        assert!(meta.hedge.is_none());
+        let rack = point_config(&p, Scenario::RackOutage, Mitigation::Full, 7);
+        assert_eq!(rack.fault_domains, FAULT_DOMAINS);
+        assert!(rack.retry_budget.is_some() && rack.breaker.is_some() && rack.aimd.is_some());
+    }
+
+    #[test]
+    fn gray_fleet_degrades_without_tripping_the_ejector() {
+        let p = synthetic_profile();
+        let row = run_point(&p, Scenario::GrayFleet, Mitigation::Unmitigated, 11)
+            .expect("point must simulate");
+        assert!(row.gray_episodes > 0, "gray plan must start episodes");
+        assert!(row.gray_dropped > 0, "gray machines must swallow attempts");
+        assert_eq!(row.ejections, 0, "gray failures must evade the health ejector");
+        assert_eq!(row.machine_failures, 0);
+        let broken = run_point(&p, Scenario::GrayFleet, Mitigation::Breaker, 11)
+            .expect("point must simulate");
+        assert!(broken.breaker_opens > 0, "the breaker must catch what the ejector cannot");
+    }
+
+    #[test]
+    fn rack_outages_correlate_machine_failures() {
+        let p = synthetic_profile();
+        let row = run_point(&p, Scenario::RackOutage, Mitigation::Unmitigated, 5)
+            .expect("point must simulate");
+        assert!(row.domain_outages > 0, "domain plan must draw outages");
+        assert!(
+            row.machine_failures >= row.domain_outages,
+            "each outage kills at least the up members of its domain"
+        );
+    }
+
+    #[test]
+    fn metastable_overload_recovers_only_with_mitigation() {
+        let p = synthetic_profile();
+        let none = run_point(&p, Scenario::Metastable, Mitigation::Unmitigated, 21)
+            .expect("point must simulate");
+        let full = run_point(&p, Scenario::Metastable, Mitigation::Full, 21)
+            .expect("point must simulate");
+        assert!(
+            none.retries > full.retries,
+            "the budget must cut the retry storm: {} vs {}",
+            none.retries,
+            full.retries
+        );
+        assert!(
+            full.late_slo_attainment > none.late_slo_attainment,
+            "the mitigation stack must improve recovery-era SLO: {} vs {}",
+            full.late_slo_attainment,
+            none.late_slo_attainment
+        );
+    }
+
+    #[test]
+    fn rows_replay_byte_identically() {
+        let p = synthetic_profile();
+        let a = run_point(&p, Scenario::Metastable, Mitigation::Full, 1234).expect("run");
+        let b = run_point(&p, Scenario::Metastable, Mitigation::Full, 1234).expect("run");
+        assert_eq!(a, b);
+        let c = run_point(&p, Scenario::Metastable, Mitigation::Full, 1235).expect("run");
+        assert_ne!(a, c, "a different seed must change the point");
+    }
+
+    #[test]
+    fn scenario_subset_restricts_the_sweep() {
+        let cfg = RunConfig {
+            fleet_scenarios: Some(vec!["metastable".into()]),
+            ..RunConfig::default()
+        };
+        assert_eq!(scenarios_for(&cfg), vec![Scenario::Metastable]);
+        assert_eq!(scenarios_for(&RunConfig::default()).len(), 4);
+    }
+
+    #[test]
+    fn ranking_aggregates_and_sorts_within_scenarios() {
+        let p = synthetic_profile();
+        let rows = vec![
+            run_point(&p, Scenario::Metastable, Mitigation::Unmitigated, 3).expect("run"),
+            run_point(&p, Scenario::Metastable, Mitigation::Full, 4).expect("run"),
+        ];
+        let data = FleetResilienceData { profiles: vec![p], rows };
+        let cells = rank(&data);
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].mean_slo >= cells[1].mean_slo, "best mitigation ranks first");
+        let text = report(&data).to_string();
+        assert!(text.contains("metastable"));
+        assert!(text.contains("late SLO %"));
+    }
+}

@@ -105,7 +105,7 @@ impl FaultLevel {
                 straggler_mtbf_ns: span,
                 straggler_duration_ns: (span / 12).max(1),
                 straggler_factor: 4.0,
-                seed,
+                ..FleetFaultPlan::quiet(seed)
             }),
             FaultLevel::Heavy => Some(FleetFaultPlan {
                 crash_mtbf_ns: (span / 3).max(1),
@@ -113,7 +113,7 @@ impl FaultLevel {
                 straggler_mtbf_ns: (span / 2).max(1),
                 straggler_duration_ns: (span / 8).max(1),
                 straggler_factor: 6.0,
-                seed,
+                ..FleetFaultPlan::quiet(seed)
             }),
         }
     }
@@ -262,6 +262,11 @@ pub fn point_config(
             max_hedges: 1,
         }),
         faults: level.plan(span, splitmix64(seed ^ FAULT_SEED_SALT)),
+        fault_domains: 0,
+        trigger_end_ns: None,
+        retry_budget: None,
+        breaker: None,
+        aimd: None,
         seed,
     }
 }
@@ -326,7 +331,7 @@ pub fn run_point(
     let cfg = point_config(profile, machines, level, seed);
     let stats = simulate(&cfg, profile)?;
     if crate::harness::paranoid_enabled() {
-        stats.audit(cfg.hedge)?;
+        stats.audit(&cfg.audit_policies())?;
     }
     let slo_ns = effective_mean_ns(profile).saturating_mul(SLO_FACTOR);
     Ok(FleetSloRow {

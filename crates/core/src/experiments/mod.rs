@@ -21,6 +21,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet_resilience;
 pub mod fleet_slo;
 pub mod interference_matrix;
 pub mod sampled;
@@ -92,7 +93,25 @@ impl Experiment for InterferenceMatrix {
     }
 }
 
+/// Gray failures, correlated fault domains, and retry-storm protection.
+pub struct FleetResilience;
+
+impl Experiment for FleetResilience {
+    fn name(&self) -> &'static str {
+        "fleet_resilience"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Result<Report, HarnessError> {
+        Ok(fleet_resilience::report(&fleet_resilience::collect(cfg)?))
+    }
+}
+
 /// Every non-figure experiment, in campaign order.
 pub fn registry() -> Vec<Box<dyn Experiment + Send + Sync>> {
-    vec![Box::new(FleetSlo), Box::new(SampledIpc), Box::new(InterferenceMatrix)]
+    vec![
+        Box::new(FleetSlo),
+        Box::new(SampledIpc),
+        Box::new(InterferenceMatrix),
+        Box::new(FleetResilience),
+    ]
 }

@@ -204,6 +204,11 @@ pub struct RunConfig {
     /// runs the full roster. Ignored by every other experiment.
     #[serde(default)]
     pub matrix_workloads: Option<Vec<String>>,
+    /// Restrict the fleet-resilience experiment to these scenario keys
+    /// (e.g. `["metastable"]`), for smoke runs and CI. `None` runs every
+    /// scenario. Ignored by every other experiment.
+    #[serde(default)]
+    pub fleet_scenarios: Option<Vec<String>>,
 }
 
 fn default_dram_budget_window() -> u64 {
@@ -257,6 +262,7 @@ impl Default for RunConfig {
             dram_budgets: None,
             dram_budget_window: default_dram_budget_window(),
             matrix_workloads: None,
+            fleet_scenarios: None,
         }
     }
 }
@@ -355,6 +361,13 @@ impl RunConfig {
                     .contains(&name.as_str());
                 if !known {
                     return Err(ConfigError::UnknownMatrixWorkload { name: name.clone() });
+                }
+            }
+        }
+        if let Some(wanted) = &self.fleet_scenarios {
+            for name in wanted {
+                if crate::experiments::fleet_resilience::Scenario::from_key(name).is_none() {
+                    return Err(ConfigError::UnknownFleetScenario { name: name.clone() });
                 }
             }
         }

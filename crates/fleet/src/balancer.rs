@@ -67,12 +67,21 @@ impl Balancer {
     /// request (hedges should land elsewhere); exclusion is best-effort —
     /// if every in-rotation machine is excluded, the exclusion is lifted
     /// rather than failing the dispatch.
+    /// `barred` is a hard per-machine veto (an open or trial-busy circuit
+    /// breaker): unlike `exclude` it is never lifted — if every machine is
+    /// barred, the attempt sheds.
     /// `queue_capacity` bounds the per-machine wait queue.
-    pub fn route(&self, machines: &[Machine], exclude: &[usize], queue_capacity: usize) -> Route {
+    pub fn route(
+        &self,
+        machines: &[Machine],
+        exclude: &[usize],
+        queue_capacity: usize,
+        barred: impl Fn(usize) -> bool,
+    ) -> Route {
         let pick = |respect_exclude: bool| -> Option<usize> {
             let mut best: Option<(usize, usize)> = None;
             for (m, machine) in machines.iter().enumerate() {
-                if self.ejected[m] || (respect_exclude && exclude.contains(&m)) {
+                if self.ejected[m] || barred(m) || (respect_exclude && exclude.contains(&m)) {
                     continue;
                 }
                 let load = machine.load();
@@ -87,6 +96,58 @@ impl Balancer {
             Some(m) if machines[m].load() < machines[m].contexts + queue_capacity => Route::To(m),
             _ => Route::Shed,
         }
+    }
+}
+
+/// Runtime state of the AIMD adaptive concurrency limit.
+///
+/// The limit lives in milli-attempts so additive increase can be gentler
+/// than one whole attempt per success while staying in exact integer
+/// arithmetic; admission compares client-side outstanding attempts against
+/// `limit()` (the whole-attempt floor of the milli limit).
+#[derive(Debug)]
+pub struct AimdLimiter {
+    policy: crate::policy::AimdPolicy,
+    limit_milli: u64,
+    /// Additive increases applied (observed successes).
+    pub increases: u64,
+    /// Multiplicative decreases applied (observed failures).
+    pub decreases: u64,
+}
+
+impl AimdLimiter {
+    /// A limiter starting wide open at `max_inflight`.
+    pub fn new(policy: crate::policy::AimdPolicy) -> Self {
+        Self { policy, limit_milli: policy.max_inflight.saturating_mul(1000), increases: 0, decreases: 0 }
+    }
+
+    fn floor_milli(&self) -> u64 {
+        self.policy.min_inflight.max(1).saturating_mul(1000)
+    }
+
+    /// The current limit in whole attempts.
+    pub fn limit(&self) -> u64 {
+        (self.limit_milli / 1000).max(1)
+    }
+
+    /// Whether a new attempt may be admitted with `outstanding` attempts
+    /// already in flight.
+    pub fn admits(&self, outstanding: u64) -> bool {
+        outstanding < self.limit()
+    }
+
+    /// Additive increase on an observed success.
+    pub fn on_success(&mut self) {
+        let ceil = self.policy.max_inflight.saturating_mul(1000).max(self.floor_milli());
+        self.limit_milli = self.limit_milli.saturating_add(self.policy.increase_milli).min(ceil);
+        self.increases += 1;
+    }
+
+    /// Multiplicative decrease on an observed failure.
+    pub fn on_failure(&mut self) {
+        let keep = u64::from(100 - self.policy.decrease_pct.clamp(1, 99));
+        self.limit_milli = (self.limit_milli / 100).saturating_mul(keep).max(self.floor_milli());
+        self.decreases += 1;
     }
 }
 
@@ -107,11 +168,15 @@ mod tests {
             .collect()
     }
 
+    fn open(_m: usize) -> bool {
+        false
+    }
+
     #[test]
     fn routes_to_least_loaded_lowest_id() {
         let machines = fleet(&[3, 1, 1, 2]);
         let b = Balancer::new(4);
-        assert_eq!(b.route(&machines, &[], 8), Route::To(1));
+        assert_eq!(b.route(&machines, &[], 8, open), Route::To(1));
     }
 
     #[test]
@@ -121,33 +186,72 @@ mod tests {
         b.eject(0);
         b.eject(0);
         assert_eq!(b.ejections, 1);
-        assert_eq!(b.route(&machines, &[], 8), Route::To(1));
+        assert_eq!(b.route(&machines, &[], 8, open), Route::To(1));
         b.readmit(0);
         assert_eq!(b.readmissions, 1);
-        assert_eq!(b.route(&machines, &[], 8), Route::To(0));
+        assert_eq!(b.route(&machines, &[], 8, open), Route::To(0));
     }
 
     #[test]
     fn exclusion_is_best_effort() {
         let machines = fleet(&[1, 2]);
         let mut b = Balancer::new(2);
-        assert_eq!(b.route(&machines, &[0], 8), Route::To(1));
+        assert_eq!(b.route(&machines, &[0], 8, open), Route::To(1));
         // With machine 1 ejected, the exclusion of 0 must be lifted.
         b.eject(1);
-        assert_eq!(b.route(&machines, &[0], 8), Route::To(0));
+        assert_eq!(b.route(&machines, &[0], 8, open), Route::To(0));
     }
 
     #[test]
     fn saturation_and_empty_rotation_shed() {
         let machines = fleet(&[12, 12]);
         let mut b = Balancer::new(2);
-        assert_eq!(b.route(&machines, &[], 8), Route::Shed);
+        assert_eq!(b.route(&machines, &[], 8, open), Route::Shed);
         let light = fleet(&[0]);
         let mut solo = Balancer::new(1);
         solo.eject(0);
-        assert_eq!(solo.route(&light, &[], 8), Route::Shed);
+        assert_eq!(solo.route(&light, &[], 8, open), Route::Shed);
         b.eject(0);
         b.eject(1);
-        assert_eq!(b.route(&machines, &[], 8), Route::Shed);
+        assert_eq!(b.route(&machines, &[], 8, open), Route::Shed);
+    }
+
+    #[test]
+    fn barred_machines_are_vetoed_not_best_effort() {
+        let machines = fleet(&[0, 5]);
+        let b = Balancer::new(2);
+        // The breaker veto diverts to the worse machine...
+        assert_eq!(b.route(&machines, &[], 8, |m| m == 0), Route::To(1));
+        // ...and unlike `exclude`, is never lifted: all barred => shed.
+        assert_eq!(b.route(&machines, &[], 8, |_| true), Route::Shed);
+        // `exclude` of the only unbarred machine IS lifted.
+        assert_eq!(b.route(&machines, &[1], 8, |m| m == 0), Route::To(1));
+    }
+
+    #[test]
+    fn aimd_limit_rises_additively_and_falls_multiplicatively() {
+        let policy = crate::policy::AimdPolicy {
+            min_inflight: 2,
+            max_inflight: 10,
+            increase_milli: 500,
+            decrease_pct: 50,
+        };
+        let mut l = AimdLimiter::new(policy);
+        assert_eq!(l.limit(), 10);
+        assert!(l.admits(9));
+        assert!(!l.admits(10));
+        l.on_failure();
+        assert_eq!(l.limit(), 5);
+        l.on_failure();
+        l.on_failure();
+        assert_eq!(l.limit(), 2, "clamped at min_inflight");
+        l.on_success();
+        l.on_success();
+        assert_eq!(l.limit(), 3, "two half-attempt increases");
+        for _ in 0..100 {
+            l.on_success();
+        }
+        assert_eq!(l.limit(), 10, "clamped at max_inflight");
+        assert_eq!((l.increases, l.decreases), (102, 3));
     }
 }

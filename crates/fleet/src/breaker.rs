@@ -1,0 +1,228 @@
+//! Per-machine circuit breakers: closed / open / half-open.
+//!
+//! The health ejector (balancer) only reacts to *crisp* signals — connect
+//! failures and observed crashes — which is exactly what a gray machine
+//! never produces. The breaker closes that gap by watching the client-side
+//! outcome of every attempt: `failure_threshold` consecutive failures
+//! (timeouts included) trip the machine's breaker to *open*, taking it out
+//! of rotation without any health-check involvement. After `open_ns` a
+//! deterministic timer (an ordinary simulator event, so byte-identical
+//! across `--jobs`) moves it to *half-open*, where exactly one trial
+//! request is admitted: success re-closes the breaker, failure re-opens it
+//! and re-arms the timer.
+//!
+//! All state transitions are driven by simulator events and counted, so
+//! the `CS_PARANOID` audit can check the transition books: every half-open
+//! follows an open, every close follows a half-open, and every open was
+//! provoked by an observed failure.
+
+use serde::{Deserialize, Serialize};
+
+/// Circuit-breaker tuning shared by every machine's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive client-observed failures that trip the breaker (>= 1).
+    pub failure_threshold: u32,
+    /// How long an open breaker blocks the machine before the half-open
+    /// trial is allowed (> 0).
+    pub open_ns: u64,
+}
+
+/// One machine's breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Normal operation; counts consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// Tripped: no dispatches until the half-open timer fires.
+    Open,
+    /// Probation: one trial attempt may be dispatched at a time.
+    HalfOpen { trial_inflight: bool },
+}
+
+/// The fleet's breakers plus their transition counters.
+#[derive(Debug)]
+pub struct BreakerBank {
+    policy: BreakerPolicy,
+    states: Vec<State>,
+    /// Closed/half-open -> open transitions.
+    pub opens: u64,
+    /// Open -> half-open transitions (timer fired).
+    pub half_opens: u64,
+    /// Half-open -> closed transitions (trial succeeded).
+    pub closes: u64,
+}
+
+impl BreakerBank {
+    /// A bank of closed breakers, one per machine.
+    pub fn new(policy: BreakerPolicy, machines: usize) -> Self {
+        Self {
+            policy,
+            states: vec![State::Closed { consecutive_failures: 0 }; machines],
+            opens: 0,
+            half_opens: 0,
+            closes: 0,
+        }
+    }
+
+    /// The policy this bank enforces.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Whether the balancer may route an attempt to machine `m`.
+    pub fn allows(&self, m: usize) -> bool {
+        match self.states[m] {
+            State::Closed { .. } => true,
+            State::Open => false,
+            State::HalfOpen { trial_inflight } => !trial_inflight,
+        }
+    }
+
+    /// Notes an attempt dispatched to `m`; a half-open breaker marks it as
+    /// the (single) outstanding trial.
+    pub fn on_dispatch(&mut self, m: usize) {
+        if let State::HalfOpen { trial_inflight } = &mut self.states[m] {
+            *trial_inflight = true;
+        }
+    }
+
+    /// Notes a client-observed success on `m` (an attempt won).
+    pub fn on_success(&mut self, m: usize) {
+        match &mut self.states[m] {
+            State::Closed { consecutive_failures } => *consecutive_failures = 0,
+            State::HalfOpen { .. } => {
+                self.states[m] = State::Closed { consecutive_failures: 0 };
+                self.closes += 1;
+            }
+            // A straggling success from before the trip; the half-open
+            // trial decides recovery, not stale traffic.
+            State::Open => {}
+        }
+    }
+
+    /// Notes a client-observed failure (timeout / connect failure / crash)
+    /// on `m`. Returns `true` when this failure tripped the breaker open —
+    /// the caller must then schedule the half-open timer `open_ns` from now.
+    pub fn on_failure(&mut self, m: usize) -> bool {
+        match &mut self.states[m] {
+            State::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.policy.failure_threshold.max(1) {
+                    self.states[m] = State::Open;
+                    self.opens += 1;
+                    return true;
+                }
+                false
+            }
+            State::HalfOpen { .. } => {
+                self.states[m] = State::Open;
+                self.opens += 1;
+                true
+            }
+            State::Open => false,
+        }
+    }
+
+    /// Notes a cancelled attempt on `m` (a sibling won elsewhere). A
+    /// half-open trial that gets cancelled yields its slot so the next
+    /// request can probe; cancellation says nothing about health.
+    pub fn on_cancel(&mut self, m: usize) {
+        if let State::HalfOpen { trial_inflight } = &mut self.states[m] {
+            *trial_inflight = false;
+        }
+    }
+
+    /// The half-open timer fired for `m`. Returns whether the breaker
+    /// actually moved to half-open (it always should — each open epoch
+    /// arms exactly one timer — but a stale timer is ignored, not obeyed).
+    pub fn on_half_open_timer(&mut self, m: usize) -> bool {
+        if self.states[m] == State::Open {
+            self.states[m] = State::HalfOpen { trial_inflight: false };
+            self.half_opens += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(threshold: u32) -> BreakerBank {
+        BreakerBank::new(BreakerPolicy { failure_threshold: threshold, open_ns: 100 }, 2)
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = bank(3);
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(0));
+        b.on_success(0); // resets the streak
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(0));
+        assert!(b.on_failure(0));
+        assert!(!b.allows(0));
+        assert_eq!(b.opens, 1);
+        // Machine 1's breaker is untouched.
+        assert!(b.allows(1));
+    }
+
+    #[test]
+    fn half_open_admits_one_trial_and_closes_on_success() {
+        let mut b = bank(1);
+        assert!(b.on_failure(0));
+        assert!(!b.allows(0));
+        assert!(b.on_half_open_timer(0));
+        assert!(b.allows(0));
+        b.on_dispatch(0);
+        assert!(!b.allows(0), "only one trial may be outstanding");
+        b.on_success(0);
+        assert!(b.allows(0));
+        assert_eq!((b.opens, b.half_opens, b.closes), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_trial_reopens() {
+        let mut b = bank(1);
+        assert!(b.on_failure(0));
+        assert!(b.on_half_open_timer(0));
+        b.on_dispatch(0);
+        assert!(b.on_failure(0), "trial failure re-opens and re-arms the timer");
+        assert!(!b.allows(0));
+        assert_eq!((b.opens, b.half_opens, b.closes), (2, 1, 0));
+    }
+
+    #[test]
+    fn cancelled_trial_yields_the_slot() {
+        let mut b = bank(1);
+        assert!(b.on_failure(0));
+        assert!(b.on_half_open_timer(0));
+        b.on_dispatch(0);
+        assert!(!b.allows(0));
+        b.on_cancel(0);
+        assert!(b.allows(0));
+        assert_eq!(b.closes, 0);
+    }
+
+    #[test]
+    fn failures_while_open_do_not_recount() {
+        let mut b = bank(1);
+        assert!(b.on_failure(0));
+        assert!(!b.on_failure(0), "straggling failures while open are absorbed");
+        assert_eq!(b.opens, 1);
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut b = bank(1);
+        assert!(!b.on_half_open_timer(0), "closed breaker ignores timers");
+        assert_eq!(b.half_opens, 0);
+    }
+
+    #[test]
+    fn zero_threshold_behaves_like_one() {
+        let mut b = BreakerBank::new(BreakerPolicy { failure_threshold: 0, open_ns: 1 }, 1);
+        assert!(b.on_failure(0));
+    }
+}

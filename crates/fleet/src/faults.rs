@@ -1,22 +1,36 @@
-//! Seeded machine-level fault injection: crashes and stragglers.
+//! Seeded machine-level fault injection: crashes, stragglers, gray
+//! failures, and correlated fault domains.
 //!
 //! Follows the `cs-memsys` `FaultPlan` discipline: a plan is plain data, a
 //! pure function of its seed, and every fault it injects is counted so
 //! tests can assert the chaos actually happened. Where the memory-system
 //! plan perturbs individual DRAM events, the fleet plan schedules
 //! machine-lifetime events — whole-machine crashes with a fixed repair
-//! time, and straggler episodes that multiply service times for a while.
-//! Each machine draws from its own SplitMix-derived stream, so adding a
-//! machine never perturbs the fault history of the others.
+//! time, straggler episodes that multiply service times for a while, and
+//! *gray* episodes during which a machine stays `up` (probes pass, connects
+//! succeed) yet serves slowly and silently drops a seeded fraction of
+//! requests. Machines can additionally be grouped into fault *domains*
+//! (racks / power feeds): domain-level draws take a whole domain down — or
+//! gray — at once, so failures correlate instead of being i.i.d.
+//!
+//! Each machine draws from its own SplitMix-derived stream, and each
+//! domain from its own, so adding a machine (or domain) never perturbs the
+//! fault history of the others.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+fn default_one() -> f64 {
+    1.0
+}
+
 /// A seeded machine-level fault plan.
 ///
 /// Gap draws are exponential around the configured mean time between
-/// faults; a mean of zero disables that fault class entirely.
+/// faults; a mean of zero disables that fault class entirely. All fields
+/// added after the original crash/straggler plan carry serde defaults so
+/// previously serialized plans (and checkpointed configs) still load.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetFaultPlan {
     /// Mean time between crashes per machine, in ns (0 = no crashes).
@@ -29,6 +43,32 @@ pub struct FleetFaultPlan {
     pub straggler_duration_ns: u64,
     /// Service-time multiplier while straggling (> 1 to have any effect).
     pub straggler_factor: f64,
+    /// Mean time between gray episodes per machine, in ns (0 = none).
+    #[serde(default)]
+    pub gray_mtbf_ns: u64,
+    /// Length of one gray episode.
+    #[serde(default)]
+    pub gray_duration_ns: u64,
+    /// Service-time multiplier while gray (>= 1).
+    #[serde(default = "default_one")]
+    pub gray_latency_factor: f64,
+    /// Probability in `[0, 1)` that an attempt starting service on a gray
+    /// machine is silently dropped (the client only learns via timeout).
+    #[serde(default)]
+    pub gray_drop_rate: f64,
+    /// Extra service inflation while gray modeling memory pressure; fed
+    /// from the harness-measured `interference_matrix` pairing inflation
+    /// (the fig4 co-location factor) by the experiment layer.
+    #[serde(default = "default_one")]
+    pub gray_memory_inflation: f64,
+    /// Mean time between whole-domain outages per fault domain (0 = none).
+    /// Repair reuses `repair_ns`.
+    #[serde(default)]
+    pub domain_outage_mtbf_ns: u64,
+    /// Mean time between domain-wide gray episodes per fault domain
+    /// (0 = none). Episode shape reuses the `gray_*` fields.
+    #[serde(default)]
+    pub domain_gray_mtbf_ns: u64,
     /// Seed of the fault streams (independent of the service-time seed).
     pub seed: u64,
 }
@@ -42,6 +82,13 @@ impl FleetFaultPlan {
             straggler_mtbf_ns: 0,
             straggler_duration_ns: 0,
             straggler_factor: 1.0,
+            gray_mtbf_ns: 0,
+            gray_duration_ns: 0,
+            gray_latency_factor: 1.0,
+            gray_drop_rate: 0.0,
+            gray_memory_inflation: 1.0,
+            domain_outage_mtbf_ns: 0,
+            domain_gray_mtbf_ns: 0,
             seed,
         }
     }
@@ -62,32 +109,104 @@ impl FleetFaultPlan {
             ..Self::quiet(seed)
         }
     }
+
+    /// Gray failures only: episodes of `duration_ns` during which service
+    /// is `latency_factor` slower and a `drop_rate` fraction of attempts
+    /// vanish, while the machine keeps passing health probes.
+    pub fn gray(
+        mtbf_ns: u64,
+        duration_ns: u64,
+        latency_factor: f64,
+        drop_rate: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            gray_mtbf_ns: mtbf_ns,
+            gray_duration_ns: duration_ns,
+            gray_latency_factor: latency_factor,
+            gray_drop_rate: drop_rate,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Correlated outages only: whole fault domains crash together every
+    /// `mtbf_ns` on average (per domain) and repair `repair_ns` later.
+    pub fn domain_outages(mtbf_ns: u64, repair_ns: u64, seed: u64) -> Self {
+        Self { domain_outage_mtbf_ns: mtbf_ns, repair_ns, ..Self::quiet(seed) }
+    }
+
+    /// Returns the plan with the gray memory-pressure inflation set (the
+    /// measured co-location factor from the interference matrix).
+    pub fn with_gray_memory_inflation(mut self, inflation: f64) -> Self {
+        self.gray_memory_inflation = inflation;
+        self
+    }
+
+    /// Whether gray episodes would have any observable effect.
+    pub fn gray_bites(&self) -> bool {
+        self.gray_duration_ns > 0
+            && (self.gray_latency_factor > 1.0
+                || self.gray_drop_rate > 0.0
+                || self.gray_memory_inflation > 1.0)
+    }
+
+    /// The total service-time multiplier applied while a machine is gray.
+    pub fn gray_service_factor(&self) -> f64 {
+        self.gray_latency_factor.max(1.0) * self.gray_memory_inflation.max(1.0)
+    }
+
+    /// Whether any domain-level fault class is enabled.
+    pub fn wants_domains(&self) -> bool {
+        self.domain_outage_mtbf_ns > 0 || (self.domain_gray_mtbf_ns > 0 && self.gray_bites())
+    }
 }
 
-/// Per-machine fault streams for one simulation.
+/// Per-machine (and per-domain) fault streams for one simulation.
 ///
-/// Crash gaps and straggler gaps come from separate streams so enabling
-/// one fault class never shifts the schedule of the other.
+/// Crash gaps, straggler gaps, gray gaps, gray drop draws, and the two
+/// domain-level gap kinds each come from separate stream families, so
+/// enabling one fault class never shifts the schedule of another.
 #[derive(Debug)]
 pub struct FaultStreams {
     plan: FleetFaultPlan,
     crash: Vec<SmallRng>,
     straggle: Vec<SmallRng>,
+    gray: Vec<SmallRng>,
+    gray_drop: Vec<SmallRng>,
+    domain_outage: Vec<SmallRng>,
+    domain_gray: Vec<SmallRng>,
 }
 
 /// Stream-id offset separating straggler streams from crash streams.
 const STRAGGLE_STREAM_BASE: u64 = 1 << 32;
+/// Stream-id offset of the per-machine gray-episode streams.
+const GRAY_STREAM_BASE: u64 = 2 << 32;
+/// Stream-id offset of the per-machine gray drop-draw streams.
+const GRAY_DROP_STREAM_BASE: u64 = 3 << 32;
+/// Stream-id offset of the per-domain outage streams.
+const DOMAIN_OUTAGE_STREAM_BASE: u64 = 4 << 32;
+/// Stream-id offset of the per-domain gray streams.
+const DOMAIN_GRAY_STREAM_BASE: u64 = 5 << 32;
 
 impl FaultStreams {
-    /// Builds streams for `machines` machines from the plan's seed.
-    pub fn new(plan: FleetFaultPlan, machines: usize) -> Self {
-        let crash = (0..machines)
-            .map(|m| cs_trace::rng::stream_rng(plan.seed, m as u64))
-            .collect();
-        let straggle = (0..machines)
-            .map(|m| cs_trace::rng::stream_rng(plan.seed, STRAGGLE_STREAM_BASE + m as u64))
-            .collect();
-        Self { plan, crash, straggle }
+    /// Builds streams for `machines` machines in `domains` fault domains
+    /// from the plan's seed.
+    pub fn new(plan: FleetFaultPlan, machines: usize, domains: usize) -> Self {
+        let per_machine = |base: u64| -> Vec<SmallRng> {
+            (0..machines).map(|m| cs_trace::rng::stream_rng(plan.seed, base + m as u64)).collect()
+        };
+        let per_domain = |base: u64| -> Vec<SmallRng> {
+            (0..domains).map(|d| cs_trace::rng::stream_rng(plan.seed, base + d as u64)).collect()
+        };
+        Self {
+            plan,
+            crash: per_machine(0),
+            straggle: per_machine(STRAGGLE_STREAM_BASE),
+            gray: per_machine(GRAY_STREAM_BASE),
+            gray_drop: per_machine(GRAY_DROP_STREAM_BASE),
+            domain_outage: per_domain(DOMAIN_OUTAGE_STREAM_BASE),
+            domain_gray: per_domain(DOMAIN_GRAY_STREAM_BASE),
+        }
     }
 
     /// The plan these streams realize.
@@ -115,6 +234,41 @@ impl FaultStreams {
         }
         Some(Self::exp_gap(&mut self.straggle[m], self.plan.straggler_mtbf_ns))
     }
+
+    /// Gap to machine `m`'s next gray episode, or `None` if disabled.
+    pub fn next_gray_gap(&mut self, m: usize) -> Option<u64> {
+        if self.plan.gray_mtbf_ns == 0 || !self.plan.gray_bites() {
+            return None;
+        }
+        Some(Self::exp_gap(&mut self.gray[m], self.plan.gray_mtbf_ns))
+    }
+
+    /// Gap to domain `d`'s next correlated outage, or `None` if disabled.
+    pub fn next_domain_outage_gap(&mut self, d: usize) -> Option<u64> {
+        if self.plan.domain_outage_mtbf_ns == 0 {
+            return None;
+        }
+        Some(Self::exp_gap(&mut self.domain_outage[d], self.plan.domain_outage_mtbf_ns))
+    }
+
+    /// Gap to domain `d`'s next gray episode, or `None` if disabled.
+    pub fn next_domain_gray_gap(&mut self, d: usize) -> Option<u64> {
+        if self.plan.domain_gray_mtbf_ns == 0 || !self.plan.gray_bites() {
+            return None;
+        }
+        Some(Self::exp_gap(&mut self.domain_gray[d], self.plan.domain_gray_mtbf_ns))
+    }
+
+    /// Draws whether an attempt starting service on (gray) machine `m` is
+    /// silently dropped. Consumes a draw only when the drop rate is live,
+    /// so a zero-rate plan replays byte-identically with the stream family
+    /// untouched.
+    pub fn draw_gray_drop(&mut self, m: usize) -> bool {
+        if self.plan.gray_drop_rate <= 0.0 {
+            return false;
+        }
+        self.gray_drop[m].gen::<f64>() < self.plan.gray_drop_rate
+    }
 }
 
 #[cfg(test)]
@@ -124,8 +278,8 @@ mod tests {
     #[test]
     fn same_seed_same_schedule() {
         let plan = FleetFaultPlan::crashes(1_000_000, 50_000, 13);
-        let mut a = FaultStreams::new(plan, 4);
-        let mut b = FaultStreams::new(plan, 4);
+        let mut a = FaultStreams::new(plan, 4, 1);
+        let mut b = FaultStreams::new(plan, 4, 1);
         for m in 0..4 {
             let xs: Vec<_> = (0..32).map(|_| a.next_crash_gap(m)).collect();
             let ys: Vec<_> = (0..32).map(|_| b.next_crash_gap(m)).collect();
@@ -136,7 +290,7 @@ mod tests {
     #[test]
     fn machines_have_independent_streams() {
         let plan = FleetFaultPlan::crashes(1_000_000, 50_000, 13);
-        let mut s = FaultStreams::new(plan, 2);
+        let mut s = FaultStreams::new(plan, 2, 1);
         let xs: Vec<_> = (0..32).map(|_| s.next_crash_gap(0)).collect();
         let ys: Vec<_> = (0..32).map(|_| s.next_crash_gap(1)).collect();
         assert_ne!(xs, ys);
@@ -145,8 +299,8 @@ mod tests {
     #[test]
     fn adding_a_machine_preserves_existing_streams() {
         let plan = FleetFaultPlan::stragglers(500_000, 10_000, 4.0, 5);
-        let mut small = FaultStreams::new(plan, 2);
-        let mut large = FaultStreams::new(plan, 8);
+        let mut small = FaultStreams::new(plan, 2, 1);
+        let mut large = FaultStreams::new(plan, 8, 1);
         for m in 0..2 {
             let xs: Vec<_> = (0..16).map(|_| small.next_straggle_gap(m)).collect();
             let ys: Vec<_> = (0..16).map(|_| large.next_straggle_gap(m)).collect();
@@ -155,24 +309,86 @@ mod tests {
     }
 
     #[test]
+    fn adding_a_domain_preserves_existing_domain_streams() {
+        let plan = FleetFaultPlan::domain_outages(300_000, 20_000, 6);
+        let mut small = FaultStreams::new(plan, 4, 2);
+        let mut large = FaultStreams::new(plan, 4, 4);
+        for d in 0..2 {
+            let xs: Vec<_> = (0..16).map(|_| small.next_domain_outage_gap(d)).collect();
+            let ys: Vec<_> = (0..16).map(|_| large.next_domain_outage_gap(d)).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
     fn quiet_plan_schedules_nothing() {
-        let mut s = FaultStreams::new(FleetFaultPlan::quiet(1), 3);
+        let mut s = FaultStreams::new(FleetFaultPlan::quiet(1), 3, 2);
         assert_eq!(s.next_crash_gap(0), None);
         assert_eq!(s.next_straggle_gap(2), None);
+        assert_eq!(s.next_gray_gap(1), None);
+        assert_eq!(s.next_domain_outage_gap(0), None);
+        assert_eq!(s.next_domain_gray_gap(1), None);
+        assert!(!s.draw_gray_drop(0));
     }
 
     #[test]
     fn factor_at_or_below_one_disables_stragglers() {
-        let mut s = FaultStreams::new(FleetFaultPlan::stragglers(1_000, 100, 1.0, 2), 1);
+        let mut s = FaultStreams::new(FleetFaultPlan::stragglers(1_000, 100, 1.0, 2), 1, 1);
         assert_eq!(s.next_straggle_gap(0), None);
+    }
+
+    #[test]
+    fn toothless_gray_plans_are_disabled() {
+        // A gray plan whose episodes would change nothing schedules none.
+        let mut latency_only = FleetFaultPlan::gray(1_000, 100, 1.0, 0.0, 2);
+        latency_only.gray_memory_inflation = 1.0;
+        let mut s = FaultStreams::new(latency_only, 1, 1);
+        assert_eq!(s.next_gray_gap(0), None);
+        // Any of the three knobs > neutral re-arms it.
+        let armed = FleetFaultPlan::gray(1_000, 100, 1.0, 0.5, 2);
+        let mut s = FaultStreams::new(armed, 1, 1);
+        assert!(s.next_gray_gap(0).is_some());
+    }
+
+    #[test]
+    fn gray_drop_draws_match_the_rate_roughly() {
+        let plan = FleetFaultPlan::gray(1_000, 100, 2.0, 0.25, 7);
+        let mut s = FaultStreams::new(plan, 1, 1);
+        let dropped = (0..10_000).filter(|_| s.draw_gray_drop(0)).count();
+        assert!((2_000..3_000).contains(&dropped), "dropped {dropped}/10000 at rate 0.25");
+    }
+
+    #[test]
+    fn gray_service_factor_stacks_latency_and_memory_pressure() {
+        let plan =
+            FleetFaultPlan::gray(1_000, 100, 3.0, 0.0, 1).with_gray_memory_inflation(1.5);
+        assert!((plan.gray_service_factor() - 4.5).abs() < 1e-12);
+        assert!(plan.gray_bites());
     }
 
     #[test]
     fn gaps_are_positive() {
         let plan = FleetFaultPlan::crashes(1, 1, 99);
-        let mut s = FaultStreams::new(plan, 1);
+        let mut s = FaultStreams::new(plan, 1, 1);
         for _ in 0..1_000 {
             assert!(s.next_crash_gap(0).unwrap_or(1) >= 1);
         }
+    }
+
+    #[test]
+    fn legacy_plans_deserialize_with_neutral_gray_and_domain_fields() {
+        let legacy = r#"{
+            "crash_mtbf_ns": 10, "repair_ns": 5,
+            "straggler_mtbf_ns": 0, "straggler_duration_ns": 0,
+            "straggler_factor": 1.0, "seed": 3
+        }"#;
+        // Shim-serde environments cannot deserialize; the property only
+        // binds where a real serde backs the parse.
+        let Ok(plan) = serde_json::from_str::<FleetFaultPlan>(legacy) else { return };
+        assert_eq!(plan.gray_mtbf_ns, 0);
+        assert_eq!(plan.gray_latency_factor, 1.0);
+        assert_eq!(plan.gray_memory_inflation, 1.0);
+        assert!(!plan.wants_domains());
+        assert_eq!(plan, FleetFaultPlan::crashes(10, 5, 3));
     }
 }

@@ -19,23 +19,33 @@
 //! - **Machines and routing** ([`machine`], [`balancer`]):
 //!   least-outstanding routing over bounded queues, health ejection and
 //!   probe-driven readmission, overload shedding at admission.
-//! - **Faults** ([`faults`]): seeded machine crash/recovery and straggler
-//!   episodes, per-machine streams in the `cs-memsys` `FaultPlan`
-//!   discipline.
+//! - **Faults** ([`faults`]): seeded machine crash/recovery, straggler
+//!   episodes, *gray* degradation episodes (up and probe-passing but slow
+//!   and lossy), and correlated fault-domain events (rack/power-feed
+//!   outages and domain-wide gray), per-machine and per-domain streams in
+//!   the `cs-memsys` `FaultPlan` discipline.
 //! - **Client policies** ([`policy`]): per-request timeouts, capped
 //!   exponential-backoff retries (the same [`RetryPolicy`] the campaign
-//!   runner uses for transient experiment failures), and hedged requests.
+//!   runner uses for transient experiment failures), hedged requests, a
+//!   token-bucket [`RetryBudget`] that bounds retry-storm amplification,
+//!   and an [`AimdPolicy`] adaptive concurrency limit.
+//! - **Circuit breakers** ([`breaker`]): per-machine closed/open/half-open
+//!   breakers on client-observed failures — the mitigation that catches
+//!   gray machines the health ejector cannot see.
 //! - **The event loop** ([`sim`]): a single `(time, sequence)`-ordered
 //!   heap, which is the whole determinism argument — see the module docs.
-//! - **SLO accounting** ([`report`]): percentiles, goodput, and a
-//!   conservation auditor (`arrived = completed + shed + failed`, plus
-//!   attempt-level books) that `CS_PARANOID` runs after every simulation.
+//! - **SLO accounting** ([`report`]): percentiles, goodput, recovery-era
+//!   (post-trigger) attainment, and a conservation auditor (`arrived =
+//!   completed + shed + failed`, attempt-level books, retry-budget token
+//!   conservation, the breaker transition ledger) that `CS_PARANOID` runs
+//!   after every simulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, clippy::unwrap_used, clippy::perf)]
 
 pub mod arrivals;
 pub mod balancer;
+pub mod breaker;
 pub mod faults;
 pub mod machine;
 pub mod policy;
@@ -44,8 +54,9 @@ pub mod service;
 pub mod sim;
 
 pub use arrivals::Burst;
+pub use breaker::BreakerPolicy;
 pub use faults::FleetFaultPlan;
-pub use policy::{HedgePolicy, RetryPolicy};
-pub use report::{FleetAuditError, FleetStats};
+pub use policy::{AimdPolicy, HedgePolicy, RetryBudget, RetryPolicy};
+pub use report::{AuditPolicies, FleetAuditError, FleetStats};
 pub use service::ServiceProfile;
 pub use sim::{simulate, FleetConfig, FleetConfigError};

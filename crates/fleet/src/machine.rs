@@ -22,6 +22,10 @@ pub struct Machine {
     pub up: bool,
     /// Whether a straggler episode is active (service times inflated).
     pub slow: bool,
+    /// Whether a gray-failure episode is active: the machine stays `up`
+    /// (probes pass, connects succeed) but serves slowly and may silently
+    /// drop requests.
+    pub gray: bool,
 }
 
 impl Machine {
@@ -33,6 +37,7 @@ impl Machine {
             queue: std::collections::VecDeque::new(),
             up: true,
             slow: false,
+            gray: false,
         }
     }
 

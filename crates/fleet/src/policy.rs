@@ -67,6 +67,54 @@ pub struct HedgePolicy {
     pub max_hedges: u32,
 }
 
+/// A client-side retry budget: a token bucket that caps how much *extra*
+/// load (retries and hedges) the client may add on top of its arrivals.
+///
+/// Tokens are integer milli-attempts so the books stay exact: each arrival
+/// deposits `fill_milli` tokens (capped at `burst_milli`), and each retry
+/// or hedge dispatch withdraws 1000. A dispatch that cannot pay is denied
+/// — the retry fails the request, the hedge is skipped — which is what
+/// breaks the retry-storm feedback loop: extra load is bounded by a fixed
+/// fraction of offered load no matter how bad the fleet gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryBudget {
+    /// Milli-tokens deposited per arriving request (1000 = one extra
+    /// attempt per request; 200 = retries capped at 20% of arrivals).
+    pub fill_milli: u64,
+    /// Bucket capacity in milli-tokens (also the initial balance), i.e.
+    /// the largest burst of extra attempts the client may front-load.
+    pub burst_milli: u64,
+}
+
+impl RetryBudget {
+    /// A budget allowing `percent`% extra attempts with a burst allowance
+    /// of `burst` whole attempts.
+    pub fn percent(percent: u64, burst: u64) -> Self {
+        Self { fill_milli: percent.saturating_mul(10), burst_milli: burst.saturating_mul(1000) }
+    }
+}
+
+/// AIMD adaptive concurrency limit for the balancer's admission decision.
+///
+/// The balancer tracks client-side outstanding attempts against a limit
+/// expressed in milli-attempts: every success adds `increase_milli`
+/// (additive increase), every observed failure multiplies the limit by
+/// `(100 - decrease_pct) / 100` (multiplicative decrease), and the limit
+/// is clamped to `[min_inflight, max_inflight]` whole attempts. Integer
+/// arithmetic throughout keeps the trajectory byte-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AimdPolicy {
+    /// Lower clamp on the concurrency limit, in whole attempts (>= 1).
+    pub min_inflight: u64,
+    /// Upper clamp on the concurrency limit, in whole attempts; also the
+    /// starting limit.
+    pub max_inflight: u64,
+    /// Additive increase per observed success, in milli-attempts.
+    pub increase_milli: u64,
+    /// Multiplicative decrease per observed failure, in percent `(0, 100)`.
+    pub decrease_pct: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +144,14 @@ mod tests {
     #[test]
     fn none_never_retries() {
         assert!(RetryPolicy::none().schedule().is_empty());
+    }
+
+    #[test]
+    fn percent_budget_converts_to_milli_tokens() {
+        let b = RetryBudget::percent(20, 3);
+        assert_eq!(b, RetryBudget { fill_milli: 200, burst_milli: 3_000 });
+        let huge = RetryBudget::percent(u64::MAX, u64::MAX);
+        assert_eq!(huge.fill_milli, u64::MAX);
+        assert_eq!(huge.burst_milli, u64::MAX);
     }
 }

@@ -4,11 +4,17 @@
 //! failed — and every dispatched attempt in exactly one of five — won,
 //! timed out, connect-failed, crash-failed, or cancelled. [`FleetStats`]
 //! counts all of them, plus the fault/policy events that caused them, and
-//! [`FleetStats::audit`] re-derives the books. Under `CS_PARANOID` the
-//! experiment layer runs the audit after every simulation and fails the
-//! run loudly on any imbalance.
+//! [`FleetStats::audit`] re-derives the books against the policy set the
+//! simulation ran with ([`AuditPolicies`]): the hedge cap, the retry-budget
+//! token conservation (`spent == (retries + hedges) * 1000` exactly, and
+//! never more than was granted), the breaker transition ledger (every
+//! half-open follows an open, every close a half-open, every open an
+//! observed failure), and the recovery-era (`late_*`) books. Under
+//! `CS_PARANOID` the experiment layer runs the audit after every simulation
+//! and fails the run loudly on any imbalance.
 
-use crate::policy::HedgePolicy;
+use crate::breaker::BreakerPolicy;
+use crate::policy::{HedgePolicy, RetryBudget};
 use serde::{Deserialize, Serialize};
 
 /// Counters and latencies from one fleet simulation.
@@ -46,12 +52,26 @@ pub struct FleetStats {
     /// abandoned — wasted work, the cost of timeouts under overload.
     pub wasted_completions: u64,
 
-    /// Machine crashes injected.
+    /// Machine crashes injected (independent or via domain outage).
     pub machine_failures: u64,
     /// Machines repaired and brought back up.
     pub recoveries: u64,
     /// Straggler episodes started.
     pub straggler_episodes: u64,
+    /// Gray-failure episodes started (per machine, from per-machine draws
+    /// or domain-wide events).
+    #[serde(default)]
+    pub gray_episodes: u64,
+    /// Attempts silently dropped by a gray machine (discovered only by
+    /// client timeout or sibling cancellation).
+    #[serde(default)]
+    pub gray_dropped: u64,
+    /// Correlated domain outages injected.
+    #[serde(default)]
+    pub domain_outages: u64,
+    /// Domain-wide gray episodes injected.
+    #[serde(default)]
+    pub domain_gray_episodes: u64,
     /// Machines ejected from rotation by the balancer.
     pub ejections: u64,
     /// Machines readmitted by health probes.
@@ -59,10 +79,55 @@ pub struct FleetStats {
     /// Health probes performed.
     pub probes: u64,
 
+    /// Retry-budget milli-tokens granted (initial burst + per-arrival
+    /// fills, capped at the bucket).
+    #[serde(default)]
+    pub budget_granted_milli: u64,
+    /// Retry-budget milli-tokens spent (1000 per dispatched retry/hedge).
+    #[serde(default)]
+    pub budget_spent_milli: u64,
+    /// Retry/hedge dispatches denied because the budget could not pay.
+    #[serde(default)]
+    pub budget_denied: u64,
+    /// Closed/half-open -> open breaker transitions.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Open -> half-open breaker transitions (probe timer fired).
+    #[serde(default)]
+    pub breaker_half_opens: u64,
+    /// Half-open -> closed breaker transitions (trial succeeded).
+    #[serde(default)]
+    pub breaker_closes: u64,
+    /// Dispatches denied by the AIMD concurrency limit.
+    #[serde(default)]
+    pub aimd_throttled: u64,
+
+    /// Requests that arrived at or after `trigger_end_ns` (recovery era).
+    #[serde(default)]
+    pub late_arrived: u64,
+    /// Recovery-era requests that completed.
+    #[serde(default)]
+    pub late_completed: u64,
+    /// Recovery-era completion latencies, sorted, ns.
+    #[serde(default)]
+    pub late_latencies_ns: Vec<u64>,
+
     /// Simulated time of the last request resolution, in ns.
     pub span_ns: u64,
     /// Completion latencies (arrival to winning completion), sorted, ns.
     pub latencies_ns: Vec<u64>,
+}
+
+/// The policy set a simulation ran with, for the audit's policy-dependent
+/// books. Built by [`FleetConfig::audit_policies`](crate::FleetConfig::audit_policies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditPolicies {
+    /// Hedge policy (None = hedging disabled).
+    pub hedge: Option<HedgePolicy>,
+    /// Retry budget (None = unbounded retries/hedges).
+    pub retry_budget: Option<RetryBudget>,
+    /// Circuit breakers (None = disabled).
+    pub breaker: Option<BreakerPolicy>,
 }
 
 /// A conservation violation found by [`FleetStats::audit`].
@@ -112,6 +177,40 @@ pub enum FleetAuditError {
         /// Latency samples recorded.
         samples: u64,
     },
+    /// The retry-budget token books do not balance: tokens spent must
+    /// equal `(retries + hedges) * 1000` exactly, never exceed tokens
+    /// granted, and the grant can never exceed the burst plus per-arrival
+    /// fills. With no budget configured, all budget counters must be zero.
+    RetryBudgetBooks {
+        /// Milli-tokens granted.
+        granted_milli: u64,
+        /// Milli-tokens spent.
+        spent_milli: u64,
+        /// `(retries + hedges) * 1000`.
+        extra_attempt_milli: u64,
+    },
+    /// The breaker transition ledger does not balance: half-opens exceed
+    /// opens, closes exceed half-opens, or opens exceed observed failures.
+    /// With no breaker configured, all transition counters must be zero.
+    BreakerBooks {
+        /// Closed/half-open -> open transitions.
+        opens: u64,
+        /// Open -> half-open transitions.
+        half_opens: u64,
+        /// Half-open -> closed transitions.
+        closes: u64,
+    },
+    /// The recovery-era books do not balance: late arrivals exceed
+    /// arrivals, late completions exceed completions or late arrivals, or
+    /// the late latency samples disagree with the late completion count.
+    LateBooks {
+        /// Recovery-era arrivals.
+        late_arrived: u64,
+        /// Recovery-era completions.
+        late_completed: u64,
+        /// Recovery-era latency samples.
+        samples: u64,
+    },
 }
 
 impl std::fmt::Display for FleetAuditError {
@@ -139,6 +238,18 @@ impl std::fmt::Display for FleetAuditError {
             Self::LatencyCount { completed, samples } => write!(
                 f,
                 "latency bookkeeping violated: {completed} completions but {samples} latency samples"
+            ),
+            Self::RetryBudgetBooks { granted_milli, spent_milli, extra_attempt_milli } => write!(
+                f,
+                "retry-budget books violated: granted {granted_milli}m, spent {spent_milli}m, extra attempts {extra_attempt_milli}m"
+            ),
+            Self::BreakerBooks { opens, half_opens, closes } => write!(
+                f,
+                "breaker books violated: opens {opens}, half-opens {half_opens}, closes {closes}"
+            ),
+            Self::LateBooks { late_arrived, late_completed, samples } => write!(
+                f,
+                "recovery-era books violated: late arrived {late_arrived}, late completed {late_completed}, samples {samples}"
             ),
         }
     }
@@ -189,9 +300,29 @@ impl FleetStats {
         within as f64 / self.arrived as f64
     }
 
-    /// Re-derives every conservation identity; `hedge` is the policy the
-    /// simulation ran with (None = hedging disabled).
-    pub fn audit(&self, hedge: Option<HedgePolicy>) -> Result<(), FleetAuditError> {
+    /// [`Self::slo_attainment`] restricted to requests that arrived after
+    /// the overload trigger ended — the recovery-era attainment a
+    /// metastable fleet fails and a mitigated one restores.
+    pub fn late_slo_attainment(&self, slo_ns: u64) -> f64 {
+        if self.late_arrived == 0 {
+            return 0.0;
+        }
+        let within = self.late_latencies_ns.partition_point(|&l| l <= slo_ns);
+        within as f64 / self.late_arrived as f64
+    }
+
+    /// Wasted work fraction: server completions the client had abandoned,
+    /// over all attempts dispatched.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.wasted_completions as f64 / self.attempts as f64
+    }
+
+    /// Re-derives every conservation identity against the policy set the
+    /// simulation ran with.
+    pub fn audit(&self, policies: &AuditPolicies) -> Result<(), FleetAuditError> {
         let resolved = self.completed + self.shed + self.failed;
         if self.arrived != resolved {
             return Err(FleetAuditError::RequestConservation { arrived: self.arrived, resolved });
@@ -218,7 +349,8 @@ impl FleetStats {
         if self.retries > failures {
             return Err(FleetAuditError::RetryProvenance { retries: self.retries, failures });
         }
-        let cap = self.arrived.saturating_mul(u64::from(hedge.map_or(0, |h| h.max_hedges)));
+        let cap =
+            self.arrived.saturating_mul(u64::from(policies.hedge.map_or(0, |h| h.max_hedges)));
         if self.hedges > cap {
             return Err(FleetAuditError::HedgeCap { hedges: self.hedges, cap });
         }
@@ -228,6 +360,63 @@ impl FleetStats {
                 samples: self.latencies_ns.len() as u64,
             });
         }
+        let extra_attempt_milli = (self.retries + self.hedges).saturating_mul(1000);
+        let budget_err = FleetAuditError::RetryBudgetBooks {
+            granted_milli: self.budget_granted_milli,
+            spent_milli: self.budget_spent_milli,
+            extra_attempt_milli,
+        };
+        match policies.retry_budget {
+            Some(b) => {
+                let grant_cap =
+                    b.burst_milli.saturating_add(self.arrived.saturating_mul(b.fill_milli));
+                if self.budget_spent_milli != extra_attempt_milli
+                    || self.budget_spent_milli > self.budget_granted_milli
+                    || self.budget_granted_milli > grant_cap
+                {
+                    return Err(budget_err);
+                }
+            }
+            None => {
+                if self.budget_granted_milli != 0
+                    || self.budget_spent_milli != 0
+                    || self.budget_denied != 0
+                {
+                    return Err(budget_err);
+                }
+            }
+        }
+        let breaker_err = FleetAuditError::BreakerBooks {
+            opens: self.breaker_opens,
+            half_opens: self.breaker_half_opens,
+            closes: self.breaker_closes,
+        };
+        if policies.breaker.is_some() {
+            // Every half-open was armed by an open; every close resolved a
+            // half-open; every open was provoked by an observed failure.
+            if self.breaker_half_opens > self.breaker_opens
+                || self.breaker_closes > self.breaker_half_opens
+                || self.breaker_opens > failures
+            {
+                return Err(breaker_err);
+            }
+        } else if self.breaker_opens != 0
+            || self.breaker_half_opens != 0
+            || self.breaker_closes != 0
+        {
+            return Err(breaker_err);
+        }
+        if self.late_arrived > self.arrived
+            || self.late_completed > self.completed
+            || self.late_completed > self.late_arrived
+            || self.late_completed != self.late_latencies_ns.len() as u64
+        {
+            return Err(FleetAuditError::LateBooks {
+                late_arrived: self.late_arrived,
+                late_completed: self.late_completed,
+                samples: self.late_latencies_ns.len() as u64,
+            });
+        }
         Ok(())
     }
 }
@@ -235,6 +424,13 @@ impl FleetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn hedged() -> AuditPolicies {
+        AuditPolicies {
+            hedge: Some(HedgePolicy { delay_ns: 100, max_hedges: 1 }),
+            ..AuditPolicies::default()
+        }
+    }
 
     fn balanced() -> FleetStats {
         FleetStats {
@@ -259,34 +455,100 @@ mod tests {
 
     #[test]
     fn audit_accepts_balanced_books() {
-        let hedge = Some(HedgePolicy { delay_ns: 100, max_hedges: 1 });
-        balanced().audit(hedge).expect("balanced stats must pass");
+        balanced().audit(&hedged()).expect("balanced stats must pass");
     }
 
     #[test]
     fn audit_catches_each_imbalance() {
-        let hedge = Some(HedgePolicy { delay_ns: 100, max_hedges: 1 });
+        let p = hedged();
         let mut s = balanced();
         s.shed = 0;
-        assert!(matches!(
-            s.audit(hedge),
-            Err(FleetAuditError::RequestConservation { .. })
-        ));
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::RequestConservation { .. })));
         let mut s = balanced();
         s.retries = 2;
-        assert!(matches!(s.audit(hedge), Err(FleetAuditError::AttemptProvenance { .. })));
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::AttemptProvenance { .. })));
         let mut s = balanced();
         s.cancelled = 0;
-        assert!(matches!(s.audit(hedge), Err(FleetAuditError::AttemptConservation { .. })));
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::AttemptConservation { .. })));
         let mut s = balanced();
         s.retries = 6;
         s.initial_attempts = 5;
-        assert!(matches!(s.audit(hedge), Err(FleetAuditError::RetryProvenance { .. })));
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::RetryProvenance { .. })));
         let s = balanced();
-        assert!(matches!(s.audit(None), Err(FleetAuditError::HedgeCap { .. })));
+        assert!(matches!(s.audit(&AuditPolicies::default()), Err(FleetAuditError::HedgeCap { .. })));
         let mut s = balanced();
         s.latencies_ns.pop();
-        assert!(matches!(s.audit(hedge), Err(FleetAuditError::LatencyCount { .. })));
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::LatencyCount { .. })));
+    }
+
+    #[test]
+    fn audit_checks_the_budget_token_books() {
+        let budget = RetryBudget { fill_milli: 500, burst_milli: 2_000 };
+        let p = AuditPolicies { retry_budget: Some(budget), ..hedged() };
+        // Exact books: 3 retries + 1 hedge = 4000 milli spent.
+        let mut s = balanced();
+        s.budget_granted_milli = 6_000;
+        s.budget_spent_milli = 4_000;
+        s.audit(&p).expect("exact budget books must pass");
+        // Spent must match the attempt counters exactly.
+        s.budget_spent_milli = 3_000;
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::RetryBudgetBooks { .. })));
+        // Spent may never exceed granted.
+        let mut s = balanced();
+        s.budget_granted_milli = 3_000;
+        s.budget_spent_milli = 4_000;
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::RetryBudgetBooks { .. })));
+        // Granted may never exceed burst + arrivals * fill.
+        let mut s = balanced();
+        s.budget_granted_milli = 8_000;
+        s.budget_spent_milli = 4_000;
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::RetryBudgetBooks { .. })));
+        // Without a budget, the counters must be silent.
+        let mut s = balanced();
+        s.budget_denied = 1;
+        assert!(matches!(s.audit(&hedged()), Err(FleetAuditError::RetryBudgetBooks { .. })));
+    }
+
+    #[test]
+    fn audit_checks_the_breaker_transition_ledger() {
+        let p = AuditPolicies {
+            breaker: Some(BreakerPolicy { failure_threshold: 3, open_ns: 100 }),
+            ..hedged()
+        };
+        let mut s = balanced();
+        s.breaker_opens = 2;
+        s.breaker_half_opens = 2;
+        s.breaker_closes = 1;
+        s.audit(&p).expect("coherent breaker ledger must pass");
+        // A half-open without an open is impossible.
+        s.breaker_half_opens = 3;
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::BreakerBooks { .. })));
+        // More opens than observed failures is impossible.
+        let mut s = balanced();
+        s.breaker_opens = 5;
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::BreakerBooks { .. })));
+        // Without a breaker, the counters must be silent.
+        let mut s = balanced();
+        s.breaker_opens = 1;
+        assert!(matches!(s.audit(&hedged()), Err(FleetAuditError::BreakerBooks { .. })));
+    }
+
+    #[test]
+    fn audit_checks_the_recovery_era_books() {
+        let p = hedged();
+        let mut s = balanced();
+        s.late_arrived = 4;
+        s.late_completed = 2;
+        s.late_latencies_ns = vec![10, 20];
+        s.audit(&p).expect("coherent late books must pass");
+        assert!((s.late_slo_attainment(10) - 0.25).abs() < 1e-12);
+        s.late_latencies_ns.pop();
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::LateBooks { .. })));
+        let mut s = balanced();
+        s.late_arrived = 1;
+        s.late_completed = 2;
+        s.late_latencies_ns = vec![10, 20];
+        assert!(matches!(s.audit(&p), Err(FleetAuditError::LateBooks { .. })));
     }
 
     #[test]
@@ -304,6 +566,8 @@ mod tests {
         let s = FleetStats::default();
         assert_eq!(s.p999_ns(), 0);
         assert_eq!(s.slo_attainment(100), 0.0);
+        assert_eq!(s.late_slo_attainment(100), 0.0);
+        assert_eq!(s.wasted_fraction(), 0.0);
     }
 
     #[test]
@@ -317,5 +581,8 @@ mod tests {
     fn goodput_is_completions_over_span() {
         let s = balanced();
         assert!((s.goodput_rps() - 7.0).abs() < 1e-9);
+        let mut s = balanced();
+        s.wasted_completions = 3;
+        assert!((s.wasted_fraction() - 0.25).abs() < 1e-12);
     }
 }

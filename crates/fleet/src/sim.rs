@@ -2,14 +2,23 @@
 //!
 //! One simulation is a pure function of ([`FleetConfig`],
 //! [`ServiceProfile`]): every random draw flows through seeded streams
-//! (arrivals, service times, per-machine fault schedules), and every
-//! effect — including retries, hedges, crashes, and probes — is an event
-//! in a single binary heap ordered by `(time, sequence)`. The sequence
-//! number is assigned at scheduling time, so simultaneous events replay
-//! in the order they were scheduled; nothing observes allocation order,
-//! thread interleaving, or wall-clock time. That is the entire
-//! determinism argument, and it is what lets the `fleet_slo` experiment
-//! promise byte-identical results across `--jobs` values and reruns.
+//! (arrivals, service times, per-machine and per-domain fault schedules),
+//! and every effect — including retries, hedges, crashes, gray episodes,
+//! and probes — is an event in a single binary heap ordered by
+//! `(time, sequence)`. The sequence number is assigned at scheduling time,
+//! so simultaneous events replay in the order they were scheduled; nothing
+//! observes allocation order, thread interleaving, or wall-clock time.
+//! That is the entire determinism argument, and it is what lets the
+//! `fleet_slo` and `fleet_resilience` experiments promise byte-identical
+//! results across `--jobs` values and reruns.
+//!
+//! Feedback-driven load does not weaken the argument: retries, hedges,
+//! breaker trips, and AIMD limit moves are all *computed from* prior
+//! events and *expressed as* new heap entries, so the closed loop between
+//! congestion and offered load is just more events in the same total
+//! order. A metastable overload — where recovery-era retry load keeps the
+//! fleet saturated long after the triggering burst ends — replays
+//! byte-for-byte like any quiet run.
 //!
 //! ## Request lifecycle
 //!
@@ -17,9 +26,10 @@
 //! exactly one of three states:
 //!
 //! - **completed** — some attempt finished before the client gave up;
-//! - **shed** — admission was denied (all machines saturated or out of
-//!   rotation) with no live attempt outstanding;
-//! - **failed** — the retry budget was exhausted.
+//! - **shed** — admission was denied (all machines saturated, barred, or
+//!   out of rotation — or the AIMD concurrency limit was reached) with no
+//!   live attempt outstanding;
+//! - **failed** — the retry schedule or the retry *budget* was exhausted.
 //!
 //! Attempts are the unit of dispatch: the initial attempt, retries (after
 //! an observed timeout/connect/crash failure, delayed by the capped
@@ -28,13 +38,28 @@
 //! server is still working becomes *abandoned*: the server finishes it
 //! anyway and the completed work is counted as wasted — the classic
 //! overload amplification that load shedding exists to prevent.
+//!
+//! ## Gray failures and the mitigation stack
+//!
+//! A machine in a gray episode stays `up`: probes pass, connects succeed,
+//! and the consecutive-failure health ejector never fires. But its service
+//! times are inflated (latency factor × the measured memory-pressure
+//! inflation) and a seeded fraction of attempts is silently *dropped* —
+//! accepted, never served, discovered only by the client's timeout. The
+//! defenses are client-side and independently togglable: a token-bucket
+//! [`RetryBudget`] bounds retry-storm amplification, a per-machine
+//! circuit [`BreakerPolicy`](crate::breaker::BreakerPolicy) trips on
+//! consecutive client-observed failures (catching what health checks
+//! cannot), and an [`AimdPolicy`] concurrency limit sheds load at the
+//! balancer before it can queue into certain timeout.
 
 use crate::arrivals::{ArrivalProcess, Burst};
-use crate::balancer::{Balancer, Route};
+use crate::balancer::{AimdLimiter, Balancer, Route};
+use crate::breaker::{BreakerBank, BreakerPolicy};
 use crate::faults::{FaultStreams, FleetFaultPlan};
 use crate::machine::Machine;
-use crate::policy::{HedgePolicy, RetryPolicy};
-use crate::report::FleetStats;
+use crate::policy::{AimdPolicy, HedgePolicy, RetryBudget, RetryPolicy};
+use crate::report::{AuditPolicies, FleetStats};
 use crate::service::{ServiceProfile, ServiceSampler};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -77,6 +102,27 @@ pub struct FleetConfig {
     pub hedge: Option<HedgePolicy>,
     /// Optional seeded fault plan.
     pub faults: Option<FleetFaultPlan>,
+    /// Number of correlated fault domains (racks / power feeds) machines
+    /// are assigned to round-robin (`machine % fault_domains`). Zero
+    /// disables domain grouping; required >= 1 when the fault plan draws
+    /// domain-level events.
+    #[serde(default)]
+    pub fault_domains: usize,
+    /// Optional end of the overload *trigger* era, ns: requests arriving
+    /// at or after this instant are additionally tracked in the
+    /// recovery-era books (`late_*` stats), which is how a metastable
+    /// collapse — or a mitigated recovery — is measured.
+    #[serde(default)]
+    pub trigger_end_ns: Option<u64>,
+    /// Optional client-side retry/hedge token budget.
+    #[serde(default)]
+    pub retry_budget: Option<RetryBudget>,
+    /// Optional per-machine circuit breakers.
+    #[serde(default)]
+    pub breaker: Option<BreakerPolicy>,
+    /// Optional AIMD adaptive concurrency limit at the balancer.
+    #[serde(default)]
+    pub aimd: Option<AimdPolicy>,
     /// Seed of the arrival and service streams.
     pub seed: u64,
 }
@@ -104,6 +150,16 @@ pub enum FleetConfigError {
     ZeroServiceTime,
     /// Burst parameters out of range.
     BadBurst,
+    /// Gray-failure parameters out of range (latency factor or memory
+    /// inflation below 1 / not finite, or drop rate outside `[0, 1)`).
+    BadGray,
+    /// The fault plan draws domain-level events but `fault_domains` is 0.
+    NoFaultDomains,
+    /// Breaker parameters out of range (zero threshold or zero open time).
+    BadBreaker,
+    /// AIMD parameters out of range (zero floor, floor above ceiling,
+    /// zero increase, or decrease percent outside `[1, 99]`).
+    BadAimd,
 }
 
 impl std::fmt::Display for FleetConfigError {
@@ -119,6 +175,16 @@ impl std::fmt::Display for FleetConfigError {
             Self::BadInflation => "service inflation must be finite and positive",
             Self::ZeroServiceTime => "service profile mean must be positive",
             Self::BadBurst => "burst needs period > 0, on_fraction in (0,1), amplitude >= 1",
+            Self::BadGray => {
+                "gray failure needs latency factor and memory inflation finite and >= 1, drop rate in [0,1)"
+            }
+            Self::NoFaultDomains => {
+                "fault plan draws domain-level events; fault_domains must be >= 1"
+            }
+            Self::BadBreaker => "breaker needs failure_threshold >= 1 and open_ns > 0",
+            Self::BadAimd => {
+                "aimd needs min_inflight in [1, max_inflight], increase_milli > 0, decrease_pct in [1,99]"
+            }
         };
         f.write_str(msg)
     }
@@ -164,7 +230,44 @@ impl FleetConfig {
                 return Err(FleetConfigError::BadBurst);
             }
         }
+        if let Some(p) = self.faults {
+            let gray_shape_ok = p.gray_latency_factor.is_finite()
+                && p.gray_latency_factor >= 1.0
+                && p.gray_memory_inflation.is_finite()
+                && p.gray_memory_inflation >= 1.0
+                && (0.0..1.0).contains(&p.gray_drop_rate);
+            if !gray_shape_ok {
+                return Err(FleetConfigError::BadGray);
+            }
+            if p.wants_domains() && self.fault_domains == 0 {
+                return Err(FleetConfigError::NoFaultDomains);
+            }
+        }
+        if let Some(b) = self.breaker {
+            if b.failure_threshold == 0 || b.open_ns == 0 {
+                return Err(FleetConfigError::BadBreaker);
+            }
+        }
+        if let Some(a) = self.aimd {
+            if a.min_inflight == 0
+                || a.max_inflight < a.min_inflight
+                || a.increase_milli == 0
+                || !(1..=99).contains(&a.decrease_pct)
+            {
+                return Err(FleetConfigError::BadAimd);
+            }
+        }
         Ok(())
+    }
+
+    /// The policy set the `CS_PARANOID` audit checks this config's stats
+    /// against.
+    pub fn audit_policies(&self) -> AuditPolicies {
+        AuditPolicies {
+            hedge: self.hedge,
+            retry_budget: self.retry_budget,
+            breaker: self.breaker,
+        }
     }
 }
 
@@ -181,6 +284,11 @@ enum Ev {
     Recover { machine: usize },
     StragglerStart { machine: usize },
     StragglerEnd { machine: usize },
+    GrayStart { machine: usize },
+    GrayEnd { machine: usize },
+    DomainOutage { domain: usize },
+    DomainGray { domain: usize },
+    BreakerHalfOpen { machine: usize },
     Probe { machine: usize },
 }
 
@@ -218,6 +326,10 @@ enum AttState {
     InService,
     /// Routed to a down machine; the connect will fail.
     ConnectPending,
+    /// Accepted by a gray machine, then silently dropped: no context is
+    /// burned and no completion will ever come — only the client's
+    /// timeout (or a winning sibling) resolves it.
+    Dropped,
     /// Client gave up (timeout) or a sibling won, but the server is still
     /// working on it; its completion will be wasted.
     Abandoned,
@@ -238,6 +350,8 @@ struct Req {
     resolved: bool,
     retries_used: u32,
     hedges_used: u32,
+    /// Arrived at or after `trigger_end_ns` (recovery-era books).
+    late: bool,
     /// Live (non-terminal, non-abandoned) attempts of this request.
     live: Vec<u32>,
 }
@@ -256,6 +370,12 @@ struct Sim<'a> {
     now: u64,
     machines: Vec<Machine>,
     balancer: Balancer,
+    breaker: Option<BreakerBank>,
+    aimd: Option<AimdLimiter>,
+    /// Current retry-budget balance, milli-tokens.
+    budget_milli: u64,
+    /// Client-side live attempts (the AIMD admission signal).
+    outstanding: u64,
     reqs: Vec<Req>,
     atts: Vec<Att>,
     arrivals: ArrivalProcess,
@@ -280,6 +400,10 @@ pub fn simulate(cfg: &FleetConfig, profile: &ServiceProfile) -> Result<FleetStat
         now: 0,
         machines: (0..cfg.machines).map(|_| Machine::new(cfg.contexts_per_machine)).collect(),
         balancer: Balancer::new(cfg.machines),
+        breaker: cfg.breaker.map(|p| BreakerBank::new(p, cfg.machines)),
+        aimd: cfg.aimd.map(AimdLimiter::new),
+        budget_milli: cfg.retry_budget.map_or(0, |b| b.burst_milli),
+        outstanding: 0,
         reqs: Vec::with_capacity(cfg.requests as usize),
         atts: Vec::with_capacity(cfg.requests as usize),
         arrivals: ArrivalProcess::new(
@@ -289,18 +413,26 @@ pub fn simulate(cfg: &FleetConfig, profile: &ServiceProfile) -> Result<FleetStat
         ),
         service_rng: cs_trace::rng::stream_rng(cfg.seed, SERVICE_STREAM),
         sampler: ServiceSampler::new(effective_mean),
-        faults: cfg.faults.map(|p| FaultStreams::new(p, cfg.machines)),
+        faults: cfg.faults.map(|p| FaultStreams::new(p, cfg.machines, cfg.fault_domains)),
         stats: FleetStats::default(),
         arrivals_generated: 0,
         resolved: 0,
         last_resolution: 0,
     };
+    // The initial bucket balance is granted budget.
+    sim.stats.budget_granted_milli = sim.budget_milli;
     sim.run();
     let mut stats = sim.stats;
     stats.ejections = sim.balancer.ejections;
     stats.readmissions = sim.balancer.readmissions;
+    if let Some(b) = &sim.breaker {
+        stats.breaker_opens = b.opens;
+        stats.breaker_half_opens = b.half_opens;
+        stats.breaker_closes = b.closes;
+    }
     stats.span_ns = sim.last_resolution;
     stats.latencies_ns.sort_unstable();
+    stats.late_latencies_ns.sort_unstable();
     Ok(stats)
 }
 
@@ -308,6 +440,11 @@ impl Sim<'_> {
     fn schedule(&mut self, at: u64, ev: Ev) {
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+    }
+
+    /// The fault domain machine `m` belongs to (round-robin assignment).
+    fn domain_of(&self, m: usize) -> usize {
+        m % self.cfg.fault_domains.max(1)
     }
 
     fn run(&mut self) {
@@ -320,7 +457,18 @@ impl Sim<'_> {
             if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_straggle_gap(m)) {
                 self.schedule(gap, Ev::StragglerStart { machine: m });
             }
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_gray_gap(m)) {
+                self.schedule(gap, Ev::GrayStart { machine: m });
+            }
             self.schedule(self.cfg.probe_interval_ns, Ev::Probe { machine: m });
+        }
+        for d in 0..self.cfg.fault_domains {
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_domain_outage_gap(d)) {
+                self.schedule(gap, Ev::DomainOutage { domain: d });
+            }
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_domain_gray_gap(d)) {
+                self.schedule(gap, Ev::DomainGray { domain: d });
+            }
         }
         while let Some(Reverse(s)) = self.heap.pop() {
             self.now = s.at;
@@ -346,6 +494,11 @@ impl Sim<'_> {
             Ev::Recover { machine } => self.on_recover(machine),
             Ev::StragglerStart { machine } => self.on_straggler_start(machine),
             Ev::StragglerEnd { machine } => self.on_straggler_end(machine),
+            Ev::GrayStart { machine } => self.on_gray_start(machine),
+            Ev::GrayEnd { machine } => self.on_gray_end(machine),
+            Ev::DomainOutage { domain } => self.on_domain_outage(domain),
+            Ev::DomainGray { domain } => self.on_domain_gray(domain),
+            Ev::BreakerHalfOpen { machine } => self.on_breaker_half_open(machine),
             Ev::Probe { machine } => self.on_probe(machine),
         }
     }
@@ -353,12 +506,22 @@ impl Sim<'_> {
     fn on_arrival(&mut self) {
         self.arrivals_generated += 1;
         self.stats.arrived += 1;
+        if let Some(b) = self.cfg.retry_budget {
+            let credit = b.fill_milli.min(b.burst_milli.saturating_sub(self.budget_milli));
+            self.budget_milli += credit;
+            self.stats.budget_granted_milli += credit;
+        }
+        let late = self.cfg.trigger_end_ns.is_some_and(|t| self.now >= t);
+        if late {
+            self.stats.late_arrived += 1;
+        }
         let r = self.reqs.len() as u32;
         self.reqs.push(Req {
             arrived_at: self.now,
             resolved: false,
             retries_used: 0,
             hedges_used: 0,
+            late,
             live: Vec::new(),
         });
         self.dispatch(r, DispatchKind::Initial);
@@ -368,25 +531,66 @@ impl Sim<'_> {
         }
     }
 
+    /// Withdraws the budget token an extra attempt costs. Initial attempts
+    /// are free; retries and hedges pay 1000 milli-tokens at *dispatch*
+    /// (not scheduling) so the spent book exactly matches the attempt
+    /// counters. Returns whether the dispatch may proceed.
+    fn pay_for_dispatch(&mut self, r: u32, kind: DispatchKind) -> bool {
+        if matches!(kind, DispatchKind::Initial) || self.cfg.retry_budget.is_none() {
+            return true;
+        }
+        if self.budget_milli >= 1000 {
+            self.budget_milli -= 1000;
+            self.stats.budget_spent_milli += 1000;
+            return true;
+        }
+        self.stats.budget_denied += 1;
+        // A denied retry fails the request (no sibling is racing); a
+        // denied hedge is simply skipped (the original attempt races on).
+        if matches!(kind, DispatchKind::Retry) {
+            self.resolve_failed(r);
+        }
+        false
+    }
+
     /// Routes one attempt of request `r`. Sheds the request on admission
     /// denial (hedges are skipped silently instead — the request still has
     /// a live attempt racing).
     fn dispatch(&mut self, r: u32, kind: DispatchKind) {
+        if let Some(l) = &self.aimd {
+            if !l.admits(self.outstanding) {
+                self.stats.aimd_throttled += 1;
+                if !matches!(kind, DispatchKind::Hedge) {
+                    self.resolve_shed(r);
+                }
+                return;
+            }
+        }
         let exclude: Vec<usize> =
             self.reqs[r as usize].live.iter().map(|&a| self.atts[a as usize].machine).collect();
-        match self.balancer.route(&self.machines, &exclude, self.cfg.queue_capacity) {
+        let breaker = self.breaker.as_ref();
+        let route = self.balancer.route(&self.machines, &exclude, self.cfg.queue_capacity, |m| {
+            breaker.is_some_and(|b| !b.allows(m))
+        });
+        match route {
             Route::Shed => {
                 if !matches!(kind, DispatchKind::Hedge) {
                     self.resolve_shed(r);
                 }
             }
             Route::To(m) => {
+                if !self.pay_for_dispatch(r, kind) {
+                    return;
+                }
                 let a = self.atts.len() as u32;
                 self.stats.attempts += 1;
                 match kind {
                     DispatchKind::Initial => self.stats.initial_attempts += 1,
                     DispatchKind::Retry => self.stats.retries += 1,
                     DispatchKind::Hedge => self.stats.hedges += 1,
+                }
+                if let Some(b) = self.breaker.as_mut() {
+                    b.on_dispatch(m);
                 }
                 let start_now = self.machines[m].up && self.machines[m].has_free_context();
                 let state = if !self.machines[m].up {
@@ -402,6 +606,7 @@ impl Sim<'_> {
                 };
                 self.atts.push(Att { req: r, machine: m, state });
                 self.reqs[r as usize].live.push(a);
+                self.outstanding += 1;
                 self.schedule(self.now + self.cfg.timeout_ns, Ev::Timeout { attempt: a });
                 if start_now {
                     self.begin_service(a);
@@ -419,14 +624,30 @@ impl Sim<'_> {
     }
 
     /// Puts attempt `a` into service on its machine and schedules its
-    /// completion (inflated while the machine is straggling).
+    /// completion (inflated while the machine is straggling or gray). On a
+    /// gray machine a seeded draw may instead *drop* the attempt: the
+    /// context stays free and nothing ever completes — the failure mode a
+    /// health check cannot see.
     fn begin_service(&mut self, a: u32) {
         let m = self.atts[a as usize].machine;
+        if self.machines[m].gray {
+            if let Some(f) = self.faults.as_mut() {
+                if f.draw_gray_drop(m) {
+                    self.atts[a as usize].state = AttState::Dropped;
+                    self.stats.gray_dropped += 1;
+                    return;
+                }
+            }
+        }
         self.atts[a as usize].state = AttState::InService;
         self.machines[m].in_service.push(a);
         let mut svc = self.sampler.sample(&mut self.service_rng);
         if self.machines[m].slow {
             let factor = self.faults.as_ref().map_or(1.0, |f| f.plan().straggler_factor);
+            svc = (svc as f64 * factor) as u64;
+        }
+        if self.machines[m].gray {
+            let factor = self.faults.as_ref().map_or(1.0, |f| f.plan().gray_service_factor());
             svc = (svc as f64 * factor) as u64;
         }
         self.schedule(self.now + svc.max(1), Ev::ServiceDone { attempt: a });
@@ -444,6 +665,35 @@ impl Sim<'_> {
         }
     }
 
+    /// Feeds a client-observed success on machine `m` to the mitigation
+    /// stack.
+    fn note_attempt_success(&mut self, m: usize) {
+        if let Some(b) = self.breaker.as_mut() {
+            b.on_success(m);
+        }
+        if let Some(l) = self.aimd.as_mut() {
+            l.on_success();
+        }
+    }
+
+    /// Feeds a client-observed failure on machine `m` (timeout, connect
+    /// failure, crash) to the mitigation stack; a breaker trip schedules
+    /// its deterministic half-open probe.
+    fn note_attempt_failure(&mut self, m: usize) {
+        let mut open_ns = None;
+        if let Some(b) = self.breaker.as_mut() {
+            if b.on_failure(m) {
+                open_ns = Some(b.policy().open_ns.max(1));
+            }
+        }
+        if let Some(open) = open_ns {
+            self.schedule(self.now + open, Ev::BreakerHalfOpen { machine: m });
+        }
+        if let Some(l) = self.aimd.as_mut() {
+            l.on_failure();
+        }
+    }
+
     fn on_service_done(&mut self, a: u32) {
         let m = self.atts[a as usize].machine;
         match self.atts[a as usize].state {
@@ -451,6 +701,7 @@ impl Sim<'_> {
                 self.machines[m].release(a);
                 self.atts[a as usize].state = AttState::Terminal;
                 self.stats.won_attempts += 1;
+                self.note_attempt_success(m);
                 self.resolve_completed(a);
                 self.pull_queue(m);
             }
@@ -472,18 +723,29 @@ impl Sim<'_> {
                 self.machines[m].unqueue(a);
                 self.atts[a as usize].state = AttState::Terminal;
                 self.stats.timeouts += 1;
+                self.note_attempt_failure(m);
                 self.attempt_failed(a);
             }
             AttState::InService => {
                 // The client gives up; the server keeps burning the context.
                 self.atts[a as usize].state = AttState::Abandoned;
                 self.stats.timeouts += 1;
+                self.note_attempt_failure(m);
+                self.attempt_failed(a);
+            }
+            AttState::Dropped => {
+                // The gray machine swallowed it; the timeout is the only
+                // signal the client ever gets.
+                self.atts[a as usize].state = AttState::Terminal;
+                self.stats.timeouts += 1;
+                self.note_attempt_failure(m);
                 self.attempt_failed(a);
             }
             AttState::ConnectPending => {
                 // Defensive: unreachable while connect_timeout < timeout.
                 self.atts[a as usize].state = AttState::Terminal;
                 self.stats.timeouts += 1;
+                self.note_attempt_failure(m);
                 self.attempt_failed(a);
             }
             AttState::Abandoned | AttState::Terminal => {}
@@ -497,7 +759,9 @@ impl Sim<'_> {
         self.atts[a as usize].state = AttState::Terminal;
         self.stats.connect_failures += 1;
         // A failed connect is an observed machine failure.
-        self.balancer.eject(self.atts[a as usize].machine);
+        let m = self.atts[a as usize].machine;
+        self.balancer.eject(m);
+        self.note_attempt_failure(m);
         self.attempt_failed(a);
     }
 
@@ -507,7 +771,11 @@ impl Sim<'_> {
     fn attempt_failed(&mut self, a: u32) {
         let r = self.atts[a as usize].req;
         let req = &mut self.reqs[r as usize];
+        let before = req.live.len();
         req.live.retain(|&x| x != a);
+        if req.live.len() != before {
+            self.outstanding -= 1;
+        }
         if req.resolved || !req.live.is_empty() {
             return;
         }
@@ -533,9 +801,10 @@ impl Sim<'_> {
         if req.resolved || req.live.is_empty() || req.hedges_used >= h.max_hedges {
             return;
         }
-        // The hedge consumes budget even if routing then skips it — the
-        // fire/skip decision must not depend on transient queue state in a
-        // way that could re-arm the timer forever.
+        // The hedge consumes its slot even if routing (or the retry
+        // budget) then skips it — the fire/skip decision must not depend
+        // on transient queue state in a way that could re-arm the timer
+        // forever.
         req.hedges_used += 1;
         let rearm = req.hedges_used < h.max_hedges;
         self.dispatch(r, DispatchKind::Hedge);
@@ -544,9 +813,14 @@ impl Sim<'_> {
         }
     }
 
-    fn on_crash(&mut self, m: usize) {
+    /// Takes machine `m` down right now: drains its work, fails the
+    /// drained attempts, and schedules recovery. Shared by independent
+    /// crashes and correlated domain outages; the caller guarantees the
+    /// machine is up.
+    fn crash_machine(&mut self, m: usize) {
         self.stats.machine_failures += 1;
         self.machines[m].up = false;
+        self.machines[m].slow = false;
         let (serving, queued) = self.machines[m].drain();
         let mut observed = false;
         let mut failed: Vec<u32> = Vec::new();
@@ -568,15 +842,23 @@ impl Sim<'_> {
             self.balancer.eject(m);
         }
         for a in failed {
+            self.note_attempt_failure(m);
             self.attempt_failed(a);
         }
-        let plan = self.faults.as_ref().map(|f| *f.plan());
-        if let Some(p) = plan {
-            let up_at = self.now + p.repair_ns.max(1);
-            self.schedule(up_at, Ev::Recover { machine: m });
-            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_crash_gap(m)) {
-                self.schedule(up_at + gap, Ev::Crash { machine: m });
-            }
+        let repair = self.faults.as_ref().map_or(1, |f| f.plan().repair_ns.max(1));
+        self.schedule(self.now + repair, Ev::Recover { machine: m });
+    }
+
+    fn on_crash(&mut self, m: usize) {
+        // A machine already down (correlated domain outage) cannot crash
+        // again; its pending Recover stands.
+        if self.machines[m].up {
+            self.crash_machine(m);
+        }
+        let repair = self.faults.as_ref().map_or(1, |f| f.plan().repair_ns.max(1));
+        let up_at = self.now + repair;
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_crash_gap(m)) {
+            self.schedule(up_at + gap, Ev::Crash { machine: m });
         }
     }
 
@@ -607,8 +889,81 @@ impl Sim<'_> {
         self.machines[m].slow = false;
     }
 
+    /// Puts machine `m` into a gray episode (if it is up and not already
+    /// gray) and schedules its end. Shared by per-machine draws and
+    /// domain-wide events.
+    fn start_gray(&mut self, m: usize, duration_ns: u64) -> bool {
+        if !self.machines[m].up || self.machines[m].gray {
+            return false;
+        }
+        self.machines[m].gray = true;
+        self.stats.gray_episodes += 1;
+        self.schedule(self.now + duration_ns.max(1), Ev::GrayEnd { machine: m });
+        true
+    }
+
+    fn on_gray_start(&mut self, m: usize) {
+        let plan = self.faults.as_ref().map(|f| *f.plan());
+        let Some(p) = plan else { return };
+        if self.start_gray(m, p.gray_duration_ns) {
+            let end = self.now + p.gray_duration_ns.max(1);
+            if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_gray_gap(m)) {
+                self.schedule(end + gap, Ev::GrayStart { machine: m });
+            }
+        } else if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_gray_gap(m)) {
+            self.schedule(self.now + gap, Ev::GrayStart { machine: m });
+        }
+    }
+
+    fn on_gray_end(&mut self, m: usize) {
+        self.machines[m].gray = false;
+    }
+
+    /// A correlated outage takes every up machine in domain `d` down at
+    /// the same instant — the failure shape i.i.d. crash draws can never
+    /// produce.
+    fn on_domain_outage(&mut self, d: usize) {
+        self.stats.domain_outages += 1;
+        for m in 0..self.cfg.machines {
+            if self.domain_of(m) == d && self.machines[m].up {
+                self.crash_machine(m);
+            }
+        }
+        let repair = self.faults.as_ref().map_or(1, |f| f.plan().repair_ns.max(1));
+        let up_at = self.now + repair;
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_domain_outage_gap(d)) {
+            self.schedule(up_at + gap, Ev::DomainOutage { domain: d });
+        }
+    }
+
+    /// A domain-wide gray episode: every up machine in `d` degrades
+    /// together (shared ToR switch, shared power feed, noisy neighbor on
+    /// shared storage).
+    fn on_domain_gray(&mut self, d: usize) {
+        let plan = self.faults.as_ref().map(|f| *f.plan());
+        let Some(p) = plan else { return };
+        self.stats.domain_gray_episodes += 1;
+        for m in 0..self.cfg.machines {
+            if self.domain_of(m) == d {
+                self.start_gray(m, p.gray_duration_ns);
+            }
+        }
+        let end = self.now + p.gray_duration_ns.max(1);
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.next_domain_gray_gap(d)) {
+            self.schedule(end + gap, Ev::DomainGray { domain: d });
+        }
+    }
+
+    fn on_breaker_half_open(&mut self, m: usize) {
+        if let Some(b) = self.breaker.as_mut() {
+            b.on_half_open_timer(m);
+        }
+    }
+
     fn on_probe(&mut self, m: usize) {
         self.stats.probes += 1;
+        // Gray machines are `up`: the probe passes and the ejector stays
+        // blind — only the breaker's failure counting can catch them.
         if self.machines[m].up {
             self.balancer.readmit(m);
         } else {
@@ -623,11 +978,17 @@ impl Sim<'_> {
         let r = self.atts[a as usize].req;
         let req = &mut self.reqs[r as usize];
         req.resolved = true;
+        let late = req.late;
         let latency = self.now - req.arrived_at;
-        let siblings: Vec<u32> = req.live.drain(..).filter(|&x| x != a).collect();
+        let drained: Vec<u32> = req.live.drain(..).collect();
+        self.outstanding -= drained.len() as u64;
         self.stats.completed += 1;
         self.stats.latencies_ns.push(latency);
-        for s in siblings {
+        if late {
+            self.stats.late_completed += 1;
+            self.stats.late_latencies_ns.push(latency);
+        }
+        for s in drained.into_iter().filter(|&x| x != a) {
             let sm = self.atts[s as usize].machine;
             match self.atts[s as usize].state {
                 AttState::Queued => {
@@ -641,11 +1002,16 @@ impl Sim<'_> {
                     self.atts[s as usize].state = AttState::Abandoned;
                     self.stats.cancelled += 1;
                 }
-                AttState::ConnectPending => {
+                AttState::ConnectPending | AttState::Dropped => {
                     self.atts[s as usize].state = AttState::Terminal;
                     self.stats.cancelled += 1;
                 }
-                AttState::Abandoned | AttState::Terminal => {}
+                AttState::Abandoned | AttState::Terminal => continue,
+            }
+            // A cancelled half-open trial yields its slot; cancellation is
+            // not a health signal.
+            if let Some(b) = self.breaker.as_mut() {
+                b.on_cancel(sm);
             }
         }
         self.note_resolution();
@@ -697,8 +1063,17 @@ mod tests {
             retry: RetryPolicy { max_retries: 3, base: 20_000, factor: 2, cap: 160_000 },
             hedge: Some(HedgePolicy { delay_ns: 60_000, max_hedges: 1 }),
             faults: None,
+            fault_domains: 0,
+            trigger_end_ns: None,
+            retry_budget: None,
+            breaker: None,
+            aimd: None,
             seed: 42,
         }
+    }
+
+    fn gray_plan() -> FleetFaultPlan {
+        FleetFaultPlan::gray(600_000, 400_000, 4.0, 0.3, 7).with_gray_memory_inflation(1.2)
     }
 
     #[test]
@@ -709,7 +1084,7 @@ mod tests {
         assert_eq!(stats.machine_failures, 0);
         assert!(stats.completed > 4_900, "healthy fleet lost {} requests", stats.failed);
         assert!(stats.p50_ns() <= stats.p99_ns() && stats.p99_ns() <= stats.p999_ns());
-        stats.audit(base_cfg().hedge).expect("audit");
+        stats.audit(&base_cfg().audit_policies()).expect("audit");
     }
 
     #[test]
@@ -736,7 +1111,7 @@ mod tests {
         let stats = simulate(&cfg, &profile()).expect("simulate");
         assert!(stats.shed > 0, "5x overload with a 2-deep queue must shed");
         assert_eq!(stats.arrived, stats.completed + stats.shed + stats.failed);
-        stats.audit(None).expect("audit");
+        stats.audit(&cfg.audit_policies()).expect("audit");
     }
 
     #[test]
@@ -751,7 +1126,7 @@ mod tests {
         assert!(stats.retries > 0, "failures must provoke retries");
         assert!(stats.ejections > 0 && stats.readmissions > 0);
         assert!(stats.recoveries > 0);
-        stats.audit(cfg.hedge).expect("audit");
+        stats.audit(&cfg.audit_policies()).expect("audit");
     }
 
     #[test]
@@ -769,12 +1144,12 @@ mod tests {
             slow.p999_ns(),
             quiet.p999_ns()
         );
-        stats_audit_both(&quiet, &slow, cfg.hedge);
+        stats_audit_both(&quiet, &slow, &cfg.audit_policies());
     }
 
-    fn stats_audit_both(a: &FleetStats, b: &FleetStats, hedge: Option<HedgePolicy>) {
-        a.audit(hedge).expect("audit quiet");
-        b.audit(hedge).expect("audit slow");
+    fn stats_audit_both(a: &FleetStats, b: &FleetStats, policies: &AuditPolicies) {
+        a.audit(policies).expect("audit quiet");
+        b.audit(policies).expect("audit slow");
     }
 
     #[test]
@@ -791,7 +1166,153 @@ mod tests {
         assert!(stats.timeouts > 0);
         assert!(stats.failed > 0, "2 retries under a 3us timeout must fail some requests");
         assert!(stats.wasted_completions > 0, "abandoned work must show up as waste");
-        stats.audit(None).expect("audit");
+        stats.audit(&cfg.audit_policies()).expect("audit");
+    }
+
+    #[test]
+    fn gray_episodes_degrade_without_tripping_the_ejector() {
+        let quiet = simulate(&base_cfg(), &profile()).expect("simulate");
+        let cfg = FleetConfig { faults: Some(gray_plan()), ..base_cfg() };
+        let gray = simulate(&cfg, &profile()).expect("simulate");
+        assert!(gray.gray_episodes > 0, "gray plan must start episodes");
+        assert!(gray.gray_dropped > 0, "a 30% drop rate must swallow attempts");
+        assert!(gray.timeouts > quiet.timeouts, "drops surface as client timeouts");
+        assert!(
+            gray.p999_ns() > quiet.p999_ns(),
+            "gray latency inflation must stretch the tail: {} vs {}",
+            gray.p999_ns(),
+            quiet.p999_ns()
+        );
+        // The defining property: the health ejector never fires, because
+        // gray machines stay up (no connect failures, no crash kills).
+        assert_eq!(gray.ejections, 0, "gray failures must evade the health ejector");
+        assert_eq!(gray.machine_failures, 0);
+        stats_audit_both(&quiet, &gray, &cfg.audit_policies());
+    }
+
+    #[test]
+    fn breaker_catches_gray_machines_the_ejector_cannot() {
+        let cfg = FleetConfig {
+            faults: Some(gray_plan()),
+            breaker: Some(BreakerPolicy { failure_threshold: 4, open_ns: 200_000 }),
+            ..base_cfg()
+        };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert_eq!(stats.ejections, 0, "the ejector stays blind");
+        assert!(stats.breaker_opens > 0, "the breaker must trip on timeout streaks");
+        assert!(stats.breaker_half_opens > 0, "open breakers must probe again");
+        assert!(stats.breaker_half_opens <= stats.breaker_opens);
+        assert!(stats.breaker_closes <= stats.breaker_half_opens);
+        stats.audit(&cfg.audit_policies()).expect("audit");
+    }
+
+    #[test]
+    fn domain_outages_correlate_failures() {
+        let cfg = FleetConfig {
+            faults: Some(FleetFaultPlan::domain_outages(2_000_000, 300_000, 11)),
+            fault_domains: 2,
+            ..base_cfg()
+        };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert!(stats.domain_outages > 0, "domain plan must draw outages");
+        // Every outage of a 4-machine / 2-domain fleet kills 2 machines at
+        // the same instant: machine failures come in correlated pairs.
+        assert_eq!(stats.machine_failures, 2 * stats.domain_outages);
+        assert!(stats.recoveries > 0);
+        stats.audit(&cfg.audit_policies()).expect("audit");
+    }
+
+    #[test]
+    fn retry_budget_bounds_extra_attempts_and_denies_over_budget_retries() {
+        let storm = FleetConfig {
+            timeout_ns: 3_000,
+            connect_timeout_ns: 1_000,
+            retry: RetryPolicy { max_retries: 8, base: 1_000, factor: 2, cap: 4_000 },
+            hedge: None,
+            requests: 800,
+            ..base_cfg()
+        };
+        let unbounded = simulate(&storm, &profile()).expect("simulate");
+        let budget = RetryBudget { fill_milli: 200, burst_milli: 2_000 };
+        let bounded_cfg = FleetConfig { retry_budget: Some(budget), ..storm.clone() };
+        let bounded = simulate(&bounded_cfg, &profile()).expect("simulate");
+        assert!(
+            bounded.retries < unbounded.retries,
+            "a 20% budget must cut the retry storm: {} vs {}",
+            bounded.retries,
+            unbounded.retries
+        );
+        assert!(bounded.budget_denied > 0, "the storm must hit the budget ceiling");
+        let extra_milli = (bounded.retries + bounded.hedges) * 1000;
+        assert_eq!(bounded.budget_spent_milli, extra_milli);
+        assert!(
+            extra_milli <= budget.burst_milli + bounded.arrived * budget.fill_milli,
+            "spent {extra_milli} over grant cap"
+        );
+        unbounded.audit(&storm.audit_policies()).expect("audit unbounded");
+        bounded.audit(&bounded_cfg.audit_policies()).expect("audit bounded");
+    }
+
+    #[test]
+    fn aimd_limit_sheds_before_the_queues_do() {
+        let overload = FleetConfig {
+            machines: 2,
+            contexts_per_machine: 2,
+            queue_capacity: 8,
+            requests: 2_000,
+            mean_interarrival_ns: 1_500,
+            hedge: None,
+            ..base_cfg()
+        };
+        let cfg = FleetConfig {
+            aimd: Some(AimdPolicy {
+                min_inflight: 2,
+                max_inflight: 8,
+                increase_milli: 100,
+                decrease_pct: 30,
+            }),
+            ..overload.clone()
+        };
+        let with = simulate(&cfg, &profile()).expect("simulate");
+        assert!(with.aimd_throttled > 0, "overload must hit the concurrency limit");
+        stats_audit_both(
+            &simulate(&overload, &profile()).expect("simulate"),
+            &with,
+            &cfg.audit_policies(),
+        );
+    }
+
+    #[test]
+    fn trigger_era_books_split_arrivals() {
+        let cfg = FleetConfig { trigger_end_ns: Some(2_000_000), ..base_cfg() };
+        let stats = simulate(&cfg, &profile()).expect("simulate");
+        assert!(stats.late_arrived > 0, "a 5ms run must have post-trigger arrivals");
+        assert!(stats.late_arrived < stats.arrived);
+        assert_eq!(stats.late_latencies_ns.len() as u64, stats.late_completed);
+        assert!(stats.late_slo_attainment(u64::MAX) > 0.99);
+        stats.audit(&cfg.audit_policies()).expect("audit");
+    }
+
+    #[test]
+    fn mitigated_runs_replay_identically_too() {
+        let cfg = FleetConfig {
+            faults: Some(gray_plan()),
+            fault_domains: 2,
+            retry_budget: Some(RetryBudget { fill_milli: 500, burst_milli: 4_000 }),
+            breaker: Some(BreakerPolicy { failure_threshold: 4, open_ns: 150_000 }),
+            aimd: Some(AimdPolicy {
+                min_inflight: 4,
+                max_inflight: 64,
+                increase_milli: 250,
+                decrease_pct: 25,
+            }),
+            trigger_end_ns: Some(1_000_000),
+            ..base_cfg()
+        };
+        let a = simulate(&cfg, &profile()).expect("simulate");
+        let b = simulate(&cfg, &profile()).expect("simulate");
+        assert_eq!(a, b, "the full mitigation stack must stay byte-deterministic");
+        a.audit(&cfg.audit_policies()).expect("audit");
     }
 
     #[test]
@@ -799,6 +1320,8 @@ mod tests {
         let p = profile();
         let ok = base_cfg();
         assert!(ok.validate(&p).is_ok());
+        let bad_gray = FleetFaultPlan { gray_drop_rate: 1.5, ..gray_plan() };
+        let domain_plan = FleetFaultPlan::domain_outages(1_000, 100, 1);
         let cases = [
             (FleetConfig { machines: 0, ..ok.clone() }, FleetConfigError::NoMachines),
             (FleetConfig { contexts_per_machine: 0, ..ok.clone() }, FleetConfigError::NoContexts),
@@ -823,6 +1346,42 @@ mod tests {
                     ..ok.clone()
                 },
                 FleetConfigError::BadBurst,
+            ),
+            (FleetConfig { faults: Some(bad_gray), ..ok.clone() }, FleetConfigError::BadGray),
+            (
+                FleetConfig { faults: Some(domain_plan), fault_domains: 0, ..ok.clone() },
+                FleetConfigError::NoFaultDomains,
+            ),
+            (
+                FleetConfig {
+                    breaker: Some(BreakerPolicy { failure_threshold: 0, open_ns: 10 }),
+                    ..ok.clone()
+                },
+                FleetConfigError::BadBreaker,
+            ),
+            (
+                FleetConfig {
+                    aimd: Some(AimdPolicy {
+                        min_inflight: 4,
+                        max_inflight: 2,
+                        increase_milli: 100,
+                        decrease_pct: 30,
+                    }),
+                    ..ok.clone()
+                },
+                FleetConfigError::BadAimd,
+            ),
+            (
+                FleetConfig {
+                    aimd: Some(AimdPolicy {
+                        min_inflight: 1,
+                        max_inflight: 2,
+                        increase_milli: 100,
+                        decrease_pct: 100,
+                    }),
+                    ..ok.clone()
+                },
+                FleetConfigError::BadAimd,
             ),
         ];
         for (cfg, want) in cases {

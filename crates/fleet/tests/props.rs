@@ -4,11 +4,13 @@
 //! `cs-bench`, so its properties — deterministic, monotone non-decreasing,
 //! bounded by the cap, never zero — are locked down over arbitrary
 //! policies. The simulator properties re-run the same configuration twice
-//! (determinism is the crate's headline promise) and hand every result to
-//! the conservation auditor.
+//! (determinism is the crate's headline promise), hand every result to
+//! the conservation auditor, and bound retry-storm amplification under an
+//! arbitrary token-bucket budget.
 
 use cs_fleet::{
-    simulate, FleetConfig, FleetFaultPlan, HedgePolicy, RetryPolicy, ServiceProfile,
+    simulate, AimdPolicy, BreakerPolicy, FleetConfig, FleetFaultPlan, HedgePolicy,
+    RetryBudget, RetryPolicy, ServiceProfile,
 };
 use proptest::prelude::*;
 
@@ -21,27 +23,98 @@ fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
     )
 }
 
+/// The client-side mitigation stack of one generated config: each layer
+/// independently present or absent, with small but arbitrary parameters.
+fn arb_mitigations() -> impl Strategy<Value = (Option<RetryBudget>, Option<BreakerPolicy>, Option<AimdPolicy>)>
+{
+    (
+        prop::option::of((0u64..2_000, 0u64..4_000)),
+        prop::option::of((1u32..6, 1u64..50_000)),
+        prop::option::of((1u64..4, 0u64..8, 1u64..2_000, 1u64..100)),
+    )
+        .prop_map(|(budget, breaker, aimd)| {
+            (
+                budget.map(|(fill_milli, burst_milli)| RetryBudget { fill_milli, burst_milli }),
+                breaker.map(|(failure_threshold, open_ns)| BreakerPolicy {
+                    failure_threshold,
+                    open_ns,
+                }),
+                aimd.map(|(min, extra, increase_milli, decrease_pct)| AimdPolicy {
+                    min_inflight: min,
+                    max_inflight: min + extra,
+                    increase_milli,
+                    decrease_pct: decrease_pct.clamp(1, 99),
+                }),
+            )
+        })
+}
+
 /// A small but fully valid (config, profile) pair: every field satisfies
 /// `FleetConfig::validate`, and the request count is kept low enough that
-/// a simulation finishes in microseconds.
+/// a simulation finishes in microseconds. Fault plans mix independent
+/// crashes/stragglers with gray episodes and correlated domain outages,
+/// and the mitigation stack varies independently.
 fn arb_fleet() -> impl Strategy<Value = (FleetConfig, ServiceProfile)> {
     (
-        1usize..4,            // machines
-        1usize..3,            // contexts per machine
-        0usize..3,            // queue capacity
-        1u64..48,             // requests
-        50u64..5_000,         // mean inter-arrival gap
-        50u64..20_000,        // mean service time
-        1u64..10_000,         // connect timeout
-        1u64..100_000,        // timeout headroom above connect
-        0u32..3,              // max retries
-        prop::bool::ANY,      // hedge?
-        prop::bool::ANY,      // faults?
-        any::<u64>(),         // seed
+        (
+            1usize..4,            // machines
+            1usize..3,            // contexts per machine
+            0usize..3,            // queue capacity
+            1u64..48,             // requests
+            50u64..5_000,         // mean inter-arrival gap
+            50u64..20_000,        // mean service time
+            1u64..10_000,         // connect timeout
+            1u64..100_000,        // timeout headroom above connect
+            0u32..3,              // max retries
+            prop::bool::ANY,      // hedge?
+            0u8..4,               // fault shape: none / classic / gray / domains
+            any::<u64>(),         // seed
+        ),
+        arb_mitigations(),
     )
         .prop_map(
-            |(machines, contexts, queue, requests, gap, service, connect, headroom, retries, hedge, faults, seed)| {
+            |(
+                (machines, contexts, queue, requests, gap, service, connect, headroom, retries, hedge, fault_shape, seed),
+                (retry_budget, breaker, aimd),
+            )| {
                 let timeout = connect + headroom;
+                let span = gap.saturating_mul(requests);
+                let faults = match fault_shape {
+                    1 => Some(FleetFaultPlan {
+                        crash_mtbf_ns: span / 2 + 1,
+                        repair_ns: 8 * timeout,
+                        straggler_mtbf_ns: span + 1,
+                        straggler_duration_ns: 4 * timeout,
+                        straggler_factor: 5.0,
+                        ..FleetFaultPlan::quiet(seed ^ 0xF417)
+                    }),
+                    2 => Some(
+                        FleetFaultPlan {
+                            gray_mtbf_ns: span / 2 + 1,
+                            gray_duration_ns: span / 4 + 1,
+                            gray_latency_factor: 3.0,
+                            gray_drop_rate: 0.25,
+                            ..FleetFaultPlan::quiet(seed ^ 0xF417)
+                        }
+                        .with_gray_memory_inflation(1.5),
+                    ),
+                    3 => Some(FleetFaultPlan {
+                        domain_outage_mtbf_ns: span + 1,
+                        repair_ns: 4 * timeout,
+                        domain_gray_mtbf_ns: span + 1,
+                        gray_duration_ns: span / 4 + 1,
+                        gray_latency_factor: 2.0,
+                        gray_drop_rate: 0.1,
+                        ..FleetFaultPlan::quiet(seed ^ 0xF417)
+                    }),
+                    _ => None,
+                };
+                let fault_domains =
+                    if faults.as_ref().is_some_and(FleetFaultPlan::wants_domains) {
+                        machines.min(2)
+                    } else {
+                        0
+                    };
                 let cfg = FleetConfig {
                     machines,
                     contexts_per_machine: contexts,
@@ -55,14 +128,12 @@ fn arb_fleet() -> impl Strategy<Value = (FleetConfig, ServiceProfile)> {
                     probe_interval_ns: 4 * timeout,
                     retry: RetryPolicy { max_retries: retries, base: timeout / 2 + 1, factor: 2, cap: 4 * timeout },
                     hedge: hedge.then_some(HedgePolicy { delay_ns: timeout / 2 + 1, max_hedges: 1 }),
-                    faults: faults.then_some(FleetFaultPlan {
-                        crash_mtbf_ns: gap.saturating_mul(requests) / 2 + 1,
-                        repair_ns: 8 * timeout,
-                        straggler_mtbf_ns: gap.saturating_mul(requests) + 1,
-                        straggler_duration_ns: 4 * timeout,
-                        straggler_factor: 5.0,
-                        seed: seed ^ 0xF417,
-                    }),
+                    faults,
+                    fault_domains,
+                    trigger_end_ns: (fault_shape == 0).then_some(span / 2 + 1),
+                    retry_budget,
+                    breaker,
+                    aimd,
                     seed,
                 };
                 let profile = ServiceProfile {
@@ -122,8 +193,9 @@ proptest! {
 
     /// A simulation is a pure function of (config, profile): running it
     /// twice yields identical stats — counters, span, and every latency
-    /// sample — for arbitrary valid configurations, with and without
-    /// faults and hedging.
+    /// sample — for arbitrary valid configurations, across every fault
+    /// shape (crashes, gray episodes, domain outages) and mitigation
+    /// stack (budget, breaker, AIMD).
     #[test]
     fn simulation_replays_identically((cfg, profile) in arb_fleet()) {
         let a = simulate(&cfg, &profile).expect("valid config must simulate");
@@ -133,12 +205,44 @@ proptest! {
 
     /// Every simulation result balances its books: request conservation,
     /// attempt provenance and conservation, retry provenance, the hedge
-    /// cap, and latency bookkeeping all hold for arbitrary valid configs.
+    /// cap, the retry-budget token books, the breaker transition ledger,
+    /// and the recovery-era split all hold for arbitrary valid configs.
     #[test]
     fn simulation_passes_the_conservation_audit((cfg, profile) in arb_fleet()) {
         let stats = simulate(&cfg, &profile).expect("valid config must simulate");
         prop_assert_eq!(stats.arrived, cfg.requests);
-        if let Err(e) = stats.audit(cfg.hedge) {
+        if let Err(e) = stats.audit(&cfg.audit_policies()) {
+            return Err(TestCaseError::fail(format!("audit failed: {e}")));
+        }
+    }
+
+    /// With a retry budget enabled, total attempts are hard-bounded by
+    /// the token arithmetic: every request gets its initial attempt free,
+    /// and every extra attempt (retry or hedge) costs 1000 milli-tokens
+    /// out of `burst + arrivals * fill` — whatever the failure pattern.
+    #[test]
+    fn retry_budget_bounds_total_attempts((cfg, profile) in arb_fleet(), fill in 0u64..1_500, burst in 0u64..3_000) {
+        let mut cfg = cfg;
+        cfg.retry_budget = Some(RetryBudget { fill_milli: fill, burst_milli: burst });
+        let stats = simulate(&cfg, &profile).expect("valid config must simulate");
+        let extra = stats.attempts - stats.initial_attempts;
+        prop_assert_eq!(stats.initial_attempts + stats.retries + stats.hedges, stats.attempts);
+        prop_assert_eq!(stats.budget_spent_milli, extra * 1000, "every extra attempt pays exactly one token");
+        let ceiling = burst + cfg.requests.saturating_mul(fill);
+        prop_assert!(
+            stats.budget_spent_milli <= ceiling,
+            "spent {} milli-tokens, ceiling {}",
+            stats.budget_spent_milli,
+            ceiling
+        );
+        prop_assert!(
+            stats.attempts.saturating_mul(1000) <= cfg.requests.saturating_mul(1000) + ceiling,
+            "attempts {} exceed requests {} plus budget ceiling {}",
+            stats.attempts,
+            cfg.requests,
+            ceiling
+        );
+        if let Err(e) = stats.audit(&cfg.audit_policies()) {
             return Err(TestCaseError::fail(format!("audit failed: {e}")));
         }
     }
@@ -152,7 +256,7 @@ proptest! {
         let mut reseeded = cfg.clone();
         reseeded.seed ^= salt;
         let stats = simulate(&reseeded, &profile).expect("valid config must simulate");
-        if let Err(e) = stats.audit(reseeded.hedge) {
+        if let Err(e) = stats.audit(&reseeded.audit_policies()) {
             return Err(TestCaseError::fail(format!("audit failed: {e}")));
         }
     }

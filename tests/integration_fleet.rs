@@ -1,16 +1,20 @@
-//! The `fleet_slo` experiment end to end: harness-measured service times
-//! driving the cs-fleet cluster simulator. The sweep must be byte-identical
-//! across `jobs` values and reruns, the seeded fault levels must actually
-//! bite (crashes, retries, shedding all non-zero), and with `CS_PARANOID`
-//! set every point passes the fleet conservation audit — which this test
-//! double-checks by re-deriving `arrived = completed + shed + failed` from
-//! the published rows.
+//! The `fleet_slo` and `fleet_resilience` experiments end to end:
+//! harness-measured service times driving the cs-fleet cluster simulator.
+//! The sweeps must be byte-identical across `jobs` values and reruns, the
+//! seeded fault levels must actually bite (crashes, retries, shedding all
+//! non-zero), and with `CS_PARANOID` set every point passes the fleet
+//! conservation audit — which these tests double-check by re-deriving
+//! `arrived = completed + shed + failed` from the published rows, and by
+//! pinning the mitigation claims (the breaker strictly cuts wasted work
+//! on a gray fleet; the full stack recovers the metastable scenario).
 
+use cloudsuite::experiments::fleet_resilience::{self, Mitigation, Scenario};
 use cloudsuite::experiments::fleet_slo::{
     collect_subset, report, FaultLevel, REQUESTS_PER_POINT,
 };
 use cloudsuite::harness::RunConfig;
 use cloudsuite::Benchmark;
+use cs_fleet::ServiceProfile;
 
 fn cfg(jobs: usize) -> RunConfig {
     RunConfig {
@@ -81,4 +85,114 @@ fn fleet_slo_faults_bite_and_requests_are_conserved_under_paranoid() {
     assert!(heavy_crashes > 0, "heavy fault level must inject machine crashes");
     assert!(retries > 0, "injected faults must provoke retries");
     assert!(shed > 0, "burst overload must shed load somewhere in the sweep");
+}
+
+fn gray_profile(mean_service_ns: u64) -> ServiceProfile {
+    ServiceProfile {
+        workload: "integration".into(),
+        mean_service_ns,
+        smt_inflation: 1.4,
+        colocation_inflation: 1.15,
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn fleet_resilience_is_byte_identical_across_jobs_and_reruns() {
+    std::env::set_var("CS_PARANOID", "1");
+    let benches = [Benchmark::web_search()];
+    let serial = fleet_resilience::collect_subset(&cfg(1), &benches).expect("jobs=1 sweep");
+    let threaded = fleet_resilience::collect_subset(&cfg(2), &benches).expect("jobs=2 sweep");
+    let rerun = fleet_resilience::collect_subset(&cfg(1), &benches).expect("rerun sweep");
+    assert_eq!(serial, threaded, "jobs=2 must not change a single value");
+    assert_eq!(serial, rerun, "a rerun must reproduce the sweep exactly");
+    assert_eq!(
+        fleet_resilience::report(&serial).to_json(),
+        fleet_resilience::report(&threaded).to_json(),
+        "the emitted report must be byte-identical across jobs values"
+    );
+    // One sweep = |scenarios| x |mitigations| points per workload, and the
+    // feedback-driven loads (retries, breaker trips, AIMD moves) must not
+    // cost the gray scenario its defining property: zero ejections.
+    assert_eq!(serial.rows.len(), benches.len() * 4 * 4);
+    for row in serial.rows.iter().filter(|r| r.scenario == Scenario::GrayFleet) {
+        assert_eq!(
+            row.ejections, 0,
+            "gray failures must never trip the health ejector ({})",
+            row.mitigation.label()
+        );
+    }
+}
+
+/// The breaker's core claim, pinned as an integration property: on a gray
+/// fleet — machines that pass every probe while serving slowly and
+/// dropping requests — per-machine circuit breakers strictly reduce
+/// wasted server work, at every probed service time and seed.
+#[test]
+fn breaker_strictly_reduces_wasted_work_on_a_gray_fleet() {
+    let mut opens_total = 0;
+    for mean in [20_000u64, 200_000] {
+        let profile = gray_profile(mean);
+        for seed in [1u64, 42, 1234, 77_777] {
+            let none = fleet_resilience::run_point(
+                &profile,
+                Scenario::GrayFleet,
+                Mitigation::Unmitigated,
+                seed,
+            )
+            .expect("unmitigated point");
+            let breaker = fleet_resilience::run_point(
+                &profile,
+                Scenario::GrayFleet,
+                Mitigation::Breaker,
+                seed,
+            )
+            .expect("breaker point");
+            assert!(none.gray_episodes > 0, "the gray plan must actually bite");
+            assert_eq!(none.ejections, 0, "gray machines evade the ejector");
+            assert_eq!(none.breaker_opens, 0, "unmitigated rows carry no breaker");
+            assert!(
+                breaker.wasted_completions < none.wasted_completions,
+                "mean={mean} seed={seed}: breaker must strictly cut wasted work, \
+                 got {} vs {}",
+                breaker.wasted_completions,
+                none.wasted_completions
+            );
+            opens_total += breaker.breaker_opens;
+        }
+    }
+    assert!(opens_total > 0, "the reduction must come from real breaker trips");
+}
+
+/// The metastable claim end to end: after the one-shot trigger, the
+/// unmitigated fleet stays degraded (the retry storm outlives its cause)
+/// while the full mitigation stack restores post-trigger SLO attainment.
+#[test]
+fn metastable_storm_outlives_trigger_unless_mitigated() {
+    let profile = gray_profile(50_000);
+    for seed in [21u64, 99, 1234] {
+        let none =
+            fleet_resilience::run_point(&profile, Scenario::Metastable, Mitigation::Unmitigated, seed)
+                .expect("unmitigated point");
+        let full =
+            fleet_resilience::run_point(&profile, Scenario::Metastable, Mitigation::Full, seed)
+                .expect("full-stack point");
+        assert!(
+            none.late_slo_attainment < 0.8,
+            "seed {seed}: unmitigated recovery-era SLO should stay degraded, got {}",
+            none.late_slo_attainment
+        );
+        assert!(
+            full.late_slo_attainment > none.late_slo_attainment + 0.1,
+            "seed {seed}: the full stack must clearly improve recovery, {} vs {}",
+            full.late_slo_attainment,
+            none.late_slo_attainment
+        );
+        assert!(
+            full.retries < none.retries / 4,
+            "seed {seed}: the budget must collapse the retry storm, {} vs {}",
+            full.retries,
+            none.retries
+        );
+    }
 }
